@@ -1,0 +1,48 @@
+// Fig. 13 reproduction: per-packet device processing latency.
+//
+// Worst-case (no egress bypass) latency from the pipeline model over each
+// program's allocated stage count, NetCL-generated vs the handwritten
+// baseline.
+//
+// Expected shape (paper): NetCL within ~9% of handwritten on average,
+// every program well below 1 microsecond, CACHE-class latency dominated by
+// the fixed pipe traversal.
+#include <cmath>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace netcl;
+  using namespace netcl::bench;
+  const p4::LatencyModel model;
+
+  std::printf("Fig 13: worst-case per-packet device latency (ns)\n");
+  print_rule(64);
+  std::printf("%-7s %10s %12s %12s %8s\n", "APP", "stages", "NetCL", "handwritten", "gap");
+  print_rule(64);
+
+  double gap_sum = 0;
+  int rows = 0;
+  for (const BenchApp& app : evaluation_apps()) {
+    driver::CompileResult compiled = compile_app(app);
+    if (!compiled.ok) return 1;
+    const double ours = model.worst_case_ns(compiled.allocation.stages_used);
+    const apps::HandwrittenModel hand = apps::handwritten_baseline(app.label, compiled);
+    const double gap = 100.0 * (ours - hand.latency_ns) / hand.latency_ns;
+    gap_sum += gap;
+    ++rows;
+    std::printf("%-7s %10d %12.1f %12.1f %+7.1f%%\n", app.label.c_str(),
+                compiled.allocation.stages_used, ours, hand.latency_ns, gap);
+    if (ours >= 1000.0) {
+      std::printf("    WARNING: exceeds the paper's < 1 us bound\n");
+    }
+  }
+  driver::CompileResult empty = compile_empty();
+  std::printf("%-7s %10d %12.1f\n", "EMPTY", empty.allocation.stages_used,
+              model.worst_case_ns(empty.allocation.stages_used));
+  print_rule(64);
+  std::printf("average gap: %+.1f%%   (paper: NetCL within %.0f%% of handwritten, all < %.0f ns)\n",
+              gap_sum / rows, apps::paper_reference().latency_gap_max_pct,
+              apps::paper_reference().latency_max_ns);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Microbenchmarks of the compiler itself (google-benchmark): per-phase
+// costs on the largest app (AGG at SLOT_SIZE=32), useful for tracking
+// compiler performance regressions. Not a paper table; supplements
+// Table IV.
+#include <benchmark/benchmark.h>
+
+#include "apps/sources.hpp"
+#include "frontend/sema.hpp"
+#include "ir/lower_ast.hpp"
+#include "p4/p4_printer.hpp"
+#include "passes/passes.hpp"
+
+namespace {
+
+using namespace netcl;
+
+const apps::AppSource& agg() {
+  static const apps::AppSource app = apps::agg_source();
+  return app;
+}
+
+void BM_Frontend(benchmark::State& state) {
+  for (auto _ : state) {
+    SourceBuffer buffer("agg", agg().source);
+    DiagnosticEngine diags;
+    Program program = analyze_netcl(buffer, diags, agg().defines);
+    benchmark::DoNotOptimize(program.functions.size());
+  }
+}
+BENCHMARK(BM_Frontend);
+
+void BM_Lowering(benchmark::State& state) {
+  SourceBuffer buffer("agg", agg().source);
+  DiagnosticEngine diags;
+  Program program = analyze_netcl(buffer, diags, agg().defines);
+  for (auto _ : state) {
+    ir::LowerOptions options;
+    options.device_id = 1;
+    auto module = ir::lower_program(program, options, diags);
+    benchmark::DoNotOptimize(module->functions().size());
+  }
+}
+BENCHMARK(BM_Lowering);
+
+void BM_PassPipeline(benchmark::State& state) {
+  SourceBuffer buffer("agg", agg().source);
+  DiagnosticEngine diags;
+  Program program = analyze_netcl(buffer, diags, agg().defines);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ir::LowerOptions lower_options;
+    lower_options.device_id = 1;
+    auto module = ir::lower_program(program, lower_options, diags);
+    state.ResumeTiming();
+    passes::PassOptions pass_options;
+    passes::run_pipeline(*module, pass_options, diags);
+    benchmark::DoNotOptimize(module->globals().size());
+  }
+}
+BENCHMARK(BM_PassPipeline);
+
+void BM_P4Emission(benchmark::State& state) {
+  SourceBuffer buffer("agg", agg().source);
+  DiagnosticEngine diags;
+  Program program = analyze_netcl(buffer, diags, agg().defines);
+  ir::LowerOptions lower_options;
+  lower_options.device_id = 1;
+  auto module = ir::lower_program(program, lower_options, diags);
+  passes::PassOptions pass_options;
+  passes::run_pipeline(*module, pass_options, diags);
+  for (auto _ : state) {
+    p4::P4Program p4 = p4::emit_p4(*module, p4::P4Dialect::Tna);
+    benchmark::DoNotOptimize(p4.loc());
+  }
+}
+BENCHMARK(BM_P4Emission);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Table IV reproduction: compilation times.
+//
+// The paper reports ncc (their LLVM-based compiler) finishing in < 1 s for
+// every app, with > 98% of total time spent in Intel's proprietary bf-p4c.
+// Our split: "ncc" = frontend + middle end; "backend" = P4 emission +
+// stage allocation, the part standing in for bf-p4c. Uses google-benchmark
+// for robust timing, then prints the per-app table (average of 5 runs,
+// like the paper).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace netcl;
+using namespace netcl::bench;
+
+void compile_benchmark(benchmark::State& state, const BenchApp& app) {
+  for (auto _ : state) {
+    driver::CompileResult result = compile_app(app);
+    benchmark::DoNotOptimize(result.ok);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const BenchApp& app : evaluation_apps()) {
+    benchmark::RegisterBenchmark(("compile/" + app.label).c_str(),
+                                 [app](benchmark::State& state) {
+                                   compile_benchmark(state, app);
+                                 });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf("\nTable IV: compilation times (seconds, average of 5 runs)\n");
+  print_rule();
+  std::printf("%-7s %10s %12s %10s %12s\n", "APP", "ncc", "backend", "total", "ncc share");
+  print_rule();
+  for (const BenchApp& app : evaluation_apps()) {
+    double frontend = 0.0;
+    double backend = 0.0;
+    const int runs = 5;
+    for (int i = 0; i < runs; ++i) {
+      driver::CompileResult result = compile_app(app);
+      if (!result.ok) return 1;
+      frontend += result.frontend_seconds;
+      backend += result.backend_seconds;
+    }
+    frontend /= runs;
+    backend /= runs;
+    std::printf("%-7s %10.4f %12.4f %10.4f %11.1f%%\n", app.label.c_str(), frontend, backend,
+                frontend + backend, 100.0 * frontend / (frontend + backend));
+  }
+  print_rule();
+  std::printf("paper: ncc < %.0f s for every app; the P4 backend dominates total time\n",
+              netcl::apps::paper_reference().ncc_max_seconds);
+  return 0;
+}

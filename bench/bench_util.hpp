@@ -1,0 +1,72 @@
+// Shared helpers for the table/figure reproduction benchmarks.
+//
+// Each bench binary regenerates one table or figure of the paper's
+// evaluation (§VII): it compiles the four applications exactly as the tests
+// do, then prints the same rows/series the paper reports, side by side with
+// the published reference values where those exist.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/handwritten.hpp"
+#include "apps/sources.hpp"
+#include "driver/compiler.hpp"
+
+namespace netcl::bench {
+
+struct BenchApp {
+  std::string label;       // row label (paper naming: AGG, CACHE, PACC, ...)
+  apps::AppSource source;  // program text + defines
+  int device_id = 1;       // which device's code this row measures
+};
+
+/// The paper's evaluation set. P4xos contributes three rows (acceptor,
+/// learner, leader), matching Table III/V.
+inline std::vector<BenchApp> evaluation_apps() {
+  std::vector<BenchApp> result;
+  result.push_back({"AGG", apps::agg_source(), 1});
+  result.push_back({"CACHE", apps::cache_source(), 1});
+  result.push_back({"PACC", apps::paxos_source(), apps::kPaxosAcceptors[0]});
+  result.push_back({"PLRN", apps::paxos_source(), apps::kPaxosLearnerDevice});
+  result.push_back({"PLDR", apps::paxos_source(), apps::kPaxosLeaderDevice});
+  result.push_back({"CALC", apps::calc_source(), 1});
+  return result;
+}
+
+/// Compiles one app for its device (TNA by default). Aborts the bench with
+/// a message on failure — every app is expected to fit.
+inline driver::CompileResult compile_app(const BenchApp& app,
+                                         passes::Target target = passes::Target::Tna,
+                                         bool speculation = true, bool duplication = true,
+                                         bool partitioning = true) {
+  driver::CompileOptions options;
+  options.device_id = app.device_id;
+  options.defines = app.source.defines;
+  options.target = target;
+  options.speculation = speculation;
+  options.duplication = duplication;
+  options.partitioning = partitioning;
+  driver::CompileResult result = driver::compile_netcl(app.source.source, options);
+  if (!result.ok) {
+    std::fprintf(stderr, "FATAL: %s failed to compile:\n%s\n", app.label.c_str(),
+                 result.errors.c_str());
+  }
+  return result;
+}
+
+/// The EMPTY program: just the NetCL runtime + base forwarding program.
+inline driver::CompileResult compile_empty() {
+  driver::CompileOptions options;
+  options.device_id = 1;
+  return driver::compile_netcl("_kernel(1) void noop(unsigned x) { return ncl::pass(); }",
+                               options);
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace netcl::bench

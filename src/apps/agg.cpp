@@ -1,0 +1,186 @@
+#include "apps/agg.hpp"
+
+#include "apps/sources.hpp"
+#include "runtime/host.hpp"
+
+namespace netcl::apps {
+
+using runtime::HostRuntime;
+using runtime::Message;
+using sim::ArgValues;
+
+namespace {
+
+struct WorkerState {
+  std::unique_ptr<HostRuntime> runtime;
+  int completed = 0;
+  std::vector<bool> done;                 // per chunk
+  std::vector<int> slot_chunk;            // slot -> in-flight chunk
+};
+
+struct Harness {
+  AggConfig config;
+  int stride = 1;  // active slots; chunk c and c+stride share a slot
+  std::vector<WorkerState> workers;
+  bool value_mismatch = false;
+  std::uint64_t retransmissions = 0;
+  double done_time_ns = 0.0;
+  int workers_finished = 0;
+
+  [[nodiscard]] std::uint64_t expected_element(int chunk, int i) const {
+    // Sum over workers w of (chunk * 1000 + i + w + 1).
+    const auto w = static_cast<std::uint64_t>(config.num_workers);
+    return (static_cast<std::uint64_t>(chunk) * 1000 + static_cast<std::uint64_t>(i)) * w +
+           w * (w + 1) / 2;
+  }
+  [[nodiscard]] std::uint64_t expected_exp(int chunk) const {
+    std::uint64_t max_exp = 0;
+    for (int w = 0; w < config.num_workers; ++w) {
+      max_exp = std::max(max_exp, static_cast<std::uint64_t>((w + chunk) & 0xF));
+    }
+    return max_exp;
+  }
+};
+
+ArgValues contribution(const Harness& harness, const KernelSpec& spec, int worker, int chunk) {
+  const AggConfig& config = harness.config;
+  const int slot = chunk % harness.stride;
+  const int ver = (chunk / harness.stride) & 1;
+  ArgValues args = sim::make_args(spec);
+  args[0][0] = static_cast<std::uint64_t>(ver);
+  args[1][0] = static_cast<std::uint64_t>(slot);                            // bmp_idx
+  args[2][0] = static_cast<std::uint64_t>(ver * config.num_slots + slot);   // agg_idx
+  args[3][0] = 1ULL << worker;                                              // mask
+  args[4][0] = static_cast<std::uint64_t>((worker + chunk) & 0xF);          // exp
+  for (int i = 0; i < config.slot_size; ++i) {
+    args[5][static_cast<std::size_t>(i)] =
+        static_cast<std::uint64_t>(chunk) * 1000 + static_cast<std::uint64_t>(i) +
+        static_cast<std::uint64_t>(worker) + 1;
+  }
+  return args;
+}
+
+void send_chunk(Harness& harness, const KernelSpec& spec, int worker, int chunk,
+                bool is_retransmission) {
+  WorkerState& state = harness.workers[static_cast<std::size_t>(worker)];
+  const int slot = chunk % harness.stride;
+  state.slot_chunk[static_cast<std::size_t>(slot)] = chunk;
+  if (is_retransmission) ++harness.retransmissions;
+  state.runtime->send(Message(static_cast<std::uint16_t>(worker + 1), 0, 1, 1),
+                      contribution(harness, spec, worker, chunk));
+  // Arm the retransmission timer.
+  state.runtime->fabric().schedule(
+      harness.config.retransmit_ns, [&harness, &spec, worker, chunk](sim::Fabric&) {
+        WorkerState& s = harness.workers[static_cast<std::size_t>(worker)];
+        if (!s.done[static_cast<std::size_t>(chunk)]) {
+          send_chunk(harness, spec, worker, chunk, /*is_retransmission=*/true);
+        }
+      });
+}
+
+}  // namespace
+
+AggResult run_agg(const AggConfig& config) {
+  AggResult result;
+  AppSource app = agg_source(config.num_workers, config.num_slots, config.slot_size);
+
+  driver::CompileOptions options;
+  options.device_id = 1;
+  options.defines = app.defines;
+  driver::CompileResult compiled = driver::compile_netcl(app.source, options);
+  if (!compiled.ok) {
+    result.error = compiled.errors;
+    return result;
+  }
+  const KernelSpec spec = compiled.specs.at(1);
+  result.stages_used = compiled.allocation.stages_used;
+
+  sim::Fabric fabric(config.seed);
+  if (config.stages_override > 0) {
+    // Model a different (e.g. handwritten) program's stage count: same
+    // behavior, different pipeline latency.
+    compiled.allocation.stages_used = config.stages_override;
+  }
+  fabric.add_device(driver::make_device(std::move(compiled), 1));
+
+  Harness harness;
+  harness.config = config;
+  harness.workers.resize(static_cast<std::size_t>(config.num_workers));
+
+  sim::LinkConfig link;
+  link.gbps = config.link_gbps;
+  link.latency_ns = config.link_latency_ns;
+  link.loss_probability = config.loss;
+
+  std::vector<sim::NodeRef> group;
+  for (int w = 0; w < config.num_workers; ++w) {
+    WorkerState& state = harness.workers[static_cast<std::size_t>(w)];
+    state.runtime = std::make_unique<HostRuntime>(fabric, static_cast<std::uint16_t>(w + 1));
+    state.runtime->register_spec(1, spec);
+    state.done.assign(static_cast<std::size_t>(config.chunks), false);
+    state.slot_chunk.assign(static_cast<std::size_t>(config.num_slots), -1);
+    fabric.connect(sim::host_ref(static_cast<std::uint16_t>(w + 1)), sim::device_ref(1), link);
+    group.push_back(sim::host_ref(static_cast<std::uint16_t>(w + 1)));
+  }
+  fabric.set_multicast_group(1, kAggMulticastGroup, group);
+
+  for (int w = 0; w < config.num_workers; ++w) {
+    const int worker = w;
+    harness.workers[static_cast<std::size_t>(w)].runtime->on_receive(
+        [&harness, &spec, worker](const Message&, ArgValues& args) {
+          Harness& h = harness;
+          WorkerState& state = h.workers[static_cast<std::size_t>(worker)];
+          const int slot = static_cast<int>(args[1][0]);
+          const int chunk = state.slot_chunk[static_cast<std::size_t>(slot)];
+          if (chunk < 0 || state.done[static_cast<std::size_t>(chunk)]) return;
+          // Validate the aggregate; premature results (a Figure 7 hazard
+          // under early retransmission) are ignored, not completions.
+          for (int i = 0; i < h.config.slot_size; ++i) {
+            if (args[5][static_cast<std::size_t>(i)] !=
+                (h.expected_element(chunk, i) & 0xFFFFFFFF)) {
+              return;
+            }
+          }
+          if (args[4][0] != h.expected_exp(chunk)) h.value_mismatch = true;
+          state.done[static_cast<std::size_t>(chunk)] = true;
+          ++state.completed;
+          if (state.completed == h.config.chunks) {
+            ++h.workers_finished;
+            if (h.workers_finished == h.config.num_workers) {
+              h.done_time_ns = state.runtime->fabric().now();
+            }
+          }
+          // Per-slot pipelining (SwitchML's alternating-bit rule): the next
+          // chunk on this slot may go out only now that this one finished.
+          const int next = chunk + h.stride;
+          if (next < h.config.chunks) {
+            send_chunk(h, spec, worker, next, false);
+          }
+        });
+  }
+
+  // Prime the windows: one in-flight chunk per active slot. Chunk c and
+  // c + stride share a slot with alternating versions, so every chunk is
+  // eventually sent through the per-slot chains.
+  harness.stride = std::min({config.window, config.chunks, config.num_slots});
+  for (int w = 0; w < config.num_workers; ++w) {
+    for (int c = 0; c < harness.stride; ++c) {
+      send_chunk(harness, spec, w, c, false);
+    }
+  }
+
+  fabric.run(60e9);  // 60 simulated seconds hard stop
+
+  result.ok = true;
+  result.correct = !harness.value_mismatch && harness.workers_finished == config.num_workers;
+  result.retransmissions = harness.retransmissions;
+  result.packets_lost = fabric.packets_dropped_loss;
+  result.sim_seconds = harness.done_time_ns * 1e-9;
+  if (result.sim_seconds > 0) {
+    result.ate_per_sec_per_worker =
+        static_cast<double>(config.chunks) * config.slot_size / result.sim_seconds;
+  }
+  return result;
+}
+
+}  // namespace netcl::apps

@@ -1,0 +1,49 @@
+// AGG: the SwitchML-style in-network AllReduce workload (paper §VII and
+// Fig. 14 left).
+//
+// N workers stream slots of SLOT_SIZE 32-bit values to a top-of-rack
+// switch running the AGG kernel. The switch aggregates; the last
+// contribution triggers a multicast of the result to all workers.
+// Reliability follows SwitchML: two slot versions (alternating-bit) and
+// retransmission timers; a retransmitted contribution for a completed slot
+// is answered from the kept result (kernel line `cnt == 0 -> reflect`).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "driver/compiler.hpp"
+
+namespace netcl::apps {
+
+struct AggConfig {
+  int num_workers = 2;
+  int num_slots = 64;    // per version
+  int slot_size = 32;    // values per packet (the paper's current limit)
+  int chunks = 256;      // slots each worker contributes over the run
+  int window = 8;        // outstanding slots per worker
+  double loss = 0.0;     // per-link loss probability
+  double retransmit_ns = 200000.0;
+  double link_gbps = 100.0;
+  double link_latency_ns = 500.0;
+  /// Override the device pipeline stage count (to model the handwritten
+  /// P4 program's latency); 0 = use the compiler's allocation.
+  int stages_override = 0;
+  std::uint64_t seed = 1;
+};
+
+struct AggResult {
+  bool ok = false;
+  std::string error;
+  bool correct = false;        // every worker saw every correct aggregate
+  double sim_seconds = 0.0;
+  double ate_per_sec_per_worker = 0.0;  // aggregated tensor elements /s/worker
+  std::uint64_t retransmissions = 0;
+  std::uint64_t packets_lost = 0;
+  int stages_used = 0;
+};
+
+/// Compiles the AGG kernel and runs the workload on the simulated fabric.
+[[nodiscard]] AggResult run_agg(const AggConfig& config);
+
+}  // namespace netcl::apps

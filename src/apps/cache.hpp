@@ -1,0 +1,46 @@
+// CACHE: the NetCache-style in-network KV cache workload (paper §VII and
+// Fig. 14 right).
+//
+// One client queries a KVS server through a switch running the CACHE
+// kernel. The storage controller (host side) populates the cache via the
+// managed-memory control plane. Response time is measured per query; the
+// hit path is answered by the switch (reflect), the miss path pays the
+// extra round trip to the server plus server-side processing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "driver/compiler.hpp"
+
+namespace netcl::apps {
+
+struct CacheConfig {
+  int capacity = 128;     // cache lines
+  int val_words = 16;     // 4-byte words per line
+  int cached_keys = 64;   // keys the controller inserts (<= capacity)
+  int total_keys = 256;   // key universe the client samples
+  int queries = 512;
+  double link_gbps = 100.0;
+  double link_latency_ns = 2000.0;  // host <-> switch
+  double server_think_ns = 8000.0;  // KVS server per-request processing
+  std::uint32_t hot_threshold = 128;
+  int stages_override = 0;  // model another program's latency
+  std::uint64_t seed = 99;
+};
+
+struct CacheResult {
+  bool ok = false;
+  std::string error;
+  double mean_response_ns = 0.0;
+  double mean_hit_response_ns = 0.0;
+  double mean_miss_response_ns = 0.0;
+  double hit_rate = 0.0;
+  std::uint64_t device_hits = 0;  // the kernel's Hits counter
+  int hot_reports = 0;            // GETs marked hot by the cms+bloom path
+  int stages_used = 0;
+};
+
+[[nodiscard]] CacheResult run_cache(const CacheConfig& config);
+
+}  // namespace netcl::apps

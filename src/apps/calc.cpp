@@ -1,0 +1,91 @@
+#include "apps/calc.hpp"
+
+#include "apps/sources.hpp"
+#include "runtime/host.hpp"
+
+namespace netcl::apps {
+
+using runtime::HostRuntime;
+using runtime::Message;
+using sim::ArgValues;
+
+CalcResult run_calc(const CalcConfig& config) {
+  CalcResult result;
+  AppSource app = calc_source();
+
+  driver::CompileOptions options;
+  options.device_id = 1;
+  options.defines = app.defines;
+  driver::CompileResult compiled = driver::compile_netcl(app.source, options);
+  if (!compiled.ok) {
+    result.error = compiled.errors;
+    return result;
+  }
+  const KernelSpec spec = compiled.specs.at(1);
+  result.stages_used = compiled.allocation.stages_used;
+
+  sim::Fabric fabric(config.seed);
+  HostRuntime client(fabric, 1);
+  client.register_spec(1, spec);
+  fabric.add_device(driver::make_device(std::move(compiled), 1));
+  fabric.connect(sim::host_ref(1), sim::device_ref(1));
+
+  struct Query {
+    std::uint64_t op;
+    std::uint64_t a;
+    std::uint64_t b;
+  };
+  SplitMix64 rng(config.seed);
+  std::vector<Query> queries;
+  for (int i = 0; i < config.operations; ++i) {
+    // One in eight queries uses an unknown opcode, which the kernel drops.
+    const std::uint64_t op = rng.next_below(8) == 0 ? 99 : 1 + rng.next_below(5);
+    queries.push_back({op, rng.next() & 0xFFFFFFFF, rng.next() & 0xFFFFFFFF});
+  }
+
+  auto expected = [](const Query& q) -> std::uint64_t {
+    switch (q.op) {
+      case kCalcAdd: return (q.a + q.b) & 0xFFFFFFFF;
+      case kCalcSub: return (q.a - q.b) & 0xFFFFFFFF;
+      case kCalcAnd: return q.a & q.b;
+      case kCalcOr: return q.a | q.b;
+      case kCalcXor: return q.a ^ q.b;
+      default: return 0;
+    }
+  };
+
+  std::size_t cursor = 0;
+  auto send_current = [&]() {
+    while (cursor < queries.size() && queries[cursor].op == 99) {
+      // Unknown ops would be dropped; send them anyway to exercise the
+      // drop path, but do not wait on them.
+      ArgValues args = sim::make_args(spec);
+      args[0][0] = queries[cursor].op;
+      args[1][0] = queries[cursor].a;
+      args[2][0] = queries[cursor].b;
+      client.send(Message(1, 2, 1, 1), args);
+      ++result.dropped_unknown;
+      ++cursor;
+    }
+    if (cursor >= queries.size()) return;
+    ArgValues args = sim::make_args(spec);
+    args[0][0] = queries[cursor].op;
+    args[1][0] = queries[cursor].a;
+    args[2][0] = queries[cursor].b;
+    client.send(Message(1, 2, 1, 1), args);
+  };
+
+  client.on_receive([&](const Message&, ArgValues& args) {
+    ++result.answered;
+    if (args[3][0] == expected(queries[cursor])) ++result.correct;
+    ++cursor;
+    send_current();
+  });
+
+  send_current();
+  fabric.run(10e9);
+  result.ok = result.error.empty();
+  return result;
+}
+
+}  // namespace netcl::apps

@@ -1,0 +1,27 @@
+// CALC: the P4-tutorial in-network calculator (paper §VII).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "driver/compiler.hpp"
+
+namespace netcl::apps {
+
+struct CalcConfig {
+  int operations = 128;
+  std::uint64_t seed = 3;
+};
+
+struct CalcResult {
+  bool ok = false;
+  std::string error;
+  int answered = 0;
+  int correct = 0;
+  int dropped_unknown = 0;  // unknown opcodes are dropped by the kernel
+  int stages_used = 0;
+};
+
+[[nodiscard]] CalcResult run_calc(const CalcConfig& config);
+
+}  // namespace netcl::apps

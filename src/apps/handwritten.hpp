@@ -1,0 +1,88 @@
+// Handwritten-P4 baselines for the paper's comparisons.
+//
+// The paper compares NetCL-generated P4 against handwritten P4_16 the
+// authors wrote themselves (plus the published P4* code). We cannot ship
+// the authors' programs, so this module provides two things:
+//
+//  1. `paper_reference()`: the published numbers from Tables III-VI,
+//     embedded as the comparison target for EXPERIMENTS.md (paper-vs-
+//     measured reporting).
+//
+//  2. `handwritten_baseline()`: a *derived* handwritten profile built from
+//     our own compiled result by applying the paper's documented
+//     qualitative deltas mechanically:
+//       - CACHE: a human implements the count-min-sketch min-chain with a
+//         single MAT, saving the 3 stages the generated sub+MSB chain
+//         needs (§VII "Resources");
+//       - AGG: handwritten SwitchML evaluates the cond_add/cond_dec
+//         conditions with ternary MATs, consuming TCAM that the generated
+//         code avoids by folding the condition into the SALU (§VII);
+//       - PHV: handwritten code works directly over L4 and generates no
+//         structurization locals, so it saves the NetCL shim header plus
+//         the compiler temporaries (§VII, Table VI).
+//     The result is the baseline row of Tables V/VI and Figs. 13/14.
+#pragma once
+
+#include <string>
+
+#include "driver/compiler.hpp"
+
+namespace netcl::apps {
+
+/// One row of the paper's Table III (lines of code).
+struct PaperLocRow {
+  const char* app;
+  int netcl;
+  int p4_star;  // published code
+  int p4;       // authors' P4_16 rewrite
+};
+
+/// Published reference values (paper §VII).
+struct PaperReference {
+  // Table III.
+  PaperLocRow loc[7] = {
+      {"AGG", 38, 1139, 686},  {"CACHE", 91, 692, 723}, {"P4XOS", 74, 381, 901},
+      {"PACC", 38, 230, 573},  {"PLRN", 33, 241, 436},  {"PLDR", 26, 214, 276},
+      {"CALC", 25, 139, 234},
+  };
+  double loc_geomean_reduction_p4_star = 8.14;
+  double loc_geomean_reduction_p4 = 11.93;
+
+  // Table IV (seconds): ncc always < 1 s; bf-p4c dominates (> 98%).
+  double ncc_max_seconds = 1.0;
+  double ncc_fraction_max = 0.02;
+
+  // Table V/Fig 13 qualitative anchors.
+  int cache_extra_stages_generated = 3;  // generated CACHE needs +3 stages
+  bool agg_generated_uses_tcam = false;  // handwritten does, generated not
+  double latency_gap_max_pct = 9.0;      // NetCL within 9% of handwritten
+  double latency_max_ns = 1000.0;        // all programs < 1 us
+
+  // Table VI anchors: worst-case PHV within ~2% of handwritten except CALC
+  // (+12%, base-program dominated).
+  double phv_gap_typical_pct = 2.0;
+  double phv_gap_calc_pct = 12.5;
+
+  // Fig 14 anchors: all-hit ~9.1/9.4 us; all-miss ~26/27 us.
+  double cache_hit_us = 9.4;
+  double cache_miss_us = 27.0;
+};
+
+[[nodiscard]] const PaperReference& paper_reference();
+
+/// The derived handwritten-P4 baseline profile for one app.
+struct HandwrittenModel {
+  int stages = 0;
+  p4::StageUsage total;
+  p4::StageUsage worst;
+  double worst_phv_pct = 0.0;
+  int local_var_bits = 0;
+  double latency_ns = 0.0;
+};
+
+/// Derives a handwritten profile from a compiled NetCL result.
+/// `app` is one of "AGG", "CACHE", "PACC", "PLRN", "PLDR", "CALC".
+[[nodiscard]] HandwrittenModel handwritten_baseline(const std::string& app,
+                                                    const driver::CompileResult& compiled);
+
+}  // namespace netcl::apps

@@ -1,0 +1,42 @@
+// PAXOS: the P4xos consensus workload (paper §VII, Fig. 11).
+//
+// A proposer host submits requests to the leader switch, which sequences
+// them (Instance counter) and multicasts phase-2A to three acceptor
+// switches; each acceptor votes (VRound promise check) and forwards
+// phase-2B to the learner switch, which counts votes and delivers to the
+// application host on majority — exactly once per instance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "driver/compiler.hpp"
+
+namespace netcl::apps {
+
+struct PaxosConfig {
+  int requests = 64;
+  int num_acceptors = 3;  // fixed topology uses up to 3
+  int majority = 2;
+  int val_words = 8;
+  double link_latency_ns = 1000.0;
+  double link_gbps = 100.0;
+  std::uint64_t seed = 5;
+};
+
+struct PaxosResult {
+  bool ok = false;
+  std::string error;
+  int delivered = 0;          // instances delivered to the application
+  int duplicate_deliveries = 0;
+  bool values_intact = false; // delivered values match proposals
+  bool instances_sequential = false;
+  double sim_seconds = 0.0;
+  int leader_stages = 0;
+  int acceptor_stages = 0;
+  int learner_stages = 0;
+};
+
+[[nodiscard]] PaxosResult run_paxos(const PaxosConfig& config);
+
+}  // namespace netcl::apps

@@ -1,0 +1,225 @@
+#include "apps/sources.hpp"
+
+namespace netcl::apps {
+
+AppSource agg_source(int num_workers, int num_slots, int slot_size) {
+  AppSource app;
+  app.name = "AGG";
+  app.defines = {{"NUM_SLOTS", static_cast<std::uint64_t>(num_slots)},
+                 {"SLOT_SIZE", static_cast<std::uint64_t>(slot_size)},
+                 {"NUM_WORKERS", static_cast<std::uint64_t>(num_workers)}};
+  // Figure 7 of the paper, plus the SwitchML max-exponent step: each packet
+  // carries the block's exponent; the switch keeps the running maximum and
+  // returns it with the aggregated values.
+  app.source = R"(
+_net_ uint16_t Bitmap[2][NUM_SLOTS];
+_net_ uint32_t Agg[SLOT_SIZE][NUM_SLOTS * 2];
+_net_ uint8_t Count[NUM_SLOTS * 2];
+_net_ uint8_t MaxExp[NUM_SLOTS * 2];
+
+_kernel(1) _at(1) void allreduce(uint8_t ver, uint16_t bmp_idx,
+                                 uint16_t agg_idx, uint16_t mask,
+                                 uint8_t &exp,
+                                 uint32_t _spec(SLOT_SIZE) *v) {
+  uint16_t bitmap;
+  if (ver == 0) {
+    bitmap = ncl::atomic_or(&Bitmap[0][bmp_idx], mask);
+    ncl::atomic_and(&Bitmap[1][bmp_idx], ~mask);
+  } else {
+    ncl::atomic_and(&Bitmap[0][bmp_idx], ~mask);
+    bitmap = ncl::atomic_or(&Bitmap[1][bmp_idx], mask);
+  }
+
+  if (bitmap == 0) {                         // slot starts now
+    for (auto i = 0; i < SLOT_SIZE; ++i)
+      Agg[i][agg_idx] = v[i];
+    MaxExp[agg_idx] = exp;
+    Count[agg_idx] = NUM_WORKERS - 1;
+  } else {
+    auto seen = bitmap & mask;
+    for (auto i = 0; i < SLOT_SIZE; ++i)
+      v[i] = ncl::atomic_cond_add_new(Agg[i][agg_idx], !seen, v[i]);
+    exp = ncl::atomic_cond_max_new(&MaxExp[agg_idx], !seen, exp);
+
+    auto cnt = ncl::atomic_cond_dec(&Count[agg_idx], !seen);
+    if (cnt == 0)                            // slot finished earlier
+      return ncl::reflect();
+    if (cnt == 1)                            // slot finished
+      return ncl::multicast(42);
+  }
+  return ncl::drop();
+}
+)";
+  return app;
+}
+
+AppSource cache_source(int capacity, int val_words, int cms_cols) {
+  AppSource app;
+  app.name = "CACHE";
+  app.defines = {{"CACHE_CAPACITY", static_cast<std::uint64_t>(capacity)},
+                 {"VAL_WORDS", static_cast<std::uint64_t>(val_words)},
+                 {"CMS_COLS", static_cast<std::uint64_t>(cms_cols)},
+                 {"GET_REQ", 1},
+                 {"PUT_REQ", 2},
+                 {"DEL_REQ", 3}};
+  // NetCache: two-step cacheline access (key -> index MAT, index -> value
+  // registers), word-mask line sharing, validity bit for write-back,
+  // count-min sketch + bloom filter hot-key reporting via an extra header
+  // field. The cache contents (KeyIndex/WordMask/Values/Valid) are
+  // _managed_: the storage server's controller populates them.
+  app.source = R"(
+_managed_ _lookup_ ncl::kv<uint64_t, uint16_t> KeyIndex[CACHE_CAPACITY];
+_managed_ _lookup_ ncl::kv<uint64_t, uint32_t> WordMask[CACHE_CAPACITY];
+_managed_ uint32_t Values[VAL_WORDS][CACHE_CAPACITY];
+_managed_ uint8_t Valid[CACHE_CAPACITY];
+_net_ uint32_t Hits;
+_managed_ uint32_t cms[3][CMS_COLS];
+_net_ uint8_t Bloom[3][CMS_COLS];
+_managed_ uint32_t thresh;
+
+_net_ void hot_check(uint64_t k, char &hot) {
+  unsigned c[3];
+  c[0] = ncl::atomic_sadd_new(&cms[0][ncl::xor16(k) & (CMS_COLS - 1)], 1);
+  c[1] = ncl::atomic_sadd_new(&cms[1][ncl::crc32<16>(k) & (CMS_COLS - 1)], 1);
+  c[2] = ncl::atomic_sadd_new(&cms[2][ncl::crc16(k) & (CMS_COLS - 1)], 1);
+  for (auto i = 1; i < 3; ++i)
+    if (c[i] < c[0]) c[0] = c[i];
+  if (c[0] > thresh) {
+    uint8_t b0 = ncl::atomic_or(&Bloom[0][ncl::xor16(k) & (CMS_COLS - 1)], 1);
+    uint8_t b1 = ncl::atomic_or(&Bloom[1][ncl::crc32<16>(k) & (CMS_COLS - 1)], 1);
+    uint8_t b2 = ncl::atomic_or(&Bloom[2][ncl::crc16(k) & (CMS_COLS - 1)], 1);
+    hot = (b0 != 0 && b1 != 0 && b2 != 0) ? 0 : 1;   // report each hot key once
+  }
+}
+
+_kernel(1) _at(1) void query(char op, uint64_t k,
+                             uint32_t _spec(VAL_WORDS) *v,
+                             char &hit, char &hot) {
+  uint16_t idx = 0;
+  uint32_t mask = 0;
+  char found = ncl::lookup(KeyIndex, k, idx);
+  if (op == GET_REQ) {
+    if (found) {
+      if (Valid[idx] == 1) {
+        ncl::lookup(WordMask, k, mask);
+        for (auto w = 0; w < VAL_WORDS; ++w)
+          if (ncl::bit_chk(mask, w))
+            v[w] = Values[w][idx];
+        hit = 1;
+        ncl::atomic_inc(&Hits);
+        return ncl::reflect();
+      }
+    }
+    hot_check(k, hot);
+    return ncl::pass();
+  }
+  if (op == PUT_REQ) {
+    if (found) {                           // write-back: update the line
+      for (auto w = 0; w < VAL_WORDS; ++w)
+        Values[w][idx] = v[w];
+      Valid[idx] = 1;
+    }
+    return ncl::pass();
+  }
+  if (op == DEL_REQ) {
+    if (found)
+      Valid[idx] = 0;                      // invalidate
+    return ncl::pass();
+  }
+  return ncl::pass();
+}
+)";
+  return app;
+}
+
+AppSource paxos_source(int majority, int val_words) {
+  AppSource app;
+  app.name = "PAXOS";
+  app.defines = {{"MAJORITY", static_cast<std::uint64_t>(majority)},
+                 {"VAL_WORDS", static_cast<std::uint64_t>(val_words)},
+                 {"PAXOS_REQUEST", 2},
+                 {"PAXOS_2A", 3},
+                 {"PAXOS_2B", 4},
+                 {"PAXOS_DELIVER", 5},
+                 {"LEADER", 1},
+                 {"LEARNER", 3}};
+  // Three kernels of one computation at three locations (paper Fig. 11).
+  // The leader sequences requests, multicasts phase-2A to the acceptor
+  // group; acceptors vote (VRound check) and forward 2B to the learner;
+  // the learner counts votes and delivers on majority.
+  app.source = R"(
+_at(LEADER) _net_ uint32_t Instance;
+_at(LEARNER) _net_ uint8_t VoteHistory[65536];
+_at(11,12,13) _net_ uint16_t VRound[65536];
+_at(11,12,13,LEARNER) _net_ uint16_t Round[65536];
+_at(11,12,13,LEARNER) _net_ uint32_t Value[VAL_WORDS][65536];
+
+_at(LEADER) _kernel(1) void leader(uint8_t &type, uint32_t &instance,
+                                   uint16_t round, uint8_t &acpt,
+                                   uint32_t _spec(VAL_WORDS) *v) {
+  if (type == PAXOS_REQUEST) {
+    instance = ncl::atomic_add_new(&Instance, 1);
+    type = PAXOS_2A;
+    return ncl::multicast(10);
+  }
+  return ncl::drop();
+}
+
+_at(11,12,13) _kernel(1) void acceptor(uint8_t &type, uint32_t &instance,
+                                       uint16_t round, uint8_t &acpt,
+                                       uint32_t _spec(VAL_WORDS) *v) {
+  if (type == PAXOS_2A) {
+    uint16_t idx = instance & 65535;
+    uint16_t newround = ncl::atomic_max_new(&VRound[idx], round);
+    if (newround == round) {               // promise not violated: vote
+      Round[idx] = round;
+      for (auto w = 0; w < VAL_WORDS; ++w)
+        Value[w][idx] = v[w];
+      type = PAXOS_2B;
+      acpt = device.id;
+      return ncl::send_to_device(LEARNER);
+    }
+  }
+  return ncl::drop();
+}
+
+_at(LEARNER) _kernel(1) void learner(uint8_t &type, uint32_t &instance,
+                                     uint16_t round, uint8_t &acpt,
+                                     uint32_t _spec(VAL_WORDS) *v) {
+  if (type == PAXOS_2B) {
+    uint16_t idx = instance & 65535;
+    uint8_t votes = ncl::atomic_add_new(&VoteHistory[idx], 1);
+    if (votes == MAJORITY) {               // quorum: deliver exactly once
+      Round[idx] = round;
+      for (auto w = 0; w < VAL_WORDS; ++w)
+        Value[w][idx] = v[w];
+      type = PAXOS_DELIVER;
+      return ncl::pass();
+    }
+    return ncl::drop();
+  }
+  return ncl::drop();
+}
+)";
+  return app;
+}
+
+AppSource calc_source() {
+  AppSource app;
+  app.name = "CALC";
+  app.defines = {{"OP_ADD", 1}, {"OP_SUB", 2}, {"OP_AND", 3}, {"OP_OR", 4}, {"OP_XOR", 5}};
+  app.source = R"(
+_kernel(1) _at(1) void calc(uint8_t op, uint32_t a, uint32_t b,
+                            uint32_t &result) {
+  if (op == OP_ADD) { result = a + b; return ncl::reflect(); }
+  if (op == OP_SUB) { result = a - b; return ncl::reflect(); }
+  if (op == OP_AND) { result = a & b; return ncl::reflect(); }
+  if (op == OP_OR)  { result = a | b; return ncl::reflect(); }
+  if (op == OP_XOR) { result = a ^ b; return ncl::reflect(); }
+  return ncl::drop();
+}
+)";
+  return app;
+}
+
+}  // namespace netcl::apps

@@ -1,0 +1,74 @@
+// NetCL-C device sources for the paper's four evaluation applications
+// (§VII, Table III):
+//
+//   AGG    - SwitchML streaming aggregation (Fig. 7 plus the max-exponent
+//            quantization step the paper adds),
+//   CACHE  - NetCache with GET/PUT/DEL, a validity bit (write-back), the
+//            two-step key->index->cacheline lookup, word-mask cache-line
+//            sharing, hit counting, and the count-min-sketch + bloom-filter
+//            hot-key report path,
+//   PAXOS  - P4xos: leader / acceptor / learner kernels of one computation
+//            placed at three locations (Fig. 11),
+//   CALC   - the P4 tutorial calculator.
+//
+// Sources are parameterized through #define-style macros; the accessors
+// return both the text and the default define set so the driver, tests,
+// benchmarks and examples all compile identical programs.
+#pragma once
+
+#include <string>
+
+#include "frontend/lexer.hpp"
+
+namespace netcl::apps {
+
+struct AppSource {
+  std::string name;
+  std::string source;
+  DefineMap defines;
+  int computation = 1;
+};
+
+/// SwitchML-style streaming AllReduce. Defaults: NUM_SLOTS=64,
+/// SLOT_SIZE=32 (the paper's per-packet element count), NUM_WORKERS=2.
+[[nodiscard]] AppSource agg_source(int num_workers = 2, int num_slots = 64,
+                                   int slot_size = 32);
+
+/// NetCache-style KV cache. Defaults: capacity 128 lines, VAL_WORDS=16
+/// 4-byte words per line (64 B values), CMS_COLS=65536, THRESH handled at
+/// runtime via the _managed_ `thresh`.
+[[nodiscard]] AppSource cache_source(int capacity = 128, int val_words = 16,
+                                     int cms_cols = 65536);
+
+/// P4xos. Device ids: leader 1, acceptors 11/12/13, learner 3;
+/// MAJORITY = 2 of 3 by default. Multicast group 10 (leader -> acceptors)
+/// must be configured on the leader device.
+[[nodiscard]] AppSource paxos_source(int majority = 2, int val_words = 8);
+
+/// The P4 tutorial calculator (ADD/SUB/AND/OR/XOR, reflected to sender).
+[[nodiscard]] AppSource calc_source();
+
+/// Message type / opcode constants shared with host code.
+inline constexpr int kGetReq = 1;
+inline constexpr int kPutReq = 2;
+inline constexpr int kDelReq = 3;
+inline constexpr int kCacheResponse = 9;
+
+inline constexpr int kPaxosRequest = 2;
+inline constexpr int kPaxos2A = 3;
+inline constexpr int kPaxos2B = 4;
+inline constexpr int kPaxosDeliver = 5;
+inline constexpr int kPaxosLeaderDevice = 1;
+inline constexpr int kPaxosLearnerDevice = 3;
+inline constexpr int kPaxosAcceptorGroup = 10;
+inline constexpr int kPaxosAcceptors[3] = {11, 12, 13};
+
+inline constexpr int kCalcAdd = 1;
+inline constexpr int kCalcSub = 2;
+inline constexpr int kCalcAnd = 3;
+inline constexpr int kCalcOr = 4;
+inline constexpr int kCalcXor = 5;
+
+inline constexpr int kAggMulticastGroup = 42;
+
+}  // namespace netcl::apps

@@ -1,0 +1,96 @@
+#include "driver/compiler.hpp"
+
+#include <chrono>
+
+#include "frontend/sema.hpp"
+#include "ir/lower_ast.hpp"
+#include "ir/verifier.hpp"
+
+namespace netcl::driver {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+}  // namespace
+
+CompileResult compile_netcl(const std::string& source, const CompileOptions& options) {
+  CompileResult result;
+  result.netcl_loc = count_loc(source);
+
+  const auto frontend_start = std::chrono::steady_clock::now();
+  SourceBuffer buffer("<netcl>", source);
+  DiagnosticEngine diags;
+  Program program = analyze_netcl(buffer, diags, options.defines);
+  if (diags.has_errors()) {
+    result.errors = diags.render_all(&buffer);
+    return result;
+  }
+
+  // Record every computation's specification for host runtimes.
+  for (const FunctionDecl* kernel : program.kernels()) {
+    result.specs.try_emplace(kernel->computation, make_kernel_spec(*kernel));
+  }
+
+  ir::LowerOptions lower_options;
+  lower_options.device_id = options.device_id;
+  result.module = ir::lower_program(program, lower_options, diags);
+  if (diags.has_errors()) {
+    result.errors = diags.render_all(&buffer);
+    return result;
+  }
+
+  passes::PassOptions pass_options;
+  pass_options.target = options.target;
+  pass_options.speculation = options.speculation;
+  pass_options.hoisting = options.hoisting;
+  pass_options.duplication = options.duplication;
+  pass_options.partitioning = options.partitioning;
+  passes::run_pipeline(*result.module, pass_options, diags);
+  if (diags.has_errors()) {
+    result.errors = diags.render_all(&buffer);
+    return result;
+  }
+  if (auto violations = ir::verify(*result.module); !violations.empty()) {
+    for (const std::string& v : violations) result.errors += v + "\n";
+    return result;
+  }
+  result.frontend_seconds = seconds_since(frontend_start);
+
+  // Backend: P4 text must be emitted before linearization (the linearizer
+  // rewrites phi uses in place).
+  const auto backend_start = std::chrono::steady_clock::now();
+  result.p4 = p4::emit_p4(*result.module,
+                          options.target == passes::Target::Tna ? p4::P4Dialect::Tna
+                                                                : p4::P4Dialect::V1Model);
+  p4::LinearizeOptions linearize_options;
+  linearize_options.speculation = options.speculation;
+  result.kernels = p4::linearize_module(*result.module, linearize_options);
+
+  if (options.target == passes::Target::Tna) {
+    result.allocation =
+        p4::allocate_stages(result.kernels, *result.module, options.limits, options.base_stages);
+    if (!result.allocation.fits) {
+      result.errors = "TNA stage allocation failed: " + result.allocation.error;
+      return result;
+    }
+  } else {
+    // The software switch has no stage budget; report dependence depth.
+    p4::StageLimits unbounded = options.limits;
+    unbounded.stages = 1 << 16;
+    result.allocation =
+        p4::allocate_stages(result.kernels, *result.module, unbounded, options.base_stages);
+  }
+  result.phv = p4::compute_phv(result.kernels);
+  result.backend_seconds = seconds_since(backend_start);
+  result.ok = true;
+  return result;
+}
+
+std::unique_ptr<sim::SwitchDevice> make_device(CompileResult&& result, std::uint16_t device_id) {
+  return std::make_unique<sim::SwitchDevice>(device_id, std::move(result.module),
+                                             std::move(result.kernels),
+                                             result.allocation.stages_used);
+}
+
+}  // namespace netcl::driver

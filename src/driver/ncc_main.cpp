@@ -1,0 +1,121 @@
+// ncc: the NetCL compiler CLI.
+//
+//   ncc [options] <source.ncl>
+//     --device <id>      compile for device id (default 1)
+//     --target tna|v1    backend (default tna)
+//     --no-speculation   disable speculation (§VI-B)
+//     --no-duplication   disable lookup-memory duplication
+//     --no-partitioning  disable access-based memory partitioning
+//     --no-hoisting      disable common-computation hoisting
+//     -D NAME=VALUE      predefine an integer macro
+//     --emit-ir          print the optimized IR
+//     --report           print resource / PHV / latency reports
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "driver/compiler.hpp"
+#include "ir/printer.hpp"
+#include "p4/latency.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cerr << "usage: ncc [--device N] [--target tna|v1] [--no-speculation]\n"
+               "           [--no-duplication] [--no-partitioning] [--no-hoisting]\n"
+               "           [-D NAME=VALUE] [--emit-ir] [--report] <source.ncl>\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  netcl::driver::CompileOptions options;
+  std::string path;
+  bool emit_ir = false;
+  bool report = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--device" && i + 1 < argc) {
+      options.device_id = std::stoi(argv[++i]);
+    } else if (arg == "--target" && i + 1 < argc) {
+      const std::string target = argv[++i];
+      if (target == "tna") {
+        options.target = netcl::passes::Target::Tna;
+      } else if (target == "v1" || target == "v1model") {
+        options.target = netcl::passes::Target::V1Model;
+      } else {
+        std::cerr << "unknown target '" << target << "'\n";
+        return 2;
+      }
+    } else if (arg == "--no-speculation") {
+      options.speculation = false;
+    } else if (arg == "--no-duplication") {
+      options.duplication = false;
+    } else if (arg == "--no-partitioning") {
+      options.partitioning = false;
+    } else if (arg == "--no-hoisting") {
+      options.hoisting = false;
+    } else if (arg == "-D" && i + 1 < argc) {
+      const std::string define = argv[++i];
+      const std::size_t eq = define.find('=');
+      if (eq == std::string::npos) {
+        options.defines[define] = 1;
+      } else {
+        options.defines[define.substr(0, eq)] =
+            std::stoull(define.substr(eq + 1));
+      }
+    } else if (arg == "--emit-ir") {
+      emit_ir = true;
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::cerr << "unknown option '" << arg << "'\n";
+      print_usage();
+      return 2;
+    }
+  }
+
+  if (path.empty()) {
+    print_usage();
+    return 2;
+  }
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "ncc: cannot open '" << path << "'\n";
+    return 1;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+
+  netcl::driver::CompileResult result = netcl::driver::compile_netcl(text.str(), options);
+  if (!result.ok) {
+    std::cerr << result.errors;
+    return 1;
+  }
+
+  if (emit_ir) {
+    std::cout << netcl::ir::print(*result.module);
+  } else if (report) {
+    std::cout << "netcl loc:       " << result.netcl_loc << "\n";
+    std::cout << "generated p4 loc:" << result.p4.loc() << "\n";
+    std::cout << "stages used:     " << result.allocation.stages_used << "\n";
+    std::cout << "pipe total:      " << netcl::p4::to_string(result.allocation.total) << "\n";
+    std::cout << "worst stage:     " << netcl::p4::to_string(result.allocation.worst) << "\n";
+    std::cout << "phv:             " << result.phv.total_bits() << " bits ("
+              << result.phv.occupancy_pct(options.limits) << "%)\n";
+    netcl::p4::LatencyModel latency;
+    std::cout << "latency (worst): " << latency.worst_case_ns(result.allocation.stages_used)
+              << " ns\n";
+    std::cout << "ncc time:        " << result.frontend_seconds + result.backend_seconds
+              << " s\n";
+  } else {
+    std::cout << result.p4.full();
+  }
+  return 0;
+}

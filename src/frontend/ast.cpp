@@ -1,0 +1,119 @@
+#include "frontend/ast.hpp"
+
+namespace netcl {
+
+std::string to_string(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::None: return "none";
+    case ActionKind::Drop: return "drop";
+    case ActionKind::SendToHost: return "send_to_host";
+    case ActionKind::SendToDevice: return "send_to_device";
+    case ActionKind::Multicast: return "multicast";
+    case ActionKind::Reflect: return "reflect";
+    case ActionKind::ReflectLong: return "reflect_long";
+    case ActionKind::Pass: return "pass";
+  }
+  return "?";
+}
+
+std::string to_string(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+    case BinaryOp::Rem: return "%";
+    case BinaryOp::Shl: return "<<";
+    case BinaryOp::Shr: return ">>";
+    case BinaryOp::And: return "&";
+    case BinaryOp::Or: return "|";
+    case BinaryOp::Xor: return "^";
+    case BinaryOp::LogicalAnd: return "&&";
+    case BinaryOp::LogicalOr: return "||";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Ne: return "!=";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Ge: return ">=";
+  }
+  return "?";
+}
+
+std::optional<std::int64_t> evaluate_const_expr(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::IntLit:
+      return static_cast<std::int64_t>(static_cast<const IntLitExpr&>(expr).value);
+    case ExprKind::Unary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      const auto operand = evaluate_const_expr(*unary.operand);
+      if (!operand.has_value()) return std::nullopt;
+      switch (unary.op) {
+        case UnaryOp::Neg: return -*operand;
+        case UnaryOp::BitNot: return ~*operand;
+        case UnaryOp::LogicalNot: return *operand == 0 ? 1 : 0;
+        case UnaryOp::AddrOf: return std::nullopt;
+      }
+      return std::nullopt;
+    }
+    case ExprKind::Binary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      const auto lhs = evaluate_const_expr(*binary.lhs);
+      const auto rhs = evaluate_const_expr(*binary.rhs);
+      if (!lhs.has_value() || !rhs.has_value()) return std::nullopt;
+      switch (binary.op) {
+        case BinaryOp::Add: return *lhs + *rhs;
+        case BinaryOp::Sub: return *lhs - *rhs;
+        case BinaryOp::Mul: return *lhs * *rhs;
+        case BinaryOp::Div: return *rhs == 0 ? std::optional<std::int64_t>() : *lhs / *rhs;
+        case BinaryOp::Rem: return *rhs == 0 ? std::optional<std::int64_t>() : *lhs % *rhs;
+        case BinaryOp::Shl: return *lhs << (*rhs & 63);
+        case BinaryOp::Shr: return *lhs >> (*rhs & 63);
+        case BinaryOp::And: return *lhs & *rhs;
+        case BinaryOp::Or: return *lhs | *rhs;
+        case BinaryOp::Xor: return *lhs ^ *rhs;
+        case BinaryOp::LogicalAnd: return (*lhs != 0 && *rhs != 0) ? 1 : 0;
+        case BinaryOp::LogicalOr: return (*lhs != 0 || *rhs != 0) ? 1 : 0;
+        case BinaryOp::Eq: return *lhs == *rhs ? 1 : 0;
+        case BinaryOp::Ne: return *lhs != *rhs ? 1 : 0;
+        case BinaryOp::Lt: return *lhs < *rhs ? 1 : 0;
+        case BinaryOp::Le: return *lhs <= *rhs ? 1 : 0;
+        case BinaryOp::Gt: return *lhs > *rhs ? 1 : 0;
+        case BinaryOp::Ge: return *lhs >= *rhs ? 1 : 0;
+      }
+      return std::nullopt;
+    }
+    case ExprKind::Ternary: {
+      const auto& ternary = static_cast<const TernaryExpr&>(expr);
+      const auto cond = evaluate_const_expr(*ternary.cond);
+      if (!cond.has_value()) return std::nullopt;
+      return evaluate_const_expr(*cond != 0 ? *ternary.then_expr : *ternary.else_expr);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+const FunctionDecl* Program::find_function(std::string_view name) const {
+  for (const auto& fn : functions) {
+    if (fn->name == name) return fn.get();
+  }
+  return nullptr;
+}
+
+const GlobalDecl* Program::find_global(std::string_view name) const {
+  for (const auto& g : globals) {
+    if (g->name == name) return g.get();
+  }
+  return nullptr;
+}
+
+std::vector<const FunctionDecl*> Program::kernels() const {
+  std::vector<const FunctionDecl*> result;
+  for (const auto& fn : functions) {
+    if (fn->is_kernel) result.push_back(fn.get());
+  }
+  return result;
+}
+
+}  // namespace netcl

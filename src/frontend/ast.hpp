@@ -1,0 +1,351 @@
+// Abstract syntax tree for NetCL-C device code.
+//
+// The tree is produced by the Parser and annotated in place by Sema (types,
+// resolved declarations, device-library call info). Ownership is by
+// std::unique_ptr down the tree; non-owning back references (e.g.
+// VarRefExpr::decl) point into the same Program and never outlive it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frontend/type.hpp"
+#include "support/source.hpp"
+
+namespace netcl {
+
+class Expr;
+class Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+// ---------------------------------------------------------------------------
+// Device library identification
+// ---------------------------------------------------------------------------
+
+enum class AtomicOpKind : std::uint8_t {
+  Add, SAdd, Sub, SSub, Or, And, Xor, Inc, Dec, Min, Max, Cas,
+};
+
+enum class HashKind : std::uint8_t { Crc16, Crc32, Xor16, Identity };
+
+enum class ActionKind : std::uint8_t {
+  None,         // fell off the end: implicit pass()
+  Drop,
+  SendToHost,
+  SendToDevice,
+  Multicast,
+  Reflect,
+  ReflectLong,
+  Pass,
+};
+
+[[nodiscard]] std::string to_string(ActionKind kind);
+
+/// What a call expression resolved to: a user net function or one entry of
+/// the `ncl::` device library.
+enum class DeviceOp : std::uint8_t {
+  None,       // user net function
+  AtomicRMW,  // ncl::atomic_[cond_]op[_new]
+  Lookup,     // ncl::lookup(table, key[, out])
+  Hash,       // ncl::crc16 / crc32 / xor16 / identity, optional <W> slice
+  SAdd,       // saturating add (pure, non-atomic)
+  SSub,
+  BitChk,     // ncl::bit_chk(v, bit) -> bool
+  Rand,       // ncl::rand<uW>()
+  Min,
+  Max,
+  Bswap,
+  Clz,
+  Action,     // declarative forwarding, Table II
+};
+
+struct DeviceCallInfo {
+  DeviceOp op = DeviceOp::None;
+  AtomicOpKind atomic_op = AtomicOpKind::Add;
+  bool atomic_cond = false;  // ncl::atomic_cond_*: op applies only if cond != 0
+  bool atomic_new = false;   // *_new: yields the post-operation memory value
+  HashKind hash = HashKind::Crc16;
+  ActionKind action = ActionKind::None;
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+struct Decl {
+  std::string name;
+  SourceLoc loc;
+};
+
+/// Kernel / net-function parameter. Scalars may be by-value or by-reference;
+/// pointer parameters carry a _spec element count; array parameters keep
+/// their declared extent (no array-to-pointer decay per §V-A).
+struct ParamDecl : Decl {
+  ScalarType type;
+  bool by_ref = false;
+  bool is_pointer = false;
+  int spec = 1;  // element count (array extent, _spec value, or 1)
+};
+
+/// Local variable declared inside a function body. `array_size == 0` means
+/// scalar. `type_is_auto` marks `auto` declarations whose type Sema infers.
+struct LocalDecl : Decl {
+  ScalarType type;
+  int array_size = 0;
+  bool type_is_auto = false;
+  ExprPtr init;  // may be null (value then undefined, per §V-B)
+};
+
+struct FunctionDecl;
+
+/// One entry of a _lookup_ array initializer, normalized by Sema.
+struct LookupEntry {
+  std::uint64_t key_lo = 0;
+  std::uint64_t key_hi = 0;  // == key_lo for exact/set entries
+  std::uint64_t value = 0;
+};
+
+/// Global (device) memory declaration: _net_ and/or _managed_, optionally
+/// _lookup_, with an _at location set (empty = location-less, present on
+/// every device compiled for).
+struct GlobalDecl : Decl {
+  ScalarType elem_type;
+  std::vector<std::int64_t> dims;  // empty = scalar
+  bool is_net = false;
+  bool is_managed = false;
+  bool is_lookup = false;
+  LookupKind lookup_kind = LookupKind::Set;
+  ScalarType key_type;    // for kv/rv elements
+  ScalarType value_type;  // for kv/rv elements
+  std::vector<std::uint16_t> locations;
+  std::vector<LookupEntry> entries;  // lookup initializer, normalized
+
+  [[nodiscard]] std::int64_t element_count() const {
+    std::int64_t n = 1;
+    for (const std::int64_t d : dims) n *= d;
+    return n;
+  }
+};
+
+/// A kernel (_kernel(c)) or net function (_net_).
+struct FunctionDecl : Decl {
+  bool is_kernel = false;
+  int computation = 0;  // for kernels
+  std::vector<std::uint16_t> locations;
+  std::vector<ParamDecl> params;
+  StmtPtr body;  // always a BlockStmt
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  IntLit,
+  VarRef,
+  Index,
+  Unary,
+  Binary,
+  Ternary,
+  Call,
+  Builtin,
+};
+
+enum class UnaryOp : std::uint8_t { Neg, LogicalNot, BitNot, AddrOf };
+
+enum class BinaryOp : std::uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  Shl, Shr,
+  And, Or, Xor,
+  LogicalAnd, LogicalOr,
+  Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+[[nodiscard]] std::string to_string(BinaryOp op);
+
+/// device.id, msg.src, msg.dst, msg.from, msg.to (Table I builtins).
+enum class BuiltinKind : std::uint8_t { DeviceId, MsgSrc, MsgDst, MsgFrom, MsgTo };
+
+class Expr {
+ public:
+  ExprKind kind;
+  SourceLoc loc;
+  ScalarType type;  // set by Sema
+
+  explicit Expr(ExprKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+};
+
+class IntLitExpr final : public Expr {
+ public:
+  std::uint64_t value;
+  IntLitExpr(SourceLoc l, std::uint64_t v) : Expr(ExprKind::IntLit, l), value(v) {}
+};
+
+class VarRefExpr final : public Expr {
+ public:
+  std::string name;
+  // Exactly one of these is set by Sema (or none for unresolved errors):
+  const ParamDecl* param = nullptr;
+  const LocalDecl* local = nullptr;
+  const GlobalDecl* global = nullptr;
+  VarRefExpr(SourceLoc l, std::string n) : Expr(ExprKind::VarRef, l), name(std::move(n)) {}
+};
+
+class IndexExpr final : public Expr {
+ public:
+  ExprPtr base;
+  ExprPtr index;
+  IndexExpr(SourceLoc l, ExprPtr b, ExprPtr i)
+      : Expr(ExprKind::Index, l), base(std::move(b)), index(std::move(i)) {}
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryOp op;
+  ExprPtr operand;
+  UnaryExpr(SourceLoc l, UnaryOp o, ExprPtr e)
+      : Expr(ExprKind::Unary, l), op(o), operand(std::move(e)) {}
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  BinaryExpr(SourceLoc l, BinaryOp o, ExprPtr a, ExprPtr b)
+      : Expr(ExprKind::Binary, l), op(o), lhs(std::move(a)), rhs(std::move(b)) {}
+};
+
+class TernaryExpr final : public Expr {
+ public:
+  ExprPtr cond;
+  ExprPtr then_expr;
+  ExprPtr else_expr;
+  TernaryExpr(SourceLoc l, ExprPtr c, ExprPtr t, ExprPtr e)
+      : Expr(ExprKind::Ternary, l), cond(std::move(c)), then_expr(std::move(t)),
+        else_expr(std::move(e)) {}
+};
+
+class CallExpr final : public Expr {
+ public:
+  std::string callee;            // spelled name, e.g. "ncl::atomic_or"
+  std::vector<ExprPtr> args;
+  int width_arg = 0;             // explicit <W> template argument, 0 if absent
+  DeviceCallInfo device;         // resolved by Sema
+  const FunctionDecl* net_callee = nullptr;  // for user net functions
+  CallExpr(SourceLoc l, std::string name)
+      : Expr(ExprKind::Call, l), callee(std::move(name)) {}
+};
+
+class BuiltinExpr final : public Expr {
+ public:
+  BuiltinKind builtin;
+  BuiltinExpr(SourceLoc l, BuiltinKind b) : Expr(ExprKind::Builtin, l), builtin(b) {}
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  Block,
+  Decl,
+  Expr,
+  Assign,
+  If,
+  For,
+  Return,
+};
+
+class Stmt {
+ public:
+  StmtKind kind;
+  SourceLoc loc;
+  explicit Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+};
+
+class BlockStmt final : public Stmt {
+ public:
+  std::vector<StmtPtr> body;
+  explicit BlockStmt(SourceLoc l) : Stmt(StmtKind::Block, l) {}
+};
+
+/// One declaration statement may introduce several locals
+/// (`unsigned k = 2, v = 0;`).
+class DeclStmt final : public Stmt {
+ public:
+  std::vector<std::unique_ptr<LocalDecl>> decls;
+  explicit DeclStmt(SourceLoc l) : Stmt(StmtKind::Decl, l) {}
+};
+
+class ExprStmt final : public Stmt {
+ public:
+  ExprPtr expr;
+  ExprStmt(SourceLoc l, ExprPtr e) : Stmt(StmtKind::Expr, l), expr(std::move(e)) {}
+};
+
+/// `target op= value`. `op == std::nullopt` encodes plain assignment. The
+/// parser desugars `x++` / `x--` to `x += 1` / `x -= 1`.
+class AssignStmt final : public Stmt {
+ public:
+  ExprPtr target;
+  bool compound = false;
+  BinaryOp op = BinaryOp::Add;  // meaningful only when compound
+  ExprPtr value;
+  AssignStmt(SourceLoc l, ExprPtr t, ExprPtr v)
+      : Stmt(StmtKind::Assign, l), target(std::move(t)), value(std::move(v)) {}
+};
+
+class IfStmt final : public Stmt {
+ public:
+  ExprPtr cond;
+  StmtPtr then_stmt;
+  StmtPtr else_stmt;  // may be null
+  explicit IfStmt(SourceLoc l) : Stmt(StmtKind::If, l) {}
+};
+
+class ForStmt final : public Stmt {
+ public:
+  StmtPtr init;   // DeclStmt or AssignStmt, may be null
+  ExprPtr cond;   // may be null (rejected later: must be unrollable)
+  StmtPtr step;   // AssignStmt, may be null
+  StmtPtr body;
+  explicit ForStmt(SourceLoc l) : Stmt(StmtKind::For, l) {}
+};
+
+class ReturnStmt final : public Stmt {
+ public:
+  ExprPtr value;  // null for bare `return;`
+  explicit ReturnStmt(SourceLoc l) : Stmt(StmtKind::Return, l) {}
+};
+
+// ---------------------------------------------------------------------------
+// Program
+// ---------------------------------------------------------------------------
+
+/// Evaluates a constant integer expression (literals, unary -/~/!, binary
+/// arithmetic). Returns std::nullopt if the expression is not constant.
+/// Used for array extents and by the loop unroller.
+[[nodiscard]] std::optional<std::int64_t> evaluate_const_expr(const Expr& expr);
+
+/// A parsed translation unit: the device-side portion of one NetCL program.
+struct Program {
+  std::vector<std::unique_ptr<GlobalDecl>> globals;
+  std::vector<std::unique_ptr<FunctionDecl>> functions;
+
+  [[nodiscard]] const FunctionDecl* find_function(std::string_view name) const;
+  [[nodiscard]] const GlobalDecl* find_global(std::string_view name) const;
+  [[nodiscard]] std::vector<const FunctionDecl*> kernels() const;
+};
+
+}  // namespace netcl

@@ -1,0 +1,228 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <string>
+
+namespace netcl {
+
+Lexer::Lexer(const SourceBuffer& buffer, DiagnosticEngine& diags, DefineMap defines)
+    : text_(buffer.text()), diags_(diags), defines_(std::move(defines)) {}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> tokens;
+  for (;;) {
+    Token token = next();
+    const bool done = token.is(TokenKind::End);
+    tokens.push_back(std::move(token));
+    if (done) break;
+  }
+  return tokens;
+}
+
+char Lexer::peek(int ahead) const {
+  const std::size_t index = pos_ + static_cast<std::size_t>(ahead);
+  return index < text_.size() ? text_[index] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = text_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (peek() != expected) return false;
+  advance();
+  return true;
+}
+
+void Lexer::skip_whitespace_and_comments() {
+  for (;;) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      const SourceLoc loc = location();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          diags_.error(loc, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::lex_number(SourceLoc loc) {
+  std::string spelling;
+  std::uint64_t value = 0;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    spelling.push_back(advance());
+    spelling.push_back(advance());
+    while (std::isxdigit(static_cast<unsigned char>(peek())) != 0) {
+      const char c = advance();
+      spelling.push_back(c);
+      const int digit = std::isdigit(static_cast<unsigned char>(c)) != 0
+                            ? c - '0'
+                            : std::tolower(static_cast<unsigned char>(c)) - 'a' + 10;
+      value = value * 16 + static_cast<std::uint64_t>(digit);
+    }
+  } else if (peek() == '0' && (peek(1) == 'b' || peek(1) == 'B')) {
+    spelling.push_back(advance());
+    spelling.push_back(advance());
+    while (peek() == '0' || peek() == '1') {
+      const char c = advance();
+      spelling.push_back(c);
+      value = value * 2 + static_cast<std::uint64_t>(c - '0');
+    }
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      const char c = advance();
+      spelling.push_back(c);
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+  }
+  // Swallow integer suffixes (u, U, l, L, combinations).
+  while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L') {
+    spelling.push_back(advance());
+  }
+  return Token{TokenKind::IntLiteral, loc, std::move(spelling), value};
+}
+
+Token Lexer::lex_identifier(SourceLoc loc) {
+  std::string spelling;
+  while (std::isalnum(static_cast<unsigned char>(peek())) != 0 || peek() == '_') {
+    spelling.push_back(advance());
+  }
+  const TokenKind kind = keyword_kind(spelling);
+  if (kind == TokenKind::Identifier) {
+    if (const auto it = defines_.find(spelling); it != defines_.end()) {
+      return Token{TokenKind::IntLiteral, loc, std::move(spelling), it->second};
+    }
+  }
+  return Token{kind, loc, std::move(spelling), 0};
+}
+
+void Lexer::lex_directive(SourceLoc loc) {
+  advance();  // '#'
+  std::string directive;
+  while (std::isalpha(static_cast<unsigned char>(peek())) != 0) directive.push_back(advance());
+  if (directive != "define") {
+    diags_.error(loc, "unsupported preprocessor directive '#" + directive + "'");
+    while (peek() != '\n' && peek() != '\0') advance();
+    return;
+  }
+  while (peek() == ' ' || peek() == '\t') advance();
+  std::string name;
+  while (std::isalnum(static_cast<unsigned char>(peek())) != 0 || peek() == '_') {
+    name.push_back(advance());
+  }
+  while (peek() == ' ' || peek() == '\t') advance();
+  if (name.empty() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+    diags_.error(loc, "#define requires a name and an integer value");
+    while (peek() != '\n' && peek() != '\0') advance();
+    return;
+  }
+  const Token value = lex_number(location());
+  defines_[name] = value.value;
+}
+
+Token Lexer::lex_char_literal(SourceLoc loc) {
+  advance();  // opening quote
+  std::uint64_t value = 0;
+  if (peek() == '\\') {
+    advance();
+    switch (const char esc = advance(); esc) {
+      case 'n': value = '\n'; break;
+      case 't': value = '\t'; break;
+      case '0': value = 0; break;
+      case '\\': value = '\\'; break;
+      case '\'': value = '\''; break;
+      default:
+        diags_.error(loc, "unknown escape sequence in character literal");
+        value = static_cast<std::uint64_t>(esc);
+        break;
+    }
+  } else if (peek() != '\0') {
+    value = static_cast<std::uint64_t>(advance());
+  }
+  if (!match('\'')) diags_.error(loc, "unterminated character literal");
+  return Token{TokenKind::CharLiteral, loc, "", value};
+}
+
+Token Lexer::next() {
+  skip_whitespace_and_comments();
+  const SourceLoc loc = location();
+  const char c = peek();
+  if (c == '\0') return Token{TokenKind::End, loc, "", 0};
+  if (c == '#') {
+    lex_directive(loc);
+    return next();
+  }
+  if (std::isdigit(static_cast<unsigned char>(c)) != 0) return lex_number(loc);
+  if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') return lex_identifier(loc);
+  if (c == '\'') return lex_char_literal(loc);
+
+  advance();
+  auto simple = [&](TokenKind kind) { return Token{kind, loc, "", 0}; };
+  switch (c) {
+    case '(': return simple(TokenKind::LParen);
+    case ')': return simple(TokenKind::RParen);
+    case '{': return simple(TokenKind::LBrace);
+    case '}': return simple(TokenKind::RBrace);
+    case '[': return simple(TokenKind::LBracket);
+    case ']': return simple(TokenKind::RBracket);
+    case ',': return simple(TokenKind::Comma);
+    case ';': return simple(TokenKind::Semicolon);
+    case '?': return simple(TokenKind::Question);
+    case '~': return simple(TokenKind::Tilde);
+    case '.': return simple(TokenKind::Dot);
+    case ':': return simple(match(':') ? TokenKind::ColonColon : TokenKind::Colon);
+    case '+':
+      if (match('+')) return simple(TokenKind::PlusPlus);
+      return simple(match('=') ? TokenKind::PlusEqual : TokenKind::Plus);
+    case '-':
+      if (match('-')) return simple(TokenKind::MinusMinus);
+      if (match('>')) return simple(TokenKind::Arrow);
+      return simple(match('=') ? TokenKind::MinusEqual : TokenKind::Minus);
+    case '*': return simple(match('=') ? TokenKind::StarEqual : TokenKind::Star);
+    case '/': return simple(match('=') ? TokenKind::SlashEqual : TokenKind::Slash);
+    case '%': return simple(match('=') ? TokenKind::PercentEqual : TokenKind::Percent);
+    case '^': return simple(match('=') ? TokenKind::CaretEqual : TokenKind::Caret);
+    case '!': return simple(match('=') ? TokenKind::BangEqual : TokenKind::Bang);
+    case '=': return simple(match('=') ? TokenKind::EqualEqual : TokenKind::Equal);
+    case '&':
+      if (match('&')) return simple(TokenKind::AmpAmp);
+      return simple(match('=') ? TokenKind::AmpEqual : TokenKind::Amp);
+    case '|':
+      if (match('|')) return simple(TokenKind::PipePipe);
+      return simple(match('=') ? TokenKind::PipeEqual : TokenKind::Pipe);
+    case '<':
+      if (match('<')) return simple(match('=') ? TokenKind::LessLessEqual : TokenKind::LessLess);
+      return simple(match('=') ? TokenKind::LessEqual : TokenKind::Less);
+    case '>':
+      if (match('>')) {
+        return simple(match('=') ? TokenKind::GreaterGreaterEqual : TokenKind::GreaterGreater);
+      }
+      return simple(match('=') ? TokenKind::GreaterEqual : TokenKind::Greater);
+    default:
+      diags_.error(loc, std::string("unexpected character '") + c + "'");
+      return next();
+  }
+}
+
+}  // namespace netcl

@@ -1,0 +1,50 @@
+// Hand-written lexer for NetCL-C.
+//
+// Besides plain tokens the lexer understands `#define NAME <int>` object
+// macros (the paper's applications configure themselves with SLOT_SIZE,
+// CMS_HASHES, ... this way) and substitutes defined names with integer
+// literal tokens. Additional definitions may be injected by the driver
+// (-D style).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace netcl {
+
+using DefineMap = std::unordered_map<std::string, std::uint64_t>;
+
+class Lexer {
+ public:
+  Lexer(const SourceBuffer& buffer, DiagnosticEngine& diags, DefineMap defines = {});
+
+  /// Lexes the whole buffer. The returned vector always ends with an End
+  /// token. Lexical errors are reported to the DiagnosticEngine and the
+  /// offending characters skipped.
+  [[nodiscard]] std::vector<Token> lex_all();
+
+ private:
+  [[nodiscard]] Token next();
+  [[nodiscard]] char peek(int ahead = 0) const;
+  char advance();
+  [[nodiscard]] bool match(char expected);
+  void skip_whitespace_and_comments();
+  [[nodiscard]] SourceLoc location() const { return {line_, column_}; }
+
+  Token lex_number(SourceLoc loc);
+  Token lex_identifier(SourceLoc loc);
+  Token lex_char_literal(SourceLoc loc);
+  void lex_directive(SourceLoc loc);
+
+  std::string_view text_;
+  DiagnosticEngine& diags_;
+  DefineMap defines_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+};
+
+}  // namespace netcl

@@ -1,0 +1,917 @@
+#include "frontend/parser.hpp"
+
+#include <utility>
+
+namespace netcl {
+
+Parser::Parser(std::vector<Token> tokens, DiagnosticEngine& diags)
+    : tokens_(std::move(tokens)), diags_(diags) {}
+
+const Token& Parser::peek(int ahead) const {
+  const std::size_t index = pos_ + static_cast<std::size_t>(ahead);
+  return index < tokens_.size() ? tokens_[index] : tokens_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& token = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return token;
+}
+
+bool Parser::accept(TokenKind kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind kind, const char* context) {
+  if (accept(kind)) return true;
+  diags_.error(peek().loc, std::string("expected '") + std::string(to_string(kind)) + "' " +
+                               context + ", found '" +
+                               (peek().kind == TokenKind::Identifier
+                                    ? peek().text
+                                    : std::string(to_string(peek().kind))) +
+                               "'");
+  return false;
+}
+
+void Parser::synchronize_to_decl() {
+  while (!check(TokenKind::End)) {
+    if (accept(TokenKind::Semicolon)) return;
+    if (check(TokenKind::RBrace)) {
+      advance();
+      return;
+    }
+    advance();
+  }
+}
+
+void Parser::synchronize_to_stmt() {
+  while (!check(TokenKind::End) && !check(TokenKind::RBrace)) {
+    if (accept(TokenKind::Semicolon)) return;
+    advance();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Specifiers and types
+// ---------------------------------------------------------------------------
+
+Parser::Specifiers Parser::parse_specifiers() {
+  Specifiers specs;
+  specs.loc = peek().loc;
+  for (;;) {
+    if (accept(TokenKind::KwStatic) || accept(TokenKind::KwConst)) continue;
+    if (check(TokenKind::KwKernel)) {
+      advance();
+      specs.is_kernel = true;
+      expect(TokenKind::LParen, "after _kernel");
+      if (check(TokenKind::IntLiteral)) {
+        specs.computation = static_cast<int>(advance().value);
+      } else {
+        diags_.error(peek().loc, "_kernel requires a computation id");
+      }
+      expect(TokenKind::RParen, "after computation id");
+    } else if (accept(TokenKind::KwNet)) {
+      specs.is_net = true;
+    } else if (accept(TokenKind::KwManaged)) {
+      specs.is_managed = true;
+    } else if (accept(TokenKind::KwLookup)) {
+      specs.is_lookup = true;
+    } else if (check(TokenKind::KwAt)) {
+      advance();
+      specs.has_at = true;
+      expect(TokenKind::LParen, "after _at");
+      do {
+        if (check(TokenKind::IntLiteral)) {
+          specs.locations.push_back(static_cast<std::uint16_t>(advance().value));
+        } else {
+          diags_.error(peek().loc, "_at requires integer device ids");
+          break;
+        }
+      } while (accept(TokenKind::Comma));
+      expect(TokenKind::RParen, "after _at location list");
+    } else {
+      break;
+    }
+  }
+  return specs;
+}
+
+bool Parser::at_type_start() const {
+  switch (peek().kind) {
+    case TokenKind::KwBool:
+    case TokenKind::KwChar:
+    case TokenKind::KwInt:
+    case TokenKind::KwUnsigned:
+    case TokenKind::KwSigned:
+    case TokenKind::KwShort:
+    case TokenKind::KwLong:
+    case TokenKind::KwVoid:
+      return true;
+    case TokenKind::Identifier: {
+      if (peek().text == "ncl" && peek(1).is(TokenKind::ColonColon) &&
+          (peek(2).is_identifier("kv") || peek(2).is_identifier("rv"))) {
+        return true;
+      }
+      ScalarType ignored;
+      // A type alias only starts a declaration when followed by a
+      // declarator, never by an operator or '('.
+      return scalar_type_from_name(peek().text, ignored) &&
+             (peek(1).is(TokenKind::Identifier) || peek(1).is(TokenKind::Star) ||
+              peek(1).is(TokenKind::Amp) || peek(1).is(TokenKind::KwSpec));
+    }
+    default:
+      return false;
+  }
+}
+
+Parser::ParsedType Parser::parse_type() {
+  ParsedType result;
+  const SourceLoc loc = peek().loc;
+  switch (peek().kind) {
+    case TokenKind::KwVoid:
+      advance();
+      result.is_void = true;
+      result.valid = true;
+      return result;
+    case TokenKind::KwBool:
+      advance();
+      result.scalar = kBool;
+      result.valid = true;
+      return result;
+    case TokenKind::KwChar:
+      advance();
+      result.scalar = kU8;
+      result.valid = true;
+      return result;
+    case TokenKind::KwInt:
+      advance();
+      result.scalar = kI32;
+      result.valid = true;
+      return result;
+    case TokenKind::KwShort:
+      advance();
+      accept(TokenKind::KwInt);
+      result.scalar = kI16;
+      result.valid = true;
+      return result;
+    case TokenKind::KwLong:
+      advance();
+      accept(TokenKind::KwLong);
+      accept(TokenKind::KwInt);
+      result.scalar = kI64;
+      result.valid = true;
+      return result;
+    case TokenKind::KwSigned:
+      advance();
+      if (accept(TokenKind::KwChar)) {
+        result.scalar = kI8;
+      } else if (accept(TokenKind::KwShort)) {
+        accept(TokenKind::KwInt);
+        result.scalar = kI16;
+      } else if (accept(TokenKind::KwLong)) {
+        accept(TokenKind::KwLong);
+        accept(TokenKind::KwInt);
+        result.scalar = kI64;
+      } else {
+        accept(TokenKind::KwInt);
+        result.scalar = kI32;
+      }
+      result.valid = true;
+      return result;
+    case TokenKind::KwUnsigned:
+      advance();
+      if (accept(TokenKind::KwChar)) {
+        result.scalar = kU8;
+      } else if (accept(TokenKind::KwShort)) {
+        accept(TokenKind::KwInt);
+        result.scalar = kU16;
+      } else if (accept(TokenKind::KwLong)) {
+        accept(TokenKind::KwLong);
+        accept(TokenKind::KwInt);
+        result.scalar = kU64;
+      } else {
+        accept(TokenKind::KwInt);
+        result.scalar = kU32;
+      }
+      result.valid = true;
+      return result;
+    case TokenKind::Identifier: {
+      if (peek().text == "ncl" && peek(1).is(TokenKind::ColonColon)) {
+        advance();  // ncl
+        advance();  // ::
+        if (!check(TokenKind::Identifier)) {
+          diags_.error(loc, "expected 'kv' or 'rv' after 'ncl::'");
+          return result;
+        }
+        const std::string record = advance().text;
+        if (record != "kv" && record != "rv") {
+          diags_.error(loc, "unknown ncl type 'ncl::" + record + "'");
+          return result;
+        }
+        result.is_lookup_record = true;
+        result.lookup_kind = record == "kv" ? LookupKind::Exact : LookupKind::Range;
+        expect(TokenKind::Less, "after lookup record type");
+        const ParsedType key = parse_type();
+        expect(TokenKind::Comma, "between lookup record type arguments");
+        const ParsedType value = parse_type();
+        expect(TokenKind::Greater, "after lookup record type arguments");
+        if (!key.valid || !value.valid || key.is_lookup_record || value.is_lookup_record ||
+            key.is_void || value.is_void) {
+          diags_.error(loc, "lookup record type arguments must be scalar types");
+          return result;
+        }
+        result.key_type = key.scalar;
+        result.value_type = value.scalar;
+        result.scalar = value.scalar;
+        result.valid = true;
+        return result;
+      }
+      ScalarType scalar;
+      if (scalar_type_from_name(peek().text, scalar)) {
+        advance();
+        result.scalar = scalar;
+        result.valid = true;
+        return result;
+      }
+      diags_.error(loc, "unknown type '" + peek().text + "'");
+      return result;
+    }
+    default:
+      diags_.error(loc, "expected a type");
+      return result;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+Program Parser::parse_program() {
+  Program program;
+  while (!check(TokenKind::End)) {
+    parse_top_level_decl(program);
+  }
+  return program;
+}
+
+void Parser::parse_top_level_decl(Program& program) {
+  const Specifiers specs = parse_specifiers();
+  const SourceLoc loc = peek().loc;
+
+  if (check(TokenKind::KwVoid)) {
+    advance();
+    if (!check(TokenKind::Identifier)) {
+      diags_.error(loc, "expected function name after 'void'");
+      synchronize_to_decl();
+      return;
+    }
+    std::string name = advance().text;
+    auto fn = parse_function(specs, loc, std::move(name));
+    if (fn != nullptr) program.functions.push_back(std::move(fn));
+    return;
+  }
+
+  const ParsedType type = parse_type();
+  if (!type.valid) {
+    synchronize_to_decl();
+    return;
+  }
+  // One or more comma-separated declarators.
+  do {
+    if (!check(TokenKind::Identifier)) {
+      diags_.error(peek().loc, "expected declarator name");
+      synchronize_to_decl();
+      return;
+    }
+    std::string name = advance().text;
+    auto global = parse_global(specs, type, loc, std::move(name));
+    if (global != nullptr) program.globals.push_back(std::move(global));
+  } while (accept(TokenKind::Comma));
+  expect(TokenKind::Semicolon, "after global declaration");
+}
+
+std::unique_ptr<FunctionDecl> Parser::parse_function(const Specifiers& specs, SourceLoc loc,
+                                                     std::string name) {
+  auto fn = std::make_unique<FunctionDecl>();
+  fn->name = std::move(name);
+  fn->loc = loc;
+  fn->is_kernel = specs.is_kernel;
+  fn->computation = specs.computation;
+  fn->locations = specs.locations;
+  if (!specs.is_kernel && !specs.is_net) {
+    diags_.error(loc, "function '" + fn->name + "' must be declared _kernel(c) or _net_");
+  }
+  if (specs.is_kernel && specs.is_net) {
+    diags_.error(loc, "'" + fn->name + "' cannot be both _kernel and _net_");
+  }
+  if (specs.is_lookup || specs.is_managed) {
+    diags_.error(loc, "_lookup_/_managed_ do not apply to functions");
+  }
+
+  expect(TokenKind::LParen, "after function name");
+  if (!check(TokenKind::RParen)) {
+    do {
+      fn->params.push_back(parse_param());
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "after parameter list");
+  fn->body = parse_block();
+  return fn;
+}
+
+ParamDecl Parser::parse_param() {
+  ParamDecl param;
+  param.loc = peek().loc;
+  const ParsedType type = parse_type();
+  if (!type.valid || type.is_void || type.is_lookup_record) {
+    diags_.error(param.loc, "parameters must have fundamental scalar types");
+  }
+  param.type = type.scalar;
+  if (check(TokenKind::KwSpec)) {
+    advance();
+    expect(TokenKind::LParen, "after _spec");
+    const ExprPtr extent = parse_expr();
+    if (const auto value = evaluate_const_expr(*extent); value.has_value()) {
+      param.spec = static_cast<int>(*value);
+    } else {
+      diags_.error(extent->loc, "_spec requires an integer element count");
+    }
+    expect(TokenKind::RParen, "after _spec value");
+  }
+  if (accept(TokenKind::Star)) {
+    param.is_pointer = true;
+  } else if (accept(TokenKind::Amp)) {
+    param.by_ref = true;
+  }
+  if (check(TokenKind::Identifier)) {
+    param.name = advance().text;
+  } else {
+    diags_.error(peek().loc, "expected parameter name");
+  }
+  if (accept(TokenKind::LBracket)) {
+    const ExprPtr extent = parse_expr();
+    if (const auto value = evaluate_const_expr(*extent); value.has_value()) {
+      param.spec = static_cast<int>(*value);
+      param.is_pointer = true;  // arrays behave like sized pointers
+    } else {
+      diags_.error(extent->loc, "array parameters require a constant extent");
+    }
+    expect(TokenKind::RBracket, "after array extent");
+  }
+  return param;
+}
+
+std::unique_ptr<GlobalDecl> Parser::parse_global(const Specifiers& specs, const ParsedType& type,
+                                                 SourceLoc loc, std::string name) {
+  auto global = std::make_unique<GlobalDecl>();
+  global->name = std::move(name);
+  global->loc = loc;
+  global->is_net = specs.is_net;
+  global->is_managed = specs.is_managed;
+  global->is_lookup = specs.is_lookup;
+  global->locations = specs.locations;
+  global->elem_type = type.scalar;
+  if (type.is_lookup_record) {
+    global->lookup_kind = type.lookup_kind;
+    global->key_type = type.key_type;
+    global->value_type = type.value_type;
+  }
+
+  if (specs.is_kernel) {
+    diags_.error(loc, "_kernel does not apply to memory declarations");
+  }
+  if (!specs.is_net && !specs.is_managed) {
+    diags_.error(loc, "global memory '" + global->name + "' must be _net_ or _managed_");
+  }
+  if (type.is_lookup_record && !specs.is_lookup) {
+    diags_.error(loc, "kv/rv element types are only allowed in _lookup_ arrays");
+  }
+  if (type.is_void) {
+    diags_.error(loc, "global memory cannot have void type");
+  }
+
+  bool size_from_init = false;
+  while (accept(TokenKind::LBracket)) {
+    if (check(TokenKind::RBracket)) {
+      size_from_init = true;  // `cache[] = {...}`
+      global->dims.push_back(0);
+    } else {
+      const ExprPtr extent = parse_expr();
+      const auto value = evaluate_const_expr(*extent);
+      if (value.has_value()) {
+        global->dims.push_back(*value);
+      } else {
+        diags_.error(extent->loc, "array extents must be integer constants");
+      }
+    }
+    expect(TokenKind::RBracket, "after array extent");
+  }
+
+  if (global->is_lookup && global->dims.empty()) {
+    diags_.error(loc, "_lookup_ memory must be an array");
+  }
+  if (global->is_lookup && global->dims.size() > 1) {
+    diags_.error(loc, "_lookup_ arrays must be one-dimensional");
+  }
+
+  if (accept(TokenKind::Equal)) {
+    if (!global->is_lookup) {
+      diags_.error(peek().loc, "only _lookup_ arrays may have initializers "
+                               "(global memory is zero-initialized)");
+      // Skip the initializer for recovery.
+      int depth = 0;
+      while (!check(TokenKind::End)) {
+        if (check(TokenKind::LBrace)) ++depth;
+        if (check(TokenKind::RBrace) && --depth == 0) {
+          advance();
+          break;
+        }
+        if (depth == 0 && check(TokenKind::Semicolon)) break;
+        advance();
+      }
+    } else {
+      parse_lookup_initializer(*global);
+    }
+  }
+  if (size_from_init) {
+    global->dims[0] = static_cast<std::int64_t>(global->entries.size());
+    if (global->entries.empty()) {
+      diags_.error(loc, "unsized lookup array requires a non-empty initializer");
+    }
+  }
+  return global;
+}
+
+void Parser::parse_lookup_initializer(GlobalDecl& global) {
+  // Accepts {e0, e1, ...} where each entry is:
+  //   Set:   INT
+  //   Exact: {K, V}
+  //   Range: {{LO, HI}, V}
+  auto parse_int = [&]() -> std::uint64_t {
+    bool negate = accept(TokenKind::Minus);
+    if (!check(TokenKind::IntLiteral) && !check(TokenKind::CharLiteral)) {
+      diags_.error(peek().loc, "lookup initializer entries must be integer constants");
+      return 0;
+    }
+    const std::uint64_t v = advance().value;
+    return negate ? static_cast<std::uint64_t>(-static_cast<std::int64_t>(v)) : v;
+  };
+
+  if (!expect(TokenKind::LBrace, "to begin lookup initializer")) return;
+  if (accept(TokenKind::RBrace)) return;
+  do {
+    LookupEntry entry;
+    switch (global.lookup_kind) {
+      case LookupKind::Set:
+        entry.key_lo = entry.key_hi = parse_int();
+        entry.value = 1;
+        break;
+      case LookupKind::Exact:
+        expect(TokenKind::LBrace, "to begin kv entry");
+        entry.key_lo = entry.key_hi = parse_int();
+        expect(TokenKind::Comma, "between key and value");
+        entry.value = parse_int();
+        expect(TokenKind::RBrace, "after kv entry");
+        break;
+      case LookupKind::Range:
+        expect(TokenKind::LBrace, "to begin rv entry");
+        expect(TokenKind::LBrace, "to begin range");
+        entry.key_lo = parse_int();
+        expect(TokenKind::Comma, "between range bounds");
+        entry.key_hi = parse_int();
+        expect(TokenKind::RBrace, "after range");
+        expect(TokenKind::Comma, "between range and value");
+        entry.value = parse_int();
+        expect(TokenKind::RBrace, "after rv entry");
+        break;
+    }
+    global.entries.push_back(entry);
+  } while (accept(TokenKind::Comma) && !check(TokenKind::RBrace));
+  expect(TokenKind::RBrace, "to end lookup initializer");
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+StmtPtr Parser::parse_block() {
+  const SourceLoc loc = peek().loc;
+  auto block = std::make_unique<BlockStmt>(loc);
+  if (!expect(TokenKind::LBrace, "to begin block")) return block;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::End)) {
+    StmtPtr stmt = parse_statement();
+    if (stmt != nullptr) block->body.push_back(std::move(stmt));
+  }
+  expect(TokenKind::RBrace, "to end block");
+  return block;
+}
+
+StmtPtr Parser::parse_statement() {
+  switch (peek().kind) {
+    case TokenKind::LBrace:
+      return parse_block();
+    case TokenKind::KwIf:
+      return parse_if();
+    case TokenKind::KwFor:
+      return parse_for();
+    case TokenKind::KwReturn:
+      return parse_return();
+    case TokenKind::KwWhile:
+      diags_.error(peek().loc, "while loops are not supported in device code; "
+                               "use a fully unrollable for loop");
+      synchronize_to_stmt();
+      return nullptr;
+    case TokenKind::KwGoto:
+      diags_.error(peek().loc, "goto is not allowed in device code");
+      synchronize_to_stmt();
+      return nullptr;
+    case TokenKind::KwBreak:
+    case TokenKind::KwContinue:
+      diags_.error(peek().loc, "break/continue are not supported in device code");
+      synchronize_to_stmt();
+      return nullptr;
+    case TokenKind::Semicolon:
+      advance();
+      return nullptr;
+    default: {
+      StmtPtr stmt = parse_simple_statement();
+      expect(TokenKind::Semicolon, "after statement");
+      return stmt;
+    }
+  }
+}
+
+StmtPtr Parser::parse_simple_statement() {
+  if (check(TokenKind::KwAuto) || at_type_start()) return parse_decl_statement();
+  return parse_expr_or_assign_statement();
+}
+
+StmtPtr Parser::parse_decl_statement() {
+  const SourceLoc loc = peek().loc;
+  auto stmt = std::make_unique<DeclStmt>(loc);
+
+  bool is_auto = false;
+  ScalarType type = kI32;
+  if (accept(TokenKind::KwAuto)) {
+    is_auto = true;
+  } else {
+    const ParsedType parsed = parse_type();
+    if (!parsed.valid || parsed.is_void || parsed.is_lookup_record) {
+      diags_.error(loc, "local variables must have fundamental scalar types");
+    } else {
+      type = parsed.scalar;
+    }
+  }
+
+  do {
+    auto decl = std::make_unique<LocalDecl>();
+    decl->loc = peek().loc;
+    decl->type = type;
+    decl->type_is_auto = is_auto;
+    if (check(TokenKind::Identifier)) {
+      decl->name = advance().text;
+    } else {
+      diags_.error(peek().loc, "expected local variable name");
+      synchronize_to_stmt();
+      return stmt;
+    }
+    if (accept(TokenKind::LBracket)) {
+      const ExprPtr extent = parse_expr();
+      if (const auto value = evaluate_const_expr(*extent); value.has_value() && *value > 0) {
+        decl->array_size = static_cast<int>(*value);
+      } else {
+        diags_.error(decl->loc, "local array extents must be positive integer constants");
+      }
+      expect(TokenKind::RBracket, "after local array extent");
+      if (accept(TokenKind::LBracket)) {
+        diags_.error(decl->loc, "local arrays must be one-dimensional");
+        (void)parse_expr();
+        expect(TokenKind::RBracket, "after local array extent");
+      }
+    }
+    if (accept(TokenKind::Equal)) decl->init = parse_expr();
+    stmt->decls.push_back(std::move(decl));
+  } while (accept(TokenKind::Comma));
+  return stmt;
+}
+
+StmtPtr Parser::parse_expr_or_assign_statement() {
+  const SourceLoc loc = peek().loc;
+  // Prefix increment/decrement.
+  if (check(TokenKind::PlusPlus) || check(TokenKind::MinusMinus)) {
+    const bool inc = advance().kind == TokenKind::PlusPlus;
+    ExprPtr target = parse_postfix();
+    auto assign = std::make_unique<AssignStmt>(loc, std::move(target),
+                                               std::make_unique<IntLitExpr>(loc, 1));
+    assign->compound = true;
+    assign->op = inc ? BinaryOp::Add : BinaryOp::Sub;
+    return assign;
+  }
+
+  ExprPtr expr = parse_expr();
+  auto make_compound = [&](BinaryOp op) -> StmtPtr {
+    advance();
+    auto assign = std::make_unique<AssignStmt>(loc, std::move(expr), parse_expr());
+    assign->compound = true;
+    assign->op = op;
+    return assign;
+  };
+  switch (peek().kind) {
+    case TokenKind::Equal: {
+      advance();
+      return std::make_unique<AssignStmt>(loc, std::move(expr), parse_expr());
+    }
+    case TokenKind::PlusEqual: return make_compound(BinaryOp::Add);
+    case TokenKind::MinusEqual: return make_compound(BinaryOp::Sub);
+    case TokenKind::StarEqual: return make_compound(BinaryOp::Mul);
+    case TokenKind::SlashEqual: return make_compound(BinaryOp::Div);
+    case TokenKind::PercentEqual: return make_compound(BinaryOp::Rem);
+    case TokenKind::AmpEqual: return make_compound(BinaryOp::And);
+    case TokenKind::PipeEqual: return make_compound(BinaryOp::Or);
+    case TokenKind::CaretEqual: return make_compound(BinaryOp::Xor);
+    case TokenKind::LessLessEqual: return make_compound(BinaryOp::Shl);
+    case TokenKind::GreaterGreaterEqual: return make_compound(BinaryOp::Shr);
+    case TokenKind::PlusPlus:
+    case TokenKind::MinusMinus: {
+      const bool inc = advance().kind == TokenKind::PlusPlus;
+      auto assign = std::make_unique<AssignStmt>(loc, std::move(expr),
+                                                 std::make_unique<IntLitExpr>(loc, 1));
+      assign->compound = true;
+      assign->op = inc ? BinaryOp::Add : BinaryOp::Sub;
+      return assign;
+    }
+    default:
+      return std::make_unique<ExprStmt>(loc, std::move(expr));
+  }
+}
+
+StmtPtr Parser::parse_if() {
+  const SourceLoc loc = peek().loc;
+  advance();  // if
+  auto stmt = std::make_unique<IfStmt>(loc);
+  expect(TokenKind::LParen, "after 'if'");
+  stmt->cond = parse_expr();
+  expect(TokenKind::RParen, "after if condition");
+  stmt->then_stmt = parse_statement();
+  if (accept(TokenKind::KwElse)) stmt->else_stmt = parse_statement();
+  return stmt;
+}
+
+StmtPtr Parser::parse_for() {
+  const SourceLoc loc = peek().loc;
+  advance();  // for
+  auto stmt = std::make_unique<ForStmt>(loc);
+  expect(TokenKind::LParen, "after 'for'");
+  if (!accept(TokenKind::Semicolon)) {
+    stmt->init = parse_simple_statement();
+    expect(TokenKind::Semicolon, "after for-init");
+  }
+  if (!check(TokenKind::Semicolon)) stmt->cond = parse_expr();
+  expect(TokenKind::Semicolon, "after for-condition");
+  if (!check(TokenKind::RParen)) stmt->step = parse_simple_statement();
+  expect(TokenKind::RParen, "after for-step");
+  stmt->body = parse_statement();
+  return stmt;
+}
+
+StmtPtr Parser::parse_return() {
+  const SourceLoc loc = peek().loc;
+  advance();  // return
+  auto stmt = std::make_unique<ReturnStmt>(loc);
+  if (!check(TokenKind::Semicolon)) stmt->value = parse_expr();
+  expect(TokenKind::Semicolon, "after return statement");
+  return stmt;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Binary operator precedence; higher binds tighter. Returns -1 for tokens
+/// that are not binary operators.
+int binary_precedence(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::PipePipe: return 1;
+    case TokenKind::AmpAmp: return 2;
+    case TokenKind::Pipe: return 3;
+    case TokenKind::Caret: return 4;
+    case TokenKind::Amp: return 5;
+    case TokenKind::EqualEqual:
+    case TokenKind::BangEqual: return 6;
+    case TokenKind::Less:
+    case TokenKind::LessEqual:
+    case TokenKind::Greater:
+    case TokenKind::GreaterEqual: return 7;
+    case TokenKind::LessLess:
+    case TokenKind::GreaterGreater: return 8;
+    case TokenKind::Plus:
+    case TokenKind::Minus: return 9;
+    case TokenKind::Star:
+    case TokenKind::Slash:
+    case TokenKind::Percent: return 10;
+    default: return -1;
+  }
+}
+
+BinaryOp binary_op_for(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::PipePipe: return BinaryOp::LogicalOr;
+    case TokenKind::AmpAmp: return BinaryOp::LogicalAnd;
+    case TokenKind::Pipe: return BinaryOp::Or;
+    case TokenKind::Caret: return BinaryOp::Xor;
+    case TokenKind::Amp: return BinaryOp::And;
+    case TokenKind::EqualEqual: return BinaryOp::Eq;
+    case TokenKind::BangEqual: return BinaryOp::Ne;
+    case TokenKind::Less: return BinaryOp::Lt;
+    case TokenKind::LessEqual: return BinaryOp::Le;
+    case TokenKind::Greater: return BinaryOp::Gt;
+    case TokenKind::GreaterEqual: return BinaryOp::Ge;
+    case TokenKind::LessLess: return BinaryOp::Shl;
+    case TokenKind::GreaterGreater: return BinaryOp::Shr;
+    case TokenKind::Plus: return BinaryOp::Add;
+    case TokenKind::Minus: return BinaryOp::Sub;
+    case TokenKind::Star: return BinaryOp::Mul;
+    case TokenKind::Slash: return BinaryOp::Div;
+    case TokenKind::Percent: return BinaryOp::Rem;
+    default: return BinaryOp::Add;
+  }
+}
+
+}  // namespace
+
+ExprPtr Parser::parse_ternary() {
+  ExprPtr cond = parse_binary(1);
+  if (!accept(TokenKind::Question)) return cond;
+  const SourceLoc loc = peek().loc;
+  ExprPtr then_expr = parse_expr();
+  expect(TokenKind::Colon, "in ternary expression");
+  ExprPtr else_expr = parse_expr();
+  return std::make_unique<TernaryExpr>(loc, std::move(cond), std::move(then_expr),
+                                       std::move(else_expr));
+}
+
+ExprPtr Parser::parse_binary(int min_precedence) {
+  ExprPtr lhs = parse_unary();
+  for (;;) {
+    const int precedence = binary_precedence(peek().kind);
+    if (precedence < min_precedence) return lhs;
+    const SourceLoc loc = peek().loc;
+    const BinaryOp op = binary_op_for(advance().kind);
+    ExprPtr rhs = parse_binary(precedence + 1);
+    lhs = std::make_unique<BinaryExpr>(loc, op, std::move(lhs), std::move(rhs));
+  }
+}
+
+ExprPtr Parser::parse_unary() {
+  const SourceLoc loc = peek().loc;
+  switch (peek().kind) {
+    case TokenKind::Minus:
+      advance();
+      return std::make_unique<UnaryExpr>(loc, UnaryOp::Neg, parse_unary());
+    case TokenKind::Bang:
+      advance();
+      return std::make_unique<UnaryExpr>(loc, UnaryOp::LogicalNot, parse_unary());
+    case TokenKind::Tilde:
+      advance();
+      return std::make_unique<UnaryExpr>(loc, UnaryOp::BitNot, parse_unary());
+    case TokenKind::Amp:
+      advance();
+      return std::make_unique<UnaryExpr>(loc, UnaryOp::AddrOf, parse_unary());
+    case TokenKind::Plus:
+      advance();
+      return parse_unary();
+    case TokenKind::Star:
+      diags_.error(loc, "pointer dereference is not allowed in device code");
+      advance();
+      return parse_unary();
+    default:
+      return parse_postfix();
+  }
+}
+
+ExprPtr Parser::parse_postfix() {
+  ExprPtr expr = parse_primary();
+  for (;;) {
+    if (check(TokenKind::LBracket)) {
+      const SourceLoc loc = advance().loc;
+      ExprPtr index = parse_expr();
+      expect(TokenKind::RBracket, "after index expression");
+      expr = std::make_unique<IndexExpr>(loc, std::move(expr), std::move(index));
+    } else {
+      return expr;
+    }
+  }
+}
+
+ExprPtr Parser::parse_call(SourceLoc loc, std::string name) {
+  auto call = std::make_unique<CallExpr>(loc, std::move(name));
+  // Optional <W> width argument (ncl::crc32<16>(k), ncl::rand<u8>()).
+  if (check(TokenKind::Less)) {
+    if (peek(1).is(TokenKind::IntLiteral) && peek(2).is(TokenKind::Greater)) {
+      advance();
+      call->width_arg = static_cast<int>(advance().value);
+      advance();
+    } else if (peek(1).is(TokenKind::Identifier) && peek(2).is(TokenKind::Greater)) {
+      advance();
+      ScalarType t;
+      if (scalar_type_from_name(peek().text, t)) {
+        call->width_arg = t.bits;
+      } else {
+        diags_.error(peek().loc, "expected a width or scalar type argument");
+      }
+      advance();
+      advance();
+    }
+  }
+  expect(TokenKind::LParen, "to begin call arguments");
+  if (!check(TokenKind::RParen)) {
+    do {
+      call->args.push_back(parse_expr());
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to end call arguments");
+  return call;
+}
+
+ExprPtr Parser::parse_primary() {
+  const SourceLoc loc = peek().loc;
+  switch (peek().kind) {
+    case TokenKind::IntLiteral:
+    case TokenKind::CharLiteral:
+      return std::make_unique<IntLitExpr>(loc, advance().value);
+    case TokenKind::KwTrue:
+      advance();
+      return std::make_unique<IntLitExpr>(loc, 1);
+    case TokenKind::KwFalse:
+      advance();
+      return std::make_unique<IntLitExpr>(loc, 0);
+    case TokenKind::LParen: {
+      advance();
+      ExprPtr expr = parse_expr();
+      expect(TokenKind::RParen, "after parenthesized expression");
+      return expr;
+    }
+    case TokenKind::Identifier: {
+      std::string name = advance().text;
+      // Qualified device library names: ncl::foo, ncl::tna::foo, ncl::v1::foo.
+      while (check(TokenKind::ColonColon)) {
+        advance();
+        if (!check(TokenKind::Identifier)) {
+          diags_.error(peek().loc, "expected identifier after '::'");
+          break;
+        }
+        name += "::" + advance().text;
+      }
+      // Builtins: device.id, msg.src/dst/from/to.
+      if (check(TokenKind::Dot)) {
+        if (name == "device" || name == "msg") {
+          advance();
+          if (!check(TokenKind::Identifier)) {
+            diags_.error(peek().loc, "expected member name after '.'");
+            return std::make_unique<IntLitExpr>(loc, 0);
+          }
+          const std::string member = advance().text;
+          if (name == "device" && member == "id") {
+            return std::make_unique<BuiltinExpr>(loc, BuiltinKind::DeviceId);
+          }
+          if (name == "msg") {
+            if (member == "src") return std::make_unique<BuiltinExpr>(loc, BuiltinKind::MsgSrc);
+            if (member == "dst") return std::make_unique<BuiltinExpr>(loc, BuiltinKind::MsgDst);
+            if (member == "from") return std::make_unique<BuiltinExpr>(loc, BuiltinKind::MsgFrom);
+            if (member == "to") return std::make_unique<BuiltinExpr>(loc, BuiltinKind::MsgTo);
+          }
+          diags_.error(loc, "unknown builtin '" + name + "." + member + "'");
+          return std::make_unique<IntLitExpr>(loc, 0);
+        }
+        diags_.error(loc, "member access is only valid on 'device' and 'msg' builtins");
+      }
+      const bool has_template_call =
+          check(TokenKind::Less) &&
+          ((peek(1).is(TokenKind::IntLiteral) && peek(2).is(TokenKind::Greater) &&
+            peek(3).is(TokenKind::LParen)) ||
+           (peek(1).is(TokenKind::Identifier) && peek(2).is(TokenKind::Greater) &&
+            peek(3).is(TokenKind::LParen)));
+      if (check(TokenKind::LParen) || has_template_call) {
+        return parse_call(loc, std::move(name));
+      }
+      return std::make_unique<VarRefExpr>(loc, std::move(name));
+    }
+    default:
+      diags_.error(loc, std::string("expected an expression, found '") +
+                            std::string(to_string(peek().kind)) + "'");
+      advance();
+      return std::make_unique<IntLitExpr>(loc, 0);
+  }
+}
+
+Program parse_netcl(const SourceBuffer& buffer, DiagnosticEngine& diags, DefineMap defines) {
+  Lexer lexer(buffer, diags, std::move(defines));
+  Parser parser(lexer.lex_all(), diags);
+  return parser.parse_program();
+}
+
+}  // namespace netcl

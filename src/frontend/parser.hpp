@@ -1,0 +1,97 @@
+// Recursive-descent parser for NetCL-C.
+//
+// The parser builds an untyped AST; all name resolution, type checking and
+// NetCL rule validation happen afterwards in Sema. Syntax errors are
+// reported to the DiagnosticEngine; the parser recovers at statement and
+// declaration boundaries so a single run reports multiple errors.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "frontend/lexer.hpp"
+
+namespace netcl {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticEngine& diags);
+
+  /// Parses the whole translation unit.
+  [[nodiscard]] Program parse_program();
+
+ private:
+  // Token stream helpers.
+  [[nodiscard]] const Token& peek(int ahead = 0) const;
+  const Token& advance();
+  [[nodiscard]] bool check(TokenKind kind) const { return peek().is(kind); }
+  bool accept(TokenKind kind);
+  bool expect(TokenKind kind, const char* context);
+  void synchronize_to_decl();
+  void synchronize_to_stmt();
+
+  // Specifier handling.
+  struct Specifiers {
+    bool is_kernel = false;
+    int computation = 0;
+    bool is_net = false;
+    bool is_managed = false;
+    bool is_lookup = false;
+    std::vector<std::uint16_t> locations;
+    bool has_at = false;
+    SourceLoc loc;
+  };
+  Specifiers parse_specifiers();
+
+  // Types.
+  struct ParsedType {
+    ScalarType scalar;
+    bool is_lookup_record = false;
+    LookupKind lookup_kind = LookupKind::Set;
+    ScalarType key_type;
+    ScalarType value_type;
+    bool is_void = false;
+    bool valid = false;
+  };
+  ParsedType parse_type();
+  [[nodiscard]] bool at_type_start() const;
+
+  // Declarations.
+  void parse_top_level_decl(Program& program);
+  std::unique_ptr<FunctionDecl> parse_function(const Specifiers& specs, SourceLoc loc,
+                                               std::string name);
+  std::unique_ptr<GlobalDecl> parse_global(const Specifiers& specs, const ParsedType& type,
+                                           SourceLoc loc, std::string name);
+  ParamDecl parse_param();
+  void parse_lookup_initializer(GlobalDecl& global);
+
+  // Statements.
+  StmtPtr parse_statement();
+  StmtPtr parse_block();
+  StmtPtr parse_if();
+  StmtPtr parse_for();
+  StmtPtr parse_return();
+  StmtPtr parse_decl_statement();
+  StmtPtr parse_expr_or_assign_statement();
+  StmtPtr parse_simple_statement();  // decl / assignment / expr, no ';'
+
+  // Expressions (precedence climbing).
+  ExprPtr parse_expr() { return parse_ternary(); }
+  ExprPtr parse_ternary();
+  ExprPtr parse_binary(int min_precedence);
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+  ExprPtr parse_call(SourceLoc loc, std::string name);
+
+  std::vector<Token> tokens_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience entry point: lex + parse one buffer.
+[[nodiscard]] Program parse_netcl(const SourceBuffer& buffer, DiagnosticEngine& diags,
+                                  DefineMap defines = {});
+
+}  // namespace netcl

@@ -1,0 +1,967 @@
+#include "frontend/sema.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "frontend/parser.hpp"
+
+namespace netcl {
+
+// ---------------------------------------------------------------------------
+// Kernel specifications
+// ---------------------------------------------------------------------------
+
+bool KernelSpec::layout_equals(const KernelSpec& other) const {
+  if (args.size() != other.args.size()) return false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (!args[i].layout_equals(other.args[i])) return false;
+  }
+  return true;
+}
+
+int KernelSpec::byte_size() const {
+  int bytes = 0;
+  for (const ArgSpec& arg : args) {
+    const int width = arg.type.bits == 1 ? 1 : arg.type.bits / 8;
+    bytes += width * arg.count;
+  }
+  return bytes;
+}
+
+std::string KernelSpec::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    os << (i != 0 ? "," : "") << args[i].count;
+  }
+  os << "][";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    os << (i != 0 ? "," : "") << args[i].type.to_string();
+  }
+  os << "]";
+  return os.str();
+}
+
+KernelSpec make_kernel_spec(const FunctionDecl& kernel) {
+  KernelSpec spec;
+  spec.computation = kernel.computation;
+  for (const ParamDecl& param : kernel.params) {
+    ArgSpec arg;
+    arg.type = param.type;
+    arg.count = param.spec;
+    arg.writable = param.by_ref || param.is_pointer;
+    arg.name = param.name;
+    spec.args.push_back(std::move(arg));
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Device library resolution
+// ---------------------------------------------------------------------------
+
+std::optional<DeviceCallInfo> resolve_device_fn(const std::string& name,
+                                                std::string* target_intrinsic) {
+  std::string base = name;
+  if (base.rfind("ncl::", 0) == 0) base = base.substr(5);
+  if (target_intrinsic != nullptr) target_intrinsic->clear();
+  if (base.rfind("tna::", 0) == 0) {
+    if (target_intrinsic != nullptr) *target_intrinsic = "tna";
+    base = base.substr(5);
+  } else if (base.rfind("v1::", 0) == 0) {
+    if (target_intrinsic != nullptr) *target_intrinsic = "v1";
+    base = base.substr(4);
+  }
+
+  DeviceCallInfo info;
+  if (base.rfind("atomic_", 0) == 0) {
+    std::string op = base.substr(7);
+    info.op = DeviceOp::AtomicRMW;
+    if (op.rfind("cond_", 0) == 0) {
+      info.atomic_cond = true;
+      op = op.substr(5);
+    }
+    if (op.size() > 4 && op.rfind("_new") == op.size() - 4) {
+      info.atomic_new = true;
+      op = op.substr(0, op.size() - 4);
+    }
+    static const std::unordered_map<std::string, AtomicOpKind> kAtomics = {
+        {"add", AtomicOpKind::Add}, {"sadd", AtomicOpKind::SAdd}, {"sub", AtomicOpKind::Sub},
+        {"ssub", AtomicOpKind::SSub}, {"or", AtomicOpKind::Or},   {"and", AtomicOpKind::And},
+        {"xor", AtomicOpKind::Xor}, {"inc", AtomicOpKind::Inc},   {"dec", AtomicOpKind::Dec},
+        {"min", AtomicOpKind::Min}, {"max", AtomicOpKind::Max},   {"cas", AtomicOpKind::Cas},
+    };
+    const auto it = kAtomics.find(op);
+    if (it == kAtomics.end()) return std::nullopt;
+    info.atomic_op = it->second;
+    return info;
+  }
+  if (base == "lookup") {
+    info.op = DeviceOp::Lookup;
+    return info;
+  }
+  static const std::unordered_map<std::string, HashKind> kHashes = {
+      {"crc16", HashKind::Crc16},
+      {"crc32", HashKind::Crc32},
+      {"crc64", HashKind::Crc32},  // tna::crc64 modeled over the crc32 engine
+      {"xor16", HashKind::Xor16},
+      {"csum16r", HashKind::Xor16},  // v1::csum16r modeled over xor16
+      {"identity", HashKind::Identity},
+  };
+  if (const auto it = kHashes.find(base); it != kHashes.end()) {
+    info.op = DeviceOp::Hash;
+    info.hash = it->second;
+    return info;
+  }
+  static const std::unordered_map<std::string, DeviceOp> kSimple = {
+      {"sadd", DeviceOp::SAdd}, {"ssub", DeviceOp::SSub}, {"bit_chk", DeviceOp::BitChk},
+      {"rand", DeviceOp::Rand}, {"min", DeviceOp::Min},   {"max", DeviceOp::Max},
+      {"bswap", DeviceOp::Bswap}, {"clz", DeviceOp::Clz},
+  };
+  if (const auto it = kSimple.find(base); it != kSimple.end()) {
+    info.op = it->second;
+    return info;
+  }
+  static const std::unordered_map<std::string, ActionKind> kActions = {
+      {"drop", ActionKind::Drop},
+      {"send_to_host", ActionKind::SendToHost},
+      {"send_to_device", ActionKind::SendToDevice},
+      {"multicast", ActionKind::Multicast},
+      {"reflect", ActionKind::Reflect},
+      {"reflect_long", ActionKind::ReflectLong},
+      {"pass", ActionKind::Pass},
+  };
+  if (const auto it = kActions.find(base); it != kActions.end()) {
+    info.op = DeviceOp::Action;
+    info.action = it->second;
+    return info;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Sema
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr ScalarType kVoid{0, false};
+bool is_void(ScalarType t) { return t.bits == 0; }
+}  // namespace
+
+Sema::Sema(Program& program, DiagnosticEngine& diags) : program_(program), diags_(diags) {}
+
+bool Sema::run() {
+  check_globals();
+  check_placement_validity();
+  check_kernel_specifications();
+  check_recursion();
+  for (auto& fn : program_.functions) check_function(*fn);
+  return !diags_.has_errors();
+}
+
+void Sema::check_globals() {
+  std::unordered_set<std::string> names;
+  for (const auto& global : program_.globals) {
+    if (!names.insert(global->name).second) {
+      diags_.error(global->loc, "redefinition of global memory '" + global->name + "'");
+    }
+    for (const std::int64_t dim : global->dims) {
+      if (dim <= 0) {
+        diags_.error(global->loc,
+                     "global memory '" + global->name + "' has a non-positive array extent");
+      }
+    }
+    if (global->is_lookup && !global->entries.empty() &&
+        static_cast<std::int64_t>(global->entries.size()) > global->element_count()) {
+      diags_.error(global->loc, "lookup array '" + global->name +
+                                    "' initializer exceeds its declared capacity");
+    }
+    if (global->is_lookup && global->lookup_kind == LookupKind::Range) {
+      for (const LookupEntry& e : global->entries) {
+        if (e.key_lo > e.key_hi) {
+          diags_.error(global->loc,
+                       "range entry in '" + global->name + "' has lo > hi");
+        }
+      }
+    }
+  }
+  std::unordered_set<std::string> fn_names;
+  for (const auto& fn : program_.functions) {
+    if (!fn_names.insert(fn->name).second) {
+      diags_.error(fn->loc, "redefinition of function '" + fn->name + "'");
+    }
+    if (names.count(fn->name) != 0) {
+      diags_.error(fn->loc, "'" + fn->name + "' is already declared as global memory");
+    }
+  }
+}
+
+void Sema::check_placement_validity() {
+  // Group kernels by computation id.
+  std::unordered_map<int, std::vector<const FunctionDecl*>> by_computation;
+  for (const auto& fn : program_.functions) {
+    if (fn->is_kernel) by_computation[fn->computation].push_back(fn.get());
+  }
+  for (const auto& [computation, kernels] : by_computation) {
+    if (kernels.size() == 1) continue;  // Eq (1) first disjunct
+    // All must be explicitly placed with pairwise-disjoint location sets.
+    for (const FunctionDecl* k : kernels) {
+      if (k->locations.empty()) {
+        diags_.error(k->loc, "kernel '" + k->name + "': computation " +
+                                 std::to_string(computation) +
+                                 " has multiple kernels, so every kernel must be "
+                                 "explicitly placed with _at(...)");
+      }
+    }
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+      for (std::size_t j = i + 1; j < kernels.size(); ++j) {
+        std::set<std::uint16_t> a(kernels[i]->locations.begin(), kernels[i]->locations.end());
+        for (const std::uint16_t loc : kernels[j]->locations) {
+          if (a.count(loc) != 0) {
+            diags_.error(kernels[j]->loc,
+                         "kernels '" + kernels[i]->name + "' and '" + kernels[j]->name +
+                             "' of computation " + std::to_string(computation) +
+                             " are both placed at device " + std::to_string(loc));
+          }
+        }
+      }
+    }
+  }
+}
+
+void Sema::check_kernel_specifications() {
+  std::unordered_map<int, std::pair<const FunctionDecl*, KernelSpec>> specs;
+  for (const auto& fn : program_.functions) {
+    if (!fn->is_kernel) continue;
+    for (const ParamDecl& p : fn->params) {
+      if (!p.is_pointer && p.spec != 1) {
+        diags_.error(p.loc, "scalar kernel arguments always have a specification of 1");
+      }
+      if (p.spec <= 0) {
+        diags_.error(p.loc, "kernel argument specification must be positive");
+      }
+    }
+    KernelSpec spec = make_kernel_spec(*fn);
+    const auto [it, inserted] = specs.try_emplace(fn->computation, fn.get(), spec);
+    if (!inserted && !it->second.second.layout_equals(spec)) {
+      diags_.error(fn->loc, "kernel '" + fn->name + "' has specification " + spec.to_string() +
+                                " but computation " + std::to_string(fn->computation) +
+                                " was declared with " + it->second.second.to_string() + " by '" +
+                                it->second.first->name + "'");
+    }
+  }
+}
+
+void Sema::check_recursion() {
+  // Device code allows no recursion (§V-D): detect cycles in the call graph.
+  std::unordered_map<const FunctionDecl*, std::vector<const FunctionDecl*>> graph;
+  for (const auto& fn : program_.functions) graph[fn.get()];
+
+  // Collect direct callees by scanning statements for CallExprs naming user
+  // functions. (Resolution proper happens later; here a name match is
+  // enough, which is conservative in the right direction.)
+  struct Collector {
+    const Program& program;
+    std::vector<const FunctionDecl*>& out;
+    void walk_expr(const Expr& e) {
+      switch (e.kind) {
+        case ExprKind::Call: {
+          const auto& call = static_cast<const CallExpr&>(e);
+          if (const FunctionDecl* callee = program.find_function(call.callee)) {
+            out.push_back(callee);
+          }
+          for (const auto& a : call.args) walk_expr(*a);
+          break;
+        }
+        case ExprKind::Index: {
+          const auto& ix = static_cast<const IndexExpr&>(e);
+          walk_expr(*ix.base);
+          walk_expr(*ix.index);
+          break;
+        }
+        case ExprKind::Unary:
+          walk_expr(*static_cast<const UnaryExpr&>(e).operand);
+          break;
+        case ExprKind::Binary: {
+          const auto& b = static_cast<const BinaryExpr&>(e);
+          walk_expr(*b.lhs);
+          walk_expr(*b.rhs);
+          break;
+        }
+        case ExprKind::Ternary: {
+          const auto& t = static_cast<const TernaryExpr&>(e);
+          walk_expr(*t.cond);
+          walk_expr(*t.then_expr);
+          walk_expr(*t.else_expr);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    void walk_stmt(const Stmt& s) {
+      switch (s.kind) {
+        case StmtKind::Block:
+          for (const auto& child : static_cast<const BlockStmt&>(s).body) walk_stmt(*child);
+          break;
+        case StmtKind::Decl:
+          for (const auto& d : static_cast<const DeclStmt&>(s).decls) {
+            if (d->init != nullptr) walk_expr(*d->init);
+          }
+          break;
+        case StmtKind::Expr:
+          walk_expr(*static_cast<const ExprStmt&>(s).expr);
+          break;
+        case StmtKind::Assign: {
+          const auto& a = static_cast<const AssignStmt&>(s);
+          walk_expr(*a.target);
+          walk_expr(*a.value);
+          break;
+        }
+        case StmtKind::If: {
+          const auto& i = static_cast<const IfStmt&>(s);
+          walk_expr(*i.cond);
+          walk_stmt(*i.then_stmt);
+          if (i.else_stmt != nullptr) walk_stmt(*i.else_stmt);
+          break;
+        }
+        case StmtKind::For: {
+          const auto& f = static_cast<const ForStmt&>(s);
+          if (f.init != nullptr) walk_stmt(*f.init);
+          if (f.cond != nullptr) walk_expr(*f.cond);
+          if (f.step != nullptr) walk_stmt(*f.step);
+          walk_stmt(*f.body);
+          break;
+        }
+        case StmtKind::Return: {
+          const auto& r = static_cast<const ReturnStmt&>(s);
+          if (r.value != nullptr) walk_expr(*r.value);
+          break;
+        }
+      }
+    }
+  };
+
+  for (const auto& fn : program_.functions) {
+    Collector collector{program_, graph[fn.get()]};
+    if (fn->body != nullptr) collector.walk_stmt(*fn->body);
+  }
+
+  // DFS cycle detection.
+  enum class Mark { White, Grey, Black };
+  std::unordered_map<const FunctionDecl*, Mark> marks;
+  for (const auto& [fn, _] : graph) marks[fn] = Mark::White;
+
+  auto dfs = [&](auto&& self, const FunctionDecl* fn) -> bool {
+    marks[fn] = Mark::Grey;
+    for (const FunctionDecl* callee : graph[fn]) {
+      if (marks[callee] == Mark::Grey) {
+        diags_.error(fn->loc, "recursion detected involving '" + fn->name +
+                                  "' and '" + callee->name +
+                                  "'; recursion is not allowed in device code");
+        return false;
+      }
+      if (marks[callee] == Mark::White && !self(self, callee)) return false;
+    }
+    marks[fn] = Mark::Black;
+    return true;
+  };
+  for (const auto& [fn, _] : graph) {
+    if (marks[fn] == Mark::White && !dfs(dfs, fn)) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scopes
+// ---------------------------------------------------------------------------
+
+void Sema::push_scope() { scopes_.emplace_back(); }
+void Sema::pop_scope() { scopes_.pop_back(); }
+
+bool Sema::declare_local(LocalDecl& decl) {
+  for (const auto& [name, _] : scopes_.back()) {
+    if (name == decl.name) {
+      diags_.error(decl.loc, "redeclaration of '" + decl.name + "' in the same scope");
+      return false;
+    }
+  }
+  scopes_.back().emplace_back(decl.name, ScopedName{nullptr, &decl});
+  return true;
+}
+
+const Sema::ScopedName* Sema::find_name(const std::string& name) const {
+  for (auto scope = scopes_.rbegin(); scope != scopes_.rend(); ++scope) {
+    for (const auto& [n, entry] : *scope) {
+      if (n == name) return &entry;
+    }
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Function / statement checks
+// ---------------------------------------------------------------------------
+
+void Sema::check_function(FunctionDecl& fn) {
+  scopes_.clear();
+  push_scope();
+  std::unordered_set<std::string> param_names;
+  for (ParamDecl& param : fn.params) {
+    if (!param_names.insert(param.name).second) {
+      diags_.error(param.loc, "duplicate parameter name '" + param.name + "'");
+    }
+    scopes_.back().emplace_back(param.name, ScopedName{&param, nullptr});
+  }
+  if (fn.body != nullptr) check_stmt(*fn.body, fn);
+  pop_scope();
+}
+
+void Sema::check_stmt(Stmt& stmt, FunctionDecl& fn) {
+  switch (stmt.kind) {
+    case StmtKind::Block: {
+      auto& block = static_cast<BlockStmt&>(stmt);
+      push_scope();
+      for (auto& child : block.body) check_stmt(*child, fn);
+      pop_scope();
+      break;
+    }
+    case StmtKind::Decl: {
+      auto& decl_stmt = static_cast<DeclStmt&>(stmt);
+      for (auto& decl : decl_stmt.decls) {
+        if (decl->init != nullptr) {
+          const ScalarType init_type = check_expr(*decl->init, fn);
+          if (decl->type_is_auto) {
+            decl->type = is_void(init_type) ? kI32 : init_type;
+            decl->type_is_auto = false;
+          }
+          if (is_void(init_type)) {
+            diags_.error(decl->loc, "cannot initialize '" + decl->name + "' from a void call");
+          }
+        } else if (decl->type_is_auto) {
+          diags_.error(decl->loc, "'auto' local '" + decl->name + "' requires an initializer");
+        }
+        if (decl->array_size > 0 && decl->init != nullptr) {
+          diags_.error(decl->loc, "local array initializers are not supported");
+        }
+        declare_local(*decl);
+      }
+      break;
+    }
+    case StmtKind::Expr: {
+      auto& expr_stmt = static_cast<ExprStmt&>(stmt);
+      check_expr(*expr_stmt.expr, fn);
+      if (expr_stmt.expr->kind == ExprKind::Call) {
+        const auto& call = static_cast<const CallExpr&>(*expr_stmt.expr);
+        if (call.device.op == DeviceOp::Action) {
+          diags_.error(stmt.loc, "actions may only appear in return statements");
+        }
+      } else {
+        diags_.warning(stmt.loc, "expression statement has no effect");
+      }
+      break;
+    }
+    case StmtKind::Assign: {
+      auto& assign = static_cast<AssignStmt&>(stmt);
+      check_expr(*assign.target, fn);
+      check_assign_target(*assign.target, fn);
+      const ScalarType value_type = check_expr(*assign.value, fn);
+      if (is_void(value_type)) {
+        diags_.error(assign.loc, "cannot assign from a void call");
+      }
+      break;
+    }
+    case StmtKind::If: {
+      auto& if_stmt = static_cast<IfStmt&>(stmt);
+      check_expr(*if_stmt.cond, fn);
+      check_stmt(*if_stmt.then_stmt, fn);
+      if (if_stmt.else_stmt != nullptr) check_stmt(*if_stmt.else_stmt, fn);
+      break;
+    }
+    case StmtKind::For: {
+      auto& for_stmt = static_cast<ForStmt&>(stmt);
+      push_scope();
+      if (for_stmt.init != nullptr) check_stmt(*for_stmt.init, fn);
+      if (for_stmt.cond != nullptr) check_expr(*for_stmt.cond, fn);
+      if (for_stmt.step != nullptr) check_stmt(*for_stmt.step, fn);
+      check_stmt(*for_stmt.body, fn);
+      pop_scope();
+      break;
+    }
+    case StmtKind::Return:
+      check_return(static_cast<ReturnStmt&>(stmt), fn);
+      break;
+  }
+}
+
+void Sema::check_return(ReturnStmt& stmt, FunctionDecl& fn) {
+  if (stmt.value == nullptr) return;  // implicit pass() for kernels
+  if (!fn.is_kernel) {
+    // Net functions are void; the only allowed "value" is a void call
+    // (calling another net function in tail position).
+    const ScalarType type = check_expr(*stmt.value, fn);
+    if (!is_void(type)) {
+      diags_.error(stmt.loc, "net function '" + fn.name + "' cannot return a value");
+    }
+    return;
+  }
+  check_action_expr(*stmt.value, fn);
+}
+
+void Sema::check_action_expr(Expr& expr, FunctionDecl& fn) {
+  switch (expr.kind) {
+    case ExprKind::Call: {
+      auto& call = static_cast<CallExpr&>(expr);
+      check_call(call, fn, /*in_return=*/true);
+      if (call.device.op != DeviceOp::Action &&
+          !(call.device.op == DeviceOp::None && call.net_callee != nullptr)) {
+        diags_.error(expr.loc, "kernel return value must be an action or a net-function call");
+      }
+      break;
+    }
+    case ExprKind::Ternary: {
+      auto& ternary = static_cast<TernaryExpr&>(expr);
+      check_expr(*ternary.cond, fn);
+      check_action_expr(*ternary.then_expr, fn);
+      check_action_expr(*ternary.else_expr, fn);
+      break;
+    }
+    default:
+      diags_.error(expr.loc, "kernels must exit with an action (Table II); "
+                             "plain values cannot be returned");
+      break;
+  }
+}
+
+void Sema::check_reference_locations(SourceLoc loc, const FunctionDecl& user,
+                                     const std::vector<std::uint16_t>& locs,
+                                     const std::string& what) {
+  if (locs.empty()) return;  // location-less: present everywhere
+  for (const std::uint16_t user_loc : user.locations) {
+    if (std::find(locs.begin(), locs.end(), user_loc) == locs.end()) {
+      diags_.error(loc, what + " is not placed at device " + std::to_string(user_loc) +
+                            ", where '" + user.name + "' is placed (reference validity)");
+      return;
+    }
+  }
+  if (user.locations.empty()) {
+    // A location-less user may be compiled for any device, so it may only
+    // reference location-less entities.
+    diags_.error(loc, what + " has an explicit location set but '" + user.name +
+                          "' is location-less and may be compiled anywhere");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+const GlobalDecl* Sema::resolve_global_access(Expr& expr, FunctionDecl& fn, int* index_count) {
+  int count = 0;
+  Expr* walk = &expr;
+  while (walk->kind == ExprKind::Index) {
+    ++count;
+    walk = static_cast<IndexExpr&>(*walk).base.get();
+  }
+  if (walk->kind != ExprKind::VarRef) return nullptr;
+  auto& ref = static_cast<VarRefExpr&>(*walk);
+  if (ref.global == nullptr) return nullptr;
+  if (index_count != nullptr) *index_count = count;
+  check_reference_locations(expr.loc, fn, ref.global->locations,
+                            "global memory '" + ref.global->name + "'");
+  return ref.global;
+}
+
+void Sema::check_assign_target(Expr& target, FunctionDecl& fn) {
+  switch (target.kind) {
+    case ExprKind::VarRef: {
+      auto& ref = static_cast<VarRefExpr&>(target);
+      if (ref.local != nullptr) {
+        if (ref.local->array_size > 0) {
+          diags_.error(target.loc, "cannot assign to a whole local array");
+        }
+        return;
+      }
+      if (ref.param != nullptr) {
+        if (ref.param->is_pointer) {
+          diags_.error(target.loc, "cannot assign to a whole message array; index it");
+        }
+        return;
+      }
+      if (ref.global != nullptr) {
+        if (!ref.global->dims.empty()) {
+          diags_.error(target.loc, "cannot assign to a whole global array");
+        } else if (ref.global->is_lookup) {
+          diags_.error(target.loc, "lookup memory cannot be written from device code");
+        }
+        return;
+      }
+      return;  // unresolved; already diagnosed
+    }
+    case ExprKind::Index: {
+      int index_count = 0;
+      if (const GlobalDecl* global = resolve_global_access(target, fn, &index_count)) {
+        if (global->is_lookup) {
+          diags_.error(target.loc, "lookup memory cannot be written from device code; "
+                                   "host code may modify _managed_ _lookup_ entries");
+        }
+        if (index_count != static_cast<int>(global->dims.size())) {
+          diags_.error(target.loc, "global array '" + global->name + "' requires " +
+                                       std::to_string(global->dims.size()) + " indices");
+        }
+        return;
+      }
+      // Local array element or message array element.
+      Expr* base = static_cast<IndexExpr&>(target).base.get();
+      if (base->kind == ExprKind::VarRef) {
+        const auto& ref = static_cast<const VarRefExpr&>(*base);
+        if (ref.local != nullptr && ref.local->array_size == 0) {
+          diags_.error(target.loc, "'" + ref.name + "' is not an array");
+        }
+        if (ref.param != nullptr && !ref.param->is_pointer) {
+          diags_.error(target.loc, "scalar parameter '" + ref.name + "' cannot be indexed");
+        }
+        return;
+      }
+      diags_.error(target.loc, "unsupported assignment target");
+      return;
+    }
+    default:
+      diags_.error(target.loc, "assignment target is not an lvalue");
+  }
+}
+
+ScalarType Sema::check_expr(Expr& expr, FunctionDecl& fn) {
+  switch (expr.kind) {
+    case ExprKind::IntLit: {
+      auto& lit = static_cast<IntLitExpr&>(expr);
+      // Pick the natural literal type: i32 when it fits, otherwise u32/i64/u64.
+      if (lit.value <= 0x7FFFFFFFULL) {
+        expr.type = kI32;
+      } else if (lit.value <= 0xFFFFFFFFULL) {
+        expr.type = kU32;
+      } else if (lit.value <= 0x7FFFFFFFFFFFFFFFULL) {
+        expr.type = kI64;
+      } else {
+        expr.type = kU64;
+      }
+      return expr.type;
+    }
+    case ExprKind::VarRef: {
+      auto& ref = static_cast<VarRefExpr&>(expr);
+      if (const ScopedName* entry = find_name(ref.name)) {
+        if (entry->param != nullptr) {
+          ref.param = entry->param;
+          expr.type = entry->param->type;
+        } else {
+          ref.local = entry->local;
+          expr.type = entry->local->type;
+        }
+        return expr.type;
+      }
+      if (const GlobalDecl* global = program_.find_global(ref.name)) {
+        ref.global = global;
+        expr.type = global->elem_type;
+        check_reference_locations(expr.loc, fn, global->locations,
+                                  "global memory '" + global->name + "'");
+        return expr.type;
+      }
+      diags_.error(expr.loc, "use of undeclared identifier '" + ref.name + "'");
+      expr.type = kI32;
+      return expr.type;
+    }
+    case ExprKind::Index: {
+      auto& index = static_cast<IndexExpr&>(expr);
+      const ScalarType base_type = check_expr(*index.base, fn);
+      const ScalarType index_type = check_expr(*index.index, fn);
+      if (is_void(index_type)) diags_.error(index.index->loc, "index cannot be void");
+      // Validate indexing depth for direct global accesses (only at the
+      // outermost Index of a chain; inner nodes are revisited by the walk).
+      expr.type = base_type;
+      return expr.type;
+    }
+    case ExprKind::Unary: {
+      auto& unary = static_cast<UnaryExpr&>(expr);
+      const ScalarType operand = check_expr(*unary.operand, fn);
+      switch (unary.op) {
+        case UnaryOp::LogicalNot:
+          expr.type = kBool;
+          break;
+        case UnaryOp::AddrOf:
+          // Only valid as the memory operand of atomics; check_call vets the
+          // context. Type is the pointee's.
+          expr.type = operand;
+          break;
+        default:
+          expr.type = operand.bits < 32 ? common_type(operand, kI32) : operand;
+          break;
+      }
+      return expr.type;
+    }
+    case ExprKind::Binary: {
+      auto& binary = static_cast<BinaryExpr&>(expr);
+      const ScalarType lhs = check_expr(*binary.lhs, fn);
+      const ScalarType rhs = check_expr(*binary.rhs, fn);
+      if (is_void(lhs) || is_void(rhs)) {
+        diags_.error(expr.loc, "void value in arithmetic expression");
+        expr.type = kI32;
+        return expr.type;
+      }
+      switch (binary.op) {
+        case BinaryOp::Eq:
+        case BinaryOp::Ne:
+        case BinaryOp::Lt:
+        case BinaryOp::Le:
+        case BinaryOp::Gt:
+        case BinaryOp::Ge:
+        case BinaryOp::LogicalAnd:
+        case BinaryOp::LogicalOr:
+          expr.type = kBool;
+          break;
+        case BinaryOp::Shl:
+        case BinaryOp::Shr:
+          expr.type = lhs.bits < 32 ? common_type(lhs, kI32) : lhs;
+          break;
+        default:
+          expr.type = common_type(lhs, rhs);
+          break;
+      }
+      return expr.type;
+    }
+    case ExprKind::Ternary: {
+      auto& ternary = static_cast<TernaryExpr&>(expr);
+      check_expr(*ternary.cond, fn);
+      const ScalarType a = check_expr(*ternary.then_expr, fn);
+      const ScalarType b = check_expr(*ternary.else_expr, fn);
+      if (is_void(a) || is_void(b)) {
+        // Only legal inside kernel returns; check_action_expr owns that path.
+        expr.type = kVoid;
+      } else {
+        expr.type = common_type(a, b);
+      }
+      return expr.type;
+    }
+    case ExprKind::Builtin: {
+      auto& builtin = static_cast<BuiltinExpr&>(expr);
+      expr.type = builtin.builtin == BuiltinKind::DeviceId ? kU16 : kU16;
+      return expr.type;
+    }
+    case ExprKind::Call:
+      return check_call(static_cast<CallExpr&>(expr), fn, /*in_return=*/false);
+  }
+  expr.type = kI32;
+  return expr.type;
+}
+
+ScalarType Sema::check_call(CallExpr& call, FunctionDecl& fn, bool in_return) {
+  // User net function?
+  if (const FunctionDecl* callee = program_.find_function(call.callee)) {
+    call.net_callee = callee;
+    if (callee->is_kernel) {
+      diags_.error(call.loc, "kernels cannot be called directly; they are invoked by messages");
+    }
+    check_reference_locations(call.loc, fn, callee->locations,
+                              "net function '" + callee->name + "'");
+    if (call.args.size() != callee->params.size()) {
+      diags_.error(call.loc, "'" + call.callee + "' expects " +
+                                 std::to_string(callee->params.size()) + " arguments, got " +
+                                 std::to_string(call.args.size()));
+    }
+    for (std::size_t i = 0; i < call.args.size() && i < callee->params.size(); ++i) {
+      check_expr(*call.args[i], fn);
+      const ParamDecl& param = callee->params[i];
+      if (param.by_ref || param.is_pointer) {
+        // By-ref args of net functions must be lvalues.
+        check_assign_target(*call.args[i], fn);
+      }
+    }
+    call.type = kVoid;
+    return call.type;
+  }
+
+  std::string target_intrinsic;
+  const auto resolved = resolve_device_fn(call.callee, &target_intrinsic);
+  if (!resolved.has_value()) {
+    diags_.error(call.loc, "unknown function '" + call.callee + "'");
+    call.type = kI32;
+    return call.type;
+  }
+  call.device = *resolved;
+
+  auto arity_error = [&](const char* expected) {
+    diags_.error(call.loc, "'" + call.callee + "' expects " + expected + " argument(s), got " +
+                               std::to_string(call.args.size()));
+  };
+
+  switch (call.device.op) {
+    case DeviceOp::AtomicRMW: {
+      // Shape: (mem [, cond] [, operand...]). `&` on the memory operand is
+      // optional (the paper uses both styles).
+      const bool is_unary_op = call.device.atomic_op == AtomicOpKind::Inc ||
+                               call.device.atomic_op == AtomicOpKind::Dec;
+      const bool is_cas = call.device.atomic_op == AtomicOpKind::Cas;
+      std::size_t expected = 2;  // mem + operand
+      if (is_unary_op) expected = 1;
+      if (is_cas) expected = 3;  // mem, expected, desired
+      if (call.device.atomic_cond) ++expected;
+      if (call.args.size() != expected) {
+        arity_error(std::to_string(expected).c_str());
+        call.type = kI32;
+        return call.type;
+      }
+      // The memory operand: strip AddrOf if present.
+      Expr* mem = call.args[0].get();
+      if (mem->kind == ExprKind::Unary &&
+          static_cast<UnaryExpr&>(*mem).op == UnaryOp::AddrOf) {
+        mem = static_cast<UnaryExpr&>(*mem).operand.get();
+      }
+      check_expr(*call.args[0], fn);
+      int index_count = 0;
+      const GlobalDecl* global = resolve_global_access(*mem, fn, &index_count);
+      if (global == nullptr && mem->kind == ExprKind::VarRef) {
+        global = static_cast<VarRefExpr&>(*mem).global;
+      }
+      if (global == nullptr) {
+        diags_.error(call.loc, "atomic operations require a global memory operand");
+        call.type = kI32;
+        return call.type;
+      }
+      if (global->is_lookup) {
+        diags_.error(call.loc, "atomic operations cannot target _lookup_ memory");
+      }
+      if (index_count != static_cast<int>(global->dims.size())) {
+        diags_.error(call.loc, "atomic access to '" + global->name + "' requires " +
+                                   std::to_string(global->dims.size()) + " indices");
+      }
+      for (std::size_t i = 1; i < call.args.size(); ++i) check_expr(*call.args[i], fn);
+      call.type = global->elem_type;
+      return call.type;
+    }
+    case DeviceOp::Lookup: {
+      if (call.args.size() != 2 && call.args.size() != 3) {
+        arity_error("2 or 3");
+        call.type = kBool;
+        return call.type;
+      }
+      check_expr(*call.args[0], fn);
+      const GlobalDecl* global = nullptr;
+      if (call.args[0]->kind == ExprKind::VarRef) {
+        global = static_cast<VarRefExpr&>(*call.args[0]).global;
+      }
+      if (global == nullptr || !global->is_lookup) {
+        diags_.error(call.loc, "ncl::lookup requires a _lookup_ array as its first argument");
+      } else {
+        if (global->lookup_kind == LookupKind::Set && call.args.size() == 3) {
+          diags_.error(call.loc, "set lookup arrays have no value output");
+        }
+        if (global->lookup_kind != LookupKind::Set && call.args.size() == 2) {
+          diags_.warning(call.loc, "lookup value output ignored");
+        }
+      }
+      check_expr(*call.args[1], fn);
+      if (call.args.size() == 3) {
+        check_expr(*call.args[2], fn);
+        check_assign_target(*call.args[2], fn);
+      }
+      call.type = kBool;
+      return call.type;
+    }
+    case DeviceOp::Hash: {
+      if (call.args.empty()) {
+        arity_error("at least 1");
+        call.type = kU32;
+        return call.type;
+      }
+      for (auto& arg : call.args) check_expr(*arg, fn);
+      int bits = call.device.hash == HashKind::Crc32 ? 32 : 16;
+      if (call.width_arg != 0) bits = call.width_arg;
+      if (bits != 8 && bits != 16 && bits != 32 && bits != 64) {
+        diags_.error(call.loc, "hash width must be 8, 16, 32, or 64 bits");
+        bits = 32;
+      }
+      call.type = ScalarType{static_cast<std::uint8_t>(bits), false};
+      return call.type;
+    }
+    case DeviceOp::SAdd:
+    case DeviceOp::SSub:
+    case DeviceOp::Min:
+    case DeviceOp::Max: {
+      if (call.args.size() != 2) {
+        arity_error("2");
+        call.type = kU32;
+        return call.type;
+      }
+      const ScalarType a = check_expr(*call.args[0], fn);
+      const ScalarType b = check_expr(*call.args[1], fn);
+      call.type = common_type(a, b);
+      return call.type;
+    }
+    case DeviceOp::BitChk: {
+      if (call.args.size() != 2) {
+        arity_error("2");
+      } else {
+        check_expr(*call.args[0], fn);
+        check_expr(*call.args[1], fn);
+      }
+      call.type = kBool;
+      return call.type;
+    }
+    case DeviceOp::Rand: {
+      if (!call.args.empty()) arity_error("0");
+      const int bits = call.width_arg != 0 ? call.width_arg : 16;
+      call.type = ScalarType{static_cast<std::uint8_t>(bits), false};
+      return call.type;
+    }
+    case DeviceOp::Bswap:
+    case DeviceOp::Clz: {
+      if (call.args.size() != 1) {
+        arity_error("1");
+        call.type = kU32;
+        return call.type;
+      }
+      call.type = check_expr(*call.args[0], fn);
+      return call.type;
+    }
+    case DeviceOp::Action: {
+      if (!in_return) {
+        // Reported by the statement-level checks too, but catch nested uses
+        // like `x = ncl::drop()`.
+        diags_.error(call.loc, "actions may only appear in return statements");
+      }
+      if (!fn.is_kernel) {
+        diags_.error(call.loc, "actions may only be used in kernels");
+      }
+      const bool needs_id = call.device.action == ActionKind::SendToHost ||
+                            call.device.action == ActionKind::SendToDevice ||
+                            call.device.action == ActionKind::Multicast;
+      if (needs_id) {
+        if (call.args.size() != 1) {
+          arity_error("1");
+        } else {
+          check_expr(*call.args[0], fn);
+        }
+      } else if (!call.args.empty()) {
+        arity_error("0");
+      }
+      call.type = kVoid;
+      return call.type;
+    }
+    case DeviceOp::None:
+      break;
+  }
+  call.type = kI32;
+  return call.type;
+}
+
+Program analyze_netcl(const SourceBuffer& buffer, DiagnosticEngine& diags, DefineMap defines) {
+  Program program = parse_netcl(buffer, diags, std::move(defines));
+  if (!diags.has_errors()) {
+    Sema sema(program, diags);
+    sema.run();
+  }
+  return program;
+}
+
+}  // namespace netcl

@@ -1,0 +1,116 @@
+// Semantic analysis for NetCL-C.
+//
+// Sema resolves names, types every expression, resolves `ncl::` device
+// library calls, infers kernel specifications (§V-A of the paper), and
+// enforces the NetCL placement rules:
+//
+//   Eq (1)  kernels of one computation are either a single location-less
+//           kernel or all explicitly placed with pairwise-disjoint sets;
+//   Eq (2)  net functions and memory may only be referenced from code whose
+//           location set they cover (or if they are location-less).
+//
+// It also enforces the §V-D device-code restrictions that are target
+// independent: no recursion, actions only in return statements, lookup
+// memory only accessed through ncl::lookup(), no writes to _lookup_ memory
+// from device code.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "frontend/lexer.hpp"
+#include "support/diagnostics.hpp"
+
+namespace netcl {
+
+/// The specification of one kernel argument: element type, element count,
+/// and whether devices may write it back into the message.
+struct ArgSpec {
+  ScalarType type;
+  int count = 1;
+  bool writable = false;
+  std::string name;
+
+  [[nodiscard]] bool layout_equals(const ArgSpec& other) const {
+    return type == other.type && count == other.count;
+  }
+};
+
+/// The specification of a kernel: the layout of the messages it computes on.
+/// Kernels of the same computation must have matching specifications.
+struct KernelSpec {
+  int computation = 0;
+  std::vector<ArgSpec> args;
+
+  [[nodiscard]] bool layout_equals(const KernelSpec& other) const;
+  /// Total message payload size in bytes (sum over args of count * width).
+  [[nodiscard]] int byte_size() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Computes the specification of a single kernel declaration.
+[[nodiscard]] KernelSpec make_kernel_spec(const FunctionDecl& kernel);
+
+/// Parses a (possibly ncl::-qualified) callee name into device-library call
+/// info. Returns std::nullopt if the name is not part of the device library.
+/// `target_intrinsic` receives "tna" or "v1" for target-scoped intrinsics.
+[[nodiscard]] std::optional<DeviceCallInfo> resolve_device_fn(const std::string& name,
+                                                              std::string* target_intrinsic);
+
+class Sema {
+ public:
+  Sema(Program& program, DiagnosticEngine& diags);
+
+  /// Runs all checks. Returns true if no errors were reported.
+  bool run();
+
+ private:
+  // Declaration-level checks.
+  void check_globals();
+  void check_function(FunctionDecl& fn);
+  void check_placement_validity();    // Eq (1)
+  void check_kernel_specifications(); // matching specs per computation
+  void check_recursion();
+
+  // Statement / expression walkers.
+  void check_stmt(Stmt& stmt, FunctionDecl& fn);
+  void check_return(ReturnStmt& stmt, FunctionDecl& fn);
+  /// Validates that a kernel return value is "action-like": an action call,
+  /// a void net-function call, or a ternary of action-like expressions.
+  void check_action_expr(Expr& expr, FunctionDecl& fn);
+  ScalarType check_expr(Expr& expr, FunctionDecl& fn);
+  ScalarType check_call(CallExpr& call, FunctionDecl& fn, bool in_return);
+  void check_assign_target(Expr& target, FunctionDecl& fn);
+
+  /// Resolves the base global of an index chain / var ref, reporting
+  /// indexing-depth errors. Returns nullptr if not a global access.
+  const GlobalDecl* resolve_global_access(Expr& expr, FunctionDecl& fn, int* index_count);
+
+  /// Eq (2): a reference from `user` to declaration with `locs` is valid iff
+  /// locs is empty or a superset of the user's locations.
+  void check_reference_locations(SourceLoc loc, const FunctionDecl& user,
+                                 const std::vector<std::uint16_t>& locs, const std::string& what);
+
+  // Scope management for locals.
+  struct ScopedName {
+    const ParamDecl* param = nullptr;
+    LocalDecl* local = nullptr;
+  };
+  void push_scope();
+  void pop_scope();
+  bool declare_local(LocalDecl& decl);
+  [[nodiscard]] const ScopedName* find_name(const std::string& name) const;
+
+  Program& program_;
+  DiagnosticEngine& diags_;
+  std::vector<std::vector<std::pair<std::string, ScopedName>>> scopes_;
+};
+
+/// Frontend entry point: parse + sema. Returns the program; check
+/// diags.has_errors() before using it.
+[[nodiscard]] Program analyze_netcl(const SourceBuffer& buffer, DiagnosticEngine& diags,
+                                    DefineMap defines = {});
+
+}  // namespace netcl

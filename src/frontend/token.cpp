@@ -1,0 +1,124 @@
+#include "frontend/token.hpp"
+
+#include <unordered_map>
+
+namespace netcl {
+
+std::string_view to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::End: return "<eof>";
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntLiteral: return "integer literal";
+    case TokenKind::CharLiteral: return "character literal";
+    case TokenKind::KwBool: return "bool";
+    case TokenKind::KwChar: return "char";
+    case TokenKind::KwInt: return "int";
+    case TokenKind::KwUnsigned: return "unsigned";
+    case TokenKind::KwSigned: return "signed";
+    case TokenKind::KwShort: return "short";
+    case TokenKind::KwLong: return "long";
+    case TokenKind::KwVoid: return "void";
+    case TokenKind::KwAuto: return "auto";
+    case TokenKind::KwConst: return "const";
+    case TokenKind::KwIf: return "if";
+    case TokenKind::KwElse: return "else";
+    case TokenKind::KwFor: return "for";
+    case TokenKind::KwWhile: return "while";
+    case TokenKind::KwReturn: return "return";
+    case TokenKind::KwTrue: return "true";
+    case TokenKind::KwFalse: return "false";
+    case TokenKind::KwStatic: return "static";
+    case TokenKind::KwGoto: return "goto";
+    case TokenKind::KwBreak: return "break";
+    case TokenKind::KwContinue: return "continue";
+    case TokenKind::KwKernel: return "_kernel";
+    case TokenKind::KwNet: return "_net_";
+    case TokenKind::KwManaged: return "_managed_";
+    case TokenKind::KwLookup: return "_lookup_";
+    case TokenKind::KwAt: return "_at";
+    case TokenKind::KwSpec: return "_spec";
+    case TokenKind::LParen: return "(";
+    case TokenKind::RParen: return ")";
+    case TokenKind::LBrace: return "{";
+    case TokenKind::RBrace: return "}";
+    case TokenKind::LBracket: return "[";
+    case TokenKind::RBracket: return "]";
+    case TokenKind::Comma: return ",";
+    case TokenKind::Semicolon: return ";";
+    case TokenKind::Colon: return ":";
+    case TokenKind::ColonColon: return "::";
+    case TokenKind::Question: return "?";
+    case TokenKind::Dot: return ".";
+    case TokenKind::Arrow: return "->";
+    case TokenKind::Plus: return "+";
+    case TokenKind::Minus: return "-";
+    case TokenKind::Star: return "*";
+    case TokenKind::Slash: return "/";
+    case TokenKind::Percent: return "%";
+    case TokenKind::Amp: return "&";
+    case TokenKind::Pipe: return "|";
+    case TokenKind::Caret: return "^";
+    case TokenKind::Tilde: return "~";
+    case TokenKind::Bang: return "!";
+    case TokenKind::Less: return "<";
+    case TokenKind::Greater: return ">";
+    case TokenKind::LessLess: return "<<";
+    case TokenKind::GreaterGreater: return ">>";
+    case TokenKind::LessEqual: return "<=";
+    case TokenKind::GreaterEqual: return ">=";
+    case TokenKind::EqualEqual: return "==";
+    case TokenKind::BangEqual: return "!=";
+    case TokenKind::AmpAmp: return "&&";
+    case TokenKind::PipePipe: return "||";
+    case TokenKind::Equal: return "=";
+    case TokenKind::PlusEqual: return "+=";
+    case TokenKind::MinusEqual: return "-=";
+    case TokenKind::StarEqual: return "*=";
+    case TokenKind::SlashEqual: return "/=";
+    case TokenKind::PercentEqual: return "%=";
+    case TokenKind::AmpEqual: return "&=";
+    case TokenKind::PipeEqual: return "|=";
+    case TokenKind::CaretEqual: return "^=";
+    case TokenKind::LessLessEqual: return "<<=";
+    case TokenKind::GreaterGreaterEqual: return ">>=";
+    case TokenKind::PlusPlus: return "++";
+    case TokenKind::MinusMinus: return "--";
+  }
+  return "<invalid>";
+}
+
+TokenKind keyword_kind(std::string_view spelling) {
+  static const std::unordered_map<std::string_view, TokenKind> kKeywords = {
+      {"bool", TokenKind::KwBool},
+      {"char", TokenKind::KwChar},
+      {"int", TokenKind::KwInt},
+      {"unsigned", TokenKind::KwUnsigned},
+      {"signed", TokenKind::KwSigned},
+      {"short", TokenKind::KwShort},
+      {"long", TokenKind::KwLong},
+      {"void", TokenKind::KwVoid},
+      {"auto", TokenKind::KwAuto},
+      {"const", TokenKind::KwConst},
+      {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},
+      {"for", TokenKind::KwFor},
+      {"while", TokenKind::KwWhile},
+      {"return", TokenKind::KwReturn},
+      {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+      {"static", TokenKind::KwStatic},
+      {"goto", TokenKind::KwGoto},
+      {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue},
+      {"_kernel", TokenKind::KwKernel},
+      {"_net_", TokenKind::KwNet},
+      {"_managed_", TokenKind::KwManaged},
+      {"_lookup_", TokenKind::KwLookup},
+      {"_at", TokenKind::KwAt},
+      {"_spec", TokenKind::KwSpec},
+  };
+  const auto it = kKeywords.find(spelling);
+  return it == kKeywords.end() ? TokenKind::Identifier : it->second;
+}
+
+}  // namespace netcl

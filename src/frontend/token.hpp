@@ -1,0 +1,124 @@
+// Token definitions for NetCL-C, the kernel-side language of NetCL.
+//
+// NetCL-C is the C/C++ subset the paper's frontend accepts in device code,
+// plus the NetCL specifiers (`_kernel`, `_net_`, `_managed_`, `_lookup_`,
+// `_at`, `_spec`) and the `ncl::` device library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source.hpp"
+
+namespace netcl {
+
+enum class TokenKind : std::uint8_t {
+  End,
+  Identifier,
+  IntLiteral,
+  CharLiteral,
+
+  // Type keywords.
+  KwBool,
+  KwChar,
+  KwInt,
+  KwUnsigned,
+  KwSigned,
+  KwShort,
+  KwLong,
+  KwVoid,
+  KwAuto,
+  KwConst,
+
+  // Control keywords.
+  KwIf,
+  KwElse,
+  KwFor,
+  KwWhile,
+  KwReturn,
+  KwTrue,
+  KwFalse,
+  KwStatic,
+  KwGoto,
+  KwBreak,
+  KwContinue,
+
+  // NetCL specifiers.
+  KwKernel,   // _kernel
+  KwNet,      // _net_
+  KwManaged,  // _managed_
+  KwLookup,   // _lookup_
+  KwAt,       // _at
+  KwSpec,     // _spec
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Colon,
+  ColonColon,
+  Question,
+  Dot,
+  Arrow,
+
+  // Operators.
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Less,
+  Greater,
+  LessLess,
+  GreaterGreater,
+  LessEqual,
+  GreaterEqual,
+  EqualEqual,
+  BangEqual,
+  AmpAmp,
+  PipePipe,
+  Equal,
+  PlusEqual,
+  MinusEqual,
+  StarEqual,
+  SlashEqual,
+  PercentEqual,
+  AmpEqual,
+  PipeEqual,
+  CaretEqual,
+  LessLessEqual,
+  GreaterGreaterEqual,
+  PlusPlus,
+  MinusMinus,
+};
+
+[[nodiscard]] std::string_view to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  SourceLoc loc;
+  std::string text;        // identifier spelling / literal spelling
+  std::uint64_t value = 0; // for integer and char literals
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+  [[nodiscard]] bool is_identifier(std::string_view name) const {
+    return kind == TokenKind::Identifier && text == name;
+  }
+};
+
+/// Maps an identifier spelling to its keyword kind, or Identifier if it is
+/// not a keyword.
+[[nodiscard]] TokenKind keyword_kind(std::string_view spelling);
+
+}  // namespace netcl

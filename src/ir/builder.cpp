@@ -1,0 +1,197 @@
+#include "ir/builder.hpp"
+
+#include <cassert>
+
+namespace netcl::ir {
+
+Value* Builder::adapt(Value* v, ScalarType type) {
+  if (v->type().bits == type.bits) return v;
+  if (const Constant* c = as_constant(v)) {
+    // Re-intern constants at the new width, preserving the numeric value
+    // under the source type's signedness.
+    return const_of(type, static_cast<std::uint64_t>(c->extended()));
+  }
+  auto inst = make(Opcode::Cast, type, {});
+  inst->cast_signed = v->type().is_signed;
+  inst->add_operand(v);
+  return emit(std::move(inst));
+}
+
+Value* Builder::adapt_in(Value* v, ScalarType type, BasicBlock* block) {
+  if (v->type().bits == type.bits) return v;
+  if (const Constant* c = as_constant(v)) {
+    return const_of(type, static_cast<std::uint64_t>(c->extended()));
+  }
+  auto inst = make(Opcode::Cast, type, {});
+  inst->cast_signed = v->type().is_signed;
+  inst->add_operand(v);
+  return block->insert_before_terminator(std::move(inst));
+}
+
+Value* Builder::bin(BinKind kind, Value* a, Value* b, ScalarType type, SourceLoc loc) {
+  auto inst = make(Opcode::Bin, type, loc);
+  inst->bin_kind = kind;
+  inst->add_operand(adapt(a, type));
+  inst->add_operand(adapt(b, type));
+  return emit(std::move(inst));
+}
+
+Value* Builder::icmp(ICmpPred pred, Value* a, Value* b, SourceLoc loc) {
+  // Compare at the wider operand width.
+  ScalarType cmp_type = a->type().bits >= b->type().bits ? a->type() : b->type();
+  auto inst = make(Opcode::ICmp, kBool, loc);
+  inst->icmp_pred = pred;
+  inst->add_operand(adapt(a, cmp_type));
+  inst->add_operand(adapt(b, cmp_type));
+  return emit(std::move(inst));
+}
+
+Value* Builder::select(Value* cond, Value* a, Value* b, SourceLoc loc) {
+  assert(a->type().bits == b->type().bits && "select arms must have equal widths");
+  auto inst = make(Opcode::Select, a->type(), loc);
+  inst->add_operand(to_bool(cond, loc));
+  inst->add_operand(a);
+  inst->add_operand(b);
+  return emit(std::move(inst));
+}
+
+Value* Builder::logical_not(Value* v, SourceLoc loc) {
+  return icmp(ICmpPred::EQ, v, const_of(v->type(), 0), loc);
+}
+
+Value* Builder::to_bool(Value* v, SourceLoc loc) {
+  if (v->type().bits == 1) return v;
+  return icmp(ICmpPred::NE, v, const_of(v->type(), 0), loc);
+}
+
+Instruction* Builder::load_global(GlobalVar* global, std::vector<Value*> indices,
+                                  SourceLoc loc) {
+  auto inst = make(Opcode::LoadGlobal, global->elem_type, loc);
+  inst->global = global;
+  inst->num_indices = static_cast<int>(indices.size());
+  for (Value* index : indices) inst->add_operand(index);
+  return emit(std::move(inst));
+}
+
+Instruction* Builder::store_global(GlobalVar* global, std::vector<Value*> indices, Value* value,
+                                   SourceLoc loc) {
+  auto inst = make(Opcode::StoreGlobal, global->elem_type, loc);
+  inst->global = global;
+  inst->num_indices = static_cast<int>(indices.size());
+  for (Value* index : indices) inst->add_operand(index);
+  inst->add_operand(adapt(value, global->elem_type));
+  return emit(std::move(inst));
+}
+
+Instruction* Builder::atomic_rmw(GlobalVar* global, std::vector<Value*> indices, AtomicOpKind op,
+                                 bool is_cond, bool returns_new, Value* cond,
+                                 std::vector<Value*> operands, SourceLoc loc) {
+  auto inst = make(Opcode::AtomicRMW, global->elem_type, loc);
+  inst->global = global;
+  inst->atomic_op = op;
+  inst->atomic_cond = is_cond;
+  inst->atomic_new = returns_new;
+  inst->num_indices = static_cast<int>(indices.size());
+  for (Value* index : indices) inst->add_operand(index);
+  if (is_cond) {
+    assert(cond != nullptr);
+    inst->add_operand(to_bool(cond, loc));
+  }
+  for (Value* operand : operands) inst->add_operand(adapt(operand, global->elem_type));
+  return emit(std::move(inst));
+}
+
+Instruction* Builder::lookup(GlobalVar* global, Value* key, SourceLoc loc) {
+  auto inst = make(Opcode::Lookup, kBool, loc);
+  inst->global = global;
+  inst->add_operand(adapt(key, global->is_lookup && global->lookup_kind != LookupKind::Set
+                                   ? global->key_type
+                                   : global->elem_type));
+  return emit(std::move(inst));
+}
+
+Instruction* Builder::lookup_value(Instruction* lookup_inst, Value* default_value,
+                                   SourceLoc loc) {
+  assert(lookup_inst->op() == Opcode::Lookup);
+  const ScalarType value_type = lookup_inst->global->value_type;
+  auto inst = make(Opcode::LookupValue, value_type, loc);
+  inst->global = lookup_inst->global;
+  inst->add_operand(lookup_inst);
+  inst->add_operand(adapt(default_value, value_type));
+  return emit(std::move(inst));
+}
+
+Instruction* Builder::load_msg(Argument* arg, Value* index, SourceLoc loc) {
+  auto inst = make(Opcode::LoadMsg, arg->type(), loc);
+  inst->arg_index = arg->index();
+  inst->add_operand(index);
+  return emit(std::move(inst));
+}
+
+Instruction* Builder::store_msg(Argument* arg, Value* index, Value* value, SourceLoc loc) {
+  auto inst = make(Opcode::StoreMsg, arg->type(), loc);
+  inst->arg_index = arg->index();
+  inst->add_operand(index);
+  inst->add_operand(adapt(value, arg->type()));
+  return emit(std::move(inst));
+}
+
+Instruction* Builder::load_local(LocalArray* array, Value* index, SourceLoc loc) {
+  auto inst = make(Opcode::LoadLocal, array->elem_type, loc);
+  inst->local_array = array;
+  inst->add_operand(index);
+  return emit(std::move(inst));
+}
+
+Instruction* Builder::store_local(LocalArray* array, Value* index, Value* value, SourceLoc loc) {
+  auto inst = make(Opcode::StoreLocal, array->elem_type, loc);
+  inst->local_array = array;
+  inst->add_operand(index);
+  inst->add_operand(adapt(value, array->elem_type));
+  return emit(std::move(inst));
+}
+
+Instruction* Builder::hash(HashKind kind, std::uint8_t width_bits, std::vector<Value*> inputs,
+                           SourceLoc loc) {
+  auto inst = make(Opcode::Hash, ScalarType{width_bits, false}, loc);
+  inst->hash_kind = kind;
+  for (Value* input : inputs) inst->add_operand(input);
+  return emit(std::move(inst));
+}
+
+Instruction* Builder::rand(std::uint8_t width_bits, SourceLoc loc) {
+  return emit(make(Opcode::Rand, ScalarType{width_bits, false}, loc));
+}
+
+Instruction* Builder::br(BasicBlock* target) {
+  auto inst = make(Opcode::Br, kBool, {});
+  inst->succs.push_back(target);
+  return emit(std::move(inst));
+}
+
+Instruction* Builder::cond_br(Value* cond, BasicBlock* if_true, BasicBlock* if_false) {
+  auto inst = make(Opcode::CondBr, kBool, {});
+  inst->add_operand(to_bool(cond));
+  inst->succs.push_back(if_true);
+  inst->succs.push_back(if_false);
+  return emit(std::move(inst));
+}
+
+Instruction* Builder::ret() { return emit(make(Opcode::Ret, kBool, {})); }
+
+Instruction* Builder::ret_action(ActionKind action, Value* id) {
+  auto inst = make(Opcode::RetAction, kBool, {});
+  inst->action = action;
+  if (id != nullptr) inst->add_operand(adapt(id, kU16));
+  return emit(std::move(inst));
+}
+
+Instruction* Builder::phi(ScalarType type) {
+  auto inst = std::make_unique<Instruction>(Opcode::Phi, type);
+  inst->set_parent(block_);
+  // Phis always live at the top of the block.
+  return block_->insert_after_phis(
+      std::unique_ptr<Instruction>(inst.release()));
+}
+
+}  // namespace netcl::ir

@@ -1,0 +1,77 @@
+// Instruction builder: creates instructions appended to an insertion block.
+// Width adaptation is explicit: `adapt` inserts Cast instructions when an
+// operand's width differs from the required type.
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace netcl::ir {
+
+class Builder {
+ public:
+  Builder(Module& module, Function& fn) : module_(module), fn_(fn) {}
+
+  void set_insert_point(BasicBlock* block) { block_ = block; }
+  [[nodiscard]] BasicBlock* insert_block() const { return block_; }
+  [[nodiscard]] Module& module() { return module_; }
+  [[nodiscard]] Function& function() { return fn_; }
+
+  [[nodiscard]] Constant* const_of(ScalarType type, std::uint64_t value) {
+    return module_.constant(type, value);
+  }
+
+  /// Returns `v` adapted to width `type.bits` (inserting a Cast if needed).
+  Value* adapt(Value* v, ScalarType type);
+
+  /// Like adapt, but inserts the Cast before the terminator of `block`
+  /// (used when wiring phi incomings).
+  Value* adapt_in(Value* v, ScalarType type, BasicBlock* block);
+
+  Value* bin(BinKind kind, Value* a, Value* b, ScalarType type, SourceLoc loc = {});
+  Value* icmp(ICmpPred pred, Value* a, Value* b, SourceLoc loc = {});
+  Value* select(Value* cond, Value* a, Value* b, SourceLoc loc = {});
+  /// Logical not: icmp eq v, 0.
+  Value* logical_not(Value* v, SourceLoc loc = {});
+  /// Normalizes an arbitrary integer to i1 (icmp ne v, 0); no-op on i1.
+  Value* to_bool(Value* v, SourceLoc loc = {});
+
+  Instruction* load_global(GlobalVar* global, std::vector<Value*> indices, SourceLoc loc = {});
+  Instruction* store_global(GlobalVar* global, std::vector<Value*> indices, Value* value,
+                            SourceLoc loc = {});
+  Instruction* atomic_rmw(GlobalVar* global, std::vector<Value*> indices, AtomicOpKind op,
+                          bool is_cond, bool returns_new, Value* cond,
+                          std::vector<Value*> operands, SourceLoc loc = {});
+  Instruction* lookup(GlobalVar* global, Value* key, SourceLoc loc = {});
+  Instruction* lookup_value(Instruction* lookup_inst, Value* default_value, SourceLoc loc = {});
+
+  Instruction* load_msg(Argument* arg, Value* index, SourceLoc loc = {});
+  Instruction* store_msg(Argument* arg, Value* index, Value* value, SourceLoc loc = {});
+  Instruction* load_local(LocalArray* array, Value* index, SourceLoc loc = {});
+  Instruction* store_local(LocalArray* array, Value* index, Value* value, SourceLoc loc = {});
+
+  Instruction* hash(HashKind kind, std::uint8_t width_bits, std::vector<Value*> inputs,
+                    SourceLoc loc = {});
+  Instruction* rand(std::uint8_t width_bits, SourceLoc loc = {});
+
+  Instruction* br(BasicBlock* target);
+  Instruction* cond_br(Value* cond, BasicBlock* if_true, BasicBlock* if_false);
+  Instruction* ret();
+  Instruction* ret_action(ActionKind action, Value* id = nullptr);
+  Instruction* phi(ScalarType type);
+
+ private:
+  Instruction* emit(std::unique_ptr<Instruction> inst) {
+    return block_->append(std::move(inst));
+  }
+  std::unique_ptr<Instruction> make(Opcode op, ScalarType type, SourceLoc loc) {
+    auto inst = std::make_unique<Instruction>(op, type);
+    inst->loc = loc;
+    return inst;
+  }
+
+  Module& module_;
+  Function& fn_;
+  BasicBlock* block_ = nullptr;
+};
+
+}  // namespace netcl::ir

@@ -1,0 +1,140 @@
+#include "ir/dominators.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace netcl::ir {
+
+DominatorTree::DominatorTree(Function& fn) {
+  rpo_ = fn.reverse_postorder();
+  for (std::size_t i = 0; i < rpo_.size(); ++i) rpo_index_[rpo_[i]] = static_cast<int>(i);
+  idom_.assign(rpo_.size(), -1);
+  if (rpo_.empty()) return;
+  idom_[0] = 0;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 1; i < rpo_.size(); ++i) {
+      int new_idom = -1;
+      for (const BasicBlock* pred : rpo_[i]->predecessors()) {
+        const auto it = rpo_index_.find(pred);
+        if (it == rpo_index_.end()) continue;  // unreachable predecessor
+        const int p = it->second;
+        if (idom_[p] == -1) continue;  // not yet processed
+        new_idom = new_idom == -1 ? p : intersect(p, new_idom);
+      }
+      if (new_idom != -1 && idom_[i] != new_idom) {
+        idom_[i] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+int DominatorTree::index_of(const BasicBlock* block) const {
+  const auto it = rpo_index_.find(block);
+  return it == rpo_index_.end() ? -1 : it->second;
+}
+
+int DominatorTree::intersect(int a, int b) const {
+  while (a != b) {
+    while (a > b) a = idom_[a];
+    while (b > a) b = idom_[b];
+  }
+  return a;
+}
+
+BasicBlock* DominatorTree::idom(const BasicBlock* block) const {
+  const int index = index_of(block);
+  if (index <= 0) return nullptr;
+  return rpo_[static_cast<std::size_t>(idom_[index])];
+}
+
+bool DominatorTree::dominates(const BasicBlock* a, const BasicBlock* b) const {
+  int ia = index_of(a);
+  int ib = index_of(b);
+  if (ia < 0 || ib < 0) return false;
+  while (ib > ia) ib = idom_[ib];
+  return ia == ib;
+}
+
+bool DominatorTree::dominates(const Instruction* def, const Instruction* use) const {
+  const BasicBlock* def_block = def->parent();
+  const BasicBlock* use_block = use->parent();
+  if (def_block != use_block) return dominates(def_block, use_block);
+  for (const auto& inst : def_block->instructions()) {
+    if (inst.get() == def) return true;
+    if (inst.get() == use) return false;
+  }
+  return false;
+}
+
+BasicBlock* DominatorTree::common_dominator(BasicBlock* a, BasicBlock* b) const {
+  int ia = index_of(a);
+  int ib = index_of(b);
+  assert(ia >= 0 && ib >= 0);
+  return rpo_[static_cast<std::size_t>(intersect(ia, ib))];
+}
+
+PostDominatorTree::PostDominatorTree(Function& fn) {
+  fn.recompute_preds();
+  // Order blocks by reverse postorder of the *reversed* graph: a postorder
+  // DFS from the exits. Our CFG is acyclic, so a reversed topological order
+  // of the forward RPO works.
+  std::vector<BasicBlock*> order = fn.reverse_postorder();
+  std::reverse(order.begin(), order.end());
+  std::unordered_map<const BasicBlock*, int> index;
+  for (std::size_t i = 0; i < order.size(); ++i) index[order[i]] = static_cast<int>(i);
+
+  // idom over reversed edges; -1 encodes the virtual exit.
+  std::vector<int> idom(order.size(), -2);  // -2 = unknown
+  auto intersect = [&](int a, int b) -> int {
+    while (a != b) {
+      if (a == -1 || b == -1) return -1;
+      while (a > b) a = idom[static_cast<std::size_t>(a)];
+      while (b > a) b = idom[static_cast<std::size_t>(b)];
+      if (a == -1 || b == -1) return -1;
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      BasicBlock* block = order[i];
+      int new_idom = -2;
+      if (block->successors().empty()) {
+        new_idom = -1;  // the virtual exit post-dominates exit blocks
+      } else {
+        for (BasicBlock* succ : block->successors()) {
+          // Successors precede `block` in this order, so their idom entry
+          // is already valid within the current sweep.
+          const int s = index.at(succ);
+          if (new_idom == -2) {
+            new_idom = s;
+          } else {
+            new_idom = intersect(new_idom, s);
+          }
+        }
+      }
+      if (new_idom != -2 && idom[i] != new_idom) {
+        idom[i] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ipostdom_[order[i]] =
+        idom[i] >= 0 ? order[static_cast<std::size_t>(idom[i])] : nullptr;
+  }
+}
+
+BasicBlock* PostDominatorTree::ipostdom(const BasicBlock* block) const {
+  const auto it = ipostdom_.find(block);
+  return it == ipostdom_.end() ? nullptr : it->second;
+}
+
+}  // namespace netcl::ir

@@ -1,0 +1,57 @@
+// Dominator tree (Cooper-Harvey-Kennedy iterative algorithm).
+//
+// Used by the verifier (SSA dominance), the hoisting pass (nearest common
+// dominators) and the memory-legality checks (mutual exclusion).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace netcl::ir {
+
+class DominatorTree {
+ public:
+  /// Builds the tree; the function's predecessor lists must be current
+  /// (call fn.recompute_preds() first).
+  explicit DominatorTree(Function& fn);
+
+  /// Immediate dominator; nullptr for the entry block.
+  [[nodiscard]] BasicBlock* idom(const BasicBlock* block) const;
+
+  /// Reflexive dominance: dominates(a, a) is true.
+  [[nodiscard]] bool dominates(const BasicBlock* a, const BasicBlock* b) const;
+
+  /// Instruction-level dominance: def must be executed before use.
+  [[nodiscard]] bool dominates(const Instruction* def, const Instruction* use) const;
+
+  /// Nearest common dominator of two blocks.
+  [[nodiscard]] BasicBlock* common_dominator(BasicBlock* a, BasicBlock* b) const;
+
+  [[nodiscard]] const std::vector<BasicBlock*>& reverse_postorder() const { return rpo_; }
+
+ private:
+  [[nodiscard]] int index_of(const BasicBlock* block) const;
+  [[nodiscard]] int intersect(int a, int b) const;
+
+  std::vector<BasicBlock*> rpo_;
+  std::unordered_map<const BasicBlock*, int> rpo_index_;
+  std::vector<int> idom_;  // by rpo index; idom_[0] == 0
+};
+
+/// Post-dominator tree over the reversed CFG with a virtual exit joining
+/// all return blocks. Used by the P4 code generator to find the merge
+/// point of a conditional (its immediate post-dominator).
+class PostDominatorTree {
+ public:
+  explicit PostDominatorTree(Function& fn);
+
+  /// Immediate post-dominator; nullptr when it is the virtual exit.
+  [[nodiscard]] BasicBlock* ipostdom(const BasicBlock* block) const;
+
+ private:
+  std::unordered_map<const BasicBlock*, BasicBlock*> ipostdom_;
+};
+
+}  // namespace netcl::ir

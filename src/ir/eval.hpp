@@ -1,0 +1,26 @@
+// Shared evaluation semantics for IR arithmetic.
+//
+// One implementation serves both the constant folder (passes/simplify) and
+// the switch simulator's pipeline interpreter, so compile-time folding and
+// run-time execution can never disagree.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/ir.hpp"
+
+namespace netcl::ir {
+
+[[nodiscard]] std::uint64_t eval_bin(BinKind kind, std::uint64_t a, std::uint64_t b,
+                                     ScalarType type);
+
+[[nodiscard]] bool eval_icmp(ICmpPred pred, std::uint64_t a, std::uint64_t b, ScalarType type);
+
+/// Applies one atomic RMW operation. Returns the new memory value;
+/// `operand0/operand1` follow the AtomicRMW operand convention (operand1 is
+/// only used by CAS).
+[[nodiscard]] std::uint64_t eval_atomic(AtomicOpKind op, std::uint64_t memory,
+                                        std::uint64_t operand0, std::uint64_t operand1,
+                                        ScalarType type);
+
+}  // namespace netcl::ir

@@ -1,0 +1,164 @@
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "ir/ir.hpp"
+
+namespace netcl::ir {
+
+// ---------------------------------------------------------------------------
+// BasicBlock
+// ---------------------------------------------------------------------------
+
+Instruction* BasicBlock::append(std::unique_ptr<Instruction> inst) {
+  inst->set_parent(this);
+  instructions_.push_back(std::move(inst));
+  return instructions_.back().get();
+}
+
+Instruction* BasicBlock::insert_before_terminator(std::unique_ptr<Instruction> inst) {
+  inst->set_parent(this);
+  auto it = instructions_.end();
+  if (!instructions_.empty() && instructions_.back()->is_terminator()) --it;
+  return instructions_.insert(it, std::move(inst))->get();
+}
+
+Instruction* BasicBlock::insert_after_phis(std::unique_ptr<Instruction> inst) {
+  inst->set_parent(this);
+  auto it = instructions_.begin();
+  while (it != instructions_.end() && (*it)->op() == Opcode::Phi) ++it;
+  return instructions_.insert(it, std::move(inst))->get();
+}
+
+void BasicBlock::erase(Instruction* inst) {
+  const auto it = std::find_if(instructions_.begin(), instructions_.end(),
+                               [&](const auto& p) { return p.get() == inst; });
+  assert(it != instructions_.end() && "erasing an instruction not in this block");
+  instructions_.erase(it);
+}
+
+std::unique_ptr<Instruction> BasicBlock::detach(Instruction* inst) {
+  const auto it = std::find_if(instructions_.begin(), instructions_.end(),
+                               [&](const auto& p) { return p.get() == inst; });
+  assert(it != instructions_.end() && "detaching an instruction not in this block");
+  std::unique_ptr<Instruction> owned = std::move(*it);
+  instructions_.erase(it);
+  owned->set_parent(nullptr);
+  return owned;
+}
+
+Instruction* BasicBlock::terminator() const {
+  if (instructions_.empty()) return nullptr;
+  Instruction* last = instructions_.back().get();
+  return last->is_terminator() ? last : nullptr;
+}
+
+std::vector<BasicBlock*> BasicBlock::successors() const {
+  const Instruction* term = terminator();
+  return term != nullptr ? term->succs : std::vector<BasicBlock*>{};
+}
+
+// ---------------------------------------------------------------------------
+// Function
+// ---------------------------------------------------------------------------
+
+Argument* Function::add_argument(ScalarType type, int elem_count, bool writable,
+                                 std::string name) {
+  arguments_.push_back(std::make_unique<Argument>(type, static_cast<int>(arguments_.size()),
+                                                  elem_count, writable, std::move(name)));
+  return arguments_.back().get();
+}
+
+BasicBlock* Function::add_block(std::string name) {
+  blocks_.push_back(std::make_unique<BasicBlock>(this, next_block_id_++, std::move(name)));
+  return blocks_.back().get();
+}
+
+void Function::erase_block(BasicBlock* block) {
+  const auto it = std::find_if(blocks_.begin(), blocks_.end(),
+                               [&](const auto& p) { return p.get() == block; });
+  assert(it != blocks_.end() && "erasing a block not in this function");
+  blocks_.erase(it);
+}
+
+LocalArray* Function::add_local_array(std::string name, ScalarType elem, int size) {
+  auto array = std::make_unique<LocalArray>();
+  array->id = next_local_array_id_++;
+  array->name = std::move(name);
+  array->elem_type = elem;
+  array->size = size;
+  local_arrays_.push_back(std::move(array));
+  return local_arrays_.back().get();
+}
+
+void Function::erase_local_array(LocalArray* array) {
+  const auto it = std::find_if(local_arrays_.begin(), local_arrays_.end(),
+                               [&](const auto& p) { return p.get() == array; });
+  assert(it != local_arrays_.end());
+  local_arrays_.erase(it);
+}
+
+void Function::remove_unreachable_blocks() {
+  std::unordered_set<const BasicBlock*> reachable;
+  for (BasicBlock* block : reverse_postorder()) reachable.insert(block);
+  // Phis in surviving blocks may reference incoming edges from blocks about
+  // to be removed; prune those incomings first.
+  for (const auto& block : blocks_) {
+    if (reachable.count(block.get()) == 0) continue;
+    for (const auto& inst : block->instructions()) {
+      if (inst->op() != Opcode::Phi) continue;
+      for (std::size_t i = inst->phi_blocks.size(); i-- > 0;) {
+        if (reachable.count(inst->phi_blocks[i]) == 0) {
+          inst->phi_blocks.erase(inst->phi_blocks.begin() + static_cast<std::ptrdiff_t>(i));
+          inst->remove_operand(i);
+        }
+      }
+    }
+  }
+  blocks_.erase(std::remove_if(blocks_.begin(), blocks_.end(),
+                               [&](const auto& block) {
+                                 return reachable.count(block.get()) == 0;
+                               }),
+                blocks_.end());
+  recompute_preds();
+}
+
+void Function::recompute_preds() {
+  for (const auto& block : blocks_) block->predecessors().clear();
+  for (const auto& block : blocks_) {
+    for (BasicBlock* succ : block->successors()) {
+      succ->predecessors().push_back(block.get());
+    }
+  }
+}
+
+std::vector<BasicBlock*> Function::reverse_postorder() const {
+  std::vector<BasicBlock*> postorder;
+  std::unordered_set<const BasicBlock*> visited;
+  auto dfs = [&](auto&& self, BasicBlock* block) -> void {
+    if (!visited.insert(block).second) return;
+    for (BasicBlock* succ : block->successors()) self(self, succ);
+    postorder.push_back(block);
+  };
+  if (entry() != nullptr) dfs(dfs, entry());
+  std::reverse(postorder.begin(), postorder.end());
+  return postorder;
+}
+
+void Function::replace_all_uses(Value* from, Value* to) {
+  for (const auto& block : blocks_) {
+    for (const auto& inst : block->instructions()) {
+      for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+        if (inst->operand(i) == from) inst->set_operand(i, to);
+      }
+    }
+  }
+}
+
+std::size_t Function::instruction_count() const {
+  std::size_t count = 0;
+  for (const auto& block : blocks_) count += block->instructions().size();
+  return count;
+}
+
+}  // namespace netcl::ir

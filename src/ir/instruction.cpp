@@ -1,0 +1,87 @@
+#include "ir/ir.hpp"
+
+namespace netcl::ir {
+
+std::string to_string(Opcode op) {
+  switch (op) {
+    case Opcode::Phi: return "phi";
+    case Opcode::Bin: return "bin";
+    case Opcode::ICmp: return "icmp";
+    case Opcode::Select: return "select";
+    case Opcode::Cast: return "cast";
+    case Opcode::LoadGlobal: return "load.global";
+    case Opcode::StoreGlobal: return "store.global";
+    case Opcode::AtomicRMW: return "atomicrmw";
+    case Opcode::Lookup: return "lookup";
+    case Opcode::LookupValue: return "lookup.value";
+    case Opcode::LoadMsg: return "load.msg";
+    case Opcode::StoreMsg: return "store.msg";
+    case Opcode::LoadLocal: return "load.local";
+    case Opcode::StoreLocal: return "store.local";
+    case Opcode::Hash: return "hash";
+    case Opcode::Rand: return "rand";
+    case Opcode::MsgMeta: return "msg.meta";
+    case Opcode::Clz: return "clz";
+    case Opcode::Bswap: return "bswap";
+    case Opcode::Br: return "br";
+    case Opcode::CondBr: return "condbr";
+    case Opcode::Ret: return "ret";
+    case Opcode::RetAction: return "ret.action";
+  }
+  return "?";
+}
+
+std::string to_string(BinKind kind) {
+  switch (kind) {
+    case BinKind::Add: return "add";
+    case BinKind::Sub: return "sub";
+    case BinKind::Mul: return "mul";
+    case BinKind::UDiv: return "udiv";
+    case BinKind::SDiv: return "sdiv";
+    case BinKind::URem: return "urem";
+    case BinKind::SRem: return "srem";
+    case BinKind::Shl: return "shl";
+    case BinKind::LShr: return "lshr";
+    case BinKind::AShr: return "ashr";
+    case BinKind::And: return "and";
+    case BinKind::Or: return "or";
+    case BinKind::Xor: return "xor";
+    case BinKind::SAddSat: return "sadd.sat";
+    case BinKind::SSubSat: return "ssub.sat";
+    case BinKind::UMin: return "umin";
+    case BinKind::UMax: return "umax";
+    case BinKind::SMin: return "smin";
+    case BinKind::SMax: return "smax";
+  }
+  return "?";
+}
+
+std::string to_string(ICmpPred pred) {
+  switch (pred) {
+    case ICmpPred::EQ: return "eq";
+    case ICmpPred::NE: return "ne";
+    case ICmpPred::ULT: return "ult";
+    case ICmpPred::ULE: return "ule";
+    case ICmpPred::UGT: return "ugt";
+    case ICmpPred::UGE: return "uge";
+    case ICmpPred::SLT: return "slt";
+    case ICmpPred::SLE: return "sle";
+    case ICmpPred::SGT: return "sgt";
+    case ICmpPred::SGE: return "sge";
+  }
+  return "?";
+}
+
+bool is_signed_pred(ICmpPred pred) {
+  switch (pred) {
+    case ICmpPred::SLT:
+    case ICmpPred::SLE:
+    case ICmpPred::SGT:
+    case ICmpPred::SGE:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace netcl::ir

@@ -1,0 +1,435 @@
+// NetCL compiler intermediate representation.
+//
+// The IR is an SSA-form CFG over integer values, mirroring the role LLVM IR
+// plays in the paper's compiler. Design points that differ from LLVM, all
+// motivated by the P4/RMT targets:
+//
+//  * The CFG is acyclic by construction: loops are fully unrolled and net
+//    functions fully inlined during AST lowering (the paper does both as
+//    LLVM passes; the observable result is identical).
+//  * Global memory accesses are first-class instructions (LoadGlobal /
+//    StoreGlobal / AtomicRMW / Lookup) carrying their GlobalVar and one
+//    index operand per array dimension — no pointer arithmetic exists, so
+//    the backend can always infer "base object + regular offset" (§V-D).
+//  * Message (kernel-argument) accesses are LoadMsg / StoreMsg carrying the
+//    argument index; the backend maps them onto header fields.
+//
+// Ownership: a Module owns globals, constants, and functions; a Function
+// owns its arguments, local arrays, and blocks; a BasicBlock owns its
+// instructions. Raw pointers elsewhere are non-owning borrows within the
+// same Module.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "frontend/sema.hpp"
+
+namespace netcl::ir {
+
+using netcl::ScalarType;
+
+class BasicBlock;
+class Function;
+class Module;
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+enum class ValueKind : std::uint8_t { Constant, Argument, Instruction };
+
+class Value {
+ public:
+  Value(ValueKind kind, ScalarType type) : kind_(kind), type_(type) {}
+  virtual ~Value() = default;
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+
+  [[nodiscard]] ValueKind kind() const { return kind_; }
+  [[nodiscard]] ScalarType type() const { return type_; }
+  void set_type(ScalarType t) { type_ = t; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  ValueKind kind_;
+  ScalarType type_;
+  std::string name_;
+};
+
+class Constant final : public Value {
+ public:
+  Constant(ScalarType type, std::uint64_t value)
+      : Value(ValueKind::Constant, type), value_(type.truncate(value)) {}
+
+  /// The value truncated to the constant's width.
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  /// The value sign/zero-extended to 64 bits per the constant's type.
+  [[nodiscard]] std::int64_t extended() const { return type().extend(value_); }
+
+ private:
+  std::uint64_t value_;
+};
+
+/// A kernel argument (one message field group). Scalars are SSA values;
+/// array arguments act only as handles for LoadMsg/StoreMsg.
+class Argument final : public Value {
+ public:
+  Argument(ScalarType type, int index, int elem_count, bool writable, std::string name)
+      : Value(ValueKind::Argument, type), index_(index), elem_count_(elem_count),
+        writable_(writable) {
+    set_name(std::move(name));
+  }
+
+  [[nodiscard]] int index() const { return index_; }
+  [[nodiscard]] int elem_count() const { return elem_count_; }
+  [[nodiscard]] bool writable() const { return writable_; }
+  [[nodiscard]] bool is_array() const { return elem_count_ > 1; }
+
+ private:
+  int index_;
+  int elem_count_;
+  bool writable_;
+};
+
+// ---------------------------------------------------------------------------
+// Global memory
+// ---------------------------------------------------------------------------
+
+/// One device-memory object. Indexed (register) memory and lookup (MAT)
+/// memory share this type; `is_lookup` picks the flavor.
+struct GlobalVar {
+  int id = 0;
+  std::string name;
+  ScalarType elem_type;
+  std::vector<std::int64_t> dims;  // empty = scalar
+  bool is_managed = false;
+  bool is_lookup = false;
+  LookupKind lookup_kind = LookupKind::Set;
+  ScalarType key_type;
+  ScalarType value_type;
+  std::vector<LookupEntry> entries;
+
+  [[nodiscard]] std::int64_t element_count() const {
+    std::int64_t n = 1;
+    for (const std::int64_t d : dims) n *= d;
+    return n;
+  }
+  /// Total size in bits, as placed into stage SRAM.
+  [[nodiscard]] std::int64_t bit_size() const { return element_count() * elem_type.bits; }
+};
+
+/// A function-local array that survived SROA (dynamically indexed); the
+/// backend lowers it to a header stack plus index tables (Fig. 9).
+struct LocalArray {
+  int id = 0;
+  std::string name;
+  ScalarType elem_type;
+  int size = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Instructions
+// ---------------------------------------------------------------------------
+
+enum class Opcode : std::uint8_t {
+  Phi,
+  Bin,          // binary arithmetic/logical
+  ICmp,         // integer comparison -> i1
+  Select,       // (cond, a, b)
+  Cast,         // width/signedness change (zext/sext/trunc by operand+type)
+  LoadGlobal,   // [indices...] -> elem
+  StoreGlobal,  // [indices..., value]
+  AtomicRMW,    // [indices..., (cond), (operands...)] -> elem
+  Lookup,       // [key] -> i1 hit
+  LookupValue,  // [lookup, default] -> value written by the MAT on hit
+  LoadMsg,      // [index] -> elem   (message/kernel-arg array element)
+  StoreMsg,     // [index, value]
+  LoadLocal,    // [index] -> elem   (local array element)
+  StoreLocal,   // [index, value]
+  Hash,         // [inputs...] -> uW
+  Rand,         // [] -> uW
+  MsgMeta,      // [] -> u16; NetCL header field, arg_index: 0=src 1=dst 2=from 3=to
+  Clz,          // [v] -> count of leading zeros
+  Bswap,        // [v] -> byte-swapped v
+  Br,           // unconditional terminator
+  CondBr,       // [cond] terminator, successors = {true, false}
+  Ret,          // net-function return (eliminated by inlining)
+  RetAction,    // kernel terminator: action + optional id operand
+};
+
+enum class BinKind : std::uint8_t {
+  Add, Sub, Mul, UDiv, SDiv, URem, SRem,
+  Shl, LShr, AShr,
+  And, Or, Xor,
+  SAddSat, SSubSat,
+  UMin, UMax, SMin, SMax,
+};
+
+enum class ICmpPred : std::uint8_t { EQ, NE, ULT, ULE, UGT, UGE, SLT, SLE, SGT, SGE };
+
+[[nodiscard]] std::string to_string(Opcode op);
+[[nodiscard]] std::string to_string(BinKind kind);
+[[nodiscard]] std::string to_string(ICmpPred pred);
+
+/// True when the predicate compares signed operands.
+[[nodiscard]] bool is_signed_pred(ICmpPred pred);
+
+class Instruction final : public Value {
+ public:
+  Instruction(Opcode op, ScalarType type) : Value(ValueKind::Instruction, type), op_(op) {}
+
+  [[nodiscard]] Opcode op() const { return op_; }
+  [[nodiscard]] BasicBlock* parent() const { return parent_; }
+  void set_parent(BasicBlock* block) { parent_ = block; }
+
+  // Operands.
+  [[nodiscard]] const std::vector<Value*>& operands() const { return operands_; }
+  [[nodiscard]] Value* operand(std::size_t i) const { return operands_[i]; }
+  void add_operand(Value* v) { operands_.push_back(v); }
+  void set_operand(std::size_t i, Value* v) { operands_[i] = v; }
+  void remove_operand(std::size_t i) {
+    operands_.erase(operands_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  [[nodiscard]] std::size_t num_operands() const { return operands_.size(); }
+
+  // Payload accessors; which ones are meaningful depends on op().
+  BinKind bin_kind = BinKind::Add;
+  ICmpPred icmp_pred = ICmpPred::EQ;
+  GlobalVar* global = nullptr;       // LoadGlobal/StoreGlobal/AtomicRMW/Lookup
+  LocalArray* local_array = nullptr; // LoadLocal/StoreLocal
+  int arg_index = -1;                // LoadMsg/StoreMsg
+  int num_indices = 0;               // leading index operands of global accesses
+  AtomicOpKind atomic_op = AtomicOpKind::Add;
+  bool atomic_new = false;
+  bool atomic_cond = false;
+  HashKind hash_kind = HashKind::Crc16;
+  ActionKind action = ActionKind::None;
+  bool cast_signed = false;          // Cast: sign-extend when widening
+  SourceLoc loc;
+
+  // Control flow. Br: succs[0]; CondBr: succs[0]=true, succs[1]=false.
+  std::vector<BasicBlock*> succs;
+  // Phi: incoming blocks, parallel to operands().
+  std::vector<BasicBlock*> phi_blocks;
+
+  [[nodiscard]] bool is_terminator() const {
+    return op_ == Opcode::Br || op_ == Opcode::CondBr || op_ == Opcode::Ret ||
+           op_ == Opcode::RetAction;
+  }
+  /// True if removing this instruction (when unused) changes behavior.
+  [[nodiscard]] bool has_side_effects() const {
+    switch (op_) {
+      case Opcode::StoreGlobal:
+      case Opcode::StoreMsg:
+      case Opcode::StoreLocal:
+      case Opcode::AtomicRMW:
+      case Opcode::Br:
+      case Opcode::CondBr:
+      case Opcode::Ret:
+      case Opcode::RetAction:
+        return true;
+      default:
+        return false;
+    }
+  }
+  /// True for pure value-producing instructions that may be speculated.
+  [[nodiscard]] bool is_speculatable() const {
+    switch (op_) {
+      case Opcode::Bin:
+      case Opcode::ICmp:
+      case Opcode::Select:
+      case Opcode::Cast:
+      case Opcode::Hash:
+      case Opcode::Clz:
+      case Opcode::Bswap:
+        return true;
+      default:
+        return false;
+    }
+  }
+  /// True for instructions that touch stateful device memory.
+  [[nodiscard]] bool accesses_global() const {
+    switch (op_) {
+      case Opcode::LoadGlobal:
+      case Opcode::StoreGlobal:
+      case Opcode::AtomicRMW:
+      case Opcode::Lookup:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+ private:
+  Opcode op_;
+  BasicBlock* parent_ = nullptr;
+  std::vector<Value*> operands_;
+};
+
+// ---------------------------------------------------------------------------
+// Blocks and functions
+// ---------------------------------------------------------------------------
+
+class BasicBlock {
+ public:
+  BasicBlock(Function* parent, int id, std::string name)
+      : parent_(parent), id_(id), name_(std::move(name)) {}
+
+  [[nodiscard]] Function* parent() const { return parent_; }
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Instruction>>& instructions() const {
+    return instructions_;
+  }
+  [[nodiscard]] std::vector<std::unique_ptr<Instruction>>& instructions() {
+    return instructions_;
+  }
+
+  Instruction* append(std::unique_ptr<Instruction> inst);
+  /// Inserts before the terminator (or appends if there is none yet).
+  Instruction* insert_before_terminator(std::unique_ptr<Instruction> inst);
+  /// Inserts at the top of the block, after any leading phis.
+  Instruction* insert_after_phis(std::unique_ptr<Instruction> inst);
+  /// Removes and destroys an instruction (must have no remaining uses).
+  void erase(Instruction* inst);
+  /// Detaches an instruction without destroying it.
+  std::unique_ptr<Instruction> detach(Instruction* inst);
+
+  [[nodiscard]] Instruction* terminator() const;
+  [[nodiscard]] std::vector<BasicBlock*> successors() const;
+  [[nodiscard]] const std::vector<BasicBlock*>& predecessors() const { return preds_; }
+  [[nodiscard]] std::vector<BasicBlock*>& predecessors() { return preds_; }
+
+ private:
+  Function* parent_;
+  int id_;
+  std::string name_;
+  std::vector<std::unique_ptr<Instruction>> instructions_;
+  std::vector<BasicBlock*> preds_;
+};
+
+class Function {
+ public:
+  Function(Module* parent, std::string name, bool is_kernel, int computation)
+      : parent_(parent), name_(std::move(name)), is_kernel_(is_kernel),
+        computation_(computation) {}
+
+  [[nodiscard]] Module* parent() const { return parent_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool is_kernel() const { return is_kernel_; }
+  [[nodiscard]] int computation() const { return computation_; }
+
+  KernelSpec spec;  // message layout of this kernel
+
+  Argument* add_argument(ScalarType type, int elem_count, bool writable, std::string name);
+  [[nodiscard]] const std::vector<std::unique_ptr<Argument>>& arguments() const {
+    return arguments_;
+  }
+  [[nodiscard]] Argument* argument(int index) const { return arguments_[index].get(); }
+
+  BasicBlock* add_block(std::string name);
+  [[nodiscard]] const std::vector<std::unique_ptr<BasicBlock>>& blocks() const {
+    return blocks_;
+  }
+  [[nodiscard]] std::vector<std::unique_ptr<BasicBlock>>& blocks() { return blocks_; }
+  [[nodiscard]] BasicBlock* entry() const {
+    return blocks_.empty() ? nullptr : blocks_.front().get();
+  }
+  void erase_block(BasicBlock* block);
+
+  LocalArray* add_local_array(std::string name, ScalarType elem, int size);
+  [[nodiscard]] const std::vector<std::unique_ptr<LocalArray>>& local_arrays() const {
+    return local_arrays_;
+  }
+  void erase_local_array(LocalArray* array);
+
+  /// Recomputes predecessor lists from the terminators.
+  void recompute_preds();
+  /// Removes blocks unreachable from the entry (created by e.g. code after
+  /// a return). Updates predecessor lists.
+  void remove_unreachable_blocks();
+  /// Blocks in reverse postorder (topological order; the CFG is acyclic).
+  [[nodiscard]] std::vector<BasicBlock*> reverse_postorder() const;
+  /// Replaces every use of `from` with `to` across the function.
+  void replace_all_uses(Value* from, Value* to);
+  /// Total instruction count (for tests and reports).
+  [[nodiscard]] std::size_t instruction_count() const;
+
+  int next_value_id = 0;  // for printer naming
+
+ private:
+  Module* parent_;
+  std::string name_;
+  bool is_kernel_;
+  int computation_;
+  std::vector<std::unique_ptr<Argument>> arguments_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+  std::vector<std::unique_ptr<LocalArray>> local_arrays_;
+  int next_block_id_ = 0;
+  int next_local_array_id_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Module
+// ---------------------------------------------------------------------------
+
+/// All device code compiled for one device: the kernels placed there plus
+/// the globals they reference.
+class Module {
+ public:
+  explicit Module(int device_id) : device_id_(device_id) {}
+
+  [[nodiscard]] int device_id() const { return device_id_; }
+
+  GlobalVar* add_global(GlobalVar global);
+  [[nodiscard]] const std::vector<std::unique_ptr<GlobalVar>>& globals() const {
+    return globals_;
+  }
+  [[nodiscard]] GlobalVar* find_global(const std::string& name) const;
+  void erase_global(GlobalVar* global);
+
+  Function* add_function(std::string name, bool is_kernel, int computation);
+  [[nodiscard]] const std::vector<std::unique_ptr<Function>>& functions() const {
+    return functions_;
+  }
+  [[nodiscard]] Function* find_function(const std::string& name) const;
+
+  /// Interned constant of the given type and value.
+  Constant* constant(ScalarType type, std::uint64_t value);
+  [[nodiscard]] Constant* bool_constant(bool value) { return constant(kBool, value ? 1 : 0); }
+
+ private:
+  int device_id_;
+  std::vector<std::unique_ptr<GlobalVar>> globals_;
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::map<std::pair<std::uint64_t, std::uint16_t>, std::unique_ptr<Constant>> constants_;
+  int next_global_id_ = 0;
+};
+
+// Casting helpers.
+template <typename T>
+[[nodiscard]] T* dyn_cast(Value* v) {
+  if constexpr (std::is_same_v<T, Constant>) {
+    return v != nullptr && v->kind() == ValueKind::Constant ? static_cast<Constant*>(v) : nullptr;
+  } else if constexpr (std::is_same_v<T, Argument>) {
+    return v != nullptr && v->kind() == ValueKind::Argument ? static_cast<Argument*>(v) : nullptr;
+  } else {
+    return v != nullptr && v->kind() == ValueKind::Instruction ? static_cast<Instruction*>(v)
+                                                               : nullptr;
+  }
+}
+
+[[nodiscard]] inline const Constant* as_constant(const Value* v) {
+  return v != nullptr && v->kind() == ValueKind::Constant ? static_cast<const Constant*>(v)
+                                                          : nullptr;
+}
+
+}  // namespace netcl::ir

@@ -1,0 +1,989 @@
+#include "ir/lower_ast.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "ir/builder.hpp"
+
+namespace netcl::ir {
+namespace {
+
+[[nodiscard]] bool placed_at(const std::vector<std::uint16_t>& locations, int device_id) {
+  return locations.empty() ||
+         std::find(locations.begin(), locations.end(),
+                   static_cast<std::uint16_t>(device_id)) != locations.end();
+}
+
+/// A storage slot a NetCL-C variable name can refer to during lowering.
+struct Slot {
+  enum class Kind { SsaVar, LocalArr, MsgArr, ConstVal } kind = Kind::SsaVar;
+  int ssa_id = -1;            // SsaVar
+  LocalArray* local = nullptr;  // LocalArr
+  Argument* msg = nullptr;      // MsgArr
+  std::int64_t const_val = 0;   // ConstVal (unrolled induction variables)
+  ScalarType type;
+};
+
+class KernelLowerer {
+ public:
+  KernelLowerer(const Program& program, Module& module, Function& fn,
+                const FunctionDecl& kernel, const LowerOptions& options,
+                DiagnosticEngine& diags)
+      : program_(program), module_(module), fn_(fn), kernel_(kernel), options_(options),
+        diags_(diags), builder_(module, fn) {}
+
+  void lower() {
+    BasicBlock* entry = fn_.add_block("entry");
+    builder_.set_insert_point(entry);
+
+    env_.emplace_back();
+    for (std::size_t i = 0; i < kernel_.params.size(); ++i) {
+      const ParamDecl& param = kernel_.params[i];
+      Argument* arg = fn_.add_argument(param.type, param.spec,
+                                       param.by_ref || param.is_pointer, param.name);
+      if (param.is_pointer) {
+        bind(&param, Slot{Slot::Kind::MsgArr, -1, nullptr, arg, 0, param.type});
+      } else {
+        const int id = new_ssa_var(param.type);
+        write_var(id, builder_.insert_block(), arg);
+        bind(&param, Slot{Slot::Kind::SsaVar, id, nullptr, nullptr, 0, param.type});
+        if (param.by_ref) byref_scalars_.emplace_back(arg, id);
+      }
+    }
+
+    lower_stmt(*kernel_.body);
+    if (builder_.insert_block()->terminator() == nullptr) {
+      emit_ret(ActionKind::Pass, nullptr);  // implicit pass() (§V-A)
+    }
+    // Give any trailing unterminated unreachable blocks terminators, then
+    // drop them.
+    for (auto& block : fn_.blocks()) {
+      if (block->terminator() == nullptr) {
+        builder_.set_insert_point(block.get());
+        emit_ret(ActionKind::Pass, nullptr);
+      }
+    }
+    fn_.remove_unreachable_blocks();
+  }
+
+ private:
+  // --- diagnostics ---------------------------------------------------------
+  void error(SourceLoc loc, std::string message) { diags_.error(loc, std::move(message)); }
+
+  // --- environment ---------------------------------------------------------
+  void bind(const void* decl, Slot slot) { env_.back()[decl] = slot; }
+
+  [[nodiscard]] const Slot* find_slot(const void* decl) const {
+    for (auto frame = env_.rbegin(); frame != env_.rend(); ++frame) {
+      const auto it = frame->find(decl);
+      if (it != frame->end()) return &it->second;
+    }
+    return nullptr;
+  }
+
+  // --- SSA construction ----------------------------------------------------
+  int new_ssa_var(ScalarType type) {
+    var_types_.push_back(type);
+    return static_cast<int>(var_types_.size()) - 1;
+  }
+
+  void write_var(int id, BasicBlock* block, Value* value) {
+    defs_[block][id] = value;
+  }
+
+  Value* read_var(int id, BasicBlock* block) {
+    const auto block_it = defs_.find(block);
+    if (block_it != defs_.end()) {
+      const auto it = block_it->second.find(id);
+      if (it != block_it->second.end()) return it->second;
+    }
+    const auto& preds = block->predecessors();
+    Value* result = nullptr;
+    if (preds.empty()) {
+      // Undefined read (default-initialized local, §V-B): deterministic 0.
+      result = module_.constant(var_types_[static_cast<std::size_t>(id)], 0);
+    } else if (preds.size() == 1) {
+      result = read_var(id, preds[0]);
+    } else {
+      // Insert a phi; all predecessors are complete (acyclic CFG, blocks
+      // lowered in topological order).
+      BasicBlock* saved = builder_.insert_block();
+      builder_.set_insert_point(block);
+      Instruction* phi = builder_.phi(var_types_[static_cast<std::size_t>(id)]);
+      builder_.set_insert_point(saved);
+      // Record the phi as this block's def *before* reading predecessors
+      // (harmless here, required if diamonds share predecessors).
+      write_var(id, block, phi);
+      for (BasicBlock* pred : preds) {
+        Value* incoming = read_var(id, pred);
+        phi->add_operand(builder_.adapt_in(incoming, phi->type(), pred));
+        phi->phi_blocks.push_back(pred);
+      }
+      result = phi;
+    }
+    write_var(id, block, result);
+    return result;
+  }
+
+  // --- control-flow plumbing ----------------------------------------------
+  void link(BasicBlock* from, BasicBlock* to) { to->predecessors().push_back(from); }
+
+  void emit_br(BasicBlock* target) {
+    BasicBlock* from = builder_.insert_block();
+    builder_.br(target);
+    link(from, target);
+  }
+
+  void emit_cond_br(Value* cond, BasicBlock* if_true, BasicBlock* if_false) {
+    BasicBlock* from = builder_.insert_block();
+    builder_.cond_br(cond, if_true, if_false);
+    link(from, if_true);
+    link(from, if_false);
+  }
+
+  void emit_ret(ActionKind action, Value* id) {
+    // Write back every modified by-ref scalar argument before exiting.
+    BasicBlock* block = builder_.insert_block();
+    for (const auto& [arg, ssa_id] : byref_scalars_) {
+      Value* current = read_var(ssa_id, block);
+      if (current != arg) {
+        builder_.store_msg(arg, module_.constant(kU16, 0), current);
+      }
+    }
+    builder_.ret_action(action, id);
+  }
+
+  // --- constant evaluation with environment --------------------------------
+  [[nodiscard]] std::optional<std::int64_t> eval_const(const Expr& expr) {
+    if (expr.kind == ExprKind::VarRef) {
+      const auto& ref = static_cast<const VarRefExpr&>(expr);
+      const void* decl = ref.param != nullptr ? static_cast<const void*>(ref.param)
+                                              : static_cast<const void*>(ref.local);
+      if (decl != nullptr) {
+        if (const Slot* slot = find_slot(decl); slot != nullptr &&
+                                                slot->kind == Slot::Kind::ConstVal) {
+          return slot->const_val;
+        }
+      }
+      return std::nullopt;
+    }
+    if (expr.kind == ExprKind::Binary) {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      const auto lhs = eval_const(*bin.lhs);
+      const auto rhs = eval_const(*bin.rhs);
+      if (!lhs || !rhs) return std::nullopt;
+      switch (bin.op) {
+        case BinaryOp::Add: return *lhs + *rhs;
+        case BinaryOp::Sub: return *lhs - *rhs;
+        case BinaryOp::Mul: return *lhs * *rhs;
+        case BinaryOp::Div: return *rhs == 0 ? std::optional<std::int64_t>() : *lhs / *rhs;
+        case BinaryOp::Rem: return *rhs == 0 ? std::optional<std::int64_t>() : *lhs % *rhs;
+        case BinaryOp::Shl: return *lhs << (*rhs & 63);
+        case BinaryOp::Shr: return *lhs >> (*rhs & 63);
+        case BinaryOp::And: return *lhs & *rhs;
+        case BinaryOp::Or: return *lhs | *rhs;
+        case BinaryOp::Xor: return *lhs ^ *rhs;
+        case BinaryOp::LogicalAnd: return (*lhs != 0 && *rhs != 0) ? 1 : 0;
+        case BinaryOp::LogicalOr: return (*lhs != 0 || *rhs != 0) ? 1 : 0;
+        case BinaryOp::Eq: return *lhs == *rhs ? 1 : 0;
+        case BinaryOp::Ne: return *lhs != *rhs ? 1 : 0;
+        case BinaryOp::Lt: return *lhs < *rhs ? 1 : 0;
+        case BinaryOp::Le: return *lhs <= *rhs ? 1 : 0;
+        case BinaryOp::Gt: return *lhs > *rhs ? 1 : 0;
+        case BinaryOp::Ge: return *lhs >= *rhs ? 1 : 0;
+      }
+      return std::nullopt;
+    }
+    if (expr.kind == ExprKind::Unary) {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      const auto v = eval_const(*unary.operand);
+      if (!v) return std::nullopt;
+      switch (unary.op) {
+        case UnaryOp::Neg: return -*v;
+        case UnaryOp::BitNot: return ~*v;
+        case UnaryOp::LogicalNot: return *v == 0 ? 1 : 0;
+        case UnaryOp::AddrOf: return std::nullopt;
+      }
+    }
+    return evaluate_const_expr(expr);
+  }
+
+  // --- statements -----------------------------------------------------------
+  void lower_stmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::Block: {
+        env_.emplace_back();
+        for (const auto& child : static_cast<const BlockStmt&>(stmt).body) lower_stmt(*child);
+        env_.pop_back();
+        break;
+      }
+      case StmtKind::Decl: {
+        for (const auto& decl : static_cast<const DeclStmt&>(stmt).decls) {
+          if (decl->array_size > 0) {
+            LocalArray* array = fn_.add_local_array(decl->name + "." +
+                                                        std::to_string(fn_.next_value_id++),
+                                                    decl->type, decl->array_size);
+            bind(decl.get(), Slot{Slot::Kind::LocalArr, -1, array, nullptr, 0, decl->type});
+          } else {
+            const int id = new_ssa_var(decl->type);
+            if (decl->init != nullptr) {
+              Value* init = lower_expr(*decl->init);
+              write_var(id, builder_.insert_block(),
+                        builder_.adapt(init, decl->type));
+            }
+            bind(decl.get(), Slot{Slot::Kind::SsaVar, id, nullptr, nullptr, 0, decl->type});
+          }
+        }
+        break;
+      }
+      case StmtKind::Expr:
+        (void)lower_expr(*static_cast<const ExprStmt&>(stmt).expr);
+        break;
+      case StmtKind::Assign:
+        lower_assign(static_cast<const AssignStmt&>(stmt));
+        break;
+      case StmtKind::If:
+        lower_if(static_cast<const IfStmt&>(stmt));
+        break;
+      case StmtKind::For:
+        lower_for(static_cast<const ForStmt&>(stmt));
+        break;
+      case StmtKind::Return:
+        lower_return(static_cast<const ReturnStmt&>(stmt));
+        break;
+    }
+  }
+
+  void lower_if(const IfStmt& stmt) {
+    Value* cond = builder_.to_bool(lower_expr(*stmt.cond), stmt.loc);
+    BasicBlock* then_block = fn_.add_block("if.then." + std::to_string(fn_.next_value_id++));
+    BasicBlock* merge_block = fn_.add_block("if.end." + std::to_string(fn_.next_value_id++));
+    BasicBlock* else_block =
+        stmt.else_stmt != nullptr
+            ? fn_.add_block("if.else." + std::to_string(fn_.next_value_id++))
+            : merge_block;
+    emit_cond_br(cond, then_block, else_block);
+
+    builder_.set_insert_point(then_block);
+    lower_stmt(*stmt.then_stmt);
+    if (builder_.insert_block()->terminator() == nullptr) emit_br(merge_block);
+
+    if (stmt.else_stmt != nullptr) {
+      builder_.set_insert_point(else_block);
+      lower_stmt(*stmt.else_stmt);
+      if (builder_.insert_block()->terminator() == nullptr) emit_br(merge_block);
+    }
+    builder_.set_insert_point(merge_block);
+  }
+
+  void lower_for(const ForStmt& stmt) {
+    // Extract the induction variable and its initial constant value.
+    const void* ind_decl = nullptr;
+    ScalarType ind_type = kI32;
+    std::int64_t value = 0;
+    if (stmt.init == nullptr) {
+      error(stmt.loc, "for loops must declare or initialize an induction variable");
+      return;
+    }
+    if (stmt.init->kind == StmtKind::Decl) {
+      const auto& decl_stmt = static_cast<const DeclStmt&>(*stmt.init);
+      if (decl_stmt.decls.size() != 1 || decl_stmt.decls[0]->init == nullptr) {
+        error(stmt.loc, "for-init must declare exactly one variable with a constant value");
+        return;
+      }
+      const auto init_value = eval_const(*decl_stmt.decls[0]->init);
+      if (!init_value.has_value()) {
+        error(stmt.loc, "loop bounds must be compile-time constants for full unrolling");
+        return;
+      }
+      ind_decl = decl_stmt.decls[0].get();
+      ind_type = decl_stmt.decls[0]->type;
+      value = *init_value;
+    } else if (stmt.init->kind == StmtKind::Assign) {
+      const auto& assign = static_cast<const AssignStmt&>(*stmt.init);
+      if (assign.target->kind != ExprKind::VarRef || assign.compound) {
+        error(stmt.loc, "for-init must be a simple assignment");
+        return;
+      }
+      const auto& ref = static_cast<const VarRefExpr&>(*assign.target);
+      ind_decl = ref.local != nullptr ? static_cast<const void*>(ref.local)
+                                      : static_cast<const void*>(ref.param);
+      ind_type = ref.type;
+      const auto init_value = eval_const(*assign.value);
+      if (!init_value.has_value()) {
+        error(stmt.loc, "loop bounds must be compile-time constants for full unrolling");
+        return;
+      }
+      value = *init_value;
+    } else {
+      error(stmt.loc, "unsupported for-init");
+      return;
+    }
+
+    // The step must be a constant-increment of the induction variable.
+    if (stmt.step == nullptr || stmt.step->kind != StmtKind::Assign) {
+      error(stmt.loc, "for-step must update the induction variable by a constant");
+      return;
+    }
+    const auto& step = static_cast<const AssignStmt&>(*stmt.step);
+    std::int64_t increment = 0;
+    {
+      const Expr* target = step.target.get();
+      if (target->kind != ExprKind::VarRef) {
+        error(stmt.loc, "for-step must assign the induction variable");
+        return;
+      }
+      const auto& ref = static_cast<const VarRefExpr&>(*target);
+      const void* step_decl = ref.local != nullptr ? static_cast<const void*>(ref.local)
+                                                   : static_cast<const void*>(ref.param);
+      if (step_decl != ind_decl) {
+        error(stmt.loc, "for-step must update the loop's induction variable");
+        return;
+      }
+      if (step.compound && (step.op == BinaryOp::Add || step.op == BinaryOp::Sub)) {
+        const auto step_value = eval_const(*step.value);
+        if (!step_value.has_value()) {
+          error(stmt.loc, "for-step increment must be a compile-time constant");
+          return;
+        }
+        increment = step.op == BinaryOp::Add ? *step_value : -*step_value;
+      } else {
+        error(stmt.loc, "for-step must be ++, --, += or -= of the induction variable");
+        return;
+      }
+      if (increment == 0) {
+        error(stmt.loc, "for-step increment cannot be zero");
+        return;
+      }
+    }
+
+    if (stmt.cond == nullptr) {
+      error(stmt.loc, "for loops require a condition for full unrolling");
+      return;
+    }
+
+    // Unroll.
+    env_.emplace_back();
+    bind(ind_decl, Slot{Slot::Kind::ConstVal, -1, nullptr, nullptr, value, ind_type});
+    int iterations = 0;
+    for (;;) {
+      env_.back()[ind_decl].const_val = value;
+      const auto cond = eval_const(*stmt.cond);
+      if (!cond.has_value()) {
+        error(stmt.cond->loc, "loop bounds must be compile-time constants for full unrolling");
+        break;
+      }
+      if (*cond == 0) break;
+      if (++iterations > options_.max_unroll) {
+        error(stmt.loc, "loop does not fully unroll within " +
+                            std::to_string(options_.max_unroll) + " iterations");
+        break;
+      }
+      lower_stmt(*stmt.body);
+      if (builder_.insert_block()->terminator() != nullptr) {
+        // A return inside a loop body ends every later iteration too; the
+        // remaining iterations are unreachable.
+        break;
+      }
+      value += increment;
+    }
+    env_.pop_back();
+  }
+
+  void lower_return(const ReturnStmt& stmt) {
+    if (stmt.value == nullptr) {
+      if (net_exit_stack_.empty()) {
+        emit_ret(ActionKind::Pass, nullptr);
+      } else {
+        emit_br(net_exit_stack_.back());
+      }
+      start_unreachable_block();
+      return;
+    }
+    lower_action_expr(*stmt.value);
+  }
+
+  /// Lowers a kernel return value: action call, net call (then implicit
+  /// pass), or a ternary of those lowered as control flow.
+  void lower_action_expr(const Expr& expr) {
+    if (expr.kind == ExprKind::Ternary) {
+      const auto& ternary = static_cast<const TernaryExpr&>(expr);
+      Value* cond = builder_.to_bool(lower_expr(*ternary.cond), expr.loc);
+      BasicBlock* then_block = fn_.add_block("ret.then." + std::to_string(fn_.next_value_id++));
+      BasicBlock* else_block = fn_.add_block("ret.else." + std::to_string(fn_.next_value_id++));
+      emit_cond_br(cond, then_block, else_block);
+      builder_.set_insert_point(then_block);
+      lower_action_expr(*ternary.then_expr);
+      builder_.set_insert_point(else_block);
+      lower_action_expr(*ternary.else_expr);
+      start_unreachable_block();
+      return;
+    }
+    assert(expr.kind == ExprKind::Call);
+    const auto& call = static_cast<const CallExpr&>(expr);
+    if (call.device.op == DeviceOp::Action) {
+      Value* id = nullptr;
+      if (!call.args.empty()) id = lower_expr(*call.args[0]);
+      if (net_exit_stack_.empty()) {
+        emit_ret(call.device.action, id);
+      } else {
+        // Should not happen (sema rejects actions in net functions).
+        error(expr.loc, "action in net function");
+      }
+      start_unreachable_block();
+      return;
+    }
+    // Net-function tail call followed by implicit pass().
+    (void)lower_expr(expr);
+    if (net_exit_stack_.empty()) {
+      emit_ret(ActionKind::Pass, nullptr);
+    } else {
+      emit_br(net_exit_stack_.back());
+    }
+    start_unreachable_block();
+  }
+
+  void start_unreachable_block() {
+    builder_.set_insert_point(
+        fn_.add_block("unreachable." + std::to_string(fn_.next_value_id++)));
+  }
+
+  // --- assignments -----------------------------------------------------------
+  void lower_assign(const AssignStmt& stmt) {
+    Value* value = nullptr;
+    if (stmt.compound) {
+      Value* current = lower_expr(*stmt.target);
+      Value* rhs = lower_expr(*stmt.value);
+      value = lower_binop(stmt.op, current, rhs, stmt.target->type, stmt.loc,
+                          stmt.target->type, stmt.value->type);
+    } else {
+      value = lower_expr(*stmt.value);
+    }
+    store_to(*stmt.target, value);
+  }
+
+  void store_to(const Expr& target, Value* value) {
+    if (target.kind == ExprKind::VarRef) {
+      const auto& ref = static_cast<const VarRefExpr&>(target);
+      if (ref.global != nullptr) {
+        GlobalVar* global = require_global(ref.global, target.loc);
+        if (global != nullptr) builder_.store_global(global, {}, value, target.loc);
+        return;
+      }
+      const void* decl = ref.param != nullptr ? static_cast<const void*>(ref.param)
+                                              : static_cast<const void*>(ref.local);
+      const Slot* slot = find_slot(decl);
+      if (slot == nullptr) return;  // already diagnosed by sema
+      if (slot->kind == Slot::Kind::ConstVal) {
+        error(target.loc, "loop induction variables may not be modified in the loop body");
+        return;
+      }
+      if (slot->kind != Slot::Kind::SsaVar) {
+        error(target.loc, "cannot assign to a whole array");
+        return;
+      }
+      write_var(slot->ssa_id, builder_.insert_block(), builder_.adapt(value, slot->type));
+      return;
+    }
+    if (target.kind == ExprKind::Index) {
+      GlobalVar* global = nullptr;
+      std::vector<Value*> indices;
+      if (resolve_global_indices(target, global, indices)) {
+        builder_.store_global(global, std::move(indices), value, target.loc);
+        return;
+      }
+      const auto& index_expr = static_cast<const IndexExpr&>(target);
+      if (index_expr.base->kind == ExprKind::VarRef) {
+        const auto& ref = static_cast<const VarRefExpr&>(*index_expr.base);
+        const void* decl = ref.param != nullptr ? static_cast<const void*>(ref.param)
+                                                : static_cast<const void*>(ref.local);
+        const Slot* slot = find_slot(decl);
+        if (slot == nullptr) return;
+        Value* index = lower_expr(*index_expr.index);
+        if (slot->kind == Slot::Kind::LocalArr) {
+          check_const_bounds(index, slot->local->size, target.loc);
+          builder_.store_local(slot->local, index, value, target.loc);
+          return;
+        }
+        if (slot->kind == Slot::Kind::MsgArr) {
+          check_const_bounds(index, slot->msg->elem_count(), target.loc);
+          builder_.store_msg(slot->msg, index, value, target.loc);
+          return;
+        }
+      }
+      error(target.loc, "unsupported store target");
+      return;
+    }
+    error(target.loc, "assignment target is not an lvalue");
+  }
+
+  void check_const_bounds(Value* index, int size, SourceLoc loc) {
+    if (const Constant* c = as_constant(index)) {
+      if (c->extended() < 0 || c->extended() >= size) {
+        error(loc, "constant index " + std::to_string(c->extended()) +
+                       " out of bounds (size " + std::to_string(size) + ")");
+      }
+    }
+  }
+
+  /// If `expr` is an index chain over a global, fills `global`/`indices`
+  /// (checking depth) and returns true.
+  bool resolve_global_indices(const Expr& expr, GlobalVar*& global,
+                              std::vector<Value*>& indices) {
+    // Walk to the base, collecting index expressions outermost-first.
+    std::vector<const Expr*> index_exprs;
+    const Expr* walk = &expr;
+    while (walk->kind == ExprKind::Index) {
+      const auto& ix = static_cast<const IndexExpr&>(*walk);
+      index_exprs.push_back(ix.index.get());
+      walk = ix.base.get();
+    }
+    if (walk->kind != ExprKind::VarRef) return false;
+    const auto& ref = static_cast<const VarRefExpr&>(*walk);
+    if (ref.global == nullptr) return false;
+    global = require_global(ref.global, expr.loc);
+    if (global == nullptr) return true;  // error already reported; swallow
+    if (index_exprs.size() != global->dims.size()) {
+      error(expr.loc, "global array '" + global->name + "' requires " +
+                          std::to_string(global->dims.size()) + " indices");
+    }
+    // Innermost-first in the chain walk; reverse to declaration order.
+    std::reverse(index_exprs.begin(), index_exprs.end());
+    for (std::size_t i = 0; i < index_exprs.size(); ++i) {
+      Value* index = lower_expr(*index_exprs[i]);
+      if (i < global->dims.size()) {
+        check_const_bounds(index, static_cast<int>(global->dims[i]), expr.loc);
+      }
+      indices.push_back(index);
+    }
+    return true;
+  }
+
+  GlobalVar* require_global(const GlobalDecl* decl, SourceLoc loc) {
+    GlobalVar* global = module_.find_global(decl->name);
+    if (global == nullptr) {
+      error(loc, "global memory '" + decl->name + "' is not placed at device " +
+                     std::to_string(options_.device_id));
+    }
+    return global;
+  }
+
+  /// True if evaluating `expr` may access device (global) memory: such
+  /// subexpressions must keep their control dependence.
+  static bool expr_touches_memory(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::VarRef:
+        return static_cast<const VarRefExpr&>(expr).global != nullptr;
+      case ExprKind::Index: {
+        const auto& ix = static_cast<const IndexExpr&>(expr);
+        return expr_touches_memory(*ix.base) || expr_touches_memory(*ix.index);
+      }
+      case ExprKind::Unary:
+        return expr_touches_memory(*static_cast<const UnaryExpr&>(expr).operand);
+      case ExprKind::Binary: {
+        const auto& bin = static_cast<const BinaryExpr&>(expr);
+        return expr_touches_memory(*bin.lhs) || expr_touches_memory(*bin.rhs);
+      }
+      case ExprKind::Ternary: {
+        const auto& t = static_cast<const TernaryExpr&>(expr);
+        return expr_touches_memory(*t.cond) || expr_touches_memory(*t.then_expr) ||
+               expr_touches_memory(*t.else_expr);
+      }
+      case ExprKind::Call: {
+        const auto& call = static_cast<const CallExpr&>(expr);
+        if (call.device.op == DeviceOp::AtomicRMW || call.device.op == DeviceOp::Lookup ||
+            call.net_callee != nullptr) {
+          return true;
+        }
+        for (const auto& arg : call.args) {
+          if (expr_touches_memory(*arg)) return true;
+        }
+        return false;
+      }
+      default:
+        return false;
+    }
+  }
+
+  // --- expressions -----------------------------------------------------------
+  Value* lower_binop(BinaryOp op, Value* lhs, Value* rhs, ScalarType result, SourceLoc loc,
+                     ScalarType lhs_ast, ScalarType rhs_ast) {
+    const ScalarType common = common_type(lhs_ast, rhs_ast);
+    switch (op) {
+      case BinaryOp::Add: return builder_.bin(BinKind::Add, lhs, rhs, result, loc);
+      case BinaryOp::Sub: return builder_.bin(BinKind::Sub, lhs, rhs, result, loc);
+      case BinaryOp::Mul: return builder_.bin(BinKind::Mul, lhs, rhs, result, loc);
+      case BinaryOp::Div:
+        return builder_.bin(common.is_signed ? BinKind::SDiv : BinKind::UDiv, lhs, rhs, result,
+                            loc);
+      case BinaryOp::Rem:
+        return builder_.bin(common.is_signed ? BinKind::SRem : BinKind::URem, lhs, rhs, result,
+                            loc);
+      case BinaryOp::Shl: return builder_.bin(BinKind::Shl, lhs, rhs, result, loc);
+      case BinaryOp::Shr:
+        return builder_.bin(lhs_ast.is_signed ? BinKind::AShr : BinKind::LShr, lhs, rhs, result,
+                            loc);
+      case BinaryOp::And: return builder_.bin(BinKind::And, lhs, rhs, result, loc);
+      case BinaryOp::Or: return builder_.bin(BinKind::Or, lhs, rhs, result, loc);
+      case BinaryOp::Xor: return builder_.bin(BinKind::Xor, lhs, rhs, result, loc);
+      case BinaryOp::LogicalAnd:
+        return builder_.bin(BinKind::And, builder_.to_bool(lhs, loc),
+                            builder_.to_bool(rhs, loc), kBool, loc);
+      case BinaryOp::LogicalOr:
+        return builder_.bin(BinKind::Or, builder_.to_bool(lhs, loc), builder_.to_bool(rhs, loc),
+                            kBool, loc);
+      case BinaryOp::Eq: return builder_.icmp(ICmpPred::EQ, lhs, rhs, loc);
+      case BinaryOp::Ne: return builder_.icmp(ICmpPred::NE, lhs, rhs, loc);
+      case BinaryOp::Lt:
+        return builder_.icmp(common.is_signed ? ICmpPred::SLT : ICmpPred::ULT, lhs, rhs, loc);
+      case BinaryOp::Le:
+        return builder_.icmp(common.is_signed ? ICmpPred::SLE : ICmpPred::ULE, lhs, rhs, loc);
+      case BinaryOp::Gt:
+        return builder_.icmp(common.is_signed ? ICmpPred::SGT : ICmpPred::UGT, lhs, rhs, loc);
+      case BinaryOp::Ge:
+        return builder_.icmp(common.is_signed ? ICmpPred::SGE : ICmpPred::UGE, lhs, rhs, loc);
+    }
+    return lhs;
+  }
+
+  Value* lower_expr(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::IntLit:
+        return module_.constant(expr.type, static_cast<const IntLitExpr&>(expr).value);
+      case ExprKind::VarRef: {
+        const auto& ref = static_cast<const VarRefExpr&>(expr);
+        if (ref.global != nullptr) {
+          GlobalVar* global = require_global(ref.global, expr.loc);
+          if (global == nullptr) return module_.constant(expr.type, 0);
+          if (!global->dims.empty()) {
+            // Bare array reference: only meaningful as a lookup() operand,
+            // which intercepts before lowering; anything else is an error.
+            error(expr.loc, "array '" + global->name + "' used as a value");
+            return module_.constant(expr.type, 0);
+          }
+          return builder_.load_global(global, {}, expr.loc);
+        }
+        const void* decl = ref.param != nullptr ? static_cast<const void*>(ref.param)
+                                                : static_cast<const void*>(ref.local);
+        const Slot* slot = find_slot(decl);
+        if (slot == nullptr) return module_.constant(expr.type, 0);
+        switch (slot->kind) {
+          case Slot::Kind::ConstVal:
+            return module_.constant(slot->type,
+                                    static_cast<std::uint64_t>(slot->const_val));
+          case Slot::Kind::SsaVar:
+            return read_var(slot->ssa_id, builder_.insert_block());
+          default:
+            error(expr.loc, "array '" + ref.name + "' used as a value");
+            return module_.constant(expr.type, 0);
+        }
+      }
+      case ExprKind::Index: {
+        GlobalVar* global = nullptr;
+        std::vector<Value*> indices;
+        if (resolve_global_indices(expr, global, indices)) {
+          if (global == nullptr) return module_.constant(expr.type, 0);
+          if (global->is_lookup) {
+            error(expr.loc, "lookup memory may only be accessed through ncl::lookup()");
+            return module_.constant(expr.type, 0);
+          }
+          return builder_.load_global(global, std::move(indices), expr.loc);
+        }
+        const auto& index_expr = static_cast<const IndexExpr&>(expr);
+        if (index_expr.base->kind == ExprKind::VarRef) {
+          const auto& ref = static_cast<const VarRefExpr&>(*index_expr.base);
+          const void* decl = ref.param != nullptr ? static_cast<const void*>(ref.param)
+                                                  : static_cast<const void*>(ref.local);
+          if (const Slot* slot = find_slot(decl)) {
+            Value* index = lower_expr(*index_expr.index);
+            if (slot->kind == Slot::Kind::LocalArr) {
+              check_const_bounds(index, slot->local->size, expr.loc);
+              return builder_.load_local(slot->local, index, expr.loc);
+            }
+            if (slot->kind == Slot::Kind::MsgArr) {
+              check_const_bounds(index, slot->msg->elem_count(), expr.loc);
+              return builder_.load_msg(slot->msg, index, expr.loc);
+            }
+          }
+        }
+        error(expr.loc, "unsupported indexed access");
+        return module_.constant(expr.type, 0);
+      }
+      case ExprKind::Unary: {
+        const auto& unary = static_cast<const UnaryExpr&>(expr);
+        if (unary.op == UnaryOp::AddrOf) {
+          // Only atomics take addresses; they strip AddrOf themselves.
+          error(expr.loc, "'&' is only valid on atomic memory operands");
+          return module_.constant(expr.type, 0);
+        }
+        Value* operand = lower_expr(*unary.operand);
+        switch (unary.op) {
+          case UnaryOp::Neg:
+            return builder_.bin(BinKind::Sub, module_.constant(expr.type, 0), operand,
+                                expr.type, expr.loc);
+          case UnaryOp::BitNot:
+            return builder_.bin(BinKind::Xor, operand,
+                                module_.constant(expr.type, ~0ULL), expr.type, expr.loc);
+          case UnaryOp::LogicalNot:
+            return builder_.logical_not(operand, expr.loc);
+          case UnaryOp::AddrOf:
+            break;
+        }
+        return operand;
+      }
+      case ExprKind::Binary: {
+        const auto& binary = static_cast<const BinaryExpr&>(expr);
+        Value* lhs = lower_expr(*binary.lhs);
+        Value* rhs = lower_expr(*binary.rhs);
+        return lower_binop(binary.op, lhs, rhs, expr.type, expr.loc, binary.lhs->type,
+                           binary.rhs->type);
+      }
+      case ExprKind::Ternary: {
+        const auto& ternary = static_cast<const TernaryExpr&>(expr);
+        Value* cond = lower_expr(*ternary.cond);
+        // Arms that touch device memory must be mutually exclusive at
+        // runtime (the paper's `(x > 10) ? m[0] : m[1]` is a *valid* access
+        // pattern on Tofino), so they lower as control flow. Pure arms
+        // lower to a select.
+        if (expr_touches_memory(*ternary.then_expr) ||
+            expr_touches_memory(*ternary.else_expr)) {
+          BasicBlock* then_block =
+              fn_.add_block("sel.then." + std::to_string(fn_.next_value_id++));
+          BasicBlock* else_block =
+              fn_.add_block("sel.else." + std::to_string(fn_.next_value_id++));
+          BasicBlock* merge = fn_.add_block("sel.end." + std::to_string(fn_.next_value_id++));
+          emit_cond_br(cond, then_block, else_block);
+          builder_.set_insert_point(then_block);
+          Value* a = builder_.adapt(lower_expr(*ternary.then_expr), expr.type);
+          BasicBlock* then_exit = builder_.insert_block();
+          emit_br(merge);
+          builder_.set_insert_point(else_block);
+          Value* b = builder_.adapt(lower_expr(*ternary.else_expr), expr.type);
+          BasicBlock* else_exit = builder_.insert_block();
+          emit_br(merge);
+          builder_.set_insert_point(merge);
+          Instruction* phi = builder_.phi(expr.type);
+          phi->add_operand(a);
+          phi->phi_blocks.push_back(then_exit);
+          phi->add_operand(b);
+          phi->phi_blocks.push_back(else_exit);
+          return phi;
+        }
+        // `c ? 1 : 0` and `c ? 0 : 1` are just the (negated) condition.
+        const auto then_const = evaluate_const_expr(*ternary.then_expr);
+        const auto else_const = evaluate_const_expr(*ternary.else_expr);
+        if (then_const == 1 && else_const == 0) {
+          return builder_.adapt(builder_.to_bool(cond, expr.loc), expr.type);
+        }
+        if (then_const == 0 && else_const == 1) {
+          return builder_.adapt(builder_.logical_not(builder_.to_bool(cond, expr.loc),
+                                                     expr.loc),
+                                expr.type);
+        }
+        Value* a = builder_.adapt(lower_expr(*ternary.then_expr), expr.type);
+        Value* b = builder_.adapt(lower_expr(*ternary.else_expr), expr.type);
+        return builder_.select(cond, a, b, expr.loc);
+      }
+      case ExprKind::Builtin: {
+        const auto& builtin = static_cast<const BuiltinExpr&>(expr);
+        if (builtin.builtin == BuiltinKind::DeviceId) {
+          // Known-value materialization: this module is compiled for exactly
+          // one device.
+          return module_.constant(kU16, static_cast<std::uint64_t>(options_.device_id));
+        }
+        auto inst = std::make_unique<Instruction>(Opcode::MsgMeta, kU16);
+        inst->arg_index = static_cast<int>(builtin.builtin) - 1;  // MsgSrc == 1
+        inst->loc = expr.loc;
+        return builder_.insert_block()->append(std::move(inst));
+      }
+      case ExprKind::Call:
+        return lower_call(static_cast<const CallExpr&>(expr));
+    }
+    return module_.constant(kI32, 0);
+  }
+
+  Value* lower_call(const CallExpr& call) {
+    if (call.net_callee != nullptr) return lower_net_call(call);
+
+    switch (call.device.op) {
+      case DeviceOp::AtomicRMW: {
+        const Expr* mem = call.args[0].get();
+        if (mem->kind == ExprKind::Unary &&
+            static_cast<const UnaryExpr&>(*mem).op == UnaryOp::AddrOf) {
+          mem = static_cast<const UnaryExpr&>(*mem).operand.get();
+        }
+        GlobalVar* global = nullptr;
+        std::vector<Value*> indices;
+        if (!resolve_global_indices(*mem, global, indices)) {
+          // A bare scalar global reference.
+          if (mem->kind == ExprKind::VarRef) {
+            const auto& ref = static_cast<const VarRefExpr&>(*mem);
+            if (ref.global != nullptr) global = require_global(ref.global, call.loc);
+          }
+        }
+        if (global == nullptr) return module_.constant(call.type, 0);
+        std::size_t next = 1;
+        Value* cond = nullptr;
+        if (call.device.atomic_cond) cond = lower_expr(*call.args[next++]);
+        std::vector<Value*> operands;
+        for (; next < call.args.size(); ++next) operands.push_back(lower_expr(*call.args[next]));
+        return builder_.atomic_rmw(global, std::move(indices), call.device.atomic_op,
+                                   call.device.atomic_cond, call.device.atomic_new, cond,
+                                   std::move(operands), call.loc);
+      }
+      case DeviceOp::Lookup: {
+        const auto& table_ref = static_cast<const VarRefExpr&>(*call.args[0]);
+        GlobalVar* table =
+            table_ref.global != nullptr ? require_global(table_ref.global, call.loc) : nullptr;
+        if (table == nullptr) return module_.bool_constant(false);
+        Value* key = lower_expr(*call.args[1]);
+        Instruction* hit = builder_.lookup(table, key, call.loc);
+        if (call.args.size() == 3) {
+          Value* current = lower_expr(*call.args[2]);
+          Instruction* value = builder_.lookup_value(hit, current, call.loc);
+          store_to(*call.args[2], value);
+        }
+        return hit;
+      }
+      case DeviceOp::Hash: {
+        std::vector<Value*> inputs;
+        for (const auto& arg : call.args) inputs.push_back(lower_expr(*arg));
+        return builder_.hash(call.device.hash, call.type.bits, std::move(inputs), call.loc);
+      }
+      case DeviceOp::SAdd:
+      case DeviceOp::SSub: {
+        Value* a = lower_expr(*call.args[0]);
+        Value* b = lower_expr(*call.args[1]);
+        return builder_.bin(call.device.op == DeviceOp::SAdd ? BinKind::SAddSat
+                                                             : BinKind::SSubSat,
+                            a, b, call.type, call.loc);
+      }
+      case DeviceOp::Min:
+      case DeviceOp::Max: {
+        Value* a = lower_expr(*call.args[0]);
+        Value* b = lower_expr(*call.args[1]);
+        const bool is_min = call.device.op == DeviceOp::Min;
+        const BinKind kind = call.type.is_signed ? (is_min ? BinKind::SMin : BinKind::SMax)
+                                                 : (is_min ? BinKind::UMin : BinKind::UMax);
+        return builder_.bin(kind, a, b, call.type, call.loc);
+      }
+      case DeviceOp::BitChk: {
+        Value* v = lower_expr(*call.args[0]);
+        Value* bit = lower_expr(*call.args[1]);
+        Value* shifted = builder_.bin(BinKind::LShr, v, bit, v->type(), call.loc);
+        Value* masked = builder_.bin(BinKind::And, shifted,
+                                     module_.constant(v->type(), 1), v->type(), call.loc);
+        return builder_.to_bool(masked, call.loc);
+      }
+      case DeviceOp::Rand:
+        return builder_.rand(call.type.bits, call.loc);
+      case DeviceOp::Bswap:
+      case DeviceOp::Clz: {
+        Value* v = lower_expr(*call.args[0]);
+        auto inst = std::make_unique<Instruction>(
+            call.device.op == DeviceOp::Bswap ? Opcode::Bswap : Opcode::Clz, call.type);
+        inst->loc = call.loc;
+        inst->add_operand(v);
+        return builder_.insert_block()->append(std::move(inst));
+      }
+      case DeviceOp::Action:
+        // Reached only through lower_action_expr (sema rejects other uses).
+        error(call.loc, "action outside return statement");
+        return module_.constant(kI32, 0);
+      case DeviceOp::None:
+        break;
+    }
+    return module_.constant(kI32, 0);
+  }
+
+  Value* lower_net_call(const CallExpr& call) {
+    const FunctionDecl& callee = *call.net_callee;
+    std::unordered_map<const void*, Slot> frame;
+    for (std::size_t i = 0; i < callee.params.size() && i < call.args.size(); ++i) {
+      const ParamDecl& param = callee.params[i];
+      const Expr& arg = *call.args[i];
+      if (param.is_pointer || param.by_ref) {
+        // Alias the caller's slot.
+        if (arg.kind != ExprKind::VarRef) {
+          error(arg.loc, "by-reference net-function arguments must be variables");
+          continue;
+        }
+        const auto& ref = static_cast<const VarRefExpr&>(arg);
+        const void* decl = ref.param != nullptr ? static_cast<const void*>(ref.param)
+                                                : static_cast<const void*>(ref.local);
+        const Slot* slot = find_slot(decl);
+        if (slot == nullptr) continue;
+        frame[&param] = *slot;
+      } else {
+        Value* value = lower_expr(arg);
+        const int id = new_ssa_var(param.type);
+        write_var(id, builder_.insert_block(), builder_.adapt(value, param.type));
+        frame[&param] = Slot{Slot::Kind::SsaVar, id, nullptr, nullptr, 0, param.type};
+      }
+    }
+
+    // Inline the body with a continuation block for early returns.
+    BasicBlock* exit_block =
+        fn_.add_block(callee.name + ".exit." + std::to_string(fn_.next_value_id++));
+    env_.push_back(std::move(frame));
+    net_exit_stack_.push_back(exit_block);
+    lower_stmt(*callee.body);
+    net_exit_stack_.pop_back();
+    env_.pop_back();
+    if (builder_.insert_block()->terminator() == nullptr) emit_br(exit_block);
+    builder_.set_insert_point(exit_block);
+    return module_.constant(kI32, 0);  // net functions are void
+  }
+
+  const Program& program_;
+  Module& module_;
+  Function& fn_;
+  const FunctionDecl& kernel_;
+  const LowerOptions& options_;
+  DiagnosticEngine& diags_;
+  Builder builder_;
+
+  std::vector<std::unordered_map<const void*, Slot>> env_;
+  std::vector<ScalarType> var_types_;
+  std::unordered_map<BasicBlock*, std::unordered_map<int, Value*>> defs_;
+  std::vector<std::pair<Argument*, int>> byref_scalars_;
+  std::vector<BasicBlock*> net_exit_stack_;
+};
+
+}  // namespace
+
+std::unique_ptr<Module> lower_program(const Program& program, const LowerOptions& options,
+                                      DiagnosticEngine& diags) {
+  auto module = std::make_unique<Module>(options.device_id);
+
+  for (const auto& decl : program.globals) {
+    if (!placed_at(decl->locations, options.device_id)) continue;
+    GlobalVar global;
+    global.name = decl->name;
+    global.elem_type = decl->elem_type;
+    global.dims = decl->dims;
+    global.is_managed = decl->is_managed;
+    global.is_lookup = decl->is_lookup;
+    global.lookup_kind = decl->lookup_kind;
+    global.key_type = decl->is_lookup && decl->lookup_kind != LookupKind::Set
+                          ? decl->key_type
+                          : decl->elem_type;
+    global.value_type = decl->is_lookup && decl->lookup_kind != LookupKind::Set
+                            ? decl->value_type
+                            : decl->elem_type;
+    global.entries = decl->entries;
+    module->add_global(std::move(global));
+  }
+
+  for (const auto& fn : program.functions) {
+    if (!fn->is_kernel || !placed_at(fn->locations, options.device_id)) continue;
+    Function* ir_fn = module->add_function(fn->name, true, fn->computation);
+    ir_fn->spec = make_kernel_spec(*fn);
+    KernelLowerer lowerer(program, *module, *ir_fn, *fn, options, diags);
+    lowerer.lower();
+  }
+  return module;
+}
+
+}  // namespace netcl::ir

@@ -1,0 +1,40 @@
+// AST -> IR lowering ("the device pipeline front half").
+//
+// Lowering is per device: it selects the kernels, net functions and global
+// memory present at a device (location-less or explicitly placed there) and
+// produces one ir::Module. Three transformations the paper performs as LLVM
+// passes happen here because they are much simpler at AST level and have the
+// same observable result:
+//
+//   * net-function inlining (call sites expand the callee body; by-ref
+//     parameters alias the caller's variables),
+//   * full loop unrolling (loop bounds must be compile-time constants;
+//     non-unrollable loops are rejected with a diagnostic),
+//   * known-value materialization (device.id becomes a constant).
+//
+// SSA is constructed directly (Braun-style local value numbering with phi
+// insertion); the resulting CFG is acyclic by construction.
+#pragma once
+
+#include <memory>
+
+#include "frontend/ast.hpp"
+#include "ir/ir.hpp"
+#include "support/diagnostics.hpp"
+
+namespace netcl::ir {
+
+struct LowerOptions {
+  int device_id = 0;
+  /// Maximum total unrolled iterations per loop before rejection.
+  int max_unroll = 4096;
+};
+
+/// Lowers the device code of `program` for one device. Reports problems to
+/// `diags`; returns the (possibly partial) module. Callers must check
+/// diags.has_errors().
+[[nodiscard]] std::unique_ptr<Module> lower_program(const Program& program,
+                                                    const LowerOptions& options,
+                                                    DiagnosticEngine& diags);
+
+}  // namespace netcl::ir

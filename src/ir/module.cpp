@@ -1,0 +1,51 @@
+#include <algorithm>
+#include <cassert>
+
+#include "ir/ir.hpp"
+
+namespace netcl::ir {
+
+GlobalVar* Module::add_global(GlobalVar global) {
+  global.id = next_global_id_++;
+  globals_.push_back(std::make_unique<GlobalVar>(std::move(global)));
+  return globals_.back().get();
+}
+
+GlobalVar* Module::find_global(const std::string& name) const {
+  for (const auto& g : globals_) {
+    if (g->name == name) return g.get();
+  }
+  return nullptr;
+}
+
+void Module::erase_global(GlobalVar* global) {
+  const auto it = std::find_if(globals_.begin(), globals_.end(),
+                               [&](const auto& p) { return p.get() == global; });
+  assert(it != globals_.end());
+  globals_.erase(it);
+}
+
+Function* Module::add_function(std::string name, bool is_kernel, int computation) {
+  functions_.push_back(std::make_unique<Function>(this, std::move(name), is_kernel, computation));
+  return functions_.back().get();
+}
+
+Function* Module::find_function(const std::string& name) const {
+  for (const auto& fn : functions_) {
+    if (fn->name() == name) return fn.get();
+  }
+  return nullptr;
+}
+
+Constant* Module::constant(ScalarType type, std::uint64_t value) {
+  const std::uint16_t type_key =
+      static_cast<std::uint16_t>(type.bits) | (type.is_signed ? 0x100 : 0);
+  const auto key = std::make_pair(type.truncate(value), type_key);
+  auto it = constants_.find(key);
+  if (it == constants_.end()) {
+    it = constants_.emplace(key, std::make_unique<Constant>(type, value)).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace netcl::ir

@@ -1,0 +1,159 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace netcl::ir {
+namespace {
+
+class PrinterState {
+ public:
+  std::string ref(const Value* v) {
+    if (const Constant* c = as_constant(v)) {
+      return std::to_string(c->extended()) + ":" + c->type().to_string();
+    }
+    if (v->kind() == ValueKind::Argument) {
+      return "%arg." + v->name();
+    }
+    const auto it = names_.find(v);
+    if (it != names_.end()) return it->second;
+    const std::string name =
+        v->name().empty() ? "%v" + std::to_string(counter_++) : "%" + v->name();
+    names_[v] = name;
+    return name;
+  }
+
+ private:
+  std::unordered_map<const Value*, std::string> names_;
+  int counter_ = 0;
+};
+
+void print_instruction(std::ostringstream& os, const Instruction& inst, PrinterState& state) {
+  os << "  ";
+  const bool produces = !inst.is_terminator() && inst.op() != Opcode::StoreGlobal &&
+                        inst.op() != Opcode::StoreMsg && inst.op() != Opcode::StoreLocal;
+  if (produces) os << state.ref(&inst) << ":" << inst.type().to_string() << " = ";
+  os << to_string(inst.op());
+
+  switch (inst.op()) {
+    case Opcode::Bin:
+      os << "." << to_string(inst.bin_kind);
+      break;
+    case Opcode::ICmp:
+      os << "." << to_string(inst.icmp_pred);
+      break;
+    case Opcode::AtomicRMW: {
+      os << ".";
+      if (inst.atomic_cond) os << "cond_";
+      switch (inst.atomic_op) {
+        case AtomicOpKind::Add: os << "add"; break;
+        case AtomicOpKind::SAdd: os << "sadd"; break;
+        case AtomicOpKind::Sub: os << "sub"; break;
+        case AtomicOpKind::SSub: os << "ssub"; break;
+        case AtomicOpKind::Or: os << "or"; break;
+        case AtomicOpKind::And: os << "and"; break;
+        case AtomicOpKind::Xor: os << "xor"; break;
+        case AtomicOpKind::Inc: os << "inc"; break;
+        case AtomicOpKind::Dec: os << "dec"; break;
+        case AtomicOpKind::Min: os << "min"; break;
+        case AtomicOpKind::Max: os << "max"; break;
+        case AtomicOpKind::Cas: os << "cas"; break;
+      }
+      if (inst.atomic_new) os << "_new";
+      break;
+    }
+    case Opcode::Hash:
+      switch (inst.hash_kind) {
+        case HashKind::Crc16: os << ".crc16"; break;
+        case HashKind::Crc32: os << ".crc32"; break;
+        case HashKind::Xor16: os << ".xor16"; break;
+        case HashKind::Identity: os << ".identity"; break;
+      }
+      break;
+    case Opcode::RetAction:
+      os << " " << netcl::to_string(inst.action);
+      break;
+    default:
+      break;
+  }
+
+  if (inst.global != nullptr) os << " @" << inst.global->name;
+  if (inst.local_array != nullptr) os << " $" << inst.local_array->name;
+  if (inst.arg_index >= 0) os << " arg" << inst.arg_index;
+
+  if (inst.op() == Opcode::Phi) {
+    for (std::size_t i = 0; i < inst.num_operands(); ++i) {
+      os << (i != 0 ? "," : "") << " [" << state.ref(inst.operand(i)) << ", "
+         << inst.phi_blocks[i]->name() << "]";
+    }
+  } else {
+    for (std::size_t i = 0; i < inst.num_operands(); ++i) {
+      os << (i != 0 ? "," : "") << " " << state.ref(inst.operand(i));
+    }
+  }
+
+  for (std::size_t i = 0; i < inst.succs.size(); ++i) {
+    os << (i != 0 || inst.num_operands() != 0 ? ", " : " ") << "^" << inst.succs[i]->name();
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::string print_value_ref(const Value* v) {
+  PrinterState state;
+  return state.ref(v);
+}
+
+std::string print(const Function& fn) {
+  std::ostringstream os;
+  PrinterState state;
+  os << (fn.is_kernel() ? "kernel" : "func") << " @" << fn.name();
+  if (fn.is_kernel()) os << " computation " << fn.computation();
+  os << "(";
+  for (std::size_t i = 0; i < fn.arguments().size(); ++i) {
+    const Argument& arg = *fn.arguments()[i];
+    os << (i != 0 ? ", " : "") << arg.name() << ":" << arg.type().to_string();
+    if (arg.is_array()) os << "[" << arg.elem_count() << "]";
+    if (arg.writable()) os << "&";
+  }
+  os << ") {\n";
+  for (const auto& array : fn.local_arrays()) {
+    os << "  local $" << array->name << ": " << array->elem_type.to_string() << "["
+       << array->size << "]\n";
+  }
+  for (const auto& block : fn.blocks()) {
+    os << block->name() << ":\n";
+    for (const auto& inst : block->instructions()) {
+      print_instruction(os, *inst, state);
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string print(const Module& module) {
+  std::ostringstream os;
+  os << "; module for device " << module.device_id() << "\n";
+  for (const auto& global : module.globals()) {
+    os << "global @" << global->name << ": " << global->elem_type.to_string();
+    for (const std::int64_t dim : global->dims) os << "[" << dim << "]";
+    if (global->is_managed) os << " managed";
+    if (global->is_lookup) {
+      os << " lookup";
+      switch (global->lookup_kind) {
+        case LookupKind::Set: os << ".set"; break;
+        case LookupKind::Exact: os << ".exact"; break;
+        case LookupKind::Range: os << ".range"; break;
+      }
+      os << " entries=" << global->entries.size();
+    }
+    os << "\n";
+  }
+  for (const auto& fn : module.functions()) {
+    os << "\n" << print(*fn);
+  }
+  return os.str();
+}
+
+}  // namespace netcl::ir

@@ -1,0 +1,14 @@
+// Textual IR printer, for tests, golden files and -emit-ir debugging.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace netcl::ir {
+
+[[nodiscard]] std::string print(const Module& module);
+[[nodiscard]] std::string print(const Function& fn);
+[[nodiscard]] std::string print_value_ref(const Value* v);
+
+}  // namespace netcl::ir

@@ -1,0 +1,177 @@
+#include "ir/verifier.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ir/dominators.hpp"
+#include "ir/printer.hpp"
+
+namespace netcl::ir {
+namespace {
+
+bool cfg_is_acyclic(const Function& fn) {
+  enum class Mark { White, Grey, Black };
+  std::unordered_map<const BasicBlock*, Mark> marks;
+  for (const auto& block : fn.blocks()) marks[block.get()] = Mark::White;
+  auto dfs = [&](auto&& self, const BasicBlock* block) -> bool {
+    marks[block] = Mark::Grey;
+    for (const BasicBlock* succ : block->successors()) {
+      if (marks[succ] == Mark::Grey) return false;
+      if (marks[succ] == Mark::White && !self(self, succ)) return false;
+    }
+    marks[block] = Mark::Black;
+    return true;
+  };
+  return fn.entry() == nullptr || dfs(dfs, fn.entry());
+}
+
+}  // namespace
+
+std::vector<std::string> verify(Function& fn) {
+  std::vector<std::string> errors;
+  auto error = [&](const std::string& message) {
+    errors.push_back(fn.name() + ": " + message);
+  };
+
+  if (fn.entry() == nullptr) {
+    error("function has no blocks");
+    return errors;
+  }
+
+  if (!cfg_is_acyclic(fn)) {
+    error("CFG contains a cycle (loops must be fully unrolled)");
+    return errors;  // dominator analysis below assumes a DAG
+  }
+
+  fn.recompute_preds();
+
+  // Collect all values owned by this function for def checks.
+  std::unordered_set<const Value*> known;
+  for (const auto& arg : fn.arguments()) known.insert(arg.get());
+  for (const auto& block : fn.blocks()) {
+    for (const auto& inst : block->instructions()) known.insert(inst.get());
+  }
+
+  for (const auto& block : fn.blocks()) {
+    const Instruction* term = block->terminator();
+    if (term == nullptr) {
+      error("block " + block->name() + " has no terminator");
+      continue;
+    }
+    std::size_t terminator_count = 0;
+    bool seen_non_phi = false;
+    for (const auto& inst : block->instructions()) {
+      if (inst->is_terminator()) ++terminator_count;
+      if (inst->op() == Opcode::Phi) {
+        if (seen_non_phi) error("phi after non-phi in block " + block->name());
+      } else {
+        seen_non_phi = true;
+      }
+      if (inst->parent() != block.get()) {
+        error("instruction parent link broken in block " + block->name());
+      }
+    }
+    if (terminator_count != 1) {
+      error("block " + block->name() + " has " + std::to_string(terminator_count) +
+            " terminators");
+    }
+    if (fn.is_kernel() && term->op() == Opcode::Ret) {
+      error("kernel block " + block->name() + " exits with plain ret (must be an action)");
+    }
+  }
+
+  DominatorTree dom(fn);
+  for (const auto& block : fn.blocks()) {
+    for (const auto& inst : block->instructions()) {
+      // Phi shape.
+      if (inst->op() == Opcode::Phi) {
+        if (inst->phi_blocks.size() != inst->num_operands()) {
+          error("phi in " + block->name() + " has mismatched incoming lists");
+          continue;
+        }
+        auto preds = block->predecessors();
+        if (preds.size() != inst->num_operands()) {
+          error("phi in " + block->name() + " has " + std::to_string(inst->num_operands()) +
+                " incomings but block has " + std::to_string(preds.size()) + " predecessors");
+        }
+        for (const BasicBlock* incoming : inst->phi_blocks) {
+          if (std::find(preds.begin(), preds.end(), incoming) == preds.end()) {
+            error("phi in " + block->name() + " has non-predecessor incoming block " +
+                  incoming->name());
+          }
+        }
+      }
+
+      // Operand defs exist and dominate uses.
+      for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+        const Value* operand = inst->operand(i);
+        if (operand == nullptr) {
+          error("null operand in " + block->name());
+          continue;
+        }
+        if (operand->kind() == ValueKind::Instruction) {
+          const auto* def = static_cast<const Instruction*>(operand);
+          if (known.count(def) == 0) {
+            error("operand defined outside this function in block " + block->name());
+            continue;
+          }
+          if (inst->op() == Opcode::Phi) {
+            // Phi operands must dominate the incoming edge's source.
+            const BasicBlock* incoming = inst->phi_blocks[i];
+            if (!dom.dominates(def->parent(), incoming)) {
+              error("phi operand does not dominate incoming block in " + block->name());
+            }
+          } else if (!dom.dominates(def, inst.get())) {
+            error("operand does not dominate its use in block " + block->name() + ": " +
+                  to_string(inst->op()));
+          }
+        }
+      }
+
+      // Width consistency.
+      if (inst->op() == Opcode::Bin) {
+        if (inst->operand(0)->type().bits != inst->type().bits ||
+            inst->operand(1)->type().bits != inst->type().bits) {
+          error("bin operand width mismatch in " + block->name());
+        }
+      }
+      if (inst->op() == Opcode::Select) {
+        if (inst->operand(1)->type().bits != inst->type().bits ||
+            inst->operand(2)->type().bits != inst->type().bits) {
+          error("select arm width mismatch in " + block->name());
+        }
+      }
+      if (inst->op() == Opcode::ICmp &&
+          inst->operand(0)->type().bits != inst->operand(1)->type().bits) {
+        error("icmp operand width mismatch in " + block->name());
+      }
+
+      // Global access shapes.
+      if (inst->accesses_global() && inst->op() != Opcode::Lookup) {
+        if (inst->global == nullptr) {
+          error("global access without global in " + block->name());
+        } else if (inst->num_indices != static_cast<int>(inst->global->dims.size())) {
+          error("global access to @" + inst->global->name + " has " +
+                std::to_string(inst->num_indices) + " indices, expected " +
+                std::to_string(inst->global->dims.size()));
+        }
+      }
+      if (inst->op() == Opcode::Lookup &&
+          (inst->global == nullptr || !inst->global->is_lookup)) {
+        error("lookup on non-lookup memory in " + block->name());
+      }
+    }
+  }
+  return errors;
+}
+
+std::vector<std::string> verify(Module& module) {
+  std::vector<std::string> errors;
+  for (const auto& fn : module.functions()) {
+    auto fn_errors = verify(*fn);
+    errors.insert(errors.end(), fn_errors.begin(), fn_errors.end());
+  }
+  return errors;
+}
+
+}  // namespace netcl::ir

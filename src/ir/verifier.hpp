@@ -1,0 +1,25 @@
+// IR structural verifier, run between passes in debug/driver flows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace netcl::ir {
+
+/// Checks SSA and CFG invariants:
+///  - every block ends with exactly one terminator,
+///  - kernel exit terminators are RetAction (Ret only in net functions),
+///  - the CFG is acyclic (the P4-compilable DAG property),
+///  - phi operands match predecessor lists,
+///  - every operand definition dominates its use,
+///  - operand widths are consistent for Bin/Select,
+///  - global accesses carry one index operand per array dimension.
+/// Returns a list of human-readable violations (empty = valid).
+[[nodiscard]] std::vector<std::string> verify(Function& fn);
+
+/// Verifies every function in the module.
+[[nodiscard]] std::vector<std::string> verify(Module& module);
+
+}  // namespace netcl::ir

@@ -1,0 +1,17 @@
+#include "p4/latency.hpp"
+
+namespace netcl::p4 {
+
+int LatencyModel::worst_case_cycles(int stages_used) const {
+  if (stages_used > total_stages) stages_used = total_stages;
+  const int occupied = stages_used * cycles_per_stage;
+  const int bypassed = (total_stages - stages_used) * bypassed_stage_cycles;
+  const int ingress = parser_cycles + occupied + bypassed + deparser_cycles;
+  // Worst case: no egress bypass — the packet traverses an (empty) egress
+  // pipeline after the traffic manager.
+  const int egress =
+      parser_cycles + total_stages * bypassed_stage_cycles + deparser_cycles;
+  return ingress + traffic_manager_cycles + egress;
+}
+
+}  // namespace netcl::p4

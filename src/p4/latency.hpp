@@ -1,0 +1,30 @@
+// Per-packet device latency model (Fig. 13 of the paper).
+//
+// Tofino's pipeline has a fixed per-stage cost; packets traverse the parser,
+// the occupied MAU stages, the deparser, the traffic manager, and (unless
+// bypassed) the egress pipeline. The paper reports worst-case latency (no
+// egress bypass) derived from the compiler's exact cycle counts; we model
+// the same structure with public clock-order numbers (1.22 GHz core clock).
+#pragma once
+
+namespace netcl::p4 {
+
+struct LatencyModel {
+  double clock_ghz = 1.22;
+  int parser_cycles = 110;
+  int cycles_per_stage = 22;
+  int bypassed_stage_cycles = 3;   // unoccupied stages still forward the PHV
+  int deparser_cycles = 60;
+  int traffic_manager_cycles = 300;
+  int total_stages = 12;
+
+  /// Worst-case (no egress bypass) cycles for a program occupying
+  /// `stages_used` ingress stages; the egress pass re-traverses parser +
+  /// empty stages + deparser.
+  [[nodiscard]] int worst_case_cycles(int stages_used) const;
+  [[nodiscard]] double worst_case_ns(int stages_used) const {
+    return static_cast<double>(worst_case_cycles(stages_used)) / clock_ghz;
+  }
+};
+
+}  // namespace netcl::p4

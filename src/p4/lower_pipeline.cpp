@@ -1,0 +1,176 @@
+#include <cassert>
+#include <unordered_map>
+
+#include "p4/pipeline.hpp"
+
+namespace netcl::p4 {
+
+using namespace netcl::ir;
+
+std::vector<const LinearInst*> KernelProgram::ret_actions() const {
+  std::vector<const LinearInst*> result;
+  for (const LinearInst& li : insts) {
+    if (li.inst->op() == Opcode::RetAction) result.push_back(&li);
+  }
+  return result;
+}
+
+namespace {
+
+class Linearizer {
+ public:
+  Linearizer(Function& fn, const LinearizeOptions& options) : fn_(fn), options_(options) {}
+
+  KernelProgram run() {
+    fn_.recompute_preds();
+    program_.fn = &fn_;
+    Module& module = *fn_.parent();
+    Constant* true_const = module.bool_constant(true);
+
+    for (BasicBlock* block : fn_.reverse_postorder()) {
+      // Block predicate: OR of incoming edge predicates.
+      Value* pred = nullptr;
+      if (block != fn_.entry()) {
+        bool always = false;
+        Value* acc = nullptr;
+        for (BasicBlock* from : block->predecessors()) {
+          const auto it = edge_preds_.find({from, block});
+          Value* edge = it != edge_preds_.end() ? it->second : nullptr;
+          if (edge == nullptr) {
+            always = true;
+            break;
+          }
+          acc = acc == nullptr ? edge : emit_bin(BinKind::Or, acc, edge);
+        }
+        pred = always ? nullptr : acc;
+      }
+      block_preds_[block] = pred;
+
+      for (const auto& owned : block->instructions()) {
+        Instruction* inst = owned.get();
+        switch (inst->op()) {
+          case Opcode::Phi: {
+            // Select chain over incoming edge predicates. The (at most one)
+            // unconditional incoming edge provides the base value.
+            Value* base = nullptr;
+            std::vector<std::pair<Value*, Value*>> guarded;  // (edge pred, value)
+            for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+              BasicBlock* from = inst->phi_blocks[i];
+              const auto it = edge_preds_.find({from, block});
+              Value* edge = it != edge_preds_.end() ? it->second : nullptr;
+              if (edge == nullptr) {
+                base = inst->operand(i);
+              } else {
+                guarded.emplace_back(edge, inst->operand(i));
+              }
+            }
+            if (base == nullptr && !guarded.empty()) {
+              base = guarded.back().second;
+              guarded.pop_back();
+            }
+            Value* value = base != nullptr ? base : module.constant(inst->type(), 0);
+            for (const auto& [edge, v] : guarded) {
+              value = emit_select(edge, v, value, inst->type());
+            }
+            phi_values_[inst] = value;
+            break;
+          }
+          case Opcode::Br: {
+            edge_preds_[{block, inst->succs[0]}] = pred;
+            break;
+          }
+          case Opcode::CondBr: {
+            Value* cond = resolve(inst->operand(0));
+            Value* not_cond = emit_bin(BinKind::Xor, cond, true_const);
+            edge_preds_[{block, inst->succs[0]}] = and_preds(pred, cond);
+            edge_preds_[{block, inst->succs[1]}] = and_preds(pred, not_cond);
+            break;
+          }
+          case Opcode::Ret:
+            break;  // net functions only; kernels never carry these
+          default: {
+            // Rewrite operands that reference phis.
+            for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+              inst->set_operand(i, resolve(inst->operand(i)));
+            }
+            const bool stateful = inst->has_side_effects() || inst->accesses_global() ||
+                                  inst->op() == Opcode::LookupValue;
+            Value* guard = nullptr;
+            if (stateful) {
+              guard = pred;
+            } else if (!options_.speculation) {
+              guard = pred;  // keep control dependence: no speculation
+            }
+            program_.insts.push_back({inst, guard, -1, false});
+            break;
+          }
+        }
+      }
+    }
+    return std::move(program_);
+  }
+
+ private:
+  Value* resolve(Value* v) {
+    if (v->kind() != ValueKind::Instruction) return v;
+    const auto it = phi_values_.find(static_cast<Instruction*>(v));
+    return it != phi_values_.end() ? it->second : v;
+  }
+
+  Value* and_preds(Value* pred, Value* cond) {
+    if (pred == nullptr) return cond;
+    return emit_bin(BinKind::And, pred, cond);
+  }
+
+  Value* emit_bin(BinKind kind, Value* a, Value* b) {
+    auto inst = std::make_unique<Instruction>(Opcode::Bin, kBool);
+    inst->bin_kind = kind;
+    inst->add_operand(resolve(a));
+    inst->add_operand(resolve(b));
+    Instruction* ptr = inst.get();
+    program_.synthesized.push_back(std::move(inst));
+    program_.insts.push_back({ptr, nullptr, -1, true});
+    return ptr;
+  }
+
+  Value* emit_select(Value* cond, Value* a, Value* b, ScalarType type) {
+    auto inst = std::make_unique<Instruction>(Opcode::Select, type);
+    inst->add_operand(resolve(cond));
+    inst->add_operand(resolve(a));
+    inst->add_operand(resolve(b));
+    Instruction* ptr = inst.get();
+    program_.synthesized.push_back(std::move(inst));
+    program_.insts.push_back({ptr, nullptr, -1, true});
+    return ptr;
+  }
+
+  struct EdgeHash {
+    std::size_t operator()(const std::pair<BasicBlock*, BasicBlock*>& e) const {
+      return std::hash<const void*>()(e.first) * 31 ^ std::hash<const void*>()(e.second);
+    }
+  };
+
+  Function& fn_;
+  const LinearizeOptions& options_;
+  KernelProgram program_;
+  std::unordered_map<std::pair<BasicBlock*, BasicBlock*>, Value*, EdgeHash> edge_preds_;
+  std::unordered_map<BasicBlock*, Value*> block_preds_;
+  std::unordered_map<Instruction*, Value*> phi_values_;
+};
+
+}  // namespace
+
+KernelProgram linearize(Function& fn, const LinearizeOptions& options) {
+  Linearizer linearizer(fn, options);
+  return linearizer.run();
+}
+
+std::vector<KernelProgram> linearize_module(Module& module, const LinearizeOptions& options) {
+  std::vector<KernelProgram> programs;
+  for (const auto& fn : module.functions()) {
+    programs.push_back(linearize(*fn, options));
+  }
+  return programs;
+}
+
+}  // namespace netcl::p4

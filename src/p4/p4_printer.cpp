@@ -1,0 +1,715 @@
+#include "p4/p4_printer.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "ir/dominators.hpp"
+#include "support/source.hpp"
+
+namespace netcl::p4 {
+
+using namespace netcl::ir;
+
+namespace {
+
+std::string bit_type(int bits) { return "bit<" + std::to_string(bits < 8 ? 8 : bits) + ">"; }
+
+std::string p4_literal(const Constant& c) {
+  const int bits = c.type().bits < 8 ? 8 : c.type().bits;
+  return std::to_string(bits) + "w" + std::to_string(c.value());
+}
+
+std::string bin_operator(BinKind kind) {
+  switch (kind) {
+    case BinKind::Add: return "+";
+    case BinKind::Sub: return "-";
+    case BinKind::Mul: return "*";
+    case BinKind::UDiv:
+    case BinKind::SDiv: return "/";
+    case BinKind::URem:
+    case BinKind::SRem: return "%";
+    case BinKind::Shl: return "<<";
+    case BinKind::LShr:
+    case BinKind::AShr: return ">>";
+    case BinKind::And: return "&";
+    case BinKind::Or: return "|";
+    case BinKind::Xor: return "^";
+    case BinKind::SAddSat: return "|+|";
+    case BinKind::SSubSat: return "|-|";
+    default: return "?";
+  }
+}
+
+std::string icmp_operator(ICmpPred pred) {
+  switch (pred) {
+    case ICmpPred::EQ: return "==";
+    case ICmpPred::NE: return "!=";
+    case ICmpPred::ULT:
+    case ICmpPred::SLT: return "<";
+    case ICmpPred::ULE:
+    case ICmpPred::SLE: return "<=";
+    case ICmpPred::UGT:
+    case ICmpPred::SGT: return ">";
+    case ICmpPred::UGE:
+    case ICmpPred::SGE: return ">=";
+  }
+  return "?";
+}
+
+class Printer {
+ public:
+  Printer(Module& module, P4Dialect dialect) : module_(module), dialect_(dialect) {}
+
+  P4Program run() {
+    emit_headers();
+    emit_parsers();
+    emit_globals();
+    for (const auto& fn : module_.functions()) emit_kernel(*fn);
+    emit_runtime();
+    emit_base();
+    emit_boilerplate();
+    return std::move(out_);
+  }
+
+ private:
+  // --- value naming ---------------------------------------------------------
+  std::string name_of(const Value* v) {
+    if (const Constant* c = as_constant(v)) return p4_literal(*c);
+    if (v->kind() == ValueKind::Argument) {
+      const auto* arg = static_cast<const Argument*>(v);
+      return msg_field(arg->index(), 0);
+    }
+    const auto it = names_.find(v);
+    if (it != names_.end()) return it->second;
+    const std::string name = "v" + std::to_string(counter_++);
+    names_[v] = name;
+    decls_ << "    " << bit_type(v->type().bits) << " " << name << ";\n";
+    return name;
+  }
+
+  std::string msg_field(int arg_index, int element) {
+    const ArgSpec& arg = current_fn_->spec.args[static_cast<std::size_t>(arg_index)];
+    std::string field = "hdr.c" + std::to_string(current_fn_->computation()) + "." + arg.name;
+    if (arg.count > 1) field += "_" + std::to_string(element);
+    return field;
+  }
+
+  // --- sections --------------------------------------------------------------
+  void emit_headers() {
+    std::ostringstream os;
+    os << "header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }\n";
+    os << "header ipv4_t {\n"
+          "    bit<4> version; bit<4> ihl; bit<8> tos; bit<16> totalLen;\n"
+          "    bit<16> id; bit<3> flags; bit<13> fragOffset;\n"
+          "    bit<8> ttl; bit<8> protocol; bit<16> hdrChecksum;\n"
+          "    bit<32> srcAddr; bit<32> dstAddr;\n"
+          "}\n";
+    os << "header udp_t { bit<16> srcPort; bit<16> dstPort; bit<16> len; bit<16> csum; }\n";
+    os << "// NetCL shim header (paper Fig. 10)\n";
+    os << "header netcl_t {\n"
+          "    bit<16> src; bit<16> dst; bit<16> from; bit<16> to;\n"
+          "    bit<8> comp; bit<8> flags; bit<16> len;\n"
+          "}\n";
+    for (const auto& fn : module_.functions()) {
+      os << "// computation " << fn->computation() << " data (kernel " << fn->name() << ")\n";
+      os << "header c" << fn->computation() << "_t {\n";
+      for (const ArgSpec& arg : fn->spec.args) {
+        const int bits = arg.type.bits == 1 ? 8 : arg.type.bits;
+        if (arg.count == 1) {
+          os << "    " << bit_type(bits) << " " << arg.name << ";\n";
+        } else {
+          for (int i = 0; i < arg.count; ++i) {
+            os << "    " << bit_type(bits) << " " << arg.name << "_" << i << ";\n";
+          }
+        }
+      }
+      os << "}\n";
+    }
+    os << "struct headers_t {\n"
+          "    ethernet_t eth; ipv4_t ipv4; udp_t udp; netcl_t netcl;\n";
+    for (const auto& fn : module_.functions()) {
+      os << "    c" << fn->computation() << "_t c" << fn->computation() << ";\n";
+    }
+    os << "}\n";
+    os << "struct metadata_t { bit<8> ncl_act; bit<16> ncl_tgt; bit<9> out_port; }\n";
+    out_.headers = os.str();
+  }
+
+  void emit_parsers() {
+    std::ostringstream os;
+    os << "parser NetCLParser(packet_in pkt, out headers_t hdr"
+       << (dialect_ == P4Dialect::V1Model
+               ? ", inout metadata_t meta, inout standard_metadata_t std_meta"
+               : ", out metadata_t meta")
+       << ") {\n";
+    os << "    state start { pkt.extract(hdr.eth); transition select(hdr.eth.etherType) {\n"
+          "        0x0800: parse_ipv4; default: accept; } }\n";
+    os << "    state parse_ipv4 { pkt.extract(hdr.ipv4); transition "
+          "select(hdr.ipv4.protocol) {\n"
+          "        17: parse_udp; default: accept; } }\n";
+    os << "    state parse_udp { pkt.extract(hdr.udp); transition select(hdr.udp.dstPort) {\n"
+          "        0x4E43 &&& 0xFFF0: parse_netcl; default: accept; } }\n";
+    os << "    state parse_netcl { pkt.extract(hdr.netcl); transition "
+          "select(hdr.netcl.comp) {\n";
+    for (const auto& fn : module_.functions()) {
+      os << "        " << fn->computation() << ": parse_c" << fn->computation() << ";\n";
+    }
+    os << "        default: accept; } }\n";
+    for (const auto& fn : module_.functions()) {
+      os << "    state parse_c" << fn->computation() << " { pkt.extract(hdr.c"
+         << fn->computation() << "); transition accept; }\n";
+    }
+    os << "}\n";
+    os << "control NetCLDeparser(packet_out pkt, in headers_t hdr) {\n"
+          "    apply {\n"
+          "        pkt.emit(hdr.eth); pkt.emit(hdr.ipv4); pkt.emit(hdr.udp);\n"
+          "        pkt.emit(hdr.netcl);\n";
+    for (const auto& fn : module_.functions()) {
+      os << "        pkt.emit(hdr.c" << fn->computation() << ");\n";
+    }
+    os << "    }\n}\n";
+    out_.parsers = os.str();
+  }
+
+  void emit_globals() {
+    std::ostringstream os;
+    for (const auto& global : module_.globals()) {
+      if (global->is_lookup) continue;  // MATs are emitted with their lookups
+      const int bits = global->elem_type.bits < 8 ? 8 : global->elem_type.bits;
+      const std::int64_t size = global->element_count();
+      if (dialect_ == P4Dialect::Tna) {
+        os << "Register<" << bit_type(bits) << ", bit<16>>(" << size << ") " << global->name
+           << ";\n";
+      } else {
+        os << "register<" << bit_type(bits) << ">(" << size << ") " << global->name << ";\n";
+      }
+    }
+    out_.registers = os.str();
+  }
+
+  // --- per-kernel emission -----------------------------------------------
+  void emit_kernel(Function& fn) {
+    current_fn_ = &fn;
+    decls_.str("");
+    actions_.str("");
+    tables_.str("");
+    registers_.str("");
+    body_.str("");
+
+    fn.recompute_preds();
+    PostDominatorTree postdom(fn);
+
+    // Pre-name phis so copies can be emitted on edges.
+    for (const auto& block : fn.blocks()) {
+      for (const auto& inst : block->instructions()) {
+        if (inst->op() == Opcode::Phi) (void)name_of(inst.get());
+      }
+    }
+
+    body_ << "        if (hdr.netcl.comp == " << fn.computation() << ") {\n";
+    indent_ = 12;
+    emit_region(fn.entry(), nullptr, postdom);
+    body_ << "        }\n";
+
+    out_.registers += registers_.str();
+    out_.tables += tables_.str();
+    out_.actions += decls_.str() + actions_.str();
+    out_.control += body_.str();
+    current_fn_ = nullptr;
+  }
+
+  void pad() {
+    for (int i = 0; i < indent_; ++i) body_ << ' ';
+  }
+
+  void emit_region(BasicBlock* block, BasicBlock* stop, const PostDominatorTree& postdom) {
+    while (block != nullptr && block != stop) {
+      for (const auto& inst : block->instructions()) {
+        if (inst->op() == Opcode::Phi || inst->is_terminator()) continue;
+        emit_inst(*inst);
+      }
+      Instruction* term = block->terminator();
+      if (term == nullptr) return;
+      switch (term->op()) {
+        case Opcode::RetAction: {
+          pad();
+          body_ << "meta.ncl_act = 8w" << static_cast<int>(term->action) << ";";
+          if (term->num_operands() > 0) {
+            body_ << " meta.ncl_tgt = (bit<16>)" << name_of(term->operand(0)) << ";";
+          }
+          body_ << " // " << netcl::to_string(term->action) << "\n";
+          return;
+        }
+        case Opcode::Br: {
+          emit_phi_copies(block, term->succs[0]);
+          block = term->succs[0];
+          break;
+        }
+        case Opcode::CondBr: {
+          BasicBlock* merge = postdom.ipostdom(block);
+          pad();
+          body_ << "if (" << name_of(term->operand(0)) << " == 1w1) {\n";
+          indent_ += 4;
+          emit_phi_copies(block, term->succs[0]);
+          if (term->succs[0] != merge) emit_region(term->succs[0], merge, postdom);
+          indent_ -= 4;
+          pad();
+          body_ << "} else {\n";
+          indent_ += 4;
+          emit_phi_copies(block, term->succs[1]);
+          if (term->succs[1] != merge) emit_region(term->succs[1], merge, postdom);
+          indent_ -= 4;
+          pad();
+          body_ << "}\n";
+          block = merge;
+          break;
+        }
+        default:
+          return;
+      }
+    }
+  }
+
+  void emit_phi_copies(BasicBlock* from, BasicBlock* to) {
+    for (const auto& inst : to->instructions()) {
+      if (inst->op() != Opcode::Phi) break;
+      for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+        if (inst->phi_blocks[i] == from) {
+          pad();
+          body_ << name_of(inst.get()) << " = " << name_of(inst->operand(i)) << ";\n";
+        }
+      }
+    }
+  }
+
+  void emit_alu_action(const Instruction& inst, const std::string& statement) {
+    const std::string action_name = "a_" + name_of(&inst);
+    actions_ << "    action " << action_name << "() { " << statement << " }\n";
+    pad();
+    body_ << action_name << "();\n";
+  }
+
+  void emit_inst(Instruction& inst) {
+    switch (inst.op()) {
+      case Opcode::Bin:
+        emit_alu_action(inst, name_of(&inst) + " = " + name_of(inst.operand(0)) + " " +
+                                  bin_operator(inst.bin_kind) + " " +
+                                  name_of(inst.operand(1)) + ";");
+        break;
+      case Opcode::ICmp:
+        emit_alu_action(inst, name_of(&inst) + " = (" + name_of(inst.operand(0)) + " " +
+                                  icmp_operator(inst.icmp_pred) + " " +
+                                  name_of(inst.operand(1)) + ") ? 8w1 : 8w0;");
+        break;
+      case Opcode::Select:
+        emit_alu_action(inst, name_of(&inst) + " = (" + name_of(inst.operand(0)) +
+                                  " == 8w1) ? " + name_of(inst.operand(1)) + " : " +
+                                  name_of(inst.operand(2)) + ";");
+        break;
+      case Opcode::Cast:
+        pad();
+        body_ << name_of(&inst) << " = (" << bit_type(inst.type().bits) << ")"
+              << name_of(inst.operand(0)) << ";\n";
+        break;
+      case Opcode::Bswap:
+        emit_alu_action(inst, name_of(&inst) + " = " + name_of(inst.operand(0)) +
+                                  "[7:0] ++ " + name_of(inst.operand(0)) + "[15:8];");
+        break;
+      case Opcode::Clz: {
+        // Lowered through an LPM table (§VI-B).
+        const std::string table = "t_clz_" + name_of(&inst);
+        tables_ << "    table " << table << " {\n        key = { "
+                << name_of(inst.operand(0)) << " : lpm; }\n"
+                << "        actions = { a_set_" << name_of(&inst) << "; }\n"
+                << "        size = " << static_cast<int>(inst.operand(0)->type().bits) + 1
+                << ";\n    }\n";
+        actions_ << "    action a_set_" << name_of(&inst) << "(" << bit_type(inst.type().bits)
+                 << " n) { " << name_of(&inst) << " = n; }\n";
+        pad();
+        body_ << table << ".apply();\n";
+        break;
+      }
+      case Opcode::Hash: {
+        const std::string hash_name = "h_" + name_of(&inst);
+        std::string algo;
+        switch (inst.hash_kind) {
+          case HashKind::Crc16: algo = "CRC16"; break;
+          case HashKind::Crc32: algo = "CRC32"; break;
+          case HashKind::Xor16: algo = "XOR16"; break;
+          case HashKind::Identity: algo = "IDENTITY"; break;
+        }
+        std::string inputs;
+        for (std::size_t i = 0; i < inst.num_operands(); ++i) {
+          inputs += (i != 0 ? ", " : "") + name_of(inst.operand(i));
+        }
+        if (dialect_ == P4Dialect::Tna) {
+          registers_ << "Hash<" << bit_type(inst.type().bits) << ">(HashAlgorithm_t." << algo
+                     << ") " << hash_name << ";\n";
+          pad();
+          body_ << name_of(&inst) << " = " << hash_name << ".get({" << inputs << "});\n";
+        } else {
+          pad();
+          body_ << "hash(" << name_of(&inst) << ", HashAlgorithm.crc16, "
+                << bit_type(inst.type().bits) << "w0, {" << inputs << "}, "
+                << (1ULL << (inst.type().bits >= 32 ? 31 : inst.type().bits)) << ");\n";
+        }
+        break;
+      }
+      case Opcode::Rand:
+        if (dialect_ == P4Dialect::Tna) {
+          registers_ << "Random<" << bit_type(inst.type().bits) << ">() rnd_" << name_of(&inst)
+                     << ";\n";
+          pad();
+          body_ << name_of(&inst) << " = rnd_" << name_of(&inst) << ".get();\n";
+        } else {
+          pad();
+          body_ << "random(" << name_of(&inst) << ", 0, "
+                << inst.type().max_unsigned() << ");\n";
+        }
+        break;
+      case Opcode::MsgMeta: {
+        static const char* kFields[] = {"src", "dst", "from", "to"};
+        pad();
+        body_ << name_of(&inst) << " = hdr.netcl." << kFields[inst.arg_index] << ";\n";
+        break;
+      }
+      case Opcode::LoadMsg:
+      case Opcode::StoreMsg: {
+        const bool is_store = inst.op() == Opcode::StoreMsg;
+        const Constant* index = as_constant(inst.operand(0));
+        if (index != nullptr) {
+          pad();
+          const std::string field =
+              msg_field(inst.arg_index, static_cast<int>(index->extended()));
+          if (is_store) {
+            body_ << field << " = " << name_of(inst.operand(1)) << ";\n";
+          } else {
+            body_ << name_of(&inst) << " = " << field << ";\n";
+          }
+        } else {
+          // Dynamic indexing -> index table over a header stack (Fig. 9).
+          emit_index_table(inst, is_store,
+                           "hdr.c" + std::to_string(current_fn_->computation()) + "." +
+                               current_fn_->spec.args[static_cast<std::size_t>(inst.arg_index)]
+                                   .name,
+                           current_fn_->spec.args[static_cast<std::size_t>(inst.arg_index)]
+                               .count);
+        }
+        break;
+      }
+      case Opcode::LoadLocal:
+      case Opcode::StoreLocal: {
+        const bool is_store = inst.op() == Opcode::StoreLocal;
+        const Constant* index = as_constant(inst.operand(0));
+        const std::string base = "ls_" + inst.local_array->name;
+        if (index != nullptr) {
+          pad();
+          if (is_store) {
+            body_ << base << "_" << index->extended() << " = " << name_of(inst.operand(1))
+                  << ";\n";
+          } else {
+            body_ << name_of(&inst) << " = " << base << "_" << index->extended() << ";\n";
+          }
+        } else {
+          emit_index_table(inst, is_store, base, inst.local_array->size);
+        }
+        break;
+      }
+      case Opcode::LoadGlobal:
+      case Opcode::StoreGlobal:
+      case Opcode::AtomicRMW:
+        emit_register_access(inst);
+        break;
+      case Opcode::Lookup:
+        emit_lookup(inst);
+        break;
+      case Opcode::LookupValue:
+        // Folded into the table action of the paired Lookup; copy the
+        // default first (the MAT overwrites on hit).
+        pad();
+        body_ << name_of(&inst) << " = " << name_of(inst.operand(1)) << ";\n";
+        break;
+      default:
+        break;
+    }
+  }
+
+  void emit_index_table(Instruction& inst, bool is_store, const std::string& base, int count) {
+    const std::string table = std::string("t_idx_") + (is_store ? "w" : "r") +
+                              std::to_string(counter_++);
+    tables_ << "    table " << table << " {\n        key = { "
+            << name_of(inst.operand(0)) << " : exact; }\n        actions = {";
+    for (int i = 0; i < count; ++i) tables_ << " " << table << "_a" << i << ";";
+    tables_ << " }\n        const entries = {\n";
+    for (int i = 0; i < count; ++i) {
+      tables_ << "            " << i << " : " << table << "_a" << i << "();\n";
+    }
+    tables_ << "        }\n    }\n";
+    for (int i = 0; i < count; ++i) {
+      actions_ << "    action " << table << "_a" << i << "() { ";
+      if (is_store) {
+        actions_ << base << "_" << i << " = " << name_of(inst.operand(1)) << ";";
+      } else {
+        actions_ << name_of(&inst) << " = " << base << "_" << i << ";";
+      }
+      actions_ << " }\n";
+    }
+    pad();
+    body_ << table << ".apply();\n";
+  }
+
+  void emit_register_access(Instruction& inst) {
+    const GlobalVar& global = *inst.global;
+    const int bits = global.elem_type.bits < 8 ? 8 : global.elem_type.bits;
+    std::string index = global.dims.empty() ? "16w0" : name_of(inst.operand(0));
+    if (dialect_ == P4Dialect::Tna) {
+      const std::string ra = "ra_" + global.name + "_" + std::to_string(counter_++);
+      registers_ << "RegisterAction<" << bit_type(bits) << ", bit<16>, " << bit_type(bits)
+                 << ">(" << global.name << ") " << ra << " = {\n"
+                 << "    void apply(inout " << bit_type(bits) << " m, out " << bit_type(bits)
+                 << " o) {\n";
+      switch (inst.op()) {
+        case Opcode::LoadGlobal:
+          registers_ << "        o = m;\n";
+          break;
+        case Opcode::StoreGlobal:
+          registers_ << "        m = " << operand_placeholder(inst, value_operand_index(inst))
+                     << "; o = m;\n";
+          break;
+        case Opcode::AtomicRMW: {
+          const std::string rhs = salu_rhs(inst);
+          if (inst.atomic_cond) {
+            registers_ << "        if (cond != 0) { m = " << rhs << "; }\n";
+          } else {
+            registers_ << "        m = " << rhs << ";\n";
+          }
+          registers_ << "        o = m;\n";  // *_new semantics; old value
+                                             // variants swap the two lines
+          break;
+        }
+        default:
+          break;
+      }
+      registers_ << "    }\n};\n";
+      pad();
+      if (inst.op() == Opcode::StoreGlobal) {
+        body_ << ra << ".execute((bit<16>)" << index << ");\n";
+      } else {
+        body_ << name_of(&inst) << " = " << ra << ".execute((bit<16>)" << index << ");\n";
+      }
+    } else {
+      // v1model register read-modify-write sequence.
+      pad();
+      switch (inst.op()) {
+        case Opcode::LoadGlobal:
+          body_ << global.name << ".read(" << name_of(&inst) << ", (bit<32>)" << index
+                << ");\n";
+          break;
+        case Opcode::StoreGlobal:
+          body_ << global.name << ".write((bit<32>)" << index << ", "
+                << name_of(inst.operand(inst.num_operands() - 1)) << ");\n";
+          break;
+        case Opcode::AtomicRMW: {
+          const std::string tmp = name_of(&inst);
+          body_ << global.name << ".read(" << tmp << ", (bit<32>)" << index << ");\n";
+          pad();
+          body_ << tmp << " = " << salu_rhs(inst) << ";\n";
+          pad();
+          body_ << global.name << ".write((bit<32>)" << index << ", " << tmp << ");\n";
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  std::size_t value_operand_index(const Instruction& inst) const {
+    return inst.num_operands() - 1;
+  }
+
+  std::string operand_placeholder(Instruction& inst, std::size_t i) {
+    return name_of(inst.operand(i));
+  }
+
+  /// The right-hand side of a SALU microprogram for an atomic op.
+  std::string salu_rhs(Instruction& inst) {
+    const std::size_t first_data =
+        static_cast<std::size_t>(inst.num_indices) + (inst.atomic_cond ? 1 : 0);
+    auto data = [&](std::size_t k) { return name_of(inst.operand(first_data + k)); };
+    switch (inst.atomic_op) {
+      case AtomicOpKind::Add: return "m + " + data(0);
+      case AtomicOpKind::SAdd: return "m |+| " + data(0);
+      case AtomicOpKind::Sub: return "m - " + data(0);
+      case AtomicOpKind::SSub: return "m |-| " + data(0);
+      case AtomicOpKind::Or: return "m | " + data(0);
+      case AtomicOpKind::And: return "m & " + data(0);
+      case AtomicOpKind::Xor: return "m ^ " + data(0);
+      case AtomicOpKind::Inc: return "m + 1";
+      case AtomicOpKind::Dec: return "m - 1";
+      case AtomicOpKind::Min: return "(m < " + data(0) + ") ? m : " + data(0);
+      case AtomicOpKind::Max: return "(m > " + data(0) + ") ? m : " + data(0);
+      case AtomicOpKind::Cas:
+        return "(m == " + data(0) + ") ? " + data(1) + " : m";
+    }
+    return "m";
+  }
+
+  void emit_lookup(Instruction& inst) {
+    const GlobalVar& global = *inst.global;
+    const std::string table = "t_" + global.name + "_" + std::to_string(counter_++);
+    const std::string hit_var = name_of(&inst);
+
+    std::string value_var;
+    // Find the paired LookupValue (if any) to fill in its action.
+    for (const auto& block : current_fn_->blocks()) {
+      for (const auto& other : block->instructions()) {
+        if (other->op() == Opcode::LookupValue && other->operand(0) == &inst) {
+          value_var = name_of(other.get());
+        }
+      }
+    }
+
+    const std::string action = table + "_hit";
+    actions_ << "    action " << action << "(";
+    if (!value_var.empty()) actions_ << bit_type(global.value_type.bits) << " val";
+    actions_ << ") { ";
+    if (!value_var.empty()) actions_ << value_var << " = val; ";
+    actions_ << "}\n";
+
+    const char* match = global.lookup_kind == LookupKind::Range ? "range" : "exact";
+    tables_ << "    table " << table << " {\n        key = { "
+            << name_of(inst.operand(0)) << " : " << match << "; }\n"
+            << "        actions = { " << action << "; @defaultonly NoAction; }\n"
+            << "        const default_action = NoAction();\n";
+    if (!global.entries.empty()) {
+      tables_ << "        const entries = {\n";
+      for (const LookupEntry& entry : global.entries) {
+        tables_ << "            ";
+        if (global.lookup_kind == LookupKind::Range) {
+          tables_ << entry.key_lo << " .. " << entry.key_hi;
+        } else {
+          tables_ << entry.key_lo;
+        }
+        tables_ << " : " << action << "(";
+        if (!value_var.empty()) tables_ << entry.value;
+        tables_ << ");\n";
+      }
+      tables_ << "        }\n";
+    }
+    tables_ << "        size = " << global.element_count() << ";\n    }\n";
+
+    pad();
+    body_ << "if (" << table << ".apply().hit) { " << hit_var << " = 8w1; } else { " << hit_var
+          << " = 8w0; }\n";
+  }
+
+  void emit_runtime() {
+    std::ostringstream os;
+    os << "// NetCL device runtime: 4-tuple handling and action resolution.\n"
+          "control NetCLRuntime(inout headers_t hdr, inout metadata_t meta) {\n"
+          "    apply {\n"
+          "        if (hdr.netcl.isValid() && hdr.netcl.to == DEVICE_ID) {\n"
+          "            // kernel dispatch happens in NetCLCompute\n"
+          "            if (meta.ncl_act == 1) { hdr.netcl.setInvalid(); }          // drop\n"
+          "            if (meta.ncl_act == 2) { hdr.netcl.dst = meta.ncl_tgt; }    // send_to_host\n"
+          "            if (meta.ncl_act == 3) { hdr.netcl.to = meta.ncl_tgt; }     // send_to_device\n"
+          "            if (meta.ncl_act == 4) { meta.out_port = 9w511; }           // multicast\n"
+          "            if (meta.ncl_act == 5) { hdr.netcl.dst = hdr.netcl.src; }   // reflect\n"
+          "            if (meta.ncl_act == 6) { hdr.netcl.dst = hdr.netcl.from; }  // reflect_long\n"
+          "            hdr.netcl.from = DEVICE_ID;\n"
+          "        }\n"
+          "    }\n"
+          "}\n";
+    out_.runtime = os.str();
+  }
+
+  void emit_base() {
+    std::ostringstream os;
+    os << "// Base program: link-layer forwarding for NetCL and normal traffic.\n"
+          "control BaseForward(inout headers_t hdr, inout metadata_t meta) {\n"
+          "    action set_port(bit<9> port) { meta.out_port = port; }\n"
+          "    action bcast() { meta.out_port = 9w511; }\n"
+          "    table l2 {\n"
+          "        key = { hdr.eth.dst : exact; }\n"
+          "        actions = { set_port; bcast; }\n"
+          "        const default_action = bcast();\n"
+          "        size = 4096;\n"
+          "    }\n"
+          "    table netcl_fwd {\n"
+          "        key = { hdr.netcl.dst : exact; hdr.netcl.to : exact; }\n"
+          "        actions = { set_port; bcast; }\n"
+          "        const default_action = bcast();\n"
+          "        size = 1024;\n"
+          "    }\n"
+          "    apply {\n"
+          "        if (hdr.netcl.isValid()) { netcl_fwd.apply(); }\n"
+          "        else { l2.apply(); }\n"
+          "    }\n"
+          "}\n";
+    out_.base = os.str();
+  }
+
+  void emit_boilerplate() {
+    std::ostringstream os;
+    if (dialect_ == P4Dialect::Tna) {
+      os << "#include <core.p4>\n#include <tna.p4>\n"
+         << "#define DEVICE_ID " << module_.device_id() << "\n"
+         << "// control NetCLCompute(...) { <registers, tables, actions, apply above> }\n"
+         << "Pipeline(NetCLParser(), NetCLIngress(), NetCLDeparser(),\n"
+            "         EmptyEgressParser(), EmptyEgress(), EmptyEgressDeparser()) pipe;\n"
+         << "Switch(pipe) main;\n";
+    } else {
+      os << "#include <core.p4>\n#include <v1model.p4>\n"
+         << "#define DEVICE_ID " << module_.device_id() << "\n"
+         << "V1Switch(NetCLParser(), NetCLVerifyChecksum(), NetCLIngress(), NetCLEgress(),\n"
+            "         NetCLComputeChecksum(), NetCLDeparser()) main;\n";
+    }
+    out_.boilerplate = os.str();
+  }
+
+  Module& module_;
+  P4Dialect dialect_;
+  P4Program out_;
+  Function* current_fn_ = nullptr;
+  std::unordered_map<const Value*, std::string> names_;
+  int counter_ = 0;
+  int indent_ = 8;
+  std::ostringstream decls_;
+  std::ostringstream actions_;
+  std::ostringstream tables_;
+  std::ostringstream registers_;
+  std::ostringstream body_;
+};
+
+}  // namespace
+
+std::string P4Program::full() const {
+  std::string result;
+  result += boilerplate;
+  result += headers;
+  result += parsers;
+  result += registers;
+  result += "control NetCLIngress(inout headers_t hdr, inout metadata_t meta) {\n";
+  result += actions;
+  result += tables;
+  result += "    apply {\n";
+  result += control;
+  result += "    }\n}\n";
+  result += runtime;
+  result += base;
+  return result;
+}
+
+int P4Program::loc() const { return count_loc(full()); }
+
+int P4Program::generated_loc() const {
+  return count_loc(registers) + count_loc(tables) + count_loc(actions) + count_loc(control);
+}
+
+P4Program emit_p4(Module& module, P4Dialect dialect) {
+  Printer printer(module, dialect);
+  return printer.run();
+}
+
+}  // namespace netcl::p4

@@ -1,0 +1,62 @@
+#include "p4/phv.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace netcl::p4 {
+
+using namespace netcl::ir;
+
+PhvUsage compute_phv(const std::vector<KernelProgram>& kernels) {
+  PhvUsage usage;
+  usage.netcl_header_bits = kNetclHeaderBits;
+  usage.base_program_bits = kBaseProgramBits;
+  usage.metadata_bits = 60;  // device runtime metadata (action, target ids)
+
+  for (const KernelProgram& kernel : kernels) {
+    // Kernel arguments are carried as the NetCL data header.
+    for (const ArgSpec& arg : kernel.fn->spec.args) {
+      const int width = arg.type.bits == 1 ? 8 : arg.type.bits;
+      usage.header_bits += width * arg.count;
+    }
+
+    // A temporary occupies PHV space if any consumer lives in a later
+    // stage than its producer — except values that alias header containers:
+    // LoadMsg results *are* header fields, and values whose only consumers
+    // are StoreMsg can be written into their header container directly.
+    std::unordered_map<const Value*, int> def_stage;
+    std::unordered_map<const Value*, bool> non_store_use;
+    for (const LinearInst& li : kernel.insts) def_stage[li.inst] = li.stage;
+    std::unordered_map<const Value*, bool> crosses;
+    for (const LinearInst& li : kernel.insts) {
+      auto consider = [&](const Value* v, bool is_store_value) {
+        if (v == nullptr || v->kind() != ValueKind::Instruction) return;
+        if (!is_store_value) non_store_use[v] = true;
+        const auto it = def_stage.find(v);
+        if (it == def_stage.end()) return;
+        if (li.stage > it->second) crosses[v] = true;
+      };
+      const bool is_store_msg = li.inst->op() == Opcode::StoreMsg;
+      // Synthesized phi-selects model mutually exclusive writers sharing a
+      // container; their data operands do not need containers of their own.
+      const bool is_phi_select = li.synthesized && li.inst->op() == Opcode::Select;
+      for (std::size_t i = 0; i < li.inst->num_operands(); ++i) {
+        consider(li.inst->operand(i), (is_store_msg && i == 1) || (is_phi_select && i >= 1));
+      }
+      consider(li.guard, false);
+    }
+    for (const auto& [value, does_cross] : crosses) {
+      if (!does_cross) continue;
+      const auto* inst = static_cast<const Instruction*>(value);
+      if (inst->op() == Opcode::LoadMsg) continue;       // aliases a header field
+      if (!non_store_use.count(value)) continue;         // written straight to header
+      // PHV containers are 8/16/32 bits; round up.
+      const int bits = value->type().bits;
+      const int container = bits <= 8 ? 8 : bits <= 16 ? 16 : 32;
+      usage.local_var_bits += container;
+    }
+  }
+  return usage;
+}
+
+}  // namespace netcl::p4

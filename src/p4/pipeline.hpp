@@ -1,0 +1,65 @@
+// Executable pipeline representation shared by the backends and the switch
+// simulator.
+//
+// After the middle-end, a kernel's CFG is an acyclic, structured DAG. The
+// linearizer (lower_pipeline.cpp) performs the paper's CFG structurization
+// and phi elimination in one step, producing the form RMT hardware actually
+// executes: a straight-line sequence of operations where control flow has
+// become *predication* —
+//
+//   * every block receives a predicate value (i1); edge predicates combine
+//     branch conditions with block predicates,
+//   * phis become select chains over edge predicates,
+//   * side-effecting operations (stores, atomics, actions) carry their
+//     block's predicate as a guard; pure operations are speculated
+//     (executed unconditionally) unless speculation is disabled, in which
+//     case they carry guards that constrain stage placement.
+//
+// The TNA stage allocator then maps this linear program onto match-action
+// stages under the Tofino resource model.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace netcl::p4 {
+
+/// One linearized operation: a borrowed or synthesized IR instruction plus
+/// its guard and (after allocation) its pipeline stage.
+struct LinearInst {
+  ir::Instruction* inst = nullptr;
+  ir::Value* guard = nullptr;  // i1; nullptr = always executes
+  int stage = -1;              // filled by the TNA stage allocator
+  bool synthesized = false;    // predicate/select machinery
+};
+
+/// The linearized form of one kernel.
+struct KernelProgram {
+  ir::Function* fn = nullptr;
+  std::vector<LinearInst> insts;  // topological (execution) order
+  // Predicate and phi-select instructions created by the linearizer; they
+  // have no parent block.
+  std::vector<std::unique_ptr<ir::Instruction>> synthesized;
+
+  /// Returns the instructions that are RetActions, in order; the first one
+  /// whose guard evaluates true decides the message's fate.
+  [[nodiscard]] std::vector<const LinearInst*> ret_actions() const;
+};
+
+struct LinearizeOptions {
+  /// When false, pure instructions carry their block predicate as a guard,
+  /// adding a scheduling dependence on the predicate computation (this is
+  /// the paper's "speculation" flag: on = hoist work before its branch).
+  bool speculation = true;
+};
+
+/// Linearizes one function. The function must verify (acyclic CFG).
+[[nodiscard]] KernelProgram linearize(ir::Function& fn, const LinearizeOptions& options);
+
+/// Linearizes every kernel in a module.
+[[nodiscard]] std::vector<KernelProgram> linearize_module(ir::Module& module,
+                                                          const LinearizeOptions& options);
+
+}  // namespace netcl::p4

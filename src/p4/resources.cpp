@@ -1,0 +1,40 @@
+#include "p4/resources.hpp"
+
+#include <sstream>
+
+namespace netcl::p4 {
+
+int sram_blocks_for(const ir::GlobalVar& global, const StageLimits& limits) {
+  const std::int64_t bits = global.bit_size();
+  const int blocks = static_cast<int>((bits + limits.sram_block_bits - 1) / limits.sram_block_bits);
+  return blocks < 1 ? 1 : blocks;
+}
+
+StageUsage table_blocks_for(const ir::GlobalVar& global, const StageLimits& limits) {
+  StageUsage usage;
+  const std::int64_t entries =
+      global.entries.empty() ? global.element_count()
+                             : static_cast<std::int64_t>(global.entries.size());
+  if (global.lookup_kind == LookupKind::Range) {
+    // Range matches burn TCAM.
+    const int blocks =
+        static_cast<int>((entries + limits.tcam_block_entries - 1) / limits.tcam_block_entries);
+    usage.tcam = blocks < 1 ? 1 : blocks;
+  } else {
+    const std::int64_t entry_bits = global.key_type.bits + global.value_type.bits + 8;
+    const std::int64_t bits = entries * entry_bits;
+    const int blocks =
+        static_cast<int>((bits + limits.sram_block_bits - 1) / limits.sram_block_bits);
+    usage.sram = blocks < 1 ? 1 : blocks;
+  }
+  return usage;
+}
+
+std::string to_string(const StageUsage& usage) {
+  std::ostringstream os;
+  os << "sram=" << usage.sram << " tcam=" << usage.tcam << " salu=" << usage.salus
+     << " vliw=" << usage.vliw << " hash=" << usage.hash << " tables=" << usage.tables;
+  return os.str();
+}
+
+}  // namespace netcl::p4

@@ -1,0 +1,69 @@
+// Tofino (RMT) resource model.
+//
+// Numbers follow the public RMT paper and Tofino 1 documentation orders of
+// magnitude: 12 match-action stages, per-stage SRAM and TCAM blocks, 4
+// stateful ALUs, a VLIW action engine, and a handful of hash units. The
+// absolute values are configurable so tests can shrink them; the defaults
+// are what the Table V reproduction uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace netcl::p4 {
+
+struct StageLimits {
+  int stages = 12;
+  int sram_blocks = 80;         // per stage
+  int sram_block_bits = 16 * 1024 * 8;  // 16 KB blocks
+  int tcam_blocks = 24;         // per stage
+  int tcam_block_entries = 512;
+  // Stateful register operations per stage. Tofino exposes 4 SALUs but
+  // each operates on up to 64-bit entries ("write two 32-bit values",
+  // §VIII), so 8 paired 32-bit register ops per stage is the effective
+  // budget SwitchML-class programs schedule against.
+  int salus = 8;
+  // RMT action engines run one ALU per PHV container in parallel (~224
+  // containers on Tofino 1), so per-stage VLIW capacity is large.
+  int vliw_slots = 224;
+  int hash_units = 6;           // hash engine outputs per stage
+  int tables = 16;              // logical tables per stage
+  int phv_bits = 4096;          // total PHV capacity (64x8b + 96x16b + 64x32b)
+};
+
+struct StageUsage {
+  int sram = 0;
+  int tcam = 0;
+  int salus = 0;
+  int vliw = 0;
+  int hash = 0;
+  int tables = 0;
+
+  StageUsage& operator+=(const StageUsage& other) {
+    sram += other.sram;
+    tcam += other.tcam;
+    salus += other.salus;
+    vliw += other.vliw;
+    hash += other.hash;
+    tables += other.tables;
+    return *this;
+  }
+  [[nodiscard]] bool fits(const StageLimits& limits) const {
+    return sram <= limits.sram_blocks && tcam <= limits.tcam_blocks &&
+           salus <= limits.salus && vliw <= limits.vliw_slots && hash <= limits.hash_units &&
+           tables <= limits.tables;
+  }
+};
+
+/// SRAM blocks needed to hold a register array.
+[[nodiscard]] int sram_blocks_for(const ir::GlobalVar& global, const StageLimits& limits);
+
+/// SRAM or TCAM blocks needed for a lookup table's entries.
+[[nodiscard]] StageUsage table_blocks_for(const ir::GlobalVar& global, const StageLimits& limits);
+
+/// Renders a usage row for reports ("sram=3 tcam=0 salu=2 vliw=9 ...").
+[[nodiscard]] std::string to_string(const StageUsage& usage);
+
+}  // namespace netcl::p4

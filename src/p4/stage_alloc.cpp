@@ -1,0 +1,331 @@
+#include "p4/stage_alloc.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace netcl::p4 {
+
+using namespace netcl::ir;
+
+namespace {
+
+/// Resource demand of one linear op, excluding its register/table group
+/// costs (those are charged once per global per stage).
+StageUsage op_demand(const Instruction& inst) {
+  StageUsage demand;
+  switch (inst.op()) {
+    case Opcode::Bin:
+    case Opcode::ICmp:
+    case Opcode::Select:
+    case Opcode::Bswap:
+    case Opcode::MsgMeta:
+    case Opcode::Rand:
+    case Opcode::RetAction:
+    case Opcode::LookupValue:
+      demand.vliw = 1;
+      break;
+    case Opcode::Clz:
+      // Count-leading-zeros maps to an LPM table (§VI-B).
+      demand.vliw = 1;
+      demand.tables = 1;
+      demand.tcam = 1;
+      break;
+    case Opcode::Hash:
+      demand.hash = 1;
+      break;
+    case Opcode::LoadMsg:
+    case Opcode::StoreMsg:
+    case Opcode::LoadLocal:
+    case Opcode::StoreLocal: {
+      demand.vliw = 1;
+      // Dynamic indexing into header stacks needs an index table (Fig. 9).
+      const bool dynamic = as_constant(inst.operand(0)) == nullptr;
+      if (dynamic) demand.tables = 1;
+      break;
+    }
+    default:
+      break;
+  }
+  return demand;
+}
+
+/// Per-stage cost of hosting a global (register or lookup table).
+StageUsage global_demand(const GlobalVar& global, const StageLimits& limits) {
+  StageUsage demand;
+  if (global.is_lookup) {
+    demand = table_blocks_for(global, limits);
+    demand.tables = 1;
+  } else {
+    demand.sram = sram_blocks_for(global, limits);
+    demand.salus = 1;
+    demand.tables = 1;  // the MAT invoking the RegisterAction
+  }
+  return demand;
+}
+
+}  // namespace
+
+AllocationResult allocate_stages(std::vector<KernelProgram>& kernels, const ir::Module& module,
+                                 const StageLimits& limits, int base_stages) {
+  AllocationResult result;
+  (void)module;
+
+  // Collect all linear instructions in execution order (kernels are
+  // independent alternatives, so concatenation preserves topology).
+  std::vector<LinearInst*> all;
+  for (KernelProgram& kernel : kernels) {
+    for (LinearInst& li : kernel.insts) all.push_back(&li);
+  }
+
+  // ---- dependence + group fixpoint (stages only grow) ----
+  std::unordered_map<const Value*, int> value_stage;
+  std::unordered_map<const GlobalVar*, int> group_stage;
+  for (LinearInst* li : all) li->stage = base_stages;
+
+  auto dep_stage = [&](const Value* v) -> int {
+    if (v == nullptr || v->kind() != ValueKind::Instruction) return base_stages - 1;
+    const auto it = value_stage.find(v);
+    return it == value_stage.end() ? base_stages - 1 : it->second;
+  };
+
+  // Stage-transparent operations: they add no pipeline delay and consume
+  // no action slots.
+  //  * predicate combinators synthesized by the linearizer map onto stage
+  //    gateway logic;
+  //  * synthesized phi-selects model mutually exclusive guarded writers
+  //    sharing one PHV container — no instruction exists in hardware;
+  //  * width casts are PHV slicing/alignment, folded into whichever ALU op
+  //    consumes them.
+  // A guard likewise constrains its op to the guard's stage (the gateway
+  // re-evaluates the predicate during the match phase), not one later.
+  std::unordered_set<const Instruction*> gateway_ops;
+  for (const LinearInst* li : all) {
+    // Any 1-bit logic — comparisons included — is gateway material,
+    // whether the programmer wrote it (&&, ||, ==, <) or the linearizer
+    // synthesized it: stages evaluate predicates in their match phase.
+    const bool predicate_logic =
+        (li->inst->op() == Opcode::Bin && li->inst->type().bits == 1) ||
+        li->inst->op() == Opcode::ICmp;
+    const bool phi_select = li->synthesized && li->inst->op() == Opcode::Select;
+    const bool cast = li->inst->op() == Opcode::Cast;
+    if (predicate_logic || phi_select || cast) gateway_ops.insert(li->inst);
+  }
+  auto min_stage_of = [&](const LinearInst* li) -> int {
+    const Instruction* inst = li->inst;
+    const bool is_gateway = gateway_ops.count(inst) != 0;
+    int min_stage = base_stages;
+    for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+      // A LookupValue is the value-writing action of its paired Lookup's
+      // MAT: same table application, same stage — no +1 on that edge.
+      const bool same_stage_edge =
+          is_gateway || (inst->op() == Opcode::LookupValue && i == 0);
+      min_stage = std::max(min_stage, dep_stage(inst->operand(i)) + (same_stage_edge ? 0 : 1));
+    }
+    if (li->guard != nullptr) {
+      // Stateful ops (tables, SALUs, action selection) are gated by the
+      // stage gateway, which recomputes the predicate from PHV inputs in
+      // the same stage. A *pure* op that kept its control dependence
+      // (speculation disabled) instead consumes the materialized predicate
+      // value, one stage later — this is exactly why the paper's
+      // speculation flag reduces stage requirements.
+      const bool gateway_gated = inst->has_side_effects() || inst->accesses_global() ||
+                                 inst->op() == Opcode::LookupValue;
+      min_stage = std::max(min_stage, dep_stage(li->guard) + (gateway_gated ? 0 : 1));
+    }
+    return min_stage;
+  };
+
+  const int max_iterations = 64;
+  bool changed = true;
+  for (int iteration = 0; changed && iteration < max_iterations; ++iteration) {
+    changed = false;
+    for (LinearInst* li : all) {
+      const Instruction* inst = li->inst;
+      int min_stage = min_stage_of(li);
+      if (inst->global != nullptr) {
+        const auto it = group_stage.find(inst->global);
+        if (it != group_stage.end()) min_stage = std::max(min_stage, it->second);
+      }
+      if (min_stage > li->stage) {
+        li->stage = min_stage;
+        changed = true;
+      }
+      if (value_stage[inst] != li->stage) {
+        value_stage[inst] = li->stage;
+        changed = true;
+      }
+      if (inst->global != nullptr) {
+        int& group = group_stage[inst->global];
+        if (li->stage > group) {
+          group = li->stage;
+          changed = true;
+        }
+      }
+    }
+    // Pull every group member up to the group stage.
+    for (LinearInst* li : all) {
+      if (li->inst->global == nullptr) continue;
+      const int group = group_stage[li->inst->global];
+      if (li->stage < group) {
+        li->stage = group;
+        value_stage[li->inst] = group;
+        changed = true;
+      }
+    }
+  }
+
+  // ---- resource fitting: bump overflowing pure ops to later stages ----
+  const int hard_stage_cap = limits.stages * 8;  // detect runaway programs
+  for (int attempt = 0; attempt < 8192; ++attempt) {
+    // Recompute per-stage usage.
+    int max_stage = base_stages - 1;
+    for (const LinearInst* li : all) max_stage = std::max(max_stage, li->stage);
+    if (max_stage >= hard_stage_cap) break;
+
+    std::vector<StageUsage> usage(static_cast<std::size_t>(max_stage + 1));
+    // Model the base/runtime program: one table + a little action work per
+    // reserved stage.
+    for (int s = 0; s < base_stages && s <= max_stage; ++s) {
+      usage[static_cast<std::size_t>(s)].tables += 2;
+      usage[static_cast<std::size_t>(s)].vliw += 4;
+      usage[static_cast<std::size_t>(s)].sram += 2;
+    }
+    std::unordered_set<const GlobalVar*> charged;
+    for (const LinearInst* li : all) {
+      auto& stage_usage = usage[static_cast<std::size_t>(li->stage)];
+      if (gateway_ops.count(li->inst) == 0) stage_usage += op_demand(*li->inst);
+      if (li->inst->global != nullptr && charged.insert(li->inst->global).second) {
+        stage_usage += global_demand(*li->inst->global, limits);
+      }
+    }
+
+    // Find the first overflowing stage.
+    int overflow = -1;
+    for (std::size_t s = 0; s < usage.size(); ++s) {
+      if (!usage[s].fits(limits)) {
+        overflow = static_cast<int>(s);
+        break;
+      }
+    }
+    if (std::getenv("NETCL_ALLOC_DEBUG") != nullptr && overflow >= 0) {
+      std::fprintf(stderr, "allocate attempt %d: overflow stage %d: %s\n", attempt, overflow,
+                   to_string(usage[static_cast<std::size_t>(overflow)]).c_str());
+    }
+    if (overflow == -1) {
+      // Success: fill in the result.
+      result.per_stage = std::move(usage);
+      result.stages_used = max_stage + 1;
+      for (const StageUsage& s : result.per_stage) {
+        result.total += s;
+        result.worst.sram = std::max(result.worst.sram, s.sram);
+        result.worst.tcam = std::max(result.worst.tcam, s.tcam);
+        result.worst.salus = std::max(result.worst.salus, s.salus);
+        result.worst.vliw = std::max(result.worst.vliw, s.vliw);
+        result.worst.hash = std::max(result.worst.hash, s.hash);
+        result.worst.tables = std::max(result.worst.tables, s.tables);
+      }
+      for (const auto& [global, stage] : group_stage) result.global_stage[global] = stage;
+      if (result.stages_used > limits.stages) {
+        result.fits = false;
+        result.error = "program requires " + std::to_string(result.stages_used) +
+                       " stages but the target has " + std::to_string(limits.stages);
+        return result;
+      }
+      result.fits = true;
+      return result;
+    }
+
+    // Bump one op out of the overflowing stage — specifically one that
+    // consumes the over-budget resource, so the move actually relieves the
+    // overflow (bumping anything else just drags its dependents upward
+    // forever). Register/table groups move atomically: only ">="
+    // constraints exist, so delaying a group is always sound.
+    const StageUsage& over = usage[static_cast<std::size_t>(overflow)];
+    const bool group_bound = over.salus > limits.salus || over.sram > limits.sram_blocks ||
+                             over.tcam > limits.tcam_blocks || over.tables > limits.tables;
+    bool bumped = false;
+    if (group_bound) {
+      // Pick the group the fewest other stages depend on: the last one in
+      // program order is a decent heuristic (its results are needed
+      // latest).
+      const GlobalVar* group_victim = nullptr;
+      for (LinearInst* li : all) {
+        if (li->stage == overflow && li->inst->global != nullptr) {
+          group_victim = li->inst->global;  // keep last match
+        }
+      }
+      if (group_victim != nullptr) {
+        group_stage[group_victim] = overflow + 1;
+        for (LinearInst* li : all) {
+          if (li->inst->global == group_victim) {
+            li->stage = overflow + 1;
+            value_stage[li->inst] = li->stage;
+          }
+        }
+        bumped = true;
+      }
+    }
+    if (!bumped) {
+      const bool hash_bound = over.hash > limits.hash_units;
+      LinearInst* victim = nullptr;
+      for (LinearInst* li : all) {
+        if (li->stage != overflow) continue;
+        if (li->inst->global != nullptr) continue;
+        if (gateway_ops.count(li->inst) != 0) continue;  // costless; moving is useless
+        if (hash_bound && li->inst->op() != Opcode::Hash) continue;
+        victim = li;
+        if (li->inst->is_speculatable()) break;  // prefer pure ALU ops
+      }
+      if (victim == nullptr) {
+        result.fits = false;
+        result.error = "stage " + std::to_string(overflow) +
+                       " over budget and no movable operation remains";
+        return result;
+      }
+      victim->stage = overflow + 1;
+      value_stage[victim->inst] = victim->stage;
+    }
+    // Re-propagate dependences (stages only grow; reuse the fixpoint loop).
+    bool moved = true;
+    for (int iteration = 0; moved && iteration < max_iterations; ++iteration) {
+      moved = false;
+      for (LinearInst* li : all) {
+        const Instruction* inst = li->inst;
+        int min_stage = std::max(li->stage, min_stage_of(li));
+        if (inst->global != nullptr) {
+          min_stage = std::max(min_stage, group_stage[inst->global]);
+        }
+        if (min_stage > li->stage) {
+          li->stage = min_stage;
+          moved = true;
+        }
+        if (value_stage[inst] != li->stage) {
+          value_stage[inst] = li->stage;
+          moved = true;
+        }
+        if (inst->global != nullptr && li->stage > group_stage[inst->global]) {
+          group_stage[inst->global] = li->stage;
+          moved = true;
+        }
+      }
+      for (LinearInst* li : all) {
+        if (li->inst->global == nullptr) continue;
+        const int group = group_stage[li->inst->global];
+        if (li->stage < group) {
+          li->stage = group;
+          value_stage[li->inst] = group;
+          moved = true;
+        }
+      }
+    }
+  }
+
+  result.fits = false;
+  result.error = "stage allocation did not converge (program too large for the target)";
+  return result;
+}
+
+}  // namespace netcl::p4

@@ -1,0 +1,49 @@
+// TNA stage allocator: maps a linearized kernel program onto RMT
+// match-action stages.
+//
+// Constraints honored:
+//  * data dependence: an instruction consuming a value (or guard) computed
+//    by another must be placed at least one stage later — RMT action
+//    engines cannot chain results within one stage;
+//  * register locality: a global memory object lives in exactly one stage,
+//    so all of its accesses share that stage (the memory-legality pass
+//    guarantees they are mutually exclusive);
+//  * per-stage resource budgets (SRAM/TCAM blocks, stateful ALUs, VLIW
+//    slots, hash units, logical tables).
+//
+// The allocator is a list scheduler over the topologically ordered linear
+// program: each op is placed at the earliest stage satisfying dependences
+// and budgets; register-access groups are placed atomically. A program
+// needing more stages than the target owns is rejected, mirroring the
+// paper's "a certain amount of trial and error cannot be avoided" reality.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "p4/pipeline.hpp"
+#include "p4/resources.hpp"
+
+namespace netcl::p4 {
+
+struct AllocationResult {
+  bool fits = false;
+  std::string error;              // set when !fits
+  int stages_used = 0;            // number of MAU stages occupied
+  std::vector<StageUsage> per_stage;
+  StageUsage total;
+  StageUsage worst;               // max across stages, per resource
+  std::map<const ir::GlobalVar*, int> global_stage;
+};
+
+/// Allocates every kernel of one device module into a single shared
+/// pipeline (kernels are alternatives selected by computation id, so their
+/// resource usage adds up but their dependence chains are independent).
+/// `base_stages` models the stages the base/runtime P4 program occupies
+/// before generated code starts (the paper's EMPTY program).
+[[nodiscard]] AllocationResult allocate_stages(std::vector<KernelProgram>& kernels,
+                                               const ir::Module& module,
+                                               const StageLimits& limits, int base_stages = 1);
+
+}  // namespace netcl::p4

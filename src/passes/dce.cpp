@@ -1,0 +1,61 @@
+#include <unordered_set>
+#include <vector>
+
+#include "passes/passes.hpp"
+
+namespace netcl::passes {
+
+using namespace netcl::ir;
+
+bool dce(Function& fn) {
+  bool changed_any = false;
+  for (bool changed = true; changed;) {
+    changed = false;
+    // Collect the set of used values.
+    std::unordered_set<const Value*> used;
+    for (const auto& block : fn.blocks()) {
+      for (const auto& inst : block->instructions()) {
+        for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+          used.insert(inst->operand(i));
+        }
+      }
+    }
+    for (const auto& block : fn.blocks()) {
+      std::vector<Instruction*> dead;
+      for (const auto& inst : block->instructions()) {
+        if (inst->has_side_effects()) continue;
+        // Lookup instructions are pure reads, but a LookupValue keeps its
+        // Lookup alive through the operand edge, so no special case needed.
+        if (used.count(inst.get()) == 0) dead.push_back(inst.get());
+      }
+      for (Instruction* inst : dead) {
+        block->erase(inst);
+        changed = true;
+      }
+    }
+    changed_any |= changed;
+  }
+  return changed_any;
+}
+
+void dag_check(Function& fn, DiagnosticEngine& diags) {
+  enum class Mark { White, Grey, Black };
+  std::unordered_map<const BasicBlock*, Mark> marks;
+  for (const auto& block : fn.blocks()) marks[block.get()] = Mark::White;
+  auto dfs = [&](auto&& self, const BasicBlock* block) -> bool {
+    marks[block] = Mark::Grey;
+    for (const BasicBlock* succ : block->successors()) {
+      if (marks[succ] == Mark::Grey) return false;
+      if (marks[succ] == Mark::White && !self(self, succ)) return false;
+    }
+    marks[block] = Mark::Black;
+    return true;
+  };
+  if (fn.entry() != nullptr && !dfs(dfs, fn.entry())) {
+    diags.error({}, "kernel '" + fn.name() +
+                        "': control flow is not a DAG and cannot map to a "
+                        "feed-forward P4 pipeline");
+  }
+}
+
+}  // namespace netcl::passes

@@ -1,0 +1,99 @@
+// Common-computation hoisting (GVN-lite).
+//
+// The paper hoists instructions computing the same value to a common
+// dominator when their operands are available there, shortening the
+// critical path and the per-stage work. We implement the same: identical
+// pure instructions (same opcode, payload and operands) are merged into a
+// single instance at the nearest common dominator.
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "ir/dominators.hpp"
+#include "passes/passes.hpp"
+
+namespace netcl::passes {
+
+using namespace netcl::ir;
+
+namespace {
+
+using Key = std::tuple<int /*opcode*/, int /*subkind*/, int /*bits*/,
+                       std::vector<const Value*>>;
+
+std::optional<Key> key_of(const Instruction& inst) {
+  if (!inst.is_speculatable()) return std::nullopt;
+  int subkind = 0;
+  switch (inst.op()) {
+    case Opcode::Bin: subkind = static_cast<int>(inst.bin_kind); break;
+    case Opcode::ICmp: subkind = static_cast<int>(inst.icmp_pred); break;
+    case Opcode::Hash: subkind = static_cast<int>(inst.hash_kind); break;
+    case Opcode::Cast: subkind = inst.cast_signed ? 1 : 0; break;
+    default: break;
+  }
+  std::vector<const Value*> operands;
+  operands.reserve(inst.num_operands());
+  for (std::size_t i = 0; i < inst.num_operands(); ++i) operands.push_back(inst.operand(i));
+  return Key{static_cast<int>(inst.op()), subkind, inst.type().bits, std::move(operands)};
+}
+
+/// True if every instruction operand of `inst` is available at the end of
+/// block `target`.
+bool operands_available(const Instruction& inst, BasicBlock* target, const DominatorTree& dom) {
+  for (std::size_t i = 0; i < inst.num_operands(); ++i) {
+    const Value* operand = inst.operand(i);
+    if (operand->kind() != ValueKind::Instruction) continue;
+    const auto* def = static_cast<const Instruction*>(operand);
+    if (!dom.dominates(def->parent(), target)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool hoist(Function& fn, const PassOptions& options) {
+  if (!options.hoisting) return false;
+  bool changed_any = false;
+  for (bool changed = true; changed;) {
+    changed = false;
+    fn.recompute_preds();
+    DominatorTree dom(fn);
+
+    std::map<Key, std::vector<Instruction*>> groups;
+    for (BasicBlock* block : dom.reverse_postorder()) {
+      for (const auto& inst : block->instructions()) {
+        if (const auto key = key_of(*inst); key.has_value()) {
+          groups[*key].push_back(inst.get());
+        }
+      }
+    }
+
+    for (auto& [key, insts] : groups) {
+      if (insts.size() < 2) continue;
+      Instruction* a = insts[0];
+      Instruction* b = insts[1];
+      if (a->parent() == b->parent()) {
+        // Same block: keep the earlier one (a; groups preserve order).
+        fn.replace_all_uses(b, a);
+        b->parent()->erase(b);
+        changed = true;
+        break;  // structures invalidated
+      }
+      BasicBlock* target = dom.common_dominator(a->parent(), b->parent());
+      if (!operands_available(*a, target, dom)) continue;
+      if (target != a->parent()) {
+        auto owned = a->parent()->detach(a);
+        owned->set_parent(target);
+        target->insert_before_terminator(std::move(owned));
+      }
+      fn.replace_all_uses(b, a);
+      b->parent()->erase(b);
+      changed = true;
+      break;  // structures invalidated
+    }
+    changed_any |= changed;
+  }
+  return changed_any;
+}
+
+}  // namespace netcl::passes

@@ -1,0 +1,168 @@
+// Target instruction legalization (§VI-B).
+//
+// For the Tofino (TNA) target:
+//   * Multiplication / division / remainder must be convertible to shifts
+//     and masks (power-of-two constants); anything else is rejected with a
+//     target error, mirroring the paper's per-target rejection strategy.
+//   * Relational comparisons between two dynamic operands are converted to
+//     a subtraction followed by an MSB check, the pattern Tofino ALUs
+//     support. Comparisons against constants map to MAT ranges and stay.
+//
+// The v1model software switch executes anything; no transforms apply.
+#include <vector>
+
+#include "passes/passes.hpp"
+
+namespace netcl::passes {
+
+using namespace netcl::ir;
+
+namespace {
+
+[[nodiscard]] bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+[[nodiscard]] int log2_of(std::uint64_t v) {
+  int result = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++result;
+  }
+  return result;
+}
+
+[[nodiscard]] bool is_relational(ICmpPred pred) {
+  return pred != ICmpPred::EQ && pred != ICmpPred::NE;
+}
+
+void lower_function(Function& fn, Module& module, const PassOptions& options,
+                    DiagnosticEngine& diags) {
+  for (const auto& block : fn.blocks()) {
+    // Snapshot: we append replacement instructions while iterating.
+    std::vector<Instruction*> worklist;
+    for (const auto& inst : block->instructions()) worklist.push_back(inst.get());
+
+    for (Instruction* inst : worklist) {
+      if (inst->op() == Opcode::Bin) {
+        const BinKind kind = inst->bin_kind;
+        const bool is_mul_div = kind == BinKind::Mul || kind == BinKind::UDiv ||
+                                kind == BinKind::SDiv || kind == BinKind::URem ||
+                                kind == BinKind::SRem;
+        if (!is_mul_div) continue;
+        const Constant* rhs = as_constant(inst->operand(1));
+        if (rhs != nullptr && is_pow2(rhs->value())) {
+          const int shift = log2_of(rhs->value());
+          Constant* amount = module.constant(inst->type(), static_cast<std::uint64_t>(shift));
+          switch (kind) {
+            case BinKind::Mul:
+              inst->bin_kind = BinKind::Shl;
+              inst->set_operand(1, amount);
+              break;
+            case BinKind::UDiv:
+              inst->bin_kind = BinKind::LShr;
+              inst->set_operand(1, amount);
+              break;
+            case BinKind::SDiv:
+              // Arithmetic shift rounds toward -inf instead of 0; accept the
+              // same approximation hardware P4 code uses.
+              inst->bin_kind = BinKind::AShr;
+              inst->set_operand(1, amount);
+              break;
+            case BinKind::URem:
+            case BinKind::SRem:
+              inst->bin_kind = BinKind::And;
+              inst->set_operand(1, module.constant(inst->type(), rhs->value() - 1));
+              break;
+            default:
+              break;
+          }
+        } else {
+          diags.error(inst->loc,
+                      "kernel '" + fn.name() + "': " + to_string(kind) +
+                          (rhs == nullptr ? " with a dynamic operand"
+                                          : " by a non-power-of-two constant") +
+                          " cannot be converted to shifts on the Tofino target");
+        }
+        continue;
+      }
+
+      if (options.icmp_lowering && inst->op() == Opcode::ICmp && is_relational(inst->icmp_pred)) {
+        const bool both_dynamic = as_constant(inst->operand(0)) == nullptr &&
+                                  as_constant(inst->operand(1)) == nullptr;
+        if (!both_dynamic) continue;  // constant side maps to a MAT range match
+
+        // a < b  ->  MSB(a - b) == 1 ; a <= b -> MSB(b - a) == 0 ; etc.
+        Value* a = inst->operand(0);
+        Value* b = inst->operand(1);
+        bool swap = false;   // compute b - a instead of a - b
+        bool msb_set = true; // compare MSB against 1 (else against 0)
+        switch (inst->icmp_pred) {
+          case ICmpPred::ULT:
+          case ICmpPred::SLT: swap = false; msb_set = true; break;
+          case ICmpPred::UGT:
+          case ICmpPred::SGT: swap = true; msb_set = true; break;
+          case ICmpPred::ULE:
+          case ICmpPred::SLE: swap = true; msb_set = false; break;
+          case ICmpPred::UGE:
+          case ICmpPred::SGE: swap = false; msb_set = false; break;
+          default: break;
+        }
+        if (swap) std::swap(a, b);
+
+        // The difference must be computed one step wider, or the MSB check
+        // is wrong whenever |a - b| >= 2^(W-1): widen (zero- or
+        // sign-extended per the predicate), subtract, then check the MSB
+        // of the wide result — MSB(x) == 1 <=> x >= 2^(W'-1) unsigned,
+        // which the stage gateway evaluates as a constant range match.
+        const ScalarType narrow = a->type();
+        if (narrow.bits >= 64) continue;  // cannot widen; leave the icmp
+        const ScalarType wide{static_cast<std::uint8_t>(narrow.bits * 2),
+                              is_signed_pred(inst->icmp_pred)};
+        const bool sign_extend = is_signed_pred(inst->icmp_pred);
+
+        auto widen = [&](Value* v) -> std::unique_ptr<Instruction> {
+          auto cast = std::make_unique<Instruction>(Opcode::Cast, wide);
+          cast->cast_signed = sign_extend;
+          cast->loc = inst->loc;
+          cast->add_operand(v);
+          return cast;
+        };
+        auto cast_a = widen(a);
+        auto cast_b = widen(b);
+        auto sub = std::make_unique<Instruction>(Opcode::Bin, wide);
+        sub->bin_kind = BinKind::Sub;
+        sub->loc = inst->loc;
+        sub->add_operand(cast_a.get());
+        sub->add_operand(cast_b.get());
+        Instruction* sub_ptr = sub.get();
+
+        auto& insts = block->instructions();
+        for (std::size_t i = 0; i < insts.size(); ++i) {
+          if (insts[i].get() == inst) {
+            cast_a->set_parent(block.get());
+            cast_b->set_parent(block.get());
+            sub_ptr->set_parent(block.get());
+            insts.insert(insts.begin() + static_cast<std::ptrdiff_t>(i), std::move(sub));
+            insts.insert(insts.begin() + static_cast<std::ptrdiff_t>(i), std::move(cast_b));
+            insts.insert(insts.begin() + static_cast<std::ptrdiff_t>(i), std::move(cast_a));
+            break;
+          }
+        }
+        const std::uint64_t msb = 1ULL << (wide.bits - 1);
+        inst->icmp_pred = msb_set ? ICmpPred::UGE : ICmpPred::ULT;
+        inst->set_operand(0, sub_ptr);
+        inst->set_operand(1, module.constant(wide, msb));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void lower_patterns(Module& module, const PassOptions& options, DiagnosticEngine& diags) {
+  if (options.target != Target::Tna) return;
+  for (const auto& fn : module.functions()) {
+    lower_function(*fn, module, options, diags);
+  }
+}
+
+}  // namespace netcl::passes

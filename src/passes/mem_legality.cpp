@@ -1,0 +1,346 @@
+// Tofino stateful-memory legalization (§V-D and §VI-B).
+//
+// Tofino stateful memory is stage-local: a register lives in exactly one
+// hardware stage and is reachable only while the packet is in that stage.
+// Consequently a program may touch each memory object at most once per
+// packet, unless the accesses are mutually exclusive and close enough to
+// share the stage. Before checking, two transformations remove most
+// violations:
+//
+//   * access-based partitioning: a multi-dimensional array whose outer
+//     index is always constant is split into per-outer-index objects (the
+//     unrolled Agg[i][idx] accesses of SwitchML become independent
+//     registers);
+//   * lookup duplication: non-managed lookup memory is constant from the
+//     data plane's perspective, so each lookup site gets its own MAT copy.
+//
+// Then three checks run (each failure is a compilation error):
+//   1. mutual exclusion  - no two accesses to one object on the same path;
+//   2. distance          - mutually exclusive accesses must sit within a
+//                          bounded conditional-branch-depth of each other
+//                          (approximating same-stage placement);
+//   3. ordering          - pairs of objects must be accessed in a single
+//                          consistent order across all paths, unless the
+//                          conflicting accesses are independent and can be
+//                          reordered.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/dominators.hpp"
+#include "passes/passes.hpp"
+
+namespace netcl::passes {
+
+using namespace netcl::ir;
+
+namespace {
+
+struct Access {
+  Instruction* inst = nullptr;
+  Function* fn = nullptr;
+  BasicBlock* block = nullptr;
+  int position = 0;  // index within the block
+};
+
+struct CfgInfo {
+  std::unordered_map<const BasicBlock*, int> index;
+  std::vector<std::vector<bool>> reach;  // reach[a][b]: a != b, path a->b
+  std::unordered_map<const BasicBlock*, int> depth;  // min CondBrs from entry
+};
+
+CfgInfo analyze_cfg(Function& fn) {
+  CfgInfo info;
+  fn.recompute_preds();
+  const std::vector<BasicBlock*> rpo = fn.reverse_postorder();
+  for (std::size_t i = 0; i < rpo.size(); ++i) info.index[rpo[i]] = static_cast<int>(i);
+
+  const std::size_t n = rpo.size();
+  info.reach.assign(n, std::vector<bool>(n, false));
+  // Process in reverse RPO: successors already complete.
+  for (std::size_t i = n; i-- > 0;) {
+    BasicBlock* block = rpo[i];
+    for (BasicBlock* succ : block->successors()) {
+      const std::size_t j = static_cast<std::size_t>(info.index.at(succ));
+      info.reach[i][j] = true;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (info.reach[j][k]) info.reach[i][k] = true;
+      }
+    }
+  }
+
+  // "Distance from entry" is measured as control-dependence nesting depth
+  // (how many enclosing conditionals an access sits under), which is the
+  // conditional-branch count along the path after if-conversion collapses
+  // sequential independent conditionals — a fully unrolled loop of guarded
+  // statements nests depth 1, not depth N.
+  PostDominatorTree postdom(fn);
+  auto walk = [&](auto&& self, BasicBlock* block, BasicBlock* stop, int depth) -> void {
+    while (block != nullptr && block != stop) {
+      auto [it, inserted] = info.depth.try_emplace(block, depth);
+      if (!inserted) it->second = std::min(it->second, depth);
+      const Instruction* term = block->terminator();
+      if (term == nullptr) return;
+      if (term->op() == Opcode::Br) {
+        block = term->succs[0];
+      } else if (term->op() == Opcode::CondBr) {
+        BasicBlock* merge = postdom.ipostdom(block);
+        if (term->succs[0] != merge) self(self, term->succs[0], merge, depth + 1);
+        if (term->succs[1] != merge) self(self, term->succs[1], merge, depth + 1);
+        block = merge;
+      } else {
+        return;  // RetAction / Ret
+      }
+    }
+  };
+  if (fn.entry() != nullptr) walk(walk, fn.entry(), nullptr, 0);
+  for (BasicBlock* block : rpo) info.depth.try_emplace(block, 0);
+  return info;
+}
+
+bool reaches(const CfgInfo& info, const BasicBlock* a, const BasicBlock* b) {
+  return info.reach[static_cast<std::size_t>(info.index.at(a))]
+                   [static_cast<std::size_t>(info.index.at(b))];
+}
+
+/// Transitive SSA dependence: does `user` depend on `def`?
+bool depends_on(const Instruction* user, const Instruction* def) {
+  std::unordered_set<const Instruction*> visited;
+  auto dfs = [&](auto&& self, const Instruction* inst) -> bool {
+    if (inst == def) return true;
+    if (!visited.insert(inst).second) return false;
+    for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+      const Value* operand = inst->operand(i);
+      if (operand->kind() == ValueKind::Instruction &&
+          self(self, static_cast<const Instruction*>(operand))) {
+        return true;
+      }
+    }
+    return false;
+  };
+  return dfs(dfs, user);
+}
+
+std::vector<Access> collect_accesses(Module& module, const GlobalVar* global) {
+  std::vector<Access> accesses;
+  for (const auto& fn : module.functions()) {
+    for (const auto& block : fn->blocks()) {
+      int position = 0;
+      for (const auto& inst : block->instructions()) {
+        if (inst->accesses_global() && inst->global == global) {
+          accesses.push_back({inst.get(), fn.get(), block.get(), position});
+        }
+        ++position;
+      }
+    }
+  }
+  return accesses;
+}
+
+// --- partitioning ----------------------------------------------------------
+
+void partition(Module& module) {
+  std::vector<GlobalVar*> candidates;
+  for (const auto& global : module.globals()) {
+    if (!global->is_lookup && global->dims.size() >= 2) candidates.push_back(global.get());
+  }
+  for (GlobalVar* global : candidates) {
+    const std::vector<Access> accesses = collect_accesses(module, global);
+    bool splittable = !accesses.empty();
+    for (const Access& access : accesses) {
+      const Constant* outer = as_constant(access.inst->operand(0));
+      if (outer == nullptr || outer->extended() < 0 || outer->extended() >= global->dims[0]) {
+        splittable = false;
+        break;
+      }
+    }
+    if (!splittable) continue;
+
+    std::vector<GlobalVar*> parts;
+    for (std::int64_t k = 0; k < global->dims[0]; ++k) {
+      GlobalVar part = *global;
+      part.name = global->name + "$" + std::to_string(k);
+      part.dims.erase(part.dims.begin());
+      parts.push_back(module.add_global(std::move(part)));
+    }
+    for (const Access& access : accesses) {
+      const auto outer =
+          static_cast<std::size_t>(as_constant(access.inst->operand(0))->extended());
+      access.inst->global = parts[outer];
+      access.inst->remove_operand(0);
+      --access.inst->num_indices;
+    }
+    module.erase_global(global);
+  }
+}
+
+// --- lookup duplication ----------------------------------------------------
+
+void duplicate_lookups(Module& module) {
+  std::vector<GlobalVar*> candidates;
+  for (const auto& global : module.globals()) {
+    // The paper duplicates only non-managed lookup memory: duplication of
+    // managed tables would need control-plane bulk atomic updates.
+    if (global->is_lookup && !global->is_managed) candidates.push_back(global.get());
+  }
+  for (GlobalVar* global : candidates) {
+    std::vector<Instruction*> lookups;
+    std::vector<Instruction*> lookup_values;
+    for (const auto& fn : module.functions()) {
+      for (const auto& block : fn->blocks()) {
+        for (const auto& inst : block->instructions()) {
+          if (inst->op() == Opcode::Lookup && inst->global == global) {
+            lookups.push_back(inst.get());
+          }
+          if (inst->op() == Opcode::LookupValue && inst->global == global) {
+            lookup_values.push_back(inst.get());
+          }
+        }
+      }
+    }
+    for (std::size_t i = 1; i < lookups.size(); ++i) {
+      GlobalVar copy = *global;
+      copy.name = global->name + "$dup" + std::to_string(i);
+      GlobalVar* dup = module.add_global(std::move(copy));
+      lookups[i]->global = dup;
+      for (Instruction* lv : lookup_values) {
+        if (lv->operand(0) == lookups[i]) lv->global = dup;
+      }
+    }
+  }
+}
+
+// --- checks ----------------------------------------------------------------
+
+void check_module(Module& module, const PassOptions& options, DiagnosticEngine& diags) {
+  std::unordered_map<Function*, CfgInfo> cfg_infos;
+  for (const auto& fn : module.functions()) cfg_infos.emplace(fn.get(), analyze_cfg(*fn));
+
+  // 1 & 2: per-object mutual exclusion and distance. One report per
+  // object (the first violating pair) keeps rejections readable when a
+  // fully unrolled loop produces dozens of conflicting accesses.
+  for (const auto& global : module.globals()) {
+    const std::vector<Access> accesses = collect_accesses(module, global.get());
+    bool reported = false;
+    for (std::size_t i = 0; i < accesses.size() && !reported; ++i) {
+      for (std::size_t j = i + 1; j < accesses.size() && !reported; ++j) {
+        const Access& a = accesses[i];
+        const Access& b = accesses[j];
+        if (a.fn != b.fn) continue;  // different kernels never share a packet
+        const CfgInfo& info = cfg_infos.at(a.fn);
+        const bool same_path = a.block == b.block || reaches(info, a.block, b.block) ||
+                               reaches(info, b.block, a.block);
+        if (same_path) {
+          diags.error(a.inst->loc,
+                      "kernel '" + a.fn->name() + "': memory '" + global->name +
+                          "' is accessed more than once on a single path; Tofino "
+                          "stateful memory is stage-local (make the accesses "
+                          "mutually exclusive)");
+          reported = true;
+        } else {
+          const int distance =
+              std::abs(info.depth.at(a.block) - info.depth.at(b.block));
+          if (distance > options.distance_threshold) {
+            diags.error(a.inst->loc,
+                        "kernel '" + a.fn->name() + "': mutually exclusive accesses to '" +
+                            global->name + "' are too far apart (branch-depth distance " +
+                            std::to_string(distance) + " > " +
+                            std::to_string(options.distance_threshold) +
+                            ") to share a pipeline stage");
+            reported = true;
+          }
+        }
+      }
+    }
+  }
+
+  // 3: pairwise ordering consistency.
+  struct OrderWitness {
+    Instruction* first;
+    Instruction* second;
+  };
+  // Key: ordered pair of global ids (first accessed before second).
+  std::map<std::pair<int, int>, OrderWitness> orders;
+  for (const auto& fn : module.functions()) {
+    const CfgInfo& info = cfg_infos.at(fn.get());
+    std::vector<Access> accesses;
+    for (const auto& global : module.globals()) {
+      auto some = collect_accesses(module, global.get());
+      for (const Access& a : some) {
+        if (a.fn == fn.get()) accesses.push_back(a);
+      }
+    }
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+      for (std::size_t j = 0; j < accesses.size(); ++j) {
+        if (i == j) continue;
+        const Access& a = accesses[i];
+        const Access& b = accesses[j];
+        if (a.inst->global == b.inst->global) continue;
+        const bool ordered = (a.block == b.block && a.position < b.position) ||
+                             (a.block != b.block && reaches(info, a.block, b.block));
+        if (!ordered) continue;
+        orders.try_emplace({a.inst->global->id, b.inst->global->id},
+                           OrderWitness{a.inst, b.inst});
+      }
+    }
+  }
+  std::set<std::pair<int, int>> reported;
+  for (const auto& [pair, witness] : orders) {
+    const auto reversed = std::make_pair(pair.second, pair.first);
+    if (orders.count(reversed) == 0) continue;
+    if (reported.count(reversed) != 0) continue;
+    reported.insert(pair);
+    // Conflicting orders exist. Allowed only if both witnesses are
+    // independent (then the accesses can be reordered to agree).
+    const OrderWitness& w1 = witness;
+    const OrderWitness& w2 = orders.at(reversed);
+    const bool dependent = depends_on(w1.second, w1.first) || depends_on(w2.second, w2.first);
+    if (dependent) {
+      diags.error(w1.first->loc,
+                  "memory objects '" + w1.first->global->name + "' and '" +
+                      w1.second->global->name +
+                      "' are accessed in different orders on different paths and the "
+                      "accesses cannot be reordered (stage placement is impossible)");
+    }
+  }
+}
+
+}  // namespace
+
+void mem_legality(Module& module, const PassOptions& options, DiagnosticEngine& diags) {
+  if (options.target != Target::Tna) return;
+  if (options.partitioning) partition(module);
+  if (options.duplication) duplicate_lookups(module);
+  check_module(module, options, diags);
+}
+
+void run_pipeline(Module& module, const PassOptions& options, DiagnosticEngine& diags) {
+  for (const auto& fn : module.functions()) {
+    for (int i = 0; i < options.max_simplify_iterations; ++i) {
+      bool changed = simplify(*fn, module);
+      changed |= dce(*fn);
+      if (!changed) break;
+    }
+    sroa(*fn, module);
+    for (int i = 0; i < options.max_simplify_iterations; ++i) {
+      bool changed = simplify(*fn, module);
+      changed |= dce(*fn);
+      if (!changed) break;
+    }
+    dag_check(*fn, diags);
+    if (diags.has_errors()) return;
+    hoist(*fn, options);
+  }
+  lower_patterns(module, options, diags);
+  if (diags.has_errors()) return;
+  for (const auto& fn : module.functions()) {
+    simplify(*fn, module);
+    dce(*fn);
+  }
+  mem_legality(module, options, diags);
+}
+
+}  // namespace netcl::passes

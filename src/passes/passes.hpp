@@ -1,0 +1,76 @@
+// The NetCL middle-end pass pipeline (§VI-B of the paper).
+//
+// Correspondence with the paper's pass list:
+//   inline + unroll + materialize    -> done during AST lowering (ir/lower_ast)
+//   peephole / instsimplify / DCE    -> simplify(), dce()
+//   CFG-must-be-DAG                  -> dag_check()
+//   local-array promotion            -> sroa() (enables register allocation of
+//                                      fully-unrolled array temporaries)
+//   common-value hoisting            -> hoist() (GVN-lite to common dominators)
+//   icmp -> sub+MSB, shift lowering  -> lower_patterns() (TNA only)
+//   memory partitioning, lookup
+//   duplication, mutual-exclusion /
+//   distance / ordering checks       -> mem_legality() (TNA only)
+//   CFG structurization + phi-elim   -> performed by the backend linearizer
+//                                      (p4/lower_pipeline), which emits the
+//                                      predicated straight-line form RMT
+//                                      hardware executes.
+#pragma once
+
+#include "ir/ir.hpp"
+#include "support/diagnostics.hpp"
+
+namespace netcl::passes {
+
+enum class Target { V1Model, Tna };
+
+struct PassOptions {
+  Target target = Target::Tna;
+  bool speculation = true;    // §VI-B: aggressive speculation (backend flag)
+  bool hoisting = true;       // common-dominator hoisting
+  bool duplication = true;    // lookup-memory duplication
+  bool partitioning = true;   // access-based memory partitioning
+  bool icmp_lowering = true;  // relational icmp -> sub + MSB check
+  int distance_threshold = 4; // max conditional-branch-depth gap between
+                              // accesses sharing one stage (§VI-B)
+  int max_simplify_iterations = 8;
+};
+
+/// Folds constants, applies peepholes, folds constant branches, merges
+/// straight-line blocks, and simplifies phis. Returns true if anything
+/// changed.
+bool simplify(ir::Function& fn, ir::Module& module);
+
+/// Removes side-effect-free instructions with no uses and unreachable
+/// blocks. Returns true if anything changed.
+bool dce(ir::Function& fn);
+
+/// Promotes local arrays whose accesses all use constant indices into SSA
+/// values (classic SROA + mem2reg; local arrays that survive become header
+/// stacks with index tables in the backend). Returns true if changed.
+bool sroa(ir::Function& fn, ir::Module& module);
+
+/// Rejects functions whose CFG is not a DAG (cannot map to a feed-forward
+/// P4 pipeline).
+void dag_check(ir::Function& fn, DiagnosticEngine& diags);
+
+/// Hoists identical pure computations to their nearest common dominator.
+bool hoist(ir::Function& fn, const PassOptions& options);
+
+/// Target legalization of instruction patterns: on TNA converts
+/// multiplication/division by powers of two into shifts (rejecting the
+/// rest), and lowers dynamic relational comparisons into subtraction + MSB
+/// checks, which Tofino ALUs support directly.
+void lower_patterns(ir::Module& module, const PassOptions& options, DiagnosticEngine& diags);
+
+/// Tofino stateful-memory legalization (§V-D, §VI-B): access-based
+/// partitioning of multi-dimensional arrays, duplication of read-only
+/// lookup memory, then the mutual-exclusion, distance, and access-ordering
+/// checks. Errors are reported through `diags`.
+void mem_legality(ir::Module& module, const PassOptions& options, DiagnosticEngine& diags);
+
+/// Runs the standard pipeline for a target over a whole module. Checks
+/// `diags` between phases; stops early on errors.
+void run_pipeline(ir::Module& module, const PassOptions& options, DiagnosticEngine& diags);
+
+}  // namespace netcl::passes

@@ -1,0 +1,291 @@
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/eval.hpp"
+#include "passes/passes.hpp"
+
+namespace netcl::passes {
+
+using namespace netcl::ir;
+
+namespace {
+
+bool is_commutative(BinKind kind) {
+  switch (kind) {
+    case BinKind::Add:
+    case BinKind::Mul:
+    case BinKind::And:
+    case BinKind::Or:
+    case BinKind::Xor:
+    case BinKind::SAddSat:
+    case BinKind::UMin:
+    case BinKind::UMax:
+    case BinKind::SMin:
+    case BinKind::SMax:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Removes the phi incomings of edge `from` -> `to`.
+void remove_edge_phis(BasicBlock* from, BasicBlock* to) {
+  for (const auto& inst : to->instructions()) {
+    if (inst->op() != Opcode::Phi) break;
+    for (std::size_t i = inst->phi_blocks.size(); i-- > 0;) {
+      if (inst->phi_blocks[i] == from) {
+        inst->phi_blocks.erase(inst->phi_blocks.begin() + static_cast<std::ptrdiff_t>(i));
+        inst->remove_operand(i);
+      }
+    }
+  }
+}
+
+/// Attempts to fold one instruction; returns the replacement value or null.
+Value* fold(Instruction& inst, Module& module) {
+  switch (inst.op()) {
+    case Opcode::Bin: {
+      Value* a = inst.operand(0);
+      Value* b = inst.operand(1);
+      const Constant* ca = as_constant(a);
+      const Constant* cb = as_constant(b);
+      // Canonicalize constants to the right for commutative operations.
+      if (ca != nullptr && cb == nullptr && is_commutative(inst.bin_kind)) {
+        inst.set_operand(0, b);
+        inst.set_operand(1, a);
+        std::swap(a, b);
+        std::swap(ca, cb);
+      }
+      if (ca != nullptr && cb != nullptr) {
+        return module.constant(inst.type(),
+                               eval_bin(inst.bin_kind, ca->value(), cb->value(), inst.type()));
+      }
+      const std::uint64_t ones = inst.type().max_unsigned();
+      if (cb != nullptr) {
+        const std::uint64_t c = cb->value();
+        switch (inst.bin_kind) {
+          case BinKind::Add:
+          case BinKind::Sub:
+          case BinKind::Or:
+          case BinKind::Xor:
+          case BinKind::Shl:
+          case BinKind::LShr:
+          case BinKind::AShr:
+            if (c == 0) return a;
+            break;
+          case BinKind::Mul:
+            if (c == 1) return a;
+            if (c == 0) return module.constant(inst.type(), 0);
+            break;
+          case BinKind::UDiv:
+            if (c == 1) return a;
+            break;
+          case BinKind::And:
+            if (c == 0) return module.constant(inst.type(), 0);
+            if (c == ones) return a;
+            break;
+          default:
+            break;
+        }
+        if (inst.bin_kind == BinKind::Or && c == ones) return module.constant(inst.type(), ones);
+      }
+      if (a == b) {
+        switch (inst.bin_kind) {
+          case BinKind::And:
+          case BinKind::Or:
+          case BinKind::UMin:
+          case BinKind::UMax:
+          case BinKind::SMin:
+          case BinKind::SMax:
+            return a;
+          case BinKind::Xor:
+          case BinKind::Sub:
+            return module.constant(inst.type(), 0);
+          default:
+            break;
+        }
+      }
+      return nullptr;
+    }
+    case Opcode::ICmp: {
+      const Constant* ca = as_constant(inst.operand(0));
+      const Constant* cb = as_constant(inst.operand(1));
+      const ScalarType operand_type = inst.operand(0)->type();
+      if (ca != nullptr && cb != nullptr) {
+        return module.bool_constant(
+            eval_icmp(inst.icmp_pred, ca->value(), cb->value(), operand_type));
+      }
+      if (inst.operand(0) == inst.operand(1)) {
+        switch (inst.icmp_pred) {
+          case ICmpPred::EQ:
+          case ICmpPred::ULE:
+          case ICmpPred::UGE:
+          case ICmpPred::SLE:
+          case ICmpPred::SGE:
+            return module.bool_constant(true);
+          default:
+            return module.bool_constant(false);
+        }
+      }
+      return nullptr;
+    }
+    case Opcode::Select: {
+      if (const Constant* cond = as_constant(inst.operand(0))) {
+        return cond->value() != 0 ? inst.operand(1) : inst.operand(2);
+      }
+      if (inst.operand(1) == inst.operand(2)) return inst.operand(1);
+      return nullptr;
+    }
+    case Opcode::Cast: {
+      if (inst.operand(0)->type().bits == inst.type().bits) return inst.operand(0);
+      if (const Constant* c = as_constant(inst.operand(0))) {
+        const std::uint64_t extended =
+            inst.cast_signed ? static_cast<std::uint64_t>(c->extended()) : c->value();
+        return module.constant(inst.type(), extended);
+      }
+      return nullptr;
+    }
+    case Opcode::Phi: {
+      if (inst.num_operands() == 1) return inst.operand(0);
+      Value* first = nullptr;
+      for (std::size_t i = 0; i < inst.num_operands(); ++i) {
+        Value* v = inst.operand(i);
+        if (v == &inst) continue;
+        if (first == nullptr) {
+          first = v;
+        } else if (first != v) {
+          return nullptr;
+        }
+      }
+      return first;
+    }
+    case Opcode::Clz: {
+      if (const Constant* c = as_constant(inst.operand(0))) {
+        const std::uint8_t bits = inst.operand(0)->type().bits;
+        std::uint64_t v = c->value();
+        int count = 0;
+        for (int bit = bits - 1; bit >= 0; --bit) {
+          if ((v >> bit) & 1) break;
+          ++count;
+        }
+        return module.constant(inst.type(), static_cast<std::uint64_t>(count));
+      }
+      return nullptr;
+    }
+    case Opcode::Bswap: {
+      if (const Constant* c = as_constant(inst.operand(0))) {
+        const unsigned bytes = inst.type().bits / 8;
+        std::uint64_t v = c->value();
+        std::uint64_t result = 0;
+        for (unsigned i = 0; i < bytes; ++i) {
+          result = (result << 8) | ((v >> (8 * i)) & 0xFF);
+        }
+        return module.constant(inst.type(), result);
+      }
+      return nullptr;
+    }
+    default:
+      return nullptr;
+  }
+}
+
+bool fold_branches(Function& fn) {
+  bool changed = false;
+  for (const auto& block : fn.blocks()) {
+    Instruction* term = block->terminator();
+    if (term == nullptr || term->op() != Opcode::CondBr) continue;
+    BasicBlock* true_succ = term->succs[0];
+    BasicBlock* false_succ = term->succs[1];
+    const Constant* cond = as_constant(term->operand(0));
+    if (cond == nullptr && true_succ != false_succ) continue;
+
+    BasicBlock* taken = cond == nullptr || cond->value() != 0 ? true_succ : false_succ;
+    BasicBlock* dropped = taken == true_succ ? false_succ : true_succ;
+    if (dropped != taken) remove_edge_phis(block.get(), dropped);
+    // Replace the CondBr with a Br.
+    term->remove_operand(0);
+    term->succs.clear();
+    // A block cannot mutate its terminator's opcode, so rebuild it.
+    block->erase(term);
+    auto br = std::make_unique<Instruction>(Opcode::Br, kBool);
+    br->succs.push_back(taken);
+    block->append(std::move(br));
+    changed = true;
+  }
+  if (changed) {
+    fn.remove_unreachable_blocks();
+  }
+  return changed;
+}
+
+bool merge_blocks(Function& fn) {
+  bool changed = false;
+  fn.recompute_preds();
+  for (bool merged = true; merged;) {
+    merged = false;
+    for (const auto& block : fn.blocks()) {
+      Instruction* term = block->terminator();
+      if (term == nullptr || term->op() != Opcode::Br) continue;
+      BasicBlock* succ = term->succs[0];
+      if (succ == block.get() || succ->predecessors().size() != 1) continue;
+      if (succ == fn.entry()) continue;
+      // Fold single-incoming phis in succ, then splice.
+      std::vector<Instruction*> phis;
+      for (const auto& inst : succ->instructions()) {
+        if (inst->op() == Opcode::Phi) phis.push_back(inst.get());
+      }
+      for (Instruction* phi : phis) {
+        fn.replace_all_uses(phi, phi->operand(0));
+        succ->erase(phi);
+      }
+      block->erase(term);
+      while (!succ->instructions().empty()) {
+        auto inst = succ->detach(succ->instructions().front().get());
+        inst->set_parent(block.get());
+        block->instructions().push_back(std::move(inst));
+      }
+      // Phi incomings in the successors of succ must now name `block`.
+      for (BasicBlock* next : block->successors()) {
+        for (const auto& inst : next->instructions()) {
+          if (inst->op() != Opcode::Phi) break;
+          for (auto& incoming : inst->phi_blocks) {
+            if (incoming == succ) incoming = block.get();
+          }
+        }
+      }
+      fn.erase_block(succ);
+      fn.recompute_preds();
+      merged = true;
+      changed = true;
+      break;  // iterators invalidated
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+bool simplify(Function& fn, Module& module) {
+  bool changed_any = false;
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const auto& block : fn.blocks()) {
+      std::vector<Instruction*> dead;
+      for (const auto& inst : block->instructions()) {
+        if (Value* replacement = fold(*inst, module)) {
+          fn.replace_all_uses(inst.get(), replacement);
+          dead.push_back(inst.get());
+          changed = true;
+        }
+      }
+      for (Instruction* inst : dead) block->erase(inst);
+    }
+    changed |= fold_branches(fn);
+    changed |= merge_blocks(fn);
+    changed_any |= changed;
+  }
+  return changed_any;
+}
+
+}  // namespace netcl::passes

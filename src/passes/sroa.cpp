@@ -1,0 +1,119 @@
+// Scalar replacement of local arrays.
+//
+// After full unrolling, most local arrays (e.g. the count-min-sketch
+// temporaries `c[CMS_HASHES]` in the paper's Figure 4) are only indexed by
+// constants. Those are promoted to SSA values here, so they occupy PHV
+// containers rather than header stacks. Arrays with any dynamic index are
+// left alone; the backend lowers them to header stacks plus index tables
+// (Fig. 9, rightmost column).
+#include <unordered_map>
+#include <vector>
+
+#include "ir/dominators.hpp"
+#include "passes/passes.hpp"
+
+namespace netcl::passes {
+
+using namespace netcl::ir;
+
+namespace {
+
+class Promoter {
+ public:
+  Promoter(Function& fn, Module& module, LocalArray& array)
+      : fn_(fn), module_(module), array_(array) {}
+
+  bool run() {
+    // Check all accesses use constant, in-bounds indices.
+    std::vector<Instruction*> accesses;
+    for (const auto& block : fn_.blocks()) {
+      for (const auto& inst : block->instructions()) {
+        if (inst->local_array != &array_) continue;
+        const Constant* index = as_constant(inst->operand(0));
+        if (index == nullptr || index->extended() < 0 ||
+            index->extended() >= array_.size) {
+          return false;
+        }
+        accesses.push_back(inst.get());
+      }
+    }
+
+    fn_.recompute_preds();
+    std::vector<std::pair<Instruction*, Value*>> load_replacements;
+    std::vector<Instruction*> to_erase;
+
+    for (BasicBlock* block : fn_.reverse_postorder()) {
+      // Snapshot: read() may insert phis into blocks while we iterate.
+      std::vector<Instruction*> insts;
+      insts.reserve(block->instructions().size());
+      for (const auto& inst : block->instructions()) insts.push_back(inst.get());
+      for (Instruction* inst : insts) {
+        if (inst->local_array != &array_) continue;
+        const int elem = static_cast<int>(as_constant(inst->operand(0))->extended());
+        if (inst->op() == Opcode::StoreLocal) {
+          defs_[block][elem] = inst->operand(1);
+          to_erase.push_back(inst);
+        } else {  // LoadLocal
+          Value* value = read(block, elem);
+          load_replacements.emplace_back(inst, value);
+          // Later loads in this block see the same value.
+          defs_[block][elem] = value;
+        }
+      }
+    }
+
+    for (const auto& [load, value] : load_replacements) fn_.replace_all_uses(load, value);
+    for (Instruction* inst : to_erase) inst->parent()->erase(inst);
+    for (const auto& [load, value] : load_replacements) load->parent()->erase(load);
+    fn_.erase_local_array(&array_);
+    return true;
+  }
+
+ private:
+  Value* read(BasicBlock* block, int elem) {
+    const auto block_it = defs_.find(block);
+    if (block_it != defs_.end()) {
+      const auto it = block_it->second.find(elem);
+      if (it != block_it->second.end()) return it->second;
+    }
+    const auto& preds = block->predecessors();
+    Value* result = nullptr;
+    if (preds.empty()) {
+      result = module_.constant(array_.elem_type, 0);  // undefined -> 0
+    } else if (preds.size() == 1) {
+      result = read(preds[0], elem);
+    } else {
+      auto phi = std::make_unique<Instruction>(Opcode::Phi, array_.elem_type);
+      Instruction* phi_ptr = block->insert_after_phis(std::move(phi));
+      defs_[block][elem] = phi_ptr;  // break cycles defensively
+      for (BasicBlock* pred : preds) {
+        phi_ptr->add_operand(read(pred, elem));
+        phi_ptr->phi_blocks.push_back(pred);
+      }
+      result = phi_ptr;
+    }
+    defs_[block][elem] = result;
+    return result;
+  }
+
+  Function& fn_;
+  Module& module_;
+  LocalArray& array_;
+  std::unordered_map<BasicBlock*, std::unordered_map<int, Value*>> defs_;
+};
+
+}  // namespace
+
+bool sroa(Function& fn, Module& module) {
+  bool changed = false;
+  // Copy the list: promotion erases arrays.
+  std::vector<LocalArray*> arrays;
+  for (const auto& array : fn.local_arrays()) arrays.push_back(array.get());
+  for (LocalArray* array : arrays) {
+    Promoter promoter(fn, module, *array);
+    changed |= promoter.run();
+  }
+  return changed;
+}
+
+}  // namespace netcl::passes

@@ -1,0 +1,67 @@
+#include "runtime/host.hpp"
+
+namespace netcl::runtime {
+
+HostRuntime::HostRuntime(sim::Fabric& fabric, std::uint16_t host_id)
+    : fabric_(fabric), host_id_(host_id) {
+  fabric_.add_host(host_id);
+}
+
+void HostRuntime::register_spec(int computation, KernelSpec spec) {
+  specs_[computation] = std::move(spec);
+}
+
+const KernelSpec* HostRuntime::spec_for(int computation) const {
+  const auto it = specs_.find(computation);
+  return it == specs_.end() ? nullptr : &it->second;
+}
+
+void HostRuntime::send(Message message, const sim::ArgValues& args) {
+  const KernelSpec* spec = spec_for(message.comp);
+  if (spec == nullptr) return;
+  message.src = host_id_;
+  fabric_.send_from_host(host_id_, pack(message, *spec, args));
+  ++sent;
+}
+
+void HostRuntime::on_receive(Receiver receiver) {
+  receiver_ = std::move(receiver);
+  fabric_.set_host_handler(
+      host_id_, [this](sim::Fabric&, std::uint16_t, const sim::Packet& packet) {
+        if (!packet.has_netcl || receiver_ == nullptr) return;
+        const KernelSpec* spec = spec_for(packet.netcl.comp);
+        if (spec == nullptr) return;
+        auto [message, args] = unpack(packet, *spec);
+        ++received;
+        receiver_(message, args);
+      });
+}
+
+DeviceConnection::DeviceConnection(sim::Fabric& fabric, std::uint16_t device_id)
+    : device_(fabric.device(device_id)) {}
+
+bool DeviceConnection::managed_write(const std::string& name, std::uint64_t value,
+                                     const std::vector<std::uint64_t>& indices) {
+  return device_ != nullptr && device_->managed_write(name, indices, value);
+}
+
+bool DeviceConnection::managed_read(const std::string& name, std::uint64_t& out,
+                                    const std::vector<std::uint64_t>& indices) {
+  return device_ != nullptr && device_->managed_read(name, indices, out);
+}
+
+bool DeviceConnection::insert(const std::string& table, std::uint64_t key,
+                              std::uint64_t value) {
+  return device_ != nullptr && device_->lookup_insert(table, key, key, value);
+}
+
+bool DeviceConnection::insert_range(const std::string& table, std::uint64_t lo,
+                                    std::uint64_t hi, std::uint64_t value) {
+  return device_ != nullptr && device_->lookup_insert(table, lo, hi, value);
+}
+
+bool DeviceConnection::remove(const std::string& table, std::uint64_t key) {
+  return device_ != nullptr && device_->lookup_remove(table, key);
+}
+
+}  // namespace netcl::runtime

@@ -1,0 +1,75 @@
+// NetCL host runtime bound to the simulated fabric.
+//
+// HostRuntime is the equivalent of the paper's UDP-socket backend: it
+// packs messages with the kernel specifications the compiler recorded and
+// injects them at the host's fabric port; received NetCL packets are
+// unpacked and handed to a user callback.
+//
+// DeviceConnection is the control-plane handle behind ncl::managed_read /
+// ncl::managed_write and the _managed_ _lookup_ entry operations (§V-B) —
+// the reliable slow path that bypasses kernels entirely.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "runtime/message.hpp"
+#include "sim/fabric.hpp"
+
+namespace netcl::runtime {
+
+class HostRuntime {
+ public:
+  HostRuntime(sim::Fabric& fabric, std::uint16_t host_id);
+
+  [[nodiscard]] std::uint16_t host_id() const { return host_id_; }
+  [[nodiscard]] sim::Fabric& fabric() { return fabric_; }
+
+  /// Registers the message layout of a computation (done by the compiler's
+  /// host-side rewrites in the paper; by the driver here).
+  void register_spec(int computation, KernelSpec spec);
+  [[nodiscard]] const KernelSpec* spec_for(int computation) const;
+
+  /// Packs and sends. The message's src is forced to this host.
+  void send(Message message, const sim::ArgValues& args);
+
+  /// Invoked for every NetCL packet arriving at this host.
+  using Receiver = std::function<void(const Message&, sim::ArgValues&)>;
+  void on_receive(Receiver receiver);
+
+  // Statistics.
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+
+ private:
+  sim::Fabric& fabric_;
+  std::uint16_t host_id_;
+  std::map<int, KernelSpec> specs_;
+  Receiver receiver_;
+};
+
+/// Control-plane connection to one device.
+class DeviceConnection {
+ public:
+  DeviceConnection(sim::Fabric& fabric, std::uint16_t device_id);
+
+  [[nodiscard]] bool valid() const { return device_ != nullptr; }
+
+  /// ncl::managed_write / ncl::managed_read. Indices address the memory as
+  /// declared in the NetCL source (partitioning renames are transparent).
+  bool managed_write(const std::string& name, std::uint64_t value,
+                     const std::vector<std::uint64_t>& indices = {});
+  bool managed_read(const std::string& name, std::uint64_t& out,
+                    const std::vector<std::uint64_t>& indices = {});
+
+  /// _managed_ _lookup_ entry management (insert replaces same-key entries).
+  bool insert(const std::string& table, std::uint64_t key, std::uint64_t value);
+  bool insert_range(const std::string& table, std::uint64_t lo, std::uint64_t hi,
+                    std::uint64_t value);
+  bool remove(const std::string& table, std::uint64_t key);
+
+ private:
+  sim::SwitchDevice* device_;
+};
+
+}  // namespace netcl::runtime

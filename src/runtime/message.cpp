@@ -1,0 +1,27 @@
+#include "runtime/message.hpp"
+
+namespace netcl::runtime {
+
+sim::Packet pack(const Message& message, const KernelSpec& spec, const sim::ArgValues& args) {
+  sim::Packet packet;
+  packet.has_netcl = true;
+  packet.netcl.src = message.src;
+  packet.netcl.dst = message.dst;
+  packet.netcl.from = 0;  // no device has computed on it yet
+  packet.netcl.to = message.device;
+  packet.netcl.comp = message.comp;
+  packet.payload = sim::encode_args(spec, args);
+  packet.netcl.len = static_cast<std::uint16_t>(packet.payload.size());
+  return packet;
+}
+
+std::pair<Message, sim::ArgValues> unpack(const sim::Packet& packet, const KernelSpec& spec) {
+  Message message;
+  message.src = packet.netcl.src;
+  message.dst = packet.netcl.dst;
+  message.comp = packet.netcl.comp;
+  message.device = packet.netcl.to;
+  return {message, sim::decode_args(spec, packet.payload)};
+}
+
+}  // namespace netcl::runtime

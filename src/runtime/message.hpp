@@ -1,0 +1,38 @@
+// NetCL host-side messages and pack/unpack (§V-A, Fig. 6).
+//
+// A Message names the communication: "send from host src to host dst
+// through device `device`, performing computation comp". pack/unpack
+// translate between user values and the wire layout dictated by the
+// kernel specification — the "device code records" the compiler embeds in
+// host programs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "frontend/sema.hpp"
+#include "sim/packet.hpp"
+
+namespace netcl::runtime {
+
+struct Message {
+  std::uint16_t src = 0;
+  std::uint16_t dst = 0;
+  std::uint8_t comp = 0;
+  std::uint16_t device = 0;  // the device asked to compute (the `to` field)
+
+  Message() = default;
+  Message(std::uint16_t src_host, std::uint16_t dst_host, std::uint8_t computation,
+          std::uint16_t through_device)
+      : src(src_host), dst(dst_host), comp(computation), device(through_device) {}
+};
+
+/// Builds the on-wire packet for a message: NetCL header + encoded args.
+[[nodiscard]] sim::Packet pack(const Message& message, const KernelSpec& spec,
+                               const sim::ArgValues& args);
+
+/// Splits a received packet back into (message, argument values).
+[[nodiscard]] std::pair<Message, sim::ArgValues> unpack(const sim::Packet& packet,
+                                                        const KernelSpec& spec);
+
+}  // namespace netcl::runtime

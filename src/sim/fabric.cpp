@@ -1,0 +1,195 @@
+#include "sim/fabric.hpp"
+
+#include <cassert>
+#include <deque>
+
+#include "runtime/device_runtime.hpp"
+
+namespace netcl::sim {
+
+Fabric::Fabric(std::uint64_t seed) : rng_(seed) {}
+
+void Fabric::add_host(std::uint16_t id) {
+  adjacency_.try_emplace(host_ref(id));
+  invalidate_routes();
+}
+
+SwitchDevice* Fabric::add_device(std::unique_ptr<SwitchDevice> device) {
+  const std::uint16_t id = device->device_id();
+  adjacency_.try_emplace(device_ref(id));
+  auto [it, inserted] = devices_.insert_or_assign(id, std::move(device));
+  invalidate_routes();
+  return it->second.get();
+}
+
+SwitchDevice* Fabric::add_forwarding_device(std::uint16_t id) {
+  return add_device(std::make_unique<SwitchDevice>(id));
+}
+
+void Fabric::connect(NodeRef a, NodeRef b, const LinkConfig& config) {
+  adjacency_[a].push_back({b, config, 0.0});
+  adjacency_[b].push_back({a, config, 0.0});
+  invalidate_routes();
+}
+
+void Fabric::set_multicast_group(std::uint16_t device_id, std::uint16_t group,
+                                 std::vector<NodeRef> members) {
+  multicast_groups_[{device_id, group}] = std::move(members);
+}
+
+SwitchDevice* Fabric::device(std::uint16_t id) {
+  const auto it = devices_.find(id);
+  return it == devices_.end() ? nullptr : it->second.get();
+}
+
+void Fabric::set_host_handler(std::uint16_t host, HostHandler handler) {
+  host_handlers_[host] = std::move(handler);
+}
+
+void Fabric::send_from_host(std::uint16_t host, Packet packet) {
+  forward(host_ref(host), std::move(packet), now_);
+}
+
+void Fabric::schedule(double delay_ns, std::function<void(Fabric&)> callback) {
+  events_.push({now_ + delay_ns, sequence_++, {}, {}, std::move(callback)});
+}
+
+NodeRef Fabric::route_target(const Packet& packet) const {
+  if (packet.has_netcl && packet.netcl.to != 0) return device_ref(packet.netcl.to);
+  return host_ref(packet.netcl.dst);
+}
+
+NodeRef Fabric::next_hop(NodeRef node, NodeRef target) {
+  if (node == target) return node;
+  const auto key = std::make_pair(node, target);
+  const auto cached = routes_.find(key);
+  if (cached != routes_.end()) return cached->second;
+
+  // BFS from `node`; record the first hop of the shortest path.
+  std::map<NodeRef, NodeRef> first_hop;
+  std::deque<NodeRef> frontier{node};
+  std::map<NodeRef, bool> visited{{node, true}};
+  while (!frontier.empty()) {
+    const NodeRef current = frontier.front();
+    frontier.pop_front();
+    for (const Link& link : adjacency_[current]) {
+      if (visited[link.peer]) continue;
+      visited[link.peer] = true;
+      first_hop[link.peer] = current == node ? link.peer : first_hop[current];
+      if (link.peer == target) {
+        routes_[key] = first_hop[link.peer];
+        return first_hop[link.peer];
+      }
+      frontier.push_back(link.peer);
+    }
+  }
+  return node;  // unreachable; caller drops
+}
+
+void Fabric::transmit(NodeRef from, NodeRef to, Packet&& packet, double start_time) {
+  Link* link = nullptr;
+  for (Link& candidate : adjacency_[from]) {
+    if (candidate.peer == to) {
+      link = &candidate;
+      break;
+    }
+  }
+  if (link == nullptr) return;  // no such link
+
+  if (link->config.loss_probability > 0.0 &&
+      rng_.next_double() < link->config.loss_probability) {
+    ++packets_dropped_loss;
+    return;
+  }
+  const double serialization_ns =
+      static_cast<double>(packet.wire_bytes()) * 8.0 / link->config.gbps;
+  const double depart = std::max(start_time, link->next_free_ns);
+  link->next_free_ns = depart + serialization_ns;
+  const double arrival = depart + serialization_ns + link->config.latency_ns;
+  events_.push({arrival, sequence_++, to, std::move(packet)});
+  ++packets_forwarded;
+}
+
+void Fabric::forward(NodeRef from, Packet&& packet, double depart_time) {
+  const NodeRef target = route_target(packet);
+  if (target == from) {
+    // Already at the destination (e.g. reflect on the attached switch).
+    events_.push({depart_time, sequence_++, target, std::move(packet)});
+    return;
+  }
+  const NodeRef hop = next_hop(from, target);
+  if (hop == from) return;  // unreachable
+  transmit(from, hop, std::move(packet), depart_time);
+}
+
+void Fabric::deliver(const Event& event) {
+  if (event.callback != nullptr) {
+    event.callback(*this);
+    return;
+  }
+  if (event.at.kind == NodeRef::Kind::Host) {
+    ++packets_delivered;
+    const auto it = host_handlers_.find(event.at.id);
+    if (it != host_handlers_.end()) it->second(*this, event.at.id, event.packet);
+    return;
+  }
+
+  // Device processing.
+  SwitchDevice* dev = device(event.at.id);
+  if (dev == nullptr) return;
+  Packet packet = event.packet;
+  double ready_time = now_;
+
+  if (packet.has_netcl && packet.netcl.to == dev->device_id()) {
+    ready_time += dev->pipeline_latency_ns();
+    ComputeOutcome outcome;
+    const KernelSpec* spec = dev->spec_for(packet.netcl.comp);
+    ArgValues args;
+    if (spec != nullptr) {
+      args = decode_args(*spec, packet.payload);
+      outcome = dev->execute(packet.netcl.comp, args, packet.netcl);
+      packet.payload = encode_args(*spec, args);
+    }
+    const runtime::ForwardDecision decision = runtime::apply_action(
+        packet.netcl, outcome.executed ? outcome.action : ActionKind::Pass, outcome.target,
+        dev->device_id());
+    if (decision.drop) {
+      ++packets_dropped_action;
+      return;
+    }
+    if (decision.multicast) {
+      const auto members =
+          multicast_groups_.find({dev->device_id(), decision.multicast_group});
+      if (members != multicast_groups_.end()) {
+        for (const NodeRef member : members->second) {
+          Packet copy = packet;
+          if (member.kind == NodeRef::Kind::Host) {
+            copy.netcl.dst = member.id;
+            copy.netcl.to = 0;
+          } else {
+            copy.netcl.to = member.id;
+          }
+          forward(event.at, std::move(copy), ready_time);
+        }
+      }
+      return;
+    }
+  } else if (packet.has_netcl) {
+    // No-op transit through a device that was not asked to compute (§IV).
+    ready_time += dev->pipeline_latency_ns() * 0.5;
+  }
+  forward(event.at, std::move(packet), ready_time);
+}
+
+double Fabric::run(double max_time_ns) {
+  while (!events_.empty()) {
+    const Event event = events_.top();
+    if (event.time_ns > max_time_ns) break;
+    events_.pop();
+    now_ = event.time_ns;
+    deliver(event);
+  }
+  return now_;
+}
+
+}  // namespace netcl::sim

@@ -1,0 +1,117 @@
+// Discrete-event network fabric: hosts, simulated switches, links with
+// propagation latency / bandwidth / loss, shortest-path forwarding, and
+// multicast groups.
+//
+// The fabric substitutes for the paper's 6-server + Tofino testbed: hosts
+// run the NetCL host runtime, devices run compiled pipeline programs, and
+// packets pay per-link serialization + propagation plus the device's
+// modeled pipeline latency — the mechanisms Fig. 14's end-to-end results
+// depend on.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "sim/switch.hpp"
+
+namespace netcl::sim {
+
+/// Network node address: hosts and devices occupy separate id spaces.
+struct NodeRef {
+  enum class Kind : std::uint8_t { Host, Device } kind = Kind::Host;
+  std::uint16_t id = 0;
+
+  friend bool operator==(NodeRef, NodeRef) = default;
+  friend auto operator<=>(NodeRef, NodeRef) = default;
+};
+
+[[nodiscard]] inline NodeRef host_ref(std::uint16_t id) { return {NodeRef::Kind::Host, id}; }
+[[nodiscard]] inline NodeRef device_ref(std::uint16_t id) { return {NodeRef::Kind::Device, id}; }
+
+struct LinkConfig {
+  double latency_ns = 500.0;   // propagation
+  double gbps = 100.0;         // serialization rate
+  double loss_probability = 0.0;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(std::uint64_t seed = 42);
+
+  // --- topology -------------------------------------------------------------
+  void add_host(std::uint16_t id);
+  /// Registers a simulated switch; the fabric takes ownership.
+  SwitchDevice* add_device(std::unique_ptr<SwitchDevice> device);
+  /// A plain forwarding device with no NetCL program.
+  SwitchDevice* add_forwarding_device(std::uint16_t id);
+  void connect(NodeRef a, NodeRef b, const LinkConfig& config = {});
+  void set_multicast_group(std::uint16_t device_id, std::uint16_t group,
+                           std::vector<NodeRef> members);
+
+  [[nodiscard]] SwitchDevice* device(std::uint16_t id);
+
+  // --- traffic ----------------------------------------------------------------
+  /// Called when a packet reaches a host. Handlers may send new packets.
+  using HostHandler = std::function<void(Fabric&, std::uint16_t host, const Packet&)>;
+  void set_host_handler(std::uint16_t host, HostHandler handler);
+
+  /// Injects a packet at a host at the current simulation time.
+  void send_from_host(std::uint16_t host, Packet packet);
+
+  /// Schedules a callback `delay_ns` from now (host-side timers, e.g.
+  /// retransmission timeouts).
+  void schedule(double delay_ns, std::function<void(Fabric&)> callback);
+
+  // --- simulation loop ---------------------------------------------------------
+  /// Runs events until the queue drains or `max_time_ns` passes.
+  /// Returns the final simulation time.
+  double run(double max_time_ns = 1e18);
+  [[nodiscard]] double now() const { return now_; }
+
+  // --- statistics ----------------------------------------------------------------
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dropped_loss = 0;
+  std::uint64_t packets_dropped_action = 0;
+  std::uint64_t packets_forwarded = 0;
+
+ private:
+  struct Link {
+    NodeRef peer;
+    LinkConfig config;
+    double next_free_ns = 0.0;  // serialization availability (per direction)
+  };
+  struct Event {
+    double time_ns;
+    std::uint64_t sequence;  // FIFO tiebreaker
+    NodeRef at;
+    Packet packet;
+    std::function<void(Fabric&)> callback;  // timer event when set
+    bool operator>(const Event& other) const {
+      return std::tie(time_ns, sequence) > std::tie(other.time_ns, other.sequence);
+    }
+  };
+
+  void deliver(const Event& event);
+  void forward(NodeRef from, Packet&& packet, double depart_time);
+  [[nodiscard]] NodeRef route_target(const Packet& packet) const;
+  /// Next hop from `node` toward `target` (BFS shortest path, cached).
+  [[nodiscard]] NodeRef next_hop(NodeRef node, NodeRef target);
+  void transmit(NodeRef from, NodeRef to, Packet&& packet, double start_time);
+  void invalidate_routes() { routes_.clear(); }
+
+  std::map<NodeRef, std::vector<Link>> adjacency_;
+  std::map<std::uint16_t, std::unique_ptr<SwitchDevice>> devices_;
+  std::map<std::uint16_t, HostHandler> host_handlers_;
+  std::map<std::pair<std::uint16_t, std::uint16_t>, std::vector<NodeRef>> multicast_groups_;
+  std::map<std::pair<NodeRef, NodeRef>, NodeRef> routes_;  // (from, target) -> next hop
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  double now_ = 0.0;
+  std::uint64_t sequence_ = 0;
+  SplitMix64 rng_;
+};
+
+}  // namespace netcl::sim

@@ -1,0 +1,55 @@
+#include "sim/packet.hpp"
+
+namespace netcl::sim {
+
+namespace {
+int byte_width(const ArgSpec& arg) { return arg.type.bits <= 8 ? 1 : arg.type.bits / 8; }
+}  // namespace
+
+std::vector<std::uint8_t> encode_args(const KernelSpec& spec, const ArgValues& values) {
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(spec.byte_size()));
+  for (std::size_t a = 0; a < spec.args.size(); ++a) {
+    const ArgSpec& arg = spec.args[a];
+    const int width = byte_width(arg);
+    for (int e = 0; e < arg.count; ++e) {
+      const std::uint64_t value =
+          a < values.size() && e < static_cast<int>(values[a].size())
+              ? arg.type.truncate(values[a][static_cast<std::size_t>(e)])
+              : 0;
+      for (int b = 0; b < width; ++b) {
+        out.push_back(static_cast<std::uint8_t>(value >> (8 * b)));
+      }
+    }
+  }
+  return out;
+}
+
+ArgValues decode_args(const KernelSpec& spec, std::span<const std::uint8_t> data) {
+  ArgValues values = make_args(spec);
+  std::size_t pos = 0;
+  for (std::size_t a = 0; a < spec.args.size(); ++a) {
+    const ArgSpec& arg = spec.args[a];
+    const int width = byte_width(arg);
+    for (int e = 0; e < arg.count; ++e) {
+      std::uint64_t value = 0;
+      for (int b = 0; b < width; ++b) {
+        if (pos < data.size()) value |= static_cast<std::uint64_t>(data[pos]) << (8 * b);
+        ++pos;
+      }
+      values[a][static_cast<std::size_t>(e)] = value;
+    }
+  }
+  return values;
+}
+
+ArgValues make_args(const KernelSpec& spec) {
+  ArgValues values;
+  values.reserve(spec.args.size());
+  for (const ArgSpec& arg : spec.args) {
+    values.emplace_back(static_cast<std::size_t>(arg.count), 0);
+  }
+  return values;
+}
+
+}  // namespace netcl::sim

@@ -1,0 +1,323 @@
+#include "sim/switch.hpp"
+
+#include <cassert>
+
+#include "ir/eval.hpp"
+
+namespace netcl::sim {
+
+using namespace netcl::ir;
+
+SwitchDevice::SwitchDevice(std::uint16_t device_id, std::unique_ptr<ir::Module> module,
+                           std::vector<p4::KernelProgram> kernels, int stages_used)
+    : device_id_(device_id), module_(std::move(module)), kernels_(std::move(kernels)),
+      stages_used_(stages_used), rng_(0x5EEDBA5Eu ^ device_id) {
+  registers_ = std::make_unique<RegisterFile>(*module_);
+  tables_ = std::make_unique<TableSet>(*module_);
+  for (const p4::KernelProgram& kernel : kernels_) {
+    by_computation_[kernel.fn->computation()] = &kernel;
+  }
+}
+
+SwitchDevice::SwitchDevice(std::uint16_t device_id)
+    : device_id_(device_id), rng_(0x5EEDBA5Eu ^ device_id) {}
+
+double SwitchDevice::pipeline_latency_ns() const {
+  if (stages_used_ <= 0) return 0.0;
+  return latency_.worst_case_ns(stages_used_);
+}
+
+const KernelSpec* SwitchDevice::spec_for(int computation) const {
+  const auto it = by_computation_.find(computation);
+  return it == by_computation_.end() ? nullptr : &it->second->fn->spec;
+}
+
+namespace {
+
+/// Little-endian bytes of one value at its natural width, for hash inputs.
+void append_bytes(std::vector<std::uint8_t>& out, std::uint64_t value, ScalarType type) {
+  const int width = type.bits <= 8 ? 1 : type.bits / 8;
+  for (int b = 0; b < width; ++b) out.push_back(static_cast<std::uint8_t>(value >> (8 * b)));
+}
+
+}  // namespace
+
+ComputeOutcome SwitchDevice::execute(int computation, ArgValues& args,
+                                     const NetclHeader& header) {
+  ++packets_processed;
+  const auto it = by_computation_.find(computation);
+  if (it == by_computation_.end()) return {};  // no kernel here: no-op (§IV)
+  ++kernels_executed;
+
+  const p4::KernelProgram& program = *it->second;
+  std::unordered_map<const Value*, std::uint64_t> env;
+  std::unordered_map<const LocalArray*, std::vector<std::uint64_t>> locals;
+
+  auto eval = [&](const Value* v) -> std::uint64_t {
+    if (v == nullptr) return 1;  // absent guard = always true
+    if (const Constant* c = as_constant(v)) return c->value();
+    if (v->kind() == ValueKind::Argument) {
+      const auto* arg = static_cast<const Argument*>(v);
+      return args[static_cast<std::size_t>(arg->index())][0];
+    }
+    const auto found = env.find(v);
+    return found == env.end() ? 0 : found->second;
+  };
+
+  ComputeOutcome outcome;
+  bool action_chosen = false;
+
+  for (const p4::LinearInst& li : program.insts) {
+    const Instruction& inst = *li.inst;
+    const bool guard_true = li.guard == nullptr || eval(li.guard) != 0;
+
+    switch (inst.op()) {
+      case Opcode::Bin:
+        env[&inst] = eval_bin(inst.bin_kind, eval(inst.operand(0)), eval(inst.operand(1)),
+                              inst.type());
+        break;
+      case Opcode::ICmp:
+        env[&inst] = eval_icmp(inst.icmp_pred, eval(inst.operand(0)), eval(inst.operand(1)),
+                               inst.operand(0)->type())
+                         ? 1
+                         : 0;
+        break;
+      case Opcode::Select:
+        env[&inst] = eval(inst.operand(0)) != 0 ? eval(inst.operand(1)) : eval(inst.operand(2));
+        break;
+      case Opcode::Cast: {
+        const Value* operand = inst.operand(0);
+        std::uint64_t value = eval(operand);
+        if (inst.cast_signed && inst.type().bits > operand->type().bits) {
+          value = static_cast<std::uint64_t>(operand->type().extend(value));
+        }
+        env[&inst] = inst.type().truncate(value);
+        break;
+      }
+      case Opcode::Hash: {
+        std::vector<std::uint8_t> bytes;
+        for (std::size_t i = 0; i < inst.num_operands(); ++i) {
+          append_bytes(bytes, eval(inst.operand(i)), inst.operand(i)->type());
+        }
+        std::uint64_t digest = 0;
+        switch (inst.hash_kind) {
+          case HashKind::Crc16: digest = crc16(bytes); break;
+          case HashKind::Crc32: digest = crc32(bytes); break;
+          case HashKind::Xor16: digest = xor16(bytes); break;
+          case HashKind::Identity:
+            digest = bytes.empty() ? 0 : eval(inst.operand(0));
+            break;
+        }
+        env[&inst] = inst.type().truncate(digest);
+        break;
+      }
+      case Opcode::Rand:
+        env[&inst] = inst.type().truncate(rng_.next());
+        break;
+      case Opcode::MsgMeta: {
+        const std::uint16_t fields[4] = {header.src, header.dst, header.from, header.to};
+        env[&inst] = fields[inst.arg_index & 3];
+        break;
+      }
+      case Opcode::Clz: {
+        const ScalarType type = inst.operand(0)->type();
+        const std::uint64_t value = type.truncate(eval(inst.operand(0)));
+        int count = 0;
+        for (int bit = type.bits - 1; bit >= 0; --bit) {
+          if ((value >> bit) & 1) break;
+          ++count;
+        }
+        env[&inst] = static_cast<std::uint64_t>(count);
+        break;
+      }
+      case Opcode::Bswap: {
+        const unsigned bytes = inst.type().bits <= 8 ? 1u : inst.type().bits / 8u;
+        const std::uint64_t value = eval(inst.operand(0));
+        std::uint64_t swapped = 0;
+        for (unsigned b = 0; b < bytes; ++b) {
+          swapped = (swapped << 8) | ((value >> (8 * b)) & 0xFF);
+        }
+        env[&inst] = swapped;
+        break;
+      }
+      case Opcode::LoadMsg: {
+        const auto index = static_cast<std::size_t>(eval(inst.operand(0)));
+        auto& arg = args[static_cast<std::size_t>(inst.arg_index)];
+        env[&inst] = index < arg.size() ? arg[index] : 0;
+        break;
+      }
+      case Opcode::StoreMsg: {
+        if (!guard_true) break;
+        const auto index = static_cast<std::size_t>(eval(inst.operand(0)));
+        auto& arg = args[static_cast<std::size_t>(inst.arg_index)];
+        if (index < arg.size()) {
+          const ScalarType type =
+              program.fn->spec.args[static_cast<std::size_t>(inst.arg_index)].type;
+          arg[index] = type.truncate(eval(inst.operand(1)));
+        }
+        break;
+      }
+      case Opcode::LoadLocal: {
+        auto& storage = locals[inst.local_array];
+        if (storage.empty()) storage.assign(static_cast<std::size_t>(inst.local_array->size), 0);
+        const auto index =
+            static_cast<std::size_t>(eval(inst.operand(0))) % storage.size();
+        env[&inst] = storage[index];
+        break;
+      }
+      case Opcode::StoreLocal: {
+        if (!guard_true) break;
+        auto& storage = locals[inst.local_array];
+        if (storage.empty()) storage.assign(static_cast<std::size_t>(inst.local_array->size), 0);
+        const auto index =
+            static_cast<std::size_t>(eval(inst.operand(0))) % storage.size();
+        storage[index] = inst.local_array->elem_type.truncate(eval(inst.operand(1)));
+        break;
+      }
+      case Opcode::LoadGlobal: {
+        std::vector<std::uint64_t> indices;
+        for (int i = 0; i < inst.num_indices; ++i) indices.push_back(eval(inst.operand(i)));
+        env[&inst] = registers_->read(*inst.global, registers_->flatten(*inst.global, indices));
+        break;
+      }
+      case Opcode::StoreGlobal: {
+        if (!guard_true) break;
+        std::vector<std::uint64_t> indices;
+        for (int i = 0; i < inst.num_indices; ++i) indices.push_back(eval(inst.operand(i)));
+        registers_->write(*inst.global, registers_->flatten(*inst.global, indices),
+                          eval(inst.operand(inst.num_operands() - 1)));
+        break;
+      }
+      case Opcode::AtomicRMW: {
+        std::vector<std::uint64_t> indices;
+        for (int i = 0; i < inst.num_indices; ++i) indices.push_back(eval(inst.operand(i)));
+        const std::size_t index = registers_->flatten(*inst.global, indices);
+        std::size_t next = static_cast<std::size_t>(inst.num_indices);
+        bool cond = true;
+        if (inst.atomic_cond) cond = eval(inst.operand(next++)) != 0;
+        const std::uint64_t operand0 =
+            next < inst.num_operands() ? eval(inst.operand(next)) : 0;
+        const std::uint64_t operand1 =
+            next + 1 < inst.num_operands() ? eval(inst.operand(next + 1)) : 0;
+        const std::uint64_t old_value = registers_->read(*inst.global, index);
+        if (guard_true && cond) {
+          const auto [old_v, new_v] =
+              registers_->atomic(*inst.global, index, inst.atomic_op, operand0, operand1);
+          // *_new returns the value after the operation; plain atomics the
+          // value before (§V-B).
+          env[&inst] = inst.atomic_new ? new_v : old_v;
+        } else {
+          // Not performed: both variants observe the unchanged value.
+          env[&inst] = old_value;
+        }
+        break;
+      }
+      case Opcode::Lookup: {
+        const LookupTable* table = tables_->find(*inst.global);
+        assert(table != nullptr);
+        const MatchResult match = table->match(eval(inst.operand(0)));
+        env[&inst] = match.hit ? 1 : 0;
+        break;
+      }
+      case Opcode::LookupValue: {
+        const LookupTable* table = tables_->find(*inst.global);
+        assert(table != nullptr);
+        // Re-match through the paired Lookup's key operand.
+        const auto* lookup = static_cast<const Instruction*>(inst.operand(0));
+        const MatchResult match = table->match(eval(lookup->operand(0)));
+        env[&inst] = match.hit ? match.value : eval(inst.operand(1));
+        break;
+      }
+      case Opcode::RetAction: {
+        if (guard_true && !action_chosen) {
+          action_chosen = true;
+          outcome.action = inst.action;
+          if (inst.num_operands() > 0) {
+            outcome.target = static_cast<std::uint16_t>(eval(inst.operand(0)));
+          }
+        }
+        break;
+      }
+      case Opcode::Phi:
+      case Opcode::Br:
+      case Opcode::CondBr:
+      case Opcode::Ret:
+        assert(false && "control flow must not survive linearization");
+        break;
+    }
+  }
+
+  outcome.executed = true;
+  return outcome;
+}
+
+// --- control plane -----------------------------------------------------------
+
+SwitchDevice::Resolved SwitchDevice::resolve(const std::string& name,
+                                             const std::vector<std::uint64_t>& indices) const {
+  Resolved resolved;
+  if (module_ == nullptr) return resolved;
+  if (GlobalVar* global = module_->find_global(name)) {
+    resolved.global = global;
+    resolved.indices = indices;
+    return resolved;
+  }
+  // Access-based partitioning renamed name -> name$<outer>; map the first
+  // index onto the partition.
+  if (!indices.empty()) {
+    const std::string part = name + "$" + std::to_string(indices[0]);
+    if (GlobalVar* global = module_->find_global(part)) {
+      resolved.global = global;
+      resolved.indices.assign(indices.begin() + 1, indices.end());
+      return resolved;
+    }
+  }
+  return resolved;
+}
+
+bool SwitchDevice::managed_write(const std::string& name,
+                                 const std::vector<std::uint64_t>& indices,
+                                 std::uint64_t value) {
+  const Resolved r = resolve(name, indices);
+  if (r.global == nullptr || !r.global->is_managed || r.global->is_lookup) return false;
+  registers_->write(*r.global, registers_->flatten(*r.global, r.indices), value);
+  return true;
+}
+
+bool SwitchDevice::managed_read(const std::string& name,
+                                const std::vector<std::uint64_t>& indices, std::uint64_t& out) {
+  const Resolved r = resolve(name, indices);
+  if (r.global == nullptr || !r.global->is_managed || r.global->is_lookup) return false;
+  out = registers_->read(*r.global, registers_->flatten(*r.global, r.indices));
+  return true;
+}
+
+bool SwitchDevice::lookup_insert(const std::string& name, std::uint64_t key_lo,
+                                 std::uint64_t key_hi, std::uint64_t value) {
+  const Resolved r = resolve(name, {});
+  if (r.global == nullptr || !r.global->is_lookup) return false;
+  LookupTable* table = tables_->find(*r.global);
+  return table != nullptr && table->insert(key_lo, key_hi, value);
+}
+
+bool SwitchDevice::lookup_remove(const std::string& name, std::uint64_t key) {
+  const Resolved r = resolve(name, {});
+  if (r.global == nullptr || !r.global->is_lookup) return false;
+  LookupTable* table = tables_->find(*r.global);
+  return table != nullptr && table->remove(key);
+}
+
+bool SwitchDevice::debug_read(const std::string& name,
+                              const std::vector<std::uint64_t>& indices,
+                              std::uint64_t& out) const {
+  const Resolved r = resolve(name, indices);
+  if (r.global == nullptr || r.global->is_lookup) return false;
+  out = registers_->read(*r.global, registers_->flatten(*r.global, r.indices));
+  return true;
+}
+
+void SwitchDevice::reset_state() {
+  if (registers_ != nullptr) registers_->reset();
+}
+
+}  // namespace netcl::sim

@@ -1,0 +1,96 @@
+// The simulated PDP switch: executes compiled NetCL pipeline programs
+// against live register/table state and exposes the control-plane surface
+// the host runtime's managed-memory API uses.
+//
+// This plays the role bmv2 plays in the paper's evaluation: a behavioral
+// model that runs the *compiled artifact* (the predicated linear program the
+// TNA backend produced), not the source semantics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "p4/latency.hpp"
+#include "p4/pipeline.hpp"
+#include "sim/packet.hpp"
+#include "sim/registers.hpp"
+#include "sim/table.hpp"
+#include "support/hashes.hpp"
+
+namespace netcl::sim {
+
+/// What the kernel decided about a message.
+struct ComputeOutcome {
+  ActionKind action = ActionKind::Pass;
+  std::uint16_t target = 0;  // host / device / multicast-group id
+  bool executed = false;     // false: no kernel for the computation (no-op)
+};
+
+class SwitchDevice {
+ public:
+  /// Takes ownership of the compiled module plus its linearized kernels.
+  /// `stages_used` comes from the stage allocator and drives the latency
+  /// model; pass 0 for an ideal (zero-latency) device.
+  SwitchDevice(std::uint16_t device_id, std::unique_ptr<ir::Module> module,
+               std::vector<p4::KernelProgram> kernels, int stages_used);
+
+  /// A plain forwarding switch with no NetCL program.
+  explicit SwitchDevice(std::uint16_t device_id);
+
+  [[nodiscard]] std::uint16_t device_id() const { return device_id_; }
+  [[nodiscard]] int stages_used() const { return stages_used_; }
+  [[nodiscard]] double pipeline_latency_ns() const;
+  [[nodiscard]] const ir::Module* module() const { return module_.get(); }
+
+  /// The kernel specification for a computation id (nullptr if this device
+  /// hosts no kernel for it).
+  [[nodiscard]] const KernelSpec* spec_for(int computation) const;
+
+  /// Executes the kernel for `computation` over decoded argument values
+  /// (mutated in place: by-ref writes land here) under the given header.
+  ComputeOutcome execute(int computation, ArgValues& args, const NetclHeader& header);
+
+  // --- control plane (host runtime's managed-memory path) -----------------
+  /// Resolves `name[indices...]`, transparently following access-based
+  /// partitioning renames (cms[0][i] finds cms$0[i]).
+  bool managed_write(const std::string& name, const std::vector<std::uint64_t>& indices,
+                     std::uint64_t value);
+  bool managed_read(const std::string& name, const std::vector<std::uint64_t>& indices,
+                    std::uint64_t& out);
+  bool lookup_insert(const std::string& name, std::uint64_t key_lo, std::uint64_t key_hi,
+                     std::uint64_t value);
+  bool lookup_remove(const std::string& name, std::uint64_t key);
+
+  /// Unrestricted state access for tests and debugging (not part of the
+  /// NetCL API surface).
+  bool debug_read(const std::string& name, const std::vector<std::uint64_t>& indices,
+                  std::uint64_t& out) const;
+  void reset_state();
+
+  // --- statistics -----------------------------------------------------------
+  std::uint64_t packets_processed = 0;
+  std::uint64_t kernels_executed = 0;
+
+ private:
+  struct Resolved {
+    ir::GlobalVar* global = nullptr;
+    std::vector<std::uint64_t> indices;
+  };
+  /// Follows `name` or `name$<i0>` partition renames and duplication.
+  [[nodiscard]] Resolved resolve(const std::string& name,
+                                 const std::vector<std::uint64_t>& indices) const;
+
+  std::uint16_t device_id_;
+  std::unique_ptr<ir::Module> module_;
+  std::vector<p4::KernelProgram> kernels_;
+  std::unordered_map<int, const p4::KernelProgram*> by_computation_;
+  std::unique_ptr<RegisterFile> registers_;
+  std::unique_ptr<TableSet> tables_;
+  int stages_used_ = 0;
+  p4::LatencyModel latency_;
+  SplitMix64 rng_{0x5EEDBA5E};
+};
+
+}  // namespace netcl::sim

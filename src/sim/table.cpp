@@ -1,0 +1,60 @@
+#include "sim/table.hpp"
+
+#include <algorithm>
+
+namespace netcl::sim {
+
+LookupTable::LookupTable(const ir::GlobalVar& global)
+    : global_(&global), entries_(global.entries) {}
+
+MatchResult LookupTable::match(std::uint64_t key) const {
+  const std::uint64_t masked = global_->key_type.truncate(key);
+  for (const LookupEntry& entry : entries_) {
+    const bool matched = global_->lookup_kind == LookupKind::Range
+                             ? entry.key_lo <= masked && masked <= entry.key_hi
+                             : entry.key_lo == masked;
+    if (matched) return {true, global_->value_type.truncate(entry.value)};
+  }
+  return {false, 0};
+}
+
+bool LookupTable::insert(std::uint64_t key_lo, std::uint64_t key_hi, std::uint64_t value) {
+  if (!global_->is_managed) return false;
+  // Exact-match insert replaces an existing entry for the same key.
+  for (LookupEntry& entry : entries_) {
+    if (entry.key_lo == key_lo && entry.key_hi == key_hi) {
+      entry.value = value;
+      return true;
+    }
+  }
+  if (static_cast<std::int64_t>(entries_.size()) >= capacity()) return false;
+  entries_.push_back({key_lo, key_hi, value});
+  return true;
+}
+
+bool LookupTable::remove(std::uint64_t key_lo) {
+  if (!global_->is_managed) return false;
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const LookupEntry& e) { return e.key_lo == key_lo; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+TableSet::TableSet(const ir::Module& module) {
+  for (const auto& global : module.globals()) {
+    if (global->is_lookup) tables_.emplace(global.get(), LookupTable(*global));
+  }
+}
+
+LookupTable* TableSet::find(const ir::GlobalVar& global) {
+  const auto it = tables_.find(&global);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const LookupTable* TableSet::find(const ir::GlobalVar& global) const {
+  const auto it = tables_.find(&global);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+}  // namespace netcl::sim

@@ -1,0 +1,54 @@
+// Match-action table state backing _lookup_ globals in the simulator.
+//
+// Tables are initialized from their declaration's const entries. Managed
+// lookup tables additionally accept control-plane inserts/removes (the
+// paper's host-side `_managed_ _lookup_` modification path); non-managed
+// tables are immutable at runtime, exactly like data-plane P4 MATs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace netcl::sim {
+
+struct MatchResult {
+  bool hit = false;
+  std::uint64_t value = 0;
+};
+
+class LookupTable {
+ public:
+  explicit LookupTable(const ir::GlobalVar& global);
+
+  [[nodiscard]] MatchResult match(std::uint64_t key) const;
+
+  /// Control-plane mutation; fails (returns false) on non-managed tables
+  /// or when capacity is exhausted.
+  bool insert(std::uint64_t key_lo, std::uint64_t key_hi, std::uint64_t value);
+  bool remove(std::uint64_t key_lo);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::int64_t capacity() const { return global_->element_count(); }
+  [[nodiscard]] const ir::GlobalVar& global() const { return *global_; }
+
+ private:
+  const ir::GlobalVar* global_;
+  std::vector<LookupEntry> entries_;
+};
+
+class TableSet {
+ public:
+  explicit TableSet(const ir::Module& module);
+
+  [[nodiscard]] LookupTable* find(const ir::GlobalVar& global);
+  [[nodiscard]] const LookupTable* find(const ir::GlobalVar& global) const;
+
+ private:
+  std::unordered_map<const ir::GlobalVar*, LookupTable> tables_;
+};
+
+}  // namespace netcl::sim

@@ -1,0 +1,60 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace netcl {
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::render(const SourceBuffer* buffer) const {
+  std::ostringstream os;
+  if (buffer != nullptr && !buffer->name().empty()) os << buffer->name() << ":";
+  if (loc.valid()) os << loc.line << ":" << loc.column << ": ";
+  os << to_string(severity) << ": " << message;
+  if (buffer != nullptr && loc.valid()) {
+    const std::string_view line = buffer->line(loc.line);
+    if (!line.empty()) {
+      os << "\n  " << line << "\n  ";
+      for (std::uint32_t i = 1; i < loc.column; ++i) os << ' ';
+      os << '^';
+    }
+  }
+  return os.str();
+}
+
+void DiagnosticEngine::report(Severity severity, SourceLoc loc, std::string message) {
+  if (severity == Severity::Error) ++error_count_;
+  diagnostics_.push_back({severity, loc, std::move(message)});
+}
+
+bool DiagnosticEngine::contains_error(std::string_view needle) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::Error && d.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string DiagnosticEngine::render_all(const SourceBuffer* buffer) const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics_) os << d.render(buffer) << "\n";
+  return os.str();
+}
+
+void DiagnosticEngine::clear() {
+  diagnostics_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace netcl

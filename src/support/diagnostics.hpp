@@ -1,0 +1,61 @@
+// Diagnostic collection for the NetCL compiler.
+//
+// Compile errors are data, not exceptions: every frontend/IR/backend phase
+// reports into a DiagnosticEngine and callers test `has_errors()` between
+// phases. This mirrors how a real compiler driver sequences its pipeline.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/source.hpp"
+
+namespace netcl {
+
+enum class Severity { Note, Warning, Error };
+
+[[nodiscard]] std::string_view to_string(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string render(const SourceBuffer* buffer = nullptr) const;
+};
+
+class DiagnosticEngine {
+ public:
+  void report(Severity severity, SourceLoc loc, std::string message);
+
+  void error(SourceLoc loc, std::string message) {
+    report(Severity::Error, loc, std::move(message));
+  }
+  void warning(SourceLoc loc, std::string message) {
+    report(Severity::Warning, loc, std::move(message));
+  }
+  void note(SourceLoc loc, std::string message) {
+    report(Severity::Note, loc, std::move(message));
+  }
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] int error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  /// True if any error message contains `needle` (substring match).
+  /// Used heavily by tests asserting on specific rejection reasons.
+  [[nodiscard]] bool contains_error(std::string_view needle) const;
+
+  /// All diagnostics rendered one per line, with source snippets when a
+  /// buffer is provided.
+  [[nodiscard]] std::string render_all(const SourceBuffer* buffer = nullptr) const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  int error_count_ = 0;
+};
+
+}  // namespace netcl

@@ -1,0 +1,85 @@
+#include "support/hashes.hpp"
+
+#include <array>
+
+namespace netcl {
+namespace {
+
+constexpr std::array<std::uint16_t, 256> make_crc16_table() {
+  std::array<std::uint16_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint16_t crc = static_cast<std::uint16_t>(i);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) != 0 ? static_cast<std::uint16_t>((crc >> 1) ^ 0xA001) : static_cast<std::uint16_t>(crc >> 1);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) != 0 ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint16_t, 256> kCrc16Table = make_crc16_table();
+const std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace
+
+std::uint16_t crc16(std::span<const std::uint8_t> data) {
+  std::uint16_t crc = 0;
+  for (std::uint8_t byte : data) {
+    crc = static_cast<std::uint16_t>((crc >> 8) ^ kCrc16Table[(crc ^ byte) & 0xFF]);
+  }
+  return crc;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    crc = (crc >> 8) ^ kCrc32Table[(crc ^ byte) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint16_t xor16(std::span<const std::uint8_t> data) {
+  std::uint16_t acc = 0;
+  for (std::size_t i = 0; i + 1 < data.size(); i += 2) {
+    acc ^= static_cast<std::uint16_t>(data[i] | (data[i + 1] << 8));
+  }
+  if ((data.size() & 1) != 0) acc ^= data.back();
+  return acc;
+}
+
+namespace {
+std::array<std::uint8_t, 8> le_bytes(std::uint64_t value) {
+  std::array<std::uint8_t, 8> bytes{};
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  return bytes;
+}
+}  // namespace
+
+std::uint16_t crc16_u64(std::uint64_t value, unsigned byte_width) {
+  const auto bytes = le_bytes(value);
+  return crc16(std::span(bytes).first(byte_width));
+}
+
+std::uint32_t crc32_u64(std::uint64_t value, unsigned byte_width) {
+  const auto bytes = le_bytes(value);
+  return crc32(std::span(bytes).first(byte_width));
+}
+
+std::uint16_t xor16_u64(std::uint64_t value, unsigned byte_width) {
+  const auto bytes = le_bytes(value);
+  return xor16(std::span(bytes).first(byte_width));
+}
+
+}  // namespace netcl

@@ -1,0 +1,53 @@
+// Hash functions exposed as NetCL device-library intrinsics (ncl::crc16,
+// ncl::crc32, ncl::xor16, ncl::identity) and reused by the switch simulator
+// (SALU/hash-engine units) and the host runtime. Keeping one implementation
+// guarantees the compiler's constant folding, the simulator, and host-side
+// prediction all agree on hash values.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace netcl {
+
+/// CRC-16/ARC (poly 0x8005, reflected), the default Tofino CRC16.
+[[nodiscard]] std::uint16_t crc16(std::span<const std::uint8_t> data);
+
+/// CRC-32 (poly 0x04C11DB7, reflected), the default Tofino CRC32.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// XOR of consecutive 16-bit little-endian words (odd tail byte XORed in).
+[[nodiscard]] std::uint16_t xor16(std::span<const std::uint8_t> data);
+
+/// Convenience overloads hashing the little-endian bytes of one word, which
+/// is how scalar kernel arguments are fed to hash engines.
+[[nodiscard]] std::uint16_t crc16_u64(std::uint64_t value, unsigned byte_width = 8);
+[[nodiscard]] std::uint32_t crc32_u64(std::uint64_t value, unsigned byte_width = 8);
+[[nodiscard]] std::uint16_t xor16_u64(std::uint64_t value, unsigned byte_width = 8);
+
+/// Deterministic 64-bit mixer used wherever the library needs cheap
+/// pseudo-randomness (workload generators, loss injection). SplitMix64.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace netcl

@@ -1,0 +1,66 @@
+#include "support/source.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace netcl {
+
+SourceBuffer::SourceBuffer(std::string name, std::string text)
+    : name_(std::move(name)), text_(std::move(text)) {
+  line_offsets_.push_back(0);
+  for (std::size_t i = 0; i < text_.size(); ++i) {
+    if (text_[i] == '\n' && i + 1 < text_.size()) {
+      line_offsets_.push_back(i + 1);
+    }
+  }
+}
+
+std::string_view SourceBuffer::line(std::uint32_t line_no) const {
+  if (line_no == 0 || line_no > line_offsets_.size()) return {};
+  const std::size_t begin = line_offsets_[line_no - 1];
+  std::size_t end = text_.find('\n', begin);
+  if (end == std::string::npos) end = text_.size();
+  return std::string_view(text_).substr(begin, end - begin);
+}
+
+int count_loc(std::string_view text) {
+  int loc = 0;
+  bool in_block_comment = false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view raw = text.substr(pos, eol - pos);
+
+    // Strip comments from this line, tracking block-comment state.
+    std::string stripped;
+    stripped.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (in_block_comment) {
+        if (i + 1 < raw.size() && raw[i] == '*' && raw[i + 1] == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      if (i + 1 < raw.size() && raw[i] == '/' && raw[i + 1] == '/') break;
+      if (i + 1 < raw.size() && raw[i] == '/' && raw[i + 1] == '*') {
+        in_block_comment = true;
+        ++i;
+        continue;
+      }
+      stripped.push_back(raw[i]);
+    }
+
+    const bool has_code = std::any_of(stripped.begin(), stripped.end(), [](unsigned char c) {
+      return !std::isspace(c) && c != '{' && c != '}' && c != ';';
+    });
+    if (has_code) ++loc;
+
+    if (eol == text.size()) break;
+    pos = eol + 1;
+  }
+  return loc;
+}
+
+}  // namespace netcl

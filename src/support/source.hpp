@@ -1,0 +1,55 @@
+// Source buffers and locations for NetCL-C compilation.
+//
+// A SourceBuffer owns the text of one translation unit (a .ncl file or an
+// embedded string). SourceLoc is a lightweight (line, column) pair used by
+// diagnostics; it intentionally does not reference the buffer so that AST
+// nodes stay trivially copyable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netcl {
+
+/// A position inside a source buffer. Lines and columns are 1-based;
+/// line == 0 means "unknown location" (e.g. compiler-synthesized code).
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  friend bool operator==(SourceLoc, SourceLoc) = default;
+};
+
+/// Owns the text of one NetCL-C translation unit and provides line access
+/// for diagnostics rendering.
+class SourceBuffer {
+ public:
+  SourceBuffer() = default;
+  SourceBuffer(std::string name, std::string text);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::string_view text() const { return text_; }
+
+  /// Returns the text of a 1-based line without its trailing newline.
+  /// Returns an empty view for out-of-range lines.
+  [[nodiscard]] std::string_view line(std::uint32_t line_no) const;
+
+  [[nodiscard]] std::uint32_t line_count() const {
+    return static_cast<std::uint32_t>(line_offsets_.size());
+  }
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<std::size_t> line_offsets_;  // offset of each line start
+};
+
+/// Counts non-blank, non-comment lines the way the paper's Table III does:
+/// `//` line comments and `/* */` block comments are stripped first, then
+/// lines containing only whitespace or punctuation-free braces are dropped.
+[[nodiscard]] int count_loc(std::string_view text);
+
+}  // namespace netcl

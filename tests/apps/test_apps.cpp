@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "apps/agg.hpp"
+#include "apps/cache.hpp"
+#include "apps/calc.hpp"
+#include "apps/handwritten.hpp"
+#include "apps/paxos.hpp"
+#include "apps/sources.hpp"
+#include "driver/compiler.hpp"
+
+namespace netcl::apps {
+namespace {
+
+TEST(AppSources, AllCompileForTna) {
+  struct Case {
+    AppSource app;
+    int device;
+  };
+  const Case cases[] = {
+      {agg_source(), 1},
+      {cache_source(), 1},
+      {paxos_source(), kPaxosLeaderDevice},
+      {paxos_source(), kPaxosAcceptors[0]},
+      {paxos_source(), kPaxosLearnerDevice},
+      {calc_source(), 1},
+  };
+  for (const Case& c : cases) {
+    driver::CompileOptions options;
+    options.device_id = c.device;
+    options.defines = c.app.defines;
+    const driver::CompileResult result = driver::compile_netcl(c.app.source, options);
+    EXPECT_TRUE(result.ok) << c.app.name << " (device " << c.device << "):\n"
+                           << result.errors;
+    if (result.ok) {
+      EXPECT_LE(result.allocation.stages_used, 12)
+          << c.app.name << " must fit a Tofino pipe";
+    }
+  }
+}
+
+TEST(AppSources, AllCompileForV1Model) {
+  for (const AppSource& app : {agg_source(), cache_source(), calc_source()}) {
+    driver::CompileOptions options;
+    options.device_id = 1;
+    options.target = passes::Target::V1Model;
+    options.defines = app.defines;
+    const driver::CompileResult result = driver::compile_netcl(app.source, options);
+    EXPECT_TRUE(result.ok) << app.name << ":\n" << result.errors;
+  }
+}
+
+TEST(AppSources, NetclLocIsSmall) {
+  // Table III's headline: NetCL needs O(10) lines where P4 needs O(100).
+  EXPECT_LT(count_loc(agg_source().source), 60);
+  EXPECT_LT(count_loc(cache_source().source), 110);
+  EXPECT_LT(count_loc(paxos_source().source), 90);
+  EXPECT_LT(count_loc(calc_source().source), 30);
+}
+
+// --- AGG ----------------------------------------------------------------------
+
+TEST(Agg, TwoWorkersAggregateCorrectly) {
+  AggConfig config;
+  config.num_workers = 2;
+  config.chunks = 32;
+  config.slot_size = 8;
+  config.num_slots = 16;
+  const AggResult result = run_agg(config);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.correct);
+  EXPECT_GT(result.ate_per_sec_per_worker, 0.0);
+  EXPECT_EQ(result.retransmissions, 0u);
+}
+
+TEST(Agg, SixWorkers) {
+  AggConfig config;
+  config.num_workers = 6;
+  config.chunks = 24;
+  config.slot_size = 8;
+  const AggResult result = run_agg(config);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.correct);
+}
+
+TEST(Agg, PerWorkerThroughputFlatAcrossWorkers) {
+  // Fig 14 (left): adding workers does not degrade per-worker throughput.
+  double t2 = 0;
+  double t6 = 0;
+  {
+    AggConfig config;
+    config.num_workers = 2;
+    config.chunks = 64;
+    config.slot_size = 8;
+    t2 = run_agg(config).ate_per_sec_per_worker;
+  }
+  {
+    AggConfig config;
+    config.num_workers = 6;
+    config.chunks = 64;
+    config.slot_size = 8;
+    t6 = run_agg(config).ate_per_sec_per_worker;
+  }
+  ASSERT_GT(t2, 0);
+  ASSERT_GT(t6, 0);
+  EXPECT_GT(t6 / t2, 0.85);
+  EXPECT_LT(t6 / t2, 1.15);
+}
+
+TEST(Agg, SurvivesPacketLoss) {
+  AggConfig config;
+  config.num_workers = 2;
+  config.chunks = 24;
+  config.slot_size = 4;
+  config.loss = 0.05;
+  config.retransmit_ns = 100000.0;
+  const AggResult result = run_agg(config);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.correct);
+  EXPECT_GT(result.packets_lost, 0u);
+  EXPECT_GT(result.retransmissions, 0u);
+}
+
+// --- CACHE ---------------------------------------------------------------------
+
+TEST(Cache, HitsAreFasterThanMisses) {
+  CacheConfig config;
+  config.queries = 128;
+  config.cached_keys = 32;
+  config.total_keys = 64;
+  config.val_words = 8;
+  const CacheResult result = run_cache(config);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NEAR(result.hit_rate, 0.5, 0.15);
+  EXPECT_GT(result.mean_miss_response_ns, 2 * result.mean_hit_response_ns);
+  EXPECT_EQ(result.device_hits, static_cast<std::uint64_t>(128 * result.hit_rate));
+}
+
+TEST(Cache, AllHitAndAllMissExtremes) {
+  CacheConfig all_hit;
+  all_hit.queries = 64;
+  all_hit.cached_keys = 64;
+  all_hit.total_keys = 64;
+  all_hit.val_words = 8;
+  const CacheResult hit_result = run_cache(all_hit);
+  ASSERT_TRUE(hit_result.ok) << hit_result.error;
+  EXPECT_DOUBLE_EQ(hit_result.hit_rate, 1.0);
+
+  CacheConfig all_miss = all_hit;
+  all_miss.cached_keys = 0;
+  const CacheResult miss_result = run_cache(all_miss);
+  ASSERT_TRUE(miss_result.ok) << miss_result.error;
+  EXPECT_DOUBLE_EQ(miss_result.hit_rate, 0.0);
+  // Fig 14 (right) shape: all-miss response time is roughly 3x all-hit.
+  const double ratio = miss_result.mean_response_ns / hit_result.mean_response_ns;
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(Cache, HotKeysReportedOnce) {
+  CacheConfig config;
+  config.queries = 400;
+  config.cached_keys = 0;  // everything misses
+  config.total_keys = 2;   // two scorching keys
+  config.hot_threshold = 50;
+  config.val_words = 4;
+  const CacheResult result = run_cache(config);
+  ASSERT_TRUE(result.ok) << result.error;
+  // Each hot key passes the threshold once and is then suppressed by the
+  // bloom filter.
+  EXPECT_EQ(result.hot_reports, 2);
+}
+
+TEST(Cache, PutUpdatesAndDelInvalidates) {
+  // Drive the kernel directly for PUT/DEL semantics.
+  AppSource app = cache_source(16, 4);
+  driver::CompileOptions options;
+  options.device_id = 1;
+  options.defines = app.defines;
+  driver::CompileResult compiled = driver::compile_netcl(app.source, options);
+  ASSERT_TRUE(compiled.ok) << compiled.errors;
+  const KernelSpec spec = compiled.specs.at(1);
+  auto device = driver::make_device(std::move(compiled), 1);
+
+  // Controller installs key 7 at line 3.
+  ASSERT_TRUE(device->lookup_insert("KeyIndex", 7, 7, 3));
+  ASSERT_TRUE(device->lookup_insert("WordMask", 7, 7, 0xF));
+  for (int w = 0; w < 4; ++w) {
+    ASSERT_TRUE(
+        device->managed_write("Values", {static_cast<std::uint64_t>(w), 3}, 100 + w));
+  }
+  ASSERT_TRUE(device->managed_write("Valid", {3}, 1));
+
+  auto get = [&](std::uint64_t key) {
+    sim::ArgValues args = sim::make_args(spec);
+    args[0][0] = kGetReq;
+    args[1][0] = key;
+    const sim::ComputeOutcome outcome = device->execute(1, args, {});
+    return std::make_pair(outcome, args);
+  };
+
+  auto [outcome1, args1] = get(7);
+  EXPECT_EQ(outcome1.action, ActionKind::Reflect);
+  EXPECT_EQ(args1[2][0], 100u);
+  EXPECT_EQ(args1[3][0], 1u);  // hit
+
+  // PUT through the data plane: write-back updates the line in place.
+  sim::ArgValues put = sim::make_args(spec);
+  put[0][0] = kPutReq;
+  put[1][0] = 7;
+  for (int w = 0; w < 4; ++w) put[2][static_cast<std::size_t>(w)] = 200 + w;
+  EXPECT_EQ(device->execute(1, put, {}).action, ActionKind::Pass);
+
+  auto [outcome2, args2] = get(7);
+  EXPECT_EQ(outcome2.action, ActionKind::Reflect);
+  EXPECT_EQ(args2[2][0], 200u);
+
+  // DEL invalidates: the next GET misses (passes to the server).
+  sim::ArgValues del = sim::make_args(spec);
+  del[0][0] = kDelReq;
+  del[1][0] = 7;
+  EXPECT_EQ(device->execute(1, del, {}).action, ActionKind::Pass);
+  auto [outcome3, args3] = get(7);
+  EXPECT_EQ(outcome3.action, ActionKind::Pass);
+  EXPECT_EQ(args3[3][0], 0u);
+}
+
+// --- PAXOS ----------------------------------------------------------------------
+
+TEST(Paxos, DeliversAllInstancesExactlyOnce) {
+  PaxosConfig config;
+  config.requests = 32;
+  const PaxosResult result = run_paxos(config);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.delivered, 32);
+  EXPECT_EQ(result.duplicate_deliveries, 0);
+  EXPECT_TRUE(result.values_intact);
+  EXPECT_TRUE(result.instances_sequential);
+}
+
+TEST(Paxos, AllThreeRolesFitTofino) {
+  PaxosConfig config;
+  config.requests = 4;
+  const PaxosResult result = run_paxos(config);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_LE(result.leader_stages, 12);
+  EXPECT_LE(result.acceptor_stages, 12);
+  EXPECT_LE(result.learner_stages, 12);
+}
+
+TEST(Paxos, MajorityOfOneAlsoWorks) {
+  PaxosConfig config;
+  config.requests = 8;
+  config.num_acceptors = 1;
+  config.majority = 1;
+  const PaxosResult result = run_paxos(config);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.delivered, 8);
+  EXPECT_EQ(result.duplicate_deliveries, 0);
+}
+
+// --- CALC ----------------------------------------------------------------------
+
+TEST(Calc, AllOperationsCorrect) {
+  CalcConfig config;
+  config.operations = 64;
+  const CalcResult result = run_calc(config);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_GT(result.answered, 0);
+  EXPECT_EQ(result.answered, result.correct);
+  EXPECT_GT(result.dropped_unknown, 0);
+  EXPECT_EQ(result.answered + result.dropped_unknown, 64);
+}
+
+// --- handwritten baselines -------------------------------------------------------
+
+TEST(Handwritten, CacheBaselineSavesStages) {
+  AppSource app = cache_source();
+  driver::CompileOptions options;
+  options.device_id = 1;
+  options.defines = app.defines;
+  const driver::CompileResult compiled = driver::compile_netcl(app.source, options);
+  ASSERT_TRUE(compiled.ok) << compiled.errors;
+  const HandwrittenModel hand = handwritten_baseline("CACHE", compiled);
+  EXPECT_EQ(hand.stages,
+            compiled.allocation.stages_used - paper_reference().cache_extra_stages_generated);
+  EXPECT_LT(hand.latency_ns, p4::LatencyModel{}.worst_case_ns(compiled.allocation.stages_used));
+}
+
+TEST(Handwritten, AggGeneratedAvoidsTcam) {
+  AppSource app = agg_source(2, 16, 8);
+  driver::CompileOptions options;
+  options.device_id = 1;
+  options.defines = app.defines;
+  const driver::CompileResult compiled = driver::compile_netcl(app.source, options);
+  ASSERT_TRUE(compiled.ok) << compiled.errors;
+  EXPECT_EQ(compiled.allocation.total.tcam, 0);  // the paper's observation
+  const HandwrittenModel hand = handwritten_baseline("AGG", compiled);
+  EXPECT_GT(hand.total.tcam, 0);
+}
+
+TEST(Handwritten, PhvBaselineIsSmaller) {
+  AppSource app = calc_source();
+  driver::CompileOptions options;
+  options.device_id = 1;
+  options.defines = app.defines;
+  const driver::CompileResult compiled = driver::compile_netcl(app.source, options);
+  ASSERT_TRUE(compiled.ok) << compiled.errors;
+  const HandwrittenModel hand = handwritten_baseline("CALC", compiled);
+  const p4::StageLimits limits;
+  EXPECT_LT(hand.worst_phv_pct, compiled.phv.occupancy_pct(limits));
+}
+
+}  // namespace
+}  // namespace netcl::apps

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+
+namespace netcl {
+namespace {
+
+std::vector<Token> lex(const std::string& text, DiagnosticEngine& diags, DefineMap defines = {}) {
+  SourceBuffer buffer("test.ncl", text);
+  Lexer lexer(buffer, diags, std::move(defines));
+  return lexer.lex_all();
+}
+
+TEST(Lexer, Keywords) {
+  DiagnosticEngine diags;
+  const auto tokens = lex("_kernel _net_ _managed_ _lookup_ _at _spec if else for return", diags);
+  ASSERT_EQ(tokens.size(), 11u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::KwKernel);
+  EXPECT_EQ(tokens[1].kind, TokenKind::KwNet);
+  EXPECT_EQ(tokens[2].kind, TokenKind::KwManaged);
+  EXPECT_EQ(tokens[3].kind, TokenKind::KwLookup);
+  EXPECT_EQ(tokens[4].kind, TokenKind::KwAt);
+  EXPECT_EQ(tokens[5].kind, TokenKind::KwSpec);
+  EXPECT_EQ(tokens[6].kind, TokenKind::KwIf);
+  EXPECT_EQ(tokens[7].kind, TokenKind::KwElse);
+  EXPECT_EQ(tokens[8].kind, TokenKind::KwFor);
+  EXPECT_EQ(tokens[9].kind, TokenKind::KwReturn);
+  EXPECT_EQ(tokens[10].kind, TokenKind::End);
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(Lexer, IntegerLiterals) {
+  DiagnosticEngine diags;
+  const auto tokens = lex("42 0x2A 0b101010 7u 9UL", diags);
+  EXPECT_EQ(tokens[0].value, 42u);
+  EXPECT_EQ(tokens[1].value, 42u);
+  EXPECT_EQ(tokens[2].value, 42u);
+  EXPECT_EQ(tokens[3].value, 7u);
+  EXPECT_EQ(tokens[4].value, 9u);
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(Lexer, CharLiterals) {
+  DiagnosticEngine diags;
+  const auto tokens = lex(R"('a' '\n' '\0')", diags);
+  EXPECT_EQ(tokens[0].value, static_cast<std::uint64_t>('a'));
+  EXPECT_EQ(tokens[1].value, static_cast<std::uint64_t>('\n'));
+  EXPECT_EQ(tokens[2].value, 0u);
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(Lexer, MultiCharOperators) {
+  DiagnosticEngine diags;
+  const auto tokens = lex(":: << >> <= >= == != && || += <<= ++", diags);
+  EXPECT_EQ(tokens[0].kind, TokenKind::ColonColon);
+  EXPECT_EQ(tokens[1].kind, TokenKind::LessLess);
+  EXPECT_EQ(tokens[2].kind, TokenKind::GreaterGreater);
+  EXPECT_EQ(tokens[3].kind, TokenKind::LessEqual);
+  EXPECT_EQ(tokens[4].kind, TokenKind::GreaterEqual);
+  EXPECT_EQ(tokens[5].kind, TokenKind::EqualEqual);
+  EXPECT_EQ(tokens[6].kind, TokenKind::BangEqual);
+  EXPECT_EQ(tokens[7].kind, TokenKind::AmpAmp);
+  EXPECT_EQ(tokens[8].kind, TokenKind::PipePipe);
+  EXPECT_EQ(tokens[9].kind, TokenKind::PlusEqual);
+  EXPECT_EQ(tokens[10].kind, TokenKind::LessLessEqual);
+  EXPECT_EQ(tokens[11].kind, TokenKind::PlusPlus);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  DiagnosticEngine diags;
+  const auto tokens = lex("a // comment\nb /* multi\nline */ c", diags);
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(Lexer, TracksLocations) {
+  DiagnosticEngine diags;
+  const auto tokens = lex("a\n  b", diags);
+  EXPECT_EQ(tokens[0].loc.line, 1u);
+  EXPECT_EQ(tokens[0].loc.column, 1u);
+  EXPECT_EQ(tokens[1].loc.line, 2u);
+  EXPECT_EQ(tokens[1].loc.column, 3u);
+}
+
+TEST(Lexer, DefineSubstitution) {
+  DiagnosticEngine diags;
+  const auto tokens = lex("#define SLOT_SIZE 32\nSLOT_SIZE", diags);
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::IntLiteral);
+  EXPECT_EQ(tokens[0].value, 32u);
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(Lexer, ExternalDefines) {
+  DiagnosticEngine diags;
+  const auto tokens = lex("N", diags, {{"N", 8}});
+  EXPECT_EQ(tokens[0].kind, TokenKind::IntLiteral);
+  EXPECT_EQ(tokens[0].value, 8u);
+}
+
+TEST(Lexer, UnsupportedDirectiveErrors) {
+  DiagnosticEngine diags;
+  (void)lex("#include <x>\nint", diags);
+  EXPECT_TRUE(diags.contains_error("unsupported preprocessor directive"));
+}
+
+TEST(Lexer, UnexpectedCharacterErrors) {
+  DiagnosticEngine diags;
+  (void)lex("a @ b", diags);
+  EXPECT_TRUE(diags.contains_error("unexpected character"));
+}
+
+TEST(Lexer, UnterminatedBlockComment) {
+  DiagnosticEngine diags;
+  (void)lex("a /* never closed", diags);
+  EXPECT_TRUE(diags.contains_error("unterminated block comment"));
+}
+
+}  // namespace
+}  // namespace netcl

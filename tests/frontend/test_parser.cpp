@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+
+namespace netcl {
+namespace {
+
+Program parse(const std::string& text, DiagnosticEngine& diags, DefineMap defines = {}) {
+  SourceBuffer buffer("test.ncl", text);
+  return parse_netcl(buffer, diags, std::move(defines));
+}
+
+// The paper's Figure 4: the complete in-network cache device code.
+constexpr const char* kFigure4 = R"(
+#define CMS_HASHES 3
+#define THRESH 128
+#define GET_REQ 1
+
+_managed_ unsigned cms[CMS_HASHES][65536];
+
+_net_ void sketch(unsigned k, unsigned &hot) {
+  unsigned c[CMS_HASHES];
+  c[0] = ncl::atomic_sadd_new(&cms[0][ncl::xor16(k)], 1);
+  c[1] = ncl::atomic_sadd_new(&cms[1][ncl::crc32<16>(k)], 1);
+  c[2] = ncl::atomic_sadd_new(&cms[2][ncl::crc16(k)], 1);
+  for (auto i = 1; i < CMS_HASHES; ++i)
+    if (c[i] < c[0]) c[0] = c[i];
+  hot = c[0] > THRESH ? c[0] : 0;
+}
+
+_net_ _lookup_ ncl::kv<unsigned, unsigned> cache[] = {{1,42}, {2,42},
+                                                      {3,42}, {4,42}};
+
+_kernel(1) _at(1) void query(char op, unsigned k, unsigned &v,
+                             char &hit, unsigned &hot) {
+  if (op == GET_REQ) {
+    hit = ncl::lookup(cache, k, v);
+    return hit ? ncl::reflect() : sketch(k, hot);
+  }
+}
+)";
+
+TEST(Parser, Figure4Parses) {
+  DiagnosticEngine diags;
+  const Program program = parse(kFigure4, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  ASSERT_EQ(program.functions.size(), 2u);
+  ASSERT_EQ(program.globals.size(), 2u);
+
+  const FunctionDecl* sketch = program.find_function("sketch");
+  ASSERT_NE(sketch, nullptr);
+  EXPECT_FALSE(sketch->is_kernel);
+  ASSERT_EQ(sketch->params.size(), 2u);
+  EXPECT_FALSE(sketch->params[0].by_ref);
+  EXPECT_TRUE(sketch->params[1].by_ref);
+
+  const FunctionDecl* query = program.find_function("query");
+  ASSERT_NE(query, nullptr);
+  EXPECT_TRUE(query->is_kernel);
+  EXPECT_EQ(query->computation, 1);
+  ASSERT_EQ(query->locations.size(), 1u);
+  EXPECT_EQ(query->locations[0], 1);
+  EXPECT_EQ(query->params.size(), 5u);
+
+  const GlobalDecl* cms = program.find_global("cms");
+  ASSERT_NE(cms, nullptr);
+  EXPECT_TRUE(cms->is_managed);
+  ASSERT_EQ(cms->dims.size(), 2u);
+  EXPECT_EQ(cms->dims[0], 3);
+  EXPECT_EQ(cms->dims[1], 65536);
+
+  const GlobalDecl* cache = program.find_global("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_TRUE(cache->is_lookup);
+  EXPECT_EQ(cache->lookup_kind, LookupKind::Exact);
+  ASSERT_EQ(cache->entries.size(), 4u);
+  EXPECT_EQ(cache->entries[0].key_lo, 1u);
+  EXPECT_EQ(cache->entries[0].value, 42u);
+  EXPECT_EQ(cache->dims[0], 4);  // sized from the initializer
+}
+
+TEST(Parser, KernelSpecsFromDeclarators) {
+  DiagnosticEngine diags;
+  const Program program = parse(R"(
+    _kernel(1) void a(int x[3]) {}
+    _kernel(2) void b(int x[4]) {}
+    _kernel(3) void c(int _spec(4) *x) {}
+    _kernel(4) void d(int x, int y[2], int *z) {}
+  )",
+                                diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  EXPECT_EQ(program.find_function("a")->params[0].spec, 3);
+  EXPECT_EQ(program.find_function("b")->params[0].spec, 4);
+  EXPECT_EQ(program.find_function("c")->params[0].spec, 4);
+  const FunctionDecl* d = program.find_function("d");
+  EXPECT_EQ(d->params[0].spec, 1);
+  EXPECT_EQ(d->params[1].spec, 2);
+  EXPECT_EQ(d->params[2].spec, 1);
+  EXPECT_TRUE(d->params[2].is_pointer);
+}
+
+TEST(Parser, MultiLocationAt) {
+  DiagnosticEngine diags;
+  const Program program = parse("_net_ _at(1,2,7) int m[42];", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  const GlobalDecl* m = program.find_global("m");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->locations, (std::vector<std::uint16_t>{1, 2, 7}));
+}
+
+TEST(Parser, RangeLookupInitializer) {
+  DiagnosticEngine diags;
+  const Program program =
+      parse("_net_ _lookup_ ncl::rv<int,int> b[] = { {{1,10},1}, {{11,20},2} };", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  const GlobalDecl* b = program.find_global("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->lookup_kind, LookupKind::Range);
+  ASSERT_EQ(b->entries.size(), 2u);
+  EXPECT_EQ(b->entries[1].key_lo, 11u);
+  EXPECT_EQ(b->entries[1].key_hi, 20u);
+  EXPECT_EQ(b->entries[1].value, 2u);
+}
+
+TEST(Parser, SetLookupInitializer) {
+  DiagnosticEngine diags;
+  const Program program = parse("_net_ _lookup_ unsigned a[] = {1,2,3};", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  const GlobalDecl* a = program.find_global("a");
+  EXPECT_EQ(a->lookup_kind, LookupKind::Set);
+  EXPECT_EQ(a->entries.size(), 3u);
+}
+
+TEST(Parser, CommaSeparatedGlobals) {
+  DiagnosticEngine diags;
+  const Program program = parse("_net_ int m1[42], m2[42];", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  EXPECT_NE(program.find_global("m1"), nullptr);
+  EXPECT_NE(program.find_global("m2"), nullptr);
+}
+
+TEST(Parser, GotoRejected) {
+  DiagnosticEngine diags;
+  (void)parse("_kernel(1) void k(int x) { goto out; }", diags);
+  EXPECT_TRUE(diags.contains_error("goto is not allowed"));
+}
+
+TEST(Parser, WhileRejected) {
+  DiagnosticEngine diags;
+  (void)parse("_kernel(1) void k(int x) { while (x) x = 1; }", diags);
+  EXPECT_TRUE(diags.contains_error("while loops are not supported"));
+}
+
+TEST(Parser, PointerDereferenceRejected) {
+  DiagnosticEngine diags;
+  (void)parse("_kernel(1) void k(int *x) { int y = *x; }", diags);
+  EXPECT_TRUE(diags.contains_error("pointer dereference is not allowed"));
+}
+
+TEST(Parser, FunctionNeedsKernelOrNet) {
+  DiagnosticEngine diags;
+  (void)parse("void f(int x) {}", diags);
+  EXPECT_TRUE(diags.contains_error("must be declared _kernel(c) or _net_"));
+}
+
+TEST(Parser, GlobalNeedsNetOrManaged) {
+  DiagnosticEngine diags;
+  (void)parse("int m[4];", diags);
+  EXPECT_TRUE(diags.contains_error("must be _net_ or _managed_"));
+}
+
+TEST(Parser, NonLookupInitializerRejected) {
+  DiagnosticEngine diags;
+  (void)parse("_net_ int m[4] = {1,2,3,4};", diags);
+  EXPECT_TRUE(diags.contains_error("zero-initialized"));
+}
+
+TEST(Parser, TernaryPrecedence) {
+  DiagnosticEngine diags;
+  const Program program =
+      parse("_kernel(1) void k(unsigned x, unsigned &y) { y = x > 2 ? x + 1 : 0; }", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  const auto& body = static_cast<const BlockStmt&>(*program.functions[0]->body);
+  ASSERT_EQ(body.body.size(), 1u);
+  const auto& assign = static_cast<const AssignStmt&>(*body.body[0]);
+  EXPECT_EQ(assign.value->kind, ExprKind::Ternary);
+}
+
+TEST(Parser, ForLoopStructure) {
+  DiagnosticEngine diags;
+  const Program program =
+      parse("_kernel(1) void k(int n) { for (auto i = 0; i < 4; ++i) { n = n + i; } }", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  const auto& body = static_cast<const BlockStmt&>(*program.functions[0]->body);
+  const auto& loop = static_cast<const ForStmt&>(*body.body[0]);
+  EXPECT_NE(loop.init, nullptr);
+  EXPECT_NE(loop.cond, nullptr);
+  EXPECT_NE(loop.step, nullptr);
+  EXPECT_NE(loop.body, nullptr);
+}
+
+TEST(Parser, BuiltinAccess) {
+  DiagnosticEngine diags;
+  const Program program =
+      parse("_kernel(1) void k(unsigned &x) { x = device.id; x = msg.src; }", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  const auto& body = static_cast<const BlockStmt&>(*program.functions[0]->body);
+  const auto& assign = static_cast<const AssignStmt&>(*body.body[0]);
+  EXPECT_EQ(assign.value->kind, ExprKind::Builtin);
+}
+
+TEST(Parser, CompoundAssignAndIncrement) {
+  DiagnosticEngine diags;
+  const Program program = parse(R"(
+    _kernel(1) void k(unsigned &x) {
+      x += 2;
+      x <<= 1;
+      x++;
+      --x;
+    }
+  )",
+                                diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  const auto& body = static_cast<const BlockStmt&>(*program.functions[0]->body);
+  ASSERT_EQ(body.body.size(), 4u);
+  for (const auto& stmt : body.body) {
+    ASSERT_EQ(stmt->kind, StmtKind::Assign);
+    EXPECT_TRUE(static_cast<const AssignStmt&>(*stmt).compound);
+  }
+}
+
+TEST(Parser, RecoversAfterBadDeclaration) {
+  DiagnosticEngine diags;
+  const Program program = parse(R"(
+    _net_ frobnicate m[4];
+    _net_ int ok[4];
+  )",
+                                diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(program.find_global("ok"), nullptr);
+}
+
+}  // namespace
+}  // namespace netcl

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include "frontend/sema.hpp"
+
+namespace netcl {
+namespace {
+
+Program analyze(const std::string& text, DiagnosticEngine& diags, DefineMap defines = {}) {
+  SourceBuffer buffer("test.ncl", text);
+  return analyze_netcl(buffer, diags, std::move(defines));
+}
+
+TEST(Sema, Figure4Passes) {
+  DiagnosticEngine diags;
+  (void)analyze(R"(
+#define CMS_HASHES 3
+#define THRESH 128
+#define GET_REQ 1
+_managed_ unsigned cms[CMS_HASHES][65536];
+_net_ void sketch(unsigned k, unsigned &hot) {
+  unsigned c[CMS_HASHES];
+  c[0] = ncl::atomic_sadd_new(&cms[0][ncl::xor16(k)], 1);
+  c[1] = ncl::atomic_sadd_new(&cms[1][ncl::crc32<16>(k)], 1);
+  c[2] = ncl::atomic_sadd_new(&cms[2][ncl::crc16(k)], 1);
+  for (auto i = 1; i < CMS_HASHES; ++i)
+    if (c[i] < c[0]) c[0] = c[i];
+  hot = c[0] > THRESH ? c[0] : 0;
+}
+_net_ _lookup_ ncl::kv<unsigned, unsigned> cache[] = {{1,42},{2,42},{3,42},{4,42}};
+_kernel(1) _at(1) void query(char op, unsigned k, unsigned &v, char &hit, unsigned &hot) {
+  if (op == GET_REQ) {
+    hit = ncl::lookup(cache, k, v);
+    return hit ? ncl::reflect() : sketch(k, hot);
+  }
+}
+)",
+                diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+}
+
+// Paper §V-C placement examples.
+TEST(Sema, PlacementValidityEq1) {
+  DiagnosticEngine diags;
+  (void)analyze(R"(
+    _net_ _at(1,2) int m[42];
+    _kernel(1) _at(1,2) void a(int x) { m[0] = 1; }
+    _kernel(1) void b(int x) {}
+  )",
+                diags);
+  // b is invalid: computation 1 has multiple kernels so all must be placed.
+  EXPECT_TRUE(diags.contains_error("must be explicitly placed"));
+}
+
+TEST(Sema, PlacementOverlapRejected) {
+  DiagnosticEngine diags;
+  (void)analyze(R"(
+    _kernel(1) _at(1,2) void a(int x) {}
+    _kernel(1) _at(2,3) void b(int x) {}
+  )",
+                diags);
+  EXPECT_TRUE(diags.contains_error("both placed at device 2"));
+}
+
+TEST(Sema, DisjointPlacementAccepted) {
+  DiagnosticEngine diags;
+  (void)analyze(R"(
+    _kernel(1) _at(1) void a(int x) {}
+    _kernel(1) _at(2,3) void b(int x) {}
+  )",
+                diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+}
+
+TEST(Sema, ReferenceValidityEq2) {
+  DiagnosticEngine diags;
+  (void)analyze(R"(
+    _net_ _at(1,2) int m[42];
+    _kernel(2) _at(3) void c(int x) { m[0] = 42; }
+  )",
+                diags);
+  EXPECT_TRUE(diags.contains_error("not placed at device 3"));
+}
+
+TEST(Sema, LocationlessMemoryUsableAnywhere) {
+  DiagnosticEngine diags;
+  (void)analyze(R"(
+    _net_ int m[42];
+    _kernel(1) _at(7) void k(int x) { m[0] = x; }
+  )",
+                diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+}
+
+TEST(Sema, LocationlessKernelCannotUsePlacedMemory) {
+  DiagnosticEngine diags;
+  (void)analyze(R"(
+    _net_ _at(1) int m[42];
+    _kernel(1) void k(int x) { m[0] = x; }
+  )",
+                diags);
+  EXPECT_TRUE(diags.contains_error("location-less and may be compiled anywhere"));
+}
+
+TEST(Sema, MismatchedKernelSpecsRejected) {
+  DiagnosticEngine diags;
+  (void)analyze(R"(
+    _kernel(1) _at(1) void a(int x[3]) {}
+    _kernel(1) _at(2) void b(int x[4]) {}
+  )",
+                diags);
+  EXPECT_TRUE(diags.contains_error("specification"));
+}
+
+TEST(Sema, MatchingSpecsViaSpecAttribute) {
+  DiagnosticEngine diags;
+  (void)analyze(R"(
+    _kernel(1) _at(1) void b(int x[4]) {}
+    _kernel(1) _at(2) void c(int _spec(4) *x) {}
+  )",
+                diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+}
+
+TEST(Sema, RecursionRejected) {
+  DiagnosticEngine diags;
+  (void)analyze(R"(
+    _net_ void f(unsigned x) { f(x); }
+    _kernel(1) void k(unsigned x) { f(x); }
+  )",
+                diags);
+  EXPECT_TRUE(diags.contains_error("recursion"));
+}
+
+TEST(Sema, MutualRecursionRejected) {
+  // Mutual recursion requires forward references, which NetCL-C does not
+  // have; a self-loop through the only visible name still triggers.
+  DiagnosticEngine diags;
+  (void)analyze("_net_ void g(unsigned x) { g(x); }", diags);
+  EXPECT_TRUE(diags.contains_error("recursion"));
+}
+
+TEST(Sema, ActionOutsideReturnRejected) {
+  DiagnosticEngine diags;
+  (void)analyze("_kernel(1) void k(int x) { ncl::drop(); }", diags);
+  EXPECT_TRUE(diags.contains_error("actions may only appear in return statements"));
+}
+
+TEST(Sema, ActionInNetFunctionRejected) {
+  DiagnosticEngine diags;
+  (void)analyze("_net_ void f(int x) { return ncl::drop(); }", diags);
+  EXPECT_TRUE(diags.contains_error("actions may only be used in kernels"));
+}
+
+TEST(Sema, KernelReturnValueMustBeAction) {
+  DiagnosticEngine diags;
+  (void)analyze("_kernel(1) void k(int x) { return x; }", diags);
+  EXPECT_TRUE(diags.contains_error("must exit with an action"));
+}
+
+TEST(Sema, LookupMemoryNotWritableFromDevice) {
+  DiagnosticEngine diags;
+  (void)analyze(R"(
+    _net_ _lookup_ ncl::kv<int,int> t[] = {{1,2}};
+    _kernel(1) void k(int x) { t[0] = 3; }
+  )",
+                diags);
+  EXPECT_TRUE(diags.contains_error("lookup memory cannot be written"));
+}
+
+TEST(Sema, LookupRequiresLookupArray) {
+  DiagnosticEngine diags;
+  (void)analyze(R"(
+    _net_ int t[4];
+    _kernel(1) void k(int x, char &hit) { hit = ncl::lookup(t, x); }
+  )",
+                diags);
+  EXPECT_TRUE(diags.contains_error("requires a _lookup_ array"));
+}
+
+TEST(Sema, AtomicRequiresGlobal) {
+  DiagnosticEngine diags;
+  (void)analyze("_kernel(1) void k(int x) { int y = ncl::atomic_add(&x, 1); }", diags);
+  EXPECT_TRUE(diags.contains_error("atomic operations require a global memory operand"));
+}
+
+TEST(Sema, AtomicOnLookupRejected) {
+  DiagnosticEngine diags;
+  (void)analyze(R"(
+    _net_ _lookup_ int t[] = {1,2};
+    _kernel(1) void k(int x) { int y = ncl::atomic_add(&t[0], 1); }
+  )",
+                diags);
+  EXPECT_TRUE(diags.contains_error("cannot target _lookup_ memory"));
+}
+
+TEST(Sema, UndeclaredIdentifier) {
+  DiagnosticEngine diags;
+  (void)analyze("_kernel(1) void k(int x) { x = nope; }", diags);
+  EXPECT_TRUE(diags.contains_error("undeclared identifier 'nope'"));
+}
+
+TEST(Sema, UnknownDeviceFunction) {
+  DiagnosticEngine diags;
+  (void)analyze("_kernel(1) void k(int x) { x = ncl::frobnicate(x); }", diags);
+  EXPECT_TRUE(diags.contains_error("unknown function"));
+}
+
+TEST(Sema, KernelsCannotBeCalled) {
+  DiagnosticEngine diags;
+  (void)analyze(R"(
+    _kernel(1) _at(1) void a(int x) {}
+    _kernel(2) _at(1) void b(int x) { a(x); }
+  )",
+                diags);
+  EXPECT_TRUE(diags.contains_error("kernels cannot be called directly"));
+}
+
+TEST(Sema, ScalarArgWithSpecRejected) {
+  DiagnosticEngine diags;
+  (void)analyze("_kernel(1) void k(int _spec(4) x) {}", diags);
+  EXPECT_TRUE(diags.contains_error("scalar kernel arguments always have a specification of 1"));
+}
+
+TEST(Sema, AutoRequiresInitializer) {
+  DiagnosticEngine diags;
+  (void)analyze("_kernel(1) void k(int x) { auto y; }", diags);
+  EXPECT_TRUE(diags.contains_error("requires an initializer"));
+}
+
+TEST(Sema, DuplicateLocalRejected) {
+  DiagnosticEngine diags;
+  (void)analyze("_kernel(1) void k(int x) { int y = 1; int y = 2; }", diags);
+  EXPECT_TRUE(diags.contains_error("redeclaration of 'y'"));
+}
+
+TEST(Sema, ShadowingInNestedScopeAllowed) {
+  DiagnosticEngine diags;
+  (void)analyze("_kernel(1) void k(int x) { int y = 1; if (x) { int y = 2; y = 3; } }", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+}
+
+TEST(Sema, DeviceFnResolution) {
+  std::string target;
+  auto info = resolve_device_fn("ncl::atomic_cond_add_new", &target);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->op, DeviceOp::AtomicRMW);
+  EXPECT_EQ(info->atomic_op, AtomicOpKind::Add);
+  EXPECT_TRUE(info->atomic_cond);
+  EXPECT_TRUE(info->atomic_new);
+
+  info = resolve_device_fn("lookup", &target);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->op, DeviceOp::Lookup);
+
+  info = resolve_device_fn("ncl::tna::crc64", &target);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(target, "tna");
+
+  info = resolve_device_fn("ncl::v1::csum16r", &target);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(target, "v1");
+
+  EXPECT_FALSE(resolve_device_fn("ncl::bogus", &target).has_value());
+  EXPECT_FALSE(resolve_device_fn("ncl::atomic_bogus", &target).has_value());
+}
+
+TEST(Sema, KernelSpecLayout) {
+  DiagnosticEngine diags;
+  const Program program = analyze(
+      "_kernel(4) void d(int x, int y[2], int *z) {}", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  const KernelSpec spec = make_kernel_spec(*program.find_function("d"));
+  EXPECT_EQ(spec.to_string(), "[1,2,1][i32,i32,i32]");
+  EXPECT_EQ(spec.byte_size(), 16);
+}
+
+// Figure 7: the full SwitchML-style AllReduce kernel.
+TEST(Sema, Figure7AllReducePasses) {
+  DiagnosticEngine diags;
+  (void)analyze(R"(
+#define NUM_SLOTS 2048
+#define SLOT_SIZE 4
+#define NUM_WORKERS 8
+_net_ uint16_t Bitmap[2][NUM_SLOTS];
+_net_ uint32_t Agg[SLOT_SIZE][NUM_SLOTS * 2];
+_net_ uint8_t Count[NUM_SLOTS * 2];
+
+_kernel(1) void allreduce(uint8_t ver, uint16_t bmp_idx,
+                          uint16_t agg_idx, uint16_t mask,
+                          uint32_t _spec(SLOT_SIZE) *v) {
+  uint16_t bitmap;
+  if (ver == 0) {
+    bitmap = ncl::atomic_or(&Bitmap[0][bmp_idx], mask);
+    ncl::atomic_and(&Bitmap[1][bmp_idx], ~mask);
+  } else {
+    ncl::atomic_and(&Bitmap[0][bmp_idx], ~mask);
+    bitmap = ncl::atomic_or(&Bitmap[1][bmp_idx], mask);
+  }
+
+  if (bitmap == 0) {
+    for (auto i = 0; i < SLOT_SIZE; ++i)
+      Agg[i][agg_idx] = v[i];
+    Count[agg_idx] = NUM_WORKERS - 1;
+  } else {
+    auto seen = bitmap & mask;
+    for (auto i = 0; i < SLOT_SIZE; ++i)
+      v[i] = ncl::atomic_cond_add_new(Agg[i][agg_idx], !seen, v[i]);
+
+    auto cnt = ncl::atomic_cond_dec(&Count[agg_idx], !seen);
+    if (cnt == 0)
+      return ncl::reflect();
+    if (cnt == 1)
+      return ncl::multicast(42);
+  }
+  return ncl::drop();
+}
+)",
+                diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+}
+
+// Expression arithmetic with NUM_SLOTS * 2 in a dimension needs constant
+// folding of dimension expressions, which the grammar restricts to literal
+// products; verify the multiply parse path.
+TEST(Sema, CommonTypePromotions) {
+  EXPECT_EQ(common_type(kU8, kU8).bits, 32);     // both promote to int
+  EXPECT_TRUE(common_type(kU8, kU8).is_signed);  // int
+  EXPECT_EQ(common_type(kU32, kI32).bits, 32);
+  EXPECT_FALSE(common_type(kU32, kI32).is_signed);
+  EXPECT_EQ(common_type(kU64, kI32).bits, 64);
+  EXPECT_FALSE(common_type(kU64, kI32).is_signed);
+}
+
+}  // namespace
+}  // namespace netcl

@@ -1,0 +1,42 @@
+// Shared helpers for IR-level tests: front-end + lowering in one call.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "frontend/sema.hpp"
+#include "ir/lower_ast.hpp"
+
+namespace netcl::ir::test {
+
+struct Lowered {
+  netcl::Program program;
+  std::unique_ptr<Module> module;
+  DiagnosticEngine diags;
+};
+
+/// Parses, analyzes, and lowers `source` for `device_id`. Fails the current
+/// test on unexpected frontend errors unless `expect_errors` is set.
+inline std::unique_ptr<Lowered> lower(const std::string& source, int device_id = 1,
+                                      bool expect_errors = false, DefineMap defines = {}) {
+  auto result = std::make_unique<Lowered>();
+  SourceBuffer buffer("test.ncl", source);
+  result->program = analyze_netcl(buffer, result->diags, std::move(defines));
+  if (result->diags.has_errors()) {
+    if (!expect_errors) {
+      ADD_FAILURE() << "frontend errors:\n" << result->diags.render_all(&buffer);
+    }
+    return result;
+  }
+  LowerOptions options;
+  options.device_id = device_id;
+  result->module = lower_program(result->program, options, result->diags);
+  if (result->diags.has_errors() && !expect_errors) {
+    ADD_FAILURE() << "lowering errors:\n" << result->diags.render_all(&buffer);
+  }
+  return result;
+}
+
+}  // namespace netcl::ir::test

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "ir/dominators.hpp"
+#include "ir_test_util.hpp"
+
+namespace netcl::ir {
+namespace {
+
+using test::lower;
+
+TEST(Dominators, DiamondShape) {
+  auto r = lower(R"(
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      unsigned t;
+      if (x > 10) { t = 1; } else { t = 2; }
+      y = t;
+    }
+  )");
+  Function* fn = r->module->find_function("k");
+  fn->recompute_preds();
+  DominatorTree dom(*fn);
+
+  const auto& blocks = fn->blocks();
+  ASSERT_EQ(blocks.size(), 4u);
+  BasicBlock* entry = fn->entry();
+  BasicBlock* then_block = entry->successors()[0];
+  BasicBlock* else_block = entry->successors()[1];
+  BasicBlock* merge = then_block->successors()[0];
+
+  EXPECT_EQ(dom.idom(entry), nullptr);
+  EXPECT_EQ(dom.idom(then_block), entry);
+  EXPECT_EQ(dom.idom(else_block), entry);
+  EXPECT_EQ(dom.idom(merge), entry);
+
+  EXPECT_TRUE(dom.dominates(entry, merge));
+  EXPECT_TRUE(dom.dominates(entry, entry));
+  EXPECT_FALSE(dom.dominates(then_block, merge));
+  EXPECT_FALSE(dom.dominates(then_block, else_block));
+
+  EXPECT_EQ(dom.common_dominator(then_block, else_block), entry);
+  EXPECT_EQ(dom.common_dominator(then_block, merge), entry);
+  EXPECT_EQ(dom.common_dominator(merge, merge), merge);
+}
+
+TEST(Dominators, InstructionLevel) {
+  auto r = lower("_kernel(1) void k(unsigned x, unsigned &y) { y = x + 1; y = y + 2; }");
+  Function* fn = r->module->find_function("k");
+  fn->recompute_preds();
+  DominatorTree dom(*fn);
+
+  std::vector<Instruction*> bins;
+  for (const auto& inst : fn->entry()->instructions()) {
+    if (inst->op() == Opcode::Bin) bins.push_back(inst.get());
+  }
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_TRUE(dom.dominates(bins[0], bins[1]));
+  EXPECT_FALSE(dom.dominates(bins[1], bins[0]));
+}
+
+TEST(Dominators, NestedIf) {
+  auto r = lower(R"(
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      unsigned t = 0;
+      if (x > 10) {
+        if (x > 20) { t = 1; }
+        else { t = 2; }
+      }
+      y = t;
+    }
+  )");
+  Function* fn = r->module->find_function("k");
+  fn->recompute_preds();
+  DominatorTree dom(*fn);
+  BasicBlock* entry = fn->entry();
+  BasicBlock* outer_then = entry->successors()[0];
+  for (const auto& block : fn->blocks()) {
+    EXPECT_TRUE(dom.dominates(entry, block.get()));
+  }
+  // The inner blocks are dominated by the outer then-block.
+  for (BasicBlock* inner : outer_then->successors()) {
+    EXPECT_TRUE(dom.dominates(outer_then, inner));
+    EXPECT_FALSE(dom.dominates(inner, outer_then));
+  }
+}
+
+}  // namespace
+}  // namespace netcl::ir

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "ir_test_util.hpp"
+
+namespace netcl::ir {
+namespace {
+
+using test::lower;
+
+int count_ops(const Function& fn, Opcode op) {
+  int count = 0;
+  for (const auto& block : fn.blocks()) {
+    for (const auto& inst : block->instructions()) {
+      if (inst->op() == op) ++count;
+    }
+  }
+  return count;
+}
+
+TEST(Lower, SimpleKernel) {
+  auto r = lower("_kernel(1) void k(unsigned x, unsigned &y) { y = x + 1; }");
+  ASSERT_NE(r->module, nullptr);
+  Function* fn = r->module->find_function("k");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_TRUE(fn->is_kernel());
+  EXPECT_EQ(fn->computation(), 1);
+  ASSERT_EQ(fn->arguments().size(), 2u);
+  EXPECT_TRUE(verify(*fn).empty()) << print(*fn);
+  // y is by-ref and modified: expect a StoreMsg before the implicit pass.
+  EXPECT_EQ(count_ops(*fn, Opcode::StoreMsg), 1);
+  EXPECT_EQ(count_ops(*fn, Opcode::RetAction), 1);
+}
+
+TEST(Lower, UnmodifiedByRefArgNotStored) {
+  auto r = lower("_kernel(1) void k(unsigned x, unsigned &y) { x = y; }");
+  Function* fn = r->module->find_function("k");
+  EXPECT_EQ(count_ops(*fn, Opcode::StoreMsg), 0);
+}
+
+TEST(Lower, DeviceIdMaterialized) {
+  auto r = lower("_kernel(1) void k(unsigned &y) { y = device.id; }", /*device_id=*/7);
+  Function* fn = r->module->find_function("k");
+  // No MsgMeta / no instruction producing device.id: it is a constant.
+  EXPECT_EQ(count_ops(*fn, Opcode::MsgMeta), 0);
+  const std::string text = print(*fn);
+  EXPECT_NE(text.find("7:u32"), std::string::npos) << text;
+}
+
+TEST(Lower, MsgMetaFields) {
+  auto r = lower("_kernel(1) void k(unsigned &y) { y = msg.src + msg.to; }");
+  Function* fn = r->module->find_function("k");
+  EXPECT_EQ(count_ops(*fn, Opcode::MsgMeta), 2);
+  EXPECT_TRUE(verify(*fn).empty()) << print(*fn);
+}
+
+TEST(Lower, IfElseCreatesPhi) {
+  auto r = lower(R"(
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      unsigned t;
+      if (x > 10) { t = 1; } else { t = 2; }
+      y = t;
+    }
+  )");
+  Function* fn = r->module->find_function("k");
+  EXPECT_TRUE(verify(*fn).empty()) << print(*fn);
+  EXPECT_EQ(count_ops(*fn, Opcode::Phi), 1);
+  EXPECT_EQ(fn->blocks().size(), 4u);  // entry, then, else, merge
+}
+
+TEST(Lower, FullUnrolling) {
+  auto r = lower(R"(
+    _net_ unsigned m[8];
+    _kernel(1) void k(unsigned x) {
+      for (auto i = 0; i < 8; ++i)
+        m[i] = x;
+    }
+  )");
+  Function* fn = r->module->find_function("k");
+  EXPECT_TRUE(verify(*fn).empty()) << print(*fn);
+  // 8 iterations -> 8 StoreGlobal with constant indices.
+  EXPECT_EQ(count_ops(*fn, Opcode::StoreGlobal), 8);
+  EXPECT_EQ(fn->blocks().size(), 1u);  // no control flow survives unrolling
+}
+
+TEST(Lower, UnrollWithStepAndBound) {
+  auto r = lower(R"(
+    _net_ unsigned m[16];
+    _kernel(1) void k(unsigned x) {
+      for (int i = 14; i >= 2; i -= 4)
+        m[i] = x;
+    }
+  )");
+  Function* fn = r->module->find_function("k");
+  EXPECT_EQ(count_ops(*fn, Opcode::StoreGlobal), 4);  // i = 14, 10, 6, 2
+}
+
+TEST(Lower, NonConstantBoundRejected) {
+  auto r = lower(R"(
+    _net_ unsigned m[8];
+    _kernel(1) void k(unsigned n) {
+      for (auto i = 0; i < n; ++i) m[i] = 1;
+    }
+  )",
+                 1, /*expect_errors=*/true);
+  EXPECT_TRUE(r->diags.contains_error("compile-time constants"));
+}
+
+TEST(Lower, RunawayLoopRejected) {
+  auto r = lower(R"(
+    _net_ unsigned m[8];
+    _kernel(1) void k(unsigned x) {
+      for (auto i = 0; i < 100000; ++i) m[0] = x;
+    }
+  )",
+                 1, /*expect_errors=*/true);
+  EXPECT_TRUE(r->diags.contains_error("does not fully unroll"));
+}
+
+TEST(Lower, InductionVariableWriteRejected) {
+  auto r = lower(R"(
+    _kernel(1) void k(unsigned x) {
+      for (auto i = 0; i < 4; ++i) { i = 2; }
+    }
+  )",
+                 1, /*expect_errors=*/true);
+  EXPECT_TRUE(r->diags.contains_error("induction variables may not be modified"));
+}
+
+TEST(Lower, NetFunctionInlined) {
+  auto r = lower(R"(
+    _net_ void helper(unsigned a, unsigned &out) { out = a * 2; }
+    _kernel(1) void k(unsigned x, unsigned &y) { helper(x, y); }
+  )");
+  Function* fn = r->module->find_function("k");
+  EXPECT_TRUE(verify(*fn).empty()) << print(*fn);
+  // No call instruction exists; the multiply is inline.
+  EXPECT_EQ(count_ops(*fn, Opcode::Bin), 1);
+  // Only the kernel is emitted.
+  EXPECT_EQ(r->module->functions().size(), 1u);
+}
+
+TEST(Lower, NetFunctionEarlyReturn) {
+  auto r = lower(R"(
+    _net_ void clamp(unsigned a, unsigned &out) {
+      if (a > 100) { out = 100; return; }
+      out = a;
+    }
+    _kernel(1) void k(unsigned x, unsigned &y) { clamp(x, y); y = y + 1; }
+  )");
+  Function* fn = r->module->find_function("k");
+  EXPECT_TRUE(verify(*fn).empty()) << print(*fn);
+}
+
+TEST(Lower, LocationFiltering) {
+  const char* source = R"(
+    _net_ _at(1) unsigned m1[4];
+    _net_ _at(2) unsigned m2[4];
+    _kernel(1) _at(1) void k1(unsigned x) { m1[0] = x; }
+    _kernel(2) _at(2) void k2(unsigned x) { m2[0] = x; }
+  )";
+  auto r1 = lower(source, 1);
+  EXPECT_NE(r1->module->find_function("k1"), nullptr);
+  EXPECT_EQ(r1->module->find_function("k2"), nullptr);
+  EXPECT_NE(r1->module->find_global("m1"), nullptr);
+  EXPECT_EQ(r1->module->find_global("m2"), nullptr);
+
+  auto r2 = lower(source, 2);
+  EXPECT_EQ(r2->module->find_function("k1"), nullptr);
+  EXPECT_NE(r2->module->find_function("k2"), nullptr);
+}
+
+TEST(Lower, ActionTernaryBecomesControlFlow) {
+  auto r = lower(R"(
+    _kernel(1) void k(unsigned x) {
+      return x > 4 ? ncl::reflect() : ncl::drop();
+    }
+  )");
+  Function* fn = r->module->find_function("k");
+  EXPECT_TRUE(verify(*fn).empty()) << print(*fn);
+  EXPECT_EQ(count_ops(*fn, Opcode::RetAction), 2);
+  bool saw_reflect = false;
+  bool saw_drop = false;
+  for (const auto& block : fn->blocks()) {
+    for (const auto& inst : block->instructions()) {
+      if (inst->op() == Opcode::RetAction) {
+        saw_reflect |= inst->action == ActionKind::Reflect;
+        saw_drop |= inst->action == ActionKind::Drop;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_reflect);
+  EXPECT_TRUE(saw_drop);
+}
+
+TEST(Lower, LookupWithValueOutput) {
+  auto r = lower(R"(
+    _net_ _lookup_ ncl::kv<unsigned, unsigned> t[] = {{1,10},{2,20}};
+    _kernel(1) void k(unsigned key, unsigned &v, char &hit) {
+      hit = ncl::lookup(t, key, v);
+      return hit ? ncl::reflect() : ncl::pass();
+    }
+  )");
+  Function* fn = r->module->find_function("k");
+  EXPECT_TRUE(verify(*fn).empty()) << print(*fn);
+  EXPECT_EQ(count_ops(*fn, Opcode::Lookup), 1);
+  EXPECT_EQ(count_ops(*fn, Opcode::LookupValue), 1);
+}
+
+TEST(Lower, AtomicShapes) {
+  auto r = lower(R"(
+    _net_ unsigned c[16];
+    _net_ unsigned s;
+    _kernel(1) void k(unsigned i, unsigned x, unsigned &out) {
+      out = ncl::atomic_add(&c[i], x);
+      out = ncl::atomic_cond_add_new(c[i], x > 0, x);
+      ncl::atomic_inc(&s);
+    }
+  )");
+  Function* fn = r->module->find_function("k");
+  EXPECT_TRUE(verify(*fn).empty()) << print(*fn);
+  EXPECT_EQ(count_ops(*fn, Opcode::AtomicRMW), 3);
+  int cond_count = 0;
+  int new_count = 0;
+  for (const auto& block : fn->blocks()) {
+    for (const auto& inst : block->instructions()) {
+      if (inst->op() == Opcode::AtomicRMW) {
+        if (inst->atomic_cond) ++cond_count;
+        if (inst->atomic_new) ++new_count;
+      }
+    }
+  }
+  EXPECT_EQ(cond_count, 1);
+  EXPECT_EQ(new_count, 1);
+}
+
+TEST(Lower, ConstIndexOutOfBoundsRejected) {
+  auto r = lower(R"(
+    _net_ unsigned m[4];
+    _kernel(1) void k(unsigned x) { m[7] = x; }
+  )",
+                 1, /*expect_errors=*/true);
+  EXPECT_TRUE(r->diags.contains_error("out of bounds"));
+}
+
+TEST(Lower, LookupMemoryDirectIndexRejected) {
+  auto r = lower(R"(
+    _net_ _lookup_ unsigned t[] = {1,2,3};
+    _kernel(1) void k(unsigned x, unsigned &y) { y = t[0]; }
+  )",
+                 1, /*expect_errors=*/true);
+  EXPECT_TRUE(r->diags.contains_error("ncl::lookup"));
+}
+
+// The paper's Figure 7 AllReduce kernel, end to end through lowering.
+TEST(Lower, Figure7AllReduce) {
+  auto r = lower(R"(
+#define NUM_SLOTS 64
+#define SLOT_SIZE 4
+#define NUM_WORKERS 8
+_net_ uint16_t Bitmap[2][NUM_SLOTS];
+_net_ uint32_t Agg[SLOT_SIZE][NUM_SLOTS * 2];
+_net_ uint8_t Count[NUM_SLOTS * 2];
+
+_kernel(1) void allreduce(uint8_t ver, uint16_t bmp_idx, uint16_t agg_idx,
+                          uint16_t mask, uint32_t _spec(SLOT_SIZE) *v) {
+  uint16_t bitmap;
+  if (ver == 0) {
+    bitmap = ncl::atomic_or(&Bitmap[0][bmp_idx], mask);
+    ncl::atomic_and(&Bitmap[1][bmp_idx], ~mask);
+  } else {
+    ncl::atomic_and(&Bitmap[0][bmp_idx], ~mask);
+    bitmap = ncl::atomic_or(&Bitmap[1][bmp_idx], mask);
+  }
+  if (bitmap == 0) {
+    for (auto i = 0; i < SLOT_SIZE; ++i)
+      Agg[i][agg_idx] = v[i];
+    Count[agg_idx] = NUM_WORKERS - 1;
+  } else {
+    auto seen = bitmap & mask;
+    for (auto i = 0; i < SLOT_SIZE; ++i)
+      v[i] = ncl::atomic_cond_add_new(Agg[i][agg_idx], !seen, v[i]);
+    auto cnt = ncl::atomic_cond_dec(&Count[agg_idx], !seen);
+    if (cnt == 0)
+      return ncl::reflect();
+    if (cnt == 1)
+      return ncl::multicast(42);
+  }
+  return ncl::drop();
+}
+)");
+  Function* fn = r->module->find_function("allreduce");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_TRUE(verify(*fn).empty()) << print(*fn);
+  // 2 bitmap RMWs per branch + SLOT_SIZE aggregation RMWs + count dec.
+  EXPECT_EQ(count_ops(*fn, Opcode::AtomicRMW), 4 + 4 + 1);
+  EXPECT_EQ(count_ops(*fn, Opcode::StoreGlobal), 5);  // 4 Agg writes + Count
+  EXPECT_EQ(count_ops(*fn, Opcode::RetAction), 3);    // reflect, multicast, drop
+}
+
+TEST(Lower, VerifierCatchesBrokenPhi) {
+  auto r = lower(R"(
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      unsigned t;
+      if (x > 10) { t = 1; } else { t = 2; }
+      y = t;
+    }
+  )");
+  Function* fn = r->module->find_function("k");
+  // Sabotage: drop one phi incoming.
+  for (const auto& block : fn->blocks()) {
+    for (const auto& inst : block->instructions()) {
+      if (inst->op() == Opcode::Phi) {
+        inst->phi_blocks.pop_back();
+      }
+    }
+  }
+  EXPECT_FALSE(verify(*fn).empty());
+}
+
+TEST(Lower, PrinterRoundTripMentionsEverything) {
+  auto r = lower(R"(
+    _net_ unsigned m[4];
+    _kernel(3) void k(unsigned x, unsigned &y) {
+      y = ncl::atomic_sadd_new(&m[x & 3], 1);
+      return ncl::reflect_long();
+    }
+  )");
+  const std::string text = print(*r->module);
+  EXPECT_NE(text.find("kernel @k computation 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("global @m"), std::string::npos);
+  EXPECT_NE(text.find("atomicrmw.sadd_new"), std::string::npos);
+  EXPECT_NE(text.find("reflect_long"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netcl::ir

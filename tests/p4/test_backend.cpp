@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include "p4/latency.hpp"
+#include "p4/p4_printer.hpp"
+#include "p4/phv.hpp"
+#include "p4/pipeline.hpp"
+#include "p4/stage_alloc.hpp"
+#include "passes/passes.hpp"
+#include "../ir/ir_test_util.hpp"
+
+namespace netcl::p4 {
+namespace {
+
+using namespace netcl::ir;
+using ir::test::lower;
+
+constexpr const char* kAllReduce = R"(
+#define NUM_SLOTS 64
+#define SLOT_SIZE 4
+#define NUM_WORKERS 8
+_net_ uint16_t Bitmap[2][NUM_SLOTS];
+_net_ uint32_t Agg[SLOT_SIZE][NUM_SLOTS * 2];
+_net_ uint8_t Count[NUM_SLOTS * 2];
+
+_kernel(1) void allreduce(uint8_t ver, uint16_t bmp_idx, uint16_t agg_idx,
+                          uint16_t mask, uint32_t _spec(SLOT_SIZE) *v) {
+  uint16_t bitmap;
+  if (ver == 0) {
+    bitmap = ncl::atomic_or(&Bitmap[0][bmp_idx], mask);
+    ncl::atomic_and(&Bitmap[1][bmp_idx], ~mask);
+  } else {
+    ncl::atomic_and(&Bitmap[0][bmp_idx], ~mask);
+    bitmap = ncl::atomic_or(&Bitmap[1][bmp_idx], mask);
+  }
+  if (bitmap == 0) {
+    for (auto i = 0; i < SLOT_SIZE; ++i)
+      Agg[i][agg_idx] = v[i];
+    Count[agg_idx] = NUM_WORKERS - 1;
+  } else {
+    auto seen = bitmap & mask;
+    for (auto i = 0; i < SLOT_SIZE; ++i)
+      v[i] = ncl::atomic_cond_add_new(Agg[i][agg_idx], !seen, v[i]);
+    auto cnt = ncl::atomic_cond_dec(&Count[agg_idx], !seen);
+    if (cnt == 0)
+      return ncl::reflect();
+    if (cnt == 1)
+      return ncl::multicast(42);
+  }
+  return ncl::drop();
+}
+)";
+
+std::unique_ptr<ir::test::Lowered> prepare(const std::string& source,
+                                           passes::Target target = passes::Target::Tna) {
+  auto r = lower(source);
+  passes::PassOptions options;
+  options.target = target;
+  passes::run_pipeline(*r->module, options, r->diags);
+  EXPECT_FALSE(r->diags.has_errors()) << r->diags.render_all();
+  return r;
+}
+
+TEST(Linearize, StraightLineHasNoGuards) {
+  auto r = prepare("_kernel(1) void k(unsigned x, unsigned &y) { y = x + 1; }");
+  KernelProgram program = linearize(*r->module->find_function("k"), {});
+  for (const LinearInst& li : program.insts) {
+    if (li.inst->op() != Opcode::RetAction) {
+      EXPECT_EQ(li.guard, nullptr);
+    }
+  }
+  ASSERT_EQ(program.ret_actions().size(), 1u);
+  EXPECT_EQ(program.ret_actions()[0]->guard, nullptr);
+}
+
+TEST(Linearize, BranchesBecomePredicates) {
+  auto r = prepare(R"(
+    _net_ unsigned m[8];
+    _kernel(1) void k(unsigned x) {
+      if (x > 3) { m[0] = x; }
+      else { m[1] = x; }
+    }
+  )");
+  KernelProgram program = linearize(*r->module->find_function("k"), {});
+  int guarded_stores = 0;
+  for (const LinearInst& li : program.insts) {
+    if (li.inst->op() == Opcode::StoreGlobal) {
+      EXPECT_NE(li.guard, nullptr);
+      ++guarded_stores;
+    }
+  }
+  EXPECT_EQ(guarded_stores, 2);
+}
+
+TEST(Linearize, PhiBecomesSelect) {
+  auto r = prepare(R"(
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      unsigned t;
+      if (x > 3) { t = ncl::crc16(x); } else { t = ncl::crc16(x + 1); }
+      y = t;
+    }
+  )");
+  KernelProgram program = linearize(*r->module->find_function("k"), {});
+  int selects = 0;
+  int phis = 0;
+  for (const LinearInst& li : program.insts) {
+    if (li.inst->op() == Opcode::Select) ++selects;
+    if (li.inst->op() == Opcode::Phi) ++phis;
+  }
+  EXPECT_GE(selects, 1);
+  EXPECT_EQ(phis, 0);
+}
+
+TEST(Linearize, SpeculationOffGuardsPureOps) {
+  auto r = prepare(R"(
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      unsigned t = 0;
+      if (x > 3) { t = x + 7; }
+      y = t;
+    }
+  )");
+  LinearizeOptions options;
+  options.speculation = false;
+  KernelProgram program = linearize(*r->module->find_function("k"), options);
+  bool found_guarded_add = false;
+  for (const LinearInst& li : program.insts) {
+    if (li.synthesized) continue;
+    if (li.inst->op() == Opcode::Bin && li.inst->bin_kind == BinKind::Add &&
+        li.guard != nullptr) {
+      found_guarded_add = true;
+    }
+  }
+  EXPECT_TRUE(found_guarded_add);
+}
+
+TEST(StageAlloc, SimpleKernelFits) {
+  auto r = prepare("_kernel(1) void k(unsigned x, unsigned &y) { y = (x + 1) * 2; }");
+  std::vector<KernelProgram> kernels = linearize_module(*r->module, {});
+  StageLimits limits;
+  AllocationResult result = allocate_stages(kernels, *r->module, limits);
+  ASSERT_TRUE(result.fits) << result.error;
+  EXPECT_LE(result.stages_used, limits.stages);
+  EXPECT_GE(result.stages_used, 2);  // base + dependent chain
+}
+
+TEST(StageAlloc, DependenceChainsSerialize) {
+  // A chain of 6 dependent additions needs at least 6 stages after base.
+  auto r = prepare(R"(
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      unsigned a = x + 1;
+      unsigned b = a + 1;
+      unsigned c = b + 1;
+      unsigned d = c + 1;
+      unsigned e = d + 1;
+      y = e + 1;
+    }
+  )");
+  std::vector<KernelProgram> kernels = linearize_module(*r->module, {});
+  StageLimits limits;
+  AllocationResult result = allocate_stages(kernels, *r->module, limits);
+  ASSERT_TRUE(result.fits) << result.error;
+  EXPECT_GE(result.stages_used, 7);
+}
+
+TEST(StageAlloc, RegisterAccessesShareOneStage) {
+  auto r = prepare(R"(
+    _net_ unsigned m[64];
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      if (x > 3) { y = ncl::atomic_add_new(&m[x & 63], 1); }
+      else { y = ncl::atomic_sub_new(&m[x & 31], 1); }
+    }
+  )");
+  std::vector<KernelProgram> kernels = linearize_module(*r->module, {});
+  StageLimits limits;
+  AllocationResult result = allocate_stages(kernels, *r->module, limits);
+  ASSERT_TRUE(result.fits) << result.error;
+  const GlobalVar* m = r->module->find_global("m");
+  ASSERT_NE(m, nullptr);
+  const int stage = result.global_stage.at(m);
+  for (const KernelProgram& kernel : kernels) {
+    for (const LinearInst& li : kernel.insts) {
+      if (li.inst->global == m) EXPECT_EQ(li.stage, stage);
+    }
+  }
+}
+
+TEST(StageAlloc, TooLongChainRejected) {
+  // 16 dependent additions cannot fit 12 stages.
+  std::string body;
+  std::string prev = "x";
+  for (int i = 0; i < 16; ++i) {
+    body += "unsigned t" + std::to_string(i) + " = " + prev + " + " + prev + ";\n";
+    prev = "t" + std::to_string(i);
+  }
+  auto r = prepare("_kernel(1) void k(unsigned x, unsigned &y) {\n" + body + "y = " + prev +
+                   ";\n}");
+  std::vector<KernelProgram> kernels = linearize_module(*r->module, {});
+  StageLimits limits;
+  AllocationResult result = allocate_stages(kernels, *r->module, limits);
+  EXPECT_FALSE(result.fits);
+  EXPECT_NE(result.error.find("stages"), std::string::npos);
+}
+
+TEST(StageAlloc, AllReduceFitsTofino) {
+  auto r = prepare(kAllReduce);
+  std::vector<KernelProgram> kernels = linearize_module(*r->module, {});
+  StageLimits limits;
+  AllocationResult result = allocate_stages(kernels, *r->module, limits);
+  ASSERT_TRUE(result.fits) << result.error;
+  EXPECT_LE(result.stages_used, 12);
+  // AllReduce needs SALUs for Bitmap/Agg/Count registers.
+  EXPECT_GE(result.total.salus, 7);
+  EXPECT_EQ(result.total.tcam, 0);  // conditions run in SALUs, not TCAM
+}
+
+TEST(StageAlloc, SpeculationReducesStages) {
+  // With speculation off, pure ops wait for their block predicate, which
+  // lengthens the dependence chain.
+  auto r = prepare(R"(
+    _net_ unsigned m[8];
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      if (x > 1) {
+        if (x > 2) {
+          if (x > 3) {
+            unsigned t = (x + 1) * 2;
+            y = ncl::atomic_add_new(&m[t & 7], 1);
+          }
+        }
+      }
+    }
+  )");
+  StageLimits limits;
+  LinearizeOptions fast;
+  fast.speculation = true;
+  std::vector<KernelProgram> with = linearize_module(*r->module, fast);
+  AllocationResult result_with = allocate_stages(with, *r->module, limits);
+  ASSERT_TRUE(result_with.fits) << result_with.error;
+
+  auto r2 = prepare(R"(
+    _net_ unsigned m[8];
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      if (x > 1) {
+        if (x > 2) {
+          if (x > 3) {
+            unsigned t = (x + 1) * 2;
+            y = ncl::atomic_add_new(&m[t & 7], 1);
+          }
+        }
+      }
+    }
+  )");
+  LinearizeOptions slow;
+  slow.speculation = false;
+  std::vector<KernelProgram> without = linearize_module(*r2->module, slow);
+  // Compare against a deeper hypothetical pipeline so the no-speculation
+  // version still "fits" and reports its stage count (on real Tofino it
+  // would simply be rejected, which is the paper's point).
+  StageLimits deep = limits;
+  deep.stages = 24;
+  AllocationResult result_without = allocate_stages(without, *r2->module, deep);
+  ASSERT_TRUE(result_without.fits) << result_without.error;
+  EXPECT_LT(result_with.stages_used, result_without.stages_used);
+}
+
+TEST(Latency, MonotoneInStages) {
+  LatencyModel model;
+  double previous = 0;
+  for (int stages = 1; stages <= 12; ++stages) {
+    const double ns = model.worst_case_ns(stages);
+    EXPECT_GT(ns, previous);
+    previous = ns;
+  }
+  // The paper: total latency is well below 1 microsecond.
+  EXPECT_LT(model.worst_case_ns(12), 1000.0);
+  EXPECT_GT(model.worst_case_ns(1), 100.0);
+}
+
+TEST(Phv, CountsHeadersAndTemporaries) {
+  auto r = prepare(kAllReduce);
+  std::vector<KernelProgram> kernels = linearize_module(*r->module, {});
+  StageLimits limits;
+  AllocationResult result = allocate_stages(kernels, *r->module, limits);
+  ASSERT_TRUE(result.fits) << result.error;
+  const PhvUsage usage = compute_phv(kernels);
+  // 8 + 16 + 16 + 16 + 4*32 = 184 bits of kernel arguments.
+  EXPECT_EQ(usage.header_bits, 184);
+  EXPECT_EQ(usage.netcl_header_bits, kNetclHeaderBits);
+  EXPECT_GT(usage.local_var_bits, 0);
+  EXPECT_GT(usage.occupancy_pct(limits), 10.0);
+  EXPECT_LT(usage.occupancy_pct(limits), 60.0);
+}
+
+TEST(P4Printer, TnaOutputHasAllSections) {
+  auto r = prepare(R"(
+    _net_ _lookup_ ncl::kv<unsigned, unsigned> cache[] = {{1,42},{2,42}};
+    _net_ unsigned hits;
+    _kernel(1) void query(unsigned k, unsigned &v, char &hit) {
+      hit = ncl::lookup(cache, k, v);
+      if (hit) { ncl::atomic_inc(&hits); return ncl::reflect(); }
+    }
+  )");
+  const P4Program program = emit_p4(*r->module, P4Dialect::Tna);
+  const std::string text = program.full();
+  EXPECT_NE(text.find("#include <tna.p4>"), std::string::npos);
+  EXPECT_NE(text.find("header netcl_t"), std::string::npos);
+  EXPECT_NE(text.find("Register<"), std::string::npos);
+  EXPECT_NE(text.find("RegisterAction<"), std::string::npos);
+  EXPECT_NE(text.find("table t_cache"), std::string::npos);
+  EXPECT_NE(text.find("const entries"), std::string::npos);
+  EXPECT_NE(text.find("parser NetCLParser"), std::string::npos);
+  EXPECT_NE(text.find("// reflect"), std::string::npos);
+  EXPECT_GT(program.loc(), 50);
+  EXPECT_GT(program.generated_loc(), 5);
+  EXPECT_LT(program.generated_loc(), program.loc());
+}
+
+TEST(P4Printer, V1ModelUsesV1Primitives) {
+  auto r = prepare(R"(
+    _net_ unsigned c[16];
+    _kernel(1) void k(unsigned x, unsigned &y) { y = ncl::atomic_add_new(&c[x & 15], 1); }
+  )",
+                   passes::Target::V1Model);
+  const P4Program program = emit_p4(*r->module, P4Dialect::V1Model);
+  const std::string text = program.full();
+  EXPECT_NE(text.find("#include <v1model.p4>"), std::string::npos);
+  EXPECT_NE(text.find("register<"), std::string::npos);
+  EXPECT_NE(text.find(".read("), std::string::npos);
+  EXPECT_NE(text.find(".write("), std::string::npos);
+  EXPECT_EQ(text.find("RegisterAction"), std::string::npos);
+}
+
+TEST(P4Printer, StructuredControlFlow) {
+  auto r = prepare(R"(
+    _net_ unsigned m[8];
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      if (x > 3) { m[0] = x; y = 1; }
+      else { m[1] = x; y = 2; }
+    }
+  )");
+  const P4Program program = emit_p4(*r->module, P4Dialect::Tna);
+  EXPECT_NE(program.control.find("if ("), std::string::npos) << program.control;
+  EXPECT_NE(program.control.find("} else {"), std::string::npos) << program.control;
+}
+
+TEST(P4Printer, AllReduceEmits) {
+  auto r = prepare(kAllReduce);
+  const P4Program program = emit_p4(*r->module, P4Dialect::Tna);
+  // The partitioned registers all appear.
+  for (const char* name : {"Agg$0", "Agg$3", "Bitmap$0", "Bitmap$1", "Count"}) {
+    EXPECT_NE(program.registers.find(name), std::string::npos) << name;
+  }
+  EXPECT_GT(program.loc(), 150);
+}
+
+}  // namespace
+}  // namespace netcl::p4

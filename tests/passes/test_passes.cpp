@@ -1,0 +1,494 @@
+#include <gtest/gtest.h>
+
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "passes/passes.hpp"
+#include "../ir/ir_test_util.hpp"
+
+namespace netcl::passes {
+namespace {
+
+using namespace netcl::ir;
+using ir::test::lower;
+
+int count_ops(const Function& fn, Opcode op) {
+  int count = 0;
+  for (const auto& block : fn.blocks()) {
+    for (const auto& inst : block->instructions()) {
+      if (inst->op() == op) ++count;
+    }
+  }
+  return count;
+}
+
+void run_cleanup(Function& fn, Module& module) {
+  for (int i = 0; i < 8; ++i) {
+    bool changed = simplify(fn, module);
+    changed |= dce(fn);
+    if (!changed) break;
+  }
+}
+
+TEST(Simplify, ConstantFolding) {
+  auto r = lower("_kernel(1) void k(unsigned &y) { y = (2 + 3) * 4; }");
+  Function* fn = r->module->find_function("k");
+  run_cleanup(*fn, *r->module);
+  EXPECT_EQ(count_ops(*fn, Opcode::Bin), 0);
+  const std::string text = print(*fn);
+  EXPECT_NE(text.find("20:"), std::string::npos) << text;
+}
+
+TEST(Simplify, PeepholeIdentities) {
+  auto r = lower(R"(
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      y = ((x + 0) * 1) | 0;
+      y = y ^ 0;
+    }
+  )");
+  Function* fn = r->module->find_function("k");
+  run_cleanup(*fn, *r->module);
+  EXPECT_EQ(count_ops(*fn, Opcode::Bin), 0) << print(*fn);
+}
+
+TEST(Simplify, ConstantBranchFolding) {
+  auto r = lower(R"(
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      if (1 < 2) { y = 1; } else { y = 2; }
+    }
+  )");
+  Function* fn = r->module->find_function("k");
+  run_cleanup(*fn, *r->module);
+  EXPECT_EQ(fn->blocks().size(), 1u) << print(*fn);
+  EXPECT_EQ(count_ops(*fn, Opcode::Phi), 0);
+  const std::string text = print(*fn);
+  EXPECT_NE(text.find("store.msg arg1 0:u16, 1:"), std::string::npos) << text;
+}
+
+TEST(Simplify, SelectFolding) {
+  auto r = lower("_kernel(1) void k(unsigned x, unsigned &y) { y = x > 2 ? x : x; }");
+  Function* fn = r->module->find_function("k");
+  run_cleanup(*fn, *r->module);
+  EXPECT_EQ(count_ops(*fn, Opcode::Select), 0) << print(*fn);
+}
+
+TEST(Simplify, BlockMergeAfterFolding) {
+  auto r = lower(R"(
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      unsigned t = 0;
+      if (x > 1) { t = 1; }
+      if (0) { t = 9; }
+      y = t;
+    }
+  )");
+  Function* fn = r->module->find_function("k");
+  run_cleanup(*fn, *r->module);
+  EXPECT_TRUE(verify(*fn).empty()) << print(*fn);
+  // The constant-false branch disappears entirely.
+  const std::string text = print(*fn);
+  EXPECT_EQ(text.find("9:"), std::string::npos) << text;
+}
+
+TEST(Dce, RemovesDeadArithmetic) {
+  auto r = lower(R"(
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      unsigned dead = x * 2 + 7;
+      y = x;
+    }
+  )");
+  Function* fn = r->module->find_function("k");
+  dce(*fn);
+  EXPECT_EQ(count_ops(*fn, Opcode::Bin), 0) << print(*fn);
+}
+
+TEST(Dce, KeepsAtomics) {
+  auto r = lower(R"(
+    _net_ unsigned c;
+    _kernel(1) void k(unsigned x) { ncl::atomic_add(&c, x); }
+  )");
+  Function* fn = r->module->find_function("k");
+  dce(*fn);
+  EXPECT_EQ(count_ops(*fn, Opcode::AtomicRMW), 1);
+}
+
+TEST(Sroa, PromotesConstantIndexedArray) {
+  auto r = lower(R"(
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      unsigned c[3];
+      c[0] = x;
+      c[1] = x + 1;
+      c[2] = x + 2;
+      y = c[0] + c[1] + c[2];
+    }
+  )");
+  Function* fn = r->module->find_function("k");
+  EXPECT_TRUE(sroa(*fn, *r->module));
+  EXPECT_TRUE(fn->local_arrays().empty());
+  EXPECT_EQ(count_ops(*fn, Opcode::LoadLocal), 0);
+  EXPECT_EQ(count_ops(*fn, Opcode::StoreLocal), 0);
+  EXPECT_TRUE(verify(*fn).empty()) << print(*fn);
+}
+
+TEST(Sroa, PromotionAcrossControlFlowInsertsPhis) {
+  auto r = lower(R"(
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      unsigned c[2];
+      c[0] = 1;
+      if (x > 5) { c[0] = 2; }
+      y = c[0];
+    }
+  )");
+  Function* fn = r->module->find_function("k");
+  EXPECT_TRUE(sroa(*fn, *r->module));
+  EXPECT_GE(count_ops(*fn, Opcode::Phi), 1);
+  EXPECT_TRUE(verify(*fn).empty()) << print(*fn);
+}
+
+TEST(Sroa, DynamicIndexSurvives) {
+  auto r = lower(R"(
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      unsigned c[4];
+      c[x & 3] = 1;
+      y = c[0];
+    }
+  )");
+  Function* fn = r->module->find_function("k");
+  EXPECT_FALSE(sroa(*fn, *r->module));
+  EXPECT_EQ(fn->local_arrays().size(), 1u);
+}
+
+// Figure 4's sketch: after unrolling+SROA, the CMS min-computation becomes
+// pure SSA arithmetic.
+TEST(Sroa, Figure4SketchFullyPromotes) {
+  auto r = lower(R"(
+#define CMS_HASHES 3
+#define THRESH 128
+_managed_ unsigned cms[CMS_HASHES][65536];
+_net_ void sketch(unsigned k, unsigned &hot) {
+  unsigned c[CMS_HASHES];
+  c[0] = ncl::atomic_sadd_new(&cms[0][ncl::xor16(k)], 1);
+  c[1] = ncl::atomic_sadd_new(&cms[1][ncl::crc32<16>(k)], 1);
+  c[2] = ncl::atomic_sadd_new(&cms[2][ncl::crc16(k)], 1);
+  for (auto i = 1; i < CMS_HASHES; ++i)
+    if (c[i] < c[0]) c[0] = c[i];
+  hot = c[0] > THRESH ? c[0] : 0;
+}
+_kernel(1) void query(unsigned k, unsigned &hot) { sketch(k, hot); }
+)");
+  Function* fn = r->module->find_function("query");
+  run_cleanup(*fn, *r->module);
+  EXPECT_TRUE(sroa(*fn, *r->module));
+  run_cleanup(*fn, *r->module);
+  EXPECT_TRUE(fn->local_arrays().empty());
+  EXPECT_EQ(count_ops(*fn, Opcode::AtomicRMW), 3);
+  EXPECT_TRUE(verify(*fn).empty()) << print(*fn);
+}
+
+TEST(Hoist, MergesCommonComputation) {
+  auto r = lower(R"(
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      unsigned t;
+      if (x > 5) { t = x * 2; } else { t = x * 2 + 1; }
+      y = t;
+    }
+  )");
+  Function* fn = r->module->find_function("k");
+  run_cleanup(*fn, *r->module);
+  PassOptions options;
+  EXPECT_TRUE(hoist(*fn, options));
+  // Only one multiply remains, and it lives in the entry block.
+  int muls = 0;
+  for (const auto& inst : fn->entry()->instructions()) {
+    if (inst->op() == Opcode::Bin && inst->bin_kind == BinKind::Shl) ++muls;  // not yet lowered
+    if (inst->op() == Opcode::Bin && inst->bin_kind == BinKind::Mul) ++muls;
+  }
+  EXPECT_EQ(muls, 1) << print(*fn);
+  EXPECT_EQ(count_ops(*fn, Opcode::Bin), 2);  // one mul + one add
+  EXPECT_TRUE(verify(*fn).empty()) << print(*fn);
+}
+
+TEST(Hoist, DisabledByOption) {
+  auto r = lower(R"(
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      unsigned t;
+      if (x > 5) { t = x * 2; } else { t = x * 2 + 1; }
+      y = t;
+    }
+  )");
+  Function* fn = r->module->find_function("k");
+  run_cleanup(*fn, *r->module);
+  PassOptions options;
+  options.hoisting = false;
+  EXPECT_FALSE(hoist(*fn, options));
+}
+
+TEST(LowerPatterns, MulByPow2BecomesShift) {
+  auto r = lower("_kernel(1) void k(unsigned x, unsigned &y) { y = x * 8; }");
+  PassOptions options;
+  lower_patterns(*r->module, options, r->diags);
+  EXPECT_FALSE(r->diags.has_errors());
+  Function* fn = r->module->find_function("k");
+  bool found_shift = false;
+  for (const auto& inst : fn->entry()->instructions()) {
+    if (inst->op() == Opcode::Bin) {
+      EXPECT_EQ(inst->bin_kind, BinKind::Shl);
+      found_shift = true;
+    }
+  }
+  EXPECT_TRUE(found_shift);
+}
+
+TEST(LowerPatterns, DivAndRemByPow2) {
+  auto r = lower("_kernel(1) void k(unsigned x, unsigned &y) { y = x / 16 + x % 4; }");
+  PassOptions options;
+  lower_patterns(*r->module, options, r->diags);
+  EXPECT_FALSE(r->diags.has_errors());
+  Function* fn = r->module->find_function("k");
+  int shifts = 0;
+  int ands = 0;
+  for (const auto& inst : fn->entry()->instructions()) {
+    if (inst->op() == Opcode::Bin && inst->bin_kind == BinKind::LShr) ++shifts;
+    if (inst->op() == Opcode::Bin && inst->bin_kind == BinKind::And) ++ands;
+  }
+  EXPECT_EQ(shifts, 1);
+  EXPECT_EQ(ands, 1);
+}
+
+TEST(LowerPatterns, NonPow2MulRejectedOnTna) {
+  auto r = lower("_kernel(1) void k(unsigned x, unsigned &y) { y = x * 6; }");
+  PassOptions options;
+  lower_patterns(*r->module, options, r->diags);
+  EXPECT_TRUE(r->diags.contains_error("cannot be converted to shifts"));
+}
+
+TEST(LowerPatterns, DynamicMulRejectedOnTna) {
+  auto r = lower("_kernel(1) void k(unsigned x, unsigned z, unsigned &y) { y = x * z; }");
+  PassOptions options;
+  lower_patterns(*r->module, options, r->diags);
+  EXPECT_TRUE(r->diags.contains_error("dynamic operand"));
+}
+
+TEST(LowerPatterns, V1ModelAcceptsAnything) {
+  auto r = lower("_kernel(1) void k(unsigned x, unsigned z, unsigned &y) { y = x * z; }");
+  PassOptions options;
+  options.target = Target::V1Model;
+  lower_patterns(*r->module, options, r->diags);
+  EXPECT_FALSE(r->diags.has_errors());
+}
+
+TEST(LowerPatterns, DynamicRelationalIcmpBecomesSubMsb) {
+  auto r = lower("_kernel(1) void k(unsigned a, unsigned b, unsigned &y) { y = a < b ? 1 : 0; }");
+  Function* fn = r->module->find_function("k");
+  PassOptions options;
+  lower_patterns(*r->module, options, r->diags);
+  EXPECT_FALSE(r->diags.has_errors());
+  // The comparison becomes a subtraction plus an MSB check: an unsigned
+  // range comparison of the difference against 2^(W-1), which the stage
+  // gateway evaluates as a constant match.
+  bool has_sub = false;
+  bool dynamic_relational_left = false;
+  bool msb_check = false;
+  for (const auto& inst : fn->entry()->instructions()) {
+    if (inst->op() == Opcode::Bin && inst->bin_kind == BinKind::Sub) has_sub = true;
+    if (inst->op() == Opcode::ICmp && inst->icmp_pred != ICmpPred::EQ &&
+        inst->icmp_pred != ICmpPred::NE) {
+      const Constant* rhs = as_constant(inst->operand(1));
+      if (rhs == nullptr) {
+        dynamic_relational_left = true;
+      } else if (rhs->value() == 1ULL << 63) {
+        msb_check = true;  // widened to 64 bits; MSB is bit 63
+      }
+    }
+  }
+  EXPECT_TRUE(has_sub) << print(*fn);
+  EXPECT_TRUE(msb_check) << print(*fn);
+  EXPECT_FALSE(dynamic_relational_left) << print(*fn);
+}
+
+TEST(LowerPatterns, ConstantComparisonUntouched) {
+  auto r = lower("_kernel(1) void k(unsigned a, unsigned &y) { y = a > 10 ? 1 : 0; }");
+  Function* fn = r->module->find_function("k");
+  PassOptions options;
+  lower_patterns(*r->module, options, r->diags);
+  bool has_ugt = false;
+  for (const auto& inst : fn->entry()->instructions()) {
+    if (inst->op() == Opcode::ICmp && inst->icmp_pred == ICmpPred::UGT) has_ugt = true;
+  }
+  EXPECT_TRUE(has_ugt);
+}
+
+// --- mem_legality ------------------------------------------------------------
+
+// The paper's §V-D example: mutually exclusive accesses are valid, two
+// accesses on one path are not.
+TEST(MemLegality, MutuallyExclusiveAccessesValid) {
+  auto r = lower(R"(
+    _net_ int m[42];
+    _kernel(1) void b(int x, int &y) { y = (x > 10) ? m[0] : m[1]; }
+  )");
+  PassOptions options;
+  mem_legality(*r->module, options, r->diags);
+  EXPECT_FALSE(r->diags.has_errors()) << r->diags.render_all();
+}
+
+TEST(MemLegality, SamePathAccessesRejected) {
+  auto r = lower(R"(
+    _net_ int m[42];
+    _kernel(2) void a(int x, int &y) { y = m[0] + m[1]; }
+  )");
+  PassOptions options;
+  mem_legality(*r->module, options, r->diags);
+  EXPECT_TRUE(r->diags.contains_error("accessed more than once on a single path"));
+}
+
+// The paper's ordering example: reorderable conflicting orders are fine...
+TEST(MemLegality, ReorderableConflictAccepted) {
+  auto r = lower(R"(
+    _net_ int m1[42], m2[42];
+    _kernel(2) void b(int x, int &y) {
+      if (x > 10) { y = m1[0] + m2[1]; }
+      else        { y = m2[1] + m1[0]; }
+    }
+  )");
+  PassOptions options;
+  mem_legality(*r->module, options, r->diags);
+  EXPECT_FALSE(r->diags.has_errors()) << r->diags.render_all();
+}
+
+// ...but dependent accesses in conflicting orders are rejected.
+TEST(MemLegality, DependentConflictRejected) {
+  auto r = lower(R"(
+    _net_ int m1[42], m2[42];
+    _kernel(1) void a(int x, int &y) {
+      int t;
+      if (x > 10) { t = m1[0]; t = m2[t & 31]; }
+      else        { t = m2[0]; t = m1[t & 31]; }
+      y = t;
+    }
+  )");
+  PassOptions options;
+  mem_legality(*r->module, options, r->diags);
+  EXPECT_TRUE(r->diags.contains_error("different orders")) << r->diags.render_all();
+}
+
+TEST(MemLegality, PartitioningSplitsConstantOuterDim) {
+  auto r = lower(R"(
+    _net_ unsigned m[3][64];
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      ncl::atomic_add(&m[0][x & 63], 1);
+      ncl::atomic_add(&m[1][x & 63], 1);
+      y = ncl::atomic_add_new(&m[2][x & 63], 1);
+    }
+  )");
+  PassOptions options;
+  mem_legality(*r->module, options, r->diags);
+  EXPECT_FALSE(r->diags.has_errors()) << r->diags.render_all();
+  EXPECT_EQ(r->module->find_global("m"), nullptr);
+  EXPECT_NE(r->module->find_global("m$0"), nullptr);
+  EXPECT_NE(r->module->find_global("m$2"), nullptr);
+}
+
+TEST(MemLegality, PartitioningDisabledRejectsProgram) {
+  auto r = lower(R"(
+    _net_ unsigned m[3][64];
+    _kernel(1) void k(unsigned x, unsigned &y) {
+      ncl::atomic_add(&m[0][x & 63], 1);
+      ncl::atomic_add(&m[1][x & 63], 1);
+      y = ncl::atomic_add_new(&m[2][x & 63], 1);
+    }
+  )");
+  PassOptions options;
+  options.partitioning = false;
+  mem_legality(*r->module, options, r->diags);
+  EXPECT_TRUE(r->diags.contains_error("accessed more than once on a single path"));
+}
+
+TEST(MemLegality, LookupDuplication) {
+  auto r = lower(R"(
+    _net_ _lookup_ ncl::kv<unsigned, unsigned> t[] = {{1,2},{3,4}};
+    _kernel(1) void k(unsigned a, unsigned b, unsigned &x, unsigned &y) {
+      ncl::lookup(t, a, x);
+      ncl::lookup(t, b, y);
+    }
+  )");
+  PassOptions options;
+  mem_legality(*r->module, options, r->diags);
+  EXPECT_FALSE(r->diags.has_errors()) << r->diags.render_all();
+  EXPECT_NE(r->module->find_global("t$dup1"), nullptr);
+}
+
+TEST(MemLegality, ManagedLookupNotDuplicated) {
+  auto r = lower(R"(
+    _managed_ _lookup_ ncl::kv<unsigned, unsigned> t[] = {{1,2},{3,4}};
+    _kernel(1) void k(unsigned a, unsigned b, unsigned &x, unsigned &y) {
+      ncl::lookup(t, a, x);
+      ncl::lookup(t, b, y);
+    }
+  )");
+  PassOptions options;
+  mem_legality(*r->module, options, r->diags);
+  // Duplication is not available for managed lookup memory, so the two
+  // same-path lookups violate stage locality.
+  EXPECT_TRUE(r->diags.contains_error("accessed more than once on a single path"));
+}
+
+TEST(MemLegality, V1ModelSkipsChecks) {
+  auto r = lower(R"(
+    _net_ int m[42];
+    _kernel(2) void a(int x, int &y) { y = m[0] + m[1]; }
+  )");
+  PassOptions options;
+  options.target = Target::V1Model;
+  mem_legality(*r->module, options, r->diags);
+  EXPECT_FALSE(r->diags.has_errors());
+}
+
+// Full pipeline over the paper's Figure 7 AllReduce: partitioning makes the
+// unrolled Agg accesses legal and the kernel passes every check.
+TEST(Pipeline, Figure7AllReduceLegalOnTna) {
+  auto r = lower(R"(
+#define NUM_SLOTS 64
+#define SLOT_SIZE 4
+#define NUM_WORKERS 8
+_net_ uint16_t Bitmap[2][NUM_SLOTS];
+_net_ uint32_t Agg[SLOT_SIZE][NUM_SLOTS * 2];
+_net_ uint8_t Count[NUM_SLOTS * 2];
+
+_kernel(1) void allreduce(uint8_t ver, uint16_t bmp_idx, uint16_t agg_idx,
+                          uint16_t mask, uint32_t _spec(SLOT_SIZE) *v) {
+  uint16_t bitmap;
+  if (ver == 0) {
+    bitmap = ncl::atomic_or(&Bitmap[0][bmp_idx], mask);
+    ncl::atomic_and(&Bitmap[1][bmp_idx], ~mask);
+  } else {
+    ncl::atomic_and(&Bitmap[0][bmp_idx], ~mask);
+    bitmap = ncl::atomic_or(&Bitmap[1][bmp_idx], mask);
+  }
+  if (bitmap == 0) {
+    for (auto i = 0; i < SLOT_SIZE; ++i)
+      Agg[i][agg_idx] = v[i];
+    Count[agg_idx] = NUM_WORKERS - 1;
+  } else {
+    auto seen = bitmap & mask;
+    for (auto i = 0; i < SLOT_SIZE; ++i)
+      v[i] = ncl::atomic_cond_add_new(Agg[i][agg_idx], !seen, v[i]);
+    auto cnt = ncl::atomic_cond_dec(&Count[agg_idx], !seen);
+    if (cnt == 0)
+      return ncl::reflect();
+    if (cnt == 1)
+      return ncl::multicast(42);
+  }
+  return ncl::drop();
+}
+)");
+  PassOptions options;
+  run_pipeline(*r->module, options, r->diags);
+  EXPECT_FALSE(r->diags.has_errors()) << r->diags.render_all();
+  // Agg and Bitmap were partitioned.
+  EXPECT_NE(r->module->find_global("Agg$0"), nullptr);
+  EXPECT_NE(r->module->find_global("Bitmap$1"), nullptr);
+  Function* fn = r->module->find_function("allreduce");
+  EXPECT_TRUE(verify(*fn).empty()) << print(*fn);
+}
+
+}  // namespace
+}  // namespace netcl::passes

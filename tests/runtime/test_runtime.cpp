@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "runtime/device_runtime.hpp"
+#include "runtime/host.hpp"
+
+namespace netcl::runtime {
+namespace {
+
+KernelSpec spec_of(const std::string& signature) {
+  DiagnosticEngine diags;
+  SourceBuffer buffer("t", "_kernel(1) void k(" + signature + ") {}");
+  Program program = analyze_netcl(buffer, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  return make_kernel_spec(*program.kernels()[0]);
+}
+
+TEST(Message, PackSetsHeaderFields) {
+  const KernelSpec spec = spec_of("unsigned a, unsigned &b");
+  const Message message(3, 9, 1, 4);
+  sim::ArgValues args = sim::make_args(spec);
+  args[0][0] = 77;
+  const sim::Packet packet = pack(message, spec, args);
+  EXPECT_TRUE(packet.has_netcl);
+  EXPECT_EQ(packet.netcl.src, 3);
+  EXPECT_EQ(packet.netcl.dst, 9);
+  EXPECT_EQ(packet.netcl.to, 4);
+  EXPECT_EQ(packet.netcl.from, 0);  // nothing has computed on it yet
+  EXPECT_EQ(packet.netcl.comp, 1);
+  EXPECT_EQ(packet.netcl.len, packet.payload.size());
+  EXPECT_EQ(static_cast<int>(packet.payload.size()), spec.byte_size());
+}
+
+TEST(Message, PackUnpackRoundTrip) {
+  const KernelSpec spec = spec_of("char op, uint64_t key, uint32_t _spec(4) *v, char &hit");
+  const Message message(1, 2, 1, 1);
+  sim::ArgValues args = sim::make_args(spec);
+  args[0][0] = 2;
+  args[1][0] = 0xA1B2C3D4E5F60708ULL;
+  args[2] = {10, 20, 30, 40};
+  args[3][0] = 1;
+  const sim::Packet packet = pack(message, spec, args);
+  const auto [message2, args2] = unpack(packet, spec);
+  EXPECT_EQ(message2.src, message.src);
+  EXPECT_EQ(message2.dst, message.dst);
+  EXPECT_EQ(message2.comp, message.comp);
+  EXPECT_EQ(args2, args);
+}
+
+TEST(HostRuntime, SendWithoutSpecIsDropped) {
+  sim::Fabric fabric;
+  HostRuntime host(fabric, 1);
+  host.send(Message(1, 2, 1, 1), {});
+  EXPECT_EQ(host.sent, 0u);
+}
+
+TEST(HostRuntime, SrcIsForcedToOwnId) {
+  const KernelSpec spec = spec_of("unsigned a");
+  sim::Fabric fabric;
+  HostRuntime alice(fabric, 1);
+  HostRuntime bob(fabric, 2);
+  alice.register_spec(1, spec);
+  bob.register_spec(1, spec);
+  fabric.connect(sim::host_ref(1), sim::host_ref(2));
+  std::uint16_t seen_src = 0;
+  bob.on_receive([&](const Message& m, sim::ArgValues&) { seen_src = m.src; });
+  alice.send(Message(/*forged src*/ 42, 2, 1, 0), sim::make_args(spec));
+  fabric.run();
+  EXPECT_EQ(seen_src, 1);
+}
+
+TEST(DeviceConnection, InvalidDeviceId) {
+  sim::Fabric fabric;
+  DeviceConnection connection(fabric, 99);
+  EXPECT_FALSE(connection.valid());
+  EXPECT_FALSE(connection.managed_write("x", 1));
+  std::uint64_t out = 0;
+  EXPECT_FALSE(connection.managed_read("x", out));
+}
+
+// --- the device runtime action table (Table II semantics) --------------------
+
+struct ActionCase {
+  ActionKind action;
+  std::uint16_t target;
+  std::uint16_t from_before;  // previous computing device (0 = none)
+  // expectations:
+  bool drop;
+  bool multicast;
+  std::uint16_t dst_after;
+  std::uint16_t to_after;
+};
+
+class DeviceRuntimeActions : public ::testing::TestWithParam<ActionCase> {};
+
+TEST_P(DeviceRuntimeActions, RewritesHeader) {
+  const ActionCase& c = GetParam();
+  sim::NetclHeader header;
+  header.src = 1;
+  header.dst = 2;
+  header.from = c.from_before;
+  header.to = 5;  // this device
+  const ForwardDecision decision = apply_action(header, c.action, c.target, /*device=*/5);
+  EXPECT_EQ(decision.drop, c.drop);
+  EXPECT_EQ(decision.multicast, c.multicast);
+  EXPECT_EQ(header.from, 5) << "from must always become the computing device";
+  if (!c.drop && !c.multicast) {
+    EXPECT_EQ(header.dst, c.dst_after);
+    EXPECT_EQ(header.to, c.to_after);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2, DeviceRuntimeActions,
+    ::testing::Values(
+        // action, target, from_before, drop, mcast, dst_after, to_after
+        ActionCase{ActionKind::Drop, 0, 0, true, false, 0, 0},
+        ActionCase{ActionKind::Pass, 0, 0, false, false, 2, 0},
+        ActionCase{ActionKind::None, 0, 0, false, false, 2, 0},
+        ActionCase{ActionKind::SendToHost, 9, 0, false, false, 9, 0},
+        ActionCase{ActionKind::SendToDevice, 7, 0, false, false, 2, 7},
+        ActionCase{ActionKind::Multicast, 42, 0, false, true, 0, 0},
+        // reflect with no previous device: back to the source host
+        ActionCase{ActionKind::Reflect, 0, 0, false, false, 1, 0},
+        // reflect with a previous computing device: back to that device
+        ActionCase{ActionKind::Reflect, 0, 3, false, false, 2, 3},
+        // reflect_long: always back to the source host
+        ActionCase{ActionKind::ReflectLong, 0, 3, false, false, 1, 0}),
+    [](const ::testing::TestParamInfo<ActionCase>& info) {
+      return netcl::to_string(info.param.action) + "_from" +
+             std::to_string(info.param.from_before);
+    });
+
+}  // namespace
+}  // namespace netcl::runtime

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "support/hashes.hpp"
+
+namespace netcl {
+namespace {
+
+// CRC-16/ARC of "123456789" is the classic check value 0xBB3D.
+TEST(Hashes, Crc16CheckValue) {
+  const std::array<std::uint8_t, 9> data = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16(data), 0xBB3D);
+}
+
+// CRC-32 of "123456789" is 0xCBF43926.
+TEST(Hashes, Crc32CheckValue) {
+  const std::array<std::uint8_t, 9> data = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Hashes, Xor16Basics) {
+  const std::array<std::uint8_t, 4> data = {0x01, 0x02, 0x03, 0x04};
+  // words: 0x0201 ^ 0x0403 = 0x0602
+  EXPECT_EQ(xor16(data), 0x0602);
+}
+
+TEST(Hashes, Xor16OddTail) {
+  const std::array<std::uint8_t, 3> data = {0x01, 0x02, 0xFF};
+  EXPECT_EQ(xor16(data), static_cast<std::uint16_t>(0x0201 ^ 0xFF));
+}
+
+TEST(Hashes, EmptyInputs) {
+  EXPECT_EQ(crc16({}), 0);
+  EXPECT_EQ(crc32({}), 0);
+  EXPECT_EQ(xor16({}), 0);
+}
+
+TEST(Hashes, WordHelpersMatchByteForm) {
+  const std::uint64_t value = 0x1122334455667788ULL;
+  const std::array<std::uint8_t, 8> bytes = {0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11};
+  EXPECT_EQ(crc16_u64(value), crc16(bytes));
+  EXPECT_EQ(crc32_u64(value), crc32(bytes));
+  EXPECT_EQ(xor16_u64(value), xor16(bytes));
+  EXPECT_EQ(crc32_u64(value, 4), crc32(std::span(bytes).first(4)));
+}
+
+TEST(Hashes, DifferentKeysUsuallyDiffer) {
+  int collisions = 0;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    if (crc32_u64(k, 4) == crc32_u64(k + 1, 4)) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(SplitMix64, DeterministicAndSpread) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  SplitMix64 c(43);
+  int equal = 0;
+  SplitMix64 a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.next() == c.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, NextBelowInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(SplitMix64, NextDoubleInUnitInterval) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace netcl

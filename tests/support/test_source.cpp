@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+#include "support/source.hpp"
+
+namespace netcl {
+namespace {
+
+TEST(SourceBuffer, LineAccess) {
+  SourceBuffer buffer("test.ncl", "line one\nline two\nline three");
+  EXPECT_EQ(buffer.line(1), "line one");
+  EXPECT_EQ(buffer.line(2), "line two");
+  EXPECT_EQ(buffer.line(3), "line three");
+  EXPECT_EQ(buffer.line(4), "");
+  EXPECT_EQ(buffer.line(0), "");
+  EXPECT_EQ(buffer.line_count(), 3u);
+}
+
+TEST(SourceBuffer, EmptyBuffer) {
+  SourceBuffer buffer("empty.ncl", "");
+  EXPECT_EQ(buffer.line(1), "");
+  EXPECT_EQ(buffer.line_count(), 1u);
+}
+
+TEST(SourceBuffer, TrailingNewline) {
+  SourceBuffer buffer("t.ncl", "a\nb\n");
+  EXPECT_EQ(buffer.line(1), "a");
+  EXPECT_EQ(buffer.line(2), "b");
+}
+
+TEST(CountLoc, SkipsBlankAndCommentLines) {
+  const char* text = R"(
+// a comment
+int x = 1;   // trailing comment
+
+/* block
+   comment */
+int y = 2;
+{
+}
+)";
+  EXPECT_EQ(count_loc(text), 2);
+}
+
+TEST(CountLoc, BlockCommentOnOneLineWithCode) {
+  EXPECT_EQ(count_loc("int /* c */ x;"), 1);
+  EXPECT_EQ(count_loc("/* only comment */"), 0);
+}
+
+TEST(CountLoc, BraceOnlyLinesDoNotCount) {
+  EXPECT_EQ(count_loc("{\n}\n;\n"), 0);
+}
+
+TEST(Diagnostics, CountsErrors) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(diags.has_errors());
+  diags.warning({1, 1}, "a warning");
+  EXPECT_FALSE(diags.has_errors());
+  diags.error({2, 3}, "an error");
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 1);
+  EXPECT_TRUE(diags.contains_error("an error"));
+  EXPECT_FALSE(diags.contains_error("missing"));
+}
+
+TEST(Diagnostics, RenderIncludesSnippet) {
+  SourceBuffer buffer("t.ncl", "int x = @;");
+  DiagnosticEngine diags;
+  diags.error({1, 9}, "unexpected character '@'");
+  const std::string rendered = diags.render_all(&buffer);
+  EXPECT_NE(rendered.find("t.ncl:1:9"), std::string::npos);
+  EXPECT_NE(rendered.find("int x = @;"), std::string::npos);
+  EXPECT_NE(rendered.find('^'), std::string::npos);
+}
+
+TEST(Diagnostics, Clear) {
+  DiagnosticEngine diags;
+  diags.error({1, 1}, "e");
+  diags.clear();
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_TRUE(diags.diagnostics().empty());
+}
+
+}  // namespace
+}  // namespace netcl
