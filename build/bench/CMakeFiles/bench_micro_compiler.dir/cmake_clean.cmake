@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_compiler.dir/bench_micro_compiler.cpp.o"
+  "CMakeFiles/bench_micro_compiler.dir/bench_micro_compiler.cpp.o.d"
+  "bench_micro_compiler"
+  "bench_micro_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_compile_time.cpp" "bench/CMakeFiles/bench_table4_compile_time.dir/bench_table4_compile_time.cpp.o" "gcc" "bench/CMakeFiles/bench_table4_compile_time.dir/bench_table4_compile_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netcl_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

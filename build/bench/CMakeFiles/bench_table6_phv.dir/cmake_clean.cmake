@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_phv.dir/bench_table6_phv.cpp.o"
+  "CMakeFiles/bench_table6_phv.dir/bench_table6_phv.cpp.o.d"
+  "bench_table6_phv"
+  "bench_table6_phv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_phv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

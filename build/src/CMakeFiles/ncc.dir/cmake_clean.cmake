@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncc.dir/driver/ncc_main.cpp.o"
+  "CMakeFiles/ncc.dir/driver/ncc_main.cpp.o.d"
+  "ncc"
+  "ncc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

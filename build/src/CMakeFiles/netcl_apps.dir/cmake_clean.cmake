@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcl_apps.dir/apps/agg.cpp.o"
+  "CMakeFiles/netcl_apps.dir/apps/agg.cpp.o.d"
+  "CMakeFiles/netcl_apps.dir/apps/cache.cpp.o"
+  "CMakeFiles/netcl_apps.dir/apps/cache.cpp.o.d"
+  "CMakeFiles/netcl_apps.dir/apps/calc.cpp.o"
+  "CMakeFiles/netcl_apps.dir/apps/calc.cpp.o.d"
+  "CMakeFiles/netcl_apps.dir/apps/handwritten.cpp.o"
+  "CMakeFiles/netcl_apps.dir/apps/handwritten.cpp.o.d"
+  "CMakeFiles/netcl_apps.dir/apps/paxos.cpp.o"
+  "CMakeFiles/netcl_apps.dir/apps/paxos.cpp.o.d"
+  "CMakeFiles/netcl_apps.dir/apps/sources.cpp.o"
+  "CMakeFiles/netcl_apps.dir/apps/sources.cpp.o.d"
+  "libnetcl_apps.a"
+  "libnetcl_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcl_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcl_driver.dir/driver/compiler.cpp.o"
+  "CMakeFiles/netcl_driver.dir/driver/compiler.cpp.o.d"
+  "libnetcl_driver.a"
+  "libnetcl_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcl_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

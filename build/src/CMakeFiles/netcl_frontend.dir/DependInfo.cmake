@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/ast.cpp" "src/CMakeFiles/netcl_frontend.dir/frontend/ast.cpp.o" "gcc" "src/CMakeFiles/netcl_frontend.dir/frontend/ast.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "src/CMakeFiles/netcl_frontend.dir/frontend/lexer.cpp.o" "gcc" "src/CMakeFiles/netcl_frontend.dir/frontend/lexer.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/CMakeFiles/netcl_frontend.dir/frontend/parser.cpp.o" "gcc" "src/CMakeFiles/netcl_frontend.dir/frontend/parser.cpp.o.d"
+  "/root/repo/src/frontend/sema.cpp" "src/CMakeFiles/netcl_frontend.dir/frontend/sema.cpp.o" "gcc" "src/CMakeFiles/netcl_frontend.dir/frontend/sema.cpp.o.d"
+  "/root/repo/src/frontend/token.cpp" "src/CMakeFiles/netcl_frontend.dir/frontend/token.cpp.o" "gcc" "src/CMakeFiles/netcl_frontend.dir/frontend/token.cpp.o.d"
+  "/root/repo/src/frontend/type.cpp" "src/CMakeFiles/netcl_frontend.dir/frontend/type.cpp.o" "gcc" "src/CMakeFiles/netcl_frontend.dir/frontend/type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netcl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcl_frontend.dir/frontend/ast.cpp.o"
+  "CMakeFiles/netcl_frontend.dir/frontend/ast.cpp.o.d"
+  "CMakeFiles/netcl_frontend.dir/frontend/lexer.cpp.o"
+  "CMakeFiles/netcl_frontend.dir/frontend/lexer.cpp.o.d"
+  "CMakeFiles/netcl_frontend.dir/frontend/parser.cpp.o"
+  "CMakeFiles/netcl_frontend.dir/frontend/parser.cpp.o.d"
+  "CMakeFiles/netcl_frontend.dir/frontend/sema.cpp.o"
+  "CMakeFiles/netcl_frontend.dir/frontend/sema.cpp.o.d"
+  "CMakeFiles/netcl_frontend.dir/frontend/token.cpp.o"
+  "CMakeFiles/netcl_frontend.dir/frontend/token.cpp.o.d"
+  "CMakeFiles/netcl_frontend.dir/frontend/type.cpp.o"
+  "CMakeFiles/netcl_frontend.dir/frontend/type.cpp.o.d"
+  "libnetcl_frontend.a"
+  "libnetcl_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcl_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/netcl_ir.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/netcl_ir.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/dominators.cpp" "src/CMakeFiles/netcl_ir.dir/ir/dominators.cpp.o" "gcc" "src/CMakeFiles/netcl_ir.dir/ir/dominators.cpp.o.d"
+  "/root/repo/src/ir/eval.cpp" "src/CMakeFiles/netcl_ir.dir/ir/eval.cpp.o" "gcc" "src/CMakeFiles/netcl_ir.dir/ir/eval.cpp.o.d"
+  "/root/repo/src/ir/function.cpp" "src/CMakeFiles/netcl_ir.dir/ir/function.cpp.o" "gcc" "src/CMakeFiles/netcl_ir.dir/ir/function.cpp.o.d"
+  "/root/repo/src/ir/instruction.cpp" "src/CMakeFiles/netcl_ir.dir/ir/instruction.cpp.o" "gcc" "src/CMakeFiles/netcl_ir.dir/ir/instruction.cpp.o.d"
+  "/root/repo/src/ir/lower_ast.cpp" "src/CMakeFiles/netcl_ir.dir/ir/lower_ast.cpp.o" "gcc" "src/CMakeFiles/netcl_ir.dir/ir/lower_ast.cpp.o.d"
+  "/root/repo/src/ir/module.cpp" "src/CMakeFiles/netcl_ir.dir/ir/module.cpp.o" "gcc" "src/CMakeFiles/netcl_ir.dir/ir/module.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/netcl_ir.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/netcl_ir.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/CMakeFiles/netcl_ir.dir/ir/verifier.cpp.o" "gcc" "src/CMakeFiles/netcl_ir.dir/ir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netcl_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

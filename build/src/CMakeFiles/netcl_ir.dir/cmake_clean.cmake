@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcl_ir.dir/ir/builder.cpp.o"
+  "CMakeFiles/netcl_ir.dir/ir/builder.cpp.o.d"
+  "CMakeFiles/netcl_ir.dir/ir/dominators.cpp.o"
+  "CMakeFiles/netcl_ir.dir/ir/dominators.cpp.o.d"
+  "CMakeFiles/netcl_ir.dir/ir/eval.cpp.o"
+  "CMakeFiles/netcl_ir.dir/ir/eval.cpp.o.d"
+  "CMakeFiles/netcl_ir.dir/ir/function.cpp.o"
+  "CMakeFiles/netcl_ir.dir/ir/function.cpp.o.d"
+  "CMakeFiles/netcl_ir.dir/ir/instruction.cpp.o"
+  "CMakeFiles/netcl_ir.dir/ir/instruction.cpp.o.d"
+  "CMakeFiles/netcl_ir.dir/ir/lower_ast.cpp.o"
+  "CMakeFiles/netcl_ir.dir/ir/lower_ast.cpp.o.d"
+  "CMakeFiles/netcl_ir.dir/ir/module.cpp.o"
+  "CMakeFiles/netcl_ir.dir/ir/module.cpp.o.d"
+  "CMakeFiles/netcl_ir.dir/ir/printer.cpp.o"
+  "CMakeFiles/netcl_ir.dir/ir/printer.cpp.o.d"
+  "CMakeFiles/netcl_ir.dir/ir/verifier.cpp.o"
+  "CMakeFiles/netcl_ir.dir/ir/verifier.cpp.o.d"
+  "libnetcl_ir.a"
+  "libnetcl_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcl_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p4/latency.cpp" "src/CMakeFiles/netcl_p4.dir/p4/latency.cpp.o" "gcc" "src/CMakeFiles/netcl_p4.dir/p4/latency.cpp.o.d"
+  "/root/repo/src/p4/lower_pipeline.cpp" "src/CMakeFiles/netcl_p4.dir/p4/lower_pipeline.cpp.o" "gcc" "src/CMakeFiles/netcl_p4.dir/p4/lower_pipeline.cpp.o.d"
+  "/root/repo/src/p4/p4_printer.cpp" "src/CMakeFiles/netcl_p4.dir/p4/p4_printer.cpp.o" "gcc" "src/CMakeFiles/netcl_p4.dir/p4/p4_printer.cpp.o.d"
+  "/root/repo/src/p4/phv.cpp" "src/CMakeFiles/netcl_p4.dir/p4/phv.cpp.o" "gcc" "src/CMakeFiles/netcl_p4.dir/p4/phv.cpp.o.d"
+  "/root/repo/src/p4/resources.cpp" "src/CMakeFiles/netcl_p4.dir/p4/resources.cpp.o" "gcc" "src/CMakeFiles/netcl_p4.dir/p4/resources.cpp.o.d"
+  "/root/repo/src/p4/stage_alloc.cpp" "src/CMakeFiles/netcl_p4.dir/p4/stage_alloc.cpp.o" "gcc" "src/CMakeFiles/netcl_p4.dir/p4/stage_alloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netcl_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcl_p4.dir/p4/latency.cpp.o"
+  "CMakeFiles/netcl_p4.dir/p4/latency.cpp.o.d"
+  "CMakeFiles/netcl_p4.dir/p4/lower_pipeline.cpp.o"
+  "CMakeFiles/netcl_p4.dir/p4/lower_pipeline.cpp.o.d"
+  "CMakeFiles/netcl_p4.dir/p4/p4_printer.cpp.o"
+  "CMakeFiles/netcl_p4.dir/p4/p4_printer.cpp.o.d"
+  "CMakeFiles/netcl_p4.dir/p4/phv.cpp.o"
+  "CMakeFiles/netcl_p4.dir/p4/phv.cpp.o.d"
+  "CMakeFiles/netcl_p4.dir/p4/resources.cpp.o"
+  "CMakeFiles/netcl_p4.dir/p4/resources.cpp.o.d"
+  "CMakeFiles/netcl_p4.dir/p4/stage_alloc.cpp.o"
+  "CMakeFiles/netcl_p4.dir/p4/stage_alloc.cpp.o.d"
+  "libnetcl_p4.a"
+  "libnetcl_p4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcl_p4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

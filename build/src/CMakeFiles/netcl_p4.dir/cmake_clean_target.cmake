@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetcl_p4.a"
+)

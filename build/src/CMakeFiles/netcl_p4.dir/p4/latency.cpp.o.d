@@ -1,0 +1,3 @@
+src/CMakeFiles/netcl_p4.dir/p4/latency.cpp.o: \
+ /root/repo/src/p4/latency.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/p4/latency.hpp

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/dce.cpp" "src/CMakeFiles/netcl_passes.dir/passes/dce.cpp.o" "gcc" "src/CMakeFiles/netcl_passes.dir/passes/dce.cpp.o.d"
+  "/root/repo/src/passes/hoist.cpp" "src/CMakeFiles/netcl_passes.dir/passes/hoist.cpp.o" "gcc" "src/CMakeFiles/netcl_passes.dir/passes/hoist.cpp.o.d"
+  "/root/repo/src/passes/lower_patterns.cpp" "src/CMakeFiles/netcl_passes.dir/passes/lower_patterns.cpp.o" "gcc" "src/CMakeFiles/netcl_passes.dir/passes/lower_patterns.cpp.o.d"
+  "/root/repo/src/passes/mem_legality.cpp" "src/CMakeFiles/netcl_passes.dir/passes/mem_legality.cpp.o" "gcc" "src/CMakeFiles/netcl_passes.dir/passes/mem_legality.cpp.o.d"
+  "/root/repo/src/passes/simplify.cpp" "src/CMakeFiles/netcl_passes.dir/passes/simplify.cpp.o" "gcc" "src/CMakeFiles/netcl_passes.dir/passes/simplify.cpp.o.d"
+  "/root/repo/src/passes/sroa.cpp" "src/CMakeFiles/netcl_passes.dir/passes/sroa.cpp.o" "gcc" "src/CMakeFiles/netcl_passes.dir/passes/sroa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netcl_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcl_passes.dir/passes/dce.cpp.o"
+  "CMakeFiles/netcl_passes.dir/passes/dce.cpp.o.d"
+  "CMakeFiles/netcl_passes.dir/passes/hoist.cpp.o"
+  "CMakeFiles/netcl_passes.dir/passes/hoist.cpp.o.d"
+  "CMakeFiles/netcl_passes.dir/passes/lower_patterns.cpp.o"
+  "CMakeFiles/netcl_passes.dir/passes/lower_patterns.cpp.o.d"
+  "CMakeFiles/netcl_passes.dir/passes/mem_legality.cpp.o"
+  "CMakeFiles/netcl_passes.dir/passes/mem_legality.cpp.o.d"
+  "CMakeFiles/netcl_passes.dir/passes/simplify.cpp.o"
+  "CMakeFiles/netcl_passes.dir/passes/simplify.cpp.o.d"
+  "CMakeFiles/netcl_passes.dir/passes/sroa.cpp.o"
+  "CMakeFiles/netcl_passes.dir/passes/sroa.cpp.o.d"
+  "libnetcl_passes.a"
+  "libnetcl_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcl_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/host.cpp" "src/CMakeFiles/netcl_runtime.dir/runtime/host.cpp.o" "gcc" "src/CMakeFiles/netcl_runtime.dir/runtime/host.cpp.o.d"
+  "/root/repo/src/runtime/message.cpp" "src/CMakeFiles/netcl_runtime.dir/runtime/message.cpp.o" "gcc" "src/CMakeFiles/netcl_runtime.dir/runtime/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netcl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcl_runtime.dir/runtime/host.cpp.o"
+  "CMakeFiles/netcl_runtime.dir/runtime/host.cpp.o.d"
+  "CMakeFiles/netcl_runtime.dir/runtime/message.cpp.o"
+  "CMakeFiles/netcl_runtime.dir/runtime/message.cpp.o.d"
+  "libnetcl_runtime.a"
+  "libnetcl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

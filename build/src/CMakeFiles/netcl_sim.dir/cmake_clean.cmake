@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcl_sim.dir/sim/fabric.cpp.o"
+  "CMakeFiles/netcl_sim.dir/sim/fabric.cpp.o.d"
+  "CMakeFiles/netcl_sim.dir/sim/packet.cpp.o"
+  "CMakeFiles/netcl_sim.dir/sim/packet.cpp.o.d"
+  "CMakeFiles/netcl_sim.dir/sim/registers.cpp.o"
+  "CMakeFiles/netcl_sim.dir/sim/registers.cpp.o.d"
+  "CMakeFiles/netcl_sim.dir/sim/switch.cpp.o"
+  "CMakeFiles/netcl_sim.dir/sim/switch.cpp.o.d"
+  "CMakeFiles/netcl_sim.dir/sim/table.cpp.o"
+  "CMakeFiles/netcl_sim.dir/sim/table.cpp.o.d"
+  "libnetcl_sim.a"
+  "libnetcl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcl_support.dir/support/diagnostics.cpp.o"
+  "CMakeFiles/netcl_support.dir/support/diagnostics.cpp.o.d"
+  "CMakeFiles/netcl_support.dir/support/hashes.cpp.o"
+  "CMakeFiles/netcl_support.dir/support/hashes.cpp.o.d"
+  "CMakeFiles/netcl_support.dir/support/source.cpp.o"
+  "CMakeFiles/netcl_support.dir/support/source.cpp.o.d"
+  "libnetcl_support.a"
+  "libnetcl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend.dir/frontend/test_lexer.cpp.o"
+  "CMakeFiles/test_frontend.dir/frontend/test_lexer.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/frontend/test_parser.cpp.o"
+  "CMakeFiles/test_frontend.dir/frontend/test_parser.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/frontend/test_sema.cpp.o"
+  "CMakeFiles/test_frontend.dir/frontend/test_sema.cpp.o.d"
+  "test_frontend"
+  "test_frontend.pdb"
+  "test_frontend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

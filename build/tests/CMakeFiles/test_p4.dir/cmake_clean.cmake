@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p4.dir/p4/test_backend.cpp.o"
+  "CMakeFiles/test_p4.dir/p4/test_backend.cpp.o.d"
+  "test_p4"
+  "test_p4.pdb"
+  "test_p4[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
