@@ -9,10 +9,14 @@
 // per-worker throughput does not degrade as workers are added.
 #include "apps/agg.hpp"
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 
 int main() {
   using namespace netcl;
   using namespace netcl::bench;
+
+  // Fresh slate so the BENCH json reflects exactly this binary's runs.
+  obs::reset_all();
 
   std::printf("Fig 14 (left): AGG end-to-end throughput (ATE/s per worker)\n");
   print_rule(72);
@@ -48,5 +52,15 @@ int main() {
   }
   print_rule(72);
   std::printf("paper: NetCL == handwritten; per-worker ATE/s flat from 2 to 6 workers\n");
+
+  // Cumulative fabric/host/device metrics over all runs above: packet
+  // counters, per-computation send/receive counts, and the workers'
+  // round-trip latency histograms.
+  const char* metrics_path = "BENCH_fig14_agg_e2e.json";
+  if (!obs::dump(metrics_path)) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", metrics_path);
+    return 1;
+  }
+  std::printf("metrics: %s\n", metrics_path);
   return 0;
 }

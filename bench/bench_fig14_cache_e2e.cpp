@@ -11,10 +11,14 @@
 // delta).
 #include "apps/cache.hpp"
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 
 int main() {
   using namespace netcl;
   using namespace netcl::bench;
+
+  // Fresh slate so the BENCH json reflects exactly this binary's runs.
+  obs::reset_all();
 
   std::printf("Fig 14 (right): CACHE mean response time vs cached keys\n");
   print_rule(86);
@@ -47,5 +51,12 @@ int main() {
   std::printf("paper: ~%.1f us all-hit vs ~%.1f us all-miss; NetCL ~= handwritten "
               "(differences are host-side)\n",
               apps::paper_reference().cache_hit_us, apps::paper_reference().cache_miss_us);
+
+  const char* metrics_path = "BENCH_fig14_cache_e2e.json";
+  if (!obs::dump(metrics_path)) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", metrics_path);
+    return 1;
+  }
+  std::printf("metrics: %s\n", metrics_path);
   return 0;
 }

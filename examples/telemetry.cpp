@@ -112,7 +112,8 @@ int main() {
                 static_cast<unsigned long long>(count));
   }
   std::uint64_t bytes = 0;
-  connection.managed_read("flow_bytes", bytes, {crc16_u64(101, 4) & 4095});
+  connection.managed_read("flow_bytes", bytes,
+                          {static_cast<std::uint64_t>(crc16_u64(101, 4) & 4095)});
   std::printf("\nflow 101 accumulated %llu bytes (ncl::managed_read)\n",
               static_cast<unsigned long long>(bytes));
   return 0;

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "frontend/lexer.hpp"
+#include "obs/report.hpp"
 #include "p4/p4_printer.hpp"
 #include "p4/phv.hpp"
 #include "p4/pipeline.hpp"
@@ -51,6 +52,11 @@ struct CompileResult {
   int netcl_loc = 0;              // LoC of the NetCL-C source
   double frontend_seconds = 0.0;  // parse + sema + lower + passes (ncc)
   double backend_seconds = 0.0;   // P4 emission + allocation (bf-p4c proxy)
+
+  /// Structured per-pass timings, IR-size deltas, resource/PHV usage, and
+  /// diagnostics — filled for successful and failed compiles alike
+  /// (ncc --stats renders it; benches ingest the JSON form).
+  obs::CompileReport report;
 };
 
 /// Compiles `source` for one device.

@@ -10,20 +10,44 @@
 //     -D NAME=VALUE      predefine an integer macro
 //     --emit-ir          print the optimized IR
 //     --report           print resource / PHV / latency reports
+//     --stats[=json]     print the structured CompileReport (per-pass
+//                        timings + IR-size deltas) as text or JSON
+//     --trace-out <file> write a Chrome trace-event JSON of the compile
+//                        (open in chrome://tracing or ui.perfetto.dev)
+//     --version          print the version and exit
+//
+// Exit codes: 0 success, 1 compile/input/output failure, 2 usage error.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "driver/compiler.hpp"
 #include "ir/printer.hpp"
+#include "obs/trace.hpp"
 #include "p4/latency.hpp"
 
 namespace {
 
+constexpr const char* kVersion = "ncc (netcl) 0.2.0";
+
 void print_usage() {
   std::cerr << "usage: ncc [--device N] [--target tna|v1] [--no-speculation]\n"
                "           [--no-duplication] [--no-partitioning] [--no-hoisting]\n"
-               "           [-D NAME=VALUE] [--emit-ir] [--report] <source.ncl>\n";
+               "           [-D NAME=VALUE] [--emit-ir] [--report] [--stats[=json]]\n"
+               "           [--trace-out <file>] [--version] <source.ncl>\n";
+}
+
+/// Parses a long value or fails with a usage error (exit 2).
+bool parse_number(const std::string& flag, const std::string& text, std::uint64_t& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return true;
+  } catch (const std::exception&) {
+    std::cerr << "ncc: invalid number '" << text << "' for " << flag << "\n";
+    return false;
+  }
 }
 
 }  // namespace
@@ -31,13 +55,18 @@ void print_usage() {
 int main(int argc, char** argv) {
   netcl::driver::CompileOptions options;
   std::string path;
+  std::string trace_path;
   bool emit_ir = false;
   bool report = false;
+  bool stats = false;
+  bool stats_json = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--device" && i + 1 < argc) {
-      options.device_id = std::stoi(argv[++i]);
+      std::uint64_t device = 0;
+      if (!parse_number(arg, argv[++i], device)) return 2;
+      options.device_id = static_cast<int>(device);
     } else if (arg == "--target" && i + 1 < argc) {
       const std::string target = argv[++i];
       if (target == "tna") {
@@ -62,13 +91,24 @@ int main(int argc, char** argv) {
       if (eq == std::string::npos) {
         options.defines[define] = 1;
       } else {
-        options.defines[define.substr(0, eq)] =
-            std::stoull(define.substr(eq + 1));
+        std::uint64_t value = 0;
+        if (!parse_number("-D", define.substr(eq + 1), value)) return 2;
+        options.defines[define.substr(0, eq)] = value;
       }
     } else if (arg == "--emit-ir") {
       emit_ir = true;
     } else if (arg == "--report") {
       report = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--stats=json") {
+      stats = true;
+      stats_json = true;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--version") {
+      std::cout << kVersion << "\n";
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
       print_usage();
       return 0;
@@ -92,14 +132,31 @@ int main(int argc, char** argv) {
   }
   std::ostringstream text;
   text << file.rdbuf();
+  if (file.bad()) {
+    std::cerr << "ncc: error reading '" << path << "'\n";
+    return 1;
+  }
+
+  if (!trace_path.empty()) netcl::obs::tracer().enable();
 
   netcl::driver::CompileResult result = netcl::driver::compile_netcl(text.str(), options);
+
+  if (!trace_path.empty() && !netcl::obs::tracer().write(trace_path)) {
+    std::cerr << "ncc: cannot write trace to '" << trace_path << "'\n";
+    return 1;
+  }
+
   if (!result.ok) {
+    // --stats=json still emits a machine-readable (ok=false) report so
+    // tooling sees the diagnostics and whatever passes did run.
+    if (stats_json) std::cout << result.report.to_json() << "\n";
     std::cerr << result.errors;
     return 1;
   }
 
-  if (emit_ir) {
+  if (stats) {
+    std::cout << (stats_json ? result.report.to_json() + "\n" : result.report.to_text());
+  } else if (emit_ir) {
     std::cout << netcl::ir::print(*result.module);
   } else if (report) {
     std::cout << "netcl loc:       " << result.netcl_loc << "\n";
@@ -116,6 +173,10 @@ int main(int argc, char** argv) {
               << " s\n";
   } else {
     std::cout << result.p4.full();
+  }
+  if (!std::cout.good()) {
+    std::cerr << "ncc: error writing output\n";
+    return 1;
   }
   return 0;
 }

@@ -14,7 +14,11 @@ std::int64_t ScalarType::extend(std::uint64_t v) const {
 
 std::string ScalarType::to_string() const {
   if (bits == 1) return "bool";
-  return (is_signed ? "i" : "u") + std::to_string(static_cast<int>(bits));
+  // Built up in two steps: the one-expression concatenation trips a GCC 12
+  // -Wrestrict false positive under -Werror.
+  std::string name(is_signed ? "i" : "u");
+  name += std::to_string(static_cast<int>(bits));
+  return name;
 }
 
 ScalarType common_type(ScalarType a, ScalarType b) {

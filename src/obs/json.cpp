@@ -1,0 +1,255 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace netcl::obs {
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  out_ += '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  needs_comma_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  out_ += '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  needs_comma_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  separate();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view text) {
+  separate();
+  out_ += '"';
+  out_ += json_escape(text);
+  out_ += '"';
+}
+
+void JsonWriter::value(bool flag) {
+  separate();
+  out_ += flag ? "true" : "false";
+}
+
+void JsonWriter::value(double number) {
+  if (!std::isfinite(number)) {
+    null();
+    return;
+  }
+  separate();
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", number);
+  out_ += buffer;
+}
+
+void JsonWriter::value(std::uint64_t number) {
+  separate();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(std::int64_t number) {
+  separate();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::null() {
+  separate();
+  out_ += "null";
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// --- validation --------------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent JSON recognizer over [cursor, end).
+struct Validator {
+  const char* cursor;
+  const char* end;
+  int depth = 0;
+  static constexpr int kMaxDepth = 256;
+
+  void skip_ws() {
+    while (cursor != end &&
+           (*cursor == ' ' || *cursor == '\t' || *cursor == '\n' || *cursor == '\r')) {
+      ++cursor;
+    }
+  }
+  [[nodiscard]] bool consume(char c) {
+    if (cursor == end || *cursor != c) return false;
+    ++cursor;
+    return true;
+  }
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (static_cast<std::size_t>(end - cursor) < word.size()) return false;
+    if (std::string_view(cursor, word.size()) != word) return false;
+    cursor += word.size();
+    return true;
+  }
+
+  [[nodiscard]] bool string() {
+    if (!consume('"')) return false;
+    while (cursor != end) {
+      const unsigned char c = static_cast<unsigned char>(*cursor++);
+      if (c == '"') return true;
+      if (c < 0x20) return false;  // control characters must be escaped
+      if (c == '\\') {
+        if (cursor == end) return false;
+        const char esc = *cursor++;
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (cursor == end || !std::isxdigit(static_cast<unsigned char>(*cursor))) {
+              return false;
+            }
+            ++cursor;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' && esc != 'f' &&
+                   esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  [[nodiscard]] bool digits() {
+    if (cursor == end || !std::isdigit(static_cast<unsigned char>(*cursor))) return false;
+    while (cursor != end && std::isdigit(static_cast<unsigned char>(*cursor))) ++cursor;
+    return true;
+  }
+
+  [[nodiscard]] bool number() {
+    (void)consume('-');
+    if (consume('0')) {
+      // leading zero may not be followed by more digits
+    } else if (!digits()) {
+      return false;
+    }
+    if (consume('.') && !digits()) return false;
+    if (cursor != end && (*cursor == 'e' || *cursor == 'E')) {
+      ++cursor;
+      if (cursor != end && (*cursor == '+' || *cursor == '-')) ++cursor;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool value() {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    bool ok = false;
+    if (cursor == end) {
+      ok = false;
+    } else if (*cursor == '{') {
+      ++cursor;
+      skip_ws();
+      if (consume('}')) {
+        ok = true;
+      } else {
+        while (true) {
+          skip_ws();
+          if (!string()) return false;
+          skip_ws();
+          if (!consume(':') || !value()) return false;
+          skip_ws();
+          if (consume('}')) {
+            ok = true;
+            break;
+          }
+          if (!consume(',')) return false;
+        }
+      }
+    } else if (*cursor == '[') {
+      ++cursor;
+      skip_ws();
+      if (consume(']')) {
+        ok = true;
+      } else {
+        while (true) {
+          if (!value()) return false;
+          skip_ws();
+          if (consume(']')) {
+            ok = true;
+            break;
+          }
+          if (!consume(',')) return false;
+        }
+      }
+    } else if (*cursor == '"') {
+      ok = string();
+    } else if (*cursor == 't') {
+      ok = literal("true");
+    } else if (*cursor == 'f') {
+      ok = literal("false");
+    } else if (*cursor == 'n') {
+      ok = literal("null");
+    } else {
+      ok = number();
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+bool is_valid_json(std::string_view text) {
+  Validator v{text.data(), text.data() + text.size()};
+  if (!v.value()) return false;
+  v.skip_ws();
+  return v.cursor == v.end;
+}
+
+}  // namespace netcl::obs

@@ -1,0 +1,63 @@
+// Minimal JSON emission and validation for the observability subsystem.
+//
+// Everything netcl::obs serializes (metrics dumps, Chrome traces, compile
+// reports) goes through JsonWriter so escaping and separator handling live
+// in exactly one place. is_valid_json() is a strict RFC 8259 recognizer
+// used by tests to assert well-formedness without an external parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netcl::obs {
+
+/// Streaming writer for compact (no-whitespace) JSON. Usage:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("count"); w.value(std::uint64_t{3});
+///   w.end_object();
+///   std::string text = std::move(w).str();
+///
+/// The writer tracks separators; callers only sequence begin/key/value
+/// calls. Doubles are emitted with enough precision to round-trip; NaN and
+/// infinities (not representable in JSON) become null.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view name);
+
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(bool flag);
+  void value(double number);
+  void value(std::uint64_t number);
+  void value(std::int64_t number);
+  void value(int number) { value(static_cast<std::int64_t>(number)); }
+  void null();
+
+  [[nodiscard]] const std::string& str() const& { return out_; }
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+
+ private:
+  /// Emits the element separator when needed and marks a value as written.
+  void separate();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // one flag per open container
+  bool after_key_ = false;
+};
+
+/// Escapes `text` for inclusion inside a JSON string literal (no quotes).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Strict recognizer for one complete JSON value (object, array, string,
+/// number, true/false/null) with nothing but whitespace around it.
+[[nodiscard]] bool is_valid_json(std::string_view text);
+
+}  // namespace netcl::obs

@@ -1,0 +1,248 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace netcl::obs {
+
+// --- Histogram ---------------------------------------------------------------
+
+int Histogram::bucket_for(double sample) {
+  if (!(sample >= 1.0)) return 0;  // negatives, NaN, and [0,1) land in bucket 0
+  if (sample >= std::ldexp(1.0, kBuckets - 1)) return kBuckets - 1;
+  const int bucket = std::bit_width(static_cast<std::uint64_t>(sample)) - 1;
+  return std::min(bucket, kBuckets - 1);
+}
+
+double Histogram::bucket_floor(int bucket) {
+  return bucket <= 0 ? 0.0 : std::ldexp(1.0, bucket);
+}
+
+void Histogram::record(double sample) {
+  if (std::isnan(sample)) return;
+  if (sample < 0.0) sample = 0.0;
+  ++buckets_[bucket_for(sample)];
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::reset() { *this = Histogram(); }
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      const double lo = bucket_floor(i);
+      const double hi = i + 1 >= kBuckets ? max_ : bucket_floor(i + 1);
+      const double fraction =
+          std::clamp((rank - before) / static_cast<double>(buckets_[i]), 0.0, 1.0);
+      return std::clamp(lo + fraction * (hi - lo), min(), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("count");
+  w.value(count_);
+  w.key("sum");
+  w.value(sum_);
+  w.key("min");
+  w.value(min());
+  w.key("max");
+  w.value(max());
+  w.key("mean");
+  w.value(mean());
+  w.key("p50");
+  w.value(percentile(50));
+  w.key("p90");
+  w.value(percentile(90));
+  w.key("p99");
+  w.value(percentile(99));
+  w.key("buckets");
+  w.begin_object();
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0f", bucket_floor(i));
+    w.key(label);
+    w.value(buckets_[i]);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+// --- registry bookkeeping ----------------------------------------------------
+
+namespace {
+
+/// Final values of destroyed registries, merged by registry name.
+struct RetainedRegistry {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+};
+
+struct GlobalState {
+  std::mutex mutex;
+  std::vector<MetricsRegistry*> live;
+  std::map<std::string, RetainedRegistry> retained;
+};
+
+GlobalState& state() {
+  static GlobalState s;
+  return s;
+}
+
+void merge_into(RetainedRegistry& into, const MetricsRegistry& from) {
+  for (const auto& [name, counter] : from.counters()) into.counters[name] += counter->value();
+  for (const auto& [name, gauge] : from.gauges()) into.gauges[name] = gauge->value();
+  for (const auto& [name, histogram] : from.histograms()) {
+    into.histograms[name].merge(*histogram);
+  }
+}
+
+void write_registry_json(JsonWriter& w, const RetainedRegistry& r) {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : r.counters) {
+    w.key(name);
+    w.value(value);
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, value] : r.gauges) {
+    w.key(name);
+    w.value(value);
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, histogram] : r.histograms) {
+    w.key(name);
+    histogram.write_json(w);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry(std::string name) : name_(std::move(name)) {
+  GlobalState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.live.push_back(this);
+}
+
+MetricsRegistry::~MetricsRegistry() {
+  GlobalState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  merge_into(s.retained[name_], *this);
+  std::erase(s.live, this);
+}
+
+Counter& MetricsRegistry::counter(const std::string& metric) {
+  auto& slot = counters_[metric];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& metric) {
+  auto& slot = gauges_[metric];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& metric) {
+  auto& slot = histograms_[metric];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+MetricsRegistry& registry() {
+  // Constructed after state() so it is destroyed (and retained) before the
+  // global bookkeeping goes away.
+  (void)state();
+  static MetricsRegistry global("global");
+  return global;
+}
+
+std::string dump_string() {
+  GlobalState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  // Snapshot = retained values plus everything still live, merged by name.
+  std::map<std::string, RetainedRegistry> merged = s.retained;
+  for (const MetricsRegistry* live : s.live) merge_into(merged[live->name()], *live);
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("netcl_obs_version");
+  w.value(1);
+  w.key("registries");
+  w.begin_object();
+  for (const auto& [name, r] : merged) {
+    w.key(name);
+    write_registry_json(w, r);
+  }
+  w.end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
+bool dump(const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << dump_string() << "\n";
+  return file.good();
+}
+
+void reset_all() {
+  GlobalState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.retained.clear();
+  for (MetricsRegistry* live : s.live) live->reset();
+}
+
+}  // namespace netcl::obs

@@ -1,0 +1,151 @@
+// netcl::obs metrics: named counters, gauges, and latency histograms.
+//
+// Design goals (ISSUE 1):
+//  * lock-cheap — incrementing a Counter or recording into a Histogram is a
+//    plain integer operation on a handle obtained once; the only locking
+//    is around the process-wide registry list, touched at registry
+//    construction/destruction and dump() time;
+//  * survives teardown — a MetricsRegistry folds its final values into a
+//    process-wide retained store when destroyed, so benches can run a
+//    whole simulation (fabric + hosts scoped inside the run) and still
+//    obs::dump() everything afterwards into a BENCH_*.json;
+//  * ns-scale latency — Histogram uses power-of-two buckets spanning
+//    sub-nanosecond to ~2^63 ns, fitting both the fabric's simulated-time
+//    latencies and wall-clock pack/unpack costs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace netcl::obs {
+
+class JsonWriter;
+
+/// Monotonic event count. Implicitly converts to its value so existing
+/// `stats.sent`-style reads keep working.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  Counter& operator++() {
+    ++value_;
+    return *this;
+  }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  operator std::uint64_t() const { return value_; }  // NOLINT(google-explicit-constructor)
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written value (e.g. stages used, occupancy percentages).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Power-of-two-bucketed histogram for non-negative samples (latencies in
+/// ns). Bucket i counts samples in [2^i, 2^(i+1)); bucket 0 additionally
+/// absorbs everything below 1. Exact count/sum/min/max are kept alongside
+/// the buckets, so means are exact and only percentiles are interpolated.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  /// Bucket index for a sample (clamped to [0, kBuckets-1]).
+  [[nodiscard]] static int bucket_for(double sample);
+  /// Inclusive lower bound of bucket i (2^i; bucket 0 starts at 0).
+  [[nodiscard]] static double bucket_floor(int bucket);
+
+  void record(double sample);
+  void merge(const Histogram& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] std::uint64_t bucket_count(int bucket) const { return buckets_[bucket]; }
+
+  /// Percentile estimate (p in [0,100]): linear interpolation inside the
+  /// bucket holding the target rank, clamped to the observed [min, max].
+  [[nodiscard]] double percentile(double p) const;
+
+  /// {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p90":..,
+  ///  "p99":..,"buckets":{"<floor>":count,...}} (nonzero buckets only).
+  void write_json(JsonWriter& w) const;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A named bag of metrics. Registries register themselves in a process-wide
+/// list on construction; on destruction their contents are folded into a
+/// retained store under the registry name (counters/histograms merge
+/// additively, gauges keep the last value), so dump() sees completed runs.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::string name);
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Finds or creates. Returned references stay valid for the registry's
+  /// lifetime (storage is node-based).
+  Counter& counter(const std::string& metric);
+  Gauge& gauge(const std::string& metric);
+  Histogram& histogram(const std::string& metric);
+
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const {
+    return histograms_;
+  }
+
+  void reset();
+
+ private:
+  std::string name_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide default registry (name "global").
+MetricsRegistry& registry();
+
+/// JSON snapshot of every live registry plus the retained store:
+/// {"netcl_obs_version":1,"registries":{name:{"counters":{...},
+///  "gauges":{...},"histograms":{...}},...}}. Same-named registries
+/// (live or retained) are merged additively.
+[[nodiscard]] std::string dump_string();
+
+/// Writes dump_string() to `path`. Returns false on I/O failure. This is
+/// what benches call to emit BENCH_*.json.
+bool dump(const std::string& path);
+
+/// Clears the retained store and resets every live registry — used by
+/// tests and benches that need a clean slate between runs.
+void reset_all();
+
+}  // namespace netcl::obs

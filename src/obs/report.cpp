@@ -1,0 +1,131 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace netcl::obs {
+
+namespace {
+
+void append_row(std::string& out, const PassStat& pass) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %-32s %10.1f us %6d -> %-6d (%+d)\n",
+                pass.name.c_str(), pass.seconds * 1e6, pass.insts_before, pass.insts_after,
+                pass.delta());
+  out += line;
+}
+
+void append_kv(std::string& out, const char* key, const std::string& value) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-18s %s\n", key, value.c_str());
+  out += line;
+}
+
+std::string format_double(const char* fmt, double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), fmt, v);
+  return buffer;
+}
+
+std::string usage_row(const std::map<std::string, int>& usage) {
+  std::string out;
+  for (const auto& [resource, amount] : usage) {
+    if (!out.empty()) out += ' ';
+    out += resource + "=" + std::to_string(amount);
+  }
+  return out;
+}
+
+}  // namespace
+
+double CompileReport::total_pass_seconds() const {
+  double total = 0.0;
+  for (const PassStat& pass : passes) total += pass.seconds;
+  return total;
+}
+
+std::string CompileReport::to_text() const {
+  std::string out;
+  append_kv(out, "status:", ok ? "ok" : "failed");
+  append_kv(out, "netcl loc:", std::to_string(netcl_loc));
+  append_kv(out, "generated p4 loc:", std::to_string(p4_loc));
+  append_kv(out, "stages used:", std::to_string(stages_used));
+  append_kv(out, "phv:",
+            std::to_string(phv_bits) + " bits (" + format_double("%.1f", phv_occupancy_pct) +
+                "%)");
+  append_kv(out, "latency (worst):", format_double("%.1f", worst_latency_ns) + " ns");
+  append_kv(out, "pipe total:", usage_row(pipe_total));
+  append_kv(out, "worst stage:", usage_row(worst_stage));
+  append_kv(out, "frontend:", format_double("%.3f", frontend_seconds * 1e3) + " ms");
+  append_kv(out, "backend:", format_double("%.3f", backend_seconds * 1e3) + " ms");
+  out += "passes (" + std::to_string(passes.size()) + "):\n";
+  for (const PassStat& pass : passes) append_row(out, pass);
+  if (!diagnostics.empty()) {
+    out += "diagnostics:\n";
+    for (const std::string& diagnostic : diagnostics) out += "  " + diagnostic + "\n";
+  }
+  return out;
+}
+
+std::string CompileReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("ok");
+  w.value(ok);
+  w.key("netcl_loc");
+  w.value(netcl_loc);
+  w.key("p4_loc");
+  w.value(p4_loc);
+  w.key("frontend_seconds");
+  w.value(frontend_seconds);
+  w.key("backend_seconds");
+  w.value(backend_seconds);
+  w.key("stages_used");
+  w.value(stages_used);
+  w.key("phv_bits");
+  w.value(phv_bits);
+  w.key("phv_occupancy_pct");
+  w.value(phv_occupancy_pct);
+  w.key("worst_latency_ns");
+  w.value(worst_latency_ns);
+  w.key("pipe_total");
+  w.begin_object();
+  for (const auto& [resource, amount] : pipe_total) {
+    w.key(resource);
+    w.value(amount);
+  }
+  w.end_object();
+  w.key("worst_stage");
+  w.begin_object();
+  for (const auto& [resource, amount] : worst_stage) {
+    w.key(resource);
+    w.value(amount);
+  }
+  w.end_object();
+  w.key("passes");
+  w.begin_array();
+  for (const PassStat& pass : passes) {
+    w.begin_object();
+    w.key("name");
+    w.value(pass.name);
+    w.key("seconds");
+    w.value(pass.seconds);
+    w.key("insts_before");
+    w.value(pass.insts_before);
+    w.key("insts_after");
+    w.value(pass.insts_after);
+    w.key("delta");
+    w.value(pass.delta());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("diagnostics");
+  w.begin_array();
+  for (const std::string& diagnostic : diagnostics) w.value(diagnostic);
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace netcl::obs

@@ -1,0 +1,61 @@
+// Structured compile report (the paper's Fig. 12 / Tables IV–VI data, per
+// compile): per-pass wall time and IR-size deltas, backend resource and
+// PHV usage, and any diagnostics — rendered as aligned human text
+// (ncc --stats) or JSON (ncc --stats=json, bench ingestion).
+//
+// The report is deliberately flat (strings and numbers only) so obs stays
+// below every other library: the driver and passes fill it in, nothing
+// here depends on the IR or the P4 backend.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace netcl::obs {
+
+/// One instrumented phase of the compilation pipeline.
+struct PassStat {
+  std::string name;
+  double seconds = 0.0;
+  int insts_before = 0;  // module instruction count entering the pass
+  int insts_after = 0;   // ... and leaving it
+  [[nodiscard]] int delta() const { return insts_after - insts_before; }
+};
+
+struct CompileReport {
+  bool ok = false;
+
+  // Source / artifact sizes.
+  int netcl_loc = 0;
+  int p4_loc = 0;
+
+  // Phase timings (frontend = parse+sema+lower+passes, backend = emission
+  // + linearization + allocation, matching CompileResult's split).
+  double frontend_seconds = 0.0;
+  double backend_seconds = 0.0;
+
+  // Backend placement results.
+  int stages_used = 0;
+  int phv_bits = 0;
+  double phv_occupancy_pct = 0.0;
+  double worst_latency_ns = 0.0;
+  std::map<std::string, int> pipe_total;   // resource -> whole-pipe usage
+  std::map<std::string, int> worst_stage;  // resource -> worst single stage
+
+  std::vector<PassStat> passes;
+  std::vector<std::string> diagnostics;  // rendered, one per entry
+
+  void add_pass(std::string name, double seconds, int insts_before, int insts_after) {
+    passes.push_back({std::move(name), seconds, insts_before, insts_after});
+  }
+  [[nodiscard]] double total_pass_seconds() const;
+
+  /// Aligned human-readable rendering (ncc --stats).
+  [[nodiscard]] std::string to_text() const;
+  /// JSON rendering (ncc --stats=json); always valid JSON, also for
+  /// failed compiles (ok=false plus diagnostics).
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace netcl::obs

@@ -24,6 +24,7 @@
 //                          conflicting accesses are independent and can be
 //                          reordered.
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "ir/dominators.hpp"
+#include "obs/trace.hpp"
 #include "passes/passes.hpp"
 
 namespace netcl::passes {
@@ -317,30 +319,73 @@ void mem_legality(Module& module, const PassOptions& options, DiagnosticEngine& 
   check_module(module, options, diags);
 }
 
+namespace {
+
+/// Total instruction count across the module, for pass-delta reporting.
+int module_insts(const Module& module) {
+  std::size_t n = 0;
+  for (const auto& fn : module.functions()) n += fn->instruction_count();
+  return static_cast<int>(n);
+}
+
+/// Runs `body` as one observed pass: wall-times it, wraps it in a trace
+/// span, and (when requested) records an obs::PassStat with the module's
+/// instruction-count delta.
+template <typename Body>
+void observed_pass(Module& module, const PassOptions& options, const std::string& name,
+                   Body&& body) {
+  // Fast path: with no report requested and the tracer off, observation
+  // must cost nothing — no clocks, no instruction counting.
+  if (options.report == nullptr && !obs::tracer().enabled()) {
+    body();
+    return;
+  }
+  const int before = module_insts(module);
+  obs::TraceSpan span(obs::tracer(), "pass", name);
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const int after = module_insts(module);
+  if (span.active()) span.arg("insts_delta", std::to_string(after - before));
+  if (options.report != nullptr) options.report->add_pass(name, seconds, before, after);
+}
+
+}  // namespace
+
 void run_pipeline(Module& module, const PassOptions& options, DiagnosticEngine& diags) {
   for (const auto& fn : module.functions()) {
-    for (int i = 0; i < options.max_simplify_iterations; ++i) {
-      bool changed = simplify(*fn, module);
-      changed |= dce(*fn);
-      if (!changed) break;
-    }
-    sroa(*fn, module);
-    for (int i = 0; i < options.max_simplify_iterations; ++i) {
-      bool changed = simplify(*fn, module);
-      changed |= dce(*fn);
-      if (!changed) break;
-    }
-    dag_check(*fn, diags);
+    const std::string suffix = "(" + fn->name() + ")";
+    observed_pass(module, options, "simplify+dce" + suffix, [&] {
+      for (int i = 0; i < options.max_simplify_iterations; ++i) {
+        bool changed = simplify(*fn, module);
+        changed |= dce(*fn);
+        if (!changed) break;
+      }
+    });
+    observed_pass(module, options, "sroa" + suffix, [&] { sroa(*fn, module); });
+    observed_pass(module, options, "simplify+dce.post-sroa" + suffix, [&] {
+      for (int i = 0; i < options.max_simplify_iterations; ++i) {
+        bool changed = simplify(*fn, module);
+        changed |= dce(*fn);
+        if (!changed) break;
+      }
+    });
+    observed_pass(module, options, "dag_check" + suffix, [&] { dag_check(*fn, diags); });
     if (diags.has_errors()) return;
-    hoist(*fn, options);
+    observed_pass(module, options, "hoist" + suffix, [&] { hoist(*fn, options); });
   }
-  lower_patterns(module, options, diags);
+  observed_pass(module, options, "lower_patterns",
+                [&] { lower_patterns(module, options, diags); });
   if (diags.has_errors()) return;
-  for (const auto& fn : module.functions()) {
-    simplify(*fn, module);
-    dce(*fn);
-  }
-  mem_legality(module, options, diags);
+  observed_pass(module, options, "simplify+dce.post-lower", [&] {
+    for (const auto& fn : module.functions()) {
+      simplify(*fn, module);
+      dce(*fn);
+    }
+  });
+  observed_pass(module, options, "mem_legality",
+                [&] { mem_legality(module, options, diags); });
 }
 
 }  // namespace netcl::passes

@@ -18,6 +18,7 @@
 #pragma once
 
 #include "ir/ir.hpp"
+#include "obs/report.hpp"
 #include "support/diagnostics.hpp"
 
 namespace netcl::passes {
@@ -34,6 +35,10 @@ struct PassOptions {
   int distance_threshold = 4; // max conditional-branch-depth gap between
                               // accesses sharing one stage (§VI-B)
   int max_simplify_iterations = 8;
+  /// When set, run_pipeline records one obs::PassStat (wall time + module
+  /// instruction-count delta) per pass it runs, and each pass executes
+  /// under an obs::TraceSpan on the global tracer.
+  obs::CompileReport* report = nullptr;
 };
 
 /// Folds constants, applies peepholes, folds constant branches, merges

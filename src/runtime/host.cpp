@@ -1,10 +1,58 @@
 #include "runtime/host.hpp"
 
+#include <chrono>
+#include <iostream>
+
+#include "support/diagnostics.hpp"
+
 namespace netcl::runtime {
 
+namespace {
+
+/// Outstanding sim-time send stamps kept per computation for round-trip
+/// matching; bounded so one-way traffic cannot grow the queue forever.
+constexpr std::size_t kMaxPendingRoundTrips = 4096;
+
+double wall_ns_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
 HostRuntime::HostRuntime(sim::Fabric& fabric, std::uint16_t host_id)
-    : fabric_(fabric), host_id_(host_id) {
+    : metrics_("host" + std::to_string(host_id)), fabric_(fabric), host_id_(host_id) {
   fabric_.add_host(host_id);
+  // The fabric handler is installed eagerly (not in on_receive) so that
+  // arrivals before — or without — a receiver are observed, not lost.
+  fabric_.set_host_handler(
+      host_id_, [this](sim::Fabric&, std::uint16_t, const sim::Packet& packet) {
+        if (!packet.has_netcl) return;
+        if (receiver_ == nullptr) {
+          ++dropped_no_receiver;
+          warn_once("NetCL packet arrived but no receiver is registered; dropping");
+          return;
+        }
+        const int comp = packet.netcl.comp;
+        const KernelSpec* spec = spec_for(comp);
+        if (spec == nullptr) {
+          ++dropped_unknown_computation;
+          warn_once("received computation " + std::to_string(comp) +
+                    " has no registered kernel spec; dropping");
+          return;
+        }
+        const auto unpack_start = std::chrono::steady_clock::now();
+        auto [message, args] = unpack(packet, *spec);
+        unpack_ns.record(wall_ns_since(unpack_start));
+        ++received;
+        ++metrics_.counter("comp" + std::to_string(comp) + ".received");
+        auto& pending = pending_round_trips_[comp];
+        if (!pending.empty()) {
+          round_trip_ns.record(fabric_.now() - pending.front());
+          pending.pop_front();
+        }
+        receiver_(message, args);
+      });
 }
 
 void HostRuntime::register_spec(int computation, KernelSpec spec) {
@@ -18,23 +66,28 @@ const KernelSpec* HostRuntime::spec_for(int computation) const {
 
 void HostRuntime::send(Message message, const sim::ArgValues& args) {
   const KernelSpec* spec = spec_for(message.comp);
-  if (spec == nullptr) return;
+  if (spec == nullptr) {
+    ++dropped_unregistered_send;
+    warn_once("send for computation " + std::to_string(message.comp) +
+              " has no registered kernel spec; dropping");
+    return;
+  }
   message.src = host_id_;
-  fabric_.send_from_host(host_id_, pack(message, *spec, args));
+  const auto pack_start = std::chrono::steady_clock::now();
+  sim::Packet packet = pack(message, *spec, args);
+  pack_ns.record(wall_ns_since(pack_start));
+  auto& pending = pending_round_trips_[message.comp];
+  if (pending.size() < kMaxPendingRoundTrips) pending.push_back(fabric_.now());
+  fabric_.send_from_host(host_id_, std::move(packet));
   ++sent;
+  ++metrics_.counter("comp" + std::to_string(message.comp) + ".sent");
 }
 
-void HostRuntime::on_receive(Receiver receiver) {
-  receiver_ = std::move(receiver);
-  fabric_.set_host_handler(
-      host_id_, [this](sim::Fabric&, std::uint16_t, const sim::Packet& packet) {
-        if (!packet.has_netcl || receiver_ == nullptr) return;
-        const KernelSpec* spec = spec_for(packet.netcl.comp);
-        if (spec == nullptr) return;
-        auto [message, args] = unpack(packet, *spec);
-        ++received;
-        receiver_(message, args);
-      });
+void HostRuntime::on_receive(Receiver receiver) { receiver_ = std::move(receiver); }
+
+void HostRuntime::warn_once(const std::string& cause) {
+  if (!warned_.insert(cause).second) return;
+  std::cerr << to_string(Severity::Warning) << ": host " << host_id_ << ": " << cause << "\n";
 }
 
 DeviceConnection::DeviceConnection(sim::Fabric& fabric, std::uint16_t device_id)
@@ -62,6 +115,15 @@ bool DeviceConnection::insert_range(const std::string& table, std::uint64_t lo,
 
 bool DeviceConnection::remove(const std::string& table, std::uint64_t key) {
   return device_ != nullptr && device_->lookup_remove(table, key);
+}
+
+const sim::DeviceStats* DeviceConnection::stats() const {
+  return device_ == nullptr ? nullptr : &device_->stats;
+}
+
+std::map<std::string, sim::RegisterAccess> DeviceConnection::register_access() const {
+  return device_ == nullptr ? std::map<std::string, sim::RegisterAccess>{}
+                            : device_->register_access();
 }
 
 }  // namespace netcl::runtime

@@ -5,20 +5,35 @@
 // injects them at the host's fabric port; received NetCL packets are
 // unpacked and handed to a user callback.
 //
+// Every host owns a metrics registry ("host<id>") with per-computation
+// send/receive counters, pack/unpack wall-clock histograms, and a
+// round-trip latency histogram in simulated time (FIFO request/response
+// matching per computation). Packets that would previously vanish — sends
+// without a registered spec, arrivals with no receiver installed or an
+// unknown computation — are counted and logged once per cause with
+// DiagnosticEngine-style severity.
+//
 // DeviceConnection is the control-plane handle behind ncl::managed_read /
 // ncl::managed_write and the _managed_ _lookup_ entry operations (§V-B) —
 // the reliable slow path that bypasses kernels entirely.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
+#include <set>
 
+#include "obs/metrics.hpp"
 #include "runtime/message.hpp"
 #include "sim/fabric.hpp"
 
 namespace netcl::runtime {
 
 class HostRuntime {
+  // Declared before the public counter references below so it is
+  // constructed first.
+  obs::MetricsRegistry metrics_;
+
  public:
   HostRuntime(sim::Fabric& fabric, std::uint16_t host_id);
 
@@ -37,15 +52,33 @@ class HostRuntime {
   using Receiver = std::function<void(const Message&, sim::ArgValues&)>;
   void on_receive(Receiver receiver);
 
-  // Statistics.
-  std::uint64_t sent = 0;
-  std::uint64_t received = 0;
+  // --- statistics (registry-backed; obs::dump() includes them) --------------
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::Counter& sent = metrics_.counter("sent");
+  obs::Counter& received = metrics_.counter("received");
+  /// send() without a registered spec for the computation.
+  obs::Counter& dropped_unregistered_send = metrics_.counter("dropped.unregistered_send");
+  /// NetCL packet arrived but on_receive() was never installed.
+  obs::Counter& dropped_no_receiver = metrics_.counter("dropped.no_receiver");
+  /// NetCL packet arrived for a computation with no registered spec.
+  obs::Counter& dropped_unknown_computation =
+      metrics_.counter("dropped.unknown_computation");
+  obs::Histogram& pack_ns = metrics_.histogram("pack_ns");            // wall clock
+  obs::Histogram& unpack_ns = metrics_.histogram("unpack_ns");        // wall clock
+  obs::Histogram& round_trip_ns = metrics_.histogram("round_trip_ns");  // simulated time
 
  private:
+  /// Warns on stderr with DiagnosticEngine severity labels, once per
+  /// distinct cause (so lossy workloads do not flood the log).
+  void warn_once(const std::string& cause);
+
   sim::Fabric& fabric_;
   std::uint16_t host_id_;
   std::map<int, KernelSpec> specs_;
   Receiver receiver_;
+  /// Simulated send times awaiting a response, per computation (FIFO).
+  std::map<int, std::deque<double>> pending_round_trips_;
+  std::set<std::string> warned_;
 };
 
 /// Control-plane connection to one device.
@@ -67,6 +100,11 @@ class DeviceConnection {
   bool insert_range(const std::string& table, std::uint64_t lo, std::uint64_t hi,
                     std::uint64_t value);
   bool remove(const std::string& table, std::uint64_t key);
+
+  /// Telemetry read-back over the control plane: the device's packet /
+  /// drop / per-stage counters and per-register-array access totals.
+  [[nodiscard]] const sim::DeviceStats* stats() const;
+  [[nodiscard]] std::map<std::string, sim::RegisterAccess> register_access() const;
 
  private:
   sim::SwitchDevice* device_;

@@ -106,7 +106,7 @@ void Fabric::transmit(NodeRef from, NodeRef to, Packet&& packet, double start_ti
   const double depart = std::max(start_time, link->next_free_ns);
   link->next_free_ns = depart + serialization_ns;
   const double arrival = depart + serialization_ns + link->config.latency_ns;
-  events_.push({arrival, sequence_++, to, std::move(packet)});
+  events_.push({arrival, sequence_++, to, std::move(packet), {}});
   ++packets_forwarded;
 }
 
@@ -114,7 +114,10 @@ void Fabric::forward(NodeRef from, Packet&& packet, double depart_time) {
   const NodeRef target = route_target(packet);
   if (target == from) {
     // Already at the destination (e.g. reflect on the attached switch).
-    events_.push({depart_time, sequence_++, target, std::move(packet)});
+    if (from.kind == NodeRef::Kind::Device) {
+      if (SwitchDevice* dev = device(from.id)) ++dev->stats.recirculations;
+    }
+    events_.push({depart_time, sequence_++, target, std::move(packet), {}});
     return;
   }
   const NodeRef hop = next_hop(from, target);
@@ -124,6 +127,7 @@ void Fabric::forward(NodeRef from, Packet&& packet, double depart_time) {
 
 void Fabric::deliver(const Event& event) {
   if (event.callback != nullptr) {
+    ++timer_events;
     event.callback(*this);
     return;
   }
@@ -155,9 +159,12 @@ void Fabric::deliver(const Event& event) {
         dev->device_id());
     if (decision.drop) {
       ++packets_dropped_action;
+      ++dev->stats.drops_action;
       return;
     }
     if (decision.multicast) {
+      ++packets_multicast;
+      ++dev->stats.multicasts;
       const auto members =
           multicast_groups_.find({dev->device_id(), decision.multicast_group});
       if (members != multicast_groups_.end()) {
@@ -177,6 +184,7 @@ void Fabric::deliver(const Event& event) {
   } else if (packet.has_netcl) {
     // No-op transit through a device that was not asked to compute (§IV).
     ready_time += dev->pipeline_latency_ns() * 0.5;
+    ++dev->stats.transits;
   }
   forward(event.at, std::move(packet), ready_time);
 }

@@ -15,6 +15,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/packet.hpp"
 #include "sim/switch.hpp"
 
@@ -39,6 +40,10 @@ struct LinkConfig {
 };
 
 class Fabric {
+  // Declared before the public counter references below so it is
+  // constructed first.
+  obs::MetricsRegistry metrics_{"fabric"};
+
  public:
   explicit Fabric(std::uint64_t seed = 42);
 
@@ -73,10 +78,16 @@ class Fabric {
   [[nodiscard]] double now() const { return now_; }
 
   // --- statistics ----------------------------------------------------------------
-  std::uint64_t packets_delivered = 0;
-  std::uint64_t packets_dropped_loss = 0;
-  std::uint64_t packets_dropped_action = 0;
-  std::uint64_t packets_forwarded = 0;
+  // Registry-backed counters ("fabric" registry): read like plain ints,
+  // and obs::dump() includes them in BENCH_*.json snapshots.
+  obs::Counter& packets_delivered = metrics_.counter("packets_delivered");
+  obs::Counter& packets_dropped_loss = metrics_.counter("packets_dropped_loss");
+  obs::Counter& packets_dropped_action = metrics_.counter("packets_dropped_action");
+  obs::Counter& packets_forwarded = metrics_.counter("packets_forwarded");
+  obs::Counter& packets_multicast = metrics_.counter("packets_multicast");
+  obs::Counter& timer_events = metrics_.counter("timer_events");
+
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
 
  private:
   struct Link {

@@ -44,10 +44,13 @@ void append_bytes(std::vector<std::uint8_t>& out, std::uint64_t value, ScalarTyp
 
 ComputeOutcome SwitchDevice::execute(int computation, ArgValues& args,
                                      const NetclHeader& header) {
-  ++packets_processed;
+  ++stats.packets_processed;
   const auto it = by_computation_.find(computation);
-  if (it == by_computation_.end()) return {};  // no kernel here: no-op (§IV)
-  ++kernels_executed;
+  if (it == by_computation_.end()) {
+    ++stats.no_kernel;
+    return {};  // no kernel here: no-op (§IV)
+  }
+  ++stats.kernels_executed;
 
   const p4::KernelProgram& program = *it->second;
   std::unordered_map<const Value*, std::uint64_t> env;
@@ -70,6 +73,13 @@ ComputeOutcome SwitchDevice::execute(int computation, ArgValues& args,
   for (const p4::LinearInst& li : program.insts) {
     const Instruction& inst = *li.inst;
     const bool guard_true = li.guard == nullptr || eval(li.guard) != 0;
+
+    if (guard_true && li.stage >= 0) {
+      if (stats.stage_executions.size() <= static_cast<std::size_t>(li.stage)) {
+        stats.stage_executions.resize(static_cast<std::size_t>(li.stage) + 1, 0);
+      }
+      ++stats.stage_executions[static_cast<std::size_t>(li.stage)];
+    }
 
     switch (inst.op()) {
       case Opcode::Bin:
@@ -178,6 +188,7 @@ ComputeOutcome SwitchDevice::execute(int computation, ArgValues& args,
         std::vector<std::uint64_t> indices;
         for (int i = 0; i < inst.num_indices; ++i) indices.push_back(eval(inst.operand(i)));
         env[&inst] = registers_->read(*inst.global, registers_->flatten(*inst.global, indices));
+        ++register_access_[inst.global].reads;
         break;
       }
       case Opcode::StoreGlobal: {
@@ -186,6 +197,7 @@ ComputeOutcome SwitchDevice::execute(int computation, ArgValues& args,
         for (int i = 0; i < inst.num_indices; ++i) indices.push_back(eval(inst.operand(i)));
         registers_->write(*inst.global, registers_->flatten(*inst.global, indices),
                           eval(inst.operand(inst.num_operands() - 1)));
+        ++register_access_[inst.global].writes;
         break;
       }
       case Opcode::AtomicRMW: {
@@ -200,7 +212,9 @@ ComputeOutcome SwitchDevice::execute(int computation, ArgValues& args,
         const std::uint64_t operand1 =
             next + 1 < inst.num_operands() ? eval(inst.operand(next + 1)) : 0;
         const std::uint64_t old_value = registers_->read(*inst.global, index);
+        ++register_access_[inst.global].reads;
         if (guard_true && cond) {
+          ++register_access_[inst.global].writes;
           const auto [old_v, new_v] =
               registers_->atomic(*inst.global, index, inst.atomic_op, operand0, operand1);
           // *_new returns the value after the operation; plain atomics the
@@ -281,6 +295,7 @@ bool SwitchDevice::managed_write(const std::string& name,
   const Resolved r = resolve(name, indices);
   if (r.global == nullptr || !r.global->is_managed || r.global->is_lookup) return false;
   registers_->write(*r.global, registers_->flatten(*r.global, r.indices), value);
+  ++stats.control_writes;
   return true;
 }
 
@@ -289,6 +304,7 @@ bool SwitchDevice::managed_read(const std::string& name,
   const Resolved r = resolve(name, indices);
   if (r.global == nullptr || !r.global->is_managed || r.global->is_lookup) return false;
   out = registers_->read(*r.global, registers_->flatten(*r.global, r.indices));
+  ++stats.control_reads;
   return true;
 }
 
@@ -297,14 +313,18 @@ bool SwitchDevice::lookup_insert(const std::string& name, std::uint64_t key_lo,
   const Resolved r = resolve(name, {});
   if (r.global == nullptr || !r.global->is_lookup) return false;
   LookupTable* table = tables_->find(*r.global);
-  return table != nullptr && table->insert(key_lo, key_hi, value);
+  const bool ok = table != nullptr && table->insert(key_lo, key_hi, value);
+  if (ok) ++stats.control_writes;
+  return ok;
 }
 
 bool SwitchDevice::lookup_remove(const std::string& name, std::uint64_t key) {
   const Resolved r = resolve(name, {});
   if (r.global == nullptr || !r.global->is_lookup) return false;
   LookupTable* table = tables_->find(*r.global);
-  return table != nullptr && table->remove(key);
+  const bool ok = table != nullptr && table->remove(key);
+  if (ok) ++stats.control_writes;
+  return ok;
 }
 
 bool SwitchDevice::debug_read(const std::string& name,
@@ -318,6 +338,17 @@ bool SwitchDevice::debug_read(const std::string& name,
 
 void SwitchDevice::reset_state() {
   if (registers_ != nullptr) registers_->reset();
+}
+
+std::map<std::string, RegisterAccess> SwitchDevice::register_access() const {
+  std::map<std::string, RegisterAccess> out;
+  for (const auto& [global, access] : register_access_) out[global->name] = access;
+  return out;
+}
+
+void SwitchDevice::reset_stats() {
+  stats = DeviceStats{};
+  register_access_.clear();
 }
 
 }  // namespace netcl::sim

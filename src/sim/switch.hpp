@@ -7,6 +7,7 @@
 // TNA backend produced), not the source semantics.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -26,6 +27,32 @@ struct ComputeOutcome {
   ActionKind action = ActionKind::Pass;
   std::uint16_t target = 0;  // host / device / multicast-group id
   bool executed = false;     // false: no kernel for the computation (no-op)
+};
+
+/// Read/write access totals for one register array.
+struct RegisterAccess {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+/// Per-switch observability counters (ISSUE 1). The device fills the
+/// execution-side counters; the fabric fills the forwarding-side ones
+/// (drops/multicasts/transits) as it applies the kernel's decision. The
+/// host runtime reads them over the control plane via
+/// runtime::DeviceConnection::stats().
+struct DeviceStats {
+  std::uint64_t packets_processed = 0;  // packets entering execute()
+  std::uint64_t kernels_executed = 0;   // ... that found a kernel
+  std::uint64_t no_kernel = 0;          // ... with no kernel here (no-op, §IV)
+  std::uint64_t drops_action = 0;       // kernel chose drop()
+  std::uint64_t multicasts = 0;         // kernel chose multicast(gid)
+  std::uint64_t transits = 0;           // NetCL packets passing through un-asked
+  std::uint64_t recirculations = 0;     // packets re-entering this device
+  std::uint64_t control_reads = 0;      // managed_read / debug_read
+  std::uint64_t control_writes = 0;     // managed_write / lookup updates
+  /// Guard-true operations executed per pipeline stage (index = stage as
+  /// assigned by the TNA allocator; sized on first use).
+  std::vector<std::uint64_t> stage_executions;
 };
 
 class SwitchDevice {
@@ -70,8 +97,11 @@ class SwitchDevice {
   void reset_state();
 
   // --- statistics -----------------------------------------------------------
-  std::uint64_t packets_processed = 0;
-  std::uint64_t kernels_executed = 0;
+  DeviceStats stats;
+  /// Per-register-array access counters, keyed by the (possibly
+  /// partition-renamed) global name.
+  [[nodiscard]] std::map<std::string, RegisterAccess> register_access() const;
+  void reset_stats();
 
  private:
   struct Resolved {
@@ -91,6 +121,7 @@ class SwitchDevice {
   int stages_used_ = 0;
   p4::LatencyModel latency_;
   SplitMix64 rng_{0x5EEDBA5E};
+  std::unordered_map<const ir::GlobalVar*, RegisterAccess> register_access_;
 };
 
 }  // namespace netcl::sim

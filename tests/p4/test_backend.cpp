@@ -178,7 +178,9 @@ TEST(StageAlloc, RegisterAccessesShareOneStage) {
   const int stage = result.global_stage.at(m);
   for (const KernelProgram& kernel : kernels) {
     for (const LinearInst& li : kernel.insts) {
-      if (li.inst->global == m) EXPECT_EQ(li.stage, stage);
+      if (li.inst->global == m) {
+        EXPECT_EQ(li.stage, stage);
+      }
     }
   }
 }
@@ -188,11 +190,22 @@ TEST(StageAlloc, TooLongChainRejected) {
   std::string body;
   std::string prev = "x";
   for (int i = 0; i < 16; ++i) {
-    body += "unsigned t" + std::to_string(i) + " = " + prev + " + " + prev + ";\n";
-    prev = "t" + std::to_string(i);
+    body += "unsigned t";
+    body += std::to_string(i);
+    body += " = ";
+    body += prev;
+    body += " + ";
+    body += prev;
+    body += ";\n";
+    prev = "t";
+    prev += std::to_string(i);
   }
-  auto r = prepare("_kernel(1) void k(unsigned x, unsigned &y) {\n" + body + "y = " + prev +
-                   ";\n}");
+  // Built up in steps: the one-expression concatenation trips a GCC 12
+  // -Wrestrict false positive under -Werror.
+  std::string source = "_kernel(1) void k(unsigned x, unsigned &y) {\n";
+  source += body;
+  source += "y = " + prev + ";\n}";
+  auto r = prepare(source);
   std::vector<KernelProgram> kernels = linearize_module(*r->module, {});
   StageLimits limits;
   AllocationResult result = allocate_stages(kernels, *r->module, limits);
