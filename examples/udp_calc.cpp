@@ -1,0 +1,174 @@
+// CALC over real loopback UDP: the same kernel, host code, and packets as
+// the simulated run, but carried by UdpTransport and served by the
+// netcl-swd daemon engine instead of the discrete-event fabric.
+//
+//   udp_calc [--ops N] [--connect HOST:PORT]
+//
+// With no --connect, an SwdServer runs in-process on a background thread
+// (ephemeral ports). With --connect, the data plane points at an already
+// running daemon, e.g.:
+//
+//   netcl-swd examples/kernels/calc.ncl --port 9700 --control-port 9701 &
+//   udp_calc --connect 127.0.0.1:9700
+//
+// Every operation is executed twice — once through the simulated fabric,
+// once over UDP — and the reflected payloads must be byte-identical.
+// Exit 0 on full agreement, 1 otherwise.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/sources.hpp"
+#include "driver/compiler.hpp"
+#include "net/swd_server.hpp"
+#include "net/udp_transport.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/host.hpp"
+#include "sim/fabric.hpp"
+
+namespace {
+
+struct Op {
+  std::uint64_t code, a, b;
+};
+
+netcl::driver::CompileResult compile_calc() {
+  netcl::apps::AppSource app = netcl::apps::calc_source();
+  netcl::driver::CompileOptions options;
+  options.device_id = 1;
+  options.defines = app.defines;
+  return netcl::driver::compile_netcl(app.source, options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace netcl;
+
+  int num_ops = 32;
+  std::string connect_host;
+  std::uint16_t connect_port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--ops" && i + 1 < argc) {
+      num_ops = std::atoi(argv[++i]);
+    } else if (arg == "--connect" && i + 1 < argc) {
+      const std::string target = argv[++i];
+      const std::size_t colon = target.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--connect wants HOST:PORT, got '%s'\n", target.c_str());
+        return 1;
+      }
+      connect_host = target.substr(0, colon);
+      connect_port = static_cast<std::uint16_t>(std::atoi(target.c_str() + colon + 1));
+    } else {
+      std::fprintf(stderr, "usage: udp_calc [--ops N] [--connect HOST:PORT]\n");
+      return arg == "--help" || arg == "-h" ? 0 : 1;
+    }
+  }
+
+  driver::CompileResult compiled = compile_calc();
+  if (!compiled.ok) {
+    std::fprintf(stderr, "compile failed:\n%s", compiled.errors.c_str());
+    return 1;
+  }
+  const KernelSpec spec = compiled.specs.at(1);
+
+  SplitMix64 rng(7);
+  std::vector<Op> ops;
+  for (int i = 0; i < num_ops; ++i) {
+    ops.push_back({1 + rng.next_below(5), rng.next() & 0xFFFFFFFF, rng.next() & 0xFFFFFFFF});
+  }
+
+  // --- reference run through the simulated fabric ---------------------------
+  std::vector<std::vector<std::uint8_t>> sim_results;
+  {
+    driver::CompileResult sim_compiled = compile_calc();
+    sim::Fabric fabric(7);
+    fabric.add_device(driver::make_device(std::move(sim_compiled), 1));
+    runtime::HostRuntime host(fabric, 1);
+    host.register_spec(1, spec);
+    fabric.connect(sim::host_ref(1), sim::device_ref(1));
+    host.on_receive([&](const runtime::Message&, sim::ArgValues& args) {
+      sim_results.push_back(sim::encode_args(spec, args));
+    });
+    for (const Op& op : ops) {
+      sim::ArgValues args = sim::make_args(spec);
+      args[0][0] = op.code;
+      args[1][0] = op.a;
+      args[2][0] = op.b;
+      host.send(runtime::Message(1, 0, 1, 1), args);
+    }
+    fabric.run();
+  }
+  if (sim_results.size() != ops.size()) {
+    std::fprintf(stderr, "simulated run answered %zu of %zu ops\n", sim_results.size(),
+                 ops.size());
+    return 1;
+  }
+
+  // --- the same ops over real UDP -------------------------------------------
+  std::unique_ptr<net::SwdServer> server;
+  std::thread serving;
+  if (connect_host.empty()) {
+    server = std::make_unique<net::SwdServer>(driver::make_device(std::move(compiled), 1),
+                                              net::SwdOptions{});
+    if (!server->valid()) {
+      std::fprintf(stderr, "embedded daemon: %s\n", server->error().c_str());
+      return 1;
+    }
+    connect_host = "127.0.0.1";
+    connect_port = server->udp_port();
+    serving = std::thread([&] { server->run(); });
+    std::printf("embedded netcl-swd: udp %u, control %u\n", server->udp_port(),
+                server->control_port());
+  }
+
+  net::UdpTransport::Options transport_options;
+  transport_options.peer_host = connect_host;
+  transport_options.peer_port = connect_port;
+  net::UdpTransport transport(transport_options);
+  int rc = 0;
+  if (!transport.valid()) {
+    std::fprintf(stderr, "udp transport: %s\n", transport.error().c_str());
+    rc = 1;
+  }
+
+  std::vector<std::vector<std::uint8_t>> udp_results;
+  if (rc == 0) {
+    runtime::HostRuntime host(transport, 1);
+    host.register_spec(1, spec);
+    host.on_receive([&](const runtime::Message&, sim::ArgValues& args) {
+      udp_results.push_back(sim::encode_args(spec, args));
+    });
+    for (std::size_t i = 0; i < ops.size() && rc == 0; ++i) {
+      sim::ArgValues args = sim::make_args(spec);
+      args[0][0] = ops[i].code;
+      args[1][0] = ops[i].a;
+      args[2][0] = ops[i].b;
+      host.send(runtime::Message(1, 0, 1, 1), args);
+      // One op in flight at a time keeps result order deterministic.
+      if (!transport.run_until([&] { return udp_results.size() > i; }, 10e9)) {
+        std::fprintf(stderr, "timed out waiting for op %zu of %zu\n", i + 1, ops.size());
+        rc = 1;
+      }
+    }
+  }
+
+  if (server != nullptr) {
+    server->stop();
+    serving.join();
+  }
+
+  if (rc == 0) {
+    const bool identical = udp_results == sim_results;
+    std::printf("ops        : %d\n", num_ops);
+    std::printf("udp answers: %zu\n", udp_results.size());
+    std::printf("byte-identical to simulated fabric: %s\n", identical ? "yes" : "NO");
+    if (!identical) rc = 1;
+  }
+
+  std::printf("\n--- transport metrics (obs::dump) ---\n%s", obs::dump_string().c_str());
+  return rc;
+}

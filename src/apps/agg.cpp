@@ -1,21 +1,23 @@
 #include "apps/agg.hpp"
 
+#include <algorithm>
+
 #include "apps/sources.hpp"
 #include "runtime/host.hpp"
+#include "runtime/retransmit.hpp"
 
 namespace netcl::apps {
 
 using runtime::HostRuntime;
 using runtime::Message;
+using runtime::RetransmitWindow;
 using sim::ArgValues;
 
 namespace {
 
 struct WorkerState {
   std::unique_ptr<HostRuntime> runtime;
-  int completed = 0;
-  std::vector<bool> done;                 // per chunk
-  std::vector<int> slot_chunk;            // slot -> in-flight chunk
+  std::unique_ptr<RetransmitWindow> window;
 };
 
 struct Harness {
@@ -23,7 +25,6 @@ struct Harness {
   int stride = 1;  // active slots; chunk c and c+stride share a slot
   std::vector<WorkerState> workers;
   bool value_mismatch = false;
-  std::uint64_t retransmissions = 0;
   double done_time_ns = 0.0;
   int workers_finished = 0;
 
@@ -60,24 +61,6 @@ ArgValues contribution(const Harness& harness, const KernelSpec& spec, int worke
   return args;
 }
 
-void send_chunk(Harness& harness, const KernelSpec& spec, int worker, int chunk,
-                bool is_retransmission) {
-  WorkerState& state = harness.workers[static_cast<std::size_t>(worker)];
-  const int slot = chunk % harness.stride;
-  state.slot_chunk[static_cast<std::size_t>(slot)] = chunk;
-  if (is_retransmission) ++harness.retransmissions;
-  state.runtime->send(Message(static_cast<std::uint16_t>(worker + 1), 0, 1, 1),
-                      contribution(harness, spec, worker, chunk));
-  // Arm the retransmission timer.
-  state.runtime->fabric().schedule(
-      harness.config.retransmit_ns, [&harness, &spec, worker, chunk](sim::Fabric&) {
-        WorkerState& s = harness.workers[static_cast<std::size_t>(worker)];
-        if (!s.done[static_cast<std::size_t>(chunk)]) {
-          send_chunk(harness, spec, worker, chunk, /*is_retransmission=*/true);
-        }
-      });
-}
-
 }  // namespace
 
 AggResult run_agg(const AggConfig& config) {
@@ -105,20 +88,21 @@ AggResult run_agg(const AggConfig& config) {
 
   Harness harness;
   harness.config = config;
+  harness.stride = std::min({config.window, config.chunks, config.num_slots});
   harness.workers.resize(static_cast<std::size_t>(config.num_workers));
 
   sim::LinkConfig link;
   link.gbps = config.link_gbps;
   link.latency_ns = config.link_latency_ns;
   link.loss_probability = config.loss;
+  link.duplicate_probability = config.duplicate_probability;
+  link.reorder_probability = config.reorder_probability;
 
   std::vector<sim::NodeRef> group;
   for (int w = 0; w < config.num_workers; ++w) {
     WorkerState& state = harness.workers[static_cast<std::size_t>(w)];
     state.runtime = std::make_unique<HostRuntime>(fabric, static_cast<std::uint16_t>(w + 1));
     state.runtime->register_spec(1, spec);
-    state.done.assign(static_cast<std::size_t>(config.chunks), false);
-    state.slot_chunk.assign(static_cast<std::size_t>(config.num_slots), -1);
     fabric.connect(sim::host_ref(static_cast<std::uint16_t>(w + 1)), sim::device_ref(1), link);
     group.push_back(sim::host_ref(static_cast<std::uint16_t>(w + 1)));
   }
@@ -126,55 +110,62 @@ AggResult run_agg(const AggConfig& config) {
 
   for (int w = 0; w < config.num_workers; ++w) {
     const int worker = w;
-    harness.workers[static_cast<std::size_t>(w)].runtime->on_receive(
-        [&harness, &spec, worker](const Message&, ArgValues& args) {
-          Harness& h = harness;
-          WorkerState& state = h.workers[static_cast<std::size_t>(worker)];
-          const int slot = static_cast<int>(args[1][0]);
-          const int chunk = state.slot_chunk[static_cast<std::size_t>(slot)];
-          if (chunk < 0 || state.done[static_cast<std::size_t>(chunk)]) return;
-          // Validate the aggregate; premature results (a Figure 7 hazard
-          // under early retransmission) are ignored, not completions.
-          for (int i = 0; i < h.config.slot_size; ++i) {
-            if (args[5][static_cast<std::size_t>(i)] !=
-                (h.expected_element(chunk, i) & 0xFFFFFFFF)) {
-              return;
-            }
-          }
-          if (args[4][0] != h.expected_exp(chunk)) h.value_mismatch = true;
-          state.done[static_cast<std::size_t>(chunk)] = true;
-          ++state.completed;
-          if (state.completed == h.config.chunks) {
-            ++h.workers_finished;
-            if (h.workers_finished == h.config.num_workers) {
-              h.done_time_ns = state.runtime->fabric().now();
-            }
-          }
-          // Per-slot pipelining (SwitchML's alternating-bit rule): the next
-          // chunk on this slot may go out only now that this one finished.
-          const int next = chunk + h.stride;
-          if (next < h.config.chunks) {
-            send_chunk(h, spec, worker, next, false);
-          }
+    WorkerState& state = harness.workers[static_cast<std::size_t>(w)];
+    RetransmitWindow::Config window_config;
+    window_config.chunks = config.chunks;
+    // The harness stride also caps at num_slots (the device's physical
+    // limit), so pass the combined value rather than the raw window.
+    window_config.window = harness.stride;
+    window_config.retransmit_ns = config.retransmit_ns;
+    state.window = std::make_unique<RetransmitWindow>(
+        state.runtime->transport(), window_config,
+        [&harness, &spec, worker](int chunk, int /*slot*/, bool /*is_retransmission*/) {
+          WorkerState& s = harness.workers[static_cast<std::size_t>(worker)];
+          s.runtime->send(Message(static_cast<std::uint16_t>(worker + 1), 0, 1, 1),
+                          contribution(harness, spec, worker, chunk));
         });
+
+    state.runtime->on_receive([&harness, worker](const Message&, ArgValues& args) {
+      Harness& h = harness;
+      WorkerState& s = h.workers[static_cast<std::size_t>(worker)];
+      const int slot = static_cast<int>(args[1][0]);
+      const int chunk = s.window->chunk_for_slot(slot);
+      if (chunk < 0 || s.window->is_done(chunk)) return;
+      // Validate the aggregate; premature results (a Figure 7 hazard
+      // under early retransmission) are ignored, not completions.
+      for (int i = 0; i < h.config.slot_size; ++i) {
+        if (args[5][static_cast<std::size_t>(i)] !=
+            (h.expected_element(chunk, i) & 0xFFFFFFFF)) {
+          return;
+        }
+      }
+      if (args[4][0] != h.expected_exp(chunk)) h.value_mismatch = true;
+      // acknowledge_slot also launches chunk + stride through this slot
+      // (SwitchML's alternating-bit chaining).
+      s.window->acknowledge_slot(slot);
+      if (s.window->complete()) {
+        ++h.workers_finished;
+        if (h.workers_finished == h.config.num_workers) {
+          h.done_time_ns = s.runtime->transport().now_ns();
+        }
+      }
+    });
   }
 
   // Prime the windows: one in-flight chunk per active slot. Chunk c and
   // c + stride share a slot with alternating versions, so every chunk is
   // eventually sent through the per-slot chains.
-  harness.stride = std::min({config.window, config.chunks, config.num_slots});
-  for (int w = 0; w < config.num_workers; ++w) {
-    for (int c = 0; c < harness.stride; ++c) {
-      send_chunk(harness, spec, w, c, false);
-    }
-  }
+  for (WorkerState& state : harness.workers) state.window->start();
 
   fabric.run(60e9);  // 60 simulated seconds hard stop
 
   result.ok = true;
   result.correct = !harness.value_mismatch && harness.workers_finished == config.num_workers;
-  result.retransmissions = harness.retransmissions;
+  for (const WorkerState& state : harness.workers) {
+    result.retransmissions += state.window->retransmissions();
+  }
   result.packets_lost = fabric.packets_dropped_loss;
+  result.packets_duplicated = fabric.packets_duplicated;
   result.sim_seconds = harness.done_time_ns * 1e-9;
   if (result.sim_seconds > 0) {
     result.ate_per_sec_per_worker =

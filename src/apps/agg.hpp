@@ -23,6 +23,8 @@ struct AggConfig {
   int chunks = 256;      // slots each worker contributes over the run
   int window = 8;        // outstanding slots per worker
   double loss = 0.0;     // per-link loss probability
+  double duplicate_probability = 0.0;  // per-link duplicate probability
+  double reorder_probability = 0.0;    // per-link reorder-jitter probability
   double retransmit_ns = 200000.0;
   double link_gbps = 100.0;
   double link_latency_ns = 500.0;
@@ -40,6 +42,7 @@ struct AggResult {
   double ate_per_sec_per_worker = 0.0;  // aggregated tensor elements /s/worker
   std::uint64_t retransmissions = 0;
   std::uint64_t packets_lost = 0;
+  std::uint64_t packets_duplicated = 0;
   int stages_used = 0;
 };
 

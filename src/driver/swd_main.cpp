@@ -1,0 +1,134 @@
+// netcl-swd: the NetCL software device daemon.
+//
+//   netcl-swd [options] <source.ncl>
+//     --device <id>        serve as device id (default 1)
+//     --port <p>           UDP data-plane port (default 0 = kernel-assigned)
+//     --control-port <p>   TCP control-plane port (default 0 = kernel-assigned)
+//     -D NAME=VALUE        predefine an integer macro
+//     --max-seconds <s>    exit after s wall-clock seconds (CI hard stop)
+//     --quiet              suppress the shutdown stats line
+//
+// Compiles the NetCL-C source for the device (exactly what ncc does),
+// loads the artifact into the sim::SwitchDevice execution engine, and
+// serves NetCL packets on UDP plus control-plane requests on TCP. On
+// startup it prints one parseable line:
+//
+//   netcl-swd: device <id> ready (udp <port>, control <port>)
+//
+// Exit codes: 0 clean shutdown (signal or --max-seconds), 1 compile/input/
+// socket failure, 2 usage error.
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "driver/compiler.hpp"
+#include "net/swd_server.hpp"
+
+namespace {
+
+netcl::net::SwdServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+void print_usage() {
+  std::cerr << "usage: netcl-swd [--device N] [--port P] [--control-port P]\n"
+               "                 [-D NAME=VALUE] [--max-seconds S] [--quiet]\n"
+               "                 <source.ncl>\n";
+}
+
+bool parse_number(const std::string& flag, const std::string& text, std::uint64_t& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return true;
+  } catch (const std::exception&) {
+    std::cerr << "netcl-swd: invalid number '" << text << "' for " << flag << "\n";
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  netcl::driver::CompileOptions options;
+  netcl::net::SwdOptions swd;
+  swd.verbose = true;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::uint64_t value = 0;
+    if (arg == "--device" && i + 1 < argc) {
+      if (!parse_number(arg, argv[++i], value)) return 2;
+      options.device_id = static_cast<int>(value);
+    } else if (arg == "--port" && i + 1 < argc) {
+      if (!parse_number(arg, argv[++i], value)) return 2;
+      swd.udp_port = static_cast<std::uint16_t>(value);
+    } else if (arg == "--control-port" && i + 1 < argc) {
+      if (!parse_number(arg, argv[++i], value)) return 2;
+      swd.control_port = static_cast<std::uint16_t>(value);
+    } else if (arg == "--max-seconds" && i + 1 < argc) {
+      if (!parse_number(arg, argv[++i], value)) return 2;
+      swd.max_seconds = static_cast<double>(value);
+    } else if (arg == "-D" && i + 1 < argc) {
+      const std::string define = argv[++i];
+      const std::size_t eq = define.find('=');
+      if (eq == std::string::npos) {
+        options.defines[define] = 1;
+      } else {
+        if (!parse_number("-D", define.substr(eq + 1), value)) return 2;
+        options.defines[define.substr(0, eq)] = value;
+      }
+    } else if (arg == "--quiet") {
+      swd.verbose = false;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::cerr << "unknown option '" << arg << "'\n";
+      print_usage();
+      return 2;
+    }
+  }
+
+  if (path.empty()) {
+    print_usage();
+    return 2;
+  }
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "netcl-swd: cannot open '" << path << "'\n";
+    return 1;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+
+  netcl::driver::CompileResult compiled =
+      netcl::driver::compile_netcl(text.str(), options);
+  if (!compiled.ok) {
+    std::cerr << "netcl-swd: compile failed:\n" << compiled.errors;
+    return 1;
+  }
+  const auto device_id = static_cast<std::uint16_t>(options.device_id);
+  netcl::net::SwdServer server(netcl::driver::make_device(std::move(compiled), device_id),
+                               swd);
+  if (!server.valid()) {
+    std::cerr << "netcl-swd: " << server.error() << "\n";
+    return 1;
+  }
+
+  g_server = &server;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  std::cout << "netcl-swd: device " << device_id << " ready (udp " << server.udp_port()
+            << ", control " << server.control_port() << ")" << std::endl;
+  server.run();
+  return 0;
+}

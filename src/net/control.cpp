@@ -1,0 +1,214 @@
+#include "net/control.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace netcl::net {
+
+bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, out + got, n - got);
+    if (r == 0) return false;  // EOF
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::write(fd, data + sent, n - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool write_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  ByteWriter header;
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  return write_all(fd, header.bytes().data(), header.bytes().size()) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
+  std::uint8_t header[4];
+  if (!read_exact(fd, header, sizeof(header))) return false;
+  ByteReader reader({header, sizeof(header)});
+  const std::uint32_t length = reader.u32();
+  if (length > kMaxControlFrame) return false;
+  payload.resize(length);
+  return length == 0 || read_exact(fd, payload.data(), length);
+}
+
+void encode_stats(ByteWriter& w, const sim::DeviceStats& stats) {
+  w.u64(stats.packets_processed);
+  w.u64(stats.kernels_executed);
+  w.u64(stats.no_kernel);
+  w.u64(stats.drops_action);
+  w.u64(stats.multicasts);
+  w.u64(stats.transits);
+  w.u64(stats.recirculations);
+  w.u64(stats.control_reads);
+  w.u64(stats.control_writes);
+  w.u64_vec(stats.stage_executions);
+}
+
+bool decode_stats(ByteReader& r, sim::DeviceStats& out) {
+  out.packets_processed = r.u64();
+  out.kernels_executed = r.u64();
+  out.no_kernel = r.u64();
+  out.drops_action = r.u64();
+  out.multicasts = r.u64();
+  out.transits = r.u64();
+  out.recirculations = r.u64();
+  out.control_reads = r.u64();
+  out.control_writes = r.u64();
+  out.stage_executions = r.u64_vec();
+  return r.ok();
+}
+
+ControlClient::ControlClient(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return;
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+ControlClient::~ControlClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool ControlClient::roundtrip(const ByteWriter& request, std::vector<std::uint8_t>& response) {
+  if (fd_ < 0) return false;
+  std::vector<std::uint8_t> frame;
+  if (!write_frame(fd_, request.bytes()) || !read_frame(fd_, frame)) {
+    // A broken stream cannot carry further requests; fail them all fast.
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  if (frame.empty() || frame[0] != kControlOk) return false;
+  response.assign(frame.begin() + 1, frame.end());
+  return true;
+}
+
+bool ControlClient::ping(std::uint16_t& device_id) {
+  ByteWriter request;
+  request.u8(static_cast<std::uint8_t>(ControlOp::kPing));
+  std::vector<std::uint8_t> response;
+  if (!roundtrip(request, response)) return false;
+  ByteReader reader(response);
+  device_id = reader.u16();
+  return reader.ok();
+}
+
+bool ControlClient::managed_write(const std::string& name,
+                                  const std::vector<std::uint64_t>& indices,
+                                  std::uint64_t value) {
+  ByteWriter request;
+  request.u8(static_cast<std::uint8_t>(ControlOp::kManagedWrite));
+  request.str(name);
+  request.u64_vec(indices);
+  request.u64(value);
+  std::vector<std::uint8_t> response;
+  return roundtrip(request, response);
+}
+
+bool ControlClient::managed_read(const std::string& name,
+                                 const std::vector<std::uint64_t>& indices,
+                                 std::uint64_t& out) {
+  ByteWriter request;
+  request.u8(static_cast<std::uint8_t>(ControlOp::kManagedRead));
+  request.str(name);
+  request.u64_vec(indices);
+  std::vector<std::uint8_t> response;
+  if (!roundtrip(request, response)) return false;
+  ByteReader reader(response);
+  out = reader.u64();
+  return reader.ok();
+}
+
+bool ControlClient::insert(const std::string& table, std::uint64_t key_lo,
+                           std::uint64_t key_hi, std::uint64_t value) {
+  ByteWriter request;
+  request.u8(static_cast<std::uint8_t>(ControlOp::kInsert));
+  request.str(table);
+  request.u64(key_lo);
+  request.u64(key_hi);
+  request.u64(value);
+  std::vector<std::uint8_t> response;
+  return roundtrip(request, response);
+}
+
+bool ControlClient::remove(const std::string& table, std::uint64_t key) {
+  ByteWriter request;
+  request.u8(static_cast<std::uint8_t>(ControlOp::kRemove));
+  request.str(table);
+  request.u64(key);
+  std::vector<std::uint8_t> response;
+  return roundtrip(request, response);
+}
+
+bool ControlClient::stats(sim::DeviceStats& out) {
+  ByteWriter request;
+  request.u8(static_cast<std::uint8_t>(ControlOp::kStats));
+  std::vector<std::uint8_t> response;
+  if (!roundtrip(request, response)) return false;
+  ByteReader reader(response);
+  return decode_stats(reader, out);
+}
+
+bool ControlClient::register_access(std::map<std::string, sim::RegisterAccess>& out) {
+  ByteWriter request;
+  request.u8(static_cast<std::uint8_t>(ControlOp::kRegisterAccess));
+  std::vector<std::uint8_t> response;
+  if (!roundtrip(request, response)) return false;
+  ByteReader reader(response);
+  const std::uint16_t count = reader.u16();
+  out.clear();
+  for (std::uint16_t i = 0; i < count && reader.ok(); ++i) {
+    const std::string name = reader.str();
+    sim::RegisterAccess access;
+    access.reads = reader.u64();
+    access.writes = reader.u64();
+    out[name] = access;
+  }
+  return reader.ok();
+}
+
+bool ControlClient::set_multicast_group(std::uint16_t group,
+                                        const std::vector<std::uint16_t>& hosts) {
+  ByteWriter request;
+  request.u8(static_cast<std::uint8_t>(ControlOp::kSetMulticastGroup));
+  request.u16(group);
+  request.u16(static_cast<std::uint16_t>(hosts.size()));
+  for (const std::uint16_t host : hosts) request.u16(host);
+  std::vector<std::uint8_t> response;
+  return roundtrip(request, response);
+}
+
+}  // namespace netcl::net

@@ -1,0 +1,84 @@
+// The netcl-swd control-plane protocol: the reliable slow path behind
+// ncl::managed_read / ncl::managed_write and _managed_ _lookup_ entry
+// management (§V-B) when the device is a real process instead of an
+// in-fabric object.
+//
+// Framing: TCP, length-prefixed — u32 LE payload length, then the payload.
+// A request payload is u8 opcode + operands; a response is u8 status
+// (kControlOk / kControlError) + results. All integers little-endian (the
+// ByteWriter/ByteReader codec in net/wire.hpp). One request, one response,
+// in order, per connection.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "sim/switch.hpp"
+
+namespace netcl::net {
+
+enum class ControlOp : std::uint8_t {
+  kPing = 1,            // -> u16 device_id
+  kManagedWrite = 2,    // str name, u64_vec indices, u64 value
+  kManagedRead = 3,     // str name, u64_vec indices -> u64 value
+  kInsert = 4,          // str table, u64 key_lo, u64 key_hi, u64 value
+  kRemove = 5,          // str table, u64 key
+  kStats = 6,           // -> DeviceStats (encode_stats layout)
+  kRegisterAccess = 7,  // -> u16 count, { str name, u64 reads, u64 writes }*
+  kSetMulticastGroup = 8,  // u16 group, u16 count, u16 host_id*
+};
+
+inline constexpr std::uint8_t kControlOk = 0;
+inline constexpr std::uint8_t kControlError = 1;
+/// Frames larger than this are a protocol violation and close the
+/// connection (a stats response is well under 1 KiB).
+inline constexpr std::uint32_t kMaxControlFrame = 1u << 20;
+
+// --- frame + struct codec helpers (shared by client and daemon) -------------
+
+/// Blocking full-buffer read/write; false on EOF or error.
+bool read_exact(int fd, std::uint8_t* out, std::size_t n);
+bool write_all(int fd, const std::uint8_t* data, std::size_t n);
+/// One length-prefixed frame.
+bool write_frame(int fd, const std::vector<std::uint8_t>& payload);
+bool read_frame(int fd, std::vector<std::uint8_t>& payload);
+
+void encode_stats(ByteWriter& w, const sim::DeviceStats& stats);
+bool decode_stats(ByteReader& r, sim::DeviceStats& out);
+
+/// Blocking TCP control-plane client. DeviceConnection wraps one of these
+/// when pointed at a netcl-swd daemon, so host programs use the exact same
+/// managed-memory API against sim and real devices.
+class ControlClient {
+ public:
+  /// Connects immediately (IPv4 literal host).
+  ControlClient(const std::string& host, std::uint16_t port);
+  ~ControlClient();
+  ControlClient(const ControlClient&) = delete;
+  ControlClient& operator=(const ControlClient&) = delete;
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  bool ping(std::uint16_t& device_id);
+  bool managed_write(const std::string& name, const std::vector<std::uint64_t>& indices,
+                     std::uint64_t value);
+  bool managed_read(const std::string& name, const std::vector<std::uint64_t>& indices,
+                    std::uint64_t& out);
+  bool insert(const std::string& table, std::uint64_t key_lo, std::uint64_t key_hi,
+              std::uint64_t value);
+  bool remove(const std::string& table, std::uint64_t key);
+  bool stats(sim::DeviceStats& out);
+  bool register_access(std::map<std::string, sim::RegisterAccess>& out);
+  bool set_multicast_group(std::uint16_t group, const std::vector<std::uint16_t>& hosts);
+
+ private:
+  /// Sends one request frame and reads the response. True only for a
+  /// kControlOk status; `response` receives the body past the status byte.
+  bool roundtrip(const ByteWriter& request, std::vector<std::uint8_t>& response);
+
+  int fd_ = -1;
+};
+
+}  // namespace netcl::net

@@ -1,0 +1,27 @@
+#include "net/sim_transport.hpp"
+
+namespace netcl::net {
+
+SimTransport::SimTransport(sim::Fabric& fabric, std::uint16_t host_id)
+    : fabric_(fabric), host_id_(host_id) {
+  fabric_.add_host(host_id_);
+  // Installed eagerly (not in set_receiver) so arrivals before — or
+  // without — a receiver are observed by the owner, not lost.
+  fabric_.set_host_handler(host_id_,
+                           [this](sim::Fabric&, std::uint16_t, const sim::Packet& packet) {
+                             if (receiver_ != nullptr) receiver_(packet);
+                           });
+}
+
+void SimTransport::send(sim::Packet packet) {
+  fabric_.send_from_host(host_id_, std::move(packet));
+}
+
+void SimTransport::set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+void SimTransport::schedule(double delay_ns, std::function<void()> callback) {
+  fabric_.schedule(delay_ns,
+                   [callback = std::move(callback)](sim::Fabric&) { callback(); });
+}
+
+}  // namespace netcl::net

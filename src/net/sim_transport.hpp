@@ -1,0 +1,33 @@
+// Transport over the in-process discrete-event fabric.
+//
+// Attaching a SimTransport registers `host_id` with the fabric and installs
+// its packet handler — exactly what HostRuntime used to do when it held a
+// Fabric& directly, now behind the Transport seam so the same host code
+// runs unchanged against real UDP sockets.
+#pragma once
+
+#include "net/transport.hpp"
+#include "sim/fabric.hpp"
+
+namespace netcl::net {
+
+class SimTransport final : public Transport {
+ public:
+  SimTransport(sim::Fabric& fabric, std::uint16_t host_id);
+
+  [[nodiscard]] const char* kind() const override { return "sim"; }
+  void send(sim::Packet packet) override;
+  void set_receiver(Receiver receiver) override;
+  void schedule(double delay_ns, std::function<void()> callback) override;
+  [[nodiscard]] double now_ns() const override { return fabric_.now(); }
+
+  [[nodiscard]] sim::Fabric& fabric() { return fabric_; }
+  [[nodiscard]] std::uint16_t host_id() const { return host_id_; }
+
+ private:
+  sim::Fabric& fabric_;
+  std::uint16_t host_id_;
+  Receiver receiver_;
+};
+
+}  // namespace netcl::net

@@ -1,0 +1,318 @@
+#include "net/swd_server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "net/control.hpp"
+#include "net/wire.hpp"
+#include "runtime/device_runtime.hpp"
+
+namespace netcl::net {
+
+namespace {
+
+constexpr std::size_t kMaxDatagram = 65536;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Binds and returns the actual port, or 0 on failure.
+std::uint16_t bind_and_resolve(int fd, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) return 0;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return 0;
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace
+
+SwdServer::SwdServer(std::unique_ptr<sim::SwitchDevice> device, const SwdOptions& options)
+    : metrics_("swd" + std::to_string(device->device_id())),
+      device_(std::move(device)),
+      verbose_(options.verbose),
+      max_seconds_(options.max_seconds) {
+  udp_fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (udp_fd_ < 0 || listen_fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  udp_port_ = bind_and_resolve(udp_fd_, options.udp_port);
+  control_port_ = bind_and_resolve(listen_fd_, options.control_port);
+  if (udp_port_ == 0 || control_port_ == 0 || ::listen(listen_fd_, 8) != 0) {
+    error_ = std::string("bind/listen: ") + std::strerror(errno);
+    udp_port_ = 0;
+    control_port_ = 0;
+    return;
+  }
+  set_nonblocking(udp_fd_);
+  set_nonblocking(listen_fd_);
+}
+
+SwdServer::~SwdServer() {
+  for (const Connection& connection : connections_) ::close(connection.fd);
+  if (udp_fd_ >= 0) ::close(udp_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+bool SwdServer::valid() const { return udp_port_ != 0 && control_port_ != 0; }
+
+void SwdServer::send_to_host(std::uint16_t host, const sim::Packet& packet) {
+  const auto it = host_endpoints_.find(host);
+  if (it == host_endpoints_.end()) {
+    ++dropped_unknown_host;
+    return;
+  }
+  const std::vector<std::uint8_t> wire = serialize_packet(packet);
+  ::sendto(udp_fd_, wire.data(), wire.size(), 0,
+           reinterpret_cast<const sockaddr*>(&it->second), sizeof(it->second));
+  ++packets_sent;
+}
+
+void SwdServer::emit(sim::Packet&& packet) {
+  if (packet.netcl.to != 0 && packet.netcl.to != device_->device_id()) {
+    // A single-daemon deployment has no second device to forward to.
+    ++dropped_no_route;
+    return;
+  }
+  send_to_host(packet.netcl.dst, packet);
+}
+
+void SwdServer::handle_datagram(const std::uint8_t* data, std::size_t size,
+                                const sockaddr_in& from) {
+  sim::Packet packet;
+  if (!deserialize_packet({data, size}, packet)) {
+    ++deserialize_errors;
+    return;
+  }
+  ++packets_received;
+  // Learn the sender's location; Reflect and later SendToHost responses
+  // need it (the paper's testbed wires this knowledge into the base
+  // forwarding program instead).
+  if (packet.netcl.src != 0) host_endpoints_[packet.netcl.src] = from;
+
+  if (packet.netcl.to != device_->device_id()) {
+    // No-op transit through a device that was not asked to compute (§IV).
+    ++device_->stats.transits;
+    emit(std::move(packet));
+    return;
+  }
+
+  sim::ComputeOutcome outcome;
+  const KernelSpec* spec = device_->spec_for(packet.netcl.comp);
+  if (spec != nullptr) {
+    sim::ArgValues args = sim::decode_args(*spec, packet.payload);
+    outcome = device_->execute(packet.netcl.comp, args, packet.netcl);
+    packet.payload = sim::encode_args(*spec, args);
+    packet.netcl.len = static_cast<std::uint16_t>(packet.payload.size());
+  }
+  const runtime::ForwardDecision decision = runtime::apply_action(
+      packet.netcl, outcome.executed ? outcome.action : ActionKind::Pass, outcome.target,
+      device_->device_id());
+  if (decision.drop) {
+    ++packets_dropped_action;
+    ++device_->stats.drops_action;
+    return;
+  }
+  if (decision.multicast) {
+    ++device_->stats.multicasts;
+    const auto members = multicast_groups_.find(decision.multicast_group);
+    if (members == multicast_groups_.end()) return;
+    for (const std::uint16_t member : members->second) {
+      sim::Packet copy = packet;
+      copy.netcl.dst = member;
+      copy.netcl.to = 0;
+      send_to_host(member, copy);
+    }
+    return;
+  }
+  emit(std::move(packet));
+}
+
+std::vector<std::uint8_t> SwdServer::handle_control(std::span<const std::uint8_t> frame) {
+  ++control_requests;
+  ByteReader reader(frame);
+  const auto op = static_cast<ControlOp>(reader.u8());
+  ByteWriter ok;
+  ok.u8(kControlOk);
+  bool handled = reader.ok();
+  if (handled) {
+    switch (op) {
+      case ControlOp::kPing:
+        ok.u16(device_->device_id());
+        break;
+      case ControlOp::kManagedWrite: {
+        const std::string name = reader.str();
+        const std::vector<std::uint64_t> indices = reader.u64_vec();
+        const std::uint64_t value = reader.u64();
+        handled = reader.ok() && device_->managed_write(name, indices, value);
+        break;
+      }
+      case ControlOp::kManagedRead: {
+        const std::string name = reader.str();
+        const std::vector<std::uint64_t> indices = reader.u64_vec();
+        std::uint64_t value = 0;
+        handled = reader.ok() && device_->managed_read(name, indices, value);
+        ok.u64(value);
+        break;
+      }
+      case ControlOp::kInsert: {
+        const std::string table = reader.str();
+        const std::uint64_t lo = reader.u64();
+        const std::uint64_t hi = reader.u64();
+        const std::uint64_t value = reader.u64();
+        handled = reader.ok() && device_->lookup_insert(table, lo, hi, value);
+        break;
+      }
+      case ControlOp::kRemove: {
+        const std::string table = reader.str();
+        const std::uint64_t key = reader.u64();
+        handled = reader.ok() && device_->lookup_remove(table, key);
+        break;
+      }
+      case ControlOp::kStats:
+        encode_stats(ok, device_->stats);
+        break;
+      case ControlOp::kRegisterAccess: {
+        const std::map<std::string, sim::RegisterAccess> access = device_->register_access();
+        ok.u16(static_cast<std::uint16_t>(access.size()));
+        for (const auto& [name, counts] : access) {
+          ok.str(name);
+          ok.u64(counts.reads);
+          ok.u64(counts.writes);
+        }
+        break;
+      }
+      case ControlOp::kSetMulticastGroup: {
+        const std::uint16_t group = reader.u16();
+        const std::uint16_t count = reader.u16();
+        std::vector<std::uint16_t> members;
+        for (std::uint16_t i = 0; i < count && reader.ok(); ++i) members.push_back(reader.u16());
+        handled = reader.ok();
+        if (handled) multicast_groups_[group] = std::move(members);
+        break;
+      }
+      default:
+        handled = false;
+        break;
+    }
+  }
+  if (!handled) {
+    ++control_errors;
+    ByteWriter failure;
+    failure.u8(kControlError);
+    return failure.bytes();
+  }
+  return ok.bytes();
+}
+
+void SwdServer::accept_connection() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    set_nonblocking(fd);
+    connections_.push_back({fd, {}});
+  }
+}
+
+void SwdServer::service_connection(Connection& connection) {
+  std::uint8_t buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(connection.fd, buffer, sizeof(buffer));
+    if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+      ::close(connection.fd);
+      connection.fd = -1;
+      return;
+    }
+    if (n < 0) break;  // drained for now
+    connection.inbox.insert(connection.inbox.end(), buffer, buffer + n);
+  }
+  // Dispatch every complete frame in the inbox.
+  std::size_t pos = 0;
+  while (connection.inbox.size() - pos >= 4) {
+    ByteReader header({connection.inbox.data() + pos, 4});
+    const std::uint32_t length = header.u32();
+    if (length > kMaxControlFrame) {
+      ::close(connection.fd);
+      connection.fd = -1;
+      return;
+    }
+    if (connection.inbox.size() - pos - 4 < length) break;
+    const std::vector<std::uint8_t> response =
+        handle_control({connection.inbox.data() + pos + 4, length});
+    if (!write_frame(connection.fd, response)) {
+      ::close(connection.fd);
+      connection.fd = -1;
+      return;
+    }
+    pos += 4 + length;
+  }
+  connection.inbox.erase(connection.inbox.begin(),
+                         connection.inbox.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+void SwdServer::poll_once(int timeout_ms) {
+  if (!valid()) return;
+  std::vector<pollfd> fds;
+  fds.push_back({udp_fd_, POLLIN, 0});
+  fds.push_back({listen_fd_, POLLIN, 0});
+  for (const Connection& connection : connections_) {
+    fds.push_back({connection.fd, POLLIN, 0});
+  }
+  if (::poll(fds.data(), fds.size(), timeout_ms) <= 0) return;
+
+  if ((fds[0].revents & POLLIN) != 0) {
+    std::uint8_t buffer[kMaxDatagram];
+    for (;;) {
+      sockaddr_in from{};
+      socklen_t from_len = sizeof(from);
+      const ssize_t n = ::recvfrom(udp_fd_, buffer, sizeof(buffer), 0,
+                                   reinterpret_cast<sockaddr*>(&from), &from_len);
+      if (n < 0) break;
+      handle_datagram(buffer, static_cast<std::size_t>(n), from);
+    }
+  }
+  if ((fds[1].revents & POLLIN) != 0) accept_connection();
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    if ((fds[2 + i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      service_connection(connections_[i]);
+    }
+  }
+  std::erase_if(connections_, [](const Connection& connection) { return connection.fd < 0; });
+}
+
+void SwdServer::run() {
+  const auto start = std::chrono::steady_clock::now();
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (max_seconds_ > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count() >=
+            max_seconds_) {
+      break;
+    }
+    poll_once(50);
+  }
+  if (verbose_) {
+    std::fprintf(stderr,
+                 "netcl-swd: device %u served %llu packets (%llu sent, %llu control requests)\n",
+                 device_->device_id(), static_cast<unsigned long long>(packets_received.value()),
+                 static_cast<unsigned long long>(packets_sent.value()),
+                 static_cast<unsigned long long>(control_requests.value()));
+  }
+}
+
+}  // namespace netcl::net

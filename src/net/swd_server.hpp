@@ -1,0 +1,107 @@
+// netcl-swd: the software device daemon (§V-B brought to real sockets).
+//
+// SwdServer is the daemon's engine, usable in-process (tests run it on a
+// background thread) or behind the netcl-swd binary. It loads a compiled
+// pipeline — the same sim::SwitchDevice execution engine the fabric uses,
+// so a packet computes identically in simulation and over the wire — and
+// serves two sockets:
+//
+//   * a UDP data plane: NetCL wire packets in, kernel execution, the
+//     Table II action applied, and the rewritten packet forwarded to the
+//     destination host. Host locations are learned from the src field of
+//     arriving packets (there is no routing fabric behind a single daemon);
+//   * a TCP control plane: length-prefixed request/response frames
+//     (net/control.hpp) for managed read/write, lookup-entry management,
+//     stats read-back, and multicast-group configuration.
+//
+// Single-threaded poll(2) loop; stop() is safe to call from another thread.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/switch.hpp"
+
+namespace netcl::net {
+
+struct SwdOptions {
+  std::uint16_t udp_port = 0;      // data plane (0 = kernel-assigned)
+  std::uint16_t control_port = 0;  // control plane TCP (0 = kernel-assigned)
+  /// Stop serving after this much wall-clock time (0 = run until stop()).
+  double max_seconds = 0.0;
+  bool verbose = false;
+};
+
+class SwdServer {
+  // Declared before the public counter references below so it is
+  // constructed first.
+  obs::MetricsRegistry metrics_;
+
+ public:
+  /// Takes ownership of the device and binds both sockets; check valid().
+  SwdServer(std::unique_ptr<sim::SwitchDevice> device, const SwdOptions& options);
+  ~SwdServer();
+  SwdServer(const SwdServer&) = delete;
+  SwdServer& operator=(const SwdServer&) = delete;
+
+  [[nodiscard]] bool valid() const;
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::uint16_t udp_port() const { return udp_port_; }
+  [[nodiscard]] std::uint16_t control_port() const { return control_port_; }
+  [[nodiscard]] sim::SwitchDevice& device() { return *device_; }
+
+  /// Serves until stop() or the max_seconds budget runs out.
+  void run();
+  /// One event-loop turn (≤ timeout_ms of blocking).
+  void poll_once(int timeout_ms);
+  /// Thread-safe shutdown request; run() returns within one poll timeout.
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::Counter& packets_received = metrics_.counter("packets_received");
+  obs::Counter& packets_sent = metrics_.counter("packets_sent");
+  obs::Counter& packets_dropped_action = metrics_.counter("packets_dropped_action");
+  /// Datagram arrived but was not a well-formed NetCL wire packet.
+  obs::Counter& deserialize_errors = metrics_.counter("deserialize_errors");
+  /// Outbound packet addressed to a host this daemon never heard from.
+  obs::Counter& dropped_unknown_host = metrics_.counter("dropped.unknown_host");
+  /// Outbound packet addressed to another device (single-device daemon).
+  obs::Counter& dropped_no_route = metrics_.counter("dropped.no_route");
+  obs::Counter& control_requests = metrics_.counter("control_requests");
+  obs::Counter& control_errors = metrics_.counter("control_errors");
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::vector<std::uint8_t> inbox;  // bytes read, not yet framed
+  };
+
+  void handle_datagram(const std::uint8_t* data, std::size_t size, const sockaddr_in& from);
+  void emit(sim::Packet&& packet);
+  void send_to_host(std::uint16_t host, const sim::Packet& packet);
+  void accept_connection();
+  /// Reads what is available; closes the connection on EOF/protocol error.
+  void service_connection(Connection& connection);
+  [[nodiscard]] std::vector<std::uint8_t> handle_control(std::span<const std::uint8_t> frame);
+
+  std::unique_ptr<sim::SwitchDevice> device_;
+  std::string error_;
+  int udp_fd_ = -1;
+  int listen_fd_ = -1;
+  std::uint16_t udp_port_ = 0;
+  std::uint16_t control_port_ = 0;
+  bool verbose_ = false;
+  double max_seconds_ = 0.0;
+  std::vector<Connection> connections_;
+  /// host id -> last UDP endpoint it sent from.
+  std::map<std::uint16_t, sockaddr_in> host_endpoints_;
+  std::map<std::uint16_t, std::vector<std::uint16_t>> multicast_groups_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace netcl::net

@@ -1,0 +1,43 @@
+// The NetCL message transport abstraction (§V-B).
+//
+// The paper's host runtime is a UDP backend talking to a real device; this
+// reproduction grew up on the in-process discrete-event fabric. Transport
+// abstracts the difference so the host runtime (and anything built on it,
+// like runtime::RetransmitWindow) is written once: NetCL wire packets go
+// out, received packets come back through a callback, and one-shot timers
+// run on the transport's clock — simulated time for SimTransport, wall
+// clock for UdpTransport.
+#pragma once
+
+#include <functional>
+
+#include "sim/packet.hpp"
+
+namespace netcl::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Implementation tag for logs and metrics ("sim", "udp").
+  [[nodiscard]] virtual const char* kind() const = 0;
+
+  /// Sends one NetCL wire packet toward the network. The packet's NetCL
+  /// header decides where it goes (the fabric routes on it; the UDP
+  /// transport hands it to the attached device daemon).
+  virtual void send(sim::Packet packet) = 0;
+
+  /// Installs the handler invoked for every packet arriving at this
+  /// endpoint. At most one receiver; installing replaces the previous one.
+  using Receiver = std::function<void(const sim::Packet&)>;
+  virtual void set_receiver(Receiver receiver) = 0;
+
+  /// One-shot timer: `callback` fires `delay_ns` from now on this
+  /// transport's clock (host-side timers, e.g. retransmission timeouts).
+  virtual void schedule(double delay_ns, std::function<void()> callback) = 0;
+
+  /// Current time on the transport's clock, in nanoseconds.
+  [[nodiscard]] virtual double now_ns() const = 0;
+};
+
+}  // namespace netcl::net

@@ -1,0 +1,147 @@
+#include "net/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "net/wire.hpp"
+
+namespace netcl::net {
+
+namespace {
+
+/// Largest datagram we accept: wire header + a full 64 KiB payload bound.
+constexpr std::size_t kMaxDatagram = 65536;
+
+bool make_addr(const std::string& host, std::uint16_t port, sockaddr_in& out) {
+  std::memset(&out, 0, sizeof(out));
+  out.sin_family = AF_INET;
+  out.sin_port = htons(port);
+  return ::inet_pton(AF_INET, host.c_str(), &out.sin_addr) == 1;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(const Options& options)
+    : metrics_(options.metrics_name), epoch_(std::chrono::steady_clock::now()) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return;
+  }
+  sockaddr_in local{};
+  local.sin_family = AF_INET;
+  local.sin_addr.s_addr = htonl(INADDR_ANY);
+  local.sin_port = htons(options.bind_port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&local), sizeof(local)) != 0) {
+    error_ = std::string("bind: ") + std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof(local);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&local), &len) == 0) {
+    local_port_ = ntohs(local.sin_port);
+  }
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  if (options.peer_port != 0) set_peer(options.peer_host, options.peer_port);
+}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpTransport::set_peer(const std::string& host, std::uint16_t port) {
+  has_peer_ = make_addr(host, port, peer_);
+  if (!has_peer_) error_ = "invalid peer address '" + host + "'";
+}
+
+void UdpTransport::send(sim::Packet packet) {
+  if (fd_ < 0 || !has_peer_) {
+    ++send_errors;
+    return;
+  }
+  const std::vector<std::uint8_t> wire = serialize_packet(packet);
+  const ssize_t sent = ::sendto(fd_, wire.data(), wire.size(), 0,
+                                reinterpret_cast<const sockaddr*>(&peer_), sizeof(peer_));
+  if (sent != static_cast<ssize_t>(wire.size())) {
+    ++send_errors;
+    return;
+  }
+  ++packets_sent;
+  bytes_sent.inc(wire.size());
+}
+
+void UdpTransport::set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+void UdpTransport::schedule(double delay_ns, std::function<void()> callback) {
+  timers_.push({now_ns() + std::max(delay_ns, 0.0), timer_sequence_++, std::move(callback)});
+}
+
+double UdpTransport::now_ns() const {
+  return std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void UdpTransport::fire_due_timers() {
+  while (!timers_.empty() && timers_.top().due_ns <= now_ns()) {
+    // Copy out before pop: the callback may schedule new timers.
+    auto callback = timers_.top().callback;
+    timers_.pop();
+    ++timers_fired;
+    callback();
+  }
+}
+
+void UdpTransport::drain_socket() {
+  std::uint8_t buffer[kMaxDatagram];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n < 0) return;  // EAGAIN/EWOULDBLOCK: drained
+    bytes_received.inc(static_cast<std::uint64_t>(n));
+    sim::Packet packet;
+    if (!deserialize_packet({buffer, static_cast<std::size_t>(n)}, packet)) {
+      ++deserialize_errors;
+      continue;
+    }
+    ++packets_received;
+    if (receiver_ != nullptr) receiver_(packet);
+  }
+}
+
+void UdpTransport::poll_once(int timeout_ms) {
+  if (fd_ < 0) return;
+  fire_due_timers();
+  int wait_ms = timeout_ms;
+  if (!timers_.empty()) {
+    const double until_timer_ms = (timers_.top().due_ns - now_ns()) / 1e6;
+    wait_ms = std::clamp(static_cast<int>(until_timer_ms) + 1, 0, timeout_ms);
+  }
+  pollfd pfd{fd_, POLLIN, 0};
+  if (::poll(&pfd, 1, wait_ms) > 0 && (pfd.revents & POLLIN) != 0) drain_socket();
+  fire_due_timers();
+}
+
+bool UdpTransport::run_until(const std::function<bool()>& done, double timeout_ns) {
+  const double deadline = now_ns() + timeout_ns;
+  while (!done()) {
+    const double remaining_ms = (deadline - now_ns()) / 1e6;
+    if (remaining_ms <= 0) return done();
+    poll_once(std::min(static_cast<int>(remaining_ms) + 1, 50));
+  }
+  return true;
+}
+
+void UdpTransport::run_for(double duration_ns) {
+  const double deadline = now_ns() + duration_ns;
+  run_until([&] { return now_ns() >= deadline; }, duration_ns);
+}
+
+}  // namespace netcl::net

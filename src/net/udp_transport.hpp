@@ -1,0 +1,108 @@
+// Transport over real POSIX UDP sockets (the paper's §V-B backend shape).
+//
+// One socket, one peer (the attached device daemon), a poll(2)-based event
+// loop, and wall-clock one-shot timers. The owner drives the loop
+// explicitly (poll_once / run_for / run_until) — like fabric.run(), there
+// is no background thread; receive callbacks and timers fire on the
+// calling thread.
+//
+// Metrics live in an obs registry (default name "udp"): packet/byte
+// send+receive counters, deserialize failures, and timer fires, so
+// obs::dump() shows the real-network path next to the fabric's counters.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <chrono>
+#include <queue>
+#include <string>
+
+#include "net/transport.hpp"
+#include "obs/metrics.hpp"
+
+namespace netcl::net {
+
+class UdpTransport final : public Transport {
+  // Declared before the public counter references below so it is
+  // constructed first.
+  obs::MetricsRegistry metrics_;
+
+ public:
+  struct Options {
+    /// Local UDP port to bind (0 = kernel-assigned; read local_port()).
+    std::uint16_t bind_port = 0;
+    /// Peer (IPv4 literal) all sends go to; may be set later via set_peer.
+    std::string peer_host = "127.0.0.1";
+    std::uint16_t peer_port = 0;
+    /// Registry name; same-named registries merge additively in obs::dump().
+    std::string metrics_name = "udp";
+  };
+
+  // A delegating default ctor rather than `= {}` on the Options overload:
+  // default arguments for a nested aggregate with member initializers are
+  // ill-formed inside the enclosing class (GCC enforces this).
+  UdpTransport() : UdpTransport(Options()) {}
+  explicit UdpTransport(const Options& options);
+  ~UdpTransport() override;
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// False when socket creation/binding failed (error() explains).
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
+  void set_peer(const std::string& host, std::uint16_t port);
+
+  // --- Transport ------------------------------------------------------------
+  [[nodiscard]] const char* kind() const override { return "udp"; }
+  void send(sim::Packet packet) override;
+  void set_receiver(Receiver receiver) override;
+  void schedule(double delay_ns, std::function<void()> callback) override;
+  /// Wall-clock ns since this transport was constructed.
+  [[nodiscard]] double now_ns() const override;
+
+  // --- event loop -----------------------------------------------------------
+  /// One loop turn: fires due timers, waits up to `timeout_ms` (clamped to
+  /// the next timer deadline) for datagrams, drains and dispatches them.
+  void poll_once(int timeout_ms);
+  /// Loops until `done()` or the wall-clock timeout. Returns done().
+  bool run_until(const std::function<bool()>& done, double timeout_ns);
+  /// Loops for the given wall-clock duration.
+  void run_for(double duration_ns);
+
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::Counter& packets_sent = metrics_.counter("packets_sent");
+  obs::Counter& packets_received = metrics_.counter("packets_received");
+  obs::Counter& bytes_sent = metrics_.counter("bytes_sent");
+  obs::Counter& bytes_received = metrics_.counter("bytes_received");
+  /// sendto failed or no peer is configured.
+  obs::Counter& send_errors = metrics_.counter("send_errors");
+  /// Datagram arrived but was not a well-formed NetCL wire packet.
+  obs::Counter& deserialize_errors = metrics_.counter("deserialize_errors");
+  obs::Counter& timers_fired = metrics_.counter("timers_fired");
+
+ private:
+  struct Timer {
+    double due_ns;
+    std::uint64_t sequence;  // FIFO tiebreaker
+    std::function<void()> callback;
+    bool operator>(const Timer& other) const {
+      return std::tie(due_ns, sequence) > std::tie(other.due_ns, other.sequence);
+    }
+  };
+
+  void fire_due_timers();
+  void drain_socket();
+
+  int fd_ = -1;
+  std::string error_;
+  std::uint16_t local_port_ = 0;
+  sockaddr_in peer_{};
+  bool has_peer_ = false;
+  Receiver receiver_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::uint64_t timer_sequence_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace netcl::net

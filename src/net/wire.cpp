@@ -1,0 +1,129 @@
+#include "net/wire.hpp"
+
+namespace netcl::net {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> data, std::size_t pos) {
+  return static_cast<std::uint16_t>(data[pos] |
+                                    (static_cast<std::uint16_t>(data[pos + 1]) << 8));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_packet(const sim::Packet& packet) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kWireHeaderBytes + packet.payload.size());
+  // push_back rather than a range insert: GCC 12's -Wstringop-overflow
+  // misfires on inserting a fixed array into a freshly reserved vector.
+  for (const std::uint8_t b : kWireMagic) out.push_back(b);
+  put_u16(out, packet.netcl.src);
+  put_u16(out, packet.netcl.dst);
+  put_u16(out, packet.netcl.from);
+  put_u16(out, packet.netcl.to);
+  out.push_back(packet.netcl.comp);
+  out.push_back(packet.netcl.flags);
+  put_u16(out, static_cast<std::uint16_t>(packet.payload.size()));
+  out.insert(out.end(), packet.payload.begin(), packet.payload.end());
+  return out;
+}
+
+bool deserialize_packet(std::span<const std::uint8_t> data, sim::Packet& out) {
+  if (data.size() < kWireHeaderBytes) return false;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (data[i] != kWireMagic[i]) return false;
+  }
+  out.has_netcl = true;
+  out.netcl.src = get_u16(data, 4);
+  out.netcl.dst = get_u16(data, 6);
+  out.netcl.from = get_u16(data, 8);
+  out.netcl.to = get_u16(data, 10);
+  out.netcl.comp = data[12];
+  out.netcl.flags = data[13];
+  out.netcl.len = get_u16(data, 14);
+  if (kWireHeaderBytes + out.netcl.len > data.size()) return false;
+  out.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(kWireHeaderBytes),
+                     data.begin() + static_cast<std::ptrdiff_t>(kWireHeaderBytes) +
+                         out.netcl.len);
+  return true;
+}
+
+void ByteWriter::u16(std::uint16_t v) {
+  for (int b = 0; b < 2; ++b) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int b = 0; b < 4; ++b) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+}
+
+void ByteWriter::str(const std::string& s) {
+  u16(static_cast<std::uint16_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::u64_vec(const std::vector<std::uint64_t>& values) {
+  u16(static_cast<std::uint16_t>(values.size()));
+  for (const std::uint64_t v : values) u64(v);
+}
+
+bool ByteReader::take(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  if (!take(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  if (!take(2)) return 0;
+  std::uint16_t v = 0;
+  for (int b = 0; b < 2; ++b) v |= static_cast<std::uint16_t>(data_[pos_++]) << (8 * b);
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  if (!take(4)) return 0;
+  std::uint32_t v = 0;
+  for (int b = 0; b < 4; ++b) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * b);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  if (!take(8)) return 0;
+  std::uint64_t v = 0;
+  for (int b = 0; b < 8; ++b) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * b);
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint16_t size = u16();
+  if (!take(size)) return {};
+  std::string s(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                data_.begin() + static_cast<std::ptrdiff_t>(pos_) + size);
+  pos_ += size;
+  return s;
+}
+
+std::vector<std::uint64_t> ByteReader::u64_vec() {
+  const std::uint16_t count = u16();
+  std::vector<std::uint64_t> values;
+  values.reserve(count);
+  for (std::uint16_t i = 0; i < count && ok_; ++i) values.push_back(u64());
+  return values;
+}
+
+}  // namespace netcl::net

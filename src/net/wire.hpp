@@ -1,0 +1,78 @@
+// The NetCL on-the-wire format (paper Fig. 10) and the little-endian
+// primitive codec the control-plane protocol is built from.
+//
+// A NetCL-over-UDP datagram is MAGIC | netcl header | kernel-arg payload;
+// ETH/IP/UDP framing is the kernel's job in the real stack (the simulator
+// models those 42 bytes in Packet::wire_bytes()). One serializer is shared
+// by UdpTransport and the netcl-swd daemon so host and device cannot drift
+// apart, mirroring how encode_args/decode_args already pin the payload
+// layout.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/packet.hpp"
+
+namespace netcl::net {
+
+/// First bytes of every NetCL datagram: "NCL" + wire-format version.
+inline constexpr std::uint8_t kWireMagic[4] = {'N', 'C', 'L', 1};
+/// Magic + NetCL shim header.
+inline constexpr std::size_t kWireHeaderBytes = 4 + sim::NetclHeader::kWireBytes;
+
+/// Serializes a NetCL packet into one datagram payload.
+[[nodiscard]] std::vector<std::uint8_t> serialize_packet(const sim::Packet& packet);
+
+/// Parses a datagram. Returns false (leaving `out` unspecified) on bad
+/// magic/version, truncation, or a header length exceeding the datagram.
+[[nodiscard]] bool deserialize_packet(std::span<const std::uint8_t> data, sim::Packet& out);
+
+/// Little-endian primitive serialization (control-plane requests,
+/// responses, and anything else that needs a byte layout).
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// u16 length + raw bytes.
+  void str(const std::string& s);
+  /// u16 count + values.
+  void u64_vec(const std::vector<std::uint64_t>& values);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Mirror of ByteWriter. Reads past the end poison the reader (ok()
+/// becomes false and every subsequent read returns zero values), so
+/// callers can decode a whole message and check ok() once.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::string str();
+  std::vector<std::uint64_t> u64_vec();
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  [[nodiscard]] bool take(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace netcl::net

@@ -3,15 +3,12 @@
 #include <chrono>
 #include <iostream>
 
+#include "net/sim_transport.hpp"
 #include "support/diagnostics.hpp"
 
 namespace netcl::runtime {
 
 namespace {
-
-/// Outstanding sim-time send stamps kept per computation for round-trip
-/// matching; bounded so one-way traffic cannot grow the queue forever.
-constexpr std::size_t kMaxPendingRoundTrips = 4096;
 
 double wall_ns_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - start)
@@ -20,39 +17,49 @@ double wall_ns_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
+HostRuntime::HostRuntime(net::Transport& transport, std::uint16_t host_id)
+    : metrics_("host" + std::to_string(host_id)), transport_(&transport), host_id_(host_id) {
+  attach();
+}
+
 HostRuntime::HostRuntime(sim::Fabric& fabric, std::uint16_t host_id)
-    : metrics_("host" + std::to_string(host_id)), fabric_(fabric), host_id_(host_id) {
-  fabric_.add_host(host_id);
-  // The fabric handler is installed eagerly (not in on_receive) so that
-  // arrivals before — or without — a receiver are observed, not lost.
-  fabric_.set_host_handler(
-      host_id_, [this](sim::Fabric&, std::uint16_t, const sim::Packet& packet) {
-        if (!packet.has_netcl) return;
-        if (receiver_ == nullptr) {
-          ++dropped_no_receiver;
-          warn_once("NetCL packet arrived but no receiver is registered; dropping");
-          return;
-        }
-        const int comp = packet.netcl.comp;
-        const KernelSpec* spec = spec_for(comp);
-        if (spec == nullptr) {
-          ++dropped_unknown_computation;
-          warn_once("received computation " + std::to_string(comp) +
-                    " has no registered kernel spec; dropping");
-          return;
-        }
-        const auto unpack_start = std::chrono::steady_clock::now();
-        auto [message, args] = unpack(packet, *spec);
-        unpack_ns.record(wall_ns_since(unpack_start));
-        ++received;
-        ++metrics_.counter("comp" + std::to_string(comp) + ".received");
-        auto& pending = pending_round_trips_[comp];
-        if (!pending.empty()) {
-          round_trip_ns.record(fabric_.now() - pending.front());
-          pending.pop_front();
-        }
-        receiver_(message, args);
-      });
+    : metrics_("host" + std::to_string(host_id)),
+      owned_transport_(std::make_unique<net::SimTransport>(fabric, host_id)),
+      transport_(owned_transport_.get()),
+      host_id_(host_id) {
+  attach();
+}
+
+void HostRuntime::attach() {
+  // The transport receiver is installed eagerly (not in on_receive) so
+  // that arrivals before — or without — a receiver are observed, not lost.
+  transport_->set_receiver([this](const sim::Packet& packet) {
+    if (!packet.has_netcl) return;
+    if (receiver_ == nullptr) {
+      ++dropped_no_receiver;
+      warn_once("NetCL packet arrived but no receiver is registered; dropping");
+      return;
+    }
+    const int comp = packet.netcl.comp;
+    const KernelSpec* spec = spec_for(comp);
+    if (spec == nullptr) {
+      ++dropped_unknown_computation;
+      warn_once("received computation " + std::to_string(comp) +
+                " has no registered kernel spec; dropping");
+      return;
+    }
+    const auto unpack_start = std::chrono::steady_clock::now();
+    auto [message, args] = unpack(packet, *spec);
+    unpack_ns.record(wall_ns_since(unpack_start));
+    ++received;
+    ++metrics_.counter("comp" + std::to_string(comp) + ".received");
+    auto& pending = pending_round_trips_[comp];
+    if (!pending.empty()) {
+      round_trip_ns.record(transport_->now_ns() - pending.front());
+      pending.pop_front();
+    }
+    receiver_(message, args);
+  });
 }
 
 void HostRuntime::register_spec(int computation, KernelSpec spec) {
@@ -77,8 +84,14 @@ void HostRuntime::send(Message message, const sim::ArgValues& args) {
   sim::Packet packet = pack(message, *spec, args);
   pack_ns.record(wall_ns_since(pack_start));
   auto& pending = pending_round_trips_[message.comp];
-  if (pending.size() < kMaxPendingRoundTrips) pending.push_back(fabric_.now());
-  fabric_.send_from_host(host_id_, std::move(packet));
+  if (pending.size() >= kMaxPendingRoundTrips) {
+    // The response for the oldest stamp was presumably lost; expire it so
+    // one-way or lossy traffic cannot grow the queue forever.
+    pending.pop_front();
+    ++dropped_stale_round_trip;
+  }
+  pending.push_back(transport_->now_ns());
+  transport_->send(std::move(packet));
   ++sent;
   ++metrics_.counter("comp" + std::to_string(message.comp) + ".sent");
 }
@@ -91,37 +104,72 @@ void HostRuntime::warn_once(const std::string& cause) {
 }
 
 DeviceConnection::DeviceConnection(sim::Fabric& fabric, std::uint16_t device_id)
-    : device_(fabric.device(device_id)) {}
+    : fabric_(&fabric), device_(fabric.device(device_id)), device_id_(device_id) {}
+
+DeviceConnection::DeviceConnection(const std::string& host, std::uint16_t control_port)
+    : remote_(std::make_unique<net::ControlClient>(host, control_port)) {
+  if (!remote_->ping(device_id_)) remote_.reset();
+}
+
+DeviceConnection::~DeviceConnection() = default;
+
+bool DeviceConnection::valid() const {
+  return device_ != nullptr || (remote_ != nullptr && remote_->connected());
+}
 
 bool DeviceConnection::managed_write(const std::string& name, std::uint64_t value,
                                      const std::vector<std::uint64_t>& indices) {
+  if (remote_ != nullptr) return remote_->managed_write(name, indices, value);
   return device_ != nullptr && device_->managed_write(name, indices, value);
 }
 
 bool DeviceConnection::managed_read(const std::string& name, std::uint64_t& out,
                                     const std::vector<std::uint64_t>& indices) {
+  if (remote_ != nullptr) return remote_->managed_read(name, indices, out);
   return device_ != nullptr && device_->managed_read(name, indices, out);
 }
 
 bool DeviceConnection::insert(const std::string& table, std::uint64_t key,
                               std::uint64_t value) {
+  if (remote_ != nullptr) return remote_->insert(table, key, key, value);
   return device_ != nullptr && device_->lookup_insert(table, key, key, value);
 }
 
 bool DeviceConnection::insert_range(const std::string& table, std::uint64_t lo,
                                     std::uint64_t hi, std::uint64_t value) {
+  if (remote_ != nullptr) return remote_->insert(table, lo, hi, value);
   return device_ != nullptr && device_->lookup_insert(table, lo, hi, value);
 }
 
 bool DeviceConnection::remove(const std::string& table, std::uint64_t key) {
+  if (remote_ != nullptr) return remote_->remove(table, key);
   return device_ != nullptr && device_->lookup_remove(table, key);
 }
 
-const sim::DeviceStats* DeviceConnection::stats() const {
+bool DeviceConnection::set_multicast_group(std::uint16_t group,
+                                           const std::vector<std::uint16_t>& hosts) {
+  if (remote_ != nullptr) return remote_->set_multicast_group(group, hosts);
+  if (fabric_ == nullptr || device_ == nullptr) return false;
+  std::vector<sim::NodeRef> members;
+  members.reserve(hosts.size());
+  for (const std::uint16_t host : hosts) members.push_back(sim::host_ref(host));
+  fabric_->set_multicast_group(device_id_, group, std::move(members));
+  return true;
+}
+
+const sim::DeviceStats* DeviceConnection::stats() {
+  if (remote_ != nullptr) {
+    return remote_->stats(remote_stats_) ? &remote_stats_ : nullptr;
+  }
   return device_ == nullptr ? nullptr : &device_->stats;
 }
 
 std::map<std::string, sim::RegisterAccess> DeviceConnection::register_access() const {
+  if (remote_ != nullptr) {
+    std::map<std::string, sim::RegisterAccess> access;
+    return remote_->register_access(access) ? access
+                                            : std::map<std::string, sim::RegisterAccess>{};
+  }
   return device_ == nullptr ? std::map<std::string, sim::RegisterAccess>{}
                             : device_->register_access();
 }

@@ -1,28 +1,35 @@
-// NetCL host runtime bound to the simulated fabric.
+// NetCL host runtime.
 //
-// HostRuntime is the equivalent of the paper's UDP-socket backend: it
-// packs messages with the kernel specifications the compiler recorded and
-// injects them at the host's fabric port; received NetCL packets are
-// unpacked and handed to a user callback.
+// HostRuntime is the paper's host-side message backend (§V-B): it packs
+// messages with the kernel specifications the compiler recorded and hands
+// them to a net::Transport; received NetCL packets are unpacked and handed
+// to a user callback. The transport decides what the network is — a
+// SimTransport injects at a fabric port, a UdpTransport speaks real
+// sockets to a device daemon — and the host code is identical either way.
 //
 // Every host owns a metrics registry ("host<id>") with per-computation
 // send/receive counters, pack/unpack wall-clock histograms, and a
-// round-trip latency histogram in simulated time (FIFO request/response
-// matching per computation). Packets that would previously vanish — sends
-// without a registered spec, arrivals with no receiver installed or an
-// unknown computation — are counted and logged once per cause with
-// DiagnosticEngine-style severity.
+// round-trip latency histogram on the transport's clock (FIFO
+// request/response matching per computation). Packets that would
+// previously vanish — sends without a registered spec, arrivals with no
+// receiver installed or an unknown computation — are counted and logged
+// once per cause with DiagnosticEngine-style severity.
 //
 // DeviceConnection is the control-plane handle behind ncl::managed_read /
 // ncl::managed_write and the _managed_ _lookup_ entry operations (§V-B) —
-// the reliable slow path that bypasses kernels entirely.
+// the reliable slow path that bypasses kernels entirely. It speaks either
+// to an in-fabric sim::SwitchDevice or, over the length-prefixed TCP
+// protocol, to a netcl-swd daemon; callers cannot tell the difference.
 #pragma once
 
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 
+#include "net/control.hpp"
+#include "net/transport.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/message.hpp"
 #include "sim/fabric.hpp"
@@ -35,10 +42,20 @@ class HostRuntime {
   obs::MetricsRegistry metrics_;
 
  public:
+  /// Outstanding send stamps kept per computation for round-trip matching.
+  /// When responses are lost the FIFO would grow without bound; at this
+  /// depth the oldest stamp is expired and counted in
+  /// dropped.stale_round_trip.
+  static constexpr std::size_t kMaxPendingRoundTrips = 1024;
+
+  /// Binds to a transport (not owned; must outlive this runtime).
+  HostRuntime(net::Transport& transport, std::uint16_t host_id);
+  /// Convenience: attaches to the simulated fabric through an owned
+  /// SimTransport (the pre-ISSUE-2 constructor, behavior-preserving).
   HostRuntime(sim::Fabric& fabric, std::uint16_t host_id);
 
   [[nodiscard]] std::uint16_t host_id() const { return host_id_; }
-  [[nodiscard]] sim::Fabric& fabric() { return fabric_; }
+  [[nodiscard]] net::Transport& transport() { return *transport_; }
 
   /// Registers the message layout of a computation (done by the compiler's
   /// host-side rewrites in the paper; by the driver here).
@@ -63,30 +80,42 @@ class HostRuntime {
   /// NetCL packet arrived for a computation with no registered spec.
   obs::Counter& dropped_unknown_computation =
       metrics_.counter("dropped.unknown_computation");
-  obs::Histogram& pack_ns = metrics_.histogram("pack_ns");            // wall clock
-  obs::Histogram& unpack_ns = metrics_.histogram("unpack_ns");        // wall clock
-  obs::Histogram& round_trip_ns = metrics_.histogram("round_trip_ns");  // simulated time
+  /// Round-trip stamps expired at the kMaxPendingRoundTrips cap (their
+  /// responses were presumably lost).
+  obs::Counter& dropped_stale_round_trip = metrics_.counter("dropped.stale_round_trip");
+  obs::Histogram& pack_ns = metrics_.histogram("pack_ns");      // wall clock
+  obs::Histogram& unpack_ns = metrics_.histogram("unpack_ns");  // wall clock
+  obs::Histogram& round_trip_ns = metrics_.histogram("round_trip_ns");  // transport clock
 
  private:
+  /// Installs the transport receiver (shared by both constructors).
+  void attach();
   /// Warns on stderr with DiagnosticEngine severity labels, once per
   /// distinct cause (so lossy workloads do not flood the log).
   void warn_once(const std::string& cause);
 
-  sim::Fabric& fabric_;
+  std::unique_ptr<net::Transport> owned_transport_;  // Fabric convenience ctor
+  net::Transport* transport_;
   std::uint16_t host_id_;
   std::map<int, KernelSpec> specs_;
   Receiver receiver_;
-  /// Simulated send times awaiting a response, per computation (FIFO).
+  /// Transport-clock send times awaiting a response, per computation (FIFO).
   std::map<int, std::deque<double>> pending_round_trips_;
   std::set<std::string> warned_;
 };
 
-/// Control-plane connection to one device.
+/// Control-plane connection to one device (in-fabric or netcl-swd).
 class DeviceConnection {
  public:
+  /// In-fabric device.
   DeviceConnection(sim::Fabric& fabric, std::uint16_t device_id);
+  /// Real device: connects to a netcl-swd control endpoint (IPv4 literal)
+  /// and pings it for the device id.
+  DeviceConnection(const std::string& host, std::uint16_t control_port);
+  ~DeviceConnection();
 
-  [[nodiscard]] bool valid() const { return device_ != nullptr; }
+  [[nodiscard]] bool valid() const;
+  [[nodiscard]] std::uint16_t device_id() const { return device_id_; }
 
   /// ncl::managed_write / ncl::managed_read. Indices address the memory as
   /// declared in the NetCL source (partitioning renames are transparent).
@@ -101,13 +130,22 @@ class DeviceConnection {
                     std::uint64_t value);
   bool remove(const std::string& table, std::uint64_t key);
 
+  /// Configures a multicast group on the device (fabric groups for sim
+  /// devices; learned-endpoint groups on a netcl-swd daemon).
+  bool set_multicast_group(std::uint16_t group, const std::vector<std::uint16_t>& hosts);
+
   /// Telemetry read-back over the control plane: the device's packet /
-  /// drop / per-stage counters and per-register-array access totals.
-  [[nodiscard]] const sim::DeviceStats* stats() const;
+  /// drop / per-stage counters and per-register-array access totals. The
+  /// pointer stays valid until the next stats() call.
+  [[nodiscard]] const sim::DeviceStats* stats();
   [[nodiscard]] std::map<std::string, sim::RegisterAccess> register_access() const;
 
  private:
-  sim::SwitchDevice* device_;
+  sim::Fabric* fabric_ = nullptr;          // sim mode
+  sim::SwitchDevice* device_ = nullptr;    // sim mode
+  std::unique_ptr<net::ControlClient> remote_;  // netcl-swd mode
+  std::uint16_t device_id_ = 0;
+  sim::DeviceStats remote_stats_;
 };
 
 }  // namespace netcl::runtime

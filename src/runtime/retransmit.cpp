@@ -1,0 +1,51 @@
+#include "runtime/retransmit.hpp"
+
+#include <algorithm>
+
+namespace netcl::runtime {
+
+RetransmitWindow::RetransmitWindow(net::Transport& transport, const Config& config,
+                                   SendFn send)
+    : transport_(transport), config_(config), send_(std::move(send)) {
+  stride_ = std::max(1, std::min(config_.window, config_.chunks));
+  slot_chunk_.assign(static_cast<std::size_t>(stride_), -1);
+  done_.assign(static_cast<std::size_t>(std::max(config_.chunks, 0)), false);
+}
+
+void RetransmitWindow::start() {
+  for (int chunk = 0; chunk < stride_ && chunk < config_.chunks; ++chunk) {
+    launch(chunk, /*is_retransmission=*/false);
+  }
+}
+
+int RetransmitWindow::chunk_for_slot(int slot) const {
+  if (slot < 0 || slot >= stride_) return -1;
+  return slot_chunk_[static_cast<std::size_t>(slot)];
+}
+
+bool RetransmitWindow::is_done(int chunk) const {
+  return chunk >= 0 && chunk < config_.chunks && done_[static_cast<std::size_t>(chunk)];
+}
+
+bool RetransmitWindow::acknowledge_slot(int slot) {
+  const int chunk = chunk_for_slot(slot);
+  if (chunk < 0 || is_done(chunk)) return false;
+  done_[static_cast<std::size_t>(chunk)] = true;
+  ++completed_;
+  // Per-slot pipelining (SwitchML's alternating-bit rule): the next chunk
+  // on this slot may go out only now that this one finished.
+  const int next = chunk + stride_;
+  if (next < config_.chunks) launch(next, /*is_retransmission=*/false);
+  return true;
+}
+
+void RetransmitWindow::launch(int chunk, bool is_retransmission) {
+  slot_chunk_[static_cast<std::size_t>(chunk % stride_)] = chunk;
+  if (is_retransmission) ++retransmissions_;
+  send_(chunk, chunk % stride_, is_retransmission);
+  transport_.schedule(config_.retransmit_ns, [this, chunk] {
+    if (!is_done(chunk)) launch(chunk, /*is_retransmission=*/true);
+  });
+}
+
+}  // namespace netcl::runtime

@@ -1,0 +1,73 @@
+// SwitchML-style reliability, extracted from the AGG workload (§VII) so
+// any host program can reuse it against any transport.
+//
+// A RetransmitWindow delivers `chunks` numbered chunks through `window`
+// slots: chunk c occupies slot c % stride, chunks c and c + stride share a
+// slot with alternating versions (the alternating-bit rule — the version
+// bit is (c / stride) & 1, available to the send callback via version()).
+// Every send arms a one-shot retransmission timer on the transport's
+// clock; an unacknowledged chunk is re-sent when it fires. Acknowledging a
+// slot retires its chunk and immediately launches the next chunk chained
+// on that slot.
+//
+// The window does not touch packets itself — the owner's SendFn builds and
+// sends the actual message — so it works for AGG contributions today and
+// any future windowed workload.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace netcl::runtime {
+
+class RetransmitWindow {
+ public:
+  struct Config {
+    int chunks = 0;                   // total chunks to deliver
+    int window = 1;                   // max outstanding slots
+    double retransmit_ns = 200000.0;  // retransmission timeout
+  };
+
+  /// Called for every (re)transmission. `slot` is chunk % stride().
+  using SendFn = std::function<void(int chunk, int slot, bool is_retransmission)>;
+
+  /// The transport must outlive the window (timers capture `this`).
+  RetransmitWindow(net::Transport& transport, const Config& config, SendFn send);
+
+  /// Launches the initial window: one in-flight chunk per active slot.
+  void start();
+
+  /// Active slots: min(window, chunks).
+  [[nodiscard]] int stride() const { return stride_; }
+  /// Version bit of a chunk (the alternating-bit rule).
+  [[nodiscard]] int version(int chunk) const { return (chunk / stride_) & 1; }
+  /// The chunk currently in flight on `slot`; -1 when none (or the slot is
+  /// out of range — slots often arrive off the wire, so this is guarded).
+  [[nodiscard]] int chunk_for_slot(int slot) const;
+  [[nodiscard]] bool is_done(int chunk) const;
+  [[nodiscard]] bool complete() const { return completed_ == config_.chunks; }
+  [[nodiscard]] int completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+
+  /// Retires the chunk in flight on `slot` and launches the next chunk
+  /// chained on the slot. No-op (returns false) when nothing is in flight
+  /// there or it already completed — retransmitted responses arrive late.
+  bool acknowledge_slot(int slot);
+
+ private:
+  void launch(int chunk, bool is_retransmission);
+
+  net::Transport& transport_;
+  Config config_;
+  SendFn send_;
+  int stride_ = 1;
+  std::vector<int> slot_chunk_;  // slot -> in-flight chunk (-1 none)
+  std::vector<bool> done_;       // per chunk
+  int completed_ = 0;
+  std::uint64_t retransmissions_ = 0;
+};
+
+}  // namespace netcl::runtime

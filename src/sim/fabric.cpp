@@ -105,7 +105,20 @@ void Fabric::transmit(NodeRef from, NodeRef to, Packet&& packet, double start_ti
       static_cast<double>(packet.wire_bytes()) * 8.0 / link->config.gbps;
   const double depart = std::max(start_time, link->next_free_ns);
   link->next_free_ns = depart + serialization_ns;
-  const double arrival = depart + serialization_ns + link->config.latency_ns;
+  double arrival = depart + serialization_ns + link->config.latency_ns;
+  // Fault injection beyond Bernoulli loss (ISSUE 2): probabilities are
+  // checked before drawing so configs without faults consume no randomness
+  // (seeded runs stay reproducible across this change).
+  if (link->config.reorder_probability > 0.0 &&
+      rng_.next_double() < link->config.reorder_probability) {
+    arrival += rng_.next_double() * link->config.reorder_jitter_ns;
+    ++packets_reordered;
+  }
+  if (link->config.duplicate_probability > 0.0 &&
+      rng_.next_double() < link->config.duplicate_probability) {
+    events_.push({arrival + serialization_ns, sequence_++, to, packet, {}});
+    ++packets_duplicated;
+  }
   events_.push({arrival, sequence_++, to, std::move(packet), {}});
   ++packets_forwarded;
 }

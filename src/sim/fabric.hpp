@@ -37,6 +37,13 @@ struct LinkConfig {
   double latency_ns = 500.0;   // propagation
   double gbps = 100.0;         // serialization rate
   double loss_probability = 0.0;
+  /// Per-packet probability of the link delivering a second copy (one
+  /// serialization later, as a NIC/switch retry would).
+  double duplicate_probability = 0.0;
+  /// Per-packet probability of extra delivery delay (uniform in
+  /// [0, reorder_jitter_ns]), so later sends can overtake the packet.
+  double reorder_probability = 0.0;
+  double reorder_jitter_ns = 2000.0;
 };
 
 class Fabric {
@@ -85,6 +92,8 @@ class Fabric {
   obs::Counter& packets_dropped_action = metrics_.counter("packets_dropped_action");
   obs::Counter& packets_forwarded = metrics_.counter("packets_forwarded");
   obs::Counter& packets_multicast = metrics_.counter("packets_multicast");
+  obs::Counter& packets_duplicated = metrics_.counter("packets_duplicated");
+  obs::Counter& packets_reordered = metrics_.counter("packets_reordered");
   obs::Counter& timer_events = metrics_.counter("timer_events");
 
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }

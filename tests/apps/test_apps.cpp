@@ -120,6 +120,27 @@ TEST(Agg, SurvivesPacketLoss) {
   EXPECT_GT(result.retransmissions, 0u);
 }
 
+TEST(Agg, SurvivesLossDuplicationAndReordering) {
+  // The RetransmitWindow's duplicate-suppression (acknowledge_slot is a
+  // no-op for a retired chunk) must hold up when the fabric injects all
+  // three fault kinds at once.
+  AggConfig config;
+  config.num_workers = 2;
+  config.chunks = 24;
+  config.slot_size = 4;
+  config.loss = 0.05;
+  config.duplicate_probability = 0.05;
+  config.reorder_probability = 0.05;
+  config.retransmit_ns = 100000.0;
+  config.seed = 11;
+  const AggResult result = run_agg(config);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.correct);
+  EXPECT_GT(result.packets_lost, 0u);
+  EXPECT_GT(result.packets_duplicated, 0u);
+  EXPECT_GT(result.retransmissions, 0u);
+}
+
 // --- CACHE ---------------------------------------------------------------------
 
 TEST(Cache, HitsAreFasterThanMisses) {

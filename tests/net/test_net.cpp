@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "apps/sources.hpp"
+#include "driver/compiler.hpp"
+#include "net/control.hpp"
+#include "net/sim_transport.hpp"
+#include "net/swd_server.hpp"
+#include "net/udp_transport.hpp"
+#include "net/wire.hpp"
+#include "runtime/host.hpp"
+#include "sim/fabric.hpp"
+
+namespace netcl::net {
+namespace {
+
+using runtime::DeviceConnection;
+using runtime::HostRuntime;
+using runtime::Message;
+using sim::ArgValues;
+
+// --- wire format --------------------------------------------------------------
+
+sim::Packet sample_packet() {
+  sim::Packet packet;
+  packet.has_netcl = true;
+  packet.netcl.src = 3;
+  packet.netcl.dst = 9;
+  packet.netcl.from = 2;
+  packet.netcl.to = 7;
+  packet.netcl.comp = 5;
+  packet.netcl.flags = 0xA0;
+  packet.payload = {1, 2, 3, 4, 0xFF};
+  packet.netcl.len = static_cast<std::uint16_t>(packet.payload.size());
+  return packet;
+}
+
+TEST(Wire, PacketRoundTrip) {
+  const sim::Packet packet = sample_packet();
+  const std::vector<std::uint8_t> bytes = serialize_packet(packet);
+  EXPECT_EQ(bytes.size(), kWireHeaderBytes + packet.payload.size());
+
+  sim::Packet decoded;
+  ASSERT_TRUE(deserialize_packet(bytes, decoded));
+  EXPECT_EQ(decoded.netcl.src, packet.netcl.src);
+  EXPECT_EQ(decoded.netcl.dst, packet.netcl.dst);
+  EXPECT_EQ(decoded.netcl.from, packet.netcl.from);
+  EXPECT_EQ(decoded.netcl.to, packet.netcl.to);
+  EXPECT_EQ(decoded.netcl.comp, packet.netcl.comp);
+  EXPECT_EQ(decoded.netcl.flags, packet.netcl.flags);
+  EXPECT_EQ(decoded.payload, packet.payload);
+}
+
+TEST(Wire, RejectsBadMagicAndTruncation) {
+  std::vector<std::uint8_t> bytes = serialize_packet(sample_packet());
+  sim::Packet decoded;
+
+  std::vector<std::uint8_t> corrupt = bytes;
+  corrupt[0] = 'X';
+  EXPECT_FALSE(deserialize_packet(corrupt, decoded));
+
+  std::vector<std::uint8_t> header_cut(bytes.begin(), bytes.begin() + 8);
+  EXPECT_FALSE(deserialize_packet(header_cut, decoded));
+
+  // Header intact but the payload is shorter than the declared len.
+  std::vector<std::uint8_t> payload_cut(bytes.begin(), bytes.end() - 2);
+  EXPECT_FALSE(deserialize_packet(payload_cut, decoded));
+}
+
+TEST(Wire, ByteCodecRoundTrip) {
+  ByteWriter writer;
+  writer.u8(7);
+  writer.u16(0xBEEF);
+  writer.u32(0xDEADBEEF);
+  writer.u64(0x0123456789ABCDEFULL);
+  writer.str("thresh");
+  writer.u64_vec({1, 2, 3});
+
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.u8(), 7);
+  EXPECT_EQ(reader.u16(), 0xBEEF);
+  EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(reader.str(), "thresh");
+  EXPECT_EQ(reader.u64_vec(), (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.at_end());
+
+  reader.u64();  // over-read poisons the reader instead of faulting
+  EXPECT_FALSE(reader.ok());
+}
+
+// --- UdpTransport -------------------------------------------------------------
+
+TEST(UdpTransport, LoopbackRoundTrip) {
+  UdpTransport alice;
+  UdpTransport bob;
+  ASSERT_TRUE(alice.valid()) << alice.error();
+  ASSERT_TRUE(bob.valid()) << bob.error();
+  alice.set_peer("127.0.0.1", bob.local_port());
+  bob.set_peer("127.0.0.1", alice.local_port());
+
+  sim::Packet seen;
+  bool bob_got = false;
+  bob.set_receiver([&](const sim::Packet& packet) {
+    seen = packet;
+    bob_got = true;
+    sim::Packet reply = packet;
+    reply.netcl.src = 9;
+    bob.send(std::move(reply));
+  });
+  bool alice_got = false;
+  alice.set_receiver([&](const sim::Packet& packet) {
+    alice_got = packet.netcl.src == 9;
+  });
+
+  alice.send(sample_packet());
+  ASSERT_TRUE(bob.run_until([&] { return bob_got; }, 5e9));
+  EXPECT_EQ(seen.payload, sample_packet().payload);
+  ASSERT_TRUE(alice.run_until([&] { return alice_got; }, 5e9));
+  EXPECT_EQ(alice.packets_sent, 1u);
+  EXPECT_EQ(alice.packets_received, 1u);
+  EXPECT_EQ(bob.packets_received, 1u);
+}
+
+TEST(UdpTransport, TimersFireInDeadlineOrder) {
+  UdpTransport transport;
+  ASSERT_TRUE(transport.valid()) << transport.error();
+  std::vector<int> order;
+  transport.schedule(2e6, [&] { order.push_back(2); });
+  transport.schedule(1e6, [&] { order.push_back(1); });
+  ASSERT_TRUE(transport.run_until([&] { return order.size() == 2; }, 5e9));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(transport.timers_fired, 2u);
+}
+
+// --- SwdServer end-to-end -----------------------------------------------------
+
+driver::CompileResult compile_calc(std::uint16_t device_id) {
+  apps::AppSource app = apps::calc_source();
+  driver::CompileOptions options;
+  options.device_id = device_id;
+  options.defines = app.defines;
+  driver::CompileResult compiled = driver::compile_netcl(app.source, options);
+  EXPECT_TRUE(compiled.ok) << compiled.errors;
+  return compiled;
+}
+
+TEST(SwdServer, CalcMatchesSimulatedFabric) {
+  driver::CompileResult compiled = compile_calc(1);
+  const KernelSpec spec = compiled.specs.at(1);
+
+  struct Case {
+    std::uint64_t op, a, b;
+  };
+  const std::vector<Case> cases = {{apps::kCalcAdd, 20, 22},
+                                   {apps::kCalcSub, 100, 58},
+                                   {apps::kCalcAnd, 0xF0F0, 0xFF00},
+                                   {apps::kCalcOr, 0xF0F0, 0x0F0F},
+                                   {apps::kCalcXor, 0xFFFF, 0x00FF}};
+
+  // Reference: the same ops through the simulated fabric.
+  std::vector<std::vector<std::uint8_t>> sim_results;
+  {
+    driver::CompileResult sim_compiled = compile_calc(1);
+    sim::Fabric fabric(3);
+    fabric.add_device(driver::make_device(std::move(sim_compiled), 1));
+    HostRuntime host(fabric, 1);
+    host.register_spec(1, spec);
+    fabric.connect(sim::host_ref(1), sim::device_ref(1));
+    host.on_receive([&](const Message&, ArgValues& args) {
+      sim_results.push_back(sim::encode_args(spec, args));
+    });
+    for (const Case& c : cases) {
+      ArgValues args = sim::make_args(spec);
+      args[0][0] = c.op;
+      args[1][0] = c.a;
+      args[2][0] = c.b;
+      host.send(Message(1, 0, 1, 1), args);
+    }
+    fabric.run();
+  }
+  ASSERT_EQ(sim_results.size(), cases.size());
+
+  // The same ops over real loopback UDP against an in-process daemon.
+  SwdServer server(driver::make_device(std::move(compiled), 1), SwdOptions{});
+  ASSERT_TRUE(server.valid()) << server.error();
+  std::thread serving([&] { server.run(); });
+
+  UdpTransport::Options transport_options;
+  transport_options.peer_port = server.udp_port();
+  UdpTransport transport(transport_options);
+  ASSERT_TRUE(transport.valid()) << transport.error();
+  HostRuntime host(transport, 1);
+  host.register_spec(1, spec);
+  std::vector<std::vector<std::uint8_t>> udp_results;
+  host.on_receive([&](const Message&, ArgValues& args) {
+    udp_results.push_back(sim::encode_args(spec, args));
+  });
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    ArgValues args = sim::make_args(spec);
+    args[0][0] = cases[i].op;
+    args[1][0] = cases[i].a;
+    args[2][0] = cases[i].b;
+    host.send(Message(1, 0, 1, 1), args);
+    // One op at a time so result order is deterministic even over UDP.
+    ASSERT_TRUE(transport.run_until([&] { return udp_results.size() > i; }, 10e9))
+        << "timed out waiting for op " << i;
+  }
+  server.stop();
+  serving.join();
+
+  // Byte-identical payloads: the daemon runs the same execution engine.
+  EXPECT_EQ(udp_results, sim_results);
+  EXPECT_EQ(host.received, cases.size());
+  EXPECT_EQ(server.packets_received, cases.size());
+  EXPECT_EQ(server.packets_sent, cases.size());
+}
+
+TEST(SwdServer, ControlPlaneThroughDeviceConnection) {
+  driver::CompileOptions options;
+  options.device_id = 3;
+  driver::CompileResult compiled = driver::compile_netcl(R"(
+    _managed_ unsigned thresh;
+    _managed_ _lookup_ ncl::kv<unsigned, unsigned> cache[16];
+    _kernel(1) void k(unsigned key, unsigned &v, char &hit) {
+      hit = ncl::lookup(cache, key, v);
+      return hit ? ncl::reflect() : ncl::drop();
+    }
+  )",
+                                                         options);
+  ASSERT_TRUE(compiled.ok) << compiled.errors;
+
+  SwdServer server(driver::make_device(std::move(compiled), 3), SwdOptions{});
+  ASSERT_TRUE(server.valid()) << server.error();
+  std::thread serving([&] { server.run(); });
+
+  DeviceConnection connection("127.0.0.1", server.control_port());
+  ASSERT_TRUE(connection.valid());
+  EXPECT_EQ(connection.device_id(), 3);
+
+  // Managed memory: the same calls DeviceConnection serves against a
+  // simulated device, now over the TCP control plane.
+  EXPECT_TRUE(connection.managed_write("thresh", 500));
+  std::uint64_t value = 0;
+  EXPECT_TRUE(connection.managed_read("thresh", value));
+  EXPECT_EQ(value, 500u);
+  EXPECT_FALSE(connection.managed_read("no_such_symbol", value));
+
+  EXPECT_TRUE(connection.insert("cache", 5, 1234));
+  EXPECT_TRUE(connection.remove("cache", 5));
+  EXPECT_TRUE(connection.set_multicast_group(42, {1, 2}));
+
+  const sim::DeviceStats* stats = connection.stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GE(stats->control_writes, 2u);
+  EXPECT_GE(stats->control_reads, 1u);
+
+  server.stop();
+  serving.join();
+  EXPECT_GE(static_cast<std::uint64_t>(server.control_requests), 7u);
+}
+
+}  // namespace
+}  // namespace netcl::net

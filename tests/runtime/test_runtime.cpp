@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "net/sim_transport.hpp"
 #include "runtime/device_runtime.hpp"
 #include "runtime/host.hpp"
+#include "runtime/retransmit.hpp"
 
 namespace netcl::runtime {
 namespace {
@@ -66,6 +68,100 @@ TEST(HostRuntime, SrcIsForcedToOwnId) {
   alice.send(Message(/*forged src*/ 42, 2, 1, 0), sim::make_args(spec));
   fabric.run();
   EXPECT_EQ(seen_src, 1);
+}
+
+TEST(HostRuntime, ExplicitTransportBehavesLikeFabricCtor) {
+  const KernelSpec spec = spec_of("unsigned a");
+  sim::Fabric fabric;
+  net::SimTransport transport(fabric, 1);
+  HostRuntime alice(transport, 1);
+  HostRuntime bob(fabric, 2);
+  alice.register_spec(1, spec);
+  bob.register_spec(1, spec);
+  fabric.connect(sim::host_ref(1), sim::host_ref(2));
+  int received = 0;
+  bob.on_receive([&](const Message&, sim::ArgValues&) { ++received; });
+  alice.send(Message(1, 2, 1, 0), sim::make_args(spec));
+  fabric.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_STREQ(alice.transport().kind(), "sim");
+}
+
+TEST(HostRuntime, StaleRoundTripsExpireAtCap) {
+  const KernelSpec spec = spec_of("unsigned a");
+  sim::Fabric fabric;
+  HostRuntime host(fabric, 1);  // host 2 is unreachable: no replies ever
+  host.register_spec(1, spec);
+  for (std::size_t i = 0; i < HostRuntime::kMaxPendingRoundTrips + 3; ++i) {
+    host.send(Message(1, 2, 1, 0), sim::make_args(spec));
+  }
+  EXPECT_EQ(host.sent, HostRuntime::kMaxPendingRoundTrips + 3);
+  EXPECT_EQ(host.dropped_stale_round_trip, 3u);
+}
+
+// --- RetransmitWindow ---------------------------------------------------------
+
+TEST(RetransmitWindow, RetransmitsUntilAcknowledged) {
+  sim::Fabric fabric;
+  net::SimTransport transport(fabric, 1);
+  std::vector<std::pair<int, bool>> sends;  // (chunk, is_retransmission)
+  RetransmitWindow::Config config;
+  config.chunks = 2;
+  config.window = 2;
+  config.retransmit_ns = 1000.0;
+  RetransmitWindow window(transport, config, [&](int chunk, int slot, bool retx) {
+    EXPECT_EQ(slot, chunk % 2);
+    sends.emplace_back(chunk, retx);
+  });
+  window.start();
+  ASSERT_EQ(sends.size(), 2u);
+
+  // Timers at 1000/2000/3000 find both chunks unacknowledged and resend.
+  fabric.run(3500.0);
+  EXPECT_EQ(window.retransmissions(), 6u);
+  EXPECT_FALSE(window.complete());
+
+  EXPECT_TRUE(window.acknowledge_slot(0));
+  EXPECT_TRUE(window.acknowledge_slot(1));
+  EXPECT_FALSE(window.acknowledge_slot(0));  // already retired
+  EXPECT_FALSE(window.acknowledge_slot(9));  // off-the-wire slot, ignored
+  EXPECT_TRUE(window.complete());
+
+  // Remaining armed timers fire but find the chunks done.
+  fabric.run();
+  EXPECT_EQ(window.retransmissions(), 6u);
+  EXPECT_EQ(sends.size(), 8u);
+}
+
+TEST(RetransmitWindow, AcknowledgeAdvancesPerSlotChain) {
+  sim::Fabric fabric;
+  net::SimTransport transport(fabric, 1);
+  std::vector<int> launched;
+  RetransmitWindow::Config config;
+  config.chunks = 5;
+  config.window = 2;
+  config.retransmit_ns = 1e12;  // never fires in this test
+  RetransmitWindow window(transport, config, [&](int chunk, int, bool) {
+    launched.push_back(chunk);
+  });
+  window.start();
+  EXPECT_EQ(window.stride(), 2);
+  EXPECT_EQ(launched, (std::vector<int>{0, 1}));
+  EXPECT_EQ(window.chunk_for_slot(0), 0);
+  EXPECT_EQ(window.version(0), 0);
+  EXPECT_EQ(window.version(2), 1);  // chunk 2 reuses slot 0, other version
+  EXPECT_EQ(window.version(4), 0);
+
+  window.acknowledge_slot(0);  // retires 0, launches 2
+  EXPECT_EQ(window.chunk_for_slot(0), 2);
+  window.acknowledge_slot(1);  // retires 1, launches 3
+  window.acknowledge_slot(0);  // retires 2, launches 4
+  window.acknowledge_slot(0);  // retires 4; nothing left for slot 0
+  window.acknowledge_slot(1);  // retires 3
+  EXPECT_EQ(launched, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(window.complete());
+  EXPECT_EQ(window.completed(), 5);
+  EXPECT_EQ(window.retransmissions(), 0u);
 }
 
 TEST(DeviceConnection, InvalidDeviceId) {

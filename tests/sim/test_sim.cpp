@@ -303,6 +303,60 @@ TEST(FabricTest, LossyLinkDropsSome) {
   EXPECT_EQ(received + static_cast<int>(fabric.packets_dropped_loss), 200);
 }
 
+TEST(FabricTest, DuplicatingLinkDeliversCopies) {
+  Fabric fabric(7);
+  fabric.add_host(1);
+  fabric.add_host(2);
+  LinkConfig flaky;
+  flaky.duplicate_probability = 1.0;
+  fabric.connect(host_ref(1), host_ref(2), flaky);
+  int received = 0;
+  fabric.set_host_handler(2, [&](Fabric&, std::uint16_t, const Packet&) { ++received; });
+  for (int i = 0; i < 10; ++i) {
+    Packet packet;
+    packet.has_netcl = true;
+    packet.netcl.src = 1;
+    packet.netcl.dst = 2;
+    fabric.send_from_host(1, packet);
+  }
+  fabric.run();
+  EXPECT_EQ(received, 20);
+  EXPECT_EQ(fabric.packets_duplicated, 10u);
+}
+
+TEST(FabricTest, ReorderingLinkSwapsArrivals) {
+  Fabric fabric(1234);
+  fabric.add_host(1);
+  fabric.add_host(2);
+  LinkConfig jittery;
+  jittery.reorder_probability = 0.5;
+  // Jitter far above the back-to-back spacing, so delayed packets are
+  // overtaken by later sends.
+  jittery.reorder_jitter_ns = 1e6;
+  fabric.connect(host_ref(1), host_ref(2), jittery);
+  std::vector<int> order;
+  fabric.set_host_handler(2, [&](Fabric&, std::uint16_t, const Packet& packet) {
+    order.push_back(packet.payload[0]);
+  });
+  for (int i = 0; i < 50; ++i) {
+    Packet packet;
+    packet.has_netcl = true;
+    packet.netcl.src = 1;
+    packet.netcl.dst = 2;
+    packet.payload = {static_cast<std::uint8_t>(i)};
+    packet.netcl.len = 1;
+    fabric.send_from_host(1, packet);
+  }
+  fabric.run();
+  ASSERT_EQ(order.size(), 50u);
+  EXPECT_GT(fabric.packets_reordered, 0u);
+  int inversions = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) ++inversions;
+  }
+  EXPECT_GT(inversions, 0);
+}
+
 TEST(FabricTest, BandwidthSerializesPackets) {
   // Two equal packets over a slow link: the second arrives one
   // serialization later.
