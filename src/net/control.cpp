@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -31,6 +32,13 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
     const ssize_t w = ::write(fd, data + sent, n - sent);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking fd with a full send buffer: wait for writability
+        // instead of tearing the stream down. Bounded so a client that
+        // never drains cannot wedge the server's poll loop forever.
+        pollfd pfd{fd, POLLOUT, 0};
+        if (::poll(&pfd, 1, 5000) > 0 && (pfd.revents & POLLOUT) != 0) continue;
+      }
       return false;
     }
     sent += static_cast<std::size_t>(w);

@@ -106,6 +106,12 @@ void SwdServer::handle_datagram(const std::uint8_t* data, std::size_t size,
   // forwarding program instead).
   if (packet.netcl.src != 0) host_endpoints_[packet.netcl.src] = from;
 
+  if (packet.netcl.to == 0) {
+    // Already host-addressed (e.g. a reflected response looped back through
+    // the daemon): deliver without counting a device transit.
+    send_to_host(packet.netcl.dst, packet);
+    return;
+  }
   if (packet.netcl.to != device_->device_id()) {
     // No-op transit through a device that was not asked to compute (§IV).
     ++device_->stats.transits;
@@ -287,8 +293,11 @@ void SwdServer::poll_once(int timeout_ms) {
       handle_datagram(buffer, static_cast<std::size_t>(n), from);
     }
   }
+  // accept_connection() below can grow connections_; only the pre-accept
+  // entries have a pollfd at fds[2 + i].
+  const std::size_t polled = connections_.size();
   if ((fds[1].revents & POLLIN) != 0) accept_connection();
-  for (std::size_t i = 0; i < connections_.size(); ++i) {
+  for (std::size_t i = 0; i < polled; ++i) {
     if ((fds[2 + i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
       service_connection(connections_[i]);
     }

@@ -121,8 +121,11 @@ void UdpTransport::poll_once(int timeout_ms) {
   fire_due_timers();
   int wait_ms = timeout_ms;
   if (!timers_.empty()) {
+    // Clamp in double before the int cast: a far-future timer would make
+    // the bare cast overflow (UB).
     const double until_timer_ms = (timers_.top().due_ns - now_ns()) / 1e6;
-    wait_ms = std::clamp(static_cast<int>(until_timer_ms) + 1, 0, timeout_ms);
+    wait_ms = static_cast<int>(
+        std::clamp(until_timer_ms + 1.0, 0.0, static_cast<double>(timeout_ms)));
   }
   pollfd pfd{fd_, POLLIN, 0};
   if (::poll(&pfd, 1, wait_ms) > 0 && (pfd.revents & POLLIN) != 0) drain_socket();
@@ -134,7 +137,7 @@ bool UdpTransport::run_until(const std::function<bool()>& done, double timeout_n
   while (!done()) {
     const double remaining_ms = (deadline - now_ns()) / 1e6;
     if (remaining_ms <= 0) return done();
-    poll_once(std::min(static_cast<int>(remaining_ms) + 1, 50));
+    poll_once(static_cast<int>(std::min(remaining_ms + 1.0, 50.0)));
   }
   return true;
 }

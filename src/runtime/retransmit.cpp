@@ -1,6 +1,7 @@
 #include "runtime/retransmit.hpp"
 
 #include <algorithm>
+#include <memory>
 
 namespace netcl::runtime {
 
@@ -43,9 +44,11 @@ void RetransmitWindow::launch(int chunk, bool is_retransmission) {
   slot_chunk_[static_cast<std::size_t>(chunk % stride_)] = chunk;
   if (is_retransmission) ++retransmissions_;
   send_(chunk, chunk % stride_, is_retransmission);
-  transport_.schedule(config_.retransmit_ns, [this, chunk] {
-    if (!is_done(chunk)) launch(chunk, /*is_retransmission=*/true);
-  });
+  transport_.schedule(config_.retransmit_ns,
+                      [this, chunk, alive = std::weak_ptr<int>(alive_)] {
+                        if (alive.expired()) return;  // window destroyed first
+                        if (!is_done(chunk)) launch(chunk, /*is_retransmission=*/true);
+                      });
 }
 
 }  // namespace netcl::runtime

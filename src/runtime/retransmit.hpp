@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "net/transport.hpp"
@@ -34,7 +35,9 @@ class RetransmitWindow {
   /// Called for every (re)transmission. `slot` is chunk % stride().
   using SendFn = std::function<void(int chunk, int slot, bool is_retransmission)>;
 
-  /// The transport must outlive the window (timers capture `this`).
+  /// The transport must outlive the window. Timers armed on the transport
+  /// hold a weak liveness token, not a bare `this`: if the window is
+  /// destroyed first, late firings become no-ops instead of dangling.
   RetransmitWindow(net::Transport& transport, const Config& config, SendFn send);
 
   /// Launches the initial window: one in-flight chunk per active slot.
@@ -63,6 +66,8 @@ class RetransmitWindow {
   net::Transport& transport_;
   Config config_;
   SendFn send_;
+  /// Sentinel captured (weakly) by armed timers; expires with the window.
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
   int stride_ = 1;
   std::vector<int> slot_chunk_;  // slot -> in-flight chunk (-1 none)
   std::vector<bool> done_;       // per chunk
