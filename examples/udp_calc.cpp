@@ -2,7 +2,7 @@
 // the simulated run, but carried by UdpTransport and served by the
 // netcl-swd daemon engine instead of the discrete-event fabric.
 //
-//   udp_calc [--ops N] [--connect HOST:PORT]
+//   udp_calc [--ops N] [--connect HOST:PORT] [--timeout-ms T]
 //
 // With no --connect, an SwdServer runs in-process on a background thread
 // (ephemeral ports). With --connect, the data plane points at an already
@@ -10,6 +10,10 @@
 //
 //   netcl-swd examples/kernels/calc.ncl --port 9700 --control-port 9701 &
 //   udp_calc --connect 127.0.0.1:9700
+//
+// --timeout-ms (default 2000) bounds the wait for each operation's
+// response; an unreachable daemon therefore fails fast with a clear
+// diagnostic and exit code 1 instead of hanging.
 //
 // Every operation is executed twice — once through the simulated fabric,
 // once over UDP — and the reflected payloads must be byte-identical.
@@ -47,12 +51,19 @@ int main(int argc, char** argv) {
   using namespace netcl;
 
   int num_ops = 32;
+  int timeout_ms = 2000;
   std::string connect_host;
   std::uint16_t connect_port = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--ops" && i + 1 < argc) {
       num_ops = std::atoi(argv[++i]);
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      timeout_ms = std::atoi(argv[++i]);
+      if (timeout_ms <= 0) {
+        std::fprintf(stderr, "--timeout-ms wants a positive integer\n");
+        return 1;
+      }
     } else if (arg == "--connect" && i + 1 < argc) {
       const std::string target = argv[++i];
       const std::size_t colon = target.rfind(':');
@@ -63,7 +74,8 @@ int main(int argc, char** argv) {
       connect_host = target.substr(0, colon);
       connect_port = static_cast<std::uint16_t>(std::atoi(target.c_str() + colon + 1));
     } else {
-      std::fprintf(stderr, "usage: udp_calc [--ops N] [--connect HOST:PORT]\n");
+      std::fprintf(stderr,
+                   "usage: udp_calc [--ops N] [--connect HOST:PORT] [--timeout-ms T]\n");
       return arg == "--help" || arg == "-h" ? 0 : 1;
     }
   }
@@ -149,8 +161,19 @@ int main(int argc, char** argv) {
       args[2][0] = ops[i].b;
       host.send(runtime::Message(1, 0, 1, 1), args);
       // One op in flight at a time keeps result order deterministic.
-      if (!transport.run_until([&] { return udp_results.size() > i; }, 10e9)) {
-        std::fprintf(stderr, "timed out waiting for op %zu of %zu\n", i + 1, ops.size());
+      if (!transport.run_until([&] { return udp_results.size() > i; },
+                               static_cast<double>(timeout_ms) * 1e6)) {
+        if (i == 0) {
+          // Nothing ever answered: almost certainly no daemon at the
+          // address, not a lossy network. Fail fast and say so.
+          std::fprintf(stderr,
+                       "no response from daemon at %s:%u within %d ms — is netcl-swd "
+                       "running there? (see --timeout-ms)\n",
+                       connect_host.c_str(), connect_port, timeout_ms);
+        } else {
+          std::fprintf(stderr, "timed out after %d ms waiting for op %zu of %zu\n",
+                       timeout_ms, i + 1, ops.size());
+        }
         rc = 1;
       }
     }

@@ -152,6 +152,13 @@ AggResult run_agg(const AggConfig& config) {
     });
   }
 
+  if (config.crash_at_ns > 0.0) {
+    fabric.schedule(config.crash_at_ns, [](sim::Fabric& f) { f.crash_device(1); });
+  }
+  if (config.restart_at_ns > 0.0) {
+    fabric.schedule(config.restart_at_ns, [](sim::Fabric& f) { f.restart_device(1); });
+  }
+
   // Prime the windows: one in-flight chunk per active slot. Chunk c and
   // c + stride share a slot with alternating versions, so every chunk is
   // eventually sent through the per-slot chains.

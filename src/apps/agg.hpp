@@ -32,6 +32,12 @@ struct AggConfig {
   /// P4 program's latency); 0 = use the compiler's allocation.
   int stages_override = 0;
   std::uint64_t seed = 1;
+  /// Fault injection (ISSUE 3), both 0 = off: crash the switch at
+  /// crash_at_ns and power-cycle it (registers zeroed, generation bumped)
+  /// at restart_at_ns. In-flight aggregation state is lost; the workload
+  /// must self-heal through retransmission.
+  double crash_at_ns = 0.0;
+  double restart_at_ns = 0.0;
 };
 
 struct AggResult {

@@ -6,6 +6,10 @@
 //     --control-port <p>   TCP control-plane port (default 0 = kernel-assigned)
 //     -D NAME=VALUE        predefine an integer macro
 //     --max-seconds <s>    exit after s wall-clock seconds (CI hard stop)
+//     --generation <g>     report generation g in PONGs (default: derived
+//                          from the wall clock, so restarts are detectable)
+//     --idle-timeout <s>   reap control connections idle for s seconds
+//                          (default 300; 0 disables)
 //     --quiet              suppress the shutdown stats line
 //
 // Compiles the NetCL-C source for the device (exactly what ncc does),
@@ -35,8 +39,8 @@ void handle_signal(int) {
 
 void print_usage() {
   std::cerr << "usage: netcl-swd [--device N] [--port P] [--control-port P]\n"
-               "                 [-D NAME=VALUE] [--max-seconds S] [--quiet]\n"
-               "                 <source.ncl>\n";
+               "                 [-D NAME=VALUE] [--max-seconds S] [--generation G]\n"
+               "                 [--idle-timeout S] [--quiet] <source.ncl>\n";
 }
 
 bool parse_number(const std::string& flag, const std::string& text, std::uint64_t& out) {
@@ -74,6 +78,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-seconds" && i + 1 < argc) {
       if (!parse_number(arg, argv[++i], value)) return 2;
       swd.max_seconds = static_cast<double>(value);
+    } else if (arg == "--generation" && i + 1 < argc) {
+      if (!parse_number(arg, argv[++i], value)) return 2;
+      swd.generation = static_cast<std::uint32_t>(value);
+    } else if (arg == "--idle-timeout" && i + 1 < argc) {
+      if (!parse_number(arg, argv[++i], value)) return 2;
+      swd.idle_timeout_seconds = static_cast<double>(value);
     } else if (arg == "-D" && i + 1 < argc) {
       const std::string define = argv[++i];
       const std::size_t eq = define.find('=');

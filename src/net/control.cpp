@@ -1,16 +1,41 @@
 #include "net/control.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
+#include <thread>
 
 namespace netcl::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Remaining budget in whole milliseconds (>= 0); -1 never happens — an
+/// expired deadline yields 0 so poll returns immediately.
+int remaining_ms(ControlDeadline deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  return static_cast<int>(std::max<std::int64_t>(left.count(), 0));
+}
+
+bool deadline_passed(ControlDeadline deadline) {
+  return std::chrono::steady_clock::now() >= deadline;
+}
+
+}  // namespace
 
 bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
   std::size_t got = 0;
@@ -29,7 +54,9 @@ bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
 bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
   std::size_t sent = 0;
   while (sent < n) {
-    const ssize_t w = ::write(fd, data + sent, n - sent);
+    // MSG_NOSIGNAL: a peer that died mid-write is a return value (EPIPE),
+    // not a process-killing SIGPIPE.
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -63,6 +90,58 @@ bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
   return length == 0 || read_exact(fd, payload.data(), length);
 }
 
+bool read_exact(int fd, std::uint8_t* out, std::size_t n, ControlDeadline deadline) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, out + got, n - got);
+    if (r == 0) return false;  // EOF
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) return false;
+    if (deadline_passed(deadline)) return false;
+    pollfd pfd{fd, POLLIN, 0};
+    ::poll(&pfd, 1, remaining_ms(deadline));
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n, ControlDeadline deadline) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w >= 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) return false;
+    if (deadline_passed(deadline)) return false;
+    pollfd pfd{fd, POLLOUT, 0};
+    ::poll(&pfd, 1, remaining_ms(deadline));
+  }
+  return true;
+}
+
+bool write_frame(int fd, const std::vector<std::uint8_t>& payload, ControlDeadline deadline) {
+  ByteWriter header;
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  return write_all(fd, header.bytes().data(), header.bytes().size(), deadline) &&
+         write_all(fd, payload.data(), payload.size(), deadline);
+}
+
+bool read_frame(int fd, std::vector<std::uint8_t>& payload, ControlDeadline deadline) {
+  std::uint8_t header[4];
+  if (!read_exact(fd, header, sizeof(header), deadline)) return false;
+  ByteReader reader({header, sizeof(header)});
+  const std::uint32_t length = reader.u32();
+  if (length > kMaxControlFrame) return false;
+  payload.resize(length);
+  return length == 0 || read_exact(fd, payload.data(), length, deadline);
+}
+
 void encode_stats(ByteWriter& w, const sim::DeviceStats& stats) {
   w.u64(stats.packets_processed);
   w.u64(stats.kernels_executed);
@@ -90,47 +169,144 @@ bool decode_stats(ByteReader& r, sim::DeviceStats& out) {
   return r.ok();
 }
 
-ControlClient::ControlClient(const std::string& host, std::uint16_t port) {
+ControlClient::ControlClient(const std::string& host, std::uint16_t port,
+                             const ControlClientOptions& options)
+    : host_(host),
+      port_(port),
+      options_(options),
+      // Unique-enough across processes and instances: the daemon's
+      // idempotency cache is keyed by it. No determinism requirement here —
+      // collisions would only merge two clients' replay slots.
+      client_id_(static_cast<std::uint64_t>(
+                     std::chrono::steady_clock::now().time_since_epoch().count()) ^
+                 (reinterpret_cast<std::uintptr_t>(this) << 16) ^
+                 static_cast<std::uint64_t>(::getpid())),
+      jitter_(client_id_) {
+  connect_now();
+}
+
+ControlClient::~ControlClient() { disconnect(); }
+
+void ControlClient::disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void ControlClient::fail(runtime::ErrorKind kind, std::string message) {
+  error_ = runtime::Error(kind, std::move(message));
+}
+
+bool ControlClient::connect_now() {
+  if (fd_ >= 0) return true;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    fail(runtime::ErrorKind::kDisconnected, "invalid control host '" + host_ + "'");
+    return false;
+  }
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) return;
+  if (fd_ < 0) {
+    fail(runtime::ErrorKind::kDisconnected, std::string("socket: ") + std::strerror(errno));
+    return false;
+  }
+  // Non-blocking from the start: connect against a partitioned host would
+  // otherwise block for minutes; here it is bounded by connect_timeout_ms.
+  set_nonblocking(fd_);
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd_);
-    fd_ = -1;
-    return;
+    if (errno != EINPROGRESS) {
+      fail(runtime::ErrorKind::kDisconnected, std::string("connect: ") + std::strerror(errno));
+      disconnect();
+      return false;
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(static_cast<long>(options_.connect_timeout_ms));
+    pollfd pfd{fd_, POLLOUT, 0};
+    int ready = 0;
+    do {
+      ready = ::poll(&pfd, 1, remaining_ms(deadline));
+    } while (ready < 0 && errno == EINTR && !deadline_passed(deadline));
+    if (ready <= 0) {
+      fail(runtime::ErrorKind::kTimeout, "connect to " + host_ + " timed out");
+      disconnect();
+      return false;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    if (so_error != 0) {
+      fail(runtime::ErrorKind::kDisconnected,
+           std::string("connect: ") + std::strerror(so_error));
+      disconnect();
+      return false;
+    }
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-}
-
-ControlClient::~ControlClient() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-bool ControlClient::roundtrip(const ByteWriter& request, std::vector<std::uint8_t>& response) {
-  if (fd_ < 0) return false;
-  std::vector<std::uint8_t> frame;
-  if (!write_frame(fd_, request.bytes()) || !read_frame(fd_, frame)) {
-    // A broken stream cannot carry further requests; fail them all fast.
-    ::close(fd_);
-    fd_ = -1;
-    return false;
-  }
-  if (frame.empty() || frame[0] != kControlOk) return false;
-  response.assign(frame.begin() + 1, frame.end());
   return true;
 }
 
+void ControlClient::backoff(int attempt) {
+  const double exponent = std::min(attempt - 1, 20);  // avoid overflow
+  const double base = std::min(options_.backoff_base_ms * std::pow(2.0, exponent),
+                               options_.backoff_max_ms);
+  // ±50% multiplicative jitter so retry storms decorrelate.
+  const double delay_ms = base * (0.5 + jitter_.next_double());
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+}
+
+bool ControlClient::roundtrip(const ByteWriter& request, std::vector<std::uint8_t>& response) {
+  // One id for all attempts of this logical request: the daemon dedups on
+  // (client_id, request_id), so a retry after a half-applied request
+  // replays the cached response instead of re-executing the op.
+  ByteWriter framed;
+  framed.u64(client_id_);
+  framed.u64(next_request_id_++);
+  framed.raw(request.bytes());
+
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) backoff(attempt);
+    if (fd_ < 0 && !connect_now()) continue;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(static_cast<long>(options_.request_timeout_ms));
+    std::vector<std::uint8_t> frame;
+    if (write_frame(fd_, framed.bytes(), deadline) && read_frame(fd_, frame, deadline)) {
+      if (frame.empty() || frame[0] != kControlOk) {
+        // The daemon answered and rejected the op: not a transport failure,
+        // so no retry and no transport error recorded.
+        error_ = runtime::Error();
+        return false;
+      }
+      response.assign(frame.begin() + 1, frame.end());
+      error_ = runtime::Error();
+      return true;
+    }
+    // A broken or stalled stream cannot carry further requests; close and
+    // reconnect on the next attempt.
+    fail(deadline_passed(deadline) ? runtime::ErrorKind::kTimeout
+                                   : runtime::ErrorKind::kDisconnected,
+         "control request to " + host_ + ":" + std::to_string(port_) + " failed (attempt " +
+             std::to_string(attempt + 1) + ")");
+    disconnect();
+  }
+  return false;
+}
+
 bool ControlClient::ping(std::uint16_t& device_id) {
+  std::uint32_t generation = 0;
+  return ping(device_id, generation);
+}
+
+bool ControlClient::ping(std::uint16_t& device_id, std::uint32_t& generation) {
   ByteWriter request;
   request.u8(static_cast<std::uint8_t>(ControlOp::kPing));
   std::vector<std::uint8_t> response;
   if (!roundtrip(request, response)) return false;
   ByteReader reader(response);
   device_id = reader.u16();
+  generation = reader.u32();
   return reader.ok();
 }
 

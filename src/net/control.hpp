@@ -4,23 +4,33 @@
 // in-fabric object.
 //
 // Framing: TCP, length-prefixed — u32 LE payload length, then the payload.
-// A request payload is u8 opcode + operands; a response is u8 status
-// (kControlOk / kControlError) + results. All integers little-endian (the
-// ByteWriter/ByteReader codec in net/wire.hpp). One request, one response,
-// in order, per connection.
+// A request payload is u64 client id + u64 request id + u8 opcode +
+// operands; a response is u8 status (kControlOk / kControlError) + results.
+// All integers little-endian (the ByteWriter/ByteReader codec in
+// net/wire.hpp). One request, one response, in order, per connection.
+//
+// Failure model (ISSUE 3): every client operation is bounded — non-blocking
+// connect with a deadline, poll-based request/response I/O with a deadline,
+// and capped-exponential-backoff retries over automatic TCP reconnects.
+// Request ids make retries idempotent: the daemon caches the last response
+// per client and replays it when a retried request arrives after the
+// original was already applied.
 #pragma once
 
+#include <chrono>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "net/wire.hpp"
+#include "runtime/error.hpp"
 #include "sim/switch.hpp"
+#include "support/hashes.hpp"
 
 namespace netcl::net {
 
 enum class ControlOp : std::uint8_t {
-  kPing = 1,            // -> u16 device_id
+  kPing = 1,            // -> u16 device_id, u32 generation (the heartbeat)
   kManagedWrite = 2,    // str name, u64_vec indices, u64 value
   kManagedRead = 3,     // str name, u64_vec indices -> u64 value
   kInsert = 4,          // str table, u64 key_lo, u64 key_hi, u64 value
@@ -36,6 +46,9 @@ inline constexpr std::uint8_t kControlError = 1;
 /// connection (a stats response is well under 1 KiB).
 inline constexpr std::uint32_t kMaxControlFrame = 1u << 20;
 
+/// Absolute deadline on the wall clock for bounded socket operations.
+using ControlDeadline = std::chrono::steady_clock::time_point;
+
 // --- frame + struct codec helpers (shared by client and daemon) -------------
 
 /// Blocking full-buffer read/write; false on EOF or error.
@@ -45,23 +58,55 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t n);
 bool write_frame(int fd, const std::vector<std::uint8_t>& payload);
 bool read_frame(int fd, std::vector<std::uint8_t>& payload);
 
+/// Deadline-bounded variants for non-blocking fds: poll(2) until the fd is
+/// ready or the deadline passes; false on EOF, error, or deadline.
+bool read_exact(int fd, std::uint8_t* out, std::size_t n, ControlDeadline deadline);
+bool write_all(int fd, const std::uint8_t* data, std::size_t n, ControlDeadline deadline);
+bool write_frame(int fd, const std::vector<std::uint8_t>& payload, ControlDeadline deadline);
+bool read_frame(int fd, std::vector<std::uint8_t>& payload, ControlDeadline deadline);
+
 void encode_stats(ByteWriter& w, const sim::DeviceStats& stats);
 bool decode_stats(ByteReader& r, sim::DeviceStats& out);
 
-/// Blocking TCP control-plane client. DeviceConnection wraps one of these
-/// when pointed at a netcl-swd daemon, so host programs use the exact same
-/// managed-memory API against sim and real devices.
+/// Deadlines and retry budget for one ControlClient. Backoff between retry
+/// attempts is exponential from backoff_base_ms, capped at backoff_max_ms,
+/// with ±50% multiplicative jitter so a fleet of clients does not retry in
+/// lockstep against a recovering daemon.
+struct ControlClientOptions {
+  double connect_timeout_ms = 1000.0;
+  double request_timeout_ms = 2000.0;
+  /// Additional attempts after the first; each reconnects if needed.
+  int max_retries = 2;
+  double backoff_base_ms = 10.0;
+  double backoff_max_ms = 250.0;
+};
+
+/// TCP control-plane client with bounded blocking. DeviceConnection wraps
+/// one of these when pointed at a netcl-swd daemon, so host programs use
+/// the exact same managed-memory API against sim and real devices.
 class ControlClient {
  public:
-  /// Connects immediately (IPv4 literal host).
-  ControlClient(const std::string& host, std::uint16_t port);
+  /// Attempts the first connect immediately (IPv4 literal host), bounded
+  /// by connect_timeout_ms; a failed connect leaves the client usable —
+  /// the next request reconnects automatically.
+  ControlClient(const std::string& host, std::uint16_t port,
+                const ControlClientOptions& options = {});
   ~ControlClient();
   ControlClient(const ControlClient&) = delete;
   ControlClient& operator=(const ControlClient&) = delete;
 
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  /// Last transport-level failure (timeout / disconnect); empty after a
+  /// successful round trip. An op-level rejection (the daemon answered
+  /// kControlError) does not set it.
+  [[nodiscard]] const runtime::Error& last_error() const { return error_; }
+  /// (Re)establishes the connection within connect_timeout_ms.
+  bool connect_now();
 
   bool ping(std::uint16_t& device_id);
+  /// The heartbeat: PONG carries the device generation, which bumps on
+  /// every daemon restart (stale offloaded state).
+  bool ping(std::uint16_t& device_id, std::uint32_t& generation);
   bool managed_write(const std::string& name, const std::vector<std::uint64_t>& indices,
                      std::uint64_t value);
   bool managed_read(const std::string& name, const std::vector<std::uint64_t>& indices,
@@ -74,11 +119,23 @@ class ControlClient {
   bool set_multicast_group(std::uint16_t group, const std::vector<std::uint16_t>& hosts);
 
  private:
-  /// Sends one request frame and reads the response. True only for a
-  /// kControlOk status; `response` receives the body past the status byte.
+  /// Sends one request frame and reads the response, retrying with backoff
+  /// and reconnect up to max_retries. True only for a kControlOk status;
+  /// `response` receives the body past the status byte.
   bool roundtrip(const ByteWriter& request, std::vector<std::uint8_t>& response);
+  void fail(runtime::ErrorKind kind, std::string message);
+  void disconnect();
+  /// Capped exponential backoff with jitter before retry `attempt` (1-based).
+  void backoff(int attempt);
 
+  std::string host_;
+  std::uint16_t port_ = 0;
+  ControlClientOptions options_;
   int fd_ = -1;
+  std::uint64_t client_id_ = 0;
+  std::uint64_t next_request_id_ = 1;
+  SplitMix64 jitter_;
+  runtime::Error error_;
 };
 
 }  // namespace netcl::net

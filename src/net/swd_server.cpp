@@ -43,7 +43,18 @@ SwdServer::SwdServer(std::unique_ptr<sim::SwitchDevice> device, const SwdOptions
     : metrics_("swd" + std::to_string(device->device_id())),
       device_(std::move(device)),
       verbose_(options.verbose),
-      max_seconds_(options.max_seconds) {
+      max_seconds_(options.max_seconds),
+      idle_timeout_seconds_(options.idle_timeout_seconds),
+      epoch_(std::chrono::steady_clock::now()) {
+  // A restarted daemon is a new process with fresh (empty) state; a
+  // wall-clock-derived generation makes that visible to pinging hosts.
+  device_->set_generation(
+      options.generation != 0
+          ? options.generation
+          : static_cast<std::uint32_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::system_clock::now().time_since_epoch())
+                    .count()));
   udp_fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (udp_fd_ < 0 || listen_fd_ < 0) {
@@ -153,6 +164,18 @@ void SwdServer::handle_datagram(const std::uint8_t* data, std::size_t size,
 std::vector<std::uint8_t> SwdServer::handle_control(std::span<const std::uint8_t> frame) {
   ++control_requests;
   ByteReader reader(frame);
+  // Idempotency ids (net/control.hpp framing): a retried request — the
+  // client timed out after we applied the op — is answered from the cache
+  // instead of being applied twice.
+  const std::uint64_t client_id = reader.u64();
+  const std::uint64_t request_id = reader.u64();
+  if (reader.ok()) {
+    const auto cached = replay_cache_.find(client_id);
+    if (cached != replay_cache_.end() && cached->second.first == request_id) {
+      ++control_replays;
+      return cached->second.second;
+    }
+  }
   const auto op = static_cast<ControlOp>(reader.u8());
   ByteWriter ok;
   ok.u8(kControlOk);
@@ -161,6 +184,7 @@ std::vector<std::uint8_t> SwdServer::handle_control(std::span<const std::uint8_t
     switch (op) {
       case ControlOp::kPing:
         ok.u16(device_->device_id());
+        ok.u32(device_->generation());
         break;
       case ControlOp::kManagedWrite: {
         const std::string name = reader.str();
@@ -218,13 +242,24 @@ std::vector<std::uint8_t> SwdServer::handle_control(std::span<const std::uint8_t
         break;
     }
   }
+  std::vector<std::uint8_t> response;
   if (!handled) {
     ++control_errors;
     ByteWriter failure;
     failure.u8(kControlError);
-    return failure.bytes();
+    response = failure.bytes();
+  } else {
+    response = ok.bytes();
   }
-  return ok.bytes();
+  // One cached response per client; a handful of hosts per daemon, so a
+  // coarse wipe at an absurd size is bound enough.
+  if (replay_cache_.size() > 256) replay_cache_.clear();
+  replay_cache_[client_id] = {request_id, response};
+  return response;
+}
+
+double SwdServer::uptime_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
 }
 
 void SwdServer::accept_connection() {
@@ -232,12 +267,13 @@ void SwdServer::accept_connection() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;
     set_nonblocking(fd);
-    connections_.push_back({fd, {}});
+    connections_.push_back({fd, {}, uptime_s()});
   }
 }
 
 void SwdServer::service_connection(Connection& connection) {
   std::uint8_t buffer[4096];
+  bool got_bytes = false;
   for (;;) {
     const ssize_t n = ::read(connection.fd, buffer, sizeof(buffer));
     if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
@@ -246,8 +282,10 @@ void SwdServer::service_connection(Connection& connection) {
       return;
     }
     if (n < 0) break;  // drained for now
+    got_bytes = true;
     connection.inbox.insert(connection.inbox.end(), buffer, buffer + n);
   }
+  if (got_bytes) connection.last_activity_s = uptime_s();
   // Dispatch every complete frame in the inbox.
   std::size_t pos = 0;
   while (connection.inbox.size() - pos >= 4) {
@@ -272,8 +310,40 @@ void SwdServer::service_connection(Connection& connection) {
                          connection.inbox.begin() + static_cast<std::ptrdiff_t>(pos));
 }
 
+bool SwdServer::apply_fault_state() {
+  if (restart_pending_.exchange(false, std::memory_order_relaxed)) {
+    // The "new process": registers zeroed, lookup tables rebuilt from the
+    // compiled program's seed entries, generation bumped, and everything a
+    // fresh process would not know — learned host endpoints, multicast
+    // membership, the idempotency cache — forgotten.
+    device_->restart();
+    host_endpoints_.clear();
+    multicast_groups_.clear();
+    replay_cache_.clear();
+    crashed_.store(false, std::memory_order_relaxed);
+  }
+  return crashed_.load(std::memory_order_relaxed);
+}
+
 void SwdServer::poll_once(int timeout_ms) {
   if (!valid()) return;
+  const bool crashed = apply_fault_state();
+  if (crashed && !connections_.empty()) {
+    // A dead process holds no connections.
+    for (const Connection& connection : connections_) ::close(connection.fd);
+    connections_.clear();
+  }
+  if (idle_timeout_seconds_ > 0.0) {
+    const double now_s = uptime_s();
+    for (Connection& connection : connections_) {
+      if (now_s - connection.last_activity_s > idle_timeout_seconds_) {
+        ::close(connection.fd);
+        connection.fd = -1;
+        ++connections_reaped;
+      }
+    }
+    std::erase_if(connections_, [](const Connection& connection) { return connection.fd < 0; });
+  }
   std::vector<pollfd> fds;
   fds.push_back({udp_fd_, POLLIN, 0});
   fds.push_back({listen_fd_, POLLIN, 0});
@@ -290,13 +360,30 @@ void SwdServer::poll_once(int timeout_ms) {
       const ssize_t n = ::recvfrom(udp_fd_, buffer, sizeof(buffer), 0,
                                    reinterpret_cast<sockaddr*>(&from), &from_len);
       if (n < 0) break;
+      if (crashed) {
+        ++packets_dropped_crashed;
+        continue;
+      }
       handle_datagram(buffer, static_cast<std::size_t>(n), from);
     }
   }
   // accept_connection() below can grow connections_; only the pre-accept
   // entries have a pollfd at fds[2 + i].
   const std::size_t polled = connections_.size();
-  if ((fds[1].revents & POLLIN) != 0) accept_connection();
+  if ((fds[1].revents & POLLIN) != 0) {
+    if (crashed) {
+      // Closest a live process gets to a crashed one: the connection is
+      // accepted by the kernel backlog, then immediately torn down, so
+      // clients see a prompt disconnect rather than a hang.
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        ::close(fd);
+      }
+    } else {
+      accept_connection();
+    }
+  }
   for (std::size_t i = 0; i < polled; ++i) {
     if ((fds[2 + i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
       service_connection(connections_[i]);

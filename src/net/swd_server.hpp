@@ -20,6 +20,7 @@
 #include <netinet/in.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <vector>
@@ -34,6 +35,14 @@ struct SwdOptions {
   std::uint16_t control_port = 0;  // control plane TCP (0 = kernel-assigned)
   /// Stop serving after this much wall-clock time (0 = run until stop()).
   double max_seconds = 0.0;
+  /// Device generation reported in PONG responses. 0 = derive from the
+  /// wall clock at startup, so every real restart yields a new value and
+  /// hosts can detect that offloaded state was lost.
+  std::uint32_t generation = 0;
+  /// Control connections with no traffic for this long are reaped (a
+  /// client that died without FIN would otherwise hold its fd forever).
+  /// 0 disables reaping.
+  double idle_timeout_seconds = 300.0;
   bool verbose = false;
 };
 
@@ -62,6 +71,16 @@ class SwdServer {
   /// Thread-safe shutdown request; run() returns within one poll timeout.
   void stop() { stop_.store(true, std::memory_order_relaxed); }
 
+  // --- fault injection (ISSUE 3; thread-safe, applied on the serving
+  // thread within one poll timeout) ------------------------------------------
+  /// Simulates a daemon crash: datagrams vanish, control connections are
+  /// closed and new ones refused, until inject_restart().
+  void inject_crash() { crashed_.store(true, std::memory_order_relaxed); }
+  /// Simulates the crashed daemon coming back as a fresh process: device
+  /// registers zeroed, lookup entries re-seeded, generation bumped.
+  void inject_restart() { restart_pending_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool crashed() const { return crashed_.load(std::memory_order_relaxed); }
+
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
   obs::Counter& packets_received = metrics_.counter("packets_received");
   obs::Counter& packets_sent = metrics_.counter("packets_sent");
@@ -74,11 +93,19 @@ class SwdServer {
   obs::Counter& dropped_no_route = metrics_.counter("dropped.no_route");
   obs::Counter& control_requests = metrics_.counter("control_requests");
   obs::Counter& control_errors = metrics_.counter("control_errors");
+  /// Retried request (same client id + request id) answered from the
+  /// idempotency cache instead of re-executing the op.
+  obs::Counter& control_replays = metrics_.counter("control_replays");
+  /// Control connections closed for idling past idle_timeout_seconds.
+  obs::Counter& connections_reaped = metrics_.counter("connections_reaped");
+  /// Datagrams discarded while crash injection is active.
+  obs::Counter& packets_dropped_crashed = metrics_.counter("packets_dropped_crashed");
 
  private:
   struct Connection {
     int fd = -1;
     std::vector<std::uint8_t> inbox;  // bytes read, not yet framed
+    double last_activity_s = 0.0;     // monotonic seconds (idle reaping)
   };
 
   void handle_datagram(const std::uint8_t* data, std::size_t size, const sockaddr_in& from);
@@ -87,6 +114,10 @@ class SwdServer {
   void accept_connection();
   /// Reads what is available; closes the connection on EOF/protocol error.
   void service_connection(Connection& connection);
+  /// Monotonic seconds since the server was constructed.
+  [[nodiscard]] double uptime_s() const;
+  /// Applies pending fault-injection state; true while crashed.
+  bool apply_fault_state();
   [[nodiscard]] std::vector<std::uint8_t> handle_control(std::span<const std::uint8_t> frame);
 
   std::unique_ptr<sim::SwitchDevice> device_;
@@ -97,11 +128,18 @@ class SwdServer {
   std::uint16_t control_port_ = 0;
   bool verbose_ = false;
   double max_seconds_ = 0.0;
+  double idle_timeout_seconds_ = 0.0;
   std::vector<Connection> connections_;
   /// host id -> last UDP endpoint it sent from.
   std::map<std::uint16_t, sockaddr_in> host_endpoints_;
   std::map<std::uint16_t, std::vector<std::uint16_t>> multicast_groups_;
+  /// Idempotency cache: client id -> (last request id, cached response).
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+      replay_cache_;
+  std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> crashed_{false};
+  std::atomic<bool> restart_pending_{false};
 };
 
 }  // namespace netcl::net

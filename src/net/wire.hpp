@@ -43,6 +43,10 @@ class ByteWriter {
   void str(const std::string& s);
   /// u16 count + values.
   void u64_vec(const std::vector<std::uint64_t>& values);
+  /// Raw bytes, no length prefix (splicing a pre-encoded body).
+  void raw(std::span<const std::uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
 
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
 

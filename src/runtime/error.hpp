@@ -1,0 +1,51 @@
+// Typed runtime errors (ISSUE 3).
+//
+// Failure-aware paths — control-plane deadlines, retransmission give-up,
+// fail-fast fallback — surface one of these instead of hanging or silently
+// dropping. Header-only and dependency-free so the net layer can report
+// them too without a link-time cycle (netcl_net sits below netcl_runtime).
+#pragma once
+
+#include <string>
+
+namespace netcl::runtime {
+
+enum class ErrorKind : std::uint8_t {
+  kNone = 0,
+  /// A blocking operation exceeded its deadline (connect, request, probe).
+  kTimeout,
+  /// The failure detector holds the device DOWN.
+  kDeviceDown,
+  /// A RetransmitWindow exhausted max_retries for some chunk.
+  kRetriesExhausted,
+  /// The control-plane stream broke and reconnection failed.
+  kDisconnected,
+};
+
+[[nodiscard]] inline const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kNone: return "none";
+    case ErrorKind::kTimeout: return "timeout";
+    case ErrorKind::kDeviceDown: return "device_down";
+    case ErrorKind::kRetriesExhausted: return "retries_exhausted";
+    case ErrorKind::kDisconnected: return "disconnected";
+  }
+  return "unknown";
+}
+
+struct Error {
+  ErrorKind kind = ErrorKind::kNone;
+  std::string message;
+
+  Error() = default;
+  Error(ErrorKind k, std::string m) : kind(k), message(std::move(m)) {}
+
+  /// True when an error is actually present.
+  explicit operator bool() const { return kind != ErrorKind::kNone; }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(runtime::to_string(kind)) + ": " + message;
+  }
+};
+
+}  // namespace netcl::runtime

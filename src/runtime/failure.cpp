@@ -1,0 +1,101 @@
+#include "runtime/failure.hpp"
+
+#include <utility>
+
+namespace netcl::runtime {
+
+const char* to_string(FailureDetector::State state) {
+  return state == FailureDetector::State::kUp ? "up" : "down";
+}
+
+FailureDetector::FailureDetector(net::Transport& transport, ProbeFn probe, const Config& config,
+                                 obs::MetricsRegistry* metrics)
+    : transport_(transport),
+      probe_(std::move(probe)),
+      config_(config),
+      alive_(std::make_shared<bool>(true)) {
+  if (metrics != nullptr) {
+    device_up_ = &metrics->gauge("device_up");
+    device_up_->set(1.0);
+    heartbeats_ok_ = &metrics->counter("heartbeats.ok");
+    heartbeats_missed_ = &metrics->counter("heartbeats.missed");
+    failovers_ = &metrics->counter("failovers");
+    recoveries_ = &metrics->counter("recoveries");
+    generation_changes_ = &metrics->counter("generation_changes");
+    failover_latency_ns_ = &metrics->histogram("failover_latency_ns");
+  }
+}
+
+FailureDetector::~FailureDetector() {
+  if (alive_) *alive_ = false;
+}
+
+void FailureDetector::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void FailureDetector::stop() {
+  if (!running_) return;
+  running_ = false;
+  // Invalidate outstanding timers; re-arm the token for a future start().
+  *alive_ = false;
+  alive_ = std::make_shared<bool>(true);
+}
+
+void FailureDetector::schedule_next() {
+  std::weak_ptr<bool> alive = alive_;
+  transport_.schedule(config_.interval_ns, [this, alive] {
+    const std::shared_ptr<bool> token = alive.lock();
+    if (!token || !*token) return;
+    probe_now();
+    if (running_) schedule_next();
+  });
+}
+
+void FailureDetector::notify(bool generation_changed) {
+  for (const TransitionFn& fn : subscribers_) fn(state_, generation_changed);
+}
+
+void FailureDetector::probe_now() {
+  const ProbeResult result = probe_ ? probe_() : ProbeResult{};
+  if (!result.reachable) {
+    if (heartbeats_missed_ != nullptr) ++*heartbeats_missed_;
+    ++consecutive_misses_;
+    if (state_ == State::kUp && consecutive_misses_ >= config_.miss_threshold) {
+      state_ = State::kDown;
+      down_since_ns_ = transport_.now_ns();
+      if (device_up_ != nullptr) device_up_->set(0.0);
+      if (failovers_ != nullptr) ++*failovers_;
+      notify(false);
+    }
+    return;
+  }
+
+  if (heartbeats_ok_ != nullptr) ++*heartbeats_ok_;
+  consecutive_misses_ = 0;
+  // First contact establishes the baseline generation silently; after
+  // that, any change means the device lost its state.
+  const bool generation_changed = generation_ != 0 && result.generation != generation_;
+  generation_ = result.generation;
+  if (generation_changed && generation_changes_ != nullptr) ++*generation_changes_;
+
+  if (state_ == State::kDown) {
+    state_ = State::kUp;
+    if (device_up_ != nullptr) device_up_->set(1.0);
+    if (recoveries_ != nullptr) ++*recoveries_;
+    if (failover_latency_ns_ != nullptr) {
+      failover_latency_ns_->record(transport_.now_ns() - down_since_ns_);
+    }
+    notify(generation_changed);
+  } else if (generation_changed) {
+    // Restarted between two heartbeats: never observed DOWN, but the
+    // offloaded state is just as gone.
+    notify(true);
+  }
+}
+
+void FailureDetector::subscribe(TransitionFn fn) { subscribers_.push_back(std::move(fn)); }
+
+}  // namespace netcl::runtime

@@ -1,0 +1,109 @@
+// Host-side failure detection for an offload device (ISSUE 3).
+//
+// The runtime's liveness story is heartbeat-based: a FailureDetector probes
+// the device on the transport's clock (PING over the control plane for a
+// real daemon, a reachability check against the fabric for a simulated
+// one), counts consecutive misses, and declares the device DOWN after
+// `miss_threshold` of them. Probes also carry the device's *generation* —
+// a number that changes every time the device (re)starts — so the detector
+// distinguishes "same device came back" from "a fresh process with empty
+// state came back" and the runtime knows when offloaded state must be
+// resynced.
+//
+// The detector is deliberately transport-agnostic: it only needs a probe
+// function and a Transport for timers, so the same state machine runs in
+// simulated time (deterministic tests) and on the wall clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "obs/metrics.hpp"
+
+namespace netcl::runtime {
+
+class FailureDetector {
+ public:
+  enum class State : std::uint8_t { kUp, kDown };
+
+  struct Config {
+    /// Heartbeat period on the transport's clock.
+    double interval_ns = 50'000'000.0;  // 50 ms
+    /// Consecutive missed heartbeats before the device is declared DOWN.
+    int miss_threshold = 3;
+  };
+
+  /// One probe's outcome. `generation` is only meaningful when reachable.
+  struct ProbeResult {
+    bool reachable = false;
+    std::uint32_t generation = 0;
+  };
+  using ProbeFn = std::function<ProbeResult()>;
+  /// Called on every state transition and on an in-place generation change
+  /// (device restarted faster than a heartbeat interval: still Up, but its
+  /// state is gone).
+  using TransitionFn = std::function<void(State, bool generation_changed)>;
+
+  /// `metrics` may be null; when set, the detector maintains a `device_up`
+  /// gauge, heartbeat/failover/recovery counters, and a failover-latency
+  /// histogram (time spent DOWN per outage) in it. Pass `Config{}` for the
+  /// defaults.
+  FailureDetector(net::Transport& transport, ProbeFn probe, const Config& config,
+                  obs::MetricsRegistry* metrics = nullptr);
+  ~FailureDetector();
+  FailureDetector(const FailureDetector&) = delete;
+  FailureDetector& operator=(const FailureDetector&) = delete;
+
+  /// Schedules the periodic heartbeat (first probe after one interval).
+  /// Idempotent.
+  void start();
+  /// Stops future heartbeats. Probes already scheduled on the transport
+  /// become no-ops (weak-token liveness, same idiom as RetransmitWindow).
+  void stop();
+
+  /// Runs one probe immediately (also what the heartbeat timer calls).
+  void probe_now();
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] bool up() const { return state_ == State::kUp; }
+  /// Last generation observed from a reachable device (0 = never seen).
+  [[nodiscard]] std::uint32_t generation() const { return generation_; }
+  [[nodiscard]] int consecutive_misses() const { return consecutive_misses_; }
+
+  /// Registers a transition observer; all subscribers see every event in
+  /// subscription order. There is no unsubscribe — subscribers outlive the
+  /// detector in this runtime (HostRuntime owns both).
+  void subscribe(TransitionFn fn);
+
+ private:
+  void schedule_next();
+  void notify(bool generation_changed);
+
+  net::Transport& transport_;
+  ProbeFn probe_;
+  Config config_;
+  State state_ = State::kUp;
+  std::uint32_t generation_ = 0;
+  int consecutive_misses_ = 0;
+  bool running_ = false;
+  /// Transport time when the device went DOWN (failover-latency metric).
+  double down_since_ns_ = 0.0;
+  std::vector<TransitionFn> subscribers_;
+  /// Liveness token for timers in flight after destruction/stop.
+  std::shared_ptr<bool> alive_;
+
+  obs::Gauge* device_up_ = nullptr;
+  obs::Counter* heartbeats_ok_ = nullptr;
+  obs::Counter* heartbeats_missed_ = nullptr;
+  obs::Counter* failovers_ = nullptr;
+  obs::Counter* recoveries_ = nullptr;
+  obs::Counter* generation_changes_ = nullptr;
+  obs::Histogram* failover_latency_ns_ = nullptr;
+};
+
+[[nodiscard]] const char* to_string(FailureDetector::State state);
+
+}  // namespace netcl::runtime

@@ -30,36 +30,50 @@ HostRuntime::HostRuntime(sim::Fabric& fabric, std::uint16_t host_id)
   attach();
 }
 
+const char* to_string(FallbackPolicy policy) {
+  switch (policy) {
+    case FallbackPolicy::kFailFast:
+      return "fail_fast";
+    case FallbackPolicy::kHostExecute:
+      return "host_execute";
+    case FallbackPolicy::kQueueUntilRecovered:
+      return "queue_until_recovered";
+  }
+  return "?";
+}
+
 void HostRuntime::attach() {
   // The transport receiver is installed eagerly (not in on_receive) so
   // that arrivals before — or without — a receiver are observed, not lost.
-  transport_->set_receiver([this](const sim::Packet& packet) {
-    if (!packet.has_netcl) return;
-    if (receiver_ == nullptr) {
-      ++dropped_no_receiver;
-      warn_once("NetCL packet arrived but no receiver is registered; dropping");
-      return;
-    }
-    const int comp = packet.netcl.comp;
-    const KernelSpec* spec = spec_for(comp);
-    if (spec == nullptr) {
-      ++dropped_unknown_computation;
-      warn_once("received computation " + std::to_string(comp) +
-                " has no registered kernel spec; dropping");
-      return;
-    }
-    const auto unpack_start = std::chrono::steady_clock::now();
-    auto [message, args] = unpack(packet, *spec);
-    unpack_ns.record(wall_ns_since(unpack_start));
-    ++received;
-    ++metrics_.counter("comp" + std::to_string(comp) + ".received");
-    auto& pending = pending_round_trips_[comp];
-    if (!pending.empty()) {
-      round_trip_ns.record(transport_->now_ns() - pending.front());
-      pending.pop_front();
-    }
-    receiver_(message, args);
-  });
+  transport_->set_receiver([this](const sim::Packet& packet) { deliver_packet(packet); });
+}
+
+void HostRuntime::deliver_packet(const sim::Packet& packet) {
+  if (!packet.has_netcl) return;
+  if (receiver_ == nullptr) {
+    ++dropped_no_receiver;
+    warn_once("NetCL packet arrived but no receiver is registered; dropping");
+    return;
+  }
+  const int comp = packet.netcl.comp;
+  const KernelSpec* spec = spec_for(comp);
+  if (spec == nullptr) {
+    ++dropped_unknown_computation;
+    warn_once("received computation " + std::to_string(comp) +
+              " has no registered kernel spec; dropping");
+    return;
+  }
+  const auto unpack_start = std::chrono::steady_clock::now();
+  auto [message, args] = unpack(packet, *spec);
+  unpack_ns.record(wall_ns_since(unpack_start));
+  ++received;
+  ++metrics_.counter("comp" + std::to_string(comp) + ".received");
+  auto& pending = pending_round_trips_[comp];
+  if (!pending.empty()) {
+    round_trip_ns.record(transport_->now_ns() - pending.front());
+    pending.pop_front();
+  }
+  receiver_(message, args);
 }
 
 void HostRuntime::register_spec(int computation, KernelSpec spec) {
@@ -83,6 +97,9 @@ void HostRuntime::send(Message message, const sim::ArgValues& args) {
   const auto pack_start = std::chrono::steady_clock::now();
   sim::Packet packet = pack(message, *spec, args);
   pack_ns.record(wall_ns_since(pack_start));
+  if (detector_ != nullptr && !detector_->up() && handle_down_send(packet, message.comp)) {
+    return;
+  }
   auto& pending = pending_round_trips_[message.comp];
   if (pending.size() >= kMaxPendingRoundTrips) {
     // The response for the oldest stamp was presumably lost; expire it so
@@ -96,6 +113,82 @@ void HostRuntime::send(Message message, const sim::ArgValues& args) {
   ++metrics_.counter("comp" + std::to_string(message.comp) + ".sent");
 }
 
+bool HostRuntime::handle_down_send(sim::Packet& packet, int computation) {
+  switch (fallback_policy_) {
+    case FallbackPolicy::kFailFast:
+      ++fallback_fail_fast;
+      fail_send(ErrorKind::kDeviceDown,
+                "device down; send for computation " + std::to_string(computation) +
+                    " rejected (fail_fast)");
+      return true;
+    case FallbackPolicy::kHostExecute: {
+      if (host_executor_ == nullptr) {
+        ++fallback_fail_fast;
+        fail_send(ErrorKind::kDeviceDown,
+                  "device down and no host executor attached; send for computation " +
+                      std::to_string(computation) + " rejected");
+        return true;
+      }
+      ++fallback_host_executed;
+      ++sent;
+      ++metrics_.counter("comp" + std::to_string(computation) + ".sent");
+      pending_round_trips_[computation].push_back(transport_->now_ns());
+      std::optional<sim::Packet> response = host_executor_->execute(packet, host_id_);
+      if (response.has_value()) deliver_packet(*response);
+      return true;
+    }
+    case FallbackPolicy::kQueueUntilRecovered:
+      if (send_queue_.size() >= kMaxQueuedSends) {
+        send_queue_.pop_front();
+        ++fallback_dropped_overflow;
+        warn_once("fallback queue overflowed; dropping oldest packet");
+      }
+      send_queue_.push_back(std::move(packet));
+      ++fallback_queued;
+      return true;
+  }
+  return false;
+}
+
+void HostRuntime::flush_queue() {
+  while (!send_queue_.empty()) {
+    sim::Packet packet = std::move(send_queue_.front());
+    send_queue_.pop_front();
+    const int comp = packet.netcl.comp;
+    auto& pending = pending_round_trips_[comp];
+    if (pending.size() >= kMaxPendingRoundTrips) {
+      pending.pop_front();
+      ++dropped_stale_round_trip;
+    }
+    pending.push_back(transport_->now_ns());
+    transport_->send(std::move(packet));
+    ++sent;
+    ++fallback_flushed;
+    ++metrics_.counter("comp" + std::to_string(comp) + ".sent");
+  }
+}
+
+void HostRuntime::attach_failure_detector(FailureDetector& detector) {
+  detector_ = &detector;
+  detector.subscribe([this](FailureDetector::State state, bool generation_changed) {
+    if (state != FailureDetector::State::kUp) return;
+    // Order matters on recovery: re-offload managed state first, then let
+    // buffered traffic loose against the restored device.
+    if (generation_changed && on_resync_) on_resync_();
+    flush_queue();
+  });
+}
+
+void HostRuntime::set_host_executor(std::unique_ptr<HostExecutor> executor) {
+  host_executor_ = std::move(executor);
+}
+
+void HostRuntime::fail_send(ErrorKind kind, std::string message) {
+  error_ = Error{kind, std::move(message)};
+  warn_once(error_.message);
+  if (on_error_) on_error_(error_);
+}
+
 void HostRuntime::on_receive(Receiver receiver) { receiver_ = std::move(receiver); }
 
 void HostRuntime::warn_once(const std::string& cause) {
@@ -106,8 +199,9 @@ void HostRuntime::warn_once(const std::string& cause) {
 DeviceConnection::DeviceConnection(sim::Fabric& fabric, std::uint16_t device_id)
     : fabric_(&fabric), device_(fabric.device(device_id)), device_id_(device_id) {}
 
-DeviceConnection::DeviceConnection(const std::string& host, std::uint16_t control_port)
-    : remote_(std::make_unique<net::ControlClient>(host, control_port)) {
+DeviceConnection::DeviceConnection(const std::string& host, std::uint16_t control_port,
+                                   const net::ControlClientOptions& options)
+    : remote_(std::make_unique<net::ControlClient>(host, control_port, options)) {
   if (!remote_->ping(device_id_)) remote_.reset();
 }
 
@@ -117,10 +211,28 @@ bool DeviceConnection::valid() const {
   return device_ != nullptr || (remote_ != nullptr && remote_->connected());
 }
 
+bool DeviceConnection::ping(std::uint32_t& generation) {
+  if (remote_ != nullptr) {
+    std::uint16_t id = 0;
+    return remote_->ping(id, generation);
+  }
+  if (fabric_ == nullptr || device_ == nullptr) return false;
+  if (fabric_->device_down(device_id_)) return false;
+  generation = device_->generation();
+  return true;
+}
+
+Error DeviceConnection::last_error() const {
+  return remote_ != nullptr ? remote_->last_error() : Error{};
+}
+
 bool DeviceConnection::managed_write(const std::string& name, std::uint64_t value,
                                      const std::vector<std::uint64_t>& indices) {
-  if (remote_ != nullptr) return remote_->managed_write(name, indices, value);
-  return device_ != nullptr && device_->managed_write(name, indices, value);
+  const bool ok = remote_ != nullptr
+                      ? remote_->managed_write(name, indices, value)
+                      : device_ != nullptr && device_->managed_write(name, indices, value);
+  if (ok) journal_writes_[{name, indices}] = value;
+  return ok;
 }
 
 bool DeviceConnection::managed_read(const std::string& name, std::uint64_t& out,
@@ -131,30 +243,78 @@ bool DeviceConnection::managed_read(const std::string& name, std::uint64_t& out,
 
 bool DeviceConnection::insert(const std::string& table, std::uint64_t key,
                               std::uint64_t value) {
-  if (remote_ != nullptr) return remote_->insert(table, key, key, value);
-  return device_ != nullptr && device_->lookup_insert(table, key, key, value);
+  return insert_range(table, key, key, value);
 }
 
 bool DeviceConnection::insert_range(const std::string& table, std::uint64_t lo,
                                     std::uint64_t hi, std::uint64_t value) {
-  if (remote_ != nullptr) return remote_->insert(table, lo, hi, value);
-  return device_ != nullptr && device_->lookup_insert(table, lo, hi, value);
+  const bool ok = remote_ != nullptr
+                      ? remote_->insert(table, lo, hi, value)
+                      : device_ != nullptr && device_->lookup_insert(table, lo, hi, value);
+  if (ok) journal_inserts_[{table, lo, hi}] = value;
+  return ok;
 }
 
 bool DeviceConnection::remove(const std::string& table, std::uint64_t key) {
-  if (remote_ != nullptr) return remote_->remove(table, key);
-  return device_ != nullptr && device_->lookup_remove(table, key);
+  const bool ok = remote_ != nullptr ? remote_->remove(table, key)
+                                     : device_ != nullptr && device_->lookup_remove(table, key);
+  if (ok) {
+    // The device removes the entry covering `key`; forget journaled
+    // entries the removal covered so resync does not resurrect them.
+    std::erase_if(journal_inserts_, [&](const auto& entry) {
+      const auto& [table_name, lo, hi] = entry.first;
+      return table_name == table && lo <= key && key <= hi;
+    });
+  }
+  return ok;
 }
 
 bool DeviceConnection::set_multicast_group(std::uint16_t group,
                                            const std::vector<std::uint16_t>& hosts) {
-  if (remote_ != nullptr) return remote_->set_multicast_group(group, hosts);
-  if (fabric_ == nullptr || device_ == nullptr) return false;
-  std::vector<sim::NodeRef> members;
-  members.reserve(hosts.size());
-  for (const std::uint16_t host : hosts) members.push_back(sim::host_ref(host));
-  fabric_->set_multicast_group(device_id_, group, std::move(members));
-  return true;
+  bool ok = false;
+  if (remote_ != nullptr) {
+    ok = remote_->set_multicast_group(group, hosts);
+  } else if (fabric_ != nullptr && device_ != nullptr) {
+    std::vector<sim::NodeRef> members;
+    members.reserve(hosts.size());
+    for (const std::uint16_t host : hosts) members.push_back(sim::host_ref(host));
+    fabric_->set_multicast_group(device_id_, group, std::move(members));
+    ok = true;
+  }
+  if (ok) journal_groups_[group] = hosts;
+  return ok;
+}
+
+bool DeviceConnection::resync() {
+  ++resyncs_;
+  bool ok = true;
+  // Replay straight through the underlying device/client, not the public
+  // methods — re-journaling what is already journaled would be harmless
+  // but remove()-during-replay bookkeeping is simpler to reason about this
+  // way.
+  for (const auto& [cell, value] : journal_writes_) {
+    const auto& [name, indices] = cell;
+    ok &= remote_ != nullptr ? remote_->managed_write(name, indices, value)
+                             : device_ != nullptr && device_->managed_write(name, indices, value);
+  }
+  for (const auto& [range, value] : journal_inserts_) {
+    const auto& [table, lo, hi] = range;
+    ok &= remote_ != nullptr ? remote_->insert(table, lo, hi, value)
+                             : device_ != nullptr && device_->lookup_insert(table, lo, hi, value);
+  }
+  for (const auto& [group, hosts] : journal_groups_) {
+    if (remote_ != nullptr) {
+      ok &= remote_->set_multicast_group(group, hosts);
+    } else if (fabric_ != nullptr && device_ != nullptr) {
+      std::vector<sim::NodeRef> members;
+      members.reserve(hosts.size());
+      for (const std::uint16_t host : hosts) members.push_back(sim::host_ref(host));
+      fabric_->set_multicast_group(device_id_, group, std::move(members));
+    } else {
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 const sim::DeviceStats* DeviceConnection::stats() {

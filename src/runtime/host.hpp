@@ -27,14 +27,34 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <tuple>
+#include <utility>
 
 #include "net/control.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/error.hpp"
+#include "runtime/failure.hpp"
+#include "runtime/host_exec.hpp"
 #include "runtime/message.hpp"
 #include "sim/fabric.hpp"
 
 namespace netcl::runtime {
+
+/// What send() does while the failure detector says the device is DOWN
+/// (ISSUE 3). Without an attached detector the policy never engages.
+enum class FallbackPolicy : std::uint8_t {
+  /// Surface a typed kDeviceDown error immediately; the message is not sent.
+  kFailFast,
+  /// Run the packet through the attached HostExecutor's shadow pipeline
+  /// and loop the (byte-identical) response into the receive path.
+  kHostExecute,
+  /// Buffer the packed packet (bounded) and transmit it when the detector
+  /// reports the device UP again.
+  kQueueUntilRecovered,
+};
+
+[[nodiscard]] const char* to_string(FallbackPolicy policy);
 
 class HostRuntime {
   // Declared before the public counter references below so it is
@@ -47,6 +67,9 @@ class HostRuntime {
   /// depth the oldest stamp is expired and counted in
   /// dropped.stale_round_trip.
   static constexpr std::size_t kMaxPendingRoundTrips = 1024;
+  /// kQueueUntilRecovered buffers at most this many packets; beyond it the
+  /// oldest is dropped (and counted) — an outage is not infinite memory.
+  static constexpr std::size_t kMaxQueuedSends = 4096;
 
   /// Binds to a transport (not owned; must outlive this runtime).
   HostRuntime(net::Transport& transport, std::uint16_t host_id);
@@ -69,6 +92,27 @@ class HostRuntime {
   using Receiver = std::function<void(const Message&, sim::ArgValues&)>;
   void on_receive(Receiver receiver);
 
+  // --- failure handling (ISSUE 3) -------------------------------------------
+  /// Wires a detector (not owned; must outlive this runtime). While it
+  /// reports DOWN, send() applies the fallback policy; on recovery queued
+  /// packets flush, and on a generation change the resync callback fires
+  /// first (re-offload state, then traffic).
+  void attach_failure_detector(FailureDetector& detector);
+  void set_fallback_policy(FallbackPolicy policy) { fallback_policy_ = policy; }
+  [[nodiscard]] FallbackPolicy fallback_policy() const { return fallback_policy_; }
+  /// Required for kHostExecute; the shadow device that stands in for the
+  /// real one.
+  void set_host_executor(std::unique_ptr<HostExecutor> executor);
+  [[nodiscard]] HostExecutor* host_executor() { return host_executor_.get(); }
+  /// Invoked whenever send() fails a message (kFailFast, missing executor,
+  /// or queue overflow). Also retrievable via last_error().
+  void on_error(std::function<void(const Error&)> fn) { on_error_ = std::move(fn); }
+  [[nodiscard]] const Error& last_error() const { return error_; }
+  /// Invoked when the device comes back with a different generation (its
+  /// offloaded state is gone) — re-offload managed state here, e.g. via
+  /// DeviceConnection::resync().
+  void on_resync(std::function<void()> fn) { on_resync_ = std::move(fn); }
+
   // --- statistics (registry-backed; obs::dump() includes them) --------------
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
   obs::Counter& sent = metrics_.counter("sent");
@@ -86,10 +130,25 @@ class HostRuntime {
   obs::Histogram& pack_ns = metrics_.histogram("pack_ns");      // wall clock
   obs::Histogram& unpack_ns = metrics_.histogram("unpack_ns");  // wall clock
   obs::Histogram& round_trip_ns = metrics_.histogram("round_trip_ns");  // transport clock
+  // Fallback-path accounting (ISSUE 3).
+  obs::Counter& fallback_fail_fast = metrics_.counter("fallback.fail_fast");
+  obs::Counter& fallback_host_executed = metrics_.counter("fallback.host_executed");
+  obs::Counter& fallback_queued = metrics_.counter("fallback.queued");
+  obs::Counter& fallback_flushed = metrics_.counter("fallback.flushed");
+  obs::Counter& fallback_dropped_overflow = metrics_.counter("fallback.dropped_overflow");
 
  private:
   /// Installs the transport receiver (shared by both constructors).
   void attach();
+  /// The receive path: unpack, account, hand to the user's receiver. Both
+  /// transport arrivals and host-executed responses come through here, so
+  /// fallback results are indistinguishable from device results.
+  void deliver_packet(const sim::Packet& packet);
+  /// Routes one packed packet while the device is DOWN. True when handled
+  /// (caller must not transmit).
+  bool handle_down_send(sim::Packet& packet, int computation);
+  void flush_queue();
+  void fail_send(ErrorKind kind, std::string message);
   /// Warns on stderr with DiagnosticEngine severity labels, once per
   /// distinct cause (so lossy workloads do not flood the log).
   void warn_once(const std::string& cause);
@@ -102,20 +161,43 @@ class HostRuntime {
   /// Transport-clock send times awaiting a response, per computation (FIFO).
   std::map<int, std::deque<double>> pending_round_trips_;
   std::set<std::string> warned_;
+  // Failure handling (ISSUE 3).
+  FailureDetector* detector_ = nullptr;  // not owned
+  FallbackPolicy fallback_policy_ = FallbackPolicy::kFailFast;
+  std::unique_ptr<HostExecutor> host_executor_;
+  std::deque<sim::Packet> send_queue_;  // kQueueUntilRecovered buffer
+  Error error_;
+  std::function<void(const Error&)> on_error_;
+  std::function<void()> on_resync_;
 };
 
 /// Control-plane connection to one device (in-fabric or netcl-swd).
+///
+/// Every state-establishing operation (managed writes, lookup inserts /
+/// removes, multicast groups) is journaled, so after a device restart
+/// resync() can replay the journal and restore the device to the state the
+/// host had offloaded — the control-plane half of failover recovery.
 class DeviceConnection {
  public:
   /// In-fabric device.
   DeviceConnection(sim::Fabric& fabric, std::uint16_t device_id);
   /// Real device: connects to a netcl-swd control endpoint (IPv4 literal)
-  /// and pings it for the device id.
-  DeviceConnection(const std::string& host, std::uint16_t control_port);
+  /// and pings it for the device id. `options` bounds every control
+  /// operation (connect/request deadlines, retry budget).
+  DeviceConnection(const std::string& host, std::uint16_t control_port,
+                   const net::ControlClientOptions& options = {});
   ~DeviceConnection();
 
   [[nodiscard]] bool valid() const;
   [[nodiscard]] std::uint16_t device_id() const { return device_id_; }
+
+  /// The heartbeat probe: true when the device answered, with its current
+  /// generation. Sim devices are unreachable while the fabric has them
+  /// crashed. This is what a FailureDetector's ProbeFn should call.
+  bool ping(std::uint32_t& generation);
+  /// Last transport-level failure from the remote control client (empty
+  /// for sim devices, which cannot time out).
+  [[nodiscard]] Error last_error() const;
 
   /// ncl::managed_write / ncl::managed_read. Indices address the memory as
   /// declared in the NetCL source (partitioning renames are transparent).
@@ -140,12 +222,27 @@ class DeviceConnection {
   [[nodiscard]] const sim::DeviceStats* stats();
   [[nodiscard]] std::map<std::string, sim::RegisterAccess> register_access() const;
 
+  /// Replays the journal of managed writes, lookup entries, and multicast
+  /// groups against the device — called after a restart (new generation)
+  /// restored it to compiled-in defaults. True when every replay landed.
+  /// Only control-plane state is restorable this way; register state the
+  /// kernels accumulated internally is genuinely lost.
+  bool resync();
+  [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
+
  private:
   sim::Fabric* fabric_ = nullptr;          // sim mode
   sim::SwitchDevice* device_ = nullptr;    // sim mode
   std::unique_ptr<net::ControlClient> remote_;  // netcl-swd mode
   std::uint16_t device_id_ = 0;
   sim::DeviceStats remote_stats_;
+  // Resync journal: last value per managed cell / key range / group.
+  std::map<std::pair<std::string, std::vector<std::uint64_t>>, std::uint64_t>
+      journal_writes_;
+  std::map<std::tuple<std::string, std::uint64_t, std::uint64_t>, std::uint64_t>
+      journal_inserts_;
+  std::map<std::uint16_t, std::vector<std::uint16_t>> journal_groups_;
+  std::uint64_t resyncs_ = 0;
 };
 
 }  // namespace netcl::runtime

@@ -1,0 +1,35 @@
+#include "runtime/host_exec.hpp"
+
+#include <utility>
+
+#include "runtime/device_runtime.hpp"
+
+namespace netcl::runtime {
+
+HostExecutor::HostExecutor(std::unique_ptr<sim::SwitchDevice> device)
+    : device_(std::move(device)) {}
+
+std::optional<sim::Packet> HostExecutor::execute(sim::Packet packet, std::uint16_t self_host) {
+  // Mirrors SwdServer::handle_datagram / Fabric device delivery: decode,
+  // execute the compiled kernel, re-encode, apply the action.
+  sim::ComputeOutcome outcome;
+  const KernelSpec* spec = device_->spec_for(packet.netcl.comp);
+  if (spec != nullptr) {
+    sim::ArgValues args = sim::decode_args(*spec, packet.payload);
+    outcome = device_->execute(packet.netcl.comp, args, packet.netcl);
+    packet.payload = sim::encode_args(*spec, args);
+    packet.netcl.len = static_cast<std::uint16_t>(packet.payload.size());
+  }
+  const ForwardDecision decision =
+      apply_action(packet.netcl, outcome.executed ? outcome.action : ActionKind::Pass,
+                   outcome.target, device_->device_id());
+  if (decision.drop) return std::nullopt;
+  if (decision.multicast) ++device_->stats.multicasts;
+  // SendToDevice has nowhere to go on a host; like multicast, the best a
+  // shadow can do is deliver this host's copy of the outcome.
+  packet.netcl.dst = decision.multicast ? self_host : packet.netcl.dst;
+  packet.netcl.to = 0;
+  return packet;
+}
+
+}  // namespace netcl::runtime

@@ -1,0 +1,46 @@
+// Host-side kernel execution: the FallbackPolicy::kHostExecute engine
+// (ISSUE 3).
+//
+// A HostExecutor owns a *shadow* sim::SwitchDevice built from the same
+// compiled artifact as the offload target. When the failure detector
+// declares the real device DOWN, HostRuntime routes would-be sends through
+// execute() instead of the transport: the packet runs through the identical
+// predicated linear program against the shadow's register/table state and
+// the resulting response packet is looped straight back into the host's
+// receive path. Because device and shadow execute the same compiled
+// kernels over the same wire encoding, results are byte-identical to the
+// offloaded path — only the latency differs.
+//
+// Scope: a shadow can stand in for single-host request/response workloads
+// (CALC-style). Cross-host aggregation cannot be host-executed faithfully
+// from one worker's viewpoint — that is what kQueueUntilRecovered and the
+// retransmission path are for.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "sim/switch.hpp"
+
+namespace netcl::runtime {
+
+class HostExecutor {
+ public:
+  /// Takes ownership of the shadow device (typically a second
+  /// driver::make_device() from the same CompileResult recipe).
+  explicit HostExecutor(std::unique_ptr<sim::SwitchDevice> device);
+
+  [[nodiscard]] sim::SwitchDevice& device() { return *device_; }
+
+  /// Runs one would-be-offloaded packet through the shadow pipeline and
+  /// applies the Table II action, exactly as the device daemon would.
+  /// Returns the response packet addressed back to `self_host`, or nullopt
+  /// when the kernel dropped it. Multicast collapses to the one copy this
+  /// host would have received — the shadow has no other members to serve.
+  std::optional<sim::Packet> execute(sim::Packet packet, std::uint16_t self_host);
+
+ private:
+  std::unique_ptr<sim::SwitchDevice> device_;
+};
+
+}  // namespace netcl::runtime

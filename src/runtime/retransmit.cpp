@@ -11,6 +11,7 @@ RetransmitWindow::RetransmitWindow(net::Transport& transport, const Config& conf
   stride_ = std::max(1, std::min(config_.window, config_.chunks));
   slot_chunk_.assign(static_cast<std::size_t>(stride_), -1);
   done_.assign(static_cast<std::size_t>(std::max(config_.chunks, 0)), false);
+  retries_.assign(static_cast<std::size_t>(std::max(config_.chunks, 0)), 0);
 }
 
 void RetransmitWindow::start() {
@@ -40,14 +41,47 @@ bool RetransmitWindow::acknowledge_slot(int slot) {
   return true;
 }
 
+double RetransmitWindow::retry_delay_ns(int retries_done) const {
+  double delay = config_.retransmit_ns;
+  for (int i = 0; i < retries_done; ++i) {
+    delay *= config_.backoff_factor;
+    if (config_.backoff_max_ns > 0.0 && delay >= config_.backoff_max_ns) {
+      return config_.backoff_max_ns;
+    }
+  }
+  return delay;
+}
+
+void RetransmitWindow::give_up(int chunk) {
+  failed_ = true;
+  error_ = {ErrorKind::kRetriesExhausted,
+            "chunk " + std::to_string(chunk) + " unacknowledged after " +
+                std::to_string(config_.max_retries) + " retransmissions"};
+  // Drain: chunk_for_slot() answers -1 everywhere, so late responses are
+  // ignored and no slot chains a further launch.
+  std::fill(slot_chunk_.begin(), slot_chunk_.end(), -1);
+  if (on_error_) on_error_(error_);
+}
+
 void RetransmitWindow::launch(int chunk, bool is_retransmission) {
+  if (failed_) return;
   slot_chunk_[static_cast<std::size_t>(chunk % stride_)] = chunk;
-  if (is_retransmission) ++retransmissions_;
+  const auto index = static_cast<std::size_t>(chunk);
+  if (is_retransmission) {
+    ++retransmissions_;
+    ++retries_[index];
+  }
   send_(chunk, chunk % stride_, is_retransmission);
-  transport_.schedule(config_.retransmit_ns,
+  transport_.schedule(retry_delay_ns(retries_[index]),
                       [this, chunk, alive = std::weak_ptr<int>(alive_)] {
                         if (alive.expired()) return;  // window destroyed first
-                        if (!is_done(chunk)) launch(chunk, /*is_retransmission=*/true);
+                        if (failed_ || is_done(chunk)) return;
+                        if (config_.max_retries > 0 &&
+                            retries_[static_cast<std::size_t>(chunk)] >= config_.max_retries) {
+                          give_up(chunk);
+                          return;
+                        }
+                        launch(chunk, /*is_retransmission=*/true);
                       });
 }
 

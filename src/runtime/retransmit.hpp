@@ -13,6 +13,15 @@
 // The window does not touch packets itself — the owner's SendFn builds and
 // sends the actual message — so it works for AGG contributions today and
 // any future windowed workload.
+//
+// Failure semantics (ISSUE 3): by default a chunk is retried forever (the
+// original SwitchML behavior — fine when the device is known to be up).
+// With max_retries set, a chunk that stays unacknowledged through its
+// retry budget fails the whole window: failed() flips, last_error() holds
+// a typed kRetriesExhausted error, the error callback fires once, and all
+// slots drain so no further timers send. Successive retries of one chunk
+// can back off exponentially (backoff_factor > 1), capped at
+// backoff_max_ns.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +30,7 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "runtime/error.hpp"
 
 namespace netcl::runtime {
 
@@ -30,6 +40,14 @@ class RetransmitWindow {
     int chunks = 0;                   // total chunks to deliver
     int window = 1;                   // max outstanding slots
     double retransmit_ns = 200000.0;  // retransmission timeout
+    /// Retransmissions allowed per chunk before the window gives up
+    /// (0 = retry forever, the pre-ISSUE-3 behavior).
+    int max_retries = 0;
+    /// Timeout multiplier per successive retry of the same chunk
+    /// (1.0 = fixed timeout, behavior-preserving for existing workloads).
+    double backoff_factor = 1.0;
+    /// Cap on the backed-off timeout (0 = uncapped).
+    double backoff_max_ns = 0.0;
   };
 
   /// Called for every (re)transmission. `slot` is chunk % stride().
@@ -55,6 +73,19 @@ class RetransmitWindow {
   [[nodiscard]] int completed() const { return completed_; }
   [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
 
+  /// True once a chunk exhausted its retry budget; the window is inert
+  /// afterwards (no sends, acknowledge_slot() returns false).
+  [[nodiscard]] bool failed() const { return failed_; }
+  /// kRetriesExhausted with the failing chunk when failed(); empty before.
+  [[nodiscard]] const Error& last_error() const { return error_; }
+  /// Invoked exactly once, at the moment the window fails.
+  void on_error(std::function<void(const Error&)> fn) { on_error_ = std::move(fn); }
+
+  /// The retransmission timeout after `retries_done` retries of a chunk:
+  /// retransmit_ns * backoff_factor^retries_done, capped at backoff_max_ns.
+  /// Public so tests can assert the schedule without faking a transport.
+  [[nodiscard]] double retry_delay_ns(int retries_done) const;
+
   /// Retires the chunk in flight on `slot` and launches the next chunk
   /// chained on the slot. No-op (returns false) when nothing is in flight
   /// there or it already completed — retransmitted responses arrive late.
@@ -62,6 +93,7 @@ class RetransmitWindow {
 
  private:
   void launch(int chunk, bool is_retransmission);
+  void give_up(int chunk);
 
   net::Transport& transport_;
   Config config_;
@@ -71,8 +103,12 @@ class RetransmitWindow {
   int stride_ = 1;
   std::vector<int> slot_chunk_;  // slot -> in-flight chunk (-1 none)
   std::vector<bool> done_;       // per chunk
+  std::vector<int> retries_;     // per chunk: retransmissions so far
   int completed_ = 0;
   std::uint64_t retransmissions_ = 0;
+  bool failed_ = false;
+  Error error_;
+  std::function<void(const Error&)> on_error_;
 };
 
 }  // namespace netcl::runtime

@@ -42,6 +42,20 @@ SwitchDevice* Fabric::device(std::uint16_t id) {
   return it == devices_.end() ? nullptr : it->second.get();
 }
 
+void Fabric::restart_device(std::uint16_t id) {
+  if (SwitchDevice* dev = device(id)) dev->restart();
+  down_devices_.erase(id);
+}
+
+void Fabric::set_link_partitioned(NodeRef a, NodeRef b, bool partitioned) {
+  for (Link& link : adjacency_[a]) {
+    if (link.peer == b) link.partitioned = partitioned;
+  }
+  for (Link& link : adjacency_[b]) {
+    if (link.peer == a) link.partitioned = partitioned;
+  }
+}
+
 void Fabric::set_host_handler(std::uint16_t host, HostHandler handler) {
   host_handlers_[host] = std::move(handler);
 }
@@ -96,6 +110,10 @@ void Fabric::transmit(NodeRef from, NodeRef to, Packet&& packet, double start_ti
   }
   if (link == nullptr) return;  // no such link
 
+  if (link->partitioned) {
+    ++packets_dropped_partition;
+    return;
+  }
   if (link->config.loss_probability > 0.0 &&
       rng_.next_double() < link->config.loss_probability) {
     ++packets_dropped_loss;
@@ -154,6 +172,12 @@ void Fabric::deliver(const Event& event) {
   // Device processing.
   SwitchDevice* dev = device(event.at.id);
   if (dev == nullptr) return;
+  if (device_down(event.at.id)) {
+    // A crashed device neither computes nor forwards; the packet dies here
+    // exactly as it would at a powered-off switch.
+    ++packets_dropped_device_down;
+    return;
+  }
   Packet packet = event.packet;
   double ready_time = now_;
 

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <queue>
+#include <set>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -66,6 +67,22 @@ class Fabric {
 
   [[nodiscard]] SwitchDevice* device(std::uint16_t id);
 
+  // --- fault injection (ISSUE 3) --------------------------------------------
+  // All hooks default off and consume no randomness, so seeded runs without
+  // faults stay byte-identical to pre-ISSUE-3 behavior.
+  /// Marks a device crashed: packets addressed to or transiting it are
+  /// dropped (counted in packets_dropped_device_down) until restart.
+  void crash_device(std::uint16_t id) { down_devices_.insert(id); }
+  /// Power-cycles a crashed device: registers zeroed, lookup entries
+  /// re-seeded from declarations, generation bumped, traffic flows again.
+  void restart_device(std::uint16_t id);
+  [[nodiscard]] bool device_down(std::uint16_t id) const {
+    return down_devices_.count(id) != 0;
+  }
+  /// Cuts (or heals) the link between two nodes in both directions;
+  /// packets crossing a cut link are dropped (packets_dropped_partition).
+  void set_link_partitioned(NodeRef a, NodeRef b, bool partitioned);
+
   // --- traffic ----------------------------------------------------------------
   /// Called when a packet reaches a host. Handlers may send new packets.
   using HostHandler = std::function<void(Fabric&, std::uint16_t host, const Packet&)>;
@@ -94,6 +111,8 @@ class Fabric {
   obs::Counter& packets_multicast = metrics_.counter("packets_multicast");
   obs::Counter& packets_duplicated = metrics_.counter("packets_duplicated");
   obs::Counter& packets_reordered = metrics_.counter("packets_reordered");
+  obs::Counter& packets_dropped_device_down = metrics_.counter("packets_dropped_device_down");
+  obs::Counter& packets_dropped_partition = metrics_.counter("packets_dropped_partition");
   obs::Counter& timer_events = metrics_.counter("timer_events");
 
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
@@ -103,6 +122,7 @@ class Fabric {
     NodeRef peer;
     LinkConfig config;
     double next_free_ns = 0.0;  // serialization availability (per direction)
+    bool partitioned = false;   // fault injection: drop everything
   };
   struct Event {
     double time_ns;
@@ -125,6 +145,7 @@ class Fabric {
 
   std::map<NodeRef, std::vector<Link>> adjacency_;
   std::map<std::uint16_t, std::unique_ptr<SwitchDevice>> devices_;
+  std::set<std::uint16_t> down_devices_;
   std::map<std::uint16_t, HostHandler> host_handlers_;
   std::map<std::pair<std::uint16_t, std::uint16_t>, std::vector<NodeRef>> multicast_groups_;
   std::map<std::pair<NodeRef, NodeRef>, NodeRef> routes_;  // (from, target) -> next hop

@@ -340,6 +340,14 @@ void SwitchDevice::reset_state() {
   if (registers_ != nullptr) registers_->reset();
 }
 
+void SwitchDevice::restart() {
+  reset_state();
+  // Rebuild the tables so control-plane inserts vanish and declaration
+  // const entries come back — the state a freshly exec'd daemon would have.
+  if (module_ != nullptr) tables_ = std::make_unique<TableSet>(*module_);
+  ++generation_;
+}
+
 std::map<std::string, RegisterAccess> SwitchDevice::register_access() const {
   std::map<std::string, RegisterAccess> out;
   for (const auto& [global, access] : register_access_) out[global->name] = access;

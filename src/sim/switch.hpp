@@ -96,6 +96,17 @@ class SwitchDevice {
                   std::uint64_t& out) const;
   void reset_state();
 
+  // --- health / generation (ISSUE 3) ----------------------------------------
+  /// Boot counter carried in PONG responses. A restart bumps it, so hosts
+  /// can tell "the device I configured" from "a device that lost my state".
+  [[nodiscard]] std::uint32_t generation() const { return generation_; }
+  void set_generation(std::uint32_t generation) { generation_ = generation; }
+  /// Simulates a power-cycle: registers zeroed, lookup tables re-seeded
+  /// from their declarations (control-plane inserts are lost, like a real
+  /// daemon restart), generation bumped. Stats survive — they belong to
+  /// the observer, not the device state.
+  void restart();
+
   // --- statistics -----------------------------------------------------------
   DeviceStats stats;
   /// Per-register-array access counters, keyed by the (possibly
@@ -119,6 +130,7 @@ class SwitchDevice {
   std::unique_ptr<RegisterFile> registers_;
   std::unique_ptr<TableSet> tables_;
   int stages_used_ = 0;
+  std::uint32_t generation_ = 1;
   p4::LatencyModel latency_;
   SplitMix64 rng_{0x5EEDBA5E};
   std::unordered_map<const ir::GlobalVar*, RegisterAccess> register_access_;

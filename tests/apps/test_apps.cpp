@@ -141,6 +141,43 @@ TEST(Agg, SurvivesLossDuplicationAndReordering) {
   EXPECT_GT(result.retransmissions, 0u);
 }
 
+TEST(Agg, SelfHealsAcrossDeviceCrashAndRestart) {
+  // The switch dies mid-run and comes back empty (registers zeroed,
+  // generation bumped). In-flight aggregation state is lost; SwitchML
+  // retransmission must rebuild every affected slot and still produce
+  // correct aggregates for all workers.
+  AggConfig config;
+  config.num_workers = 2;
+  config.chunks = 24;
+  config.slot_size = 4;
+  config.retransmit_ns = 100000.0;
+  config.crash_at_ns = 3000.0;
+  config.restart_at_ns = 250000.0;
+  const AggResult result = run_agg(config);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.correct);
+  EXPECT_GT(result.retransmissions, 0u);
+}
+
+TEST(Agg, SeededRunsAreDeterministicWithFaultHooksOff) {
+  // The fault-injection hooks must consume no randomness when disabled:
+  // two identically-seeded lossy runs stay byte-identical (Fig. 14's
+  // numbers cannot drift because ISSUE 3 landed).
+  AggConfig config;
+  config.num_workers = 2;
+  config.chunks = 24;
+  config.slot_size = 4;
+  config.loss = 0.05;
+  config.retransmit_ns = 100000.0;
+  config.seed = 23;
+  const AggResult first = run_agg(config);
+  const AggResult second = run_agg(config);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.sim_seconds, second.sim_seconds);
+  EXPECT_EQ(first.retransmissions, second.retransmissions);
+  EXPECT_EQ(first.packets_lost, second.packets_lost);
+}
+
 // --- CACHE ---------------------------------------------------------------------
 
 TEST(Cache, HitsAreFasterThanMisses) {

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "apps/sources.hpp"
@@ -9,7 +15,10 @@
 #include "net/swd_server.hpp"
 #include "net/udp_transport.hpp"
 #include "net/wire.hpp"
+#include "runtime/error.hpp"
+#include "runtime/failure.hpp"
 #include "runtime/host.hpp"
+#include "runtime/host_exec.hpp"
 #include "sim/fabric.hpp"
 
 namespace netcl::net {
@@ -260,6 +269,341 @@ TEST(SwdServer, ControlPlaneThroughDeviceConnection) {
   server.stop();
   serving.join();
   EXPECT_GE(static_cast<std::uint64_t>(server.control_requests), 7u);
+}
+
+// --- failure model (ISSUE 3) --------------------------------------------------
+
+double wall_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+ControlClientOptions tight_options() {
+  ControlClientOptions options;
+  options.connect_timeout_ms = 250.0;
+  options.request_timeout_ms = 250.0;
+  options.max_retries = 1;
+  options.backoff_base_ms = 5.0;
+  options.backoff_max_ms = 20.0;
+  return options;
+}
+
+TEST(ControlClient, ConnectToBlackholeIsBoundedByDeadline) {
+  // 192.0.2.1 (TEST-NET-1) is guaranteed unrouted: SYNs either vanish
+  // (bounded by connect_timeout_ms) or bounce instantly. Before ISSUE 3
+  // this constructor could hang in blocking connect(2) for minutes.
+  const auto start = std::chrono::steady_clock::now();
+  ControlClient client("192.0.2.1", 9, tight_options());
+  std::uint16_t device_id = 0;
+  EXPECT_FALSE(client.ping(device_id));
+  EXPECT_LT(wall_ms_since(start), 5000.0);
+  EXPECT_TRUE(client.last_error());
+}
+
+TEST(ControlClient, RequestDeadlineAgainstSilentServer) {
+  // A listener whose backlog completes the TCP handshake but never reads
+  // or answers: the request must time out, not block forever.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listen_fd, 8), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  ControlClient client("127.0.0.1", ntohs(addr.sin_port), tight_options());
+  std::uint16_t device_id = 0;
+  EXPECT_FALSE(client.ping(device_id));
+  // Two attempts (max_retries = 1) of 250 ms each plus backoff.
+  EXPECT_LT(wall_ms_since(start), 5000.0);
+  EXPECT_EQ(client.last_error().kind, runtime::ErrorKind::kTimeout)
+      << client.last_error().to_string();
+  ::close(listen_fd);
+}
+
+driver::CompileResult compile_managed(std::uint16_t device_id) {
+  driver::CompileOptions options;
+  options.device_id = device_id;
+  driver::CompileResult compiled = driver::compile_netcl(R"(
+    _managed_ unsigned thresh;
+    _managed_ _lookup_ ncl::kv<unsigned, unsigned> cache[16];
+    _kernel(1) void k(unsigned key, unsigned &v, char &hit) {
+      hit = ncl::lookup(cache, key, v);
+      return ncl::reflect();
+    }
+  )",
+                                                         options);
+  EXPECT_TRUE(compiled.ok) << compiled.errors;
+  return compiled;
+}
+
+TEST(SwdServer, IdempotentRetryIsReplayedNotReexecuted) {
+  SwdServer server(driver::make_device(compile_managed(3), 3), SwdOptions{});
+  ASSERT_TRUE(server.valid()) << server.error();
+  std::thread serving([&] { server.run(); });
+
+  // Raw framed client so the exact same (client id, request id) can be
+  // sent twice — what a retry after a lost response looks like on the wire.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.control_port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  ByteWriter request;
+  request.u64(77);  // client id
+  request.u64(1);   // request id
+  request.u8(static_cast<std::uint8_t>(ControlOp::kManagedWrite));
+  request.str("thresh");
+  request.u64_vec({});
+  request.u64(123);
+
+  std::vector<std::uint8_t> first;
+  std::vector<std::uint8_t> second;
+  ASSERT_TRUE(write_frame(fd, request.bytes()));
+  ASSERT_TRUE(read_frame(fd, first));
+  ASSERT_TRUE(write_frame(fd, request.bytes()));
+  ASSERT_TRUE(read_frame(fd, second));
+  EXPECT_EQ(first, second);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first[0], kControlOk);
+  EXPECT_EQ(static_cast<std::uint64_t>(server.control_replays), 1u);
+
+  ByteWriter read_request;
+  read_request.u64(77);
+  read_request.u64(2);
+  read_request.u8(static_cast<std::uint8_t>(ControlOp::kManagedRead));
+  read_request.str("thresh");
+  read_request.u64_vec({});
+  std::vector<std::uint8_t> response;
+  ASSERT_TRUE(write_frame(fd, read_request.bytes()));
+  ASSERT_TRUE(read_frame(fd, response));
+  ByteReader reader(response);
+  EXPECT_EQ(reader.u8(), kControlOk);
+  EXPECT_EQ(reader.u64(), 123u);
+
+  ::close(fd);
+  server.stop();
+  serving.join();
+}
+
+TEST(SwdServer, CrashRestartBumpsGenerationAndResyncRestoresState) {
+  SwdServer server(driver::make_device(compile_managed(3), 3), SwdOptions{});
+  ASSERT_TRUE(server.valid()) << server.error();
+  std::thread serving([&] { server.run(); });
+
+  DeviceConnection connection("127.0.0.1", server.control_port(), tight_options());
+  ASSERT_TRUE(connection.valid());
+  std::uint32_t generation_before = 0;
+  ASSERT_TRUE(connection.ping(generation_before));
+  EXPECT_TRUE(connection.managed_write("thresh", 500));
+  EXPECT_TRUE(connection.insert("cache", 5, 1234));
+  EXPECT_TRUE(connection.set_multicast_group(42, {1, 2}));
+
+  // Crash: applied on the serving thread within one poll turn; from then
+  // on every request fails within its deadline instead of blocking. The
+  // loop terminating at all is the no-unbounded-blocking claim.
+  server.inject_crash();
+  const auto crash_start = std::chrono::steady_clock::now();
+  std::uint64_t value = 0;
+  bool request_failed = false;
+  while (!request_failed && wall_ms_since(crash_start) < 5000.0) {
+    request_failed = !connection.managed_read("thresh", value);
+  }
+  EXPECT_TRUE(request_failed);
+  EXPECT_TRUE(connection.last_error());
+
+  // Restart: the "new process" answers again, with a bumped generation and
+  // compiled-in defaults — the offloaded 500 is gone until resync.
+  server.inject_restart();
+  std::uint32_t generation_after = 0;
+  const auto restart_start = std::chrono::steady_clock::now();
+  while (!connection.ping(generation_after) && wall_ms_since(restart_start) < 5000.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_NE(generation_after, 0u);
+  EXPECT_NE(generation_after, generation_before);
+  ASSERT_TRUE(connection.managed_read("thresh", value));
+  EXPECT_EQ(value, 0u);
+
+  EXPECT_TRUE(connection.resync());
+  EXPECT_EQ(connection.resyncs(), 1u);
+  ASSERT_TRUE(connection.managed_read("thresh", value));
+  EXPECT_EQ(value, 500u);
+
+  server.stop();
+  serving.join();
+}
+
+TEST(SwdServer, ReapsIdleControlConnections) {
+  SwdOptions options;
+  options.idle_timeout_seconds = 0.05;
+  SwdServer server(driver::make_device(compile_managed(3), 3), options);
+  ASSERT_TRUE(server.valid()) << server.error();
+  std::thread serving([&] { server.run(); });
+
+  // A client that connects and then goes silent (died without FIN, as far
+  // as the daemon can tell). The daemon must reclaim the fd.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.control_port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  while (static_cast<std::uint64_t>(server.connections_reaped) == 0 &&
+         wall_ms_since(start) < 5000.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(static_cast<std::uint64_t>(server.connections_reaped), 1u);
+  ::close(fd);
+
+  // The daemon itself is unaffected: fresh connections still served.
+  DeviceConnection connection("127.0.0.1", server.control_port(), tight_options());
+  EXPECT_TRUE(connection.valid());
+
+  server.stop();
+  serving.join();
+}
+
+TEST(SwdServer, HostExecuteFallbackIsByteIdenticalOverRealUdp) {
+  driver::CompileResult compiled = compile_calc(1);
+  const KernelSpec spec = compiled.specs.at(1);
+
+  struct Case {
+    std::uint64_t op, a, b;
+  };
+  const std::vector<Case> cases = {
+      {apps::kCalcAdd, 20, 22},     {apps::kCalcSub, 100, 58},
+      {apps::kCalcAnd, 0xF0F0, 0xFF00}, {apps::kCalcOr, 0xF0F0, 0x0F0F},
+      {apps::kCalcXor, 0xFFFF, 0x00FF}, {apps::kCalcAdd, 7, 35},
+      {apps::kCalcSub, 99, 57},     {apps::kCalcXor, 0x1234, 0x4321}};
+
+  // Reference: all ops through the simulated fabric.
+  std::vector<std::vector<std::uint8_t>> sim_results;
+  {
+    sim::Fabric fabric(3);
+    fabric.add_device(driver::make_device(compile_calc(1), 1));
+    HostRuntime host(fabric, 1);
+    host.register_spec(1, spec);
+    fabric.connect(sim::host_ref(1), sim::device_ref(1));
+    host.on_receive([&](const Message&, ArgValues& args) {
+      sim_results.push_back(sim::encode_args(spec, args));
+    });
+    for (const Case& c : cases) {
+      ArgValues args = sim::make_args(spec);
+      args[0][0] = c.op;
+      args[1][0] = c.a;
+      args[2][0] = c.b;
+      host.send(Message(1, 0, 1, 1), args);
+    }
+    fabric.run();
+  }
+  ASSERT_EQ(sim_results.size(), cases.size());
+
+  // Real run: first half over UDP against the daemon, then the daemon is
+  // killed, the detector declares DOWN, and the second half host-executes.
+  SwdServer server(driver::make_device(std::move(compiled), 1), SwdOptions{});
+  ASSERT_TRUE(server.valid()) << server.error();
+  std::thread serving([&] { server.run(); });
+
+  UdpTransport::Options transport_options;
+  transport_options.peer_port = server.udp_port();
+  UdpTransport transport(transport_options);
+  ASSERT_TRUE(transport.valid()) << transport.error();
+
+  HostRuntime host(transport, 1);
+  host.register_spec(1, spec);
+  std::vector<std::vector<std::uint8_t>> real_results;
+  host.on_receive([&](const Message&, ArgValues& args) {
+    real_results.push_back(sim::encode_args(spec, args));
+  });
+
+  DeviceConnection probe_connection("127.0.0.1", server.control_port(), tight_options());
+  ASSERT_TRUE(probe_connection.valid());
+  runtime::FailureDetector::Config detector_config;
+  detector_config.interval_ns = 20e6;  // 20 ms of wall clock per probe
+  detector_config.miss_threshold = 2;
+  runtime::FailureDetector detector(
+      transport,
+      [&] {
+        runtime::FailureDetector::ProbeResult result;
+        result.reachable = probe_connection.ping(result.generation);
+        return result;
+      },
+      detector_config);
+  host.attach_failure_detector(detector);
+  host.set_fallback_policy(runtime::FallbackPolicy::kHostExecute);
+  host.set_host_executor(
+      std::make_unique<runtime::HostExecutor>(driver::make_device(compile_calc(1), 1)));
+  detector.start();
+
+  const std::size_t half = cases.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    ArgValues args = sim::make_args(spec);
+    args[0][0] = cases[i].op;
+    args[1][0] = cases[i].a;
+    args[2][0] = cases[i].b;
+    host.send(Message(1, 0, 1, 1), args);
+    ASSERT_TRUE(transport.run_until([&] { return real_results.size() > i; }, 10e9))
+        << "timed out waiting for op " << i;
+  }
+
+  server.inject_crash();
+  ASSERT_TRUE(transport.run_until([&] { return !detector.up(); }, 10e9))
+      << "detector never declared the crashed daemon DOWN";
+
+  for (std::size_t i = half; i < cases.size(); ++i) {
+    ArgValues args = sim::make_args(spec);
+    args[0][0] = cases[i].op;
+    args[1][0] = cases[i].a;
+    args[2][0] = cases[i].b;
+    // Host execution loops the response back synchronously.
+    host.send(Message(1, 0, 1, 1), args);
+    ASSERT_EQ(real_results.size(), i + 1);
+  }
+  detector.stop();
+  server.stop();
+  serving.join();
+
+  EXPECT_EQ(real_results, sim_results);
+  EXPECT_EQ(static_cast<std::uint64_t>(host.fallback_host_executed), cases.size() - half);
+}
+
+TEST(SimTransport, PartitionedLinkDropsButNeverBlocks) {
+  driver::CompileResult compiled = compile_calc(1);
+  const KernelSpec spec = compiled.specs.at(1);
+  sim::Fabric fabric(3);
+  fabric.add_device(driver::make_device(std::move(compiled), 1));
+  HostRuntime host(fabric, 1);
+  host.register_spec(1, spec);
+  fabric.connect(sim::host_ref(1), sim::device_ref(1));
+  bool answered = false;
+  host.on_receive([&](const Message&, ArgValues&) { answered = true; });
+
+  fabric.set_link_partitioned(sim::host_ref(1), sim::device_ref(1), true);
+  ArgValues args = sim::make_args(spec);
+  args[0][0] = apps::kCalcAdd;
+  args[1][0] = 1;
+  args[2][0] = 2;
+  host.send(Message(1, 0, 1, 1), args);
+  fabric.run();  // terminates: the cut link drops, nothing waits forever
+  EXPECT_FALSE(answered);
+  EXPECT_EQ(static_cast<std::uint64_t>(fabric.packets_dropped_partition), 1u);
+
+  // Healing the partition restores service on the same fabric.
+  fabric.set_link_partitioned(sim::host_ref(1), sim::device_ref(1), false);
+  host.send(Message(1, 0, 1, 1), args);
+  fabric.run();
+  EXPECT_TRUE(answered);
 }
 
 }  // namespace

@@ -1,9 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+
+#include "apps/sources.hpp"
+#include "driver/compiler.hpp"
 #include "net/sim_transport.hpp"
 #include "runtime/device_runtime.hpp"
+#include "runtime/error.hpp"
+#include "runtime/failure.hpp"
 #include "runtime/host.hpp"
+#include "runtime/host_exec.hpp"
 #include "runtime/retransmit.hpp"
+#include "support/hashes.hpp"
 
 namespace netcl::runtime {
 namespace {
@@ -164,6 +172,105 @@ TEST(RetransmitWindow, AcknowledgeAdvancesPerSlotChain) {
   EXPECT_EQ(window.retransmissions(), 0u);
 }
 
+TEST(RetransmitWindow, GivesUpAfterRetryBudgetWithTypedError) {
+  sim::Fabric fabric;
+  net::SimTransport transport(fabric, 1);
+  int sends = 0;
+  RetransmitWindow::Config config;
+  config.chunks = 2;
+  config.window = 2;
+  config.retransmit_ns = 1000.0;
+  config.max_retries = 3;
+  RetransmitWindow window(transport, config, [&](int, int, bool) { ++sends; });
+  int error_calls = 0;
+  window.on_error([&](const Error& error) {
+    ++error_calls;
+    EXPECT_EQ(error.kind, ErrorKind::kRetriesExhausted);
+  });
+  window.start();
+  EXPECT_EQ(sends, 2);
+
+  // Nothing ever acknowledges: each chunk sends 3 retransmissions, then
+  // the first exhausted chunk fails the window and drains it.
+  fabric.run();
+  EXPECT_TRUE(window.failed());
+  EXPECT_EQ(window.last_error().kind, ErrorKind::kRetriesExhausted);
+  EXPECT_EQ(error_calls, 1);
+  EXPECT_LE(window.retransmissions(), 6u);  // ≤ max_retries per chunk
+  EXPECT_FALSE(window.complete());
+  // Inert afterwards: late responses are ignored, nothing new is sent.
+  EXPECT_FALSE(window.acknowledge_slot(0));
+  EXPECT_FALSE(window.acknowledge_slot(1));
+  const int sends_after_failure = sends;
+  fabric.run();
+  EXPECT_EQ(sends, sends_after_failure);
+}
+
+TEST(RetransmitWindow, BackoffScheduleIsExponentialAndCapped) {
+  sim::Fabric fabric;
+  net::SimTransport transport(fabric, 1);
+  RetransmitWindow::Config config;
+  config.chunks = 1;
+  config.window = 1;
+  config.retransmit_ns = 1000.0;
+  config.max_retries = 5;
+  config.backoff_factor = 2.0;
+  config.backoff_max_ns = 4000.0;
+  std::vector<double> send_times;
+  RetransmitWindow window(transport, config,
+                          [&](int, int, bool) { send_times.push_back(transport.now_ns()); });
+
+  // The closed-form schedule: 1000, 2000, 4000 (cap), 4000, ...
+  EXPECT_DOUBLE_EQ(window.retry_delay_ns(0), 1000.0);
+  EXPECT_DOUBLE_EQ(window.retry_delay_ns(1), 2000.0);
+  EXPECT_DOUBLE_EQ(window.retry_delay_ns(2), 4000.0);
+  EXPECT_DOUBLE_EQ(window.retry_delay_ns(3), 4000.0);
+
+  window.start();
+  fabric.run();
+  EXPECT_TRUE(window.failed());
+  // Transmissions at 0, +1000, +2000, +4000, +4000, +4000 on the sim clock.
+  ASSERT_EQ(send_times.size(), 6u);
+  const std::vector<double> expected = {0.0, 1000.0, 3000.0, 7000.0, 11000.0, 15000.0};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(send_times[i], expected[i]) << "transmission " << i;
+  }
+}
+
+TEST(RetransmitWindow, DefaultConfigNeverGivesUp) {
+  sim::Fabric fabric;
+  net::SimTransport transport(fabric, 1);
+  RetransmitWindow::Config config;
+  config.chunks = 1;
+  config.window = 1;
+  config.retransmit_ns = 1000.0;
+  RetransmitWindow window(transport, config, [](int, int, bool) {});
+  window.start();
+  fabric.run(100000.0);
+  EXPECT_FALSE(window.failed());
+  EXPECT_EQ(window.retransmissions(), 100u);  // fixed 1000 ns cadence
+}
+
+TEST(RetransmitWindow, TimerAfterDestructionIsNoOp) {
+  sim::Fabric fabric;
+  net::SimTransport transport(fabric, 1);
+  int sends = 0;
+  {
+    RetransmitWindow::Config config;
+    config.chunks = 1;
+    config.window = 1;
+    config.retransmit_ns = 1000.0;
+    RetransmitWindow window(transport, config, [&](int, int, bool) { ++sends; });
+    window.start();
+    EXPECT_EQ(sends, 1);
+    // The retransmission timer is armed on the fabric; the window dies now.
+  }
+  // The armed timer fires after the window's destruction: the weak token
+  // must make it a no-op instead of a use-after-free.
+  fabric.run();
+  EXPECT_EQ(sends, 1);
+}
+
 TEST(DeviceConnection, InvalidDeviceId) {
   sim::Fabric fabric;
   DeviceConnection connection(fabric, 99);
@@ -171,6 +278,328 @@ TEST(DeviceConnection, InvalidDeviceId) {
   EXPECT_FALSE(connection.managed_write("x", 1));
   std::uint64_t out = 0;
   EXPECT_FALSE(connection.managed_read("x", out));
+}
+
+// --- failure detection and fallback (ISSUE 3) --------------------------------
+
+driver::CompileResult compile_app(const std::string& source, const DefineMap& defines) {
+  driver::CompileOptions options;
+  options.device_id = 1;
+  options.defines = defines;
+  driver::CompileResult compiled = driver::compile_netcl(source, options);
+  EXPECT_TRUE(compiled.ok) << compiled.errors;
+  return compiled;
+}
+
+/// A detector probing device 1 of `fabric` through `connection`.
+FailureDetector::ProbeFn probe_of(DeviceConnection& connection) {
+  return [&connection] {
+    FailureDetector::ProbeResult result;
+    std::uint32_t generation = 0;
+    result.reachable = connection.ping(generation);
+    result.generation = generation;
+    return result;
+  };
+}
+
+TEST(FailureDetector, DeclaresDownAfterMissThresholdAndRecovers) {
+  sim::Fabric fabric;
+  fabric.add_forwarding_device(1);
+  net::SimTransport transport(fabric, 1);
+  DeviceConnection connection(fabric, 1);
+  obs::MetricsRegistry metrics("failure_test");
+  FailureDetector::Config config;
+  config.interval_ns = 1000.0;
+  config.miss_threshold = 3;
+  FailureDetector detector(transport, probe_of(connection), config, &metrics);
+  std::vector<std::pair<FailureDetector::State, bool>> transitions;
+  detector.subscribe([&](FailureDetector::State state, bool generation_changed) {
+    transitions.emplace_back(state, generation_changed);
+  });
+  detector.start();
+
+  // Healthy probes at 1000 and 2000 learn the baseline generation.
+  fabric.run(2500.0);
+  EXPECT_TRUE(detector.up());
+  EXPECT_EQ(detector.generation(), 1u);
+  EXPECT_TRUE(transitions.empty());
+
+  // Crash: misses at 3000/4000 stay UP, the third at 5000 flips to DOWN.
+  fabric.crash_device(1);
+  fabric.run(4500.0);
+  EXPECT_TRUE(detector.up());
+  EXPECT_EQ(detector.consecutive_misses(), 2);
+  fabric.run(5500.0);
+  EXPECT_FALSE(detector.up());
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0], std::make_pair(FailureDetector::State::kDown, false));
+  EXPECT_EQ(metrics.gauge("device_up").value(), 0.0);
+  EXPECT_EQ(metrics.counter("failovers").value(), 1u);
+
+  // Power-cycle: the next probe sees the device up with a new generation.
+  fabric.restart_device(1);
+  fabric.run(6500.0);
+  detector.stop();
+  fabric.run(20000.0);
+  EXPECT_TRUE(detector.up());
+  EXPECT_EQ(detector.generation(), 2u);
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[1], std::make_pair(FailureDetector::State::kUp, true));
+  EXPECT_EQ(metrics.counter("recoveries").value(), 1u);
+  EXPECT_EQ(metrics.counter("generation_changes").value(), 1u);
+  EXPECT_EQ(metrics.histogram("failover_latency_ns").count(), 1u);
+  EXPECT_EQ(metrics.gauge("device_up").value(), 1.0);
+  // stop() invalidated the heartbeat: no probes ran after 6500.
+  EXPECT_EQ(metrics.counter("heartbeats.ok").value() + metrics.counter("heartbeats.missed"),
+            6u);
+}
+
+TEST(FailureDetector, InPlaceGenerationChangeNotifiesWhileUp) {
+  sim::Fabric fabric;
+  fabric.add_forwarding_device(1);
+  net::SimTransport transport(fabric, 1);
+  DeviceConnection connection(fabric, 1);
+  FailureDetector::Config config;
+  config.interval_ns = 1000.0;
+  config.miss_threshold = 3;
+  FailureDetector detector(transport, probe_of(connection), config);
+  std::vector<bool> generation_flags;
+  detector.subscribe([&](FailureDetector::State state, bool generation_changed) {
+    EXPECT_EQ(state, FailureDetector::State::kUp);
+    generation_flags.push_back(generation_changed);
+  });
+  detector.start();
+  fabric.run(1500.0);
+  // Restart faster than a heartbeat interval: never observed DOWN, but the
+  // generation jump must still be reported.
+  fabric.crash_device(1);
+  fabric.restart_device(1);
+  fabric.run(2500.0);
+  detector.stop();
+  fabric.run(5000.0);
+  EXPECT_EQ(generation_flags, std::vector<bool>{true});
+}
+
+TEST(Fallback, FailFastSurfacesTypedErrorWhileDown) {
+  const KernelSpec spec = spec_of("unsigned a, unsigned &b");
+  sim::Fabric fabric;
+  fabric.add_forwarding_device(1);
+  fabric.connect(sim::host_ref(1), sim::device_ref(1));
+  HostRuntime host(fabric, 1);
+  host.register_spec(1, spec);
+  DeviceConnection connection(fabric, 1);
+  FailureDetector::Config config;
+  config.interval_ns = 1000.0;
+  config.miss_threshold = 2;
+  FailureDetector detector(host.transport(), probe_of(connection), config);
+  host.attach_failure_detector(detector);
+  host.set_fallback_policy(FallbackPolicy::kFailFast);
+  detector.start();
+
+  fabric.crash_device(1);
+  fabric.run(2500.0);  // misses at 1000 and 2000 -> DOWN
+  ASSERT_FALSE(detector.up());
+
+  Error seen;
+  host.on_error([&](const Error& error) { seen = error; });
+  host.send(Message(1, 0, 1, 1), sim::make_args(spec));
+  EXPECT_EQ(host.sent, 0u);
+  EXPECT_EQ(host.fallback_fail_fast, 1u);
+  EXPECT_EQ(seen.kind, ErrorKind::kDeviceDown);
+  EXPECT_EQ(host.last_error().kind, ErrorKind::kDeviceDown);
+  detector.stop();
+}
+
+TEST(Fallback, QueueUntilRecoveredFlushesAndResyncs) {
+  auto compiled = compile_app(R"(
+    _kernel(1) void k(unsigned a, unsigned &b) { b = a + 7; return ncl::reflect(); }
+  )",
+                              {});
+  const KernelSpec spec = compiled.specs.at(1);
+  sim::Fabric fabric;
+  fabric.add_device(driver::make_device(std::move(compiled), 1));
+  fabric.connect(sim::host_ref(1), sim::device_ref(1));
+  HostRuntime host(fabric, 1);
+  host.register_spec(1, spec);
+  DeviceConnection connection(fabric, 1);
+  FailureDetector::Config config;
+  config.interval_ns = 1000.0;
+  config.miss_threshold = 2;
+  FailureDetector detector(host.transport(), probe_of(connection), config);
+  host.attach_failure_detector(detector);
+  host.set_fallback_policy(FallbackPolicy::kQueueUntilRecovered);
+  int resyncs = 0;
+  host.on_resync([&] { ++resyncs; });
+  detector.start();
+
+  int received = 0;
+  host.on_receive([&](const Message&, sim::ArgValues&) { ++received; });
+
+  // Learn the baseline generation, then crash and detect.
+  fabric.run(1500.0);
+  fabric.crash_device(1);
+  fabric.run(4500.0);
+  ASSERT_FALSE(detector.up());
+
+  for (int i = 0; i < 3; ++i) {
+    sim::ArgValues args = sim::make_args(spec);
+    args[0][0] = static_cast<std::uint64_t>(i);
+    host.send(Message(1, 0, 1, 1), args);
+  }
+  EXPECT_EQ(host.sent, 0u);
+  EXPECT_EQ(host.fallback_queued, 3u);
+  EXPECT_EQ(received, 0);
+
+  // Recovery flushes the queue (after the resync hook, since the restart
+  // changed the generation).
+  fabric.restart_device(1);
+  fabric.run(10000.0);
+  detector.stop();
+  fabric.run(20000.0);
+  EXPECT_TRUE(detector.up());
+  EXPECT_EQ(resyncs, 1);
+  EXPECT_EQ(host.fallback_flushed, 3u);
+  EXPECT_EQ(host.sent, 3u);
+  EXPECT_EQ(received, 3);
+}
+
+TEST(Fallback, HostExecuteIsByteIdenticalToUninterruptedRun) {
+  apps::AppSource app = apps::calc_source();
+  const KernelSpec spec = compile_app(app.source, app.defines).specs.at(1);
+
+  struct Op {
+    std::uint64_t code, a, b;
+  };
+  SplitMix64 rng(11);
+  std::vector<Op> ops;
+  for (int i = 0; i < 16; ++i) {
+    ops.push_back({1 + rng.next_below(5), rng.next() & 0xFFFFFFFF, rng.next() & 0xFFFFFFFF});
+  }
+
+  // Runs all ops sequentially (send i+1 once i answered), with a per-op
+  // resend timer so ops lost to a crash-before-detection are retried.
+  // With crash_at > 0 the device dies mid-run and never comes back; the
+  // host executor must take over.
+  auto run = [&](double crash_at_ns) {
+    auto compiled = compile_app(app.source, app.defines);
+    sim::Fabric fabric(3);
+    fabric.add_device(driver::make_device(std::move(compiled), 1));
+    fabric.connect(sim::host_ref(1), sim::device_ref(1));
+    HostRuntime host(fabric, 1);
+    host.register_spec(1, spec);
+    DeviceConnection connection(fabric, 1);
+    FailureDetector::Config config;
+    config.interval_ns = 1000.0;
+    config.miss_threshold = 2;
+    FailureDetector detector(host.transport(), probe_of(connection), config);
+    host.attach_failure_detector(detector);
+    host.set_fallback_policy(FallbackPolicy::kHostExecute);
+    host.set_host_executor(std::make_unique<HostExecutor>(
+        driver::make_device(compile_app(app.source, app.defines), 1)));
+    detector.start();
+
+    std::vector<std::vector<std::uint8_t>> results;
+    std::function<void(std::size_t)> send_op = [&](std::size_t i) {
+      if (results.size() > i) return;
+      sim::ArgValues args = sim::make_args(spec);
+      args[0][0] = ops[i].code;
+      args[1][0] = ops[i].a;
+      args[2][0] = ops[i].b;
+      host.send(Message(1, 0, 1, 1), args);
+      host.transport().schedule(5000.0, [&send_op, &results, i] {
+        if (results.size() <= i) send_op(i);
+      });
+    };
+    host.on_receive([&](const Message&, sim::ArgValues& args) {
+      results.push_back(sim::encode_args(spec, args));
+      if (results.size() < ops.size()) {
+        send_op(results.size());
+      } else {
+        detector.stop();
+      }
+    });
+    if (crash_at_ns > 0.0) {
+      fabric.schedule(crash_at_ns, [](sim::Fabric& f) { f.crash_device(1); });
+    }
+    send_op(0);
+    fabric.run(1e9);
+    EXPECT_EQ(results.size(), ops.size());
+    if (crash_at_ns > 0.0) {
+      EXPECT_GT(host.fallback_host_executed, 0u);
+    }
+    return results;
+  };
+
+  const auto uninterrupted = run(0.0);
+  const auto crashed = run(4200.0);  // mid-run, between two ops
+  ASSERT_EQ(uninterrupted.size(), ops.size());
+  EXPECT_EQ(crashed, uninterrupted);
+}
+
+TEST(DeviceConnection, ResyncReplaysJournalAfterRestart) {
+  auto compiled = compile_app(R"(
+    _managed_ unsigned thresh;
+    _managed_ _lookup_ ncl::kv<uint64_t, uint32_t> route[16];
+    _kernel(1) void k(uint64_t key, char &found, uint32_t &val) {
+      found = ncl::lookup(route, key, val);
+    }
+  )",
+                              {});
+  sim::Fabric fabric;
+  fabric.add_device(driver::make_device(std::move(compiled), 1));
+  DeviceConnection connection(fabric, 1);
+  ASSERT_TRUE(connection.valid());
+  ASSERT_TRUE(connection.managed_write("thresh", 500));
+  ASSERT_TRUE(connection.insert("route", 7, 70));
+  ASSERT_TRUE(connection.insert("route", 8, 80));
+  ASSERT_TRUE(connection.remove("route", 8));
+
+  // Table contents are only observable the way a packet would see them.
+  auto lookup = [&](std::uint64_t key, std::uint64_t& out) {
+    sim::ArgValues args = {{key}, {0}, {0}};
+    fabric.device(1)->execute(1, args, {});
+    out = args[2][0];
+    return args[1][0] != 0;
+  };
+
+  // A restart wipes the offloaded state...
+  fabric.crash_device(1);
+  fabric.restart_device(1);
+  std::uint64_t value = 0;
+  ASSERT_TRUE(connection.managed_read("thresh", value));
+  EXPECT_EQ(value, 0u);
+  EXPECT_FALSE(lookup(7, value));
+
+  // ...and resync() restores exactly the journaled state.
+  EXPECT_TRUE(connection.resync());
+  EXPECT_EQ(connection.resyncs(), 1u);
+  ASSERT_TRUE(connection.managed_read("thresh", value));
+  EXPECT_EQ(value, 500u);
+  ASSERT_TRUE(lookup(7, value));
+  EXPECT_EQ(value, 70u);
+  // The removed key must stay removed.
+  EXPECT_FALSE(lookup(8, value));
+}
+
+TEST(FailureDetector, ProbeTimerAfterDestructionIsNoOp) {
+  sim::Fabric fabric;
+  fabric.add_forwarding_device(1);
+  net::SimTransport transport(fabric, 1);
+  int probes = 0;
+  {
+    FailureDetector::Config config;
+    config.interval_ns = 1000.0;
+    FailureDetector detector(
+        transport,
+        [&] {
+          ++probes;
+          return FailureDetector::ProbeResult{true, 1};
+        },
+        config);
+    detector.start();
+  }
+  fabric.run(5000.0);
+  EXPECT_EQ(probes, 0);
 }
 
 // --- the device runtime action table (Table II semantics) --------------------
