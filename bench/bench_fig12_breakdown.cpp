@@ -49,5 +49,5 @@ int main() {
               sum_header_pct / rows, sum_compute_pct / rows);
   std::printf("paper: ~30%% headers/parsing, >65%% packet-processing constructs, ~10%% control "
               "logic,\n       only ~52%% compute-related; NetCL source < 13%% of the P4 LoC\n");
-  return 0;
+  return write_bench_json("fig12_breakdown", "none") ? 0 : 1;
 }

@@ -44,5 +44,5 @@ int main() {
   std::printf("average gap: %+.1f%%   (paper: NetCL within %.0f%% of handwritten, all < %.0f ns)\n",
               gap_sum / rows, apps::paper_reference().latency_gap_max_pct,
               apps::paper_reference().latency_max_ns);
-  return 0;
+  return write_bench_json("fig13_latency", "none") ? 0 : 1;
 }

@@ -56,11 +56,5 @@ int main() {
   // Cumulative fabric/host/device metrics over all runs above: packet
   // counters, per-computation send/receive counts, and the workers'
   // round-trip latency histograms.
-  const char* metrics_path = "BENCH_fig14_agg_e2e.json";
-  if (!obs::dump(metrics_path)) {
-    std::fprintf(stderr, "FATAL: cannot write %s\n", metrics_path);
-    return 1;
-  }
-  std::printf("metrics: %s\n", metrics_path);
-  return 0;
+  return write_bench_json("fig14_agg_e2e", "sim") ? 0 : 1;
 }

@@ -52,11 +52,5 @@ int main() {
               "(differences are host-side)\n",
               apps::paper_reference().cache_hit_us, apps::paper_reference().cache_miss_us);
 
-  const char* metrics_path = "BENCH_fig14_cache_e2e.json";
-  if (!obs::dump(metrics_path)) {
-    std::fprintf(stderr, "FATAL: cannot write %s\n", metrics_path);
-    return 1;
-  }
-  std::printf("metrics: %s\n", metrics_path);
-  return 0;
+  return write_bench_json("fig14_cache_e2e", "sim") ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "apps/sources.hpp"
+#include "bench_util.hpp"
 #include "frontend/sema.hpp"
 #include "ir/lower_ast.hpp"
 #include "p4/p4_printer.hpp"
@@ -77,4 +78,12 @@ BENCHMARK(BM_P4Emission);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus the provenance-stamped BENCH json every bench
+// binary writes (ISSUE 4).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return netcl::bench::write_bench_json("micro_compiler", "none") ? 0 : 1;
+}

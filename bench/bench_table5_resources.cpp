@@ -74,5 +74,5 @@ int main() {
   std::printf("paper: all applications fit a 12-stage Tofino pipe; generated usage in line "
               "with handwritten;\n       CACHE generated needs +%d stages (cms min-chain)\n",
               apps::paper_reference().cache_extra_stages_generated);
-  return 0;
+  return write_bench_json("table5_resources", "none") ? 0 : 1;
 }

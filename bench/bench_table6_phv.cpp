@@ -43,5 +43,5 @@ int main() {
               "(CALC ~+%.0f%%) where\nthe shim header and base program dominate\n",
               apps::paper_reference().phv_gap_typical_pct,
               apps::paper_reference().phv_gap_calc_pct);
-  return 0;
+  return write_bench_json("table6_phv", "none") ? 0 : 1;
 }

@@ -7,12 +7,21 @@
 #pragma once
 
 #include <cstdio>
+#include <ctime>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "apps/handwritten.hpp"
 #include "apps/sources.hpp"
 #include "driver/compiler.hpp"
+#include "obs/metrics.hpp"
+
+// Injected by bench/CMakeLists.txt (git rev-parse at configure time);
+// "unknown" outside a git checkout.
+#ifndef NETCL_GIT_SHA
+#define NETCL_GIT_SHA "unknown"
+#endif
 
 namespace netcl::bench {
 
@@ -67,6 +76,37 @@ inline driver::CompileResult compile_empty() {
 inline void print_rule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+/// Provenance stamped into every BENCH_*.json (ISSUE 4): the commit the
+/// numbers came from, when they were taken, and which transport carried
+/// the traffic ("sim" for fabric runs, "udp" for real-socket runs,
+/// "none" for compile-only benches).
+inline std::map<std::string, std::string> bench_meta(const std::string& transport) {
+  std::map<std::string, std::string> meta;
+  meta["git_sha"] = NETCL_GIT_SHA;
+  meta["transport"] = transport;
+  char stamp[sizeof "2026-01-01T00:00:00Z"] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+  meta["timestamp_utc"] = stamp;
+  return meta;
+}
+
+/// Dumps the retained+live metric registries to BENCH_<name>.json with the
+/// provenance header; CI archives these as artifacts. False (with a
+/// message) on I/O failure so benches can fail loudly.
+inline bool write_bench_json(const std::string& name, const std::string& transport) {
+  const std::string path = "BENCH_" + name + ".json";
+  if (!obs::dump(path, bench_meta(transport))) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("metrics: %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace netcl::bench

@@ -4,10 +4,11 @@
 // 2% packet loss on every link to demonstrate the protocol's reliability
 // mechanisms (slot versioning + retransmission + kept results).
 #include <cstdio>
+#include <cstring>
 
 #include "apps/agg.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netcl::apps;
 
   std::printf("In-network AllReduce: 6 workers x 128 chunks x 32 elements, 2%% loss\n\n");
@@ -19,6 +20,16 @@ int main() {
   config.window = 16;
   config.loss = 0.02;
   config.retransmit_ns = 150000.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry") == 0) {
+      config.telemetry = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      config.trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--telemetry] [--trace-out <file>]\n", argv[0]);
+      return 2;
+    }
+  }
 
   const AggResult result = run_agg(config);
   if (!result.ok) {
@@ -34,5 +45,12 @@ int main() {
   std::printf("simulated time         : %.3f ms\n", result.sim_seconds * 1e3);
   std::printf("throughput             : %.3e aggregated elements/s per worker\n",
               result.ate_per_sec_per_worker);
+  if (config.telemetry || !config.trace_out.empty()) {
+    std::printf("telemetry spans        : %llu\n",
+                static_cast<unsigned long long>(result.telemetry_spans));
+  }
+  if (!config.trace_out.empty()) {
+    std::printf("trace written          : %s\n", config.trace_out.c_str());
+  }
   return result.correct ? 0 : 1;
 }

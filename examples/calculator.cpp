@@ -1,15 +1,26 @@
 // The in-network calculator (P4 tutorial / §VII CALC): the switch computes
 // arithmetic on in-flight messages and reflects the result.
 #include <cstdio>
+#include <cstring>
 
 #include "apps/calc.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netcl::apps;
 
   std::printf("In-network calculator: 96 random operations\n\n");
   CalcConfig config;
   config.operations = 96;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry") == 0) {
+      config.telemetry = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      config.trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--telemetry] [--trace-out <file>]\n", argv[0]);
+      return 2;
+    }
+  }
   const CalcResult result = run_calc(config);
   if (!result.ok) {
     std::fprintf(stderr, "failed: %s\n", result.error.c_str());
@@ -19,5 +30,12 @@ int main() {
   std::printf("correct    : %d\n", result.correct);
   std::printf("dropped    : %d (unknown opcodes)\n", result.dropped_unknown);
   std::printf("stages     : %d\n", result.stages_used);
+  if (config.telemetry || !config.trace_out.empty()) {
+    std::printf("spans      : %llu\n",
+                static_cast<unsigned long long>(result.telemetry_spans));
+  }
+  if (!config.trace_out.empty()) {
+    std::printf("trace      : %s\n", config.trace_out.c_str());
+  }
   return result.answered == result.correct ? 0 : 1;
 }

@@ -4,10 +4,11 @@
 // client requests, three acceptors vote, the learner delivers to the
 // application host on majority — consensus entirely inside the network.
 #include <cstdio>
+#include <cstring>
 
 #include "apps/paxos.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netcl::apps;
 
   std::printf("In-network Paxos: 48 requests through leader -> 3 acceptors -> learner\n\n");
@@ -15,6 +16,16 @@ int main() {
   config.requests = 48;
   config.num_acceptors = 3;
   config.majority = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry") == 0) {
+      config.telemetry = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      config.trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--telemetry] [--trace-out <file>]\n", argv[0]);
+      return 2;
+    }
+  }
 
   const PaxosResult result = run_paxos(config);
   if (!result.ok) {
@@ -28,6 +39,13 @@ int main() {
   std::printf("stages (ldr/acc/lrn)   : %d / %d / %d\n", result.leader_stages,
               result.acceptor_stages, result.learner_stages);
   std::printf("simulated time         : %.3f ms\n", result.sim_seconds * 1e3);
+  if (config.telemetry || !config.trace_out.empty()) {
+    std::printf("telemetry spans        : %llu\n",
+                static_cast<unsigned long long>(result.telemetry_spans));
+  }
+  if (!config.trace_out.empty()) {
+    std::printf("trace written          : %s\n", config.trace_out.c_str());
+  }
   const bool ok = result.delivered == config.requests && result.duplicate_deliveries == 0 &&
                   result.values_intact && result.instances_sequential;
   return ok ? 0 : 1;

@@ -2,18 +2,27 @@
 // the simulated run, but carried by UdpTransport and served by the
 // netcl-swd daemon engine instead of the discrete-event fabric.
 //
-//   udp_calc [--ops N] [--connect HOST:PORT] [--timeout-ms T]
+//   udp_calc [--ops N] [--connect HOST:PORT] [--control-port P]
+//            [--timeout-ms T] [--telemetry] [--trace-out FILE]
 //
 // With no --connect, an SwdServer runs in-process on a background thread
 // (ephemeral ports). With --connect, the data plane points at an already
 // running daemon, e.g.:
 //
 //   netcl-swd examples/kernels/calc.ncl --port 9700 --control-port 9701 &
-//   udp_calc --connect 127.0.0.1:9700
+//   udp_calc --connect 127.0.0.1:9700 --control-port 9701
 //
 // --timeout-ms (default 2000) bounds the wait for each operation's
 // response; an unreachable daemon therefore fails fast with a clear
 // diagnostic and exit code 1 instead of hanging.
+//
+// --telemetry turns on in-band telemetry (ISSUE 4): every request carries
+// the INT flag, the daemon appends per-hop stamps, and the responses are
+// folded into end-to-end spans. The daemon clock is aligned to the host
+// transport clock with one bracketed control-plane PING (the daemon's
+// control port — known for the embedded daemon, --control-port otherwise).
+// --trace-out writes the merged host+device Chrome-trace JSON and implies
+// --telemetry.
 //
 // Every operation is executed twice — once through the simulated fabric,
 // once over UDP — and the reflected payloads must be byte-identical.
@@ -28,6 +37,8 @@
 #include "net/swd_server.hpp"
 #include "net/udp_transport.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "runtime/host.hpp"
 #include "sim/fabric.hpp"
 
@@ -54,10 +65,20 @@ int main(int argc, char** argv) {
   int timeout_ms = 2000;
   std::string connect_host;
   std::uint16_t connect_port = 0;
+  std::uint16_t control_port = 0;
+  bool telemetry = false;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--ops" && i + 1 < argc) {
       num_ops = std::atoi(argv[++i]);
+    } else if (arg == "--telemetry") {
+      telemetry = true;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+      telemetry = true;
+    } else if (arg == "--control-port" && i + 1 < argc) {
+      control_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
     } else if (arg == "--timeout-ms" && i + 1 < argc) {
       timeout_ms = std::atoi(argv[++i]);
       if (timeout_ms <= 0) {
@@ -75,7 +96,8 @@ int main(int argc, char** argv) {
       connect_port = static_cast<std::uint16_t>(std::atoi(target.c_str() + colon + 1));
     } else {
       std::fprintf(stderr,
-                   "usage: udp_calc [--ops N] [--connect HOST:PORT] [--timeout-ms T]\n");
+                   "usage: udp_calc [--ops N] [--connect HOST:PORT] [--control-port P] "
+                   "[--timeout-ms T] [--telemetry] [--trace-out FILE]\n");
       return arg == "--help" || arg == "-h" ? 0 : 1;
     }
   }
@@ -132,6 +154,7 @@ int main(int argc, char** argv) {
     }
     connect_host = "127.0.0.1";
     connect_port = server->udp_port();
+    if (control_port == 0) control_port = server->control_port();
     serving = std::thread([&] { server->run(); });
     std::printf("embedded netcl-swd: udp %u, control %u\n", server->udp_port(),
                 server->control_port());
@@ -147,10 +170,57 @@ int main(int argc, char** argv) {
     rc = 1;
   }
 
+  // Telemetry (ISSUE 4): run-local tracer/collector; the run is untouched
+  // when telemetry is off.
+  obs::Tracer trace;
+  obs::MetricsRegistry telemetry_metrics("udp_calc.telemetry");
+  std::unique_ptr<obs::SpanCollector> collector;
+  if (telemetry && rc == 0) {
+    if (!trace_out.empty()) trace.enable();
+    collector = std::make_unique<obs::SpanCollector>(trace, telemetry_metrics);
+    if (control_port != 0) {
+      // Bracketed PINGs align the daemon's stamp clock to the host
+      // transport clock; the midpoint estimator's error is bounded by half
+      // the round trip, so take the best (smallest-RTT) of a few exchanges
+      // — the first one pays for connection setup.
+      runtime::DeviceConnection control(connect_host, control_port);
+      obs::ClockAlignment best;
+      double best_rtt_ns = 0.0;
+      for (int probe = 0; control.valid() && probe < 5; ++probe) {
+        std::uint32_t generation = 0;
+        std::uint64_t device_clock_ns = 0;
+        const double ping_send_ns = transport.now_ns();
+        if (!control.ping(generation, device_clock_ns)) break;
+        const double ping_recv_ns = transport.now_ns();
+        const double rtt_ns = ping_recv_ns - ping_send_ns;
+        if (!best.valid || rtt_ns < best_rtt_ns) {
+          best = obs::align_clocks(ping_send_ns, ping_recv_ns,
+                                   static_cast<double>(device_clock_ns));
+          best_rtt_ns = rtt_ns;
+        }
+      }
+      if (best.valid) {
+        collector->set_clock_offset(control.device_id(), best.offset_ns);
+        std::printf("clock alignment: device %u offset %+.0f ns (best rtt %.0f ns)\n",
+                    control.device_id(), best.offset_ns, best_rtt_ns);
+      } else {
+        std::fprintf(stderr,
+                     "telemetry: control ping to %s:%u failed; device spans keep "
+                     "their own clockbase\n",
+                     connect_host.c_str(), control_port);
+      }
+    } else {
+      std::fprintf(stderr,
+                   "telemetry: no control port known (pass --control-port with "
+                   "--connect); device spans keep their own clockbase\n");
+    }
+  }
+
   std::vector<std::vector<std::uint8_t>> udp_results;
   if (rc == 0) {
     runtime::HostRuntime host(transport, 1);
     host.register_spec(1, spec);
+    if (collector != nullptr) host.enable_telemetry(collector.get());
     host.on_receive([&](const runtime::Message&, sim::ArgValues& args) {
       udp_results.push_back(sim::encode_args(spec, args));
     });
@@ -190,6 +260,18 @@ int main(int argc, char** argv) {
     std::printf("udp answers: %zu\n", udp_results.size());
     std::printf("byte-identical to simulated fabric: %s\n", identical ? "yes" : "NO");
     if (!identical) rc = 1;
+  }
+  if (collector != nullptr) {
+    std::printf("telemetry spans: %llu\n",
+                static_cast<unsigned long long>(collector->spans()));
+    if (!trace_out.empty()) {
+      if (trace.write(trace_out)) {
+        std::printf("trace written  : %s\n", trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "could not write trace to %s\n", trace_out.c_str());
+        rc = 1;
+      }
+    }
   }
 
   std::printf("\n--- transport metrics (obs::dump) ---\n%s", obs::dump_string().c_str());

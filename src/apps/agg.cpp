@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "apps/sources.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "runtime/host.hpp"
 #include "runtime/retransmit.hpp"
 
@@ -98,11 +100,23 @@ AggResult run_agg(const AggConfig& config) {
   link.duplicate_probability = config.duplicate_probability;
   link.reorder_probability = config.reorder_probability;
 
+  // Telemetry (ISSUE 4): a run-local tracer/collector, so seeded runs
+  // without telemetry touch none of this machinery.
+  const bool telemetry = config.telemetry || !config.trace_out.empty();
+  obs::Tracer trace;
+  obs::MetricsRegistry telemetry_metrics("agg.telemetry");
+  std::unique_ptr<obs::SpanCollector> collector;
+  if (telemetry) {
+    if (!config.trace_out.empty()) trace.enable();
+    collector = std::make_unique<obs::SpanCollector>(trace, telemetry_metrics);
+  }
+
   std::vector<sim::NodeRef> group;
   for (int w = 0; w < config.num_workers; ++w) {
     WorkerState& state = harness.workers[static_cast<std::size_t>(w)];
     state.runtime = std::make_unique<HostRuntime>(fabric, static_cast<std::uint16_t>(w + 1));
     state.runtime->register_spec(1, spec);
+    if (collector != nullptr) state.runtime->enable_telemetry(collector.get());
     fabric.connect(sim::host_ref(static_cast<std::uint16_t>(w + 1)), sim::device_ref(1), link);
     group.push_back(sim::host_ref(static_cast<std::uint16_t>(w + 1)));
   }
@@ -173,6 +187,10 @@ AggResult run_agg(const AggConfig& config) {
   }
   result.packets_lost = fabric.packets_dropped_loss;
   result.packets_duplicated = fabric.packets_duplicated;
+  if (collector != nullptr) {
+    result.telemetry_spans = collector->spans();
+    if (!config.trace_out.empty()) trace.write(config.trace_out);
+  }
   result.sim_seconds = harness.done_time_ns * 1e-9;
   if (result.sim_seconds > 0) {
     result.ate_per_sec_per_worker =

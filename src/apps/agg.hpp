@@ -38,6 +38,13 @@ struct AggConfig {
   /// must self-heal through retransmission.
   double crash_at_ns = 0.0;
   double restart_at_ns = 0.0;
+  /// In-band telemetry (ISSUE 4): stamp INT hops on every message and
+  /// collect end-to-end spans. Off by default — a telemetry-off run is
+  /// byte-identical to pre-telemetry builds.
+  bool telemetry = false;
+  /// Write the merged multi-process Chrome-trace JSON here after the run
+  /// (implies telemetry; empty = no trace file).
+  std::string trace_out;
 };
 
 struct AggResult {
@@ -50,6 +57,7 @@ struct AggResult {
   std::uint64_t packets_lost = 0;
   std::uint64_t packets_duplicated = 0;
   int stages_used = 0;
+  std::uint64_t telemetry_spans = 0;  // round trips folded into the collector
 };
 
 /// Compiles the AGG kernel and runs the workload on the simulated fabric.

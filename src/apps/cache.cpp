@@ -1,6 +1,8 @@
 #include "apps/cache.hpp"
 
 #include "apps/sources.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "runtime/host.hpp"
 
 namespace netcl::apps {
@@ -42,6 +44,19 @@ CacheResult run_cache(const CacheConfig& config) {
   client.register_spec(1, spec);
   server.register_spec(1, spec);
   fabric.add_device(driver::make_device(std::move(compiled), 1));
+
+  // Telemetry (ISSUE 4): run-local tracer/collector; nothing is touched
+  // when telemetry is off, keeping seeded runs byte-identical.
+  const bool telemetry = config.telemetry || !config.trace_out.empty();
+  obs::Tracer trace;
+  obs::MetricsRegistry telemetry_metrics("cache.telemetry");
+  std::unique_ptr<obs::SpanCollector> collector;
+  if (telemetry) {
+    if (!config.trace_out.empty()) trace.enable();
+    collector = std::make_unique<obs::SpanCollector>(trace, telemetry_metrics);
+    client.enable_telemetry(collector.get());
+    server.enable_telemetry(collector.get());
+  }
 
   sim::LinkConfig link;
   link.gbps = config.link_gbps;
@@ -147,6 +162,10 @@ CacheResult run_cache(const CacheConfig& config) {
     device->debug_read("Hits", {}, device_hits);
   }
   result.device_hits = device_hits;
+  if (collector != nullptr) {
+    result.telemetry_spans = collector->spans();
+    if (!config.trace_out.empty()) trace.write(config.trace_out);
+  }
   return result;
 }
 

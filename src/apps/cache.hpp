@@ -27,6 +27,13 @@ struct CacheConfig {
   std::uint32_t hot_threshold = 128;
   int stages_override = 0;  // model another program's latency
   std::uint64_t seed = 99;
+  /// In-band telemetry (ISSUE 4): stamp INT hops on every message and
+  /// collect end-to-end spans. Off by default — a telemetry-off run is
+  /// byte-identical to pre-telemetry builds.
+  bool telemetry = false;
+  /// Write the merged Chrome-trace JSON here after the run (implies
+  /// telemetry; empty = no trace file).
+  std::string trace_out;
 };
 
 struct CacheResult {
@@ -39,6 +46,7 @@ struct CacheResult {
   std::uint64_t device_hits = 0;  // the kernel's Hits counter
   int hot_reports = 0;            // GETs marked hot by the cms+bloom path
   int stages_used = 0;
+  std::uint64_t telemetry_spans = 0;  // round trips folded into the collector
 };
 
 [[nodiscard]] CacheResult run_cache(const CacheConfig& config);

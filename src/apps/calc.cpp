@@ -1,6 +1,8 @@
 #include "apps/calc.hpp"
 
 #include "apps/sources.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "runtime/host.hpp"
 
 namespace netcl::apps {
@@ -29,6 +31,18 @@ CalcResult run_calc(const CalcConfig& config) {
   client.register_spec(1, spec);
   fabric.add_device(driver::make_device(std::move(compiled), 1));
   fabric.connect(sim::host_ref(1), sim::device_ref(1));
+
+  // Telemetry (ISSUE 4): run-local tracer/collector; nothing is touched
+  // when telemetry is off, keeping seeded runs byte-identical.
+  const bool telemetry = config.telemetry || !config.trace_out.empty();
+  obs::Tracer trace;
+  obs::MetricsRegistry telemetry_metrics("calc.telemetry");
+  std::unique_ptr<obs::SpanCollector> collector;
+  if (telemetry) {
+    if (!config.trace_out.empty()) trace.enable();
+    collector = std::make_unique<obs::SpanCollector>(trace, telemetry_metrics);
+    client.enable_telemetry(collector.get());
+  }
 
   struct Query {
     std::uint64_t op;
@@ -84,6 +98,10 @@ CalcResult run_calc(const CalcConfig& config) {
 
   send_current();
   fabric.run(10e9);
+  if (collector != nullptr) {
+    result.telemetry_spans = collector->spans();
+    if (!config.trace_out.empty()) trace.write(config.trace_out);
+  }
   result.ok = result.error.empty();
   return result;
 }

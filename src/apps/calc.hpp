@@ -11,6 +11,13 @@ namespace netcl::apps {
 struct CalcConfig {
   int operations = 128;
   std::uint64_t seed = 3;
+  /// In-band telemetry (ISSUE 4): stamp INT hops on every message and
+  /// collect end-to-end spans. Off by default — a telemetry-off run is
+  /// byte-identical to pre-telemetry builds.
+  bool telemetry = false;
+  /// Write the merged Chrome-trace JSON here after the run (implies
+  /// telemetry; empty = no trace file).
+  std::string trace_out;
 };
 
 struct CalcResult {
@@ -20,6 +27,7 @@ struct CalcResult {
   int correct = 0;
   int dropped_unknown = 0;  // unknown opcodes are dropped by the kernel
   int stages_used = 0;
+  std::uint64_t telemetry_spans = 0;  // round trips folded into the collector
 };
 
 [[nodiscard]] CalcResult run_calc(const CalcConfig& config);

@@ -4,6 +4,8 @@
 #include <set>
 
 #include "apps/sources.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "runtime/host.hpp"
 
 namespace netcl::apps {
@@ -68,6 +70,19 @@ PaxosResult run_paxos(const PaxosConfig& config) {
   proposer.register_spec(1, spec);
   application.register_spec(1, spec);
 
+  // Telemetry (ISSUE 4): run-local tracer/collector; nothing is touched
+  // when telemetry is off, keeping seeded runs byte-identical.
+  const bool telemetry = config.telemetry || !config.trace_out.empty();
+  obs::Tracer trace;
+  obs::MetricsRegistry telemetry_metrics("paxos.telemetry");
+  std::unique_ptr<obs::SpanCollector> collector;
+  if (telemetry) {
+    if (!config.trace_out.empty()) trace.enable();
+    collector = std::make_unique<obs::SpanCollector>(trace, telemetry_metrics);
+    proposer.enable_telemetry(collector.get());
+    application.enable_telemetry(collector.get());
+  }
+
   sim::LinkConfig link;
   link.latency_ns = config.link_latency_ns;
   link.gbps = config.link_gbps;
@@ -120,6 +135,10 @@ PaxosResult run_paxos(const PaxosConfig& config) {
   std::uint64_t expect = 1;
   for (const std::uint64_t instance : seen_instances) {
     if (instance != expect++) result.instances_sequential = false;
+  }
+  if (collector != nullptr) {
+    result.telemetry_spans = collector->spans();
+    if (!config.trace_out.empty()) trace.write(config.trace_out);
   }
   result.ok = result.error.empty();
   return result;

@@ -22,6 +22,13 @@ struct PaxosConfig {
   double link_latency_ns = 1000.0;
   double link_gbps = 100.0;
   std::uint64_t seed = 5;
+  /// In-band telemetry (ISSUE 4): stamp INT hops across the whole
+  /// leader → acceptors → learner chain and collect delivery spans. Off
+  /// by default — a telemetry-off run is byte-identical.
+  bool telemetry = false;
+  /// Write the merged Chrome-trace JSON here after the run (implies
+  /// telemetry; empty = no trace file).
+  std::string trace_out;
 };
 
 struct PaxosResult {
@@ -35,6 +42,7 @@ struct PaxosResult {
   int leader_stages = 0;
   int acceptor_stages = 0;
   int learner_stages = 0;
+  std::uint64_t telemetry_spans = 0;  // delivery spans folded into the collector
 };
 
 [[nodiscard]] PaxosResult run_paxos(const PaxosConfig& config);

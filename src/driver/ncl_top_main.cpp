@@ -1,0 +1,205 @@
+// ncl-top: live terminal dashboard over a netcl-swd --metrics-port
+// Prometheus scrape endpoint (ISSUE 4).
+//
+//   ncl-top --port 9464 [--host 127.0.0.1] [--interval 1.0] [--once]
+//
+// Each tick scrapes the endpoint with a plain HTTP/1.0 GET, parses the
+// text exposition, and redraws: every series' current value plus its rate
+// since the previous scrape (counters only — gauges show value alone).
+// --once scrapes a single time, prints without screen control, and exits
+// nonzero if the scrape failed or was not well-formed Prometheus text —
+// which is what the CI smoke step runs.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  double interval_s = 1.0;
+  bool once = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: ncl-top --port <metrics-port> [--host <ipv4>] "
+               "[--interval <seconds>] [--once]\n");
+}
+
+/// One blocking HTTP/1.0 GET; returns false on any socket failure. `body`
+/// receives everything past the header block.
+bool scrape(const Options& options, std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET /metrics HTTP/1.0\r\nHost: " + options.host + "\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) < 0) {
+    ::close(fd);
+    return false;
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t split = response.find("\r\n\r\n");
+  if (split == std::string::npos || response.compare(0, 5, "HTTP/") != 0) return false;
+  body = response.substr(split + 4);
+  return true;
+}
+
+struct Series {
+  double value = 0.0;
+  bool counter = false;  // from the preceding # TYPE line
+};
+
+/// Parses the exposition into series-name -> value. False when a
+/// non-comment line is not "name[{labels}] value".
+bool parse(const std::string& body, std::map<std::string, Series>& out) {
+  std::map<std::string, bool> family_is_counter;
+  std::size_t pos = 0;
+  bool saw_sample = false;
+  while (pos < body.size()) {
+    std::size_t end = body.find('\n', pos);
+    if (end == std::string::npos) end = body.size();
+    const std::string line = body.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE <family> <type>"
+      if (line.compare(0, 7, "# TYPE ") == 0) {
+        const std::size_t space = line.find(' ', 7);
+        if (space != std::string::npos) {
+          family_is_counter[line.substr(7, space - 7)] =
+              line.compare(space + 1, std::string::npos, "counter") == 0;
+        }
+      }
+      continue;
+    }
+    const std::size_t value_at = line.rfind(' ');
+    if (value_at == std::string::npos || value_at == 0) return false;
+    const std::string name = line.substr(0, value_at);
+    char* parsed_end = nullptr;
+    const double value = std::strtod(line.c_str() + value_at + 1, &parsed_end);
+    if (parsed_end == line.c_str() + value_at + 1) return false;
+    std::string family = name.substr(0, name.find('{'));
+    Series series;
+    series.value = value;
+    series.counter = family_is_counter[family];
+    out[name] = series;
+    saw_sample = true;
+  }
+  return saw_sample;
+}
+
+void render(const std::map<std::string, Series>& now, const std::map<std::string, Series>& prev,
+            double dt_s, const Options& options) {
+  if (!options.once) std::printf("\033[2J\033[H");
+  std::printf("ncl-top — %s:%u  (%zu series%s)\n", options.host.c_str(), options.port,
+              now.size(), options.once ? "" : ", q^C to quit");
+  std::printf("%-64s %14s %12s\n", "series", "value", "rate/s");
+  for (const auto& [name, series] : now) {
+    char rate[32] = "";
+    if (series.counter && dt_s > 0.0) {
+      const auto it = prev.find(name);
+      if (it != prev.end()) {
+        std::snprintf(rate, sizeof(rate), "%.1f",
+                      std::max(0.0, (series.value - it->second.value) / dt_s));
+      }
+    }
+    std::printf("%-64s %14.0f %12s\n", name.c_str(), series.value, rate);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) {
+        usage();
+        return 2;
+      }
+      options.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) {
+        usage();
+        return 2;
+      }
+      options.host = v;
+    } else if (arg == "--interval") {
+      const char* v = next();
+      if (v == nullptr) {
+        usage();
+        return 2;
+      }
+      options.interval_s = std::atof(v);
+    } else if (arg == "--once") {
+      options.once = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (options.port == 0) {
+    usage();
+    return 2;
+  }
+
+  std::map<std::string, Series> prev;
+  auto prev_at = std::chrono::steady_clock::now();
+  for (;;) {
+    std::string body;
+    if (!scrape(options, body)) {
+      std::fprintf(stderr, "ncl-top: scrape of %s:%u failed\n", options.host.c_str(),
+                   options.port);
+      if (options.once) return 1;
+      std::this_thread::sleep_for(std::chrono::duration<double>(options.interval_s));
+      continue;
+    }
+    std::map<std::string, Series> now;
+    if (!parse(body, now)) {
+      std::fprintf(stderr, "ncl-top: response is not well-formed Prometheus text\n");
+      if (options.once) return 1;
+      std::this_thread::sleep_for(std::chrono::duration<double>(options.interval_s));
+      continue;
+    }
+    const auto now_at = std::chrono::steady_clock::now();
+    render(now, prev, std::chrono::duration<double>(now_at - prev_at).count(), options);
+    if (options.once) return 0;
+    prev = std::move(now);
+    prev_at = now_at;
+    std::this_thread::sleep_for(std::chrono::duration<double>(options.interval_s));
+  }
+}

@@ -10,6 +10,9 @@
 //                          from the wall clock, so restarts are detectable)
 //     --idle-timeout <s>   reap control connections idle for s seconds
 //                          (default 300; 0 disables)
+//     --metrics-port <p>   serve a Prometheus text scrape endpoint on this
+//                          plain-TCP port (0 = kernel-assigned; off when
+//                          the flag is absent)
 //     --quiet              suppress the shutdown stats line
 //
 // Compiles the NetCL-C source for the device (exactly what ncc does),
@@ -40,7 +43,8 @@ void handle_signal(int) {
 void print_usage() {
   std::cerr << "usage: netcl-swd [--device N] [--port P] [--control-port P]\n"
                "                 [-D NAME=VALUE] [--max-seconds S] [--generation G]\n"
-               "                 [--idle-timeout S] [--quiet] <source.ncl>\n";
+               "                 [--idle-timeout S] [--metrics-port P] [--quiet]\n"
+               "                 <source.ncl>\n";
 }
 
 bool parse_number(const std::string& flag, const std::string& text, std::uint64_t& out) {
@@ -84,6 +88,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--idle-timeout" && i + 1 < argc) {
       if (!parse_number(arg, argv[++i], value)) return 2;
       swd.idle_timeout_seconds = static_cast<double>(value);
+    } else if (arg == "--metrics-port" && i + 1 < argc) {
+      if (!parse_number(arg, argv[++i], value)) return 2;
+      swd.metrics_port = static_cast<int>(static_cast<std::uint16_t>(value));
     } else if (arg == "-D" && i + 1 < argc) {
       const std::string define = argv[++i];
       const std::size_t eq = define.find('=');
@@ -138,7 +145,9 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
 
   std::cout << "netcl-swd: device " << device_id << " ready (udp " << server.udp_port()
-            << ", control " << server.control_port() << ")" << std::endl;
+            << ", control " << server.control_port();
+  if (server.metrics_port() != 0) std::cout << ", metrics " << server.metrics_port();
+  std::cout << ")" << std::endl;
   server.run();
   return 0;
 }

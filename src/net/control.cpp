@@ -74,10 +74,11 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
 }
 
 bool write_frame(int fd, const std::vector<std::uint8_t>& payload) {
-  ByteWriter header;
-  header.u32(static_cast<std::uint32_t>(payload.size()));
-  return write_all(fd, header.bytes().data(), header.bytes().size()) &&
-         write_all(fd, payload.data(), payload.size());
+  // Single send(); see the deadline overload for the Nagle rationale.
+  ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.raw(payload);
+  return write_all(fd, frame.bytes().data(), frame.bytes().size());
 }
 
 bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
@@ -126,10 +127,13 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t n, ControlDeadline 
 }
 
 bool write_frame(int fd, const std::vector<std::uint8_t>& payload, ControlDeadline deadline) {
-  ByteWriter header;
-  header.u32(static_cast<std::uint32_t>(payload.size()));
-  return write_all(fd, header.bytes().data(), header.bytes().size(), deadline) &&
-         write_all(fd, payload.data(), payload.size(), deadline);
+  // One send(), not header-then-payload: two small writes trip Nagle +
+  // delayed-ACK (~40 ms per frame on loopback), which would dominate the
+  // control RTT and ruin PING-based clock alignment (ISSUE 4).
+  ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.raw(payload);
+  return write_all(fd, frame.bytes().data(), frame.bytes().size(), deadline);
 }
 
 bool read_frame(int fd, std::vector<std::uint8_t>& payload, ControlDeadline deadline) {
@@ -300,6 +304,12 @@ bool ControlClient::ping(std::uint16_t& device_id) {
 }
 
 bool ControlClient::ping(std::uint16_t& device_id, std::uint32_t& generation) {
+  std::uint64_t device_clock_ns = 0;
+  return ping(device_id, generation, device_clock_ns);
+}
+
+bool ControlClient::ping(std::uint16_t& device_id, std::uint32_t& generation,
+                         std::uint64_t& device_clock_ns) {
   ByteWriter request;
   request.u8(static_cast<std::uint8_t>(ControlOp::kPing));
   std::vector<std::uint8_t> response;
@@ -307,6 +317,10 @@ bool ControlClient::ping(std::uint16_t& device_id, std::uint32_t& generation) {
   ByteReader reader(response);
   device_id = reader.u16();
   generation = reader.u32();
+  if (!reader.ok()) return false;
+  // Pre-extension daemons answer without the clock; report 0 rather than
+  // failing the heartbeat.
+  device_clock_ns = reader.at_end() ? 0 : reader.u64();
   return reader.ok();
 }
 
@@ -393,6 +407,17 @@ bool ControlClient::set_multicast_group(std::uint16_t group,
   for (const std::uint16_t host : hosts) request.u16(host);
   std::vector<std::uint8_t> response;
   return roundtrip(request, response);
+}
+
+bool ControlClient::metrics_text(std::string& out) {
+  ByteWriter request;
+  request.u8(static_cast<std::uint8_t>(ControlOp::kMetricsText));
+  std::vector<std::uint8_t> response;
+  if (!roundtrip(request, response)) return false;
+  // Raw UTF-8 body — the frame length already delimits it, and a str()'s
+  // u16 length prefix would cap the exposition at 64 KiB.
+  out.assign(response.begin(), response.end());
+  return true;
 }
 
 }  // namespace netcl::net

@@ -30,7 +30,10 @@
 namespace netcl::net {
 
 enum class ControlOp : std::uint8_t {
-  kPing = 1,            // -> u16 device_id, u32 generation (the heartbeat)
+  // PONG appends u64 device-clock ns (ISSUE 4, clock alignment for INT
+  // stamps); pre-existing readers stop after the generation and never see
+  // it — ByteReader tolerates trailing bytes.
+  kPing = 1,            // -> u16 device_id, u32 generation, u64 device_clock_ns
   kManagedWrite = 2,    // str name, u64_vec indices, u64 value
   kManagedRead = 3,     // str name, u64_vec indices -> u64 value
   kInsert = 4,          // str table, u64 key_lo, u64 key_hi, u64 value
@@ -38,6 +41,7 @@ enum class ControlOp : std::uint8_t {
   kStats = 6,           // -> DeviceStats (encode_stats layout)
   kRegisterAccess = 7,  // -> u16 count, { str name, u64 reads, u64 writes }*
   kSetMulticastGroup = 8,  // u16 group, u16 count, u16 host_id*
+  kMetricsText = 9,        // -> raw Prometheus exposition (same body as --metrics-port)
 };
 
 inline constexpr std::uint8_t kControlOk = 0;
@@ -107,6 +111,12 @@ class ControlClient {
   /// The heartbeat: PONG carries the device generation, which bumps on
   /// every daemon restart (stale offloaded state).
   bool ping(std::uint16_t& device_id, std::uint32_t& generation);
+  /// Heartbeat plus the device's telemetry clock (ns on the same clockbase
+  /// the daemon stamps TelemetryHops with). Bracket the call with local
+  /// transport timestamps and feed all three to obs::align_clocks().
+  /// device_clock_ns reads 0 against a pre-extension daemon.
+  bool ping(std::uint16_t& device_id, std::uint32_t& generation,
+            std::uint64_t& device_clock_ns);
   bool managed_write(const std::string& name, const std::vector<std::uint64_t>& indices,
                      std::uint64_t value);
   bool managed_read(const std::string& name, const std::vector<std::uint64_t>& indices,
@@ -117,6 +127,10 @@ class ControlClient {
   bool stats(sim::DeviceStats& out);
   bool register_access(std::map<std::string, sim::RegisterAccess>& out);
   bool set_multicast_group(std::uint16_t group, const std::vector<std::uint16_t>& hosts);
+  /// Fetches the daemon's Prometheus text exposition over the control
+  /// plane — same body --metrics-port serves, for clients that already
+  /// hold a control connection (ncl-top's fallback path).
+  bool metrics_text(std::string& out);
 
  private:
   /// Sends one request frame and reads the response, retrying with backoff

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cerrno>
 #include <cstdio>
@@ -12,7 +13,9 @@
 
 #include "net/control.hpp"
 #include "net/wire.hpp"
+#include "obs/prometheus.hpp"
 #include "runtime/device_runtime.hpp"
+#include "sim/telemetry.hpp"
 
 namespace netcl::net {
 
@@ -73,15 +76,42 @@ SwdServer::SwdServer(std::unique_ptr<sim::SwitchDevice> device, const SwdOptions
   }
   set_nonblocking(udp_fd_);
   set_nonblocking(listen_fd_);
+  if (options.metrics_port >= 0) {
+    metrics_enabled_ = true;
+    metrics_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (metrics_listen_fd_ >= 0) {
+      ::setsockopt(metrics_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      metrics_port_ =
+          bind_and_resolve(metrics_listen_fd_, static_cast<std::uint16_t>(options.metrics_port));
+    }
+    if (metrics_listen_fd_ < 0 || metrics_port_ == 0 || ::listen(metrics_listen_fd_, 8) != 0) {
+      error_ = std::string("metrics bind/listen: ") + std::strerror(errno);
+      udp_port_ = 0;
+      control_port_ = 0;
+      metrics_port_ = 0;
+      return;
+    }
+    set_nonblocking(metrics_listen_fd_);
+  }
 }
 
 SwdServer::~SwdServer() {
   for (const Connection& connection : connections_) ::close(connection.fd);
+  for (const Connection& connection : metrics_connections_) ::close(connection.fd);
   if (udp_fd_ >= 0) ::close(udp_fd_);
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (metrics_listen_fd_ >= 0) ::close(metrics_listen_fd_);
 }
 
-bool SwdServer::valid() const { return udp_port_ != 0 && control_port_ != 0; }
+std::uint64_t SwdServer::device_clock_ns() const {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - epoch_)
+                                        .count());
+}
+
+bool SwdServer::valid() const {
+  return udp_port_ != 0 && control_port_ != 0 && (!metrics_enabled_ || metrics_port_ != 0);
+}
 
 void SwdServer::send_to_host(std::uint16_t host, const sim::Packet& packet) {
   const auto it = host_endpoints_.find(host);
@@ -105,13 +135,14 @@ void SwdServer::emit(sim::Packet&& packet) {
 }
 
 void SwdServer::handle_datagram(const std::uint8_t* data, std::size_t size,
-                                const sockaddr_in& from) {
+                                const sockaddr_in& from, std::uint32_t queue_depth) {
   sim::Packet packet;
   if (!deserialize_packet({data, size}, packet)) {
     ++deserialize_errors;
     return;
   }
   ++packets_received;
+  const std::uint64_t ingress_ns = packet.telemetry.requested ? device_clock_ns() : 0;
   // Learn the sender's location; Reflect and later SendToHost responses
   // need it (the paper's testbed wires this knowledge into the base
   // forwarding program instead).
@@ -126,6 +157,13 @@ void SwdServer::handle_datagram(const std::uint8_t* data, std::size_t size,
   if (packet.netcl.to != device_->device_id()) {
     // No-op transit through a device that was not asked to compute (§IV).
     ++device_->stats.transits;
+    if (packet.telemetry.requested) {
+      // Same shape as the simulator's transit stamp: no stage occupancy.
+      if (sim::stamp_hop(packet.telemetry, {device_->device_id(), device_->generation(),
+                                            ingress_ns, device_clock_ns(), queue_depth, 0})) {
+        ++telemetry_stamps;
+      }
+    }
     emit(std::move(packet));
     return;
   }
@@ -137,6 +175,15 @@ void SwdServer::handle_datagram(const std::uint8_t* data, std::size_t size,
     outcome = device_->execute(packet.netcl.comp, args, packet.netcl);
     packet.payload = sim::encode_args(*spec, args);
     packet.netcl.len = static_cast<std::uint16_t>(packet.payload.size());
+  }
+  if (packet.telemetry.requested) {
+    // Mirrors sim::Fabric's compute-hop stamp, on the daemon's wall clock:
+    // ingress when the datagram was picked up, egress after execution.
+    if (sim::stamp_hop(packet.telemetry,
+                       {device_->device_id(), device_->generation(), ingress_ns,
+                        device_clock_ns(), queue_depth, outcome.stage_ops})) {
+      ++telemetry_stamps;
+    }
   }
   const runtime::ForwardDecision decision = runtime::apply_action(
       packet.netcl, outcome.executed ? outcome.action : ActionKind::Pass, outcome.target,
@@ -185,6 +232,9 @@ std::vector<std::uint8_t> SwdServer::handle_control(std::span<const std::uint8_t
       case ControlOp::kPing:
         ok.u16(device_->device_id());
         ok.u32(device_->generation());
+        // Telemetry clock (ISSUE 4): same clockbase the daemon stamps
+        // TelemetryHops with, so hosts can align device spans.
+        ok.u64(device_clock_ns());
         break;
       case ControlOp::kManagedWrite: {
         const std::string name = reader.str();
@@ -237,6 +287,13 @@ std::vector<std::uint8_t> SwdServer::handle_control(std::span<const std::uint8_t
         if (handled) multicast_groups_[group] = std::move(members);
         break;
       }
+      case ControlOp::kMetricsText: {
+        // Raw UTF-8 body; the frame length delimits it (a str()'s u16
+        // length prefix would cap the exposition at 64 KiB).
+        const std::string text = metrics_exposition();
+        ok.raw({reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
+        break;
+      }
       default:
         handled = false;
         break;
@@ -260,6 +317,73 @@ std::vector<std::uint8_t> SwdServer::handle_control(std::span<const std::uint8_t
 
 double SwdServer::uptime_s() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
+std::string SwdServer::metrics_exposition() {
+  // Mirror the device's execution stats into gauges at render time, so the
+  // exposition carries them without keeping a second live count in sync.
+  const sim::DeviceStats& stats = device_->stats;
+  metrics_.gauge("device.generation").set(static_cast<double>(device_->generation()));
+  metrics_.gauge("device.packets_processed").set(static_cast<double>(stats.packets_processed));
+  metrics_.gauge("device.kernels_executed").set(static_cast<double>(stats.kernels_executed));
+  metrics_.gauge("device.no_kernel").set(static_cast<double>(stats.no_kernel));
+  metrics_.gauge("device.drops_action").set(static_cast<double>(stats.drops_action));
+  metrics_.gauge("device.multicasts").set(static_cast<double>(stats.multicasts));
+  metrics_.gauge("device.transits").set(static_cast<double>(stats.transits));
+  metrics_.gauge("device.recirculations").set(static_cast<double>(stats.recirculations));
+  metrics_.gauge("device.uptime_seconds").set(uptime_s());
+  return obs::prometheus_string();
+}
+
+void SwdServer::accept_metrics_connection() {
+  for (;;) {
+    const int fd = ::accept(metrics_listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    set_nonblocking(fd);
+    metrics_connections_.push_back({fd, {}, uptime_s()});
+  }
+}
+
+void SwdServer::service_metrics_connection(Connection& connection) {
+  std::uint8_t buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(connection.fd, buffer, sizeof(buffer));
+    if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+      ::close(connection.fd);
+      connection.fd = -1;
+      return;
+    }
+    if (n < 0) break;  // drained for now
+    connection.inbox.insert(connection.inbox.end(), buffer, buffer + n);
+    if (connection.inbox.size() > 16384) {
+      // No scrape request needs this much header; drop the flooder.
+      ::close(connection.fd);
+      connection.fd = -1;
+      return;
+    }
+  }
+  // Serve once the request's header block (terminated by a blank line) has
+  // fully arrived; the request line / headers themselves are irrelevant —
+  // every path gets the exposition.
+  static constexpr std::uint8_t kHeaderEnd[] = {'\r', '\n', '\r', '\n'};
+  if (std::search(connection.inbox.begin(), connection.inbox.end(), std::begin(kHeaderEnd),
+                  std::end(kHeaderEnd)) == connection.inbox.end()) {
+    return;
+  }
+  const std::string body = metrics_exposition();
+  const std::string response =
+      "HTTP/1.0 200 OK\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: " +
+      std::to_string(body.size()) +
+      "\r\n"
+      "Connection: close\r\n\r\n" +
+      body;
+  write_all(connection.fd, reinterpret_cast<const std::uint8_t*>(response.data()),
+            response.size());
+  ++metrics_scrapes;
+  ::close(connection.fd);
+  connection.fd = -1;
 }
 
 void SwdServer::accept_connection() {
@@ -328,10 +452,12 @@ bool SwdServer::apply_fault_state() {
 void SwdServer::poll_once(int timeout_ms) {
   if (!valid()) return;
   const bool crashed = apply_fault_state();
-  if (crashed && !connections_.empty()) {
+  if (crashed && !(connections_.empty() && metrics_connections_.empty())) {
     // A dead process holds no connections.
     for (const Connection& connection : connections_) ::close(connection.fd);
     connections_.clear();
+    for (const Connection& connection : metrics_connections_) ::close(connection.fd);
+    metrics_connections_.clear();
   }
   if (idle_timeout_seconds_ > 0.0) {
     const double now_s = uptime_s();
@@ -343,6 +469,16 @@ void SwdServer::poll_once(int timeout_ms) {
       }
     }
     std::erase_if(connections_, [](const Connection& connection) { return connection.fd < 0; });
+    // A scraper that connected and never finished its request would hold
+    // its fd forever; reap on the same budget.
+    for (Connection& connection : metrics_connections_) {
+      if (now_s - connection.last_activity_s > idle_timeout_seconds_) {
+        ::close(connection.fd);
+        connection.fd = -1;
+      }
+    }
+    std::erase_if(metrics_connections_,
+                  [](const Connection& connection) { return connection.fd < 0; });
   }
   std::vector<pollfd> fds;
   fds.push_back({udp_fd_, POLLIN, 0});
@@ -350,10 +486,19 @@ void SwdServer::poll_once(int timeout_ms) {
   for (const Connection& connection : connections_) {
     fds.push_back({connection.fd, POLLIN, 0});
   }
+  const std::size_t metrics_listen_index = fds.size();
+  if (metrics_listen_fd_ >= 0) fds.push_back({metrics_listen_fd_, POLLIN, 0});
+  const std::size_t metrics_base = fds.size();
+  for (const Connection& connection : metrics_connections_) {
+    fds.push_back({connection.fd, POLLIN, 0});
+  }
   if (::poll(fds.data(), fds.size(), timeout_ms) <= 0) return;
 
   if ((fds[0].revents & POLLIN) != 0) {
     std::uint8_t buffer[kMaxDatagram];
+    // Position within this receive burst doubles as the INT queue-depth
+    // stamp — the daemon's analogue of the simulator's event-queue depth.
+    std::uint32_t burst_index = 0;
     for (;;) {
       sockaddr_in from{};
       socklen_t from_len = sizeof(from);
@@ -364,12 +509,13 @@ void SwdServer::poll_once(int timeout_ms) {
         ++packets_dropped_crashed;
         continue;
       }
-      handle_datagram(buffer, static_cast<std::size_t>(n), from);
+      handle_datagram(buffer, static_cast<std::size_t>(n), from, burst_index++);
     }
   }
   // accept_connection() below can grow connections_; only the pre-accept
   // entries have a pollfd at fds[2 + i].
   const std::size_t polled = connections_.size();
+  const std::size_t metrics_polled = metrics_connections_.size();
   if ((fds[1].revents & POLLIN) != 0) {
     if (crashed) {
       // Closest a live process gets to a crashed one: the connection is
@@ -390,6 +536,25 @@ void SwdServer::poll_once(int timeout_ms) {
     }
   }
   std::erase_if(connections_, [](const Connection& connection) { return connection.fd < 0; });
+
+  if (metrics_listen_fd_ >= 0 && (fds[metrics_listen_index].revents & POLLIN) != 0) {
+    if (crashed) {
+      for (;;) {
+        const int fd = ::accept(metrics_listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        ::close(fd);
+      }
+    } else {
+      accept_metrics_connection();
+    }
+  }
+  for (std::size_t i = 0; i < metrics_polled; ++i) {
+    if ((fds[metrics_base + i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      service_metrics_connection(metrics_connections_[i]);
+    }
+  }
+  std::erase_if(metrics_connections_,
+                [](const Connection& connection) { return connection.fd < 0; });
 }
 
 void SwdServer::run() {

@@ -43,6 +43,10 @@ struct SwdOptions {
   /// client that died without FIN would otherwise hold its fd forever).
   /// 0 disables reaping.
   double idle_timeout_seconds = 300.0;
+  /// Plain-TCP Prometheus scrape endpoint (ISSUE 4): any HTTP GET is
+  /// answered with the text exposition (format 0.0.4) of the daemon's
+  /// metrics and device stats. -1 = disabled, 0 = kernel-assigned.
+  int metrics_port = -1;
   bool verbose = false;
 };
 
@@ -62,7 +66,12 @@ class SwdServer {
   [[nodiscard]] const std::string& error() const { return error_; }
   [[nodiscard]] std::uint16_t udp_port() const { return udp_port_; }
   [[nodiscard]] std::uint16_t control_port() const { return control_port_; }
+  /// 0 when the scrape endpoint is disabled.
+  [[nodiscard]] std::uint16_t metrics_port() const { return metrics_port_; }
   [[nodiscard]] sim::SwitchDevice& device() { return *device_; }
+  /// The daemon's telemetry clock: ns since process start (steady clock).
+  /// TelemetryHop stamps and the PONG clock field share this clockbase.
+  [[nodiscard]] std::uint64_t device_clock_ns() const;
 
   /// Serves until stop() or the max_seconds budget runs out.
   void run();
@@ -100,6 +109,10 @@ class SwdServer {
   obs::Counter& connections_reaped = metrics_.counter("connections_reaped");
   /// Datagrams discarded while crash injection is active.
   obs::Counter& packets_dropped_crashed = metrics_.counter("packets_dropped_crashed");
+  /// HTTP responses served from the --metrics-port scrape endpoint.
+  obs::Counter& metrics_scrapes = metrics_.counter("metrics_scrapes");
+  /// Telemetry hops stamped onto packets that requested INT.
+  obs::Counter& telemetry_stamps = metrics_.counter("telemetry_stamps");
 
  private:
   struct Connection {
@@ -108,12 +121,23 @@ class SwdServer {
     double last_activity_s = 0.0;     // monotonic seconds (idle reaping)
   };
 
-  void handle_datagram(const std::uint8_t* data, std::size_t size, const sockaddr_in& from);
+  /// `queue_depth` is this datagram's position within the current receive
+  /// burst — the daemon's analogue of the simulator's event-queue depth,
+  /// stamped into INT hops.
+  void handle_datagram(const std::uint8_t* data, std::size_t size, const sockaddr_in& from,
+                       std::uint32_t queue_depth);
   void emit(sim::Packet&& packet);
   void send_to_host(std::uint16_t host, const sim::Packet& packet);
   void accept_connection();
   /// Reads what is available; closes the connection on EOF/protocol error.
   void service_connection(Connection& connection);
+  void accept_metrics_connection();
+  /// Minimal HTTP/1.0 server: once the request's header block is in,
+  /// answers with the Prometheus exposition and closes.
+  void service_metrics_connection(Connection& connection);
+  /// Prometheus text exposition of this daemon's registry and device
+  /// stats (the body both --metrics-port and kMetricsText serve).
+  [[nodiscard]] std::string metrics_exposition();
   /// Monotonic seconds since the server was constructed.
   [[nodiscard]] double uptime_s() const;
   /// Applies pending fault-injection state; true while crashed.
@@ -124,12 +148,16 @@ class SwdServer {
   std::string error_;
   int udp_fd_ = -1;
   int listen_fd_ = -1;
+  int metrics_listen_fd_ = -1;
   std::uint16_t udp_port_ = 0;
   std::uint16_t control_port_ = 0;
+  std::uint16_t metrics_port_ = 0;
+  bool metrics_enabled_ = false;
   bool verbose_ = false;
   double max_seconds_ = 0.0;
   double idle_timeout_seconds_ = 0.0;
   std::vector<Connection> connections_;
+  std::vector<Connection> metrics_connections_;
   /// host id -> last UDP endpoint it sent from.
   std::map<std::uint16_t, sockaddr_in> host_endpoints_;
   std::map<std::uint16_t, std::vector<std::uint16_t>> multicast_groups_;

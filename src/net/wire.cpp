@@ -18,7 +18,10 @@ std::uint16_t get_u16(std::span<const std::uint8_t> data, std::size_t pos) {
 
 std::vector<std::uint8_t> serialize_packet(const sim::Packet& packet) {
   std::vector<std::uint8_t> out;
-  out.reserve(kWireHeaderBytes + packet.payload.size());
+  out.reserve(kWireHeaderBytes + packet.payload.size() +
+              (packet.telemetry.requested
+                   ? sim::trailer_bytes(packet.telemetry.hops.size())
+                   : 0));
   // push_back rather than a range insert: GCC 12's -Wstringop-overflow
   // misfires on inserting a fixed array into a freshly reserved vector.
   for (const std::uint8_t b : kWireMagic) out.push_back(b);
@@ -27,9 +30,14 @@ std::vector<std::uint8_t> serialize_packet(const sim::Packet& packet) {
   put_u16(out, packet.netcl.from);
   put_u16(out, packet.netcl.to);
   out.push_back(packet.netcl.comp);
-  out.push_back(packet.netcl.flags);
+  // The flag bit and the trailer travel together: a receiver decides
+  // whether to parse a trailer purely from the header it just read.
+  out.push_back(packet.telemetry.requested
+                    ? static_cast<std::uint8_t>(packet.netcl.flags | sim::kFlagTelemetry)
+                    : static_cast<std::uint8_t>(packet.netcl.flags & ~sim::kFlagTelemetry));
   put_u16(out, static_cast<std::uint16_t>(packet.payload.size()));
   out.insert(out.end(), packet.payload.begin(), packet.payload.end());
+  if (packet.telemetry.requested) sim::append_trailer(out, packet.telemetry);
   return out;
 }
 
@@ -50,6 +58,14 @@ bool deserialize_packet(std::span<const std::uint8_t> data, sim::Packet& out) {
   out.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(kWireHeaderBytes),
                      data.begin() + static_cast<std::ptrdiff_t>(kWireHeaderBytes) +
                          out.netcl.len);
+  out.telemetry = sim::TelemetryRecord{};
+  if ((out.netcl.flags & sim::kFlagTelemetry) != 0) {
+    // The trailer occupies everything after the payload; a truncated or
+    // oversized one rejects the whole datagram (no partial stamps).
+    if (!sim::parse_trailer(data.subspan(kWireHeaderBytes + out.netcl.len), out.telemetry)) {
+      return false;
+    }
+  }
   return true;
 }
 

@@ -1,7 +1,8 @@
 // The NetCL on-the-wire format (paper Fig. 10) and the little-endian
 // primitive codec the control-plane protocol is built from.
 //
-// A NetCL-over-UDP datagram is MAGIC | netcl header | kernel-arg payload;
+// A NetCL-over-UDP datagram is MAGIC | netcl header | kernel-arg payload
+// [| INT trailer when kFlagTelemetry is set — sim/telemetry.hpp];
 // ETH/IP/UDP framing is the kernel's job in the real stack (the simulator
 // models those 42 bytes in Packet::wire_bytes()). One serializer is shared
 // by UdpTransport and the netcl-swd daemon so host and device cannot drift

@@ -110,17 +110,11 @@ void Histogram::write_json(JsonWriter& w) const {
 
 namespace {
 
-/// Final values of destroyed registries, merged by registry name.
-struct RetainedRegistry {
-  std::map<std::string, std::uint64_t> counters;
-  std::map<std::string, double> gauges;
-  std::map<std::string, Histogram> histograms;
-};
-
 struct GlobalState {
   std::mutex mutex;
   std::vector<MetricsRegistry*> live;
-  std::map<std::string, RetainedRegistry> retained;
+  /// Final values of destroyed registries, merged by registry name.
+  std::map<std::string, RegistrySnapshot> retained;
 };
 
 GlobalState& state() {
@@ -128,7 +122,7 @@ GlobalState& state() {
   return s;
 }
 
-void merge_into(RetainedRegistry& into, const MetricsRegistry& from) {
+void merge_into(RegistrySnapshot& into, const MetricsRegistry& from) {
   for (const auto& [name, counter] : from.counters()) into.counters[name] += counter->value();
   for (const auto& [name, gauge] : from.gauges()) into.gauges[name] = gauge->value();
   for (const auto& [name, histogram] : from.histograms()) {
@@ -136,7 +130,14 @@ void merge_into(RetainedRegistry& into, const MetricsRegistry& from) {
   }
 }
 
-void write_registry_json(JsonWriter& w, const RetainedRegistry& r) {
+/// retained + everything still live, merged by name. Caller holds s.mutex.
+std::map<std::string, RegistrySnapshot> merged_snapshot(GlobalState& s) {
+  std::map<std::string, RegistrySnapshot> merged = s.retained;
+  for (const MetricsRegistry* live : s.live) merge_into(merged[live->name()], *live);
+  return merged;
+}
+
+void write_registry_json(JsonWriter& w, const RegistrySnapshot& r) {
   w.begin_object();
   w.key("counters");
   w.begin_object();
@@ -164,6 +165,34 @@ void write_registry_json(JsonWriter& w, const RetainedRegistry& r) {
 
 }  // namespace
 
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (uc < 0x21 || uc > 0x7e) return false;  // space, control, non-ASCII
+    switch (c) {
+      case '{':
+      case '}':
+      case '"':
+      case '\\':
+        return false;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+std::string sanitize_metric_name(std::string_view name) {
+  if (name.empty()) return "_";
+  std::string out(name);
+  for (char& c : out) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (uc < 0x21 || uc > 0x7e || c == '{' || c == '}' || c == '"' || c == '\\') c = '_';
+  }
+  return out;
+}
+
 MetricsRegistry::MetricsRegistry(std::string name) : name_(std::move(name)) {
   GlobalState& s = state();
   const std::lock_guard<std::mutex> lock(s.mutex);
@@ -178,19 +207,19 @@ MetricsRegistry::~MetricsRegistry() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& metric) {
-  auto& slot = counters_[metric];
+  auto& slot = counters_[valid_metric_name(metric) ? metric : sanitize_metric_name(metric)];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& metric) {
-  auto& slot = gauges_[metric];
+  auto& slot = gauges_[valid_metric_name(metric) ? metric : sanitize_metric_name(metric)];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& metric) {
-  auto& slot = histograms_[metric];
+  auto& slot = histograms_[valid_metric_name(metric) ? metric : sanitize_metric_name(metric)];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return *slot;
 }
@@ -209,17 +238,33 @@ MetricsRegistry& registry() {
   return global;
 }
 
-std::string dump_string() {
+std::map<std::string, RegistrySnapshot> snapshot_all() {
   GlobalState& s = state();
   const std::lock_guard<std::mutex> lock(s.mutex);
-  // Snapshot = retained values plus everything still live, merged by name.
-  std::map<std::string, RetainedRegistry> merged = s.retained;
-  for (const MetricsRegistry* live : s.live) merge_into(merged[live->name()], *live);
+  return merged_snapshot(s);
+}
+
+std::string dump_string(const std::map<std::string, std::string>& meta) {
+  std::map<std::string, RegistrySnapshot> merged;
+  {
+    GlobalState& s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    merged = merged_snapshot(s);
+  }
 
   JsonWriter w;
   w.begin_object();
   w.key("netcl_obs_version");
   w.value(1);
+  if (!meta.empty()) {
+    w.key("meta");
+    w.begin_object();
+    for (const auto& [key, value] : meta) {
+      w.key(key);
+      w.value(value);
+    }
+    w.end_object();
+  }
   w.key("registries");
   w.begin_object();
   for (const auto& [name, r] : merged) {
@@ -231,10 +276,10 @@ std::string dump_string() {
   return std::move(w).str();
 }
 
-bool dump(const std::string& path) {
+bool dump(const std::string& path, const std::map<std::string, std::string>& meta) {
   std::ofstream file(path, std::ios::trunc);
   if (!file) return false;
-  file << dump_string() << "\n";
+  file << dump_string(meta) << "\n";
   return file.good();
 }
 

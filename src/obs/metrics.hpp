@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 
 namespace netcl::obs {
 
@@ -93,10 +94,20 @@ class Histogram {
   double max_ = 0.0;
 };
 
+/// Metric-name hygiene (ISSUE 4): names must stay embeddable in every
+/// export format (JSON keys, Prometheus exposition, trace args), so
+/// spaces, braces, quotes, backslashes, and control characters are
+/// rejected at registration — the offending characters are replaced with
+/// '_' and the metric lives under the sanitized name.
+[[nodiscard]] bool valid_metric_name(std::string_view name);
+[[nodiscard]] std::string sanitize_metric_name(std::string_view name);
+
 /// A named bag of metrics. Registries register themselves in a process-wide
 /// list on construction; on destruction their contents are folded into a
 /// retained store under the registry name (counters/histograms merge
-/// additively, gauges keep the last value), so dump() sees completed runs.
+/// additively — two registries retiring the same counter name sum, never
+/// clobber — and gauges keep the last value), so dump() sees completed
+/// runs.
 class MetricsRegistry {
  public:
   explicit MetricsRegistry(std::string name);
@@ -134,15 +145,29 @@ class MetricsRegistry {
 /// The process-wide default registry (name "global").
 MetricsRegistry& registry();
 
+/// Merged (live + retained) values of one registry — the view dump() and
+/// the Prometheus exposition (obs/prometheus.hpp) serialize.
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+};
+
+/// Snapshot of every registry by name, same-named registries (live or
+/// retained) merged additively.
+[[nodiscard]] std::map<std::string, RegistrySnapshot> snapshot_all();
+
 /// JSON snapshot of every live registry plus the retained store:
 /// {"netcl_obs_version":1,"registries":{name:{"counters":{...},
 ///  "gauges":{...},"histograms":{...}},...}}. Same-named registries
-/// (live or retained) are merged additively.
-[[nodiscard]] std::string dump_string();
+/// (live or retained) are merged additively. A non-empty `meta` map is
+/// emitted as a "meta" object before "registries" — benches stamp git
+/// SHA / timestamp / transport kind there (ISSUE 4).
+[[nodiscard]] std::string dump_string(const std::map<std::string, std::string>& meta = {});
 
-/// Writes dump_string() to `path`. Returns false on I/O failure. This is
-/// what benches call to emit BENCH_*.json.
-bool dump(const std::string& path);
+/// Writes dump_string(meta) to `path`. Returns false on I/O failure. This
+/// is what benches call to emit BENCH_*.json.
+bool dump(const std::string& path, const std::map<std::string, std::string>& meta = {});
 
 /// Clears the retained store and resets every live registry — used by
 /// tests and benches that need a clean slate between runs.

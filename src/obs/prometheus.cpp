@@ -1,0 +1,106 @@
+#include "obs/prometheus.hpp"
+
+#include <cstdio>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace netcl::obs {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// One rendered sample line, grouped under a family so each family's
+/// # TYPE header is emitted exactly once even when several registries
+/// export the same metric name.
+struct Family {
+  std::string type;  // "counter" | "gauge" | "histogram"
+  std::vector<std::string> lines;
+};
+
+void add_line(std::map<std::string, Family>& families, const std::string& family,
+              const std::string& type, std::string line) {
+  Family& f = families[family];
+  f.type = type;
+  f.lines.push_back(std::move(line));
+}
+
+}  // namespace
+
+std::string prometheus_metric_name(const std::string& name) {
+  std::string out = "netcl_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string prometheus_string(const std::map<std::string, RegistrySnapshot>& snapshot) {
+  std::map<std::string, Family> families;
+  std::uint64_t packets_total = 0;
+
+  for (const auto& [registry_name, r] : snapshot) {
+    const std::string label = "{registry=\"" + registry_name + "\"}";
+
+    for (const auto& [name, value] : r.counters) {
+      std::string family = prometheus_metric_name(name);
+      if (family.size() < 6 || family.compare(family.size() - 6, 6, "_total") != 0) {
+        family += "_total";
+      }
+      add_line(families, family, "counter", family + label + " " + std::to_string(value));
+      if (name == "packets_received" || name == "packets_delivered") packets_total += value;
+    }
+
+    for (const auto& [name, value] : r.gauges) {
+      const std::string family = prometheus_metric_name(name);
+      add_line(families, family, "gauge", family + label + " " + format_double(value));
+    }
+
+    for (const auto& [name, histogram] : r.histograms) {
+      const std::string family = prometheus_metric_name(name);
+      Family& f = families[family];
+      f.type = "histogram";
+      // Cumulative buckets at the power-of-two ceilings actually hit.
+      std::uint64_t cumulative = 0;
+      for (int i = 0; i < Histogram::kBuckets; ++i) {
+        if (histogram.bucket_count(i) == 0) continue;
+        cumulative += histogram.bucket_count(i);
+        const double ceiling =
+            i + 1 >= Histogram::kBuckets ? histogram.max() : Histogram::bucket_floor(i + 1);
+        f.lines.push_back(family + "_bucket{registry=\"" + registry_name + "\",le=\"" +
+                          format_double(ceiling) + "\"} " + std::to_string(cumulative));
+      }
+      f.lines.push_back(family + "_bucket{registry=\"" + registry_name + "\",le=\"+Inf\"} " +
+                        std::to_string(histogram.count()));
+      f.lines.push_back(family + "_sum" + label + " " + format_double(histogram.sum()));
+      f.lines.push_back(family + "_count" + label + " " + std::to_string(histogram.count()));
+    }
+  }
+
+  // Aggregate traffic line the CI smoke test asserts on without knowing
+  // registry names.
+  add_line(families, "netcl_packets_total", "counter",
+           "netcl_packets_total " + std::to_string(packets_total));
+
+  std::string out;
+  for (const auto& [family, f] : families) {
+    out += "# TYPE " + family + " " + f.type + "\n";
+    for (const std::string& line : f.lines) {
+      out += line;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string prometheus_string() { return prometheus_string(snapshot_all()); }
+
+}  // namespace netcl::obs

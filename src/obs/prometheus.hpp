@@ -1,0 +1,38 @@
+// Prometheus text exposition (format 0.0.4) of the metrics snapshot
+// (ISSUE 4). netcl-swd serves this from --metrics-port; ncl-top and the
+// CI smoke test scrape it.
+//
+// Mapping from the netcl metric model:
+//  * every family is prefixed "netcl_" and the metric name is sanitized
+//    to [a-zA-Z0-9_] (dots and dashes become underscores);
+//  * counters gain a "_total" suffix and TYPE counter;
+//  * gauges keep their name and get TYPE gauge;
+//  * histograms become cumulative "_bucket{le=...}" series plus "_sum"
+//    and "_count", with le bounds at the power-of-two bucket ceilings;
+//  * every series carries a registry="<name>" label identifying which
+//    MetricsRegistry it came from;
+//  * one aggregate, unlabelled "netcl_packets_total" line sums every
+//    "*packets_received*"-style counter so a scraper can assert traffic
+//    without knowing registry names.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace netcl::obs {
+
+/// Prometheus-legal metric name: "netcl_" + name with every character
+/// outside [a-zA-Z0-9_] replaced by '_'.
+[[nodiscard]] std::string prometheus_metric_name(const std::string& name);
+
+/// Renders one snapshot (as produced by snapshot_all()) as Prometheus
+/// text. Ends with a trailing newline as the format requires.
+[[nodiscard]] std::string prometheus_string(
+    const std::map<std::string, RegistrySnapshot>& snapshot);
+
+/// prometheus_string(snapshot_all()) — the full live+retained view.
+[[nodiscard]] std::string prometheus_string();
+
+}  // namespace netcl::obs

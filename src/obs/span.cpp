@@ -1,0 +1,111 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace netcl::obs {
+
+ClockAlignment align_clocks(double host_send_ns, double host_recv_ns,
+                            double device_clock_ns) {
+  if (host_recv_ns < host_send_ns) return {};
+  return {(host_send_ns + host_recv_ns) / 2.0 - device_clock_ns, true};
+}
+
+SpanCollector::SpanCollector(Tracer& tracer, MetricsRegistry& metrics)
+    : tracer_(tracer), metrics_(metrics) {}
+
+void SpanCollector::set_clock_offset(std::uint16_t device_id, double offset_ns) {
+  offsets_[device_id] = offset_ns;
+}
+
+double SpanCollector::clock_offset(std::uint16_t device_id) const {
+  const auto it = offsets_.find(device_id);
+  return it == offsets_.end() ? 0.0 : it->second;
+}
+
+void SpanCollector::record_one_way(const SpanSample& sample) {
+  SpanSample adjusted = sample;
+  adjusted.pack_ns = 0.0;
+  adjusted.send_ns = sample.recv_ns;
+  for (const sim::TelemetryHop& hop : sample.hops) {
+    const double ingress = static_cast<double>(hop.ingress_ns) + clock_offset(hop.device_id);
+    adjusted.send_ns = std::min(adjusted.send_ns, ingress);
+  }
+  record_span(adjusted);
+}
+
+void SpanCollector::record_span(const SpanSample& sample) {
+  ++spans_;
+  span_ns_.record(sample.recv_ns - sample.send_ns);
+  for (const sim::TelemetryHop& hop : sample.hops) {
+    ++hops_;
+    hop_latency_ns_.record(static_cast<double>(hop.egress_ns - hop.ingress_ns));
+    queue_depth_.record(static_cast<double>(hop.queue_depth));
+  }
+  if (!tracer_.enabled()) return;
+
+  const std::string comp = "comp" + std::to_string(sample.computation);
+  const int host_pid = sample.host_id;
+  tracer_.set_process_name(host_pid, "host " + std::to_string(sample.host_id));
+
+  // All trace timestamps are on the host transport clock, in microseconds.
+  TraceEvent round_trip;
+  round_trip.name = comp + " round_trip";
+  round_trip.category = "telemetry";
+  round_trip.ts_us = sample.send_ns / 1e3;
+  round_trip.dur_us = (sample.recv_ns - sample.send_ns) / 1e3;
+  round_trip.pid = host_pid;
+  round_trip.tid = sample.computation;
+  round_trip.args.emplace_back("hops", std::to_string(sample.hops.size()));
+  tracer_.record_complete(std::move(round_trip));
+
+  if (sample.pack_ns > 0.0) {
+    TraceEvent pack;
+    pack.name = comp + " pack";
+    pack.category = "telemetry";
+    pack.ts_us = (sample.send_ns - sample.pack_ns) / 1e3;
+    pack.dur_us = sample.pack_ns / 1e3;
+    pack.pid = host_pid;
+    pack.tid = sample.computation;
+    tracer_.record_complete(std::move(pack));
+  }
+  if (sample.unpack_ns > 0.0) {
+    TraceEvent unpack;
+    unpack.name = comp + " unpack";
+    unpack.category = "telemetry";
+    unpack.ts_us = (sample.recv_ns - sample.unpack_ns) / 1e3;
+    unpack.dur_us = sample.unpack_ns / 1e3;
+    unpack.pid = host_pid;
+    unpack.tid = sample.computation;
+    tracer_.record_complete(std::move(unpack));
+  }
+
+  for (const sim::TelemetryHop& hop : sample.hops) {
+    const double offset = clock_offset(hop.device_id);
+    double ingress = static_cast<double>(hop.ingress_ns) + offset;
+    double egress = static_cast<double>(hop.egress_ns) + offset;
+    // The hop physically happened between send and recv; clamp residual
+    // skew so the merged trace stays monotonic.
+    const double lo = sample.send_ns;
+    const double hi = sample.recv_ns;
+    const double clamped_ingress = std::clamp(ingress, lo, hi);
+    const double clamped_egress = std::clamp(std::max(egress, ingress), lo, hi);
+    if (clamped_ingress != ingress || clamped_egress != egress) ++clamped_;
+
+    const int device_pid = kDevicePidBase + hop.device_id;
+    tracer_.set_process_name(device_pid, "device " + std::to_string(hop.device_id));
+    TraceEvent event;
+    event.name = comp + " hop";
+    event.category = "telemetry";
+    event.ts_us = clamped_ingress / 1e3;
+    event.dur_us = (clamped_egress - clamped_ingress) / 1e3;
+    event.pid = device_pid;
+    event.tid = sample.computation;
+    event.args.emplace_back("generation", std::to_string(hop.generation));
+    event.args.emplace_back("queue_depth", std::to_string(hop.queue_depth));
+    event.args.emplace_back("stage_ops", std::to_string(hop.stage_ops));
+    tracer_.record_complete(std::move(event));
+  }
+}
+
+}  // namespace netcl::obs

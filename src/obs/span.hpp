@@ -1,0 +1,95 @@
+// End-to-end span reconstruction from in-band telemetry (ISSUE 4).
+//
+// A SpanCollector receives one SpanSample per completed round trip — the
+// host's send/receive timestamps plus the TelemetryHop stamps the devices
+// appended in flight — and turns it into:
+//
+//  * int_span_ns / int_hop_latency_ns / int_queue_depth histograms in the
+//    registry it was given (obs::dump() and the Prometheus exposition pick
+//    them up), and
+//  * merged multi-process Chrome-trace events on the tracer: one pid lane
+//    per host and per device, so chrome://tracing shows host pack → device
+//    hops → host unpack for the same computation side by side.
+//
+// Device stamps are on the device's clock (fabric time for a simulated
+// switch, daemon wall clock for netcl-swd). align_clocks() estimates the
+// host-device offset from one PING/PONG exchange (the existing heartbeat);
+// the collector applies the per-device offset and then clamps hops into
+// the host's [send, recv] window so emitted spans are always monotonic
+// even under residual skew.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/telemetry.hpp"
+
+namespace netcl::obs {
+
+/// host_clock ≈ device_clock + offset_ns.
+struct ClockAlignment {
+  double offset_ns = 0.0;
+  bool valid = false;
+};
+
+/// Midpoint estimator over one request/response exchange: the device read
+/// its clock once between the host's send and receive, so the best guess
+/// places that reading at the midpoint. The error is bounded by half the
+/// round-trip time regardless of the actual (constant) skew.
+[[nodiscard]] ClockAlignment align_clocks(double host_send_ns, double host_recv_ns,
+                                          double device_clock_ns);
+
+/// One completed computation round trip, on the host transport clock.
+struct SpanSample {
+  std::uint16_t host_id = 0;
+  int computation = 0;
+  double send_ns = 0.0;    // transport clock when the request left
+  double recv_ns = 0.0;    // transport clock when the response arrived
+  double pack_ns = 0.0;    // host-side argument pack duration (wall)
+  double unpack_ns = 0.0;  // host-side argument unpack duration (wall)
+  std::vector<sim::TelemetryHop> hops;
+};
+
+class SpanCollector {
+ public:
+  /// Trace-viewer pid lanes: hosts keep their id, devices live at
+  /// kDevicePidBase + device_id (host and device id spaces overlap).
+  static constexpr int kDevicePidBase = 10000;
+
+  /// Records into `tracer` (only when it is enabled) and `metrics` (always).
+  /// Both must outlive the collector.
+  SpanCollector(Tracer& tracer, MetricsRegistry& metrics);
+
+  /// Installs the host→device clock offset for a device (from
+  /// align_clocks over a heartbeat PING/PONG). Unknown devices fall back
+  /// to offset 0 — correct for the simulator, where every clock is the
+  /// fabric clock.
+  void set_clock_offset(std::uint16_t device_id, double offset_ns);
+  [[nodiscard]] double clock_offset(std::uint16_t device_id) const;
+
+  void record_span(const SpanSample& sample);
+  /// One-way traffic (no matching send on this host, e.g. a consensus
+  /// delivery): the span window opens at the earliest aligned hop ingress
+  /// instead of sample.send_ns, which is ignored along with pack_ns.
+  void record_one_way(const SpanSample& sample);
+  [[nodiscard]] std::uint64_t spans() const { return spans_.value(); }
+
+ private:
+  Tracer& tracer_;
+  MetricsRegistry& metrics_;
+  std::map<std::uint16_t, double> offsets_;
+
+  Counter& spans_ = metrics_.counter("int_spans");
+  Counter& hops_ = metrics_.counter("int_hops");
+  /// Hops whose aligned timestamps fell outside the host's [send, recv]
+  /// window and were clamped (residual clock skew beyond the estimate).
+  Counter& clamped_ = metrics_.counter("int_clock_clamped");
+  Histogram& span_ns_ = metrics_.histogram("int_span_ns");
+  Histogram& hop_latency_ns_ = metrics_.histogram("int_hop_latency_ns");
+  Histogram& queue_depth_ = metrics_.histogram("int_queue_depth");
+};
+
+}  // namespace netcl::obs

@@ -8,6 +8,7 @@ namespace netcl::obs {
 
 void Tracer::clear() {
   events_.clear();
+  process_names_.clear();
   epoch_ = std::chrono::steady_clock::now();
 }
 
@@ -18,6 +19,23 @@ std::string Tracer::to_chrome_json() const {
   w.value("ns");
   w.key("traceEvents");
   w.begin_array();
+  for (const auto& [pid, name] : process_names_) {
+    w.begin_object();
+    w.key("name");
+    w.value("process_name");
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(pid);
+    w.key("tid");
+    w.value(1);
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value(name);
+    w.end_object();
+    w.end_object();
+  }
   for (const TraceEvent& event : events_) {
     w.begin_object();
     w.key("name");
@@ -31,9 +49,9 @@ std::string Tracer::to_chrome_json() const {
     w.key("dur");
     w.value(event.dur_us);
     w.key("pid");
-    w.value(1);
+    w.value(event.pid);
     w.key("tid");
-    w.value(1);
+    w.value(event.tid);
     if (!event.args.empty()) {
       w.key("args");
       w.begin_object();

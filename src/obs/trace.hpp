@@ -8,6 +8,7 @@
 #pragma once
 
 #include <chrono>
+#include <map>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -16,12 +17,17 @@
 namespace netcl::obs {
 
 /// One completed ("ph":"X") trace event, in microseconds since the
-/// tracer's epoch (the unit Chrome's trace format expects).
+/// tracer's epoch (the unit Chrome's trace format expects). pid/tid group
+/// events into trace-viewer process/thread lanes — cross-process telemetry
+/// spans (ISSUE 4) use one pid per host and per device so a merged trace
+/// shows every participant side by side.
 struct TraceEvent {
   std::string name;
   std::string category;
   double ts_us = 0.0;
   double dur_us = 0.0;
+  int pid = 1;
+  int tid = 1;
   std::vector<std::pair<std::string, std::string>> args;
 };
 
@@ -39,6 +45,10 @@ class Tracer {
 
   void record_complete(TraceEvent event) { events_.push_back(std::move(event)); }
 
+  /// Names a pid lane ("host 1", "device 3"): emitted as process_name
+  /// metadata events so chrome://tracing labels the lanes.
+  void set_process_name(int pid, std::string name) { process_names_[pid] = std::move(name); }
+
   [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
   void clear();
 
@@ -53,6 +63,7 @@ class Tracer {
   bool enabled_ = false;
   std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
   std::vector<TraceEvent> events_;
+  std::map<int, std::string> process_names_;
 };
 
 /// The process-wide tracer the compiler and runtime instrument against.

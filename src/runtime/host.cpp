@@ -65,13 +65,38 @@ void HostRuntime::deliver_packet(const sim::Packet& packet) {
   }
   const auto unpack_start = std::chrono::steady_clock::now();
   auto [message, args] = unpack(packet, *spec);
-  unpack_ns.record(wall_ns_since(unpack_start));
+  const double unpack_duration_ns = wall_ns_since(unpack_start);
+  unpack_ns.record(unpack_duration_ns);
   ++received;
   ++metrics_.counter("comp" + std::to_string(comp) + ".received");
   auto& pending = pending_round_trips_[comp];
   if (!pending.empty()) {
-    round_trip_ns.record(transport_->now_ns() - pending.front());
+    const PendingSend stamp = pending.front();
     pending.pop_front();
+    const double recv_ns = transport_->now_ns();
+    round_trip_ns.record(recv_ns - stamp.send_ns);
+    if (collector_ != nullptr) {
+      obs::SpanSample span;
+      span.host_id = host_id_;
+      span.computation = comp;
+      span.send_ns = stamp.send_ns;
+      span.recv_ns = recv_ns;
+      span.pack_ns = stamp.pack_ns;
+      span.unpack_ns = unpack_duration_ns;
+      span.hops = packet.telemetry.hops;
+      collector_->record_span(span);
+    }
+  } else if (collector_ != nullptr && !packet.telemetry.hops.empty()) {
+    // One-way arrival (this host never sent for this computation — e.g. a
+    // consensus delivery): the collector opens the span window at the
+    // earliest aligned hop instead of a send stamp.
+    obs::SpanSample span;
+    span.host_id = host_id_;
+    span.computation = comp;
+    span.recv_ns = transport_->now_ns();
+    span.unpack_ns = unpack_duration_ns;
+    span.hops = packet.telemetry.hops;
+    collector_->record_one_way(span);
   }
   receiver_(message, args);
 }
@@ -96,7 +121,11 @@ void HostRuntime::send(Message message, const sim::ArgValues& args) {
   message.src = host_id_;
   const auto pack_start = std::chrono::steady_clock::now();
   sim::Packet packet = pack(message, *spec, args);
-  pack_ns.record(wall_ns_since(pack_start));
+  const double pack_duration_ns = wall_ns_since(pack_start);
+  pack_ns.record(pack_duration_ns);
+  // With a collector attached, ask devices on the path to stamp INT hops
+  // (sets the wire flag bit and appends the trailer at serialization).
+  if (collector_ != nullptr) packet.telemetry.requested = true;
   if (detector_ != nullptr && !detector_->up() && handle_down_send(packet, message.comp)) {
     return;
   }
@@ -107,7 +136,7 @@ void HostRuntime::send(Message message, const sim::ArgValues& args) {
     pending.pop_front();
     ++dropped_stale_round_trip;
   }
-  pending.push_back(transport_->now_ns());
+  pending.push_back({transport_->now_ns(), pack_duration_ns});
   transport_->send(std::move(packet));
   ++sent;
   ++metrics_.counter("comp" + std::to_string(message.comp) + ".sent");
@@ -132,7 +161,7 @@ bool HostRuntime::handle_down_send(sim::Packet& packet, int computation) {
       ++fallback_host_executed;
       ++sent;
       ++metrics_.counter("comp" + std::to_string(computation) + ".sent");
-      pending_round_trips_[computation].push_back(transport_->now_ns());
+      pending_round_trips_[computation].push_back({transport_->now_ns(), 0.0});
       std::optional<sim::Packet> response = host_executor_->execute(packet, host_id_);
       if (response.has_value()) deliver_packet(*response);
       return true;
@@ -160,7 +189,9 @@ void HostRuntime::flush_queue() {
       pending.pop_front();
       ++dropped_stale_round_trip;
     }
-    pending.push_back(transport_->now_ns());
+    // Pack happened back when the send was queued; its duration was
+    // recorded then and is not re-attributed to this span.
+    pending.push_back({transport_->now_ns(), 0.0});
     transport_->send(std::move(packet));
     ++sent;
     ++fallback_flushed;
@@ -219,6 +250,21 @@ bool DeviceConnection::ping(std::uint32_t& generation) {
   if (fabric_ == nullptr || device_ == nullptr) return false;
   if (fabric_->device_down(device_id_)) return false;
   generation = device_->generation();
+  return true;
+}
+
+bool DeviceConnection::ping(std::uint32_t& generation, std::uint64_t& device_clock_ns) {
+  if (remote_ != nullptr) {
+    std::uint16_t id = 0;
+    return remote_->ping(id, generation, device_clock_ns);
+  }
+  if (fabric_ == nullptr || device_ == nullptr) return false;
+  if (fabric_->device_down(device_id_)) return false;
+  generation = device_->generation();
+  // Sim devices stamp hops in fabric time, which is also what a
+  // SimTransport's now_ns() reports — one shared clock, offset zero by
+  // construction, and this readback lets callers verify that.
+  device_clock_ns = static_cast<std::uint64_t>(fabric_->now());
   return true;
 }
 

@@ -33,6 +33,7 @@
 #include "net/control.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "runtime/error.hpp"
 #include "runtime/failure.hpp"
 #include "runtime/host_exec.hpp"
@@ -91,6 +92,16 @@ class HostRuntime {
   /// Invoked for every NetCL packet arriving at this host.
   using Receiver = std::function<void(const Message&, sim::ArgValues&)>;
   void on_receive(Receiver receiver);
+
+  // --- in-band telemetry (ISSUE 4) ------------------------------------------
+  /// While a collector is attached (not owned; must outlive this runtime,
+  /// nullptr detaches), every send sets the packet's telemetry flag —
+  /// devices on the path append INT hop stamps — and every matched
+  /// response is folded into the collector as one end-to-end span (host
+  /// pack → device hops → host unpack). Off by default: without a
+  /// collector the wire bytes are exactly the pre-telemetry layout.
+  void enable_telemetry(obs::SpanCollector* collector) { collector_ = collector; }
+  [[nodiscard]] obs::SpanCollector* telemetry_collector() { return collector_; }
 
   // --- failure handling (ISSUE 3) -------------------------------------------
   /// Wires a detector (not owned; must outlive this runtime). While it
@@ -158,8 +169,16 @@ class HostRuntime {
   std::uint16_t host_id_;
   std::map<int, KernelSpec> specs_;
   Receiver receiver_;
-  /// Transport-clock send times awaiting a response, per computation (FIFO).
-  std::map<int, std::deque<double>> pending_round_trips_;
+  obs::SpanCollector* collector_ = nullptr;  // not owned
+  /// One outstanding send awaiting its response: the transport-clock send
+  /// time (round-trip matching) plus the wall-clock pack duration
+  /// (telemetry spans).
+  struct PendingSend {
+    double send_ns = 0.0;
+    double pack_ns = 0.0;
+  };
+  /// Send stamps awaiting a response, per computation (FIFO).
+  std::map<int, std::deque<PendingSend>> pending_round_trips_;
   std::set<std::string> warned_;
   // Failure handling (ISSUE 3).
   FailureDetector* detector_ = nullptr;  // not owned
@@ -195,6 +214,11 @@ class DeviceConnection {
   /// generation. Sim devices are unreachable while the fabric has them
   /// crashed. This is what a FailureDetector's ProbeFn should call.
   bool ping(std::uint32_t& generation);
+  /// Heartbeat plus the device's telemetry clock — the clockbase its INT
+  /// hop stamps use (fabric time for sim devices, daemon uptime for
+  /// netcl-swd). Bracket with transport timestamps and feed all three to
+  /// obs::align_clocks() to place device spans on the host clock.
+  bool ping(std::uint32_t& generation, std::uint64_t& device_clock_ns);
   /// Last transport-level failure from the remote control client (empty
   /// for sim devices, which cannot time out).
   [[nodiscard]] Error last_error() const;

@@ -199,6 +199,15 @@ void Fabric::deliver(const Event& event) {
       ++dev->stats.drops_action;
       return;
     }
+    // INT stamp (ISSUE 4): ingress on arrival, egress once the pipeline
+    // latency is paid, queue depth = fabric events pending at delivery.
+    // Stamped before the multicast fan-out so every copy carries the hop.
+    if (packet.telemetry.requested) {
+      stamp_hop(packet.telemetry,
+                {dev->device_id(), dev->generation(), static_cast<std::uint64_t>(now_),
+                 static_cast<std::uint64_t>(ready_time),
+                 static_cast<std::uint32_t>(events_.size()), outcome.stage_ops});
+    }
     if (decision.multicast) {
       ++packets_multicast;
       ++dev->stats.multicasts;
@@ -222,6 +231,12 @@ void Fabric::deliver(const Event& event) {
     // No-op transit through a device that was not asked to compute (§IV).
     ready_time += dev->pipeline_latency_ns() * 0.5;
     ++dev->stats.transits;
+    if (packet.telemetry.requested) {
+      stamp_hop(packet.telemetry,
+                {dev->device_id(), dev->generation(), static_cast<std::uint64_t>(now_),
+                 static_cast<std::uint64_t>(ready_time),
+                 static_cast<std::uint32_t>(events_.size()), 0});
+    }
   }
   forward(event.at, std::move(packet), ready_time);
 }

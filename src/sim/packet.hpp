@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "frontend/sema.hpp"
+#include "sim/telemetry.hpp"
 
 namespace netcl::sim {
 
@@ -36,11 +37,17 @@ struct Packet {
   bool has_netcl = false;
   NetclHeader netcl;
   std::vector<std::uint8_t> payload;  // encoded kernel arguments
+  /// In-band telemetry (ISSUE 4): empty and unrequested unless the sender
+  /// set kFlagTelemetry, in which case each hop appends a stamp. On the
+  /// wire the hops travel in a trailer after the payload.
+  TelemetryRecord telemetry;
 
-  /// Approximate on-wire size: ETH(14)+IP(20)+UDP(8) + netcl + payload.
+  /// Approximate on-wire size: ETH(14)+IP(20)+UDP(8) + netcl + payload
+  /// (+ INT trailer when requested).
   [[nodiscard]] int wire_bytes() const {
     return 14 + 20 + 8 + (has_netcl ? NetclHeader::kWireBytes : 0) +
-           static_cast<int>(payload.size());
+           static_cast<int>(payload.size()) +
+           (telemetry.requested ? static_cast<int>(trailer_bytes(telemetry.hops.size())) : 0);
   }
 };
 

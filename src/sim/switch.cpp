@@ -79,6 +79,7 @@ ComputeOutcome SwitchDevice::execute(int computation, ArgValues& args,
         stats.stage_executions.resize(static_cast<std::size_t>(li.stage) + 1, 0);
       }
       ++stats.stage_executions[static_cast<std::size_t>(li.stage)];
+      ++outcome.stage_ops;
     }
 
     switch (inst.op()) {

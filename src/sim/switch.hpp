@@ -27,6 +27,10 @@ struct ComputeOutcome {
   ActionKind action = ActionKind::Pass;
   std::uint16_t target = 0;  // host / device / multicast-group id
   bool executed = false;     // false: no kernel for the computation (no-op)
+  /// Guard-true operations this packet executed across all pipeline stages
+  /// (the per-packet slice of DeviceStats::stage_executions) — what an INT
+  /// stamp reports as stage occupancy.
+  std::uint32_t stage_ops = 0;
 };
 
 /// Read/write access totals for one register array.

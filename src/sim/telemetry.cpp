@@ -1,0 +1,70 @@
+#include "sim/telemetry.hpp"
+
+namespace netcl::sim {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  for (int b = 0; b < 2; ++b) out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int b = 0; b < 4; ++b) out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+}
+
+std::uint64_t get(std::span<const std::uint8_t> data, std::size_t pos, int bytes) {
+  std::uint64_t v = 0;
+  for (int b = 0; b < bytes; ++b) v |= static_cast<std::uint64_t>(data[pos + b]) << (8 * b);
+  return v;
+}
+
+}  // namespace
+
+bool stamp_hop(TelemetryRecord& record, const TelemetryHop& hop) {
+  if (record.hops.size() >= kMaxTelemetryHops) return false;
+  record.hops.push_back(hop);
+  return true;
+}
+
+void append_trailer(std::vector<std::uint8_t>& out, const TelemetryRecord& record) {
+  out.push_back(static_cast<std::uint8_t>(record.hops.size()));
+  for (const TelemetryHop& hop : record.hops) {
+    put_u16(out, hop.device_id);
+    put_u32(out, hop.generation);
+    put_u64(out, hop.ingress_ns);
+    put_u64(out, hop.egress_ns);
+    put_u32(out, hop.queue_depth);
+    put_u32(out, hop.stage_ops);
+  }
+}
+
+bool parse_trailer(std::span<const std::uint8_t> data, TelemetryRecord& out) {
+  if (data.empty()) return false;
+  const std::size_t count = data[0];
+  if (count > kMaxTelemetryHops) return false;
+  // Exactly one trailer: a truncated or oversized tail is a malformed
+  // packet, not something to guess about.
+  if (data.size() != trailer_bytes(count)) return false;
+  out.requested = true;
+  out.hops.clear();
+  out.hops.reserve(count);
+  std::size_t pos = 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    TelemetryHop hop;
+    hop.device_id = static_cast<std::uint16_t>(get(data, pos, 2));
+    hop.generation = static_cast<std::uint32_t>(get(data, pos + 2, 4));
+    hop.ingress_ns = get(data, pos + 6, 8);
+    hop.egress_ns = get(data, pos + 14, 8);
+    hop.queue_depth = static_cast<std::uint32_t>(get(data, pos + 22, 4));
+    hop.stage_ops = static_cast<std::uint32_t>(get(data, pos + 26, 4));
+    out.hops.push_back(hop);
+    pos += TelemetryHop::kWireBytes;
+  }
+  return true;
+}
+
+}  // namespace netcl::sim

@@ -1,0 +1,75 @@
+// In-band telemetry (INT) records carried by NetCL packets (ISSUE 4).
+//
+// When a host requests telemetry (kFlagTelemetry in the NetCL header),
+// every hop — a simulated switch on the fabric clock, or a netcl-swd
+// daemon on its wall clock — appends one fixed-layout TelemetryHop to the
+// packet before forwarding it. On the wire the hops travel in a trailer
+// after the kernel-arg payload (net/wire.cpp); inside the simulator they
+// ride the Packet struct directly, so both paths stamp identically.
+//
+// Default-off invariant: with telemetry unrequested no hop is ever
+// appended, the wire bytes are exactly the pre-INT layout, and no clock or
+// RNG is touched — seeded simulations stay byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace netcl::sim {
+
+/// NetCL header flag bit: the source host asked every hop to stamp the
+/// packet with a TelemetryHop.
+inline constexpr std::uint8_t kFlagTelemetry = 0x01;
+
+/// One device's stamp. Timestamps are on the *device's* clock (fabric
+/// nanoseconds for a simulated switch, daemon-epoch wall nanoseconds for
+/// netcl-swd); the host aligns them via obs::align_clocks.
+struct TelemetryHop {
+  std::uint16_t device_id = 0;
+  /// Device boot counter (bumps on restart), so a span can attribute hops
+  /// to the exact device incarnation that produced them.
+  std::uint32_t generation = 0;
+  std::uint64_t ingress_ns = 0;  // packet entered the device
+  std::uint64_t egress_ns = 0;   // forwarding decision made / pipeline paid
+  /// Device-local queue occupancy at ingress: pending fabric events for a
+  /// simulated switch, position within the current receive burst for swd.
+  std::uint32_t queue_depth = 0;
+  /// Guard-true operations the kernel executed for this packet across all
+  /// pipeline stages (0 for transit hops and no-op kernels).
+  std::uint32_t stage_ops = 0;
+
+  static constexpr std::size_t kWireBytes = 2 + 4 + 8 + 8 + 4 + 4;
+
+  friend bool operator==(const TelemetryHop&, const TelemetryHop&) = default;
+};
+
+/// The per-packet record: requested by the sender, grown by each hop.
+struct TelemetryRecord {
+  bool requested = false;
+  std::vector<TelemetryHop> hops;
+
+  friend bool operator==(const TelemetryRecord&, const TelemetryRecord&) = default;
+};
+
+/// Hops beyond this are not stamped (the trailer's count is one byte, and
+/// a forwarding loop must not grow packets without bound).
+inline constexpr std::size_t kMaxTelemetryHops = 15;
+
+/// Appends a hop, enforcing kMaxTelemetryHops. Returns false (record
+/// unchanged) when the packet already carries the maximum.
+bool stamp_hop(TelemetryRecord& record, const TelemetryHop& hop);
+
+/// Wire codec for the trailer: u8 hop count, then count fixed-layout hops,
+/// all little-endian. append_trailer writes it after whatever `out`
+/// already holds; parse_trailer requires `data` to be exactly one trailer
+/// (no slack) and rejects counts above kMaxTelemetryHops.
+void append_trailer(std::vector<std::uint8_t>& out, const TelemetryRecord& record);
+[[nodiscard]] bool parse_trailer(std::span<const std::uint8_t> data, TelemetryRecord& out);
+
+/// Serialized trailer size for a record with `hops` stamps.
+[[nodiscard]] constexpr std::size_t trailer_bytes(std::size_t hops) {
+  return 1 + hops * TelemetryHop::kWireBytes;
+}
+
+}  // namespace netcl::sim
