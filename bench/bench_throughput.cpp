@@ -1,0 +1,186 @@
+// Transport v2 data-plane throughput (ISSUE 5): batched vs per-packet.
+//
+// Two UdpTransports on loopback: the sender pushes AGG-shaped packets
+// (12-byte NetCL header + 64-byte payload, the wire shape of one AGG
+// contribution row) and the receiver drains them through the batch
+// receiver. Two configurations of the identical pipeline:
+//
+//   per_packet  send() one packet at a time, max_syscall_batch = 1 — the
+//               v1 API shape: one sendto-equivalent syscall per datagram
+//               on both sides;
+//   batched     send_batch() of 32, max_syscall_batch = 32 — one
+//               sendmmsg/recvmmsg syscall moves up to 32 datagrams.
+//
+// Headline numbers, written as gauges to registry "throughput" and dumped
+// to BENCH_throughput.json (CI asserts batched pps >= per-packet pps):
+//   <mode>.pps                  end-to-end packets/s (received / elapsed)
+//   <mode>.syscalls_per_packet  tx-side syscalls per packet sent
+//   batched_vs_per_packet_speedup
+//
+//   bench_throughput [--packets N] [--smoke]
+//
+// --smoke caps the run at 2000 packets per mode for CI smoke steps.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "net/udp_transport.hpp"
+#include "obs/metrics.hpp"
+#include "sim/packet.hpp"
+
+namespace {
+
+using namespace netcl;
+
+constexpr std::size_t kBurst = net::UdpTransport::kMaxBatch;  // 32
+constexpr std::size_t kPayloadBytes = 64;
+
+sim::Packet make_packet(std::uint64_t seq) {
+  sim::Packet packet;
+  packet.has_netcl = true;
+  packet.netcl.src = 1;
+  packet.netcl.to = 1;
+  packet.netcl.comp = 1;
+  packet.payload.resize(kPayloadBytes);
+  for (std::size_t i = 0; i < kPayloadBytes; ++i) {
+    packet.payload[i] = static_cast<std::uint8_t>(seq + i);
+  }
+  return packet;
+}
+
+struct ModeResult {
+  bool ok = false;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  double seconds = 0.0;
+  double pps = 0.0;
+  double tx_syscalls_per_packet = 0.0;
+};
+
+ModeResult run_mode(const char* mode, bool batched, std::uint64_t total_packets) {
+  ModeResult result;
+
+  net::UdpTransport::Options rx_options;
+  rx_options.metrics_name = std::string("throughput.rx.") + mode;
+  rx_options.max_syscall_batch = batched ? kBurst : 1;
+  net::UdpTransport rx(rx_options);
+  if (!rx.valid()) {
+    std::fprintf(stderr, "FATAL: rx transport: %s\n", rx.error().c_str());
+    return result;
+  }
+
+  net::UdpTransport::Options tx_options;
+  tx_options.metrics_name = std::string("throughput.tx.") + mode;
+  tx_options.peer_host = "127.0.0.1";
+  tx_options.peer_port = rx.local_port();
+  tx_options.max_syscall_batch = batched ? kBurst : 1;
+  net::UdpTransport tx(tx_options);
+  if (!tx.valid()) {
+    std::fprintf(stderr, "FATAL: tx transport: %s\n", tx.error().c_str());
+    return result;
+  }
+
+  std::uint64_t received = 0;
+  rx.set_batch_receiver(
+      [&received](std::span<const sim::Packet> batch) { received += batch.size(); });
+
+  std::vector<sim::Packet> batch(kBurst);
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t sent = 0;
+  while (sent < total_packets) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(kBurst, total_packets - sent));
+    for (std::size_t i = 0; i < n; ++i) batch[i] = make_packet(sent + i);
+    if (batched) {
+      tx.send_batch({batch.data(), n});
+    } else {
+      for (std::size_t i = 0; i < n; ++i) tx.send(std::move(batch[i]));
+    }
+    sent += n;
+    // Flow control: drain the receiver after every burst so the loopback
+    // socket buffer never overflows. One poll normally catches the whole
+    // burst; stop early instead of spinning if a datagram really vanished.
+    while (received < sent) {
+      const std::uint64_t before = received;
+      rx.poll_once(0);
+      if (received == before) break;
+    }
+  }
+  // Late stragglers (if any poll above bailed early).
+  rx.run_until([&] { return received >= sent; }, 200e6);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  result.ok = true;
+  result.sent = sent;
+  result.received = received;
+  result.seconds = seconds;
+  result.pps = seconds > 0.0 ? static_cast<double>(received) / seconds : 0.0;
+  result.tx_syscalls_per_packet =
+      sent > 0 ? static_cast<double>(tx.send_syscalls.value()) / static_cast<double>(sent)
+               : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace netcl::bench;
+
+  std::uint64_t total_packets = 100000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      total_packets = 2000;
+    } else if (std::strcmp(argv[i], "--packets") == 0 && i + 1 < argc) {
+      total_packets = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--packets N] [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  obs::reset_all();
+  std::printf("Transport v2 throughput: %llu AGG-shaped packets/mode, %zu-byte payload\n",
+              static_cast<unsigned long long>(total_packets), kPayloadBytes);
+  print_rule(72);
+  std::printf("%-12s %12s %12s %10s %14s\n", "mode", "pps", "received", "seconds",
+              "tx syscalls/p");
+  print_rule(72);
+
+  const ModeResult per_packet = run_mode("per_packet", false, total_packets);
+  const ModeResult batched = run_mode("batched", true, total_packets);
+  if (!per_packet.ok || !batched.ok) return 1;
+  for (const auto& [mode, r] :
+       {std::pair<const char*, const ModeResult&>{"per_packet", per_packet},
+        std::pair<const char*, const ModeResult&>{"batched", batched}}) {
+    std::printf("%-12s %12.3e %12llu %10.3f %14.3f\n", mode, r.pps,
+                static_cast<unsigned long long>(r.received), r.seconds,
+                r.tx_syscalls_per_packet);
+  }
+  print_rule(72);
+  const double speedup = per_packet.pps > 0.0 ? batched.pps / per_packet.pps : 0.0;
+  std::printf("batched vs per-packet speedup: %.2fx (ISSUE 5 target: >= 2x full run)\n",
+              speedup);
+
+  obs::MetricsRegistry summary("throughput");
+  summary.gauge("per_packet.pps").set(per_packet.pps);
+  summary.gauge("per_packet.syscalls_per_packet").set(per_packet.tx_syscalls_per_packet);
+  summary.gauge("batched.pps").set(batched.pps);
+  summary.gauge("batched.syscalls_per_packet").set(batched.tx_syscalls_per_packet);
+  summary.gauge("batched_vs_per_packet_speedup").set(speedup);
+
+  // Delivery sanity: a bench that lost packets measured the wrong thing.
+  if (per_packet.received != per_packet.sent || batched.received != batched.sent) {
+    std::fprintf(stderr, "FATAL: packets lost on loopback (per_packet %llu/%llu, "
+                 "batched %llu/%llu)\n",
+                 static_cast<unsigned long long>(per_packet.received),
+                 static_cast<unsigned long long>(per_packet.sent),
+                 static_cast<unsigned long long>(batched.received),
+                 static_cast<unsigned long long>(batched.sent));
+    return 1;
+  }
+  return write_bench_json("throughput", "udp") ? 0 : 1;
+}

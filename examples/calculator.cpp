@@ -16,8 +16,11 @@ int main(int argc, char** argv) {
       config.telemetry = true;
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       config.trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc) {
+      config.transport_uri = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--telemetry] [--trace-out <file>]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--telemetry] [--trace-out <file>] [--transport <uri>]\n",
+                   argv[0]);
       return 2;
     }
   }

@@ -100,7 +100,12 @@ int main() {
   //    side over the control plane.
   runtime::DeviceConnection connection(fabric, 1);
   std::uint64_t count = 0;
-  connection.managed_read("cms", count, {0, xor16_u64(9, 4)});
+  if (const runtime::Error err =
+          connection.managed_read_e("cms", count, {0, xor16_u64(9, 4)});
+      !err.ok()) {
+    std::fprintf(stderr, "[host] managed_read failed: %s\n", err.to_string().c_str());
+    return 1;
+  }
   std::printf("[host] cms[0][...] for the missed key is now %llu (via ncl::managed_read)\n",
               static_cast<unsigned long long>(count));
   return 0;

@@ -112,8 +112,12 @@ int main() {
                 static_cast<unsigned long long>(count));
   }
   std::uint64_t bytes = 0;
-  connection.managed_read("flow_bytes", bytes,
-                          {static_cast<std::uint64_t>(crc16_u64(101, 4) & 4095)});
+  if (const runtime::Error err = connection.managed_read_e(
+          "flow_bytes", bytes, {static_cast<std::uint64_t>(crc16_u64(101, 4) & 4095)});
+      !err.ok()) {
+    std::fprintf(stderr, "managed_read failed: %s\n", err.to_string().c_str());
+    return 1;
+  }
   std::printf("\nflow 101 accumulated %llu bytes (ncl::managed_read)\n",
               static_cast<unsigned long long>(bytes));
   return 0;

@@ -34,6 +34,7 @@
 
 #include "apps/sources.hpp"
 #include "driver/compiler.hpp"
+#include "net/factory.hpp"
 #include "net/swd_server.hpp"
 #include "net/udp_transport.hpp"
 #include "obs/metrics.hpp"
@@ -160,15 +161,21 @@ int main(int argc, char** argv) {
                 server->control_port());
   }
 
-  net::UdpTransport::Options transport_options;
-  transport_options.peer_host = connect_host;
-  transport_options.peer_port = connect_port;
-  net::UdpTransport transport(transport_options);
-  int rc = 0;
-  if (!transport.valid()) {
-    std::fprintf(stderr, "udp transport: %s\n", transport.error().c_str());
-    rc = 1;
+  // The URI factory (ISSUE 5) is the one place transports are built; the
+  // same string with a sim:// scheme would route through the fabric.
+  std::string transport_error;
+  std::unique_ptr<net::Transport> transport_ptr = net::make_transport(
+      "udp://" + connect_host + ":" + std::to_string(connect_port), {}, &transport_error);
+  if (transport_ptr == nullptr) {
+    std::fprintf(stderr, "udp transport: %s\n", transport_error.c_str());
+    if (server != nullptr) {
+      server->stop();
+      serving.join();
+    }
+    return 1;
   }
+  auto& transport = static_cast<net::UdpTransport&>(*transport_ptr);
+  int rc = 0;
 
   // Telemetry (ISSUE 4): run-local tracer/collector; the run is untouched
   // when telemetry is off.
@@ -187,15 +194,19 @@ int main(int argc, char** argv) {
       obs::ClockAlignment best;
       double best_rtt_ns = 0.0;
       for (int probe = 0; control.valid() && probe < 5; ++probe) {
-        std::uint32_t generation = 0;
-        std::uint64_t device_clock_ns = 0;
+        runtime::PingInfo info;
         const double ping_send_ns = transport.now_ns();
-        if (!control.ping(generation, device_clock_ns)) break;
+        // Typed form (ISSUE 5): a failed heartbeat says why it failed.
+        if (const runtime::Error err = control.ping_e(info); !err.ok()) {
+          std::fprintf(stderr, "udp_calc: clock-alignment ping failed: %s\n",
+                       err.to_string().c_str());
+          break;
+        }
         const double ping_recv_ns = transport.now_ns();
         const double rtt_ns = ping_recv_ns - ping_send_ns;
         if (!best.valid || rtt_ns < best_rtt_ns) {
           best = obs::align_clocks(ping_send_ns, ping_recv_ns,
-                                   static_cast<double>(device_clock_ns));
+                                   static_cast<double>(info.device_clock_ns));
           best_rtt_ns = rtt_ns;
         }
       }

@@ -1,8 +1,10 @@
 #include "apps/agg.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "apps/sources.hpp"
+#include "net/factory.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "runtime/host.hpp"
@@ -114,7 +116,19 @@ AggResult run_agg(const AggConfig& config) {
   std::vector<sim::NodeRef> group;
   for (int w = 0; w < config.num_workers; ++w) {
     WorkerState& state = harness.workers[static_cast<std::size_t>(w)];
-    state.runtime = std::make_unique<HostRuntime>(fabric, static_cast<std::uint16_t>(w + 1));
+    // Transport routing goes through the URI factory (ISSUE 5), the same
+    // path udp_calc takes to real sockets.
+    net::TransportContext context;
+    context.fabric = &fabric;
+    context.host_id = static_cast<std::uint16_t>(w + 1);
+    std::string transport_error;
+    auto transport = net::make_transport(config.transport_uri, context, &transport_error);
+    if (transport == nullptr) {
+      result.error = "transport '" + config.transport_uri + "': " + transport_error;
+      return result;
+    }
+    state.runtime = std::make_unique<HostRuntime>(std::move(transport),
+                                                  static_cast<std::uint16_t>(w + 1));
     state.runtime->register_spec(1, spec);
     if (collector != nullptr) state.runtime->enable_telemetry(collector.get());
     fabric.connect(sim::host_ref(static_cast<std::uint16_t>(w + 1)), sim::device_ref(1), link);
@@ -138,6 +152,19 @@ AggResult run_agg(const AggConfig& config) {
           s.runtime->send(Message(static_cast<std::uint16_t>(worker + 1), 0, 1, 1),
                           contribution(harness, spec, worker, chunk));
         });
+    // Window priming emits the first window-full as one send_batch (ISSUE
+    // 5): same packets, same order, one transport call — retransmissions
+    // and the acknowledge_slot chains stay on the per-chunk path above.
+    state.window->set_batch_start([&harness, &spec, worker](std::span<const int> chunks) {
+      WorkerState& s = harness.workers[static_cast<std::size_t>(worker)];
+      std::vector<HostRuntime::Outbound> batch;
+      batch.reserve(chunks.size());
+      for (const int chunk : chunks) {
+        batch.push_back({Message(static_cast<std::uint16_t>(worker + 1), 0, 1, 1),
+                         contribution(harness, spec, worker, chunk)});
+      }
+      s.runtime->send_batch(batch);
+    });
 
     state.runtime->on_receive([&harness, worker](const Message&, ArgValues& args) {
       Harness& h = harness;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "driver/compiler.hpp"
@@ -45,6 +46,11 @@ struct AggConfig {
   /// Write the merged multi-process Chrome-trace JSON here after the run
   /// (implies telemetry; empty = no trace file).
   std::string trace_out;
+  /// Transport factory URI (ISSUE 5): every worker HostRuntime is built
+  /// through net::make_transport. The in-process workload needs the
+  /// discrete-event fabric, so only "sim://..." resolves here, but the
+  /// plumbing is the same one udp_calc uses for real sockets.
+  std::string transport_uri = "sim://fabric";
 };
 
 struct AggResult {

@@ -1,5 +1,8 @@
 #include "apps/cache.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "apps/sources.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
@@ -8,6 +11,7 @@
 namespace netcl::apps {
 
 using runtime::DeviceConnection;
+using runtime::Error;
 using runtime::HostRuntime;
 using runtime::Message;
 using sim::ArgValues;
@@ -64,20 +68,29 @@ CacheResult run_cache(const CacheConfig& config) {
   fabric.connect(sim::host_ref(1), sim::device_ref(1), link);
   fabric.connect(sim::host_ref(2), sim::device_ref(1), link);
 
-  // The storage controller populates the cache over the control plane.
+  // The storage controller populates the cache over the control plane. The
+  // typed forms (ISSUE 5) make a bad memory name or table key loud instead
+  // of a silent false.
   DeviceConnection controller(fabric, 1);
-  controller.managed_write("thresh", config.hot_threshold);
+  auto must = [](const Error& err) {
+    if (!err.ok()) {
+      std::fprintf(stderr, "cache: control-plane populate failed: %s\n",
+                   err.to_string().c_str());
+      std::abort();
+    }
+  };
+  must(controller.managed_write_e("thresh", config.hot_threshold));
   const std::uint32_t full_mask =
       config.val_words >= 32 ? 0xFFFFFFFFu : (1u << config.val_words) - 1;
   for (int key = 0; key < config.cached_keys; ++key) {
     const auto idx = static_cast<std::uint64_t>(key);
-    controller.insert("KeyIndex", static_cast<std::uint64_t>(key), idx);
-    controller.insert("WordMask", static_cast<std::uint64_t>(key), full_mask);
+    must(controller.insert_e("KeyIndex", static_cast<std::uint64_t>(key), idx));
+    must(controller.insert_e("WordMask", static_cast<std::uint64_t>(key), full_mask));
     for (int word = 0; word < config.val_words; ++word) {
-      controller.managed_write("Values", value_word(key, word),
-                               {static_cast<std::uint64_t>(word), idx});
+      must(controller.managed_write_e("Values", value_word(key, word),
+                                      {static_cast<std::uint64_t>(word), idx}));
     }
-    controller.managed_write("Valid", 1, {idx});
+    must(controller.managed_write_e("Valid", 1, {idx}));
   }
 
   // KVS server: answer misses after a fixed processing delay; count hot

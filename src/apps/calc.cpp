@@ -1,6 +1,7 @@
 #include "apps/calc.hpp"
 
 #include "apps/sources.hpp"
+#include "net/factory.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "runtime/host.hpp"
@@ -27,7 +28,16 @@ CalcResult run_calc(const CalcConfig& config) {
   result.stages_used = compiled.allocation.stages_used;
 
   sim::Fabric fabric(config.seed);
-  HostRuntime client(fabric, 1);
+  net::TransportContext context;
+  context.fabric = &fabric;
+  context.host_id = 1;
+  std::string transport_error;
+  auto transport = net::make_transport(config.transport_uri, context, &transport_error);
+  if (transport == nullptr) {
+    result.error = "transport '" + config.transport_uri + "': " + transport_error;
+    return result;
+  }
+  HostRuntime client(std::move(transport), 1);
   client.register_spec(1, spec);
   fabric.add_device(driver::make_device(std::move(compiled), 1));
   fabric.connect(sim::host_ref(1), sim::device_ref(1));

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "apps/sources.hpp"
+#include "net/factory.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "runtime/host.hpp"
@@ -65,8 +66,22 @@ PaxosResult run_paxos(const PaxosConfig& config) {
   }
   fabric.set_multicast_group(kPaxosLeaderDevice, kPaxosAcceptorGroup, acceptor_group);
 
-  HostRuntime proposer(fabric, 1);
-  HostRuntime application(fabric, 2);
+  auto transport_for = [&](std::uint16_t host_id) {
+    net::TransportContext context;
+    context.fabric = &fabric;
+    context.host_id = host_id;
+    std::string transport_error;
+    auto transport = net::make_transport(config.transport_uri, context, &transport_error);
+    if (transport == nullptr) {
+      result.error = "transport '" + config.transport_uri + "': " + transport_error;
+    }
+    return transport;
+  };
+  auto proposer_transport = transport_for(1);
+  auto application_transport = transport_for(2);
+  if (proposer_transport == nullptr || application_transport == nullptr) return result;
+  HostRuntime proposer(std::move(proposer_transport), 1);
+  HostRuntime application(std::move(application_transport), 2);
   proposer.register_spec(1, spec);
   application.register_spec(1, spec);
 

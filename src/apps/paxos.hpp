@@ -29,6 +29,8 @@ struct PaxosConfig {
   /// Write the merged Chrome-trace JSON here after the run (implies
   /// telemetry; empty = no trace file).
   std::string trace_out;
+  /// Transport factory URI (ISSUE 5); see AggConfig::transport_uri.
+  std::string transport_uri = "sim://fabric";
 };
 
 struct PaxosResult {

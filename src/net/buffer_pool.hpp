@@ -1,0 +1,54 @@
+// Recycled wire buffers for the data-plane fast path (ISSUE 5).
+//
+// serialize_packet() used to return a fresh std::vector per packet, which
+// at batch-32 rates makes the allocator a bigger cost than the kernel.
+// A BufferPool hands out empty vectors that keep their previously grown
+// capacity, so steady-state serialization allocates nothing: UdpTransport,
+// SwdServer, and the control plane acquire a buffer, serialize into it
+// (the serialize_packet overload in net/wire.hpp writes into caller
+// storage), transmit, and release the buffer back.
+//
+// Single-threaded by design, like the event loops that own one — each
+// UdpTransport/SwdServer has its own pool; nothing is shared across
+// threads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace netcl::net {
+
+class BufferPool {
+ public:
+  /// At most `max_buffers` are retained; releases beyond that free their
+  /// memory (a burst does not pin its high-water mark forever).
+  explicit BufferPool(std::size_t max_buffers = 64) : max_buffers_(max_buffers) {}
+
+  /// An empty buffer, with whatever capacity its previous life grew.
+  [[nodiscard]] std::vector<std::uint8_t> acquire() {
+    if (free_.empty()) return {};
+    std::vector<std::uint8_t> buffer = std::move(free_.back());
+    free_.pop_back();
+    buffer.clear();  // keeps capacity
+    ++reuses_;
+    return buffer;
+  }
+
+  /// Returns a buffer to the pool (contents irrelevant; cleared on reuse).
+  void release(std::vector<std::uint8_t>&& buffer) {
+    if (free_.size() >= max_buffers_) return;  // let it free
+    free_.push_back(std::move(buffer));
+  }
+
+  /// Buffers currently idle in the pool.
+  [[nodiscard]] std::size_t pooled() const { return free_.size(); }
+  /// acquire() calls served from the pool instead of a fresh allocation.
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+
+ private:
+  std::vector<std::vector<std::uint8_t>> free_;
+  std::size_t max_buffers_;
+  std::uint64_t reuses_ = 0;
+};
+
+}  // namespace netcl::net

@@ -269,22 +269,26 @@ bool ControlClient::roundtrip(const ByteWriter& request, std::vector<std::uint8_
   framed.u64(next_request_id_++);
   framed.raw(request.bytes());
 
+  // Pooled frame buffer: read_frame resizes into recycled capacity, so
+  // the steady-state control plane does not allocate per round trip.
+  std::vector<std::uint8_t> frame = pool_.acquire();
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) backoff(attempt);
     if (fd_ < 0 && !connect_now()) continue;
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::milliseconds(static_cast<long>(options_.request_timeout_ms));
-    std::vector<std::uint8_t> frame;
     if (write_frame(fd_, framed.bytes(), deadline) && read_frame(fd_, frame, deadline)) {
       if (frame.empty() || frame[0] != kControlOk) {
         // The daemon answered and rejected the op: not a transport failure,
         // so no retry and no transport error recorded.
         error_ = runtime::Error();
+        pool_.release(std::move(frame));
         return false;
       }
       response.assign(frame.begin() + 1, frame.end());
       error_ = runtime::Error();
+      pool_.release(std::move(frame));
       return true;
     }
     // A broken or stalled stream cannot carry further requests; close and
@@ -295,6 +299,7 @@ bool ControlClient::roundtrip(const ByteWriter& request, std::vector<std::uint8_
              std::to_string(attempt + 1) + ")");
     disconnect();
   }
+  pool_.release(std::move(frame));
   return false;
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "net/buffer_pool.hpp"
 #include "net/wire.hpp"
 #include "runtime/error.hpp"
 #include "sim/switch.hpp"
@@ -150,6 +151,10 @@ class ControlClient {
   std::uint64_t next_request_id_ = 1;
   SplitMix64 jitter_;
   runtime::Error error_;
+  /// Response-frame buffers recycled across requests (ISSUE 5): read_frame
+  /// resizes into previously grown capacity, so a steady control-plane
+  /// workload stops allocating per round trip.
+  BufferPool pool_;
 };
 
 }  // namespace netcl::net

@@ -6,18 +6,21 @@ SimTransport::SimTransport(sim::Fabric& fabric, std::uint16_t host_id)
     : fabric_(fabric), host_id_(host_id) {
   fabric_.add_host(host_id_);
   // Installed eagerly (not in set_receiver) so arrivals before — or
-  // without — a receiver are observed by the owner, not lost.
+  // without — a receiver are observed by the owner, not lost. The fabric
+  // delivers one packet per event; each becomes a one-element batch.
   fabric_.set_host_handler(host_id_,
                            [this](sim::Fabric&, std::uint16_t, const sim::Packet& packet) {
-                             if (receiver_ != nullptr) receiver_(packet);
+                             deliver({&packet, 1});
                            });
 }
 
-void SimTransport::send(sim::Packet packet) {
-  fabric_.send_from_host(host_id_, std::move(packet));
+void SimTransport::send_batch(std::span<sim::Packet> packets) {
+  // The packets are ours to consume (Transport::send_batch contract), so
+  // each moves straight into the fabric — no copy on the sim path.
+  for (sim::Packet& packet : packets) {
+    fabric_.send_from_host(host_id_, std::move(packet));
+  }
 }
-
-void SimTransport::set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
 
 void SimTransport::schedule(double delay_ns, std::function<void()> callback) {
   fabric_.schedule(delay_ns,

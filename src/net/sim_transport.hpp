@@ -3,7 +3,9 @@
 // Attaching a SimTransport registers `host_id` with the fabric and installs
 // its packet handler — exactly what HostRuntime used to do when it held a
 // Fabric& directly, now behind the Transport seam so the same host code
-// runs unchanged against real UDP sockets.
+// runs unchanged against real UDP sockets. Batches degenerate to a loop:
+// the fabric is an in-process call, so there is no syscall to amortize and
+// per-packet submission keeps event timestamps identical to v1.
 #pragma once
 
 #include "net/transport.hpp"
@@ -16,8 +18,7 @@ class SimTransport final : public Transport {
   SimTransport(sim::Fabric& fabric, std::uint16_t host_id);
 
   [[nodiscard]] const char* kind() const override { return "sim"; }
-  void send(sim::Packet packet) override;
-  void set_receiver(Receiver receiver) override;
+  void send_batch(std::span<sim::Packet> packets) override;
   void schedule(double delay_ns, std::function<void()> callback) override;
   [[nodiscard]] double now_ns() const override { return fabric_.now(); }
 
@@ -27,7 +28,6 @@ class SimTransport final : public Transport {
  private:
   sim::Fabric& fabric_;
   std::uint16_t host_id_;
-  Receiver receiver_;
 };
 
 }  // namespace netcl::net

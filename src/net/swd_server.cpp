@@ -22,6 +22,9 @@ namespace netcl::net {
 namespace {
 
 constexpr std::size_t kMaxDatagram = 65536;
+/// Datagrams moved per sendmmsg/recvmmsg call (the mmsghdr arrays live on
+/// the stack at this size).
+constexpr std::size_t kIoBatch = 32;
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -119,10 +122,52 @@ void SwdServer::send_to_host(std::uint16_t host, const sim::Packet& packet) {
     ++dropped_unknown_host;
     return;
   }
-  const std::vector<std::uint8_t> wire = serialize_packet(packet);
-  ::sendto(udp_fd_, wire.data(), wire.size(), 0,
-           reinterpret_cast<const sockaddr*>(&it->second), sizeof(it->second));
-  ++packets_sent;
+  // Queue rather than send: the whole cycle's output goes out in one
+  // sendmmsg flush, and the pooled buffer makes the serialization
+  // allocation-free at steady state. packets_sent is counted at the flush.
+  EgressDatagram out;
+  out.to = it->second;
+  out.wire = pool_.acquire();
+  serialize_packet(packet, out.wire);
+  egress_.push_back(std::move(out));
+}
+
+void SwdServer::flush_egress() {
+  if (egress_.empty()) return;
+#if NETCL_HAVE_MMSG
+  std::size_t offset = 0;
+  while (offset < egress_.size()) {
+    const std::size_t chunk = std::min(kIoBatch, egress_.size() - offset);
+    mmsghdr msgs[kIoBatch];
+    iovec iovs[kIoBatch];
+    std::memset(msgs, 0, chunk * sizeof(mmsghdr));
+    for (std::size_t i = 0; i < chunk; ++i) {
+      EgressDatagram& out = egress_[offset + i];
+      iovs[i] = {out.wire.data(), out.wire.size()};
+      // Unlike a connected host transport, the daemon fans out to many
+      // hosts — mmsg carries a destination per message.
+      msgs[i].msg_hdr.msg_name = &out.to;
+      msgs[i].msg_hdr.msg_namelen = sizeof(out.to);
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    const int sent = ::sendmmsg(udp_fd_, msgs, static_cast<unsigned>(chunk), 0);
+    ++send_syscalls;
+    if (sent <= 0) break;
+    packets_sent.inc(static_cast<std::uint64_t>(sent));
+    // Partial completion: resume at the first untaken message.
+    offset += static_cast<std::size_t>(sent);
+  }
+#else
+  for (const EgressDatagram& out : egress_) {
+    const ssize_t sent = ::sendto(udp_fd_, out.wire.data(), out.wire.size(), 0,
+                                  reinterpret_cast<const sockaddr*>(&out.to), sizeof(out.to));
+    ++send_syscalls;
+    if (sent == static_cast<ssize_t>(out.wire.size())) ++packets_sent;
+  }
+#endif
+  for (EgressDatagram& out : egress_) pool_.release(std::move(out.wire));
+  egress_.clear();
 }
 
 void SwdServer::emit(sim::Packet&& packet) {
@@ -132,6 +177,62 @@ void SwdServer::emit(sim::Packet&& packet) {
     return;
   }
   send_to_host(packet.netcl.dst, packet);
+}
+
+void SwdServer::ensure_rx_storage() {
+  if (!rx_buffers_.empty()) return;
+  // 64 KiB per slot is too big for the stack at batch 32 (2 MiB); allocate
+  // the staging area once on first receive and reuse it every cycle.
+  rx_buffers_.resize(kIoBatch);
+  for (std::vector<std::uint8_t>& buffer : rx_buffers_) buffer.resize(kMaxDatagram);
+}
+
+void SwdServer::drain_data_socket(bool crashed) {
+  ensure_rx_storage();
+  // Position within this receive burst doubles as the INT queue-depth
+  // stamp — the daemon's analogue of the simulator's event-queue depth.
+  std::uint32_t burst_index = 0;
+  for (;;) {
+#if NETCL_HAVE_MMSG
+    mmsghdr msgs[kIoBatch];
+    iovec iovs[kIoBatch];
+    sockaddr_in froms[kIoBatch];
+    std::memset(msgs, 0, sizeof(msgs));
+    for (std::size_t i = 0; i < kIoBatch; ++i) {
+      iovs[i] = {rx_buffers_[i].data(), kMaxDatagram};
+      msgs[i].msg_hdr.msg_name = &froms[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof(froms[i]);
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    const int received = ::recvmmsg(udp_fd_, msgs, kIoBatch, 0, nullptr);
+    ++recv_syscalls;
+    if (received <= 0) return;  // EAGAIN/EWOULDBLOCK: drained
+    for (int i = 0; i < received; ++i) {
+      if (crashed) {
+        ++packets_dropped_crashed;
+        continue;
+      }
+      handle_datagram(rx_buffers_[static_cast<std::size_t>(i)].data(), msgs[i].msg_len,
+                      froms[i], burst_index++);
+    }
+    // A short batch means the queue is (almost certainly) empty; anything
+    // racing in after the syscall is picked up on the next poll turn.
+    if (static_cast<std::size_t>(received) < kIoBatch) return;
+#else
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    const ssize_t n = ::recvfrom(udp_fd_, rx_buffers_[0].data(), kMaxDatagram, 0,
+                                 reinterpret_cast<sockaddr*>(&from), &from_len);
+    ++recv_syscalls;
+    if (n < 0) return;
+    if (crashed) {
+      ++packets_dropped_crashed;
+      continue;
+    }
+    handle_datagram(rx_buffers_[0].data(), static_cast<std::size_t>(n), from, burst_index++);
+#endif
+  }
 }
 
 void SwdServer::handle_datagram(const std::uint8_t* data, std::size_t size,
@@ -495,22 +596,8 @@ void SwdServer::poll_once(int timeout_ms) {
   if (::poll(fds.data(), fds.size(), timeout_ms) <= 0) return;
 
   if ((fds[0].revents & POLLIN) != 0) {
-    std::uint8_t buffer[kMaxDatagram];
-    // Position within this receive burst doubles as the INT queue-depth
-    // stamp — the daemon's analogue of the simulator's event-queue depth.
-    std::uint32_t burst_index = 0;
-    for (;;) {
-      sockaddr_in from{};
-      socklen_t from_len = sizeof(from);
-      const ssize_t n = ::recvfrom(udp_fd_, buffer, sizeof(buffer), 0,
-                                   reinterpret_cast<sockaddr*>(&from), &from_len);
-      if (n < 0) break;
-      if (crashed) {
-        ++packets_dropped_crashed;
-        continue;
-      }
-      handle_datagram(buffer, static_cast<std::size_t>(n), from, burst_index++);
-    }
+    drain_data_socket(crashed);
+    flush_egress();
   }
   // accept_connection() below can grow connections_; only the pre-accept
   // entries have a pollfd at fds[2 + i].

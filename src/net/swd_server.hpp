@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/buffer_pool.hpp"
 #include "obs/metrics.hpp"
 #include "sim/switch.hpp"
 
@@ -113,6 +114,10 @@ class SwdServer {
   obs::Counter& metrics_scrapes = metrics_.counter("metrics_scrapes");
   /// Telemetry hops stamped onto packets that requested INT.
   obs::Counter& telemetry_stamps = metrics_.counter("telemetry_stamps");
+  /// Data-plane syscalls (sendmmsg/sendto, recvmmsg/recvfrom). With the
+  /// mmsg fast path these grow ~1/32 as fast as the packet counters.
+  obs::Counter& send_syscalls = metrics_.counter("send_syscalls");
+  obs::Counter& recv_syscalls = metrics_.counter("recv_syscalls");
 
  private:
   struct Connection {
@@ -127,7 +132,16 @@ class SwdServer {
   void handle_datagram(const std::uint8_t* data, std::size_t size, const sockaddr_in& from,
                        std::uint32_t queue_depth);
   void emit(sim::Packet&& packet);
+  /// Serializes into a pooled buffer and queues the datagram on egress_;
+  /// flush_egress() puts the whole cycle's output on the wire afterwards.
   void send_to_host(std::uint16_t host, const sim::Packet& packet);
+  /// Drains the UDP socket (recvmmsg bursts when available) and runs the
+  /// switch engine over every datagram of the cycle.
+  void drain_data_socket(bool crashed);
+  /// Transmits the queued egress datagrams, batched through sendmmsg with
+  /// per-message destinations, in FIFO (emission) order.
+  void flush_egress();
+  void ensure_rx_storage();
   void accept_connection();
   /// Reads what is available; closes the connection on EOF/protocol error.
   void service_connection(Connection& connection);
@@ -144,8 +158,19 @@ class SwdServer {
   bool apply_fault_state();
   [[nodiscard]] std::vector<std::uint8_t> handle_control(std::span<const std::uint8_t> frame);
 
+  struct EgressDatagram {
+    sockaddr_in to{};
+    std::vector<std::uint8_t> wire;  // borrowed from pool_ until the flush
+  };
+
   std::unique_ptr<sim::SwitchDevice> device_;
   std::string error_;
+  /// Wire buffers recycled across cycles: egress serialization borrows
+  /// from the pool, flush_egress() returns every buffer after the send.
+  BufferPool pool_;
+  std::vector<EgressDatagram> egress_;
+  /// Receive staging for recvmmsg bursts, allocated lazily (64 KiB/slot).
+  std::vector<std::vector<std::uint8_t>> rx_buffers_;
   int udp_fd_ = -1;
   int listen_fd_ = -1;
   int metrics_listen_fd_ = -1;

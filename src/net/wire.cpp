@@ -16,8 +16,8 @@ std::uint16_t get_u16(std::span<const std::uint8_t> data, std::size_t pos) {
 
 }  // namespace
 
-std::vector<std::uint8_t> serialize_packet(const sim::Packet& packet) {
-  std::vector<std::uint8_t> out;
+void serialize_packet(const sim::Packet& packet, std::vector<std::uint8_t>& out) {
+  out.clear();
   out.reserve(kWireHeaderBytes + packet.payload.size() +
               (packet.telemetry.requested
                    ? sim::trailer_bytes(packet.telemetry.hops.size())
@@ -38,6 +38,11 @@ std::vector<std::uint8_t> serialize_packet(const sim::Packet& packet) {
   put_u16(out, static_cast<std::uint16_t>(packet.payload.size()));
   out.insert(out.end(), packet.payload.begin(), packet.payload.end());
   if (packet.telemetry.requested) sim::append_trailer(out, packet.telemetry);
+}
+
+std::vector<std::uint8_t> serialize_packet(const sim::Packet& packet) {
+  std::vector<std::uint8_t> out;
+  serialize_packet(packet, out);
   return out;
 }
 

@@ -25,7 +25,13 @@ inline constexpr std::uint8_t kWireMagic[4] = {'N', 'C', 'L', 1};
 /// Magic + NetCL shim header.
 inline constexpr std::size_t kWireHeaderBytes = 4 + sim::NetclHeader::kWireBytes;
 
-/// Serializes a NetCL packet into one datagram payload.
+/// Serializes a NetCL packet into one datagram payload, appending to
+/// `out` (cleared first). Writing into caller storage lets a BufferPool
+/// recycle the vector's capacity across packets — the allocation-free
+/// fast path (ISSUE 5).
+void serialize_packet(const sim::Packet& packet, std::vector<std::uint8_t>& out);
+
+/// Convenience form returning a fresh buffer.
 [[nodiscard]] std::vector<std::uint8_t> serialize_packet(const sim::Packet& packet);
 
 /// Parses a datagram. Returns false (leaving `out` unspecified) on bad

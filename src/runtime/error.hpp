@@ -20,6 +20,9 @@ enum class ErrorKind : std::uint8_t {
   kRetriesExhausted,
   /// The control-plane stream broke and reconnection failed.
   kDisconnected,
+  /// The device answered and refused the operation (unknown memory name,
+  /// bad table key, ...) — not a transport failure, so not retryable.
+  kRejected,
 };
 
 [[nodiscard]] inline const char* to_string(ErrorKind kind) {
@@ -29,6 +32,7 @@ enum class ErrorKind : std::uint8_t {
     case ErrorKind::kDeviceDown: return "device_down";
     case ErrorKind::kRetriesExhausted: return "retries_exhausted";
     case ErrorKind::kDisconnected: return "disconnected";
+    case ErrorKind::kRejected: return "rejected";
   }
   return "unknown";
 }
@@ -42,6 +46,8 @@ struct Error {
 
   /// True when an error is actually present.
   explicit operator bool() const { return kind != ErrorKind::kNone; }
+  /// Success predicate, for readable call sites: `if (!err.ok()) ...`.
+  [[nodiscard]] bool ok() const { return kind == ErrorKind::kNone; }
 
   [[nodiscard]] std::string to_string() const {
     return std::string(runtime::to_string(kind)) + ": " + message;

@@ -22,6 +22,14 @@ HostRuntime::HostRuntime(net::Transport& transport, std::uint16_t host_id)
   attach();
 }
 
+HostRuntime::HostRuntime(std::unique_ptr<net::Transport> transport, std::uint16_t host_id)
+    : metrics_("host" + std::to_string(host_id)),
+      owned_transport_(std::move(transport)),
+      transport_(owned_transport_.get()),
+      host_id_(host_id) {
+  attach();
+}
+
 HostRuntime::HostRuntime(sim::Fabric& fabric, std::uint16_t host_id)
     : metrics_("host" + std::to_string(host_id)),
       owned_transport_(std::make_unique<net::SimTransport>(fabric, host_id)),
@@ -45,7 +53,11 @@ const char* to_string(FallbackPolicy policy) {
 void HostRuntime::attach() {
   // The transport receiver is installed eagerly (not in on_receive) so
   // that arrivals before — or without — a receiver are observed, not lost.
-  transport_->set_receiver([this](const sim::Packet& packet) { deliver_packet(packet); });
+  // Batch-aware: a recvmmsg burst arrives as one span, unpacked in arrival
+  // order — identical observable behavior to per-packet delivery.
+  transport_->set_batch_receiver([this](std::span<const sim::Packet> batch) {
+    for (const sim::Packet& packet : batch) deliver_packet(packet);
+  });
 }
 
 void HostRuntime::deliver_packet(const sim::Packet& packet) {
@@ -110,24 +122,25 @@ const KernelSpec* HostRuntime::spec_for(int computation) const {
   return it == specs_.end() ? nullptr : &it->second;
 }
 
-void HostRuntime::send(Message message, const sim::ArgValues& args) {
+bool HostRuntime::prepare_send(Message& message, const sim::ArgValues& args,
+                               sim::Packet& out) {
   const KernelSpec* spec = spec_for(message.comp);
   if (spec == nullptr) {
     ++dropped_unregistered_send;
     warn_once("send for computation " + std::to_string(message.comp) +
               " has no registered kernel spec; dropping");
-    return;
+    return false;
   }
   message.src = host_id_;
   const auto pack_start = std::chrono::steady_clock::now();
-  sim::Packet packet = pack(message, *spec, args);
+  out = pack(message, *spec, args);
   const double pack_duration_ns = wall_ns_since(pack_start);
   pack_ns.record(pack_duration_ns);
   // With a collector attached, ask devices on the path to stamp INT hops
   // (sets the wire flag bit and appends the trailer at serialization).
-  if (collector_ != nullptr) packet.telemetry.requested = true;
-  if (detector_ != nullptr && !detector_->up() && handle_down_send(packet, message.comp)) {
-    return;
+  if (collector_ != nullptr) out.telemetry.requested = true;
+  if (detector_ != nullptr && !detector_->up() && handle_down_send(out, message.comp)) {
+    return false;
   }
   auto& pending = pending_round_trips_[message.comp];
   if (pending.size() >= kMaxPendingRoundTrips) {
@@ -137,9 +150,27 @@ void HostRuntime::send(Message message, const sim::ArgValues& args) {
     ++dropped_stale_round_trip;
   }
   pending.push_back({transport_->now_ns(), pack_duration_ns});
-  transport_->send(std::move(packet));
   ++sent;
   ++metrics_.counter("comp" + std::to_string(message.comp) + ".sent");
+  return true;
+}
+
+void HostRuntime::send(Message message, const sim::ArgValues& args) {
+  sim::Packet packet;
+  if (prepare_send(message, args, packet)) transport_->send(std::move(packet));
+}
+
+void HostRuntime::send_batch(std::span<Outbound> batch) {
+  tx_batch_.clear();
+  if (tx_batch_.capacity() < batch.size()) tx_batch_.reserve(batch.size());
+  for (Outbound& outbound : batch) {
+    sim::Packet packet;
+    if (prepare_send(outbound.message, outbound.args, packet)) {
+      tx_batch_.push_back(std::move(packet));
+    }
+  }
+  if (!tx_batch_.empty()) transport_->send_batch(tx_batch_);
+  tx_batch_.clear();
 }
 
 bool HostRuntime::handle_down_send(sim::Packet& packet, int computation) {
@@ -242,81 +273,90 @@ bool DeviceConnection::valid() const {
   return device_ != nullptr || (remote_ != nullptr && remote_->connected());
 }
 
-bool DeviceConnection::ping(std::uint32_t& generation) {
+Error DeviceConnection::op_error(const std::string& what) const {
   if (remote_ != nullptr) {
-    std::uint16_t id = 0;
-    return remote_->ping(id, generation);
+    // The transport error, when one is pending, is the real cause; an op
+    // the daemon answered-and-refused leaves it empty.
+    if (Error err = remote_->last_error()) return err;
+    return {ErrorKind::kRejected, what + " rejected by device"};
   }
-  if (fabric_ == nullptr || device_ == nullptr) return false;
-  if (fabric_->device_down(device_id_)) return false;
-  generation = device_->generation();
-  return true;
+  if (device_ == nullptr) return {ErrorKind::kDisconnected, what + ": no device attached"};
+  if (fabric_ != nullptr && fabric_->device_down(device_id_)) {
+    return {ErrorKind::kDeviceDown, what + ": device is down"};
+  }
+  return {ErrorKind::kRejected, what + " rejected by device"};
 }
 
-bool DeviceConnection::ping(std::uint32_t& generation, std::uint64_t& device_clock_ns) {
+Error DeviceConnection::ping_e(PingInfo& info) {
   if (remote_ != nullptr) {
     std::uint16_t id = 0;
-    return remote_->ping(id, generation, device_clock_ns);
+    if (remote_->ping(id, info.generation, info.device_clock_ns)) return {};
+    return op_error("ping");
   }
-  if (fabric_ == nullptr || device_ == nullptr) return false;
-  if (fabric_->device_down(device_id_)) return false;
-  generation = device_->generation();
+  if (fabric_ == nullptr || device_ == nullptr) {
+    return {ErrorKind::kDisconnected, "ping: no device attached"};
+  }
+  if (fabric_->device_down(device_id_)) return {ErrorKind::kDeviceDown, "ping: device is down"};
+  info.generation = device_->generation();
   // Sim devices stamp hops in fabric time, which is also what a
   // SimTransport's now_ns() reports — one shared clock, offset zero by
   // construction, and this readback lets callers verify that.
-  device_clock_ns = static_cast<std::uint64_t>(fabric_->now());
-  return true;
+  info.device_clock_ns = static_cast<std::uint64_t>(fabric_->now());
+  return {};
 }
 
 Error DeviceConnection::last_error() const {
   return remote_ != nullptr ? remote_->last_error() : Error{};
 }
 
-bool DeviceConnection::managed_write(const std::string& name, std::uint64_t value,
-                                     const std::vector<std::uint64_t>& indices) {
+Error DeviceConnection::managed_write_e(const std::string& name, std::uint64_t value,
+                                        const std::vector<std::uint64_t>& indices) {
   const bool ok = remote_ != nullptr
                       ? remote_->managed_write(name, indices, value)
                       : device_ != nullptr && device_->managed_write(name, indices, value);
-  if (ok) journal_writes_[{name, indices}] = value;
-  return ok;
+  if (!ok) return op_error("managed_write '" + name + "'");
+  journal_writes_[{name, indices}] = value;
+  return {};
 }
 
-bool DeviceConnection::managed_read(const std::string& name, std::uint64_t& out,
-                                    const std::vector<std::uint64_t>& indices) {
-  if (remote_ != nullptr) return remote_->managed_read(name, indices, out);
-  return device_ != nullptr && device_->managed_read(name, indices, out);
+Error DeviceConnection::managed_read_e(const std::string& name, std::uint64_t& out,
+                                       const std::vector<std::uint64_t>& indices) {
+  const bool ok = remote_ != nullptr
+                      ? remote_->managed_read(name, indices, out)
+                      : device_ != nullptr && device_->managed_read(name, indices, out);
+  return ok ? Error{} : op_error("managed_read '" + name + "'");
 }
 
-bool DeviceConnection::insert(const std::string& table, std::uint64_t key,
-                              std::uint64_t value) {
-  return insert_range(table, key, key, value);
+Error DeviceConnection::insert_e(const std::string& table, std::uint64_t key,
+                                 std::uint64_t value) {
+  return insert_range_e(table, key, key, value);
 }
 
-bool DeviceConnection::insert_range(const std::string& table, std::uint64_t lo,
-                                    std::uint64_t hi, std::uint64_t value) {
+Error DeviceConnection::insert_range_e(const std::string& table, std::uint64_t lo,
+                                       std::uint64_t hi, std::uint64_t value) {
   const bool ok = remote_ != nullptr
                       ? remote_->insert(table, lo, hi, value)
                       : device_ != nullptr && device_->lookup_insert(table, lo, hi, value);
-  if (ok) journal_inserts_[{table, lo, hi}] = value;
-  return ok;
+  if (!ok) return op_error("insert into '" + table + "'");
+  journal_inserts_[{table, lo, hi}] = value;
+  return {};
 }
 
-bool DeviceConnection::remove(const std::string& table, std::uint64_t key) {
+Error DeviceConnection::remove_e(const std::string& table, std::uint64_t key) {
   const bool ok = remote_ != nullptr ? remote_->remove(table, key)
                                      : device_ != nullptr && device_->lookup_remove(table, key);
-  if (ok) {
-    // The device removes the entry covering `key`; forget journaled
-    // entries the removal covered so resync does not resurrect them.
-    std::erase_if(journal_inserts_, [&](const auto& entry) {
-      const auto& [table_name, lo, hi] = entry.first;
-      return table_name == table && lo <= key && key <= hi;
-    });
-  }
-  return ok;
+  if (!ok) return op_error("remove from '" + table + "'");
+  // The device removes the entry covering `key`; forget journaled
+  // entries the removal covered so resync does not resurrect them.
+  std::erase_if(journal_inserts_, [&](const auto& entry) {
+    const auto& [table_name, lo, hi] = entry.first;
+    return table_name == table && lo <= key && key <= hi;
+  });
+  return {};
 }
 
-bool DeviceConnection::set_multicast_group(std::uint16_t group,
-                                           const std::vector<std::uint16_t>& hosts) {
+Error DeviceConnection::set_multicast_group_e(std::uint16_t group,
+                                              const std::vector<std::uint16_t>& hosts) {
   bool ok = false;
   if (remote_ != nullptr) {
     ok = remote_->set_multicast_group(group, hosts);
@@ -327,11 +367,12 @@ bool DeviceConnection::set_multicast_group(std::uint16_t group,
     fabric_->set_multicast_group(device_id_, group, std::move(members));
     ok = true;
   }
-  if (ok) journal_groups_[group] = hosts;
-  return ok;
+  if (!ok) return op_error("set_multicast_group " + std::to_string(group));
+  journal_groups_[group] = hosts;
+  return {};
 }
 
-bool DeviceConnection::resync() {
+Error DeviceConnection::resync_e() {
   ++resyncs_;
   bool ok = true;
   // Replay straight through the underlying device/client, not the public
@@ -360,7 +401,7 @@ bool DeviceConnection::resync() {
       ok = false;
     }
   }
-  return ok;
+  return ok ? Error{} : op_error("resync (some journal replays failed)");
 }
 
 const sim::DeviceStats* DeviceConnection::stats() {

@@ -27,8 +27,10 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <span>
 #include <tuple>
 #include <utility>
+#include <vector>
 
 #include "net/control.hpp"
 #include "net/transport.hpp"
@@ -74,6 +76,9 @@ class HostRuntime {
 
   /// Binds to a transport (not owned; must outlive this runtime).
   HostRuntime(net::Transport& transport, std::uint16_t host_id);
+  /// Takes ownership of a transport — the natural pairing with
+  /// net::make_transport(uri) (ISSUE 5). The transport must be non-null.
+  HostRuntime(std::unique_ptr<net::Transport> transport, std::uint16_t host_id);
   /// Convenience: attaches to the simulated fabric through an owned
   /// SimTransport (the pre-ISSUE-2 constructor, behavior-preserving).
   HostRuntime(sim::Fabric& fabric, std::uint16_t host_id);
@@ -88,6 +93,19 @@ class HostRuntime {
 
   /// Packs and sends. The message's src is forced to this host.
   void send(Message message, const sim::ArgValues& args);
+
+  /// One message of a batched send.
+  struct Outbound {
+    Message message;
+    sim::ArgValues args;
+  };
+  /// Packs a window of messages and hands them to the transport in one
+  /// send_batch call (ISSUE 5) — one syscall per 32 packets on the UDP
+  /// fast path instead of one per message. Per-message accounting
+  /// (round-trip stamps, counters, fallback policy while the device is
+  /// DOWN) is identical to calling send() per element, and so is the wire
+  /// ordering: element 0 goes out first.
+  void send_batch(std::span<Outbound> batch);
 
   /// Invoked for every NetCL packet arriving at this host.
   using Receiver = std::function<void(const Message&, sim::ArgValues&)>;
@@ -149,8 +167,12 @@ class HostRuntime {
   obs::Counter& fallback_dropped_overflow = metrics_.counter("fallback.dropped_overflow");
 
  private:
-  /// Installs the transport receiver (shared by both constructors).
+  /// Installs the transport receiver (shared by all constructors).
   void attach();
+  /// The shared pack half of send()/send_batch(): spec lookup, pack,
+  /// telemetry flag, DOWN-state fallback, round-trip stamp, counters.
+  /// True when `out` holds a packet the caller must transmit.
+  bool prepare_send(Message& message, const sim::ArgValues& args, sim::Packet& out);
   /// The receive path: unpack, account, hand to the user's receiver. Both
   /// transport arrivals and host-executed responses come through here, so
   /// fallback results are indistinguishable from device results.
@@ -164,8 +186,13 @@ class HostRuntime {
   /// distinct cause (so lossy workloads do not flood the log).
   void warn_once(const std::string& cause);
 
-  std::unique_ptr<net::Transport> owned_transport_;  // Fabric convenience ctor
+  std::unique_ptr<net::Transport> owned_transport_;  // owning ctors
   net::Transport* transport_;
+  /// Packed packets for the send_batch in flight, reused across calls so
+  /// the host layer allocates nothing at steady state. Safe as a member:
+  /// transports never invoke receive callbacks from inside send_batch
+  /// (fabric delivery is event-queued; UDP delivery happens in poll).
+  std::vector<sim::Packet> tx_batch_;
   std::uint16_t host_id_;
   std::map<int, KernelSpec> specs_;
   Receiver receiver_;
@@ -190,12 +217,29 @@ class HostRuntime {
   std::function<void()> on_resync_;
 };
 
+/// Everything a heartbeat probe learns in one round trip: the device's
+/// current generation (bumps on every restart — offloaded state was lost)
+/// and its telemetry clock (the clockbase its INT hop stamps use; fabric
+/// time for sim devices, daemon uptime for netcl-swd). Bracket the ping
+/// with transport timestamps and feed all three to obs::align_clocks() to
+/// place device spans on the host clock.
+struct PingInfo {
+  std::uint32_t generation = 0;
+  std::uint64_t device_clock_ns = 0;
+};
+
 /// Control-plane connection to one device (in-fabric or netcl-swd).
 ///
 /// Every state-establishing operation (managed writes, lookup inserts /
 /// removes, multicast groups) is journaled, so after a device restart
 /// resync() can replay the journal and restore the device to the state the
 /// host had offloaded — the control-plane half of failover recovery.
+///
+/// Error reporting (ISSUE 5): every operation has two forms. The `*_e()`
+/// form returns a typed runtime::Error — kTimeout / kDisconnected for
+/// transport failures, kDeviceDown while the device is crashed, kRejected
+/// when the device answered and refused the op. The bool form is a
+/// one-line wrapper (`err.ok()`) kept for call sites that only branch.
 class DeviceConnection {
  public:
   /// In-fabric device.
@@ -210,35 +254,69 @@ class DeviceConnection {
   [[nodiscard]] bool valid() const;
   [[nodiscard]] std::uint16_t device_id() const { return device_id_; }
 
-  /// The heartbeat probe: true when the device answered, with its current
-  /// generation. Sim devices are unreachable while the fabric has them
-  /// crashed. This is what a FailureDetector's ProbeFn should call.
-  bool ping(std::uint32_t& generation);
-  /// Heartbeat plus the device's telemetry clock — the clockbase its INT
-  /// hop stamps use (fabric time for sim devices, daemon uptime for
-  /// netcl-swd). Bracket with transport timestamps and feed all three to
-  /// obs::align_clocks() to place device spans on the host clock.
-  bool ping(std::uint32_t& generation, std::uint64_t& device_clock_ns);
+  /// The heartbeat probe: one round trip fills the PingInfo (generation +
+  /// telemetry clock). Sim devices are unreachable while the fabric has
+  /// them crashed. This is what a FailureDetector's ProbeFn should call.
+  [[nodiscard]] Error ping_e(PingInfo& info);
+  bool ping(PingInfo& info) { return ping_e(info).ok(); }
+  /// Pre-ISSUE-5 overloads; the PingInfo form replaces both.
+  [[deprecated("use ping(PingInfo&)")]] bool ping(std::uint32_t& generation) {
+    PingInfo info;
+    const bool ok = ping(info);
+    generation = info.generation;
+    return ok;
+  }
+  [[deprecated("use ping(PingInfo&)")]] bool ping(std::uint32_t& generation,
+                                                  std::uint64_t& device_clock_ns) {
+    PingInfo info;
+    const bool ok = ping(info);
+    generation = info.generation;
+    device_clock_ns = info.device_clock_ns;
+    return ok;
+  }
   /// Last transport-level failure from the remote control client (empty
   /// for sim devices, which cannot time out).
   [[nodiscard]] Error last_error() const;
 
   /// ncl::managed_write / ncl::managed_read. Indices address the memory as
   /// declared in the NetCL source (partitioning renames are transparent).
+  [[nodiscard]] Error managed_write_e(const std::string& name, std::uint64_t value,
+                                      const std::vector<std::uint64_t>& indices = {});
+  [[nodiscard]] Error managed_read_e(const std::string& name, std::uint64_t& out,
+                                     const std::vector<std::uint64_t>& indices = {});
   bool managed_write(const std::string& name, std::uint64_t value,
-                     const std::vector<std::uint64_t>& indices = {});
+                     const std::vector<std::uint64_t>& indices = {}) {
+    return managed_write_e(name, value, indices).ok();
+  }
   bool managed_read(const std::string& name, std::uint64_t& out,
-                    const std::vector<std::uint64_t>& indices = {});
+                    const std::vector<std::uint64_t>& indices = {}) {
+    return managed_read_e(name, out, indices).ok();
+  }
 
   /// _managed_ _lookup_ entry management (insert replaces same-key entries).
-  bool insert(const std::string& table, std::uint64_t key, std::uint64_t value);
+  [[nodiscard]] Error insert_e(const std::string& table, std::uint64_t key,
+                               std::uint64_t value);
+  [[nodiscard]] Error insert_range_e(const std::string& table, std::uint64_t lo,
+                                     std::uint64_t hi, std::uint64_t value);
+  [[nodiscard]] Error remove_e(const std::string& table, std::uint64_t key);
+  bool insert(const std::string& table, std::uint64_t key, std::uint64_t value) {
+    return insert_e(table, key, value).ok();
+  }
   bool insert_range(const std::string& table, std::uint64_t lo, std::uint64_t hi,
-                    std::uint64_t value);
-  bool remove(const std::string& table, std::uint64_t key);
+                    std::uint64_t value) {
+    return insert_range_e(table, lo, hi, value).ok();
+  }
+  bool remove(const std::string& table, std::uint64_t key) {
+    return remove_e(table, key).ok();
+  }
 
   /// Configures a multicast group on the device (fabric groups for sim
   /// devices; learned-endpoint groups on a netcl-swd daemon).
-  bool set_multicast_group(std::uint16_t group, const std::vector<std::uint16_t>& hosts);
+  [[nodiscard]] Error set_multicast_group_e(std::uint16_t group,
+                                            const std::vector<std::uint16_t>& hosts);
+  bool set_multicast_group(std::uint16_t group, const std::vector<std::uint16_t>& hosts) {
+    return set_multicast_group_e(group, hosts).ok();
+  }
 
   /// Telemetry read-back over the control plane: the device's packet /
   /// drop / per-stage counters and per-register-array access totals. The
@@ -251,10 +329,15 @@ class DeviceConnection {
   /// restored it to compiled-in defaults. True when every replay landed.
   /// Only control-plane state is restorable this way; register state the
   /// kernels accumulated internally is genuinely lost.
-  bool resync();
+  [[nodiscard]] Error resync_e();
+  bool resync() { return resync_e().ok(); }
   [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
 
  private:
+  /// The typed error for a failed op: the remote client's transport error
+  /// when one is pending, kDeviceDown for a crashed sim device,
+  /// kDisconnected with no device at all, else kRejected.
+  [[nodiscard]] Error op_error(const std::string& what) const;
   sim::Fabric* fabric_ = nullptr;          // sim mode
   sim::SwitchDevice* device_ = nullptr;    // sim mode
   std::unique_ptr<net::ControlClient> remote_;  // netcl-swd mode

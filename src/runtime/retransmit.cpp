@@ -15,9 +15,24 @@ RetransmitWindow::RetransmitWindow(net::Transport& transport, const Config& conf
 }
 
 void RetransmitWindow::start() {
-  for (int chunk = 0; chunk < stride_ && chunk < config_.chunks; ++chunk) {
-    launch(chunk, /*is_retransmission=*/false);
+  const int initial = std::min(stride_, config_.chunks);
+  if (!batch_start_ || initial <= 0) {
+    for (int chunk = 0; chunk < initial; ++chunk) {
+      launch(chunk, /*is_retransmission=*/false);
+    }
+    return;
   }
+  // Batched emission: mark the whole window in flight, hand every chunk to
+  // the owner in one call (slot c holds chunk c at start), then arm the
+  // retry timers. Sends stay ahead of timer arming, matching the per-chunk
+  // path's send-then-schedule order.
+  std::vector<int> chunks(static_cast<std::size_t>(initial));
+  for (int chunk = 0; chunk < initial; ++chunk) {
+    slot_chunk_[static_cast<std::size_t>(chunk % stride_)] = chunk;
+    chunks[static_cast<std::size_t>(chunk)] = chunk;
+  }
+  batch_start_(chunks);
+  for (int chunk = 0; chunk < initial; ++chunk) arm_timer(chunk);
 }
 
 int RetransmitWindow::chunk_for_slot(int slot) const {
@@ -66,13 +81,16 @@ void RetransmitWindow::give_up(int chunk) {
 void RetransmitWindow::launch(int chunk, bool is_retransmission) {
   if (failed_) return;
   slot_chunk_[static_cast<std::size_t>(chunk % stride_)] = chunk;
-  const auto index = static_cast<std::size_t>(chunk);
   if (is_retransmission) {
     ++retransmissions_;
-    ++retries_[index];
+    ++retries_[static_cast<std::size_t>(chunk)];
   }
   send_(chunk, chunk % stride_, is_retransmission);
-  transport_.schedule(retry_delay_ns(retries_[index]),
+  arm_timer(chunk);
+}
+
+void RetransmitWindow::arm_timer(int chunk) {
+  transport_.schedule(retry_delay_ns(retries_[static_cast<std::size_t>(chunk)]),
                       [this, chunk, alive = std::weak_ptr<int>(alive_)] {
                         if (alive.expired()) return;  // window destroyed first
                         if (failed_ || is_done(chunk)) return;

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "net/transport.hpp"
@@ -61,6 +62,15 @@ class RetransmitWindow {
   /// Launches the initial window: one in-flight chunk per active slot.
   void start();
 
+  /// Batched window emission (ISSUE 5): when set, start() marks the whole
+  /// initial window in flight and hands every chunk to this callback in
+  /// one call — the owner typically packs them into a single
+  /// HostRuntime::send_batch / Transport::send_batch — then arms the
+  /// per-chunk retry timers. Retransmissions and the chunks chained by
+  /// acknowledge_slot() still go through the per-chunk SendFn.
+  using BatchStartFn = std::function<void(std::span<const int> chunks)>;
+  void set_batch_start(BatchStartFn fn) { batch_start_ = std::move(fn); }
+
   /// Active slots: min(window, chunks).
   [[nodiscard]] int stride() const { return stride_; }
   /// Version bit of a chunk (the alternating-bit rule).
@@ -93,11 +103,14 @@ class RetransmitWindow {
 
  private:
   void launch(int chunk, bool is_retransmission);
+  /// Arms the retransmission timer for a chunk just (re)sent.
+  void arm_timer(int chunk);
   void give_up(int chunk);
 
   net::Transport& transport_;
   Config config_;
   SendFn send_;
+  BatchStartFn batch_start_;
   /// Sentinel captured (weakly) by armed timers; expires with the window.
   std::shared_ptr<int> alive_ = std::make_shared<int>(0);
   int stride_ = 1;

@@ -250,16 +250,19 @@ TEST(SwdServer, ControlPlaneThroughDeviceConnection) {
   EXPECT_EQ(connection.device_id(), 3);
 
   // Managed memory: the same calls DeviceConnection serves against a
-  // simulated device, now over the TCP control plane.
-  EXPECT_TRUE(connection.managed_write("thresh", 500));
+  // simulated device, now over the TCP control plane. The typed forms
+  // (ISSUE 5) distinguish "daemon refused" from transport failures.
+  EXPECT_TRUE(connection.managed_write_e("thresh", 500).ok());
   std::uint64_t value = 0;
-  EXPECT_TRUE(connection.managed_read("thresh", value));
+  EXPECT_TRUE(connection.managed_read_e("thresh", value).ok());
   EXPECT_EQ(value, 500u);
-  EXPECT_FALSE(connection.managed_read("no_such_symbol", value));
+  const runtime::Error missing = connection.managed_read_e("no_such_symbol", value);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.kind, runtime::ErrorKind::kRejected);
 
-  EXPECT_TRUE(connection.insert("cache", 5, 1234));
-  EXPECT_TRUE(connection.remove("cache", 5));
-  EXPECT_TRUE(connection.set_multicast_group(42, {1, 2}));
+  EXPECT_TRUE(connection.insert_e("cache", 5, 1234).ok());
+  EXPECT_TRUE(connection.remove_e("cache", 5).ok());
+  EXPECT_TRUE(connection.set_multicast_group_e(42, {1, 2}).ok());
 
   const sim::DeviceStats* stats = connection.stats();
   ASSERT_NE(stats, nullptr);
@@ -400,11 +403,12 @@ TEST(SwdServer, CrashRestartBumpsGenerationAndResyncRestoresState) {
 
   DeviceConnection connection("127.0.0.1", server.control_port(), tight_options());
   ASSERT_TRUE(connection.valid());
-  std::uint32_t generation_before = 0;
-  ASSERT_TRUE(connection.ping(generation_before));
-  EXPECT_TRUE(connection.managed_write("thresh", 500));
-  EXPECT_TRUE(connection.insert("cache", 5, 1234));
-  EXPECT_TRUE(connection.set_multicast_group(42, {1, 2}));
+  runtime::PingInfo ping_before;
+  ASSERT_TRUE(connection.ping(ping_before));
+  const std::uint32_t generation_before = ping_before.generation;
+  EXPECT_TRUE(connection.managed_write_e("thresh", 500).ok());
+  EXPECT_TRUE(connection.insert_e("cache", 5, 1234).ok());
+  EXPECT_TRUE(connection.set_multicast_group_e(42, {1, 2}).ok());
 
   // Crash: applied on the serving thread within one poll turn; from then
   // on every request fails within its deadline instead of blocking. The
@@ -414,7 +418,7 @@ TEST(SwdServer, CrashRestartBumpsGenerationAndResyncRestoresState) {
   std::uint64_t value = 0;
   bool request_failed = false;
   while (!request_failed && wall_ms_since(crash_start) < 5000.0) {
-    request_failed = !connection.managed_read("thresh", value);
+    request_failed = !connection.managed_read_e("thresh", value).ok();
   }
   EXPECT_TRUE(request_failed);
   EXPECT_TRUE(connection.last_error());
@@ -422,19 +426,20 @@ TEST(SwdServer, CrashRestartBumpsGenerationAndResyncRestoresState) {
   // Restart: the "new process" answers again, with a bumped generation and
   // compiled-in defaults — the offloaded 500 is gone until resync.
   server.inject_restart();
-  std::uint32_t generation_after = 0;
+  runtime::PingInfo ping_after;
   const auto restart_start = std::chrono::steady_clock::now();
-  while (!connection.ping(generation_after) && wall_ms_since(restart_start) < 5000.0) {
+  while (!connection.ping(ping_after) && wall_ms_since(restart_start) < 5000.0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
+  const std::uint32_t generation_after = ping_after.generation;
   ASSERT_NE(generation_after, 0u);
   EXPECT_NE(generation_after, generation_before);
-  ASSERT_TRUE(connection.managed_read("thresh", value));
+  ASSERT_TRUE(connection.managed_read_e("thresh", value).ok());
   EXPECT_EQ(value, 0u);
 
-  EXPECT_TRUE(connection.resync());
+  EXPECT_TRUE(connection.resync_e().ok());
   EXPECT_EQ(connection.resyncs(), 1u);
-  ASSERT_TRUE(connection.managed_read("thresh", value));
+  ASSERT_TRUE(connection.managed_read_e("thresh", value).ok());
   EXPECT_EQ(value, 500u);
 
   server.stop();
@@ -536,7 +541,9 @@ TEST(SwdServer, HostExecuteFallbackIsByteIdenticalOverRealUdp) {
       transport,
       [&] {
         runtime::FailureDetector::ProbeResult result;
-        result.reachable = probe_connection.ping(result.generation);
+        runtime::PingInfo info;
+        result.reachable = probe_connection.ping(info);
+        result.generation = info.generation;
         return result;
       },
       detector_config);

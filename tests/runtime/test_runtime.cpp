@@ -275,9 +275,10 @@ TEST(DeviceConnection, InvalidDeviceId) {
   sim::Fabric fabric;
   DeviceConnection connection(fabric, 99);
   EXPECT_FALSE(connection.valid());
-  EXPECT_FALSE(connection.managed_write("x", 1));
+  // The typed forms name the failure: no device attached → kDisconnected.
+  EXPECT_EQ(connection.managed_write_e("x", 1).kind, runtime::ErrorKind::kDisconnected);
   std::uint64_t out = 0;
-  EXPECT_FALSE(connection.managed_read("x", out));
+  EXPECT_EQ(connection.managed_read_e("x", out).kind, runtime::ErrorKind::kDisconnected);
 }
 
 // --- failure detection and fallback (ISSUE 3) --------------------------------
@@ -295,9 +296,9 @@ driver::CompileResult compile_app(const std::string& source, const DefineMap& de
 FailureDetector::ProbeFn probe_of(DeviceConnection& connection) {
   return [&connection] {
     FailureDetector::ProbeResult result;
-    std::uint32_t generation = 0;
-    result.reachable = connection.ping(generation);
-    result.generation = generation;
+    runtime::PingInfo info;
+    result.reachable = connection.ping(info);
+    result.generation = info.generation;
     return result;
   };
 }
@@ -549,10 +550,10 @@ TEST(DeviceConnection, ResyncReplaysJournalAfterRestart) {
   fabric.add_device(driver::make_device(std::move(compiled), 1));
   DeviceConnection connection(fabric, 1);
   ASSERT_TRUE(connection.valid());
-  ASSERT_TRUE(connection.managed_write("thresh", 500));
-  ASSERT_TRUE(connection.insert("route", 7, 70));
-  ASSERT_TRUE(connection.insert("route", 8, 80));
-  ASSERT_TRUE(connection.remove("route", 8));
+  ASSERT_TRUE(connection.managed_write_e("thresh", 500).ok());
+  ASSERT_TRUE(connection.insert_e("route", 7, 70).ok());
+  ASSERT_TRUE(connection.insert_e("route", 8, 80).ok());
+  ASSERT_TRUE(connection.remove_e("route", 8).ok());
 
   // Table contents are only observable the way a packet would see them.
   auto lookup = [&](std::uint64_t key, std::uint64_t& out) {
@@ -566,14 +567,14 @@ TEST(DeviceConnection, ResyncReplaysJournalAfterRestart) {
   fabric.crash_device(1);
   fabric.restart_device(1);
   std::uint64_t value = 0;
-  ASSERT_TRUE(connection.managed_read("thresh", value));
+  ASSERT_TRUE(connection.managed_read_e("thresh", value).ok());
   EXPECT_EQ(value, 0u);
   EXPECT_FALSE(lookup(7, value));
 
   // ...and resync() restores exactly the journaled state.
-  EXPECT_TRUE(connection.resync());
+  EXPECT_TRUE(connection.resync_e().ok());
   EXPECT_EQ(connection.resyncs(), 1u);
-  ASSERT_TRUE(connection.managed_read("thresh", value));
+  ASSERT_TRUE(connection.managed_read_e("thresh", value).ok());
   EXPECT_EQ(value, 500u);
   ASSERT_TRUE(lookup(7, value));
   EXPECT_EQ(value, 70u);
