@@ -2,6 +2,7 @@
 // Prometheus scrape endpoint (ISSUE 4).
 //
 //   ncl-top --port 9464 [--host 127.0.0.1] [--interval 1.0] [--once]
+//           [--control-port P]
 //
 // Each tick scrapes the endpoint with a plain HTTP/1.0 GET, parses the
 // text exposition, and redraws: every series' current value plus its rate
@@ -9,9 +10,16 @@
 // --once scrapes a single time, prints without screen control, and exits
 // nonzero if the scrape failed or was not well-formed Prometheus text —
 // which is what the CI smoke step runs.
+//
+// With --control-port, pressing `d` fetches the daemon's flight-recorder
+// events over the kFlightDump control op and writes a clock-aligned
+// postmortem (flightdump_ncl-top_*.jsonl + .trace.json) on the operator's
+// machine (ISSUE 6); `q` quits.
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <termios.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -21,15 +29,21 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "net/control.hpp"
+#include "obs/flightrec.hpp"
 
 namespace {
 
 struct Options {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
+  /// netcl-swd control-plane port; enables the `d` flight-dump keybinding.
+  std::uint16_t control_port = 0;
   double interval_s = 1.0;
   bool once = false;
 };
@@ -37,7 +51,89 @@ struct Options {
 void usage() {
   std::fprintf(stderr,
                "usage: ncl-top --port <metrics-port> [--host <ipv4>] "
-               "[--interval <seconds>] [--once]\n");
+               "[--interval <seconds>] [--once] [--control-port <port>]\n");
+}
+
+/// Puts the controlling terminal into non-canonical, no-echo mode for the
+/// interactive keybindings ('d' = flight dump, 'q' = quit) and restores it
+/// on destruction. A non-tty stdin (CI pipes) leaves everything alone.
+class RawTerminal {
+ public:
+  RawTerminal() {
+    if (::isatty(STDIN_FILENO) != 1) return;
+    if (::tcgetattr(STDIN_FILENO, &saved_) != 0) return;
+    termios raw = saved_;
+    raw.c_lflag &= ~static_cast<tcflag_t>(ICANON | ECHO);
+    raw.c_cc[VMIN] = 0;
+    raw.c_cc[VTIME] = 0;
+    active_ = ::tcsetattr(STDIN_FILENO, TCSANOW, &raw) == 0;
+  }
+  ~RawTerminal() {
+    if (active_) ::tcsetattr(STDIN_FILENO, TCSANOW, &saved_);
+  }
+  RawTerminal(const RawTerminal&) = delete;
+  RawTerminal& operator=(const RawTerminal&) = delete;
+
+ private:
+  termios saved_{};
+  bool active_ = false;
+};
+
+/// Waits up to `timeout_s` for one keypress; returns it, or 0 on timeout.
+char poll_key(double timeout_s) {
+  pollfd pfd{STDIN_FILENO, POLLIN, 0};
+  const int timeout_ms = static_cast<int>(std::max(timeout_s, 0.0) * 1000.0);
+  if (::poll(&pfd, 1, timeout_ms) <= 0 || (pfd.revents & POLLIN) == 0) return 0;
+  char key = 0;
+  return ::read(STDIN_FILENO, &key, 1) == 1 ? key : 0;
+}
+
+/// The `d` keybinding: fetch the daemon's recent flight events over the
+/// control plane and write a merged, clock-aligned postmortem locally.
+void flight_dump(const Options& options) {
+  if (options.control_port == 0) {
+    std::fprintf(stderr, "ncl-top: flight dump needs --control-port\n");
+    return;
+  }
+  netcl::net::ControlClient client(options.host, options.control_port);
+  netcl::net::ControlClient::FlightDumpResult result;
+  if (!client.flight_dump(0, result)) {
+    std::fprintf(stderr, "ncl-top: kFlightDump request to %s:%u failed\n",
+                 options.host.c_str(), options.control_port);
+    return;
+  }
+  netcl::obs::FlightStream daemon;
+  daemon.process = "netcl-swd";
+  daemon.offset_ns = result.offset_ns;
+  daemon.events = std::move(result.events);
+  const std::string base =
+      netcl::obs::FlightRecorder::instance().trigger_dump("keypress", {daemon});
+  if (base.empty()) {
+    std::fprintf(stderr, "ncl-top: flight dump suppressed (rate limit)\n");
+  } else {
+    std::fprintf(stderr, "ncl-top: wrote %s.jsonl and %s.trace.json (%zu daemon events)\n",
+                 base.c_str(), base.c_str(), daemon.events.size());
+  }
+}
+
+/// Sleeps one refresh interval while watching stdin for keybindings.
+/// Returns false when the user pressed `q`. Non-tty stdin (pipes, CI)
+/// degrades to a plain sleep so EOF never busy-loops.
+bool wait_for_tick(const Options& options) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(options.interval_s);
+  if (::isatty(STDIN_FILENO) != 1) {
+    std::this_thread::sleep_until(deadline);
+    return true;
+  }
+  for (;;) {
+    const double remaining =
+        std::chrono::duration<double>(deadline - std::chrono::steady_clock::now()).count();
+    if (remaining <= 0.0) return true;
+    const char key = poll_key(remaining);
+    if (key == 'q') return false;
+    if (key == 'd') flight_dump(options);
+  }
 }
 
 /// One blocking HTTP/1.0 GET; returns false on any socket failure. `body`
@@ -120,8 +216,11 @@ bool parse(const std::string& body, std::map<std::string, Series>& out) {
 void render(const std::map<std::string, Series>& now, const std::map<std::string, Series>& prev,
             double dt_s, const Options& options) {
   if (!options.once) std::printf("\033[2J\033[H");
+  const char* keys = options.once ? ""
+                     : options.control_port != 0 ? ", q quit / d flight-dump"
+                                                 : ", q to quit";
   std::printf("ncl-top — %s:%u  (%zu series%s)\n", options.host.c_str(), options.port,
-              now.size(), options.once ? "" : ", q^C to quit");
+              now.size(), keys);
   std::printf("%-64s %14s %12s\n", "series", "value", "rate/s");
   for (const auto& [name, series] : now) {
     char rate[32] = "";
@@ -165,6 +264,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.interval_s = std::atof(v);
+    } else if (arg == "--control-port") {
+      const char* v = next();
+      if (v == nullptr) {
+        usage();
+        return 2;
+      }
+      options.control_port = static_cast<std::uint16_t>(std::atoi(v));
     } else if (arg == "--once") {
       options.once = true;
     } else {
@@ -176,6 +282,9 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  netcl::obs::FlightRecorder::instance().set_process_label("ncl-top");
+  std::unique_ptr<RawTerminal> raw_terminal;
+  if (!options.once) raw_terminal = std::make_unique<RawTerminal>();
 
   std::map<std::string, Series> prev;
   auto prev_at = std::chrono::steady_clock::now();
@@ -185,14 +294,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "ncl-top: scrape of %s:%u failed\n", options.host.c_str(),
                    options.port);
       if (options.once) return 1;
-      std::this_thread::sleep_for(std::chrono::duration<double>(options.interval_s));
+      if (!wait_for_tick(options)) return 0;
       continue;
     }
     std::map<std::string, Series> now;
     if (!parse(body, now)) {
       std::fprintf(stderr, "ncl-top: response is not well-formed Prometheus text\n");
       if (options.once) return 1;
-      std::this_thread::sleep_for(std::chrono::duration<double>(options.interval_s));
+      if (!wait_for_tick(options)) return 0;
       continue;
     }
     const auto now_at = std::chrono::steady_clock::now();
@@ -200,6 +309,6 @@ int main(int argc, char** argv) {
     if (options.once) return 0;
     prev = std::move(now);
     prev_at = now_at;
-    std::this_thread::sleep_for(std::chrono::duration<double>(options.interval_s));
+    if (!wait_for_tick(options)) return 0;
   }
 }

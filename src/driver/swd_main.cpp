@@ -15,6 +15,10 @@
 //                          the flag is absent)
 //     --quiet              suppress the shutdown stats line
 //
+// SIGUSR2 writes a flight-recorder postmortem (flightdump_netcl-swd_*.jsonl
+// + .trace.json, into $NETCL_FLIGHT_DIR or the working directory); the
+// kFlightDump control op ships the same events to a host instead.
+//
 // Compiles the NetCL-C source for the device (exactly what ncc does),
 // loads the artifact into the sim::SwitchDevice execution engine, and
 // serves NetCL packets on UDP plus control-plane requests on TCP. On
@@ -31,6 +35,7 @@
 
 #include "driver/compiler.hpp"
 #include "net/swd_server.hpp"
+#include "obs/flightrec.hpp"
 
 namespace {
 
@@ -143,6 +148,11 @@ int main(int argc, char** argv) {
   g_server = &server;
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  // Flight recorder (ISSUE 6): label this process's event stream, and let
+  // SIGUSR2 request a postmortem dump (written by the poll loop, into
+  // $NETCL_FLIGHT_DIR or the working directory).
+  netcl::obs::FlightRecorder::instance().set_process_label("netcl-swd");
+  netcl::obs::FlightRecorder::install_signal_handler();
 
   std::cout << "netcl-swd: device " << device_id << " ready (udp " << server.udp_port()
             << ", control " << server.control_port();

@@ -11,10 +11,20 @@
 // Single-threaded by design, like the event loops that own one — each
 // UdpTransport/SwdServer has its own pool; nothing is shared across
 // threads.
+//
+// Observability (ISSUE 6): bind_metrics() wires the pool to its owner's
+// MetricsRegistry — buffer_pool.hits (acquires served from the pool),
+// buffer_pool.misses (acquires that had to allocate), and the
+// buffer_pool.high_watermark gauge (peak buffers outstanding at once).
+// The counters reach the retained store with the registry, so ncl-top and
+// the Prometheus endpoint show pool effectiveness per transport.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace netcl::net {
 
@@ -24,18 +34,42 @@ class BufferPool {
   /// memory (a burst does not pin its high-water mark forever).
   explicit BufferPool(std::size_t max_buffers = 64) : max_buffers_(max_buffers) {}
 
+  /// Publishes hit/miss/high-watermark metrics into `registry`, which must
+  /// outlive the pool. Counts accumulated before binding are carried over.
+  void bind_metrics(obs::MetricsRegistry& registry) {
+    hits_ = &registry.counter("buffer_pool.hits");
+    misses_ = &registry.counter("buffer_pool.misses");
+    high_watermark_ = &registry.gauge("buffer_pool.high_watermark");
+    hits_->inc(reuses_);
+    misses_->inc(allocations_);
+    high_watermark_->set(static_cast<double>(peak_outstanding_));
+  }
+
   /// An empty buffer, with whatever capacity its previous life grew.
   [[nodiscard]] std::vector<std::uint8_t> acquire() {
-    if (free_.empty()) return {};
+    ++outstanding_;
+    if (outstanding_ > peak_outstanding_) {
+      peak_outstanding_ = outstanding_;
+      if (high_watermark_ != nullptr) {
+        high_watermark_->set(static_cast<double>(peak_outstanding_));
+      }
+    }
+    if (free_.empty()) {
+      ++allocations_;
+      if (misses_ != nullptr) misses_->inc();
+      return {};
+    }
     std::vector<std::uint8_t> buffer = std::move(free_.back());
     free_.pop_back();
     buffer.clear();  // keeps capacity
     ++reuses_;
+    if (hits_ != nullptr) hits_->inc();
     return buffer;
   }
 
   /// Returns a buffer to the pool (contents irrelevant; cleared on reuse).
   void release(std::vector<std::uint8_t>&& buffer) {
+    if (outstanding_ > 0) --outstanding_;
     if (free_.size() >= max_buffers_) return;  // let it free
     free_.push_back(std::move(buffer));
   }
@@ -44,11 +78,23 @@ class BufferPool {
   [[nodiscard]] std::size_t pooled() const { return free_.size(); }
   /// acquire() calls served from the pool instead of a fresh allocation.
   [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+  /// acquire() calls that had to allocate fresh storage.
+  [[nodiscard]] std::uint64_t allocations() const { return allocations_; }
+  /// Peak buffers simultaneously outstanding (acquired, not yet released).
+  [[nodiscard]] std::size_t high_watermark() const { return peak_outstanding_; }
 
  private:
   std::vector<std::vector<std::uint8_t>> free_;
   std::size_t max_buffers_;
   std::uint64_t reuses_ = 0;
+  std::uint64_t allocations_ = 0;
+  std::size_t outstanding_ = 0;
+  std::size_t peak_outstanding_ = 0;
+
+  // Owned by the registry the pool was bound to (null until bind_metrics).
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Gauge* high_watermark_ = nullptr;
 };
 
 }  // namespace netcl::net

@@ -14,6 +14,8 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/span.hpp"
+
 namespace netcl::net {
 
 namespace {
@@ -243,11 +245,13 @@ bool ControlClient::connect_now() {
       fail(runtime::ErrorKind::kDisconnected,
            std::string("connect: ") + std::strerror(so_error));
       disconnect();
+      obs::flight(obs::FlightKind::kControlReconnect, 0);
       return false;
     }
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  obs::flight(obs::FlightKind::kControlReconnect, 1);
   return true;
 }
 
@@ -257,6 +261,8 @@ void ControlClient::backoff(int attempt) {
                                options_.backoff_max_ms);
   // ±50% multiplicative jitter so retry storms decorrelate.
   const double delay_ms = base * (0.5 + jitter_.next_double());
+  obs::flight(obs::FlightKind::kControlBackoff, static_cast<std::uint64_t>(delay_ms),
+              static_cast<std::uint64_t>(attempt));
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
 }
 
@@ -271,9 +277,14 @@ bool ControlClient::roundtrip(const ByteWriter& request, std::vector<std::uint8_
 
   // Pooled frame buffer: read_frame resizes into recycled capacity, so
   // the steady-state control plane does not allocate per round trip.
+  const std::uint64_t op = request.bytes().empty() ? 0 : request.bytes()[0];
+  obs::flight(obs::FlightKind::kControlRequest, op, request.bytes().size());
   std::vector<std::uint8_t> frame = pool_.acquire();
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
-    if (attempt > 0) backoff(attempt);
+    if (attempt > 0) {
+      obs::flight(obs::FlightKind::kControlRetry, op, static_cast<std::uint64_t>(attempt));
+      backoff(attempt);
+    }
     if (fd_ < 0 && !connect_now()) continue;
     const auto deadline =
         std::chrono::steady_clock::now() +
@@ -422,6 +433,40 @@ bool ControlClient::metrics_text(std::string& out) {
   // Raw UTF-8 body — the frame length already delimits it, and a str()'s
   // u16 length prefix would cap the exposition at 64 KiB.
   out.assign(response.begin(), response.end());
+  return true;
+}
+
+bool ControlClient::flight_dump(std::uint32_t window_seconds, FlightDumpResult& out) {
+  ByteWriter request;
+  request.u8(static_cast<std::uint8_t>(ControlOp::kFlightDump));
+  request.u32(window_seconds);
+  // Bracket the round trip on the flight clock: the daemon reads its
+  // device clock once in between, which is exactly the align_clocks()
+  // midpoint-estimator setup (error ≤ RTT/2).
+  const std::uint64_t send_ns = obs::flight_now_ns();
+  std::vector<std::uint8_t> response;
+  if (!roundtrip(request, response)) return false;
+  const std::uint64_t recv_ns = obs::flight_now_ns();
+  ByteReader reader(response);
+  out.device_clock_now_ns = reader.u64();
+  const std::uint32_t count = reader.u32();
+  out.events.clear();
+  out.events.reserve(count);
+  for (std::uint32_t i = 0; i < count && reader.ok(); ++i) {
+    obs::FlightEvent event;
+    event.ts_ns = reader.u64();
+    event.kind = reader.u16();
+    event.ring = reader.u16();
+    event.seq = i;
+    event.a = reader.u64();
+    event.b = reader.u64();
+    out.events.push_back(event);
+  }
+  if (!reader.ok()) return false;
+  const obs::ClockAlignment alignment =
+      obs::align_clocks(static_cast<double>(send_ns), static_cast<double>(recv_ns),
+                        static_cast<double>(out.device_clock_now_ns));
+  out.offset_ns = alignment.valid ? alignment.offset_ns : 0.0;
   return true;
 }
 

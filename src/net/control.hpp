@@ -24,6 +24,7 @@
 
 #include "net/buffer_pool.hpp"
 #include "net/wire.hpp"
+#include "obs/flightrec.hpp"
 #include "runtime/error.hpp"
 #include "sim/switch.hpp"
 #include "support/hashes.hpp"
@@ -43,6 +44,12 @@ enum class ControlOp : std::uint8_t {
   kRegisterAccess = 7,  // -> u16 count, { str name, u64 reads, u64 writes }*
   kSetMulticastGroup = 8,  // u16 group, u16 count, u16 host_id*
   kMetricsText = 9,        // -> raw Prometheus exposition (same body as --metrics-port)
+  // Flight-recorder fetch (ISSUE 6): the daemon's last `u32 window_s`
+  // seconds of events, timestamps converted to the device clock (the
+  // clockbase PONG exposes, so align_clocks() can merge them with host
+  // events). -> u64 device_clock_now_ns, u32 count,
+  //            { u64 ts_device_ns, u16 kind, u16 ring, u64 a, u64 b }*
+  kFlightDump = 10,
 };
 
 inline constexpr std::uint8_t kControlOk = 0;
@@ -132,6 +139,20 @@ class ControlClient {
   /// plane — same body --metrics-port serves, for clients that already
   /// hold a control connection (ncl-top's fallback path).
   bool metrics_text(std::string& out);
+
+  /// The daemon's flight-recorder events from the last `window_seconds`
+  /// (0 = the recorder's default window), ready to merge into a local
+  /// postmortem as an obs::FlightStream.
+  struct FlightDumpResult {
+    /// host_flight_clock ≈ device_clock + offset_ns, estimated by
+    /// obs::align_clocks over this very round trip — feed it straight to
+    /// FlightStream::offset_ns (and SpanCollector::set_clock_offset).
+    double offset_ns = 0.0;
+    std::uint64_t device_clock_now_ns = 0;
+    /// Timestamps on the daemon's device clock, oldest first.
+    std::vector<obs::FlightEvent> events;
+  };
+  bool flight_dump(std::uint32_t window_seconds, FlightDumpResult& out);
 
  private:
   /// Sends one request frame and reads the response, retrying with backoff

@@ -13,6 +13,7 @@
 
 #include "net/control.hpp"
 #include "net/wire.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/prometheus.hpp"
 #include "runtime/device_runtime.hpp"
 #include "sim/telemetry.hpp"
@@ -52,6 +53,7 @@ SwdServer::SwdServer(std::unique_ptr<sim::SwitchDevice> device, const SwdOptions
       max_seconds_(options.max_seconds),
       idle_timeout_seconds_(options.idle_timeout_seconds),
       epoch_(std::chrono::steady_clock::now()) {
+  pool_.bind_metrics(metrics_);
   // A restarted daemon is a new process with fresh (empty) state; a
   // wall-clock-derived generation makes that visible to pinging hosts.
   device_->set_generation(
@@ -395,6 +397,38 @@ std::vector<std::uint8_t> SwdServer::handle_control(std::span<const std::uint8_t
         ok.raw({reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
         break;
       }
+      case ControlOp::kFlightDump: {
+        const std::uint32_t window_s = reader.u32();
+        handled = reader.ok();
+        if (!handled) break;
+        const std::uint64_t window_ns =
+            window_s == 0 ? obs::FlightRecorder::kDefaultWindowNs
+                          : static_cast<std::uint64_t>(window_s) * 1000000000ull;
+        std::vector<obs::FlightEvent> events =
+            obs::FlightRecorder::instance().snapshot(window_ns);
+        // Keep the newest events if the window holds more than one frame
+        // can reasonably carry (events are sorted oldest-first).
+        constexpr std::size_t kMaxDumpEvents = 8192;
+        const std::size_t first =
+            events.size() > kMaxDumpEvents ? events.size() - kMaxDumpEvents : 0;
+        // Flight clock → device clock: the daemon's epoch on the flight
+        // clockbase, so clients can merge via the PONG-aligned offset.
+        const auto epoch_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                epoch_.time_since_epoch())
+                .count());
+        ok.u64(device_clock_ns());
+        ok.u32(static_cast<std::uint32_t>(events.size() - first));
+        for (std::size_t i = first; i < events.size(); ++i) {
+          const obs::FlightEvent& event = events[i];
+          ok.u64(event.ts_ns >= epoch_ns ? event.ts_ns - epoch_ns : 0);
+          ok.u16(event.kind);
+          ok.u16(event.ring);
+          ok.u64(event.a);
+          ok.u64(event.b);
+        }
+        break;
+      }
       default:
         handled = false;
         break;
@@ -433,6 +467,10 @@ std::string SwdServer::metrics_exposition() {
   metrics_.gauge("device.transits").set(static_cast<double>(stats.transits));
   metrics_.gauge("device.recirculations").set(static_cast<double>(stats.recirculations));
   metrics_.gauge("device.uptime_seconds").set(uptime_s());
+  const obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+  metrics_.gauge("flight.dropped_events")
+      .set(static_cast<double>(recorder.dropped_events()));
+  metrics_.gauge("flight.dumps_written").set(static_cast<double>(recorder.dumps_written()));
   return obs::prometheus_string();
 }
 
@@ -552,6 +590,12 @@ bool SwdServer::apply_fault_state() {
 
 void SwdServer::poll_once(int timeout_ms) {
   if (!valid()) return;
+  // SIGUSR2 (latched async-signal-safely by the handler swd_main installs)
+  // means "dump now": performed here, on the serving thread, outside
+  // signal context.
+  if (obs::FlightRecorder::consume_signal_dump()) {
+    obs::FlightRecorder::instance().trigger_dump("sigusr2");
+  }
   const bool crashed = apply_fault_state();
   if (crashed && !(connections_.empty() && metrics_connections_.empty())) {
     // A dead process holds no connections.
@@ -593,12 +637,19 @@ void SwdServer::poll_once(int timeout_ms) {
   for (const Connection& connection : metrics_connections_) {
     fds.push_back({connection.fd, POLLIN, 0});
   }
-  if (::poll(fds.data(), fds.size(), timeout_ms) <= 0) return;
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) {
+    obs::flight(obs::FlightKind::kPollCycle, 0, 0);
+    return;
+  }
 
+  const std::uint64_t received_before = packets_received.value();
   if ((fds[0].revents & POLLIN) != 0) {
     drain_data_socket(crashed);
     flush_egress();
   }
+  obs::flight(obs::FlightKind::kPollCycle, static_cast<std::uint64_t>(ready),
+              packets_received.value() - received_before);
   // accept_connection() below can grow connections_; only the pre-accept
   // entries have a pollfd at fds[2 + i].
   const std::size_t polled = connections_.size();

@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "net/wire.hpp"
+#include "obs/flightrec.hpp"
 
 namespace netcl::net {
 
@@ -39,6 +40,7 @@ UdpTransport::UdpTransport(const Options& options)
     : metrics_(options.metrics_name),
       max_syscall_batch_(std::clamp<std::size_t>(options.max_syscall_batch, 1, kMaxBatch)),
       epoch_(std::chrono::steady_clock::now()) {
+  pool_.bind_metrics(metrics_);
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd_ < 0) {
     error_ = std::string("socket: ") + std::strerror(errno);
@@ -92,7 +94,10 @@ void UdpTransport::send_batch(std::span<sim::Packet> packets) {
     serialize_packet(packet, wire);
     tx_wire_.push_back(std::move(wire));
   }
+  const std::uint64_t sent_before = packets_sent.value();
   transmit_wire_batch();
+  obs::flight(obs::FlightKind::kBatchSend, packets.size(),
+              packets_sent.value() - sent_before);
   for (std::vector<std::uint8_t>& wire : tx_wire_) pool_.release(std::move(wire));
   tx_wire_.clear();
 }
@@ -139,10 +144,14 @@ bool UdpTransport::transmit_gso_run(std::size_t offset, std::size_t run) {
 
   const ssize_t sent = ::sendmsg(fd_, &msg, 0);
   ++send_syscalls;
-  if (sent < 0) return false;  // kernel refused: caller disables GSO
+  if (sent < 0) {
+    obs::flight(obs::FlightKind::kSendError, static_cast<std::uint64_t>(errno));
+    return false;  // kernel refused: caller disables GSO
+  }
   ++gso_batches;
   packets_sent.inc(run);
   bytes_sent.inc(total);
+  obs::flight(obs::FlightKind::kGsoSend, run, total);
   return true;
 #else
   (void)offset;
@@ -184,15 +193,22 @@ void UdpTransport::transmit_wire_batch() {
     const int sent = ::sendmmsg(fd_, msgs, static_cast<unsigned>(chunk), 0);
     ++send_syscalls;
     if (sent <= 0) {
+      obs::flight(obs::FlightKind::kSendError, static_cast<std::uint64_t>(errno),
+                  tx_wire_.size() - offset);
       send_errors.inc(tx_wire_.size() - offset);
       return;
     }
+    obs::flight(obs::FlightKind::kSendmmsg, static_cast<std::uint64_t>(sent), chunk);
     for (int i = 0; i < sent; ++i) {
       ++packets_sent;
       bytes_sent.inc(tx_wire_[offset + static_cast<std::size_t>(i)].size());
     }
     // Partial completion (kernel took fewer than `chunk` messages): the
     // next syscall resumes at the first unsent buffer, preserving order.
+    if (static_cast<std::size_t>(sent) < chunk) {
+      obs::flight(obs::FlightKind::kSendPartial, static_cast<std::uint64_t>(sent),
+                  tx_wire_.size() - offset - static_cast<std::size_t>(sent));
+    }
     offset += static_cast<std::size_t>(sent);
   }
 #else
@@ -203,6 +219,7 @@ void UdpTransport::transmit_wire_batch() {
                                   reinterpret_cast<const sockaddr*>(&peer_), sizeof(peer_));
     ++send_syscalls;
     if (sent != static_cast<ssize_t>(wire.size())) {
+      obs::flight(obs::FlightKind::kSendError, static_cast<std::uint64_t>(errno));
       ++send_errors;
       continue;
     }
@@ -270,6 +287,7 @@ void UdpTransport::drain_socket() {
       ++packets_received;
       ++good;
     }
+    obs::flight(obs::FlightKind::kBatchRecv, good, static_cast<std::uint64_t>(received));
     if (good > 0) deliver({rx_batch_.data(), good});
     // A short batch means the queue is (almost certainly) empty; anything
     // racing in after the syscall is picked up on the next poll turn.
@@ -295,7 +313,10 @@ void UdpTransport::drain_socket() {
       ++packets_received;
       ++good;
     }
-    if (good > 0) deliver({rx_batch_.data(), good});
+    if (good > 0) {
+      obs::flight(obs::FlightKind::kBatchRecv, good, good);
+      deliver({rx_batch_.data(), good});
+    }
     if (drained) return;
 #endif
   }

@@ -5,7 +5,15 @@
 #include <utility>
 #include <vector>
 
+// Only src/obs is compiled with the definition; a stale object file
+// elsewhere must not silently claim a SHA.
+#ifndef NETCL_GIT_SHA
+#define NETCL_GIT_SHA "unknown"
+#endif
+
 namespace netcl::obs {
+
+const char* netcl_git_sha() { return NETCL_GIT_SHA; }
 
 namespace {
 
@@ -89,6 +97,12 @@ std::string prometheus_string(const std::map<std::string, RegistrySnapshot>& sna
   // registry names.
   add_line(families, "netcl_packets_total", "counter",
            "netcl_packets_total " + std::to_string(packets_total));
+
+  // Build identity (value is always 1; the information is in the labels),
+  // the standard Prometheus idiom for joining metrics to a version.
+  add_line(families, "netcl_build_info", "gauge",
+           "netcl_build_info{git_sha=\"" + std::string(netcl_git_sha()) +
+               "\",version=\"" + std::string(kNetclVersion) + "\"} 1");
 
   std::string out;
   for (const auto& [family, f] : families) {

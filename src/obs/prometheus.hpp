@@ -23,6 +23,14 @@
 
 namespace netcl::obs {
 
+/// The netcl release version, as in `ncc --version`.
+inline constexpr const char* kNetclVersion = "0.2.0";
+
+/// Short git SHA the build was configured from ("unknown" outside a git
+/// checkout). Stamped at compile time via the NETCL_GIT_SHA definition —
+/// the same stamp bench_util.hpp puts in BENCH_*.json metadata.
+[[nodiscard]] const char* netcl_git_sha();
+
 /// Prometheus-legal metric name: "netcl_" + name with every character
 /// outside [a-zA-Z0-9_] replaced by '_'.
 [[nodiscard]] std::string prometheus_metric_name(const std::string& name);

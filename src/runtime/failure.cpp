@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/flightrec.hpp"
+
 namespace netcl::runtime {
 
 const char* to_string(FailureDetector::State state) {
@@ -63,31 +65,49 @@ void FailureDetector::probe_now() {
   if (!result.reachable) {
     if (heartbeats_missed_ != nullptr) ++*heartbeats_missed_;
     ++consecutive_misses_;
+    obs::flight(obs::FlightKind::kHeartbeatMiss,
+                static_cast<std::uint64_t>(consecutive_misses_),
+                static_cast<std::uint64_t>(config_.miss_threshold));
     if (state_ == State::kUp && consecutive_misses_ >= config_.miss_threshold) {
       state_ = State::kDown;
       down_since_ns_ = transport_.now_ns();
       if (device_up_ != nullptr) device_up_->set(0.0);
       if (failovers_ != nullptr) ++*failovers_;
+      obs::flight(obs::FlightKind::kDeviceDown,
+                  static_cast<std::uint64_t>(consecutive_misses_), generation_);
       notify(false);
+      // The anomaly the recorder exists for: snapshot the lead-up (the
+      // misses above, the batches and retries before them) while it is
+      // still in the rings. Subscribers ran first so fallback entry is in
+      // the dump too.
+      obs::FlightRecorder::instance().trigger_dump("device_down");
     }
     return;
   }
 
   if (heartbeats_ok_ != nullptr) ++*heartbeats_ok_;
+  obs::flight(obs::FlightKind::kHeartbeatOk, result.generation);
   consecutive_misses_ = 0;
   // First contact establishes the baseline generation silently; after
   // that, any change means the device lost its state.
   const bool generation_changed = generation_ != 0 && result.generation != generation_;
+  const std::uint32_t previous_generation = generation_;
   generation_ = result.generation;
-  if (generation_changed && generation_changes_ != nullptr) ++*generation_changes_;
+  if (generation_changed) {
+    if (generation_changes_ != nullptr) ++*generation_changes_;
+    obs::flight(obs::FlightKind::kGenerationChange, previous_generation, result.generation);
+  }
 
   if (state_ == State::kDown) {
     state_ = State::kUp;
     if (device_up_ != nullptr) device_up_->set(1.0);
     if (recoveries_ != nullptr) ++*recoveries_;
+    const double outage_ns = transport_.now_ns() - down_since_ns_;
     if (failover_latency_ns_ != nullptr) {
-      failover_latency_ns_->record(transport_.now_ns() - down_since_ns_);
+      failover_latency_ns_->record(outage_ns);
     }
+    obs::flight(obs::FlightKind::kDeviceUp, result.generation,
+                static_cast<std::uint64_t>(outage_ns < 0.0 ? 0.0 : outage_ns));
     notify(generation_changed);
   } else if (generation_changed) {
     // Restarted between two heartbeats: never observed DOWN, but the

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "net/sim_transport.hpp"
+#include "obs/flightrec.hpp"
 #include "support/diagnostics.hpp"
 
 namespace netcl::runtime {
@@ -174,6 +175,14 @@ void HostRuntime::send_batch(std::span<Outbound> batch) {
 }
 
 bool HostRuntime::handle_down_send(sim::Packet& packet, int computation) {
+  obs::flight(obs::FlightKind::kFallback, static_cast<std::uint64_t>(fallback_policy_),
+              send_queue_.size());
+  if (fallback_dump_armed_) {
+    // First send of this outage: snapshot the lead-up while the heartbeat
+    // misses and DOWN transition are still in the rings.
+    fallback_dump_armed_ = false;
+    obs::FlightRecorder::instance().trigger_dump("fallback");
+  }
   switch (fallback_policy_) {
     case FallbackPolicy::kFailFast:
       ++fallback_fail_fast;
@@ -211,6 +220,8 @@ bool HostRuntime::handle_down_send(sim::Packet& packet, int computation) {
 }
 
 void HostRuntime::flush_queue() {
+  const std::uint64_t flushed_before = fallback_flushed.value();
+  const bool had_queue = !send_queue_.empty();
   while (!send_queue_.empty()) {
     sim::Packet packet = std::move(send_queue_.front());
     send_queue_.pop_front();
@@ -228,15 +239,25 @@ void HostRuntime::flush_queue() {
     ++fallback_flushed;
     ++metrics_.counter("comp" + std::to_string(comp) + ".sent");
   }
+  if (had_queue) {
+    obs::flight(obs::FlightKind::kQueueFlush, fallback_flushed.value() - flushed_before);
+  }
 }
 
 void HostRuntime::attach_failure_detector(FailureDetector& detector) {
   detector_ = &detector;
   detector.subscribe([this](FailureDetector::State state, bool generation_changed) {
-    if (state != FailureDetector::State::kUp) return;
+    if (state != FailureDetector::State::kUp) {
+      fallback_dump_armed_ = true;
+      return;
+    }
     // Order matters on recovery: re-offload managed state first, then let
     // buffered traffic loose against the restored device.
-    if (generation_changed && on_resync_) on_resync_();
+    if (generation_changed && on_resync_) {
+      on_resync_();
+      obs::flight(obs::FlightKind::kResync, 0,
+                  detector_ != nullptr ? detector_->generation() : 0);
+    }
     flush_queue();
   });
 }

@@ -212,6 +212,9 @@ class HostRuntime {
   FallbackPolicy fallback_policy_ = FallbackPolicy::kFailFast;
   std::unique_ptr<HostExecutor> host_executor_;
   std::deque<sim::Packet> send_queue_;  // kQueueUntilRecovered buffer
+  /// Armed on a DOWN transition; the first fallback send of the outage
+  /// triggers a flight-recorder postmortem (ISSUE 6), then disarms.
+  bool fallback_dump_armed_ = false;
   Error error_;
   std::function<void(const Error&)> on_error_;
   std::function<void()> on_resync_;
@@ -259,21 +262,6 @@ class DeviceConnection {
   /// them crashed. This is what a FailureDetector's ProbeFn should call.
   [[nodiscard]] Error ping_e(PingInfo& info);
   bool ping(PingInfo& info) { return ping_e(info).ok(); }
-  /// Pre-ISSUE-5 overloads; the PingInfo form replaces both.
-  [[deprecated("use ping(PingInfo&)")]] bool ping(std::uint32_t& generation) {
-    PingInfo info;
-    const bool ok = ping(info);
-    generation = info.generation;
-    return ok;
-  }
-  [[deprecated("use ping(PingInfo&)")]] bool ping(std::uint32_t& generation,
-                                                  std::uint64_t& device_clock_ns) {
-    PingInfo info;
-    const bool ok = ping(info);
-    generation = info.generation;
-    device_clock_ns = info.device_clock_ns;
-    return ok;
-  }
   /// Last transport-level failure from the remote control client (empty
   /// for sim devices, which cannot time out).
   [[nodiscard]] Error last_error() const;

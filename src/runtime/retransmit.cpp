@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/flightrec.hpp"
+
 namespace netcl::runtime {
 
 RetransmitWindow::RetransmitWindow(net::Transport& transport, const Config& config,
@@ -72,10 +74,15 @@ void RetransmitWindow::give_up(int chunk) {
   error_ = {ErrorKind::kRetriesExhausted,
             "chunk " + std::to_string(chunk) + " unacknowledged after " +
                 std::to_string(config_.max_retries) + " retransmissions"};
+  obs::flight(obs::FlightKind::kRetriesExhausted, static_cast<std::uint64_t>(chunk),
+              static_cast<std::uint64_t>(config_.max_retries));
   // Drain: chunk_for_slot() answers -1 everywhere, so late responses are
   // ignored and no slot chains a further launch.
   std::fill(slot_chunk_.begin(), slot_chunk_.end(), -1);
   if (on_error_) on_error_(error_);
+  // Postmortem of the retries that spent the budget (and whatever the
+  // error handler just did about it).
+  obs::FlightRecorder::instance().trigger_dump("retries_exhausted");
 }
 
 void RetransmitWindow::launch(int chunk, bool is_retransmission) {
@@ -84,6 +91,8 @@ void RetransmitWindow::launch(int chunk, bool is_retransmission) {
   if (is_retransmission) {
     ++retransmissions_;
     ++retries_[static_cast<std::size_t>(chunk)];
+    obs::flight(obs::FlightKind::kRetransmit, static_cast<std::uint64_t>(chunk),
+                static_cast<std::uint64_t>(retries_[static_cast<std::size_t>(chunk)]));
   }
   send_(chunk, chunk % stride_, is_retransmission);
   arm_timer(chunk);

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstring>
 #include <thread>
 
@@ -399,6 +400,45 @@ TEST(ClockAlignment, CollectorClampsResidualSkewIntoTheSpanWindow) {
   EXPECT_TRUE(found);
 }
 
+TEST(ClockAlignment, NegativeSkewAlignsHopsWithoutClamping) {
+  // The device clock runs AHEAD of the host (it "booted earlier"): send at
+  // 10000, device reads 15500 at host-midpoint 10500, reply at 11000 →
+  // offset −5000. The estimator must come out negative, and the collector
+  // must land negatively-shifted hops inside the span window without
+  // touching the clamp path.
+  const obs::ClockAlignment alignment = obs::align_clocks(10000.0, 11000.0, 15500.0);
+  ASSERT_TRUE(alignment.valid);
+  EXPECT_DOUBLE_EQ(alignment.offset_ns, -5000.0);
+
+  obs::Tracer trace;
+  trace.enable();
+  obs::MetricsRegistry metrics("test.negskew.telemetry");
+  obs::SpanCollector collector(trace, metrics);
+  collector.set_clock_offset(3, alignment.offset_ns);
+
+  obs::SpanSample sample;
+  sample.host_id = 1;
+  sample.computation = 1;
+  sample.send_ns = 10000.0;
+  sample.recv_ns = 11000.0;
+  TelemetryHop hop;
+  hop.device_id = 3;
+  hop.ingress_ns = 15200;  // aligned: 10200, inside [send, recv]
+  hop.egress_ns = 15800;   // aligned: 10800
+  sample.hops.push_back(hop);
+  collector.record_span(sample);
+
+  EXPECT_EQ(metrics.counter("int_clock_clamped").value(), 0u);
+  bool found = false;
+  for (const obs::TraceEvent& event : trace.events()) {
+    if (event.pid < obs::SpanCollector::kDevicePidBase) continue;
+    found = true;
+    EXPECT_DOUBLE_EQ(event.ts_us, 10200.0 / 1e3);
+    EXPECT_DOUBLE_EQ(event.dur_us, (10800.0 - 10200.0) / 1e3);
+  }
+  EXPECT_TRUE(found);
+}
+
 // --- metric-name hygiene and retained-store merge -----------------------------
 
 TEST(MetricHygiene, InvalidCharactersAreSanitizedAtRegistration) {
@@ -489,6 +529,13 @@ TEST(Prometheus, ExpositionIsWellFormed) {
   // The aggregate traffic line a scraper can assert without knowing
   // registry names: both packets_received counters summed.
   EXPECT_NE(text.find("\nnetcl_packets_total 10\n"), std::string::npos);
+  // Build identity (ISSUE 6): the same sha every BENCH_*.json is stamped
+  // with, as a constant gauge with git_sha/version labels.
+  EXPECT_NE(text.find("# TYPE netcl_build_info gauge"), std::string::npos);
+  EXPECT_NE(text.find("netcl_build_info{git_sha=\"" +
+                      std::string(obs::netcl_git_sha()) + "\",version=\"" +
+                      obs::kNetclVersion + "\"} 1"),
+            std::string::npos);
 
   // Every non-comment line is "name[{labels}] value" with a parseable
   // value — the 0.0.4 grammar a scraper depends on.
@@ -520,6 +567,52 @@ TEST(Prometheus, HistogramBucketsAreCumulative) {
   // The le="128" bucket (ceiling of [64,128)) must already include the
   // earlier sample — cumulative, not per-bucket.
   EXPECT_NE(text.find("netcl_h_bucket{registry=\"r\",le=\"128\"} 2"), std::string::npos);
+}
+
+TEST(Prometheus, ScrapeDuringConcurrentWritesStaysWellFormed) {
+  // A writer thread hammers a live registry while the exposition renders
+  // repeatedly. Counter/gauge loads are individually atomic (relaxed), so
+  // a scrape mid-write sees a torn *set* of values — benign by design —
+  // but every rendered document must still honor the 0.0.4 grammar.
+  obs::MetricsRegistry registry("test.scrape.race");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      registry.counter("race_events").inc();
+      registry.gauge("race_level").set(static_cast<double>(i % 1000));
+      registry.histogram("race_ns").record(static_cast<double>(i % 4096));
+      ++i;
+    }
+  });
+
+  // Don't start judging until the writer is actually running — the 50
+  // scrapes can otherwise complete before the thread is first scheduled.
+  while (registry.counter("race_events").value() == 0) {
+    std::this_thread::yield();
+  }
+
+  for (int scrape = 0; scrape < 50; ++scrape) {
+    const std::string text = obs::prometheus_string(obs::snapshot_all());
+    ASSERT_FALSE(text.empty());
+    std::size_t start = 0;
+    while (start < text.size()) {
+      std::size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      const std::string line = text.substr(start, end - start);
+      start = end + 1;
+      if (line.empty() || line[0] == '#') continue;
+      const std::size_t space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      char* parse_end = nullptr;
+      std::strtod(line.c_str() + space + 1, &parse_end);
+      ASSERT_EQ(*parse_end, '\0') << line;
+    }
+  }
+  stop.store(true);
+  writer.join();
+  // The writer made visible progress while we scraped.
+  EXPECT_GT(registry.counter("race_events").value(), 0u);
 }
 
 // --- the scrape endpoint ------------------------------------------------------
