@@ -5,7 +5,8 @@ namespace netcl::apps {
 AppSource agg_source(int num_workers, int num_slots, int slot_size) {
   AppSource app;
   app.name = "AGG";
-  app.defines = {{"NUM_SLOTS", static_cast<std::uint64_t>(num_slots)},
+  app.defines = {{"COMP", 1},
+                 {"NUM_SLOTS", static_cast<std::uint64_t>(num_slots)},
                  {"SLOT_SIZE", static_cast<std::uint64_t>(slot_size)},
                  {"NUM_WORKERS", static_cast<std::uint64_t>(num_workers)}};
   // Figure 7 of the paper, plus the SwitchML max-exponent step: each packet
@@ -17,7 +18,7 @@ _net_ uint32_t Agg[SLOT_SIZE][NUM_SLOTS * 2];
 _net_ uint8_t Count[NUM_SLOTS * 2];
 _net_ uint8_t MaxExp[NUM_SLOTS * 2];
 
-_kernel(1) _at(1) void allreduce(uint8_t ver, uint16_t bmp_idx,
+_kernel(COMP) _at(1) void allreduce(uint8_t ver, uint16_t bmp_idx,
                                  uint16_t agg_idx, uint16_t mask,
                                  uint8_t &exp,
                                  uint32_t _spec(SLOT_SIZE) *v) {
@@ -56,7 +57,8 @@ _kernel(1) _at(1) void allreduce(uint8_t ver, uint16_t bmp_idx,
 AppSource cache_source(int capacity, int val_words, int cms_cols) {
   AppSource app;
   app.name = "CACHE";
-  app.defines = {{"CACHE_CAPACITY", static_cast<std::uint64_t>(capacity)},
+  app.defines = {{"COMP", 1},
+                 {"CACHE_CAPACITY", static_cast<std::uint64_t>(capacity)},
                  {"VAL_WORDS", static_cast<std::uint64_t>(val_words)},
                  {"CMS_COLS", static_cast<std::uint64_t>(cms_cols)},
                  {"GET_REQ", 1},
@@ -92,7 +94,7 @@ _net_ void hot_check(uint64_t k, char &hot) {
   }
 }
 
-_kernel(1) _at(1) void query(char op, uint64_t k,
+_kernel(COMP) _at(1) void query(char op, uint64_t k,
                              uint32_t _spec(VAL_WORDS) *v,
                              char &hit, char &hot) {
   uint16_t idx = 0;
@@ -135,7 +137,8 @@ _kernel(1) _at(1) void query(char op, uint64_t k,
 AppSource paxos_source(int majority, int val_words) {
   AppSource app;
   app.name = "PAXOS";
-  app.defines = {{"MAJORITY", static_cast<std::uint64_t>(majority)},
+  app.defines = {{"COMP", 1},
+                 {"MAJORITY", static_cast<std::uint64_t>(majority)},
                  {"VAL_WORDS", static_cast<std::uint64_t>(val_words)},
                  {"PAXOS_REQUEST", 2},
                  {"PAXOS_2A", 3},
@@ -154,7 +157,7 @@ _at(11,12,13) _net_ uint16_t VRound[65536];
 _at(11,12,13,LEARNER) _net_ uint16_t Round[65536];
 _at(11,12,13,LEARNER) _net_ uint32_t Value[VAL_WORDS][65536];
 
-_at(LEADER) _kernel(1) void leader(uint8_t &type, uint32_t &instance,
+_at(LEADER) _kernel(COMP) void leader(uint8_t &type, uint32_t &instance,
                                    uint16_t round, uint8_t &acpt,
                                    uint32_t _spec(VAL_WORDS) *v) {
   if (type == PAXOS_REQUEST) {
@@ -165,7 +168,7 @@ _at(LEADER) _kernel(1) void leader(uint8_t &type, uint32_t &instance,
   return ncl::drop();
 }
 
-_at(11,12,13) _kernel(1) void acceptor(uint8_t &type, uint32_t &instance,
+_at(11,12,13) _kernel(COMP) void acceptor(uint8_t &type, uint32_t &instance,
                                        uint16_t round, uint8_t &acpt,
                                        uint32_t _spec(VAL_WORDS) *v) {
   if (type == PAXOS_2A) {
@@ -183,7 +186,7 @@ _at(11,12,13) _kernel(1) void acceptor(uint8_t &type, uint32_t &instance,
   return ncl::drop();
 }
 
-_at(LEARNER) _kernel(1) void learner(uint8_t &type, uint32_t &instance,
+_at(LEARNER) _kernel(COMP) void learner(uint8_t &type, uint32_t &instance,
                                      uint16_t round, uint8_t &acpt,
                                      uint32_t _spec(VAL_WORDS) *v) {
   if (type == PAXOS_2B) {
@@ -207,9 +210,10 @@ _at(LEARNER) _kernel(1) void learner(uint8_t &type, uint32_t &instance,
 AppSource calc_source() {
   AppSource app;
   app.name = "CALC";
-  app.defines = {{"OP_ADD", 1}, {"OP_SUB", 2}, {"OP_AND", 3}, {"OP_OR", 4}, {"OP_XOR", 5}};
+  app.defines = {{"COMP", 1},
+                 {"OP_ADD", 1}, {"OP_SUB", 2}, {"OP_AND", 3}, {"OP_OR", 4}, {"OP_XOR", 5}};
   app.source = R"(
-_kernel(1) _at(1) void calc(uint8_t op, uint32_t a, uint32_t b,
+_kernel(COMP) _at(1) void calc(uint8_t op, uint32_t a, uint32_t b,
                             uint32_t &result) {
   if (op == OP_ADD) { result = a + b; return ncl::reflect(); }
   if (op == OP_SUB) { result = a - b; return ncl::reflect(); }

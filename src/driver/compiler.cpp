@@ -167,6 +167,12 @@ CompileResult compile_netcl(const std::string& source, const CompileOptions& opt
       p4::LatencyModel{}.worst_case_ns(result.allocation.stages_used);
   result.report.pipe_total = usage_map(result.allocation.total);
   result.report.worst_stage = usage_map(result.allocation.worst);
+  // Per-stage rows (ISSUE 7): the exact accounting admission control will
+  // charge this program when it is loaded as a tenant.
+  result.report.per_stage.reserve(result.allocation.per_stage.size());
+  for (const p4::StageUsage& usage : result.allocation.per_stage) {
+    result.report.per_stage.push_back(usage_map(usage));
+  }
   return result;
 }
 
@@ -174,6 +180,33 @@ std::unique_ptr<sim::SwitchDevice> make_device(CompileResult&& result, std::uint
   return std::make_unique<sim::SwitchDevice>(device_id, std::move(result.module),
                                              std::move(result.kernels),
                                              result.allocation.stages_used);
+}
+
+sim::ProgramArtifact make_artifact(CompileResult&& result, const std::string& name) {
+  sim::ProgramArtifact artifact;
+  artifact.name = name.empty() ? "program" : name;
+  artifact.module = std::move(result.module);
+  artifact.kernels = std::move(result.kernels);
+  artifact.stages_used = result.allocation.stages_used;
+  artifact.per_stage = std::move(result.allocation.per_stage);
+  return artifact;
+}
+
+sim::ProgramCompiler artifact_compiler(const CompileOptions& base_options) {
+  return [base_options](const std::string& source,
+                        const std::map<std::string, std::uint64_t>& defines,
+                        std::uint16_t device_id,
+                        sim::ProgramArtifact& out) -> runtime::Error {
+    CompileOptions options = base_options;
+    options.device_id = device_id;
+    for (const auto& [name, value] : defines) options.defines[name] = value;
+    CompileResult result = compile_netcl(source, options);
+    if (!result.ok) {
+      return {runtime::ErrorKind::kRejected, "kernel compile failed:\n" + result.errors};
+    }
+    out = make_artifact(std::move(result), "");
+    return {};
+  };
 }
 
 }  // namespace netcl::driver

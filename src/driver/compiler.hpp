@@ -68,4 +68,16 @@ struct CompileResult {
 [[nodiscard]] std::unique_ptr<sim::SwitchDevice> make_device(CompileResult&& result,
                                                              std::uint16_t device_id);
 
+/// Packages a successful compile as a loadable tenant program (consumes
+/// the module, kernels, and per-stage accounting). The per-stage rows are
+/// what the device's admission controller charges the tenant (ISSUE 7).
+[[nodiscard]] sim::ProgramArtifact make_artifact(CompileResult&& result,
+                                                 const std::string& name);
+
+/// A sim::ProgramCompiler closure over compile_netcl: what netcl-swd (and
+/// tests) inject so devices can compile-and-load kernels at runtime. The
+/// per-request defines overlay `base_options.defines`; the device id is
+/// taken from the target device, not the options.
+[[nodiscard]] sim::ProgramCompiler artifact_compiler(const CompileOptions& base_options = {});
+
 }  // namespace netcl::driver

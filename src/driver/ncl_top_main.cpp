@@ -213,6 +213,47 @@ bool parse(const std::string& body, std::map<std::string, Series>& out) {
   return saw_sample;
 }
 
+/// Extracts a label value from a series name ("...{...,tenant=\"2\",...}").
+/// Empty when the label is absent.
+std::string label_value(const std::string& series, const std::string& label) {
+  const std::string needle = label + "=\"";
+  const std::size_t at = series.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = series.find('"', begin);
+  return end == std::string::npos ? "" : series.substr(begin, end - begin);
+}
+
+/// The per-tenant view (ISSUE 7): netcl-swd mirrors each tenant's execution
+/// stats into series carrying a tenant label; fold them into one row per
+/// tenant above the raw series listing.
+void render_tenants(const std::map<std::string, Series>& now) {
+  // tenant id -> metric suffix ("packets_processed") -> value.
+  std::map<std::string, std::map<std::string, double>> tenants;
+  for (const auto& [name, series] : now) {
+    const std::string tenant = label_value(name, "tenant");
+    if (tenant.empty()) continue;
+    const std::size_t brace = name.find('{');
+    std::string family = name.substr(0, brace);
+    const std::string prefix = "netcl_tenant_";
+    if (family.compare(0, prefix.size(), prefix) == 0) family.erase(0, prefix.size());
+    tenants[tenant][family] = series.value;
+  }
+  if (tenants.empty()) return;
+  std::printf("%-8s %7s %12s %12s %10s %10s\n", "tenant", "stages", "packets", "kernels",
+              "drops", "mcasts");
+  for (const auto& [tenant, metrics] : tenants) {
+    auto metric = [&](const char* key) {
+      const auto it = metrics.find(key);
+      return it == metrics.end() ? 0.0 : it->second;
+    };
+    std::printf("%-8s %7.0f %12.0f %12.0f %10.0f %10.0f\n", tenant.c_str(),
+                metric("stages_used"), metric("packets_processed"),
+                metric("kernels_executed"), metric("drops_action"), metric("multicasts"));
+  }
+  std::printf("\n");
+}
+
 void render(const std::map<std::string, Series>& now, const std::map<std::string, Series>& prev,
             double dt_s, const Options& options) {
   if (!options.once) std::printf("\033[2J\033[H");
@@ -221,6 +262,7 @@ void render(const std::map<std::string, Series>& now, const std::map<std::string
                                                  : ", q to quit";
   std::printf("ncl-top — %s:%u  (%zu series%s)\n", options.host.c_str(), options.port,
               now.size(), keys);
+  render_tenants(now);
   std::printf("%-64s %14s %12s\n", "series", "value", "rate/s");
   for (const auto& [name, series] : now) {
     char rate[32] = "";

@@ -1,11 +1,12 @@
 // netcl-swd: the NetCL software device daemon.
 //
-//   netcl-swd [options] <source.ncl>
+//   netcl-swd [options] <source.ncl> [<source2.ncl> ...]
 //     --device <id>        serve as device id (default 1)
 //     --port <p>           UDP data-plane port (default 0 = kernel-assigned)
 //     --control-port <p>   TCP control-plane port (default 0 = kernel-assigned)
 //     -D NAME=VALUE        predefine an integer macro
 //     --max-seconds <s>    exit after s wall-clock seconds (CI hard stop)
+//     --max-tenants <n>    cap co-resident tenants (default 0 = unlimited)
 //     --generation <g>     report generation g in PONGs (default: derived
 //                          from the wall clock, so restarts are detectable)
 //     --idle-timeout <s>   reap control connections idle for s seconds
@@ -15,19 +16,24 @@
 //                          the flag is absent)
 //     --quiet              suppress the shutdown stats line
 //
+// Multi-tenant serving (ISSUE 7): each positional source compiles
+// independently and loads as its own tenant (ids 1, 2, ... in argument
+// order) through admission control, so the co-resident aggregate is
+// guaranteed to fit the stage budget. More kernels can be loaded, swapped,
+// and unloaded at runtime over the control plane (netcl-ctl / kLoadKernel).
+//
 // SIGUSR2 writes a flight-recorder postmortem (flightdump_netcl-swd_*.jsonl
 // + .trace.json, into $NETCL_FLIGHT_DIR or the working directory); the
 // kFlightDump control op ships the same events to a host instead.
 //
-// Compiles the NetCL-C source for the device (exactly what ncc does),
-// loads the artifact into the sim::SwitchDevice execution engine, and
-// serves NetCL packets on UDP plus control-plane requests on TCP. On
-// startup it prints one parseable line:
+// On startup it prints one parseable ready line followed by one line per
+// resident tenant:
 //
-//   netcl-swd: device <id> ready (udp <port>, control <port>)
+//   netcl-swd: device <id> ready (udp <port>, control <port>) [<admission summary>]
+//   netcl-swd:   tenant <t> '<name>': <s> stages, worst <resource row>
 //
 // Exit codes: 0 clean shutdown (signal or --max-seconds), 1 compile/input/
-// socket failure, 2 usage error.
+// admission/socket failure, 2 usage error.
 #include <csignal>
 #include <fstream>
 #include <iostream>
@@ -47,9 +53,9 @@ void handle_signal(int) {
 
 void print_usage() {
   std::cerr << "usage: netcl-swd [--device N] [--port P] [--control-port P]\n"
-               "                 [-D NAME=VALUE] [--max-seconds S] [--generation G]\n"
-               "                 [--idle-timeout S] [--metrics-port P] [--quiet]\n"
-               "                 <source.ncl>\n";
+               "                 [-D NAME=VALUE] [--max-seconds S] [--max-tenants N]\n"
+               "                 [--generation G] [--idle-timeout S] [--metrics-port P]\n"
+               "                 [--quiet] <source.ncl> [<source2.ncl> ...]\n";
 }
 
 bool parse_number(const std::string& flag, const std::string& text, std::uint64_t& out) {
@@ -64,13 +70,22 @@ bool parse_number(const std::string& flag, const std::string& text, std::uint64_
   }
 }
 
+/// "examples/kernels/calc.ncl" -> "calc" (the operator-facing tenant name).
+std::string tenant_name(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base.resize(dot);
+  return base.empty() ? path : base;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   netcl::driver::CompileOptions options;
   netcl::net::SwdOptions swd;
   swd.verbose = true;
-  std::string path;
+  std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -87,6 +102,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-seconds" && i + 1 < argc) {
       if (!parse_number(arg, argv[++i], value)) return 2;
       swd.max_seconds = static_cast<double>(value);
+    } else if (arg == "--max-tenants" && i + 1 < argc) {
+      if (!parse_number(arg, argv[++i], value)) return 2;
+      swd.max_tenants = static_cast<std::size_t>(value);
     } else if (arg == "--generation" && i + 1 < argc) {
       if (!parse_number(arg, argv[++i], value)) return 2;
       swd.generation = static_cast<std::uint32_t>(value);
@@ -111,7 +129,17 @@ int main(int argc, char** argv) {
       print_usage();
       return 0;
     } else if (!arg.empty() && arg[0] != '-') {
-      path = arg;
+      // Each positional source becomes its own tenant; loading the same
+      // file twice would just collide on computation ids at admission time,
+      // so reject it up front with a clearer message (ISSUE 7).
+      for (const std::string& seen : paths) {
+        if (seen == arg) {
+          std::cerr << "netcl-swd: duplicate source '" << arg
+                    << "' (each positional source loads once, as its own tenant)\n";
+          return 2;
+        }
+      }
+      paths.push_back(arg);
     } else {
       std::cerr << "unknown option '" << arg << "'\n";
       print_usage();
@@ -119,27 +147,52 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (path.empty()) {
+  if (paths.empty()) {
     print_usage();
     return 2;
   }
-  std::ifstream file(path);
-  if (!file) {
-    std::cerr << "netcl-swd: cannot open '" << path << "'\n";
-    return 1;
+  if (swd.max_tenants != 0 && paths.size() > swd.max_tenants) {
+    std::cerr << "netcl-swd: " << paths.size() << " sources but --max-tenants "
+              << swd.max_tenants << "\n";
+    return 2;
   }
-  std::ostringstream text;
-  text << file.rdbuf();
 
-  netcl::driver::CompileResult compiled =
-      netcl::driver::compile_netcl(text.str(), options);
-  if (!compiled.ok) {
-    std::cerr << "netcl-swd: compile failed:\n" << compiled.errors;
-    return 1;
-  }
+  // One device, one tenant per source, every load admission-controlled —
+  // the same path runtime kLoadKernel requests take.
   const auto device_id = static_cast<std::uint16_t>(options.device_id);
-  netcl::net::SwdServer server(netcl::driver::make_device(std::move(compiled), device_id),
-                               swd);
+  auto device = std::make_unique<netcl::sim::SwitchDevice>(device_id);
+  device->set_max_tenants(swd.max_tenants);
+  device->set_stage_limits(options.limits, options.base_stages);
+  netcl::sim::TenantId next_tenant = 1;
+  for (const std::string& path : paths) {
+    std::ifstream file(path);
+    if (!file) {
+      std::cerr << "netcl-swd: cannot open '" << path << "'\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    netcl::driver::CompileResult compiled =
+        netcl::driver::compile_netcl(text.str(), options);
+    if (!compiled.ok) {
+      std::cerr << "netcl-swd: compile failed for '" << path << "':\n" << compiled.errors;
+      return 1;
+    }
+    netcl::sim::ProgramArtifact artifact =
+        netcl::driver::make_artifact(std::move(compiled), tenant_name(path));
+    if (netcl::runtime::Error err = device->load_program(next_tenant, std::move(artifact))) {
+      std::cerr << "netcl-swd: cannot load '" << path << "' as tenant " << next_tenant
+                << ": " << err.message << "\n";
+      return 1;
+    }
+    ++next_tenant;
+  }
+
+  // Runtime kernel loads (kLoadKernel) compile with the same options the
+  // command line established (-D defines, stage limits, target).
+  swd.compiler = netcl::driver::artifact_compiler(options);
+
+  netcl::net::SwdServer server(std::move(device), swd);
   if (!server.valid()) {
     std::cerr << "netcl-swd: " << server.error() << "\n";
     return 1;
@@ -157,7 +210,12 @@ int main(int argc, char** argv) {
   std::cout << "netcl-swd: device " << device_id << " ready (udp " << server.udp_port()
             << ", control " << server.control_port();
   if (server.metrics_port() != 0) std::cout << ", metrics " << server.metrics_port();
-  std::cout << ")" << std::endl;
+  std::cout << ") [" << server.device().admission().summary() << "]" << std::endl;
+  for (const netcl::sim::TenantInfo& info : server.device().tenant_table()) {
+    std::cout << "netcl-swd:   tenant " << info.id << " '" << info.name << "': "
+              << info.stages_used << (info.stages_used == 1 ? " stage" : " stages")
+              << ", worst " << info.usage << std::endl;
+  }
   server.run();
   return 0;
 }

@@ -6,7 +6,10 @@
 namespace netcl {
 
 Lexer::Lexer(const SourceBuffer& buffer, DiagnosticEngine& diags, DefineMap defines)
-    : text_(buffer.text()), diags_(diags), defines_(std::move(defines)) {}
+    : text_(buffer.text()), diags_(diags), defines_(std::move(defines)) {
+  injected_.reserve(defines_.size());
+  for (const auto& [name, value] : defines_) injected_.insert(name);
+}
 
 std::vector<Token> Lexer::lex_all() {
   std::vector<Token> tokens;
@@ -138,7 +141,9 @@ void Lexer::lex_directive(SourceLoc loc) {
     return;
   }
   const Token value = lex_number(location());
-  defines_[name] = value.value;
+  // An in-source #define is the kernel's baked-in default; a driver-injected
+  // definition of the same name (ncc -D, per-tenant load defines) wins.
+  if (injected_.count(name) == 0) defines_[name] = value.value;
 }
 
 Token Lexer::lex_char_literal(SourceLoc loc) {

@@ -4,10 +4,13 @@
 // macros (the paper's applications configure themselves with SLOT_SIZE,
 // CMS_HASHES, ... this way) and substitutes defined names with integer
 // literal tokens. Additional definitions may be injected by the driver
-// (-D style).
+// (-D style); injected definitions take precedence over in-source
+// `#define`s, so a kernel's baked-in default (`#define COMP 1`) can be
+// overridden per tenant at load time (ISSUE 7).
 #pragma once
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "frontend/token.hpp"
@@ -42,6 +45,9 @@ class Lexer {
   std::string_view text_;
   DiagnosticEngine& diags_;
   DefineMap defines_;
+  /// Names seeded through the constructor (driver -D); a later in-source
+  /// #define of the same name is ignored, command line wins.
+  std::unordered_set<std::string> injected_;
   std::size_t pos_ = 0;
   std::uint32_t line_ = 1;
   std::uint32_t column_ = 1;

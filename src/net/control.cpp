@@ -266,7 +266,8 @@ void ControlClient::backoff(int attempt) {
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
 }
 
-bool ControlClient::roundtrip(const ByteWriter& request, std::vector<std::uint8_t>& response) {
+bool ControlClient::roundtrip(const ByteWriter& request, std::vector<std::uint8_t>& response,
+                              runtime::Error* op_error) {
   // One id for all attempts of this logical request: the daemon dedups on
   // (client_id, request_id), so a retry after a half-applied request
   // replays the cached response instead of re-executing the op.
@@ -294,11 +295,23 @@ bool ControlClient::roundtrip(const ByteWriter& request, std::vector<std::uint8_
         // The daemon answered and rejected the op: not a transport failure,
         // so no retry and no transport error recorded.
         error_ = runtime::Error();
+        if (op_error != nullptr) {
+          *op_error = runtime::Error(runtime::ErrorKind::kRejected,
+                                     "device refused the operation");
+          // New-style ops append a typed body: u8 ErrorKind, str message.
+          if (frame.size() > 1) {
+            ByteReader reader({frame.data() + 1, frame.size() - 1});
+            const auto kind = static_cast<runtime::ErrorKind>(reader.u8());
+            std::string message = reader.str();
+            if (reader.ok()) *op_error = runtime::Error(kind, std::move(message));
+          }
+        }
         pool_.release(std::move(frame));
         return false;
       }
       response.assign(frame.begin() + 1, frame.end());
       error_ = runtime::Error();
+      if (op_error != nullptr) *op_error = runtime::Error();
       pool_.release(std::move(frame));
       return true;
     }
@@ -310,6 +323,7 @@ bool ControlClient::roundtrip(const ByteWriter& request, std::vector<std::uint8_
              std::to_string(attempt + 1) + ")");
     disconnect();
   }
+  if (op_error != nullptr) *op_error = error_;
   pool_.release(std::move(frame));
   return false;
 }
@@ -468,6 +482,80 @@ bool ControlClient::flight_dump(std::uint32_t window_seconds, FlightDumpResult& 
                         static_cast<double>(out.device_clock_now_ns));
   out.offset_ns = alignment.valid ? alignment.offset_ns : 0.0;
   return true;
+}
+
+runtime::Error ControlClient::load_kernel(std::uint32_t tenant, const std::string& name,
+                                          const std::string& source,
+                                          const std::map<std::string, std::uint64_t>& defines,
+                                          bool replace, std::uint16_t* stages_used,
+                                          std::string* summary) {
+  ByteWriter request;
+  request.u8(static_cast<std::uint8_t>(ControlOp::kLoadKernel));
+  request.u32(tenant);
+  request.u8(replace ? 1 : 0);
+  request.str(name);
+  request.u16(static_cast<std::uint16_t>(defines.size()));
+  for (const auto& [define, value] : defines) {
+    request.str(define);
+    request.u64(value);
+  }
+  // Raw bytes after an explicit u32 length: str()'s u16 prefix would cap
+  // kernel sources at 64 KiB.
+  request.u32(static_cast<std::uint32_t>(source.size()));
+  request.raw({reinterpret_cast<const std::uint8_t*>(source.data()), source.size()});
+  std::vector<std::uint8_t> response;
+  runtime::Error op_error;
+  if (!roundtrip(request, response, &op_error)) return op_error;
+  ByteReader reader(response);
+  const std::uint16_t stages = reader.u16();
+  std::string headroom = reader.str();
+  if (!reader.ok()) {
+    return {runtime::ErrorKind::kRejected, "malformed kLoadKernel response"};
+  }
+  if (stages_used != nullptr) *stages_used = stages;
+  if (summary != nullptr) *summary = std::move(headroom);
+  return {};
+}
+
+runtime::Error ControlClient::unload_kernel(std::uint32_t tenant) {
+  ByteWriter request;
+  request.u8(static_cast<std::uint8_t>(ControlOp::kUnloadKernel));
+  request.u32(tenant);
+  std::vector<std::uint8_t> response;
+  runtime::Error op_error;
+  roundtrip(request, response, &op_error);
+  return op_error;
+}
+
+runtime::Error ControlClient::list_kernels(std::vector<KernelInfo>& out) {
+  ByteWriter request;
+  request.u8(static_cast<std::uint8_t>(ControlOp::kListKernels));
+  std::vector<std::uint8_t> response;
+  runtime::Error op_error;
+  if (!roundtrip(request, response, &op_error)) return op_error;
+  ByteReader reader(response);
+  const std::uint16_t count = reader.u16();
+  out.clear();
+  out.reserve(count);
+  for (std::uint16_t i = 0; i < count && reader.ok(); ++i) {
+    KernelInfo info;
+    info.tenant = reader.u32();
+    info.name = reader.str();
+    info.stages_used = reader.u16();
+    const std::uint16_t n_comps = reader.u16();
+    for (std::uint16_t c = 0; c < n_comps && reader.ok(); ++c) {
+      info.computations.push_back(reader.u32());
+    }
+    info.usage = reader.str();
+    info.packets_processed = reader.u64();
+    info.kernels_executed = reader.u64();
+    info.drops_action = reader.u64();
+    out.push_back(std::move(info));
+  }
+  if (!reader.ok()) {
+    return {runtime::ErrorKind::kRejected, "malformed kListKernels response"};
+  }
+  return {};
 }
 
 }  // namespace netcl::net

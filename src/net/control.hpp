@@ -50,6 +50,22 @@ enum class ControlOp : std::uint8_t {
   // events). -> u64 device_clock_now_ns, u32 count,
   //            { u64 ts_device_ns, u16 kind, u16 ring, u64 a, u64 b }*
   kFlightDump = 10,
+  // Multi-tenant kernel lifecycle (ISSUE 7). The daemon compiles the
+  // shipped source with its injected sim::ProgramCompiler and loads it
+  // through admission control. Source travels as u32 length + raw bytes
+  // because str()'s u16 prefix would cap kernels at 64 KiB. Failures
+  // answer [kControlError, u8 runtime::ErrorKind, str message] — the typed
+  // body old ops never had (and old clients never read past byte 0).
+  // u32 tenant, u8 flags (bit0 = replace/hitless-swap), str name,
+  // u16 n_defines { str name, u64 value }*, u32 src_len, raw source
+  //   -> u16 stages_used, str admission summary
+  kLoadKernel = 11,
+  kUnloadKernel = 12,  // u32 tenant ->
+  // -> u16 count, { u32 tenant, str name, u16 stages_used,
+  //                 u16 n_comps u32 comp*, str usage,
+  //                 u64 packets_processed, u64 kernels_executed,
+  //                 u64 drops_action }*
+  kListKernels = 13,
 };
 
 inline constexpr std::uint8_t kControlOk = 0;
@@ -79,6 +95,19 @@ bool read_frame(int fd, std::vector<std::uint8_t>& payload, ControlDeadline dead
 
 void encode_stats(ByteWriter& w, const sim::DeviceStats& stats);
 bool decode_stats(ByteReader& r, sim::DeviceStats& out);
+
+/// One resident kernel program as reported by kListKernels.
+struct KernelInfo {
+  std::uint32_t tenant = 0;
+  std::string name;
+  std::uint16_t stages_used = 0;
+  std::vector<std::uint32_t> computations;
+  /// Worst-stage resource row ("sram=3 salu=2 ...") or "unaccounted".
+  std::string usage;
+  std::uint64_t packets_processed = 0;
+  std::uint64_t kernels_executed = 0;
+  std::uint64_t drops_action = 0;
+};
 
 /// Deadlines and retry budget for one ControlClient. Backoff between retry
 /// attempts is exponential from backoff_base_ms, capped at backoff_max_ms,
@@ -154,11 +183,31 @@ class ControlClient {
   };
   bool flight_dump(std::uint32_t window_seconds, FlightDumpResult& out);
 
+  // --- multi-tenant kernel lifecycle (ISSUE 7) ------------------------------
+  // These return the typed error (empty = success): a daemon-side rejection
+  // arrives with its real ErrorKind (kRejected + the admission resource
+  // report, a compile diagnostic, ...), a transport failure as
+  // kTimeout/kDisconnected.
+  /// Compiles `source` on the daemon and loads it as `tenant`. With
+  /// `replace` set, swaps a resident tenant's program hitlessly instead.
+  /// On success `stages_used`/`summary` (if non-null) receive the new
+  /// program's stage count and the device's admission headroom line.
+  runtime::Error load_kernel(std::uint32_t tenant, const std::string& name,
+                             const std::string& source,
+                             const std::map<std::string, std::uint64_t>& defines,
+                             bool replace, std::uint16_t* stages_used = nullptr,
+                             std::string* summary = nullptr);
+  runtime::Error unload_kernel(std::uint32_t tenant);
+  runtime::Error list_kernels(std::vector<KernelInfo>& out);
+
  private:
   /// Sends one request frame and reads the response, retrying with backoff
   /// and reconnect up to max_retries. True only for a kControlOk status;
-  /// `response` receives the body past the status byte.
-  bool roundtrip(const ByteWriter& request, std::vector<std::uint8_t>& response);
+  /// `response` receives the body past the status byte. When the daemon
+  /// answers kControlError, `op_error` (if non-null) receives the typed
+  /// error body new-style ops append (or a generic kRejected without one).
+  bool roundtrip(const ByteWriter& request, std::vector<std::uint8_t>& response,
+                 runtime::Error* op_error = nullptr);
   void fail(runtime::ErrorKind kind, std::string message);
   void disconnect();
   /// Capped exponential backoff with jitter before retry `attempt` (1-based).

@@ -49,11 +49,13 @@ std::uint16_t bind_and_resolve(int fd, std::uint16_t port) {
 SwdServer::SwdServer(std::unique_ptr<sim::SwitchDevice> device, const SwdOptions& options)
     : metrics_("swd" + std::to_string(device->device_id())),
       device_(std::move(device)),
+      compiler_(options.compiler),
       verbose_(options.verbose),
       max_seconds_(options.max_seconds),
       idle_timeout_seconds_(options.idle_timeout_seconds),
       epoch_(std::chrono::steady_clock::now()) {
   pool_.bind_metrics(metrics_);
+  device_->set_max_tenants(options.max_tenants);
   // A restarted daemon is a new process with fresh (empty) state; a
   // wall-clock-derived generation makes that visible to pinging hosts.
   device_->set_generation(
@@ -278,6 +280,15 @@ void SwdServer::handle_datagram(const std::uint8_t* data, std::size_t size,
     outcome = device_->execute(packet.netcl.comp, args, packet.netcl);
     packet.payload = sim::encode_args(*spec, args);
     packet.netcl.len = static_cast<std::uint16_t>(packet.payload.size());
+  } else {
+    // Addressed here, but no resident kernel serves this computation id —
+    // misrouted (or not-yet-loaded) tenant traffic. The packet still
+    // passes through (§IV), but count it and leave a flight-recorder
+    // breadcrumb so operators can diagnose it (ISSUE 7).
+    ++packets_unknown_computation;
+    ++device_->stats.no_kernel;
+    obs::flight(obs::FlightKind::kUnknownComputation,
+                static_cast<std::uint64_t>(packet.netcl.comp), device_->device_id());
   }
   if (packet.telemetry.requested) {
     // Mirrors sim::Fabric's compute-hop stamp, on the daemon's wall clock:
@@ -330,6 +341,9 @@ std::vector<std::uint8_t> SwdServer::handle_control(std::span<const std::uint8_t
   ByteWriter ok;
   ok.u8(kControlOk);
   bool handled = reader.ok();
+  // Typed failure body (new-style ops): appended after the kControlError
+  // status byte when set. Legacy ops keep the bare single-byte failure.
+  runtime::Error op_error;
   if (handled) {
     switch (op) {
       case ControlOp::kPing:
@@ -429,6 +443,88 @@ std::vector<std::uint8_t> SwdServer::handle_control(std::span<const std::uint8_t
         }
         break;
       }
+      case ControlOp::kLoadKernel: {
+        const std::uint32_t tenant = reader.u32();
+        const std::uint8_t flags = reader.u8();
+        const std::string name = reader.str();
+        const std::uint16_t n_defines = reader.u16();
+        std::map<std::string, std::uint64_t> defines;
+        for (std::uint16_t i = 0; i < n_defines && reader.ok(); ++i) {
+          const std::string define = reader.str();
+          defines[define] = reader.u64();
+        }
+        const std::uint32_t src_len = reader.u32();
+        std::string source;
+        source.reserve(src_len);
+        for (std::uint32_t i = 0; i < src_len && reader.ok(); ++i) {
+          source.push_back(static_cast<char>(reader.u8()));
+        }
+        handled = reader.ok();
+        if (!handled) break;
+        if (!compiler_) {
+          handled = false;
+          op_error = {runtime::ErrorKind::kRejected,
+                      "daemon has no kernel compiler installed"};
+          ++kernels_rejected;
+          break;
+        }
+        const bool replace = (flags & 1) != 0;
+        sim::ProgramArtifact artifact;
+        runtime::Error err = compiler_(source, defines, device_->device_id(), artifact);
+        const auto stages = static_cast<std::uint16_t>(artifact.stages_used);
+        if (err.ok()) {
+          if (!name.empty()) artifact.name = name;
+          err = replace ? device_->swap_program(tenant, std::move(artifact))
+                        : device_->load_program(tenant, std::move(artifact));
+        }
+        if (!err.ok()) {
+          handled = false;
+          op_error = std::move(err);
+          ++kernels_rejected;
+          break;
+        }
+        obs::flight(replace ? obs::FlightKind::kKernelSwap : obs::FlightKind::kKernelLoad,
+                    tenant, stages);
+        ++kernels_loaded;
+        if (verbose_) {
+          std::fprintf(stderr, "netcl-swd: %s tenant %u (%u stages); %s\n",
+                       replace ? "swapped" : "loaded", tenant, stages,
+                       device_->admission().summary().c_str());
+        }
+        ok.u16(stages);
+        ok.str(device_->admission().summary());
+        break;
+      }
+      case ControlOp::kUnloadKernel: {
+        const std::uint32_t tenant = reader.u32();
+        handled = reader.ok();
+        if (!handled) break;
+        runtime::Error err = device_->unload_program(tenant);
+        if (!err.ok()) {
+          handled = false;
+          op_error = std::move(err);
+          break;
+        }
+        obs::flight(obs::FlightKind::kKernelUnload, tenant);
+        ++kernels_unloaded;
+        break;
+      }
+      case ControlOp::kListKernels: {
+        const std::vector<sim::TenantInfo> table = device_->tenant_table();
+        ok.u16(static_cast<std::uint16_t>(table.size()));
+        for (const sim::TenantInfo& info : table) {
+          ok.u32(info.id);
+          ok.str(info.name);
+          ok.u16(static_cast<std::uint16_t>(info.stages_used));
+          ok.u16(static_cast<std::uint16_t>(info.computations.size()));
+          for (const int comp : info.computations) ok.u32(static_cast<std::uint32_t>(comp));
+          ok.str(info.usage);
+          ok.u64(info.stats.packets_processed);
+          ok.u64(info.stats.kernels_executed);
+          ok.u64(info.stats.drops_action);
+        }
+        break;
+      }
       default:
         handled = false;
         break;
@@ -439,6 +535,10 @@ std::vector<std::uint8_t> SwdServer::handle_control(std::span<const std::uint8_t
     ++control_errors;
     ByteWriter failure;
     failure.u8(kControlError);
+    if (op_error) {
+      failure.u8(static_cast<std::uint8_t>(op_error.kind));
+      failure.str(op_error.message);
+    }
     response = failure.bytes();
   } else {
     response = ok.bytes();
@@ -471,7 +571,29 @@ std::string SwdServer::metrics_exposition() {
   metrics_.gauge("flight.dropped_events")
       .set(static_cast<double>(recorder.dropped_events()));
   metrics_.gauge("flight.dumps_written").set(static_cast<double>(recorder.dumps_written()));
+  mirror_tenant_metrics();
   return obs::prometheus_string();
+}
+
+void SwdServer::mirror_tenant_metrics() {
+  metrics_.gauge("device.tenants").set(static_cast<double>(device_->tenant_count()));
+  for (const sim::TenantInfo& info : device_->tenant_table()) {
+    std::unique_ptr<obs::MetricsRegistry>& registry = tenant_metrics_[info.id];
+    if (registry == nullptr) {
+      registry = std::make_unique<obs::MetricsRegistry>(
+          metrics_.name() + "/tenant/" + std::to_string(info.id));
+    }
+    registry->gauge("tenant.packets_processed")
+        .set(static_cast<double>(info.stats.packets_processed));
+    registry->gauge("tenant.kernels_executed")
+        .set(static_cast<double>(info.stats.kernels_executed));
+    registry->gauge("tenant.drops_action").set(static_cast<double>(info.stats.drops_action));
+    registry->gauge("tenant.multicasts").set(static_cast<double>(info.stats.multicasts));
+    registry->gauge("tenant.control_reads").set(static_cast<double>(info.stats.control_reads));
+    registry->gauge("tenant.control_writes")
+        .set(static_cast<double>(info.stats.control_writes));
+    registry->gauge("tenant.stages_used").set(static_cast<double>(info.stages_used));
+  }
 }
 
 void SwdServer::accept_metrics_connection() {

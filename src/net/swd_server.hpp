@@ -49,6 +49,12 @@ struct SwdOptions {
   /// metrics and device stats. -1 = disabled, 0 = kernel-assigned.
   int metrics_port = -1;
   bool verbose = false;
+  /// Compile callback for kLoadKernel (ISSUE 7). The net layer cannot link
+  /// the driver, so netcl-swd (or a test) injects driver::artifact_compiler;
+  /// without one, runtime kernel loads are refused.
+  sim::ProgramCompiler compiler;
+  /// Cap on co-resident tenants (0 = unlimited); forwarded to the device.
+  std::size_t max_tenants = 0;
 };
 
 class SwdServer {
@@ -114,6 +120,14 @@ class SwdServer {
   obs::Counter& metrics_scrapes = metrics_.counter("metrics_scrapes");
   /// Telemetry hops stamped onto packets that requested INT.
   obs::Counter& telemetry_stamps = metrics_.counter("telemetry_stamps");
+  /// NetCL packets addressed to this device whose computation id has no
+  /// resident kernel (misrouted tenant traffic; they pass through, §IV).
+  obs::Counter& packets_unknown_computation =
+      metrics_.counter("packets.unknown_computation");
+  /// Runtime kernel lifecycle ops (ISSUE 7).
+  obs::Counter& kernels_loaded = metrics_.counter("kernels_loaded");
+  obs::Counter& kernels_unloaded = metrics_.counter("kernels_unloaded");
+  obs::Counter& kernels_rejected = metrics_.counter("kernels_rejected");
   /// Data-plane syscalls (sendmmsg/sendto, recvmmsg/recvfrom). With the
   /// mmsg fast path these grow ~1/32 as fast as the packet counters.
   obs::Counter& send_syscalls = metrics_.counter("send_syscalls");
@@ -157,6 +171,10 @@ class SwdServer {
   /// Applies pending fault-injection state; true while crashed.
   bool apply_fault_state();
   [[nodiscard]] std::vector<std::uint8_t> handle_control(std::span<const std::uint8_t> frame);
+  /// Find-or-create the per-tenant registry ("swd<id>/tenant/<name>" —
+  /// prometheus_string() splits the suffix into a `tenant` label) and
+  /// mirror the tenant's execution stats into it as gauges.
+  void mirror_tenant_metrics();
 
   struct EgressDatagram {
     sockaddr_in to{};
@@ -164,6 +182,11 @@ class SwdServer {
   };
 
   std::unique_ptr<sim::SwitchDevice> device_;
+  sim::ProgramCompiler compiler_;
+  /// Per-tenant metric registries, created on first sight of a tenant and
+  /// kept for the daemon's lifetime (a registry's retained store outlives
+  /// unload, so last-known values still render).
+  std::map<sim::TenantId, std::unique_ptr<obs::MetricsRegistry>> tenant_metrics_;
   std::string error_;
   /// Wire buffers recycled across cycles: egress serialization borrows
   /// from the pool, flush_egress() returns every buffer after the send.

@@ -62,6 +62,10 @@ const char* to_string(FlightKind kind) {
     case FlightKind::kQueueFlush: return "queue_flush";
     case FlightKind::kResync: return "resync";
     case FlightKind::kDump: return "dump";
+    case FlightKind::kKernelLoad: return "kernel_load";
+    case FlightKind::kKernelUnload: return "kernel_unload";
+    case FlightKind::kKernelSwap: return "kernel_swap";
+    case FlightKind::kUnknownComputation: return "unknown_computation";
   }
   return "unknown";
 }

@@ -67,6 +67,11 @@ enum class FlightKind : std::uint16_t {
   kResync = 21,           // a=packets replayed, b=new generation
   // The recorder itself.
   kDump = 22,  // a=trigger ordinal (see FlightRecorder::trigger_dump)
+  // Multi-tenant kernel lifecycle (ISSUE 7).
+  kKernelLoad = 23,           // a=tenant id, b=stages used
+  kKernelUnload = 24,         // a=tenant id
+  kKernelSwap = 25,           // a=tenant id, b=stages used (new program)
+  kUnknownComputation = 26,   // a=computation id, b=device id
 };
 
 /// Stable snake_case name for JSONL/trace output ("device_down", ...).

@@ -56,7 +56,18 @@ std::string prometheus_string(const std::map<std::string, RegistrySnapshot>& sna
   std::uint64_t packets_total = 0;
 
   for (const auto& [registry_name, r] : snapshot) {
-    const std::string label = "{registry=\"" + registry_name + "\"}";
+    // Per-tenant registries are named "<base>/tenant/<name>" (ISSUE 7);
+    // split that into a proper tenant label so PromQL can aggregate or
+    // slice by tenant without string surgery.
+    std::string base_name = registry_name;
+    std::string inner_labels = "registry=\"" + registry_name + "\"";
+    const std::size_t tenant_at = registry_name.find("/tenant/");
+    if (tenant_at != std::string::npos) {
+      base_name = registry_name.substr(0, tenant_at);
+      inner_labels = "registry=\"" + base_name + "\",tenant=\"" +
+                     registry_name.substr(tenant_at + 8) + "\"";
+    }
+    const std::string label = "{" + inner_labels + "}";
 
     for (const auto& [name, value] : r.counters) {
       std::string family = prometheus_metric_name(name);
@@ -83,10 +94,10 @@ std::string prometheus_string(const std::map<std::string, RegistrySnapshot>& sna
         cumulative += histogram.bucket_count(i);
         const double ceiling =
             i + 1 >= Histogram::kBuckets ? histogram.max() : Histogram::bucket_floor(i + 1);
-        f.lines.push_back(family + "_bucket{registry=\"" + registry_name + "\",le=\"" +
+        f.lines.push_back(family + "_bucket{" + inner_labels + ",le=\"" +
                           format_double(ceiling) + "\"} " + std::to_string(cumulative));
       }
-      f.lines.push_back(family + "_bucket{registry=\"" + registry_name + "\",le=\"+Inf\"} " +
+      f.lines.push_back(family + "_bucket{" + inner_labels + ",le=\"+Inf\"} " +
                         std::to_string(histogram.count()));
       f.lines.push_back(family + "_sum" + label + " " + format_double(histogram.sum()));
       f.lines.push_back(family + "_count" + label + " " + std::to_string(histogram.count()));

@@ -57,6 +57,9 @@ std::string CompileReport::to_text() const {
   append_kv(out, "latency (worst):", format_double("%.1f", worst_latency_ns) + " ns");
   append_kv(out, "pipe total:", usage_row(pipe_total));
   append_kv(out, "worst stage:", usage_row(worst_stage));
+  for (std::size_t s = 0; s < per_stage.size(); ++s) {
+    append_kv(out, ("  stage " + std::to_string(s) + ":").c_str(), usage_row(per_stage[s]));
+  }
   append_kv(out, "frontend:", format_double("%.3f", frontend_seconds * 1e3) + " ms");
   append_kv(out, "backend:", format_double("%.3f", backend_seconds * 1e3) + " ms");
   out += "passes (" + std::to_string(passes.size()) + "):\n";
@@ -103,6 +106,17 @@ std::string CompileReport::to_json() const {
     w.value(amount);
   }
   w.end_object();
+  w.key("per_stage");
+  w.begin_array();
+  for (const auto& stage : per_stage) {
+    w.begin_object();
+    for (const auto& [resource, amount] : stage) {
+      w.key(resource);
+      w.value(amount);
+    }
+    w.end_object();
+  }
+  w.end_array();
   w.key("passes");
   w.begin_array();
   for (const PassStat& pass : passes) {

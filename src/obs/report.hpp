@@ -42,6 +42,10 @@ struct CompileReport {
   double worst_latency_ns = 0.0;
   std::map<std::string, int> pipe_total;   // resource -> whole-pipe usage
   std::map<std::string, int> worst_stage;  // resource -> worst single stage
+  /// Per-stage resource usage (index = stage; same keys as pipe_total) —
+  /// exactly the accounting the runtime admission controller charges, so
+  /// offline reports and admission decisions can be diffed (ISSUE 7).
+  std::vector<std::map<std::string, int>> per_stage;
 
   std::vector<PassStat> passes;
   std::vector<std::string> diagnostics;  // rendered, one per entry

@@ -1,0 +1,138 @@
+#include "p4/admission.hpp"
+
+#include <algorithm>
+
+namespace netcl::p4 {
+
+namespace {
+
+/// Subtracts the base-program rows a single-program allocation charged, so
+/// aggregating N tenants does not count the shared runtime N times.
+/// Clamped at zero: a legacy vector that never charged the base rows must
+/// not go negative.
+StageUsage net_of_base(const StageUsage& usage) {
+  const StageUsage base = base_stage_usage();
+  StageUsage net = usage;
+  net.sram = std::max(0, net.sram - base.sram);
+  net.vliw = std::max(0, net.vliw - base.vliw);
+  net.tables = std::max(0, net.tables - base.tables);
+  return net;
+}
+
+void append_resource(std::string& out, const char* name, int used, int limit) {
+  out += ' ';
+  out += name;
+  out += '=';
+  out += std::to_string(used);
+  out += '/';
+  out += std::to_string(limit);
+}
+
+std::string over_budget_reason(int stage, const StageUsage& usage, const StageLimits& limits) {
+  std::string reason = "stage " + std::to_string(stage) + " over budget:";
+  if (usage.sram > limits.sram_blocks) append_resource(reason, "sram", usage.sram, limits.sram_blocks);
+  if (usage.tcam > limits.tcam_blocks) append_resource(reason, "tcam", usage.tcam, limits.tcam_blocks);
+  if (usage.salus > limits.salus) append_resource(reason, "salu", usage.salus, limits.salus);
+  if (usage.vliw > limits.vliw_slots) append_resource(reason, "vliw", usage.vliw, limits.vliw_slots);
+  if (usage.hash > limits.hash_units) append_resource(reason, "hash", usage.hash, limits.hash_units);
+  if (usage.tables > limits.tables) append_resource(reason, "tables", usage.tables, limits.tables);
+  return reason;
+}
+
+}  // namespace
+
+std::string AdmissionReport::to_string(const StageLimits& limits) const {
+  std::string out = admitted ? "admitted" : "rejected";
+  if (!reason.empty()) out += " (" + reason + ")";
+  out += "; " + std::to_string(stages_used) + "/" + std::to_string(limits.stages) + " stages\n";
+  for (std::size_t s = 0; s < aggregate.size(); ++s) {
+    const StageUsage& usage = aggregate[s];
+    std::string row = "  stage " + std::to_string(s) + ":";
+    append_resource(row, "sram", usage.sram, limits.sram_blocks);
+    append_resource(row, "tcam", usage.tcam, limits.tcam_blocks);
+    append_resource(row, "salu", usage.salus, limits.salus);
+    append_resource(row, "vliw", usage.vliw, limits.vliw_slots);
+    append_resource(row, "hash", usage.hash, limits.hash_units);
+    append_resource(row, "tables", usage.tables, limits.tables);
+    if (!usage.fits(limits)) row += "  <-- over";
+    out += row + "\n";
+  }
+  return out;
+}
+
+AdmissionReport AdmissionController::evaluate(const std::vector<StageUsage>* candidate) const {
+  AdmissionReport report;
+  std::size_t stages = 0;
+  for (const auto& [tenant, per_stage] : resident_) stages = std::max(stages, per_stage.size());
+  if (candidate != nullptr) stages = std::max(stages, candidate->size());
+  stages = std::max<std::size_t>(stages, static_cast<std::size_t>(base_stages_));
+
+  report.aggregate.assign(stages, StageUsage{});
+  // The shared base/runtime program occupies its stages exactly once, no
+  // matter how many tenants are resident.
+  for (int s = 0; s < base_stages_ && static_cast<std::size_t>(s) < stages; ++s) {
+    report.aggregate[static_cast<std::size_t>(s)] += base_stage_usage();
+  }
+  auto add_program = [&](const std::vector<StageUsage>& per_stage) {
+    for (std::size_t s = 0; s < per_stage.size(); ++s) {
+      report.aggregate[s] += static_cast<int>(s) < base_stages_ ? net_of_base(per_stage[s])
+                                                                : per_stage[s];
+    }
+  };
+  for (const auto& [tenant, per_stage] : resident_) add_program(per_stage);
+  if (candidate != nullptr) add_program(*candidate);
+
+  report.stages_used = static_cast<int>(stages);
+  report.admitted = true;
+  for (std::size_t s = 0; s < report.aggregate.size(); ++s) {
+    const StageUsage& usage = report.aggregate[s];
+    report.worst.sram = std::max(report.worst.sram, usage.sram);
+    report.worst.tcam = std::max(report.worst.tcam, usage.tcam);
+    report.worst.salus = std::max(report.worst.salus, usage.salus);
+    report.worst.vliw = std::max(report.worst.vliw, usage.vliw);
+    report.worst.hash = std::max(report.worst.hash, usage.hash);
+    report.worst.tables = std::max(report.worst.tables, usage.tables);
+    if (report.admitted && !usage.fits(limits_)) {
+      report.admitted = false;
+      report.reason = over_budget_reason(static_cast<int>(s), usage, limits_);
+    }
+  }
+  if (report.admitted && report.stages_used > limits_.stages) {
+    report.admitted = false;
+    report.reason = "combined programs need " + std::to_string(report.stages_used) +
+                    " stages but the target has " + std::to_string(limits_.stages);
+  }
+  return report;
+}
+
+AdmissionReport AdmissionController::admit(std::uint32_t tenant,
+                                           const std::vector<StageUsage>& per_stage) {
+  if (resident(tenant)) {
+    AdmissionReport report = evaluate(nullptr);
+    report.admitted = false;
+    report.reason = "tenant " + std::to_string(tenant) + " is already resident";
+    return report;
+  }
+  AdmissionReport report = evaluate(&per_stage);
+  if (report.admitted) resident_[tenant] = per_stage;
+  return report;
+}
+
+void AdmissionController::release(std::uint32_t tenant) { resident_.erase(tenant); }
+
+AdmissionReport AdmissionController::current() const { return evaluate(nullptr); }
+
+std::string AdmissionController::summary() const {
+  const AdmissionReport report = evaluate(nullptr);
+  std::string out = std::to_string(resident_.size()) +
+                    (resident_.size() == 1 ? " tenant, " : " tenants, ") +
+                    std::to_string(report.stages_used) + "/" + std::to_string(limits_.stages) +
+                    " stages, worst stage";
+  append_resource(out, "sram", report.worst.sram, limits_.sram_blocks);
+  append_resource(out, "salu", report.worst.salus, limits_.salus);
+  append_resource(out, "vliw", report.worst.vliw, limits_.vliw_slots);
+  append_resource(out, "tables", report.worst.tables, limits_.tables);
+  return out;
+}
+
+}  // namespace netcl::p4

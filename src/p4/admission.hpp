@@ -1,0 +1,83 @@
+// Runtime admission control for co-resident kernel programs (ROADMAP #3,
+// the ClickINC "INC as a service" model).
+//
+// The stage allocator proves one program fits an empty pipeline; the
+// AdmissionController proves the *sum* of all resident programs still fits
+// when a new one wants in. It keeps the per-stage StageUsage vector of
+// every resident tenant, and admits a candidate only if every stage's
+// aggregate — base/runtime program overhead counted once, not once per
+// tenant — stays within StageLimits, and the combined stage count stays
+// within the pipeline depth.
+//
+// Rejections carry a full per-stage resource report (the data a typed
+// runtime::Error{kRejected} surfaces to operators), so a refused tenant
+// knows exactly which stage and which resource ran out.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "p4/resources.hpp"
+
+namespace netcl::p4 {
+
+/// Outcome of one admission attempt. `aggregate` always reflects the
+/// attempted placement (residents + candidate), so a rejection report
+/// shows the overflow it refused, not the state it kept.
+struct AdmissionReport {
+  bool admitted = false;
+  /// Human-readable cause on rejection ("stage 2 over budget: salus 16 >
+  /// 8"); empty when admitted.
+  std::string reason;
+  /// Stages the attempted placement spans (max over residents + candidate).
+  int stages_used = 0;
+  /// Per-stage aggregate usage of the attempted placement.
+  std::vector<StageUsage> aggregate;
+  /// Worst single stage of the aggregate (per resource, independently).
+  StageUsage worst;
+
+  /// Multi-line per-stage resource report ("stage 1: sram=12/80 ..."),
+  /// the payload a kRejected error carries.
+  [[nodiscard]] std::string to_string(const StageLimits& limits) const;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(StageLimits limits = {}, int base_stages = 1)
+      : limits_(limits), base_stages_(base_stages) {}
+
+  /// Attempts to admit `tenant` with the allocator-produced per-stage
+  /// usage vector (base rows included, exactly as AllocationResult
+  /// reports it). On success the tenant is recorded as resident; on
+  /// failure nothing changes. Re-admitting a resident tenant id fails.
+  AdmissionReport admit(std::uint32_t tenant, const std::vector<StageUsage>& per_stage);
+
+  /// Forgets a resident tenant (no-op for unknown ids).
+  void release(std::uint32_t tenant);
+
+  [[nodiscard]] bool resident(std::uint32_t tenant) const {
+    return resident_.count(tenant) != 0;
+  }
+  [[nodiscard]] std::size_t resident_count() const { return resident_.size(); }
+  [[nodiscard]] const StageLimits& limits() const { return limits_; }
+
+  /// Aggregate of the current residents (no candidate).
+  [[nodiscard]] AdmissionReport current() const;
+
+  /// One-line headroom summary for operator output:
+  /// "2 tenants, 4/12 stages, worst stage sram 14/80 salu 8/8 ...".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  /// Aggregates residents plus an optional candidate; fills
+  /// admitted/reason from the fit check.
+  [[nodiscard]] AdmissionReport evaluate(const std::vector<StageUsage>* candidate) const;
+
+  StageLimits limits_;
+  int base_stages_ = 1;
+  std::map<std::uint32_t, std::vector<StageUsage>> resident_;
+};
+
+}  // namespace netcl::p4

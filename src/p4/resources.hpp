@@ -57,6 +57,20 @@ struct StageUsage {
   }
 };
 
+/// Per-stage overhead of the base/runtime program (parser glue, the
+/// dispatch table, bridge metadata handling) that occupies every reserved
+/// base stage before generated code. The stage allocator charges it when
+/// placing one program; the admission controller charges it exactly once
+/// when aggregating co-resident programs — both must agree on the number,
+/// which is why it lives here.
+[[nodiscard]] inline StageUsage base_stage_usage() {
+  StageUsage usage;
+  usage.tables = 2;
+  usage.vliw = 4;
+  usage.sram = 2;
+  return usage;
+}
+
 /// SRAM blocks needed to hold a register array.
 [[nodiscard]] int sram_blocks_for(const ir::GlobalVar& global, const StageLimits& limits);
 

@@ -187,11 +187,10 @@ AllocationResult allocate_stages(std::vector<KernelProgram>& kernels, const ir::
 
     std::vector<StageUsage> usage(static_cast<std::size_t>(max_stage + 1));
     // Model the base/runtime program: one table + a little action work per
-    // reserved stage.
+    // reserved stage (shared with the admission controller, which must
+    // charge the same overhead exactly once across co-resident programs).
     for (int s = 0; s < base_stages && s <= max_stage; ++s) {
-      usage[static_cast<std::size_t>(s)].tables += 2;
-      usage[static_cast<std::size_t>(s)].vliw += 4;
-      usage[static_cast<std::size_t>(s)].sram += 2;
+      usage[static_cast<std::size_t>(s)] += base_stage_usage();
     }
     std::unordered_set<const GlobalVar*> charged;
     for (const LinearInst* li : all) {

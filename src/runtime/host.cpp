@@ -425,6 +425,87 @@ Error DeviceConnection::resync_e() {
   return ok ? Error{} : op_error("resync (some journal replays failed)");
 }
 
+Error DeviceConnection::load_or_swap(std::uint32_t tenant, const std::string& name,
+                                     const std::string& source,
+                                     const std::map<std::string, std::uint64_t>& defines,
+                                     bool replace, std::uint16_t* stages,
+                                     std::string* summary) {
+  const char* const what = replace ? "hot_swap_kernel" : "load_kernel";
+  if (remote_ != nullptr) {
+    return remote_->load_kernel(tenant, name, source, defines, replace, stages, summary);
+  }
+  if (device_ == nullptr) return {ErrorKind::kDisconnected, std::string(what) + ": no device attached"};
+  if (fabric_ != nullptr && fabric_->device_down(device_id_)) {
+    return {ErrorKind::kDeviceDown, std::string(what) + ": device is down"};
+  }
+  if (!compiler_) {
+    return {ErrorKind::kRejected,
+            std::string(what) + ": connection has no kernel compiler installed "
+                                "(set_compiler with driver::artifact_compiler)"};
+  }
+  sim::ProgramArtifact artifact;
+  if (Error err = compiler_(source, defines, device_id_, artifact)) return err;
+  if (!name.empty()) artifact.name = name;
+  const std::uint16_t used = static_cast<std::uint16_t>(artifact.stages_used);
+  Error err = replace ? device_->swap_program(tenant, std::move(artifact))
+                      : device_->load_program(tenant, std::move(artifact));
+  if (err) return err;
+  if (stages != nullptr) *stages = used;
+  if (summary != nullptr) *summary = device_->admission().summary();
+  return {};
+}
+
+Error DeviceConnection::load_kernel_e(std::uint32_t tenant, const std::string& name,
+                                      const std::string& source,
+                                      const std::map<std::string, std::uint64_t>& defines,
+                                      std::uint16_t* stages, std::string* summary) {
+  return load_or_swap(tenant, name, source, defines, /*replace=*/false, stages, summary);
+}
+
+Error DeviceConnection::hot_swap_kernel_e(std::uint32_t tenant, const std::string& name,
+                                          const std::string& source,
+                                          const std::map<std::string, std::uint64_t>& defines,
+                                          std::uint16_t* stages, std::string* summary) {
+  if (Error err = load_or_swap(tenant, name, source, defines, /*replace=*/true, stages,
+                               summary)) {
+    return err;
+  }
+  // The swap installed a fresh register file for this tenant; replay the
+  // journal so managed state the host offloaded survives the generation.
+  return resync_e();
+}
+
+Error DeviceConnection::unload_kernel_e(std::uint32_t tenant) {
+  if (remote_ != nullptr) return remote_->unload_kernel(tenant);
+  if (device_ == nullptr) return {ErrorKind::kDisconnected, "unload_kernel: no device attached"};
+  if (fabric_ != nullptr && fabric_->device_down(device_id_)) {
+    return {ErrorKind::kDeviceDown, "unload_kernel: device is down"};
+  }
+  return device_->unload_program(tenant);
+}
+
+Error DeviceConnection::list_kernels_e(std::vector<net::KernelInfo>& out) {
+  out.clear();
+  if (remote_ != nullptr) return remote_->list_kernels(out);
+  if (device_ == nullptr) return {ErrorKind::kDisconnected, "list_kernels: no device attached"};
+  for (const sim::TenantInfo& info : device_->tenant_table()) {
+    net::KernelInfo entry;
+    entry.tenant = info.id;
+    entry.name = info.name;
+    entry.stages_used = static_cast<std::uint16_t>(info.stages_used);
+    entry.computations.reserve(info.computations.size());
+    for (const int comp : info.computations) {
+      entry.computations.push_back(static_cast<std::uint32_t>(comp));
+    }
+    entry.usage = info.usage;
+    entry.packets_processed = info.stats.packets_processed;
+    entry.kernels_executed = info.stats.kernels_executed;
+    entry.drops_action = info.stats.drops_action;
+    out.push_back(std::move(entry));
+  }
+  return {};
+}
+
 const sim::DeviceStats* DeviceConnection::stats() {
   if (remote_ != nullptr) {
     return remote_->stats(remote_stats_) ? &remote_stats_ : nullptr;

@@ -321,7 +321,44 @@ class DeviceConnection {
   bool resync() { return resync_e().ok(); }
   [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
 
+  // --- multi-tenant kernel lifecycle (ISSUE 7) ------------------------------
+  /// Sim-mode compile hook. Remote connections compile on the daemon; an
+  /// in-fabric connection needs a compiler injected (driver::artifact_compiler)
+  /// before load_kernel_e / hot_swap_kernel_e can accept source.
+  void set_compiler(sim::ProgramCompiler compiler) { compiler_ = std::move(compiler); }
+
+  /// Compiles `source` and loads it as tenant `tenant` through admission
+  /// control. kRejected carries the admission resource report (or the
+  /// compile diagnostic). On success `stages`/`summary` (if non-null)
+  /// receive the program's stage count and the device's headroom line.
+  [[nodiscard]] Error load_kernel_e(std::uint32_t tenant, const std::string& name,
+                                    const std::string& source,
+                                    const std::map<std::string, std::uint64_t>& defines = {},
+                                    std::uint16_t* stages = nullptr,
+                                    std::string* summary = nullptr);
+  [[nodiscard]] Error unload_kernel_e(std::uint32_t tenant);
+  [[nodiscard]] Error list_kernels_e(std::vector<net::KernelInfo>& out);
+  /// Hitless swap (drain -> swap -> replay): replaces the resident tenant's
+  /// program, then resyncs the journal so managed state the host offloaded
+  /// survives the new program's fresh register file. Co-resident tenants
+  /// keep serving packets throughout.
+  [[nodiscard]] Error hot_swap_kernel_e(std::uint32_t tenant, const std::string& name,
+                                        const std::string& source,
+                                        const std::map<std::string, std::uint64_t>& defines = {},
+                                        std::uint16_t* stages = nullptr,
+                                        std::string* summary = nullptr);
+  bool load_kernel(std::uint32_t tenant, const std::string& name, const std::string& source) {
+    return load_kernel_e(tenant, name, source).ok();
+  }
+  bool unload_kernel(std::uint32_t tenant) { return unload_kernel_e(tenant).ok(); }
+
  private:
+  /// Shared body of load_kernel_e / hot_swap_kernel_e (the `replace` bit).
+  [[nodiscard]] Error load_or_swap(std::uint32_t tenant, const std::string& name,
+                                   const std::string& source,
+                                   const std::map<std::string, std::uint64_t>& defines,
+                                   bool replace, std::uint16_t* stages,
+                                   std::string* summary);
   /// The typed error for a failed op: the remote client's transport error
   /// when one is pending, kDeviceDown for a crashed sim device,
   /// kDisconnected with no device at all, else kRejected.
@@ -329,6 +366,7 @@ class DeviceConnection {
   sim::Fabric* fabric_ = nullptr;          // sim mode
   sim::SwitchDevice* device_ = nullptr;    // sim mode
   std::unique_ptr<net::ControlClient> remote_;  // netcl-swd mode
+  sim::ProgramCompiler compiler_;          // sim-mode kernel loads
   std::uint16_t device_id_ = 0;
   sim::DeviceStats remote_stats_;
   // Resync journal: last value per managed cell / key range / group.

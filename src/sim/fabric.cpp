@@ -3,6 +3,7 @@
 #include <cassert>
 #include <deque>
 
+#include "obs/flightrec.hpp"
 #include "runtime/device_runtime.hpp"
 
 namespace netcl::sim {
@@ -190,6 +191,15 @@ void Fabric::deliver(const Event& event) {
       args = decode_args(*spec, packet.payload);
       outcome = dev->execute(packet.netcl.comp, args, packet.netcl);
       packet.payload = encode_args(*spec, args);
+    } else {
+      // Addressed here, but no resident kernel serves this computation id —
+      // misrouted (or not-yet-loaded) tenant traffic. The packet still
+      // passes through (§IV), but count it and leave a flight-recorder
+      // breadcrumb so operators can diagnose it (ISSUE 7).
+      ++packets_unknown_computation;
+      ++dev->stats.no_kernel;
+      obs::flight(obs::FlightKind::kUnknownComputation,
+                  static_cast<std::uint64_t>(packet.netcl.comp), dev->device_id());
     }
     const runtime::ForwardDecision decision = runtime::apply_action(
         packet.netcl, outcome.executed ? outcome.action : ActionKind::Pass, outcome.target,

@@ -113,6 +113,10 @@ class Fabric {
   obs::Counter& packets_reordered = metrics_.counter("packets_reordered");
   obs::Counter& packets_dropped_device_down = metrics_.counter("packets_dropped_device_down");
   obs::Counter& packets_dropped_partition = metrics_.counter("packets_dropped_partition");
+  /// NetCL packets addressed to a device that hosts no kernel for their
+  /// computation id (misrouted tenant traffic; they pass through, §IV).
+  obs::Counter& packets_unknown_computation =
+      metrics_.counter("packets.unknown_computation");
   obs::Counter& timer_events = metrics_.counter("timer_events");
 
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }

@@ -5,22 +5,38 @@
 // This plays the role bmv2 plays in the paper's evaluation: a behavioral
 // model that runs the *compiled artifact* (the predicated linear program the
 // TNA backend produced), not the source semantics.
+//
+// Since ISSUE 7 the device is multi-program (the ClickINC "INC as a
+// service" model): independently compiled programs load side by side as
+// *tenants*, each with its own register file, lookup tables, RNG stream,
+// and DeviceStats, dispatched by computation id. A p4::AdmissionController
+// gates every load so the co-resident aggregate always fits StageLimits.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "p4/admission.hpp"
 #include "p4/latency.hpp"
 #include "p4/pipeline.hpp"
+// Header-only and dependency-free by design, so the sim layer can return
+// typed errors without linking netcl_runtime (which sits above netcl_sim).
+#include "runtime/error.hpp"
 #include "sim/packet.hpp"
 #include "sim/registers.hpp"
 #include "sim/table.hpp"
 #include "support/hashes.hpp"
 
 namespace netcl::sim {
+
+/// Identifies one resident program on a device. The legacy single-program
+/// constructor loads as tenant 0.
+using TenantId = std::uint32_t;
 
 /// What the kernel decided about a message.
 struct ComputeOutcome {
@@ -43,7 +59,9 @@ struct RegisterAccess {
 /// execution-side counters; the fabric fills the forwarding-side ones
 /// (drops/multicasts/transits) as it applies the kernel's decision. The
 /// host runtime reads them over the control plane via
-/// runtime::DeviceConnection::stats().
+/// runtime::DeviceConnection::stats(). Each tenant additionally keeps its
+/// own copy (execution-side counters plus the action outcomes its kernels
+/// chose), so co-resident programs are individually observable.
 struct DeviceStats {
   std::uint64_t packets_processed = 0;  // packets entering execute()
   std::uint64_t kernels_executed = 0;   // ... that found a kernel
@@ -59,11 +77,44 @@ struct DeviceStats {
   std::vector<std::uint64_t> stage_executions;
 };
 
+/// One compiled program, ready to load: everything driver::compile produces
+/// that the device needs, including the allocator's per-stage accounting
+/// the admission controller charges. An empty `per_stage` loads without
+/// admission accounting (legacy single-program path, tests).
+struct ProgramArtifact {
+  std::string name;  // operator-facing label ("CALC", "cache.ncl")
+  std::unique_ptr<ir::Module> module;
+  std::vector<p4::KernelProgram> kernels;
+  int stages_used = 0;
+  std::vector<p4::StageUsage> per_stage;
+};
+
+/// Compiles NetCL source into a loadable artifact. The real implementation
+/// lives in netcl_driver (which owns the whole pipeline) and is injected
+/// into the daemon / DeviceConnection as a callback, because the net and
+/// sim layers must not link the driver.
+using ProgramCompiler = std::function<runtime::Error(
+    const std::string& source, const std::map<std::string, std::uint64_t>& defines,
+    std::uint16_t device_id, ProgramArtifact& out)>;
+
+/// A resident tenant as reported to operators (kListKernels, ncl-top).
+struct TenantInfo {
+  TenantId id = 0;
+  std::string name;
+  int stages_used = 0;
+  std::vector<int> computations;
+  /// Worst-stage resource row ("sram=3 tcam=0 salu=2 ...") or
+  /// "unaccounted" for admission-exempt loads.
+  std::string usage;
+  DeviceStats stats;
+};
+
 class SwitchDevice {
  public:
-  /// Takes ownership of the compiled module plus its linearized kernels.
-  /// `stages_used` comes from the stage allocator and drives the latency
-  /// model; pass 0 for an ideal (zero-latency) device.
+  /// Takes ownership of the compiled module plus its linearized kernels and
+  /// loads them as tenant 0 (admission-exempt — the legacy single-program
+  /// path). `stages_used` comes from the stage allocator and drives the
+  /// latency model; pass 0 for an ideal (zero-latency) device.
   SwitchDevice(std::uint16_t device_id, std::unique_ptr<ir::Module> module,
                std::vector<p4::KernelProgram> kernels, int stages_used);
 
@@ -71,13 +122,52 @@ class SwitchDevice {
   explicit SwitchDevice(std::uint16_t device_id);
 
   [[nodiscard]] std::uint16_t device_id() const { return device_id_; }
+  /// Max stages over all resident programs (drives the latency model).
   [[nodiscard]] int stages_used() const { return stages_used_; }
   [[nodiscard]] double pipeline_latency_ns() const;
-  [[nodiscard]] const ir::Module* module() const { return module_.get(); }
+  /// First resident tenant's module (legacy accessor; prefer per-tenant
+  /// inspection via tenant_table()).
+  [[nodiscard]] const ir::Module* module() const;
+
+  // --- tenant management (ISSUE 7) -----------------------------------------
+  /// Loads a compiled program as `tenant`. Fails with kRejected when the
+  /// tenant id is taken, a computation id collides with a resident tenant,
+  /// --max-tenants is reached, or the admission controller finds the
+  /// aggregate over budget (the error message carries the full per-stage
+  /// resource report).
+  [[nodiscard]] runtime::Error load_program(TenantId tenant, ProgramArtifact artifact);
+
+  /// Unloads a resident tenant, releasing its admission reservation and
+  /// destroying its state. Other tenants are untouched.
+  [[nodiscard]] runtime::Error unload_program(TenantId tenant);
+
+  /// Replaces a resident tenant's program in place — the sim half of a
+  /// hitless swap. Admission re-evaluates with the old reservation
+  /// released; on rejection the old program stays resident and running.
+  /// The tenant's stats survive (they belong to the observer); its device
+  /// state restarts fresh, to be replayed from the host journal.
+  [[nodiscard]] runtime::Error swap_program(TenantId tenant, ProgramArtifact artifact);
+
+  [[nodiscard]] bool has_tenant(TenantId tenant) const { return tenants_.count(tenant) != 0; }
+  [[nodiscard]] std::size_t tenant_count() const { return tenants_.size(); }
+  [[nodiscard]] std::vector<TenantInfo> tenant_table() const;
+  /// Execution-side counters of one tenant (nullptr if not resident).
+  [[nodiscard]] const DeviceStats* tenant_stats(TenantId tenant) const;
+  [[nodiscard]] const p4::AdmissionController& admission() const { return admission_; }
+
+  /// Caps resident tenants (0 = unlimited, the default).
+  void set_max_tenants(std::size_t max_tenants) { max_tenants_ = max_tenants; }
+  [[nodiscard]] std::size_t max_tenants() const { return max_tenants_; }
+
+  /// Replaces the admission budget; only honored while no tenant is
+  /// resident (returns false otherwise) so reservations never desync.
+  bool set_stage_limits(p4::StageLimits limits, int base_stages = 1);
 
   /// The kernel specification for a computation id (nullptr if this device
   /// hosts no kernel for it).
   [[nodiscard]] const KernelSpec* spec_for(int computation) const;
+  /// Which tenant serves a computation id (nullptr if none).
+  [[nodiscard]] const TenantId* tenant_for(int computation) const;
 
   /// Executes the kernel for `computation` over decoded argument values
   /// (mutated in place: by-ref writes land here) under the given header.
@@ -85,7 +175,9 @@ class SwitchDevice {
 
   // --- control plane (host runtime's managed-memory path) -----------------
   /// Resolves `name[indices...]`, transparently following access-based
-  /// partitioning renames (cms[0][i] finds cms$0[i]).
+  /// partitioning renames (cms[0][i] finds cms$0[i]). The name is looked up
+  /// across all tenants; a unique match wins, an ambiguous one (two tenants
+  /// declaring the same global) fails. Prefix "12:" scopes to tenant 12.
   bool managed_write(const std::string& name, const std::vector<std::uint64_t>& indices,
                      std::uint64_t value);
   bool managed_read(const std::string& name, const std::vector<std::uint64_t>& indices,
@@ -112,32 +204,57 @@ class SwitchDevice {
   void restart();
 
   // --- statistics -----------------------------------------------------------
+  /// Device-wide aggregate (sum over tenants plus forwarding-side counters
+  /// the fabric fills).
   DeviceStats stats;
   /// Per-register-array access counters, keyed by the (possibly
-  /// partition-renamed) global name.
+  /// partition-renamed) global name, merged across tenants.
   [[nodiscard]] std::map<std::string, RegisterAccess> register_access() const;
   void reset_stats();
 
  private:
+  /// One resident program with fully isolated state.
+  struct Tenant {
+    std::string name;
+    std::unique_ptr<ir::Module> module;
+    std::vector<p4::KernelProgram> kernels;
+    int stages_used = 0;
+    std::vector<p4::StageUsage> per_stage;
+    std::unique_ptr<RegisterFile> registers;
+    std::unique_ptr<TableSet> tables;
+    DeviceStats stats;
+    /// Seeded exactly like a single-program device, so a tenant's random
+    /// stream — and therefore its outputs — are byte-identical whether it
+    /// runs alone or co-resident.
+    SplitMix64 rng{0x5EEDBA5E};
+    std::unordered_map<const ir::GlobalVar*, RegisterAccess> register_access;
+  };
+
   struct Resolved {
+    Tenant* tenant = nullptr;
     ir::GlobalVar* global = nullptr;
     std::vector<std::uint64_t> indices;
   };
-  /// Follows `name` or `name$<i0>` partition renames and duplication.
+  /// Follows `name` or `name$<i0>` partition renames and duplication
+  /// across tenants (see managed_write for the scoping rules).
   [[nodiscard]] Resolved resolve(const std::string& name,
                                  const std::vector<std::uint64_t>& indices) const;
+  [[nodiscard]] Resolved resolve_in(Tenant& tenant, const std::string& name,
+                                    const std::vector<std::uint64_t>& indices) const;
+  void attach(TenantId id, Tenant& tenant);
+  void detach(TenantId id, Tenant& tenant);
+  void refresh_stages();
 
   std::uint16_t device_id_;
-  std::unique_ptr<ir::Module> module_;
-  std::vector<p4::KernelProgram> kernels_;
-  std::unordered_map<int, const p4::KernelProgram*> by_computation_;
-  std::unique_ptr<RegisterFile> registers_;
-  std::unique_ptr<TableSet> tables_;
+  // std::map: node-based, so Tenant* in by_computation_ stays valid across
+  // unrelated load/unload.
+  std::map<TenantId, Tenant> tenants_;
+  std::unordered_map<int, std::pair<TenantId, const p4::KernelProgram*>> by_computation_;
+  p4::AdmissionController admission_;
+  std::size_t max_tenants_ = 0;  // 0 = unlimited
   int stages_used_ = 0;
   std::uint32_t generation_ = 1;
   p4::LatencyModel latency_;
-  SplitMix64 rng_{0x5EEDBA5E};
-  std::unordered_map<const ir::GlobalVar*, RegisterAccess> register_access_;
 };
 
 }  // namespace netcl::sim
