@@ -240,16 +240,35 @@ void render_tenants(const std::map<std::string, Series>& now) {
     tenants[tenant][family] = series.value;
   }
   if (tenants.empty()) return;
-  std::printf("%-8s %7s %12s %12s %10s %10s\n", "tenant", "stages", "packets", "kernels",
-              "drops", "mcasts");
+  std::printf("%-8s %7s %12s %12s %10s %10s %10s\n", "tenant", "stages", "packets", "kernels",
+              "drops", "mcasts", "shed");
   for (const auto& [tenant, metrics] : tenants) {
     auto metric = [&](const char* key) {
       const auto it = metrics.find(key);
       return it == metrics.end() ? 0.0 : it->second;
     };
-    std::printf("%-8s %7.0f %12.0f %12.0f %10.0f %10.0f\n", tenant.c_str(),
+    // "shed" = packets this tenant lost to overload control (ISSUE 8):
+    // its own policer budget plus drop-oldest queue overflow.
+    std::printf("%-8s %7.0f %12.0f %12.0f %10.0f %10.0f %10.0f\n", tenant.c_str(),
                 metric("stages_used"), metric("packets_processed"),
-                metric("kernels_executed"), metric("drops_action"), metric("multicasts"));
+                metric("kernels_executed"), metric("drops_action"), metric("multicasts"),
+                metric("shed_policer") + metric("shed_queue"));
+  }
+  std::printf("\n");
+}
+
+/// Hostile-traffic attribution (ISSUE 8): the daemon mirrors its top
+/// malformed-datagram sources into series carrying a `source` label.
+void render_malformed_sources(const std::map<std::string, Series>& now) {
+  std::map<std::string, double> sources;
+  for (const auto& [name, series] : now) {
+    const std::string source = label_value(name, "source");
+    if (!source.empty()) sources[source] = series.value;
+  }
+  if (sources.empty()) return;
+  std::printf("%-24s %12s\n", "malformed source", "datagrams");
+  for (const auto& [source, count] : sources) {
+    std::printf("%-24s %12.0f\n", source.c_str(), count);
   }
   std::printf("\n");
 }
@@ -263,6 +282,7 @@ void render(const std::map<std::string, Series>& now, const std::map<std::string
   std::printf("ncl-top — %s:%u  (%zu series%s)\n", options.host.c_str(), options.port,
               now.size(), keys);
   render_tenants(now);
+  render_malformed_sources(now);
   std::printf("%-64s %14s %12s\n", "series", "value", "rate/s");
   for (const auto& [name, series] : now) {
     char rate[32] = "";

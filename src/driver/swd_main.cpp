@@ -14,6 +14,15 @@
 //     --metrics-port <p>   serve a Prometheus text scrape endpoint on this
 //                          plain-TCP port (0 = kernel-assigned; off when
 //                          the flag is absent)
+//     --tenant-rate <pps>  police each tenant's data-plane traffic to this
+//                          many packets/second (default 0 = unpoliced)
+//     --tenant-burst <n>   token-bucket depth in packets (default: one
+//                          second's worth, i.e. --tenant-rate)
+//     --ingress-queue <n>  bounded drop-oldest ingress queue capacity
+//                          (default 1024)
+//     --read-deadline <s>  reap control connections stalled mid-frame for
+//                          s seconds (slowloris defence; default 10,
+//                          0 disables)
 //     --quiet              suppress the shutdown stats line
 //
 // Multi-tenant serving (ISSUE 7): each positional source compiles
@@ -55,7 +64,8 @@ void print_usage() {
   std::cerr << "usage: netcl-swd [--device N] [--port P] [--control-port P]\n"
                "                 [-D NAME=VALUE] [--max-seconds S] [--max-tenants N]\n"
                "                 [--generation G] [--idle-timeout S] [--metrics-port P]\n"
-               "                 [--quiet] <source.ncl> [<source2.ncl> ...]\n";
+               "                 [--tenant-rate PPS] [--tenant-burst N] [--ingress-queue N]\n"
+               "                 [--read-deadline S] [--quiet] <source.ncl> [<source2.ncl> ...]\n";
 }
 
 bool parse_number(const std::string& flag, const std::string& text, std::uint64_t& out) {
@@ -114,6 +124,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--metrics-port" && i + 1 < argc) {
       if (!parse_number(arg, argv[++i], value)) return 2;
       swd.metrics_port = static_cast<int>(static_cast<std::uint16_t>(value));
+    } else if (arg == "--tenant-rate" && i + 1 < argc) {
+      if (!parse_number(arg, argv[++i], value)) return 2;
+      swd.tenant_rate_pps = static_cast<double>(value);
+    } else if (arg == "--tenant-burst" && i + 1 < argc) {
+      if (!parse_number(arg, argv[++i], value)) return 2;
+      swd.tenant_burst = static_cast<double>(value);
+    } else if (arg == "--ingress-queue" && i + 1 < argc) {
+      if (!parse_number(arg, argv[++i], value)) return 2;
+      swd.ingress_queue_capacity = static_cast<std::size_t>(value);
+    } else if (arg == "--read-deadline" && i + 1 < argc) {
+      if (!parse_number(arg, argv[++i], value)) return 2;
+      swd.read_deadline_seconds = static_cast<double>(value);
     } else if (arg == "-D" && i + 1 < argc) {
       const std::string define = argv[++i];
       const std::size_t eq = define.find('=');

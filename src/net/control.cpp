@@ -37,7 +37,43 @@ bool deadline_passed(ControlDeadline deadline) {
   return std::chrono::steady_clock::now() >= deadline;
 }
 
+/// The 8-byte preamble in front of `payload_size` bytes of payload.
+void append_frame_header(ByteWriter& frame, std::size_t payload_size) {
+  frame.u8(kControlFrameMagic[0]);
+  frame.u8(kControlFrameMagic[1]);
+  frame.u8(kControlFrameVersion);
+  frame.u8(0);  // reserved, must be zero
+  frame.u32(static_cast<std::uint32_t>(payload_size));
+}
+
 }  // namespace
+
+FrameParse parse_frame_header(std::span<const std::uint8_t> data, std::uint32_t& length,
+                              runtime::Error& error) {
+  if (data.size() < kControlFrameHeaderBytes) return FrameParse::kNeedMore;
+  if (data[0] != kControlFrameMagic[0] || data[1] != kControlFrameMagic[1]) {
+    error = {runtime::ErrorKind::kMalformed, "bad control frame magic"};
+    return FrameParse::kMalformed;
+  }
+  if (data[2] != kControlFrameVersion) {
+    error = {runtime::ErrorKind::kMalformed,
+             "unsupported control protocol version " + std::to_string(data[2])};
+    return FrameParse::kMalformed;
+  }
+  if (data[3] != 0) {
+    error = {runtime::ErrorKind::kMalformed, "nonzero reserved byte in control frame"};
+    return FrameParse::kMalformed;
+  }
+  ByteReader reader(data.subspan(4, 4));
+  length = reader.u32();
+  if (length > kMaxControlFrame) {
+    error = {runtime::ErrorKind::kMalformed,
+             "control frame length " + std::to_string(length) + " exceeds max " +
+                 std::to_string(kMaxControlFrame)};
+    return FrameParse::kMalformed;
+  }
+  return FrameParse::kFrame;
+}
 
 bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
   std::size_t got = 0;
@@ -78,17 +114,20 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
 bool write_frame(int fd, const std::vector<std::uint8_t>& payload) {
   // Single send(); see the deadline overload for the Nagle rationale.
   ByteWriter frame;
-  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  append_frame_header(frame, payload.size());
   frame.raw(payload);
   return write_all(fd, frame.bytes().data(), frame.bytes().size());
 }
 
 bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
-  std::uint8_t header[4];
+  std::uint8_t header[kControlFrameHeaderBytes];
   if (!read_exact(fd, header, sizeof(header))) return false;
-  ByteReader reader({header, sizeof(header)});
-  const std::uint32_t length = reader.u32();
-  if (length > kMaxControlFrame) return false;
+  std::uint32_t length = 0;
+  runtime::Error error;
+  // Validate (magic, version, length bound) before sizing any buffer.
+  if (parse_frame_header({header, sizeof(header)}, length, error) != FrameParse::kFrame) {
+    return false;
+  }
   payload.resize(length);
   return length == 0 || read_exact(fd, payload.data(), length);
 }
@@ -133,17 +172,19 @@ bool write_frame(int fd, const std::vector<std::uint8_t>& payload, ControlDeadli
   // delayed-ACK (~40 ms per frame on loopback), which would dominate the
   // control RTT and ruin PING-based clock alignment (ISSUE 4).
   ByteWriter frame;
-  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  append_frame_header(frame, payload.size());
   frame.raw(payload);
   return write_all(fd, frame.bytes().data(), frame.bytes().size(), deadline);
 }
 
 bool read_frame(int fd, std::vector<std::uint8_t>& payload, ControlDeadline deadline) {
-  std::uint8_t header[4];
+  std::uint8_t header[kControlFrameHeaderBytes];
   if (!read_exact(fd, header, sizeof(header), deadline)) return false;
-  ByteReader reader({header, sizeof(header)});
-  const std::uint32_t length = reader.u32();
-  if (length > kMaxControlFrame) return false;
+  std::uint32_t length = 0;
+  runtime::Error error;
+  if (parse_frame_header({header, sizeof(header)}, length, error) != FrameParse::kFrame) {
+    return false;
+  }
   payload.resize(length);
   return length == 0 || read_exact(fd, payload.data(), length, deadline);
 }

@@ -3,7 +3,8 @@
 // management (§V-B) when the device is a real process instead of an
 // in-fabric object.
 //
-// Framing: TCP, length-prefixed — u32 LE payload length, then the payload.
+// Framing: TCP — an 8-byte preamble ('N' 'C' version reserved + u32 LE
+// payload length; see kControlFrameMagic below), then the payload.
 // A request payload is u64 client id + u64 request id + u8 opcode +
 // operands; a response is u8 status (kControlOk / kControlError) + results.
 // All integers little-endian (the ByteWriter/ByteReader codec in
@@ -70,9 +71,33 @@ enum class ControlOp : std::uint8_t {
 
 inline constexpr std::uint8_t kControlOk = 0;
 inline constexpr std::uint8_t kControlError = 1;
-/// Frames larger than this are a protocol violation and close the
-/// connection (a stats response is well under 1 KiB).
+/// Frames larger than this are a protocol violation: the daemon answers a
+/// typed kMalformed error and closes, *before* buffering any payload (a
+/// stats response is well under 1 KiB, kernel sources under 64 KiB).
 inline constexpr std::uint32_t kMaxControlFrame = 1u << 20;
+
+/// Control frames start with a magic + version preamble (ISSUE 8), so a
+/// stray HTTP request, a NetCL *data* packet, or a future incompatible
+/// protocol revision aimed at the control port fails closed instead of
+/// being interpreted as a length prefix:
+///   'N' 'C' u8 version u8 reserved(0) | u32 LE payload length | payload
+inline constexpr std::uint8_t kControlFrameMagic[2] = {'N', 'C'};
+inline constexpr std::uint8_t kControlFrameVersion = 1;
+inline constexpr std::size_t kControlFrameHeaderBytes = 8;
+
+/// Incremental frame-header classification for byte-stream parsers.
+enum class FrameParse : std::uint8_t {
+  kNeedMore,   // fewer than kControlFrameHeaderBytes buffered
+  kFrame,      // header valid; `length` payload bytes follow it
+  kMalformed,  // bad magic / version / reserved byte / oversize length
+};
+
+/// Inspects the start of `data` for one frame header. Never reads past the
+/// header and never allocates; on kMalformed, `error` says why. Shared by
+/// the daemon's inbox scanner and read_frame so client and server can
+/// never disagree about framing.
+FrameParse parse_frame_header(std::span<const std::uint8_t> data, std::uint32_t& length,
+                              runtime::Error& error);
 
 /// Absolute deadline on the wall clock for bounded socket operations.
 using ControlDeadline = std::chrono::steady_clock::time_point;

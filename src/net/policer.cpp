@@ -1,0 +1,45 @@
+#include "net/policer.hpp"
+
+#include <algorithm>
+
+namespace netcl::net {
+
+bool TokenBucket::try_take(double now_s) {
+  if (rate_ <= 0.0) return true;
+  if (!primed_) {
+    last_s_ = now_s;
+    primed_ = true;
+  }
+  const double elapsed = now_s > last_s_ ? now_s - last_s_ : 0.0;
+  last_s_ = now_s;
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+void BoundedCounts::add(const std::string& key, std::uint64_t delta) {
+  total_ += delta;
+  const auto it = counts_.find(key);
+  if (it != counts_.end()) {
+    it->second += delta;
+    return;
+  }
+  if (counts_.size() >= capacity_) {
+    overflow_ += delta;
+    return;
+  }
+  counts_.emplace(key, delta);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> BoundedCounts::top(std::size_t k) const {
+  std::vector<std::pair<std::string, std::uint64_t>> rows(counts_.begin(), counts_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    // Heaviest first; ties by key so the order is deterministic.
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (rows.size() > k) rows.resize(k);
+  return rows;
+}
+
+}  // namespace netcl::net

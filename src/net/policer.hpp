@@ -1,0 +1,65 @@
+// Overload-control primitives for the daemon's hostile-wire perimeter
+// (ISSUE 8): per-tenant token-bucket policing and bounded per-source
+// accounting. Header + small .cpp, no socket or device dependencies, so
+// the soak bench and unit tests can exercise the arithmetic directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace netcl::net {
+
+/// Classic token bucket on a caller-supplied monotonic clock. `rate_pps`
+/// tokens accrue per second up to `burst`; each admitted packet consumes
+/// one. A default-constructed bucket admits everything (rate 0 =
+/// unpoliced), so tenants without a configured rate cost one branch.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double rate_pps, double burst)
+      : rate_(rate_pps > 0.0 ? rate_pps : 0.0),
+        burst_(burst > 0.0 ? burst : rate_),
+        tokens_(burst_) {}
+
+  /// True if a token was available (and consumes it). `now_s` must be
+  /// monotonic; time moving backwards is treated as no time elapsed.
+  bool try_take(double now_s);
+
+  [[nodiscard]] bool unlimited() const { return rate_ <= 0.0; }
+  [[nodiscard]] double rate() const { return rate_; }
+
+ private:
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  double last_s_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Exact counts for a bounded number of distinct keys, with an overflow
+/// bucket for the rest. Source endpoints are attacker-controlled — an
+/// unbounded map keyed by them is itself a memory DoS — so the tracker
+/// admits at most `capacity` distinct keys and lumps later arrivals into
+/// overflow(). top(k) returns the heaviest keys, descending.
+class BoundedCounts {
+ public:
+  explicit BoundedCounts(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  void add(const std::string& key, std::uint64_t delta = 1);
+
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::size_t tracked() const { return counts_.size(); }
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> top(std::size_t k) const;
+
+ private:
+  std::size_t capacity_;
+  std::map<std::string, std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace netcl::net

@@ -1,5 +1,6 @@
 #include "net/swd_server.hpp"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -26,6 +27,18 @@ constexpr std::size_t kMaxDatagram = 65536;
 /// Datagrams moved per sendmmsg/recvmmsg call (the mmsghdr arrays live on
 /// the stack at this size).
 constexpr std::size_t kIoBatch = 32;
+/// Receive bursts per poll cycle. A sustained flood must not pin the loop
+/// inside drain_data_socket — past this budget the excess stays in (and
+/// overflows) the kernel socket buffer, and the cycle moves on to the
+/// control plane.
+constexpr int kMaxDrainBursts = 8;
+
+/// "ip:port" for metrics/accounting labels.
+std::string endpoint_string(const sockaddr_in& addr) {
+  char ip[INET_ADDRSTRLEN] = "?";
+  ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -55,6 +68,13 @@ SwdServer::SwdServer(std::unique_ptr<sim::SwitchDevice> device, const SwdOptions
       idle_timeout_seconds_(options.idle_timeout_seconds),
       epoch_(std::chrono::steady_clock::now()) {
   pool_.bind_metrics(metrics_);
+  // Overload-control knobs (ISSUE 8).
+  if (options.ingress_queue_capacity > 0) ingress_capacity_ = options.ingress_queue_capacity;
+  if (options.max_cycle_execute > 0) max_cycle_execute_ = options.max_cycle_execute;
+  tenant_rate_pps_ = options.tenant_rate_pps;
+  tenant_burst_ = options.tenant_burst > 0.0 ? options.tenant_burst : options.tenant_rate_pps;
+  read_deadline_seconds_ = options.read_deadline_seconds;
+  unattributed_bucket_ = TokenBucket(tenant_rate_pps_, tenant_burst_);
   device_->set_max_tenants(options.max_tenants);
   // A restarted daemon is a new process with fresh (empty) state; a
   // wall-clock-derived generation makes that visible to pinging hosts.
@@ -196,7 +216,7 @@ void SwdServer::drain_data_socket(bool crashed) {
   // Position within this receive burst doubles as the INT queue-depth
   // stamp — the daemon's analogue of the simulator's event-queue depth.
   std::uint32_t burst_index = 0;
-  for (;;) {
+  for (int bursts = 0; bursts < kMaxDrainBursts; ++bursts) {
 #if NETCL_HAVE_MMSG
     mmsghdr msgs[kIoBatch];
     iovec iovs[kIoBatch];
@@ -217,41 +237,118 @@ void SwdServer::drain_data_socket(bool crashed) {
         ++packets_dropped_crashed;
         continue;
       }
-      handle_datagram(rx_buffers_[static_cast<std::size_t>(i)].data(), msgs[i].msg_len,
-                      froms[i], burst_index++);
+      admit_datagram(rx_buffers_[static_cast<std::size_t>(i)].data(), msgs[i].msg_len,
+                     froms[i], burst_index++);
     }
     // A short batch means the queue is (almost certainly) empty; anything
     // racing in after the syscall is picked up on the next poll turn.
     if (static_cast<std::size_t>(received) < kIoBatch) return;
 #else
-    sockaddr_in from{};
-    socklen_t from_len = sizeof(from);
-    const ssize_t n = ::recvfrom(udp_fd_, rx_buffers_[0].data(), kMaxDatagram, 0,
-                                 reinterpret_cast<sockaddr*>(&from), &from_len);
-    ++recv_syscalls;
-    if (n < 0) return;
-    if (crashed) {
-      ++packets_dropped_crashed;
-      continue;
+    for (std::size_t i = 0; i < kIoBatch; ++i) {
+      sockaddr_in from{};
+      socklen_t from_len = sizeof(from);
+      const ssize_t n = ::recvfrom(udp_fd_, rx_buffers_[0].data(), kMaxDatagram, 0,
+                                   reinterpret_cast<sockaddr*>(&from), &from_len);
+      ++recv_syscalls;
+      if (n < 0) return;
+      if (crashed) {
+        ++packets_dropped_crashed;
+        continue;
+      }
+      admit_datagram(rx_buffers_[0].data(), static_cast<std::size_t>(n), from, burst_index++);
     }
-    handle_datagram(rx_buffers_[0].data(), static_cast<std::size_t>(n), from, burst_index++);
 #endif
   }
 }
 
-void SwdServer::handle_datagram(const std::uint8_t* data, std::size_t size,
-                                const sockaddr_in& from, std::uint32_t queue_depth) {
+void SwdServer::admit_datagram(const std::uint8_t* data, std::size_t size,
+                               const sockaddr_in& from, std::uint32_t queue_depth) {
   sim::Packet packet;
-  if (!deserialize_packet({data, size}, packet)) {
+  const runtime::Error err = deserialize_packet_e({data, size}, packet);
+  if (!err.ok()) {
+    // Hostile or corrupt bytes: count globally and per source endpoint
+    // (top-K, bounded — spoofed sources cannot grow the tracker), leave a
+    // flight-recorder breadcrumb, and move on. Nothing unvalidated crosses
+    // this line into the engine.
     ++deserialize_errors;
+    ++packets_malformed;
+    malformed_sources_.add(endpoint_string(from));
+    obs::flight(obs::FlightKind::kMalformedDatagram,
+                static_cast<std::uint64_t>(ntohl(from.sin_addr.s_addr)),
+                static_cast<std::uint64_t>(ntohs(from.sin_port)));
     return;
   }
   ++packets_received;
-  const std::uint64_t ingress_ns = packet.telemetry.requested ? device_clock_ns() : 0;
+  // Attribute the packet to the tenant whose budget it will consume: the
+  // resident owner of its computation id when addressed to this device,
+  // the shared unattributed bucket otherwise.
+  sim::TenantId tenant = kUnattributedTenant;
+  if (packet.netcl.to == device_->device_id()) {
+    const sim::TenantId* owner = device_->tenant_for(packet.netcl.comp);
+    if (owner != nullptr) tenant = *owner;
+  }
+  if (!police(tenant, uptime_s())) {
+    count_shed(tenant, /*policer=*/true);
+    return;
+  }
   // Learn the sender's location; Reflect and later SendToHost responses
   // need it (the paper's testbed wires this knowledge into the base
   // forwarding program instead).
   if (packet.netcl.src != 0) host_endpoints_[packet.netcl.src] = from;
+  IngressPacket in;
+  in.ingress_ns = packet.telemetry.requested ? device_clock_ns() : 0;
+  in.packet = std::move(packet);
+  in.from = from;
+  in.queue_depth = queue_depth;
+  in.tenant = tenant;
+  ingress_.push_back(std::move(in));
+  if (ingress_.size() > ingress_capacity_) {
+    // Drop-oldest: the stalest packet is the least useful one, and the
+    // shed is charged to *its* tenant, so a flooder filling the queue
+    // mostly sheds its own backlog.
+    count_shed(ingress_.front().tenant, /*policer=*/false);
+    ingress_.pop_front();
+  }
+}
+
+bool SwdServer::police(sim::TenantId tenant, double now_s) {
+  if (tenant_rate_pps_ <= 0.0) return true;
+  if (tenant == kUnattributedTenant) return unattributed_bucket_.try_take(now_s);
+  auto it = tenant_buckets_.find(tenant);
+  if (it == tenant_buckets_.end()) {
+    it = tenant_buckets_.emplace(tenant, TokenBucket(tenant_rate_pps_, tenant_burst_)).first;
+  }
+  return it->second.try_take(now_s);
+}
+
+void SwdServer::count_shed(sim::TenantId tenant, bool policer) {
+  if (policer) {
+    ++packets_shed_policer;
+    const std::uint64_t total = ++tenant_shed_policer_[tenant];
+    obs::flight(obs::FlightKind::kPolicerShed, tenant, total);
+  } else {
+    ++packets_shed_queue;
+    ++tenant_shed_queue_[tenant];
+    obs::flight(obs::FlightKind::kQueueShed, tenant,
+                static_cast<std::uint64_t>(ingress_capacity_));
+  }
+}
+
+void SwdServer::process_ingress() {
+  // Bounded work per cycle: a deep backlog is drained across cycles with
+  // the control plane serviced in between, not in one starving burst.
+  std::size_t budget = max_cycle_execute_;
+  while (!ingress_.empty() && budget-- > 0) {
+    IngressPacket in = std::move(ingress_.front());
+    ingress_.pop_front();
+    handle_packet(in);
+  }
+}
+
+void SwdServer::handle_packet(IngressPacket& in) {
+  sim::Packet& packet = in.packet;
+  const std::uint64_t ingress_ns = in.ingress_ns;
+  const std::uint32_t queue_depth = in.queue_depth;
 
   if (packet.netcl.to == 0) {
     // Already host-addressed (e.g. a reflected response looped back through
@@ -454,11 +551,16 @@ std::vector<std::uint8_t> SwdServer::handle_control(std::span<const std::uint8_t
           defines[define] = reader.u64();
         }
         const std::uint32_t src_len = reader.u32();
-        std::string source;
-        source.reserve(src_len);
-        for (std::uint32_t i = 0; i < src_len && reader.ok(); ++i) {
-          source.push_back(static_cast<char>(reader.u8()));
+        if (!reader.ok() || src_len > reader.remaining()) {
+          // Validate the length against the bytes actually present BEFORE
+          // sizing any buffer — a hostile u32 here was once a 4 GiB
+          // reserve() (allocation bomb).
+          handled = false;
+          op_error = {runtime::ErrorKind::kMalformed,
+                      "kernel source length overruns frame"};
+          break;
         }
+        std::string source = reader.bytes_str(src_len);
         handled = reader.ok();
         if (!handled) break;
         if (!compiler_) {
@@ -527,8 +629,12 @@ std::vector<std::uint8_t> SwdServer::handle_control(std::span<const std::uint8_t
       }
       default:
         handled = false;
+        op_error = {runtime::ErrorKind::kMalformed,
+                    "unknown control opcode " + std::to_string(static_cast<unsigned>(op))};
         break;
     }
+  } else {
+    op_error = {runtime::ErrorKind::kMalformed, "truncated control request"};
   }
   std::vector<std::uint8_t> response;
   if (!handled) {
@@ -571,8 +677,27 @@ std::string SwdServer::metrics_exposition() {
   metrics_.gauge("flight.dropped_events")
       .set(static_cast<double>(recorder.dropped_events()));
   metrics_.gauge("flight.dumps_written").set(static_cast<double>(recorder.dumps_written()));
+  metrics_.gauge("ingress.queue_depth").set(static_cast<double>(ingress_.size()));
+  metrics_.gauge("ingress.queue_capacity").set(static_cast<double>(ingress_capacity_));
   mirror_tenant_metrics();
+  mirror_malformed_sources();
   return obs::prometheus_string();
+}
+
+void SwdServer::mirror_malformed_sources() {
+  metrics_.gauge("malformed.sources_tracked")
+      .set(static_cast<double>(malformed_sources_.tracked()));
+  metrics_.gauge("malformed.sources_overflow")
+      .set(static_cast<double>(malformed_sources_.overflow()));
+  // Top-K offenders as "<base>/source/<ip:port>" registries — rendered
+  // with a `source` label, the per-source analogue of the tenant label.
+  for (const auto& [endpoint, count] : malformed_sources_.top(8)) {
+    std::unique_ptr<obs::MetricsRegistry>& registry = source_metrics_[endpoint];
+    if (registry == nullptr) {
+      registry = std::make_unique<obs::MetricsRegistry>(metrics_.name() + "/source/" + endpoint);
+    }
+    registry->gauge("malformed.by_source").set(static_cast<double>(count));
+  }
 }
 
 void SwdServer::mirror_tenant_metrics() {
@@ -593,6 +718,12 @@ void SwdServer::mirror_tenant_metrics() {
     registry->gauge("tenant.control_writes")
         .set(static_cast<double>(info.stats.control_writes));
     registry->gauge("tenant.stages_used").set(static_cast<double>(info.stages_used));
+    // Overload-shed attribution (ISSUE 8): how many of this tenant's own
+    // packets the policer / queue overflow dropped.
+    registry->gauge("tenant.shed_policer")
+        .set(static_cast<double>(tenant_shed_policer_[info.id]));
+    registry->gauge("tenant.shed_queue")
+        .set(static_cast<double>(tenant_shed_queue_[info.id]));
   }
 }
 
@@ -673,26 +804,50 @@ void SwdServer::service_connection(Connection& connection) {
   if (got_bytes) connection.last_activity_s = uptime_s();
   // Dispatch every complete frame in the inbox.
   std::size_t pos = 0;
-  while (connection.inbox.size() - pos >= 4) {
-    ByteReader header({connection.inbox.data() + pos, 4});
-    const std::uint32_t length = header.u32();
-    if (length > kMaxControlFrame) {
+  for (;;) {
+    std::uint32_t length = 0;
+    runtime::Error frame_error;
+    const FrameParse parse = parse_frame_header(
+        {connection.inbox.data() + pos, connection.inbox.size() - pos}, length, frame_error);
+    if (parse == FrameParse::kNeedMore) break;
+    if (parse == FrameParse::kMalformed) {
+      // Bad magic, unknown version, or an oversize length: answer with the
+      // typed error (best effort — the peer may not even speak the
+      // protocol) and close. Note no payload was ever buffered or
+      // allocated for the oversize case; the length died in validation.
+      ++control_malformed;
+      ++control_errors;
+      obs::flight(obs::FlightKind::kControlMalformed,
+                  static_cast<std::uint64_t>(connection.inbox.size() - pos));
+      ByteWriter failure;
+      failure.u8(kControlError);
+      failure.u8(static_cast<std::uint8_t>(frame_error.kind));
+      failure.str(frame_error.message);
+      write_frame(connection.fd, failure.bytes());
       ::close(connection.fd);
       connection.fd = -1;
       return;
     }
-    if (connection.inbox.size() - pos - 4 < length) break;
-    const std::vector<std::uint8_t> response =
-        handle_control({connection.inbox.data() + pos + 4, length});
+    if (connection.inbox.size() - pos - kControlFrameHeaderBytes < length) break;
+    const std::vector<std::uint8_t> response = handle_control(
+        {connection.inbox.data() + pos + kControlFrameHeaderBytes, length});
     if (!write_frame(connection.fd, response)) {
       ::close(connection.fd);
       connection.fd = -1;
       return;
     }
-    pos += 4 + length;
+    pos += kControlFrameHeaderBytes + length;
   }
   connection.inbox.erase(connection.inbox.begin(),
                          connection.inbox.begin() + static_cast<std::ptrdiff_t>(pos));
+  // Read-progress state for the slowloris reaper: the clock starts when a
+  // partial frame first appears and only resets once the inbox fully
+  // drains — trickled bytes do not extend the deadline.
+  if (connection.inbox.empty()) {
+    connection.frame_started_s = -1.0;
+  } else if (connection.frame_started_s < 0.0) {
+    connection.frame_started_s = uptime_s();
+  }
 }
 
 bool SwdServer::apply_fault_state() {
@@ -705,6 +860,10 @@ bool SwdServer::apply_fault_state() {
     host_endpoints_.clear();
     multicast_groups_.clear();
     replay_cache_.clear();
+    // A fresh process also starts with empty queues and full buckets.
+    ingress_.clear();
+    tenant_buckets_.clear();
+    unattributed_bucket_ = TokenBucket(tenant_rate_pps_, tenant_burst_);
     crashed_.store(false, std::memory_order_relaxed);
   }
   return crashed_.load(std::memory_order_relaxed);
@@ -725,6 +884,11 @@ void SwdServer::poll_once(int timeout_ms) {
     connections_.clear();
     for (const Connection& connection : metrics_connections_) ::close(connection.fd);
     metrics_connections_.clear();
+  }
+  if (crashed && !ingress_.empty()) {
+    // Packets a dead process had admitted but not executed vanish with it.
+    packets_dropped_crashed.inc(static_cast<std::uint64_t>(ingress_.size()));
+    ingress_.clear();
   }
   if (idle_timeout_seconds_ > 0.0) {
     const double now_s = uptime_s();
@@ -747,6 +911,24 @@ void SwdServer::poll_once(int timeout_ms) {
     std::erase_if(metrics_connections_,
                   [](const Connection& connection) { return connection.fd < 0; });
   }
+  if (read_deadline_seconds_ > 0.0) {
+    // Slowloris defence: a connection stalled mid-frame past the read
+    // deadline is reaped — unlike idle reaping, this fires even while the
+    // peer trickles a byte at a time (progress is not activity).
+    const double now_s = uptime_s();
+    for (Connection& connection : connections_) {
+      if (connection.frame_started_s >= 0.0 &&
+          now_s - connection.frame_started_s > read_deadline_seconds_) {
+        obs::flight(obs::FlightKind::kSlowReadReap,
+                    static_cast<std::uint64_t>(connection.inbox.size()),
+                    static_cast<std::uint64_t>(now_s - connection.frame_started_s));
+        ::close(connection.fd);
+        connection.fd = -1;
+        ++connections_reaped_slow;
+      }
+    }
+    std::erase_if(connections_, [](const Connection& connection) { return connection.fd < 0; });
+  }
   std::vector<pollfd> fds;
   fds.push_back({udp_fd_, POLLIN, 0});
   fds.push_back({listen_fd_, POLLIN, 0});
@@ -759,8 +941,12 @@ void SwdServer::poll_once(int timeout_ms) {
   for (const Connection& connection : metrics_connections_) {
     fds.push_back({connection.fd, POLLIN, 0});
   }
-  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  // With a backlog queued, don't sleep — poll only collects what's already
+  // ready and the cycle goes straight on to executing the queue.
+  const int ready = ::poll(fds.data(), fds.size(), ingress_.empty() ? timeout_ms : 0);
   if (ready <= 0) {
+    process_ingress();
+    flush_egress();
     obs::flight(obs::FlightKind::kPollCycle, 0, 0);
     return;
   }
@@ -768,8 +954,9 @@ void SwdServer::poll_once(int timeout_ms) {
   const std::uint64_t received_before = packets_received.value();
   if ((fds[0].revents & POLLIN) != 0) {
     drain_data_socket(crashed);
-    flush_egress();
   }
+  process_ingress();
+  flush_egress();
   obs::flight(obs::FlightKind::kPollCycle, static_cast<std::uint64_t>(ready),
               packets_received.value() - received_before);
   // accept_connection() below can grow connections_; only the pre-accept

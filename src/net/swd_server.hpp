@@ -21,11 +21,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "net/buffer_pool.hpp"
+#include "net/policer.hpp"
 #include "obs/metrics.hpp"
 #include "sim/switch.hpp"
 
@@ -55,6 +58,28 @@ struct SwdOptions {
   sim::ProgramCompiler compiler;
   /// Cap on co-resident tenants (0 = unlimited); forwarded to the device.
   std::size_t max_tenants = 0;
+
+  // --- overload control (ISSUE 8) -------------------------------------------
+  /// Per-tenant token-bucket rate on the data plane, packets/second
+  /// (0 = unpoliced). A tenant exceeding it sheds its *own* packets before
+  /// they reach the ingress queue; co-residents are unaffected. Traffic
+  /// with no resident tenant (unknown computation ids, host-addressed
+  /// passthrough) shares one bucket at the same rate.
+  double tenant_rate_pps = 0.0;
+  /// Bucket depth in packets (0 = one second's worth, i.e. tenant_rate_pps).
+  double tenant_burst = 0.0;
+  /// Bounded drop-oldest ingress queue between the socket and the switch
+  /// engine. Under sustained overload the oldest queued packet is shed
+  /// (counted against its tenant) instead of the queue growing without
+  /// bound. 0 = default (1024).
+  std::size_t ingress_queue_capacity = 0;
+  /// Max queued packets executed per poll cycle, so a flood can never
+  /// starve control-plane servicing within a cycle. 0 = default (512).
+  std::size_t max_cycle_execute = 0;
+  /// A control connection holding an incomplete frame longer than this is
+  /// reaped (slowloris defence) — independent of idle_timeout_seconds,
+  /// which only covers connections with no pending frame. 0 disables.
+  double read_deadline_seconds = 10.0;
 };
 
 class SwdServer {
@@ -97,12 +122,32 @@ class SwdServer {
   void inject_restart() { restart_pending_.store(true, std::memory_order_relaxed); }
   [[nodiscard]] bool crashed() const { return crashed_.load(std::memory_order_relaxed); }
 
+  /// Dispatches one already-deframed control request and returns the
+  /// response payload. Public so tests and the fuzz harness can drive the
+  /// parser with arbitrary bytes without a socket in between; the serving
+  /// path calls it from service_connection().
+  [[nodiscard]] std::vector<std::uint8_t> handle_control(std::span<const std::uint8_t> frame);
+
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
   obs::Counter& packets_received = metrics_.counter("packets_received");
   obs::Counter& packets_sent = metrics_.counter("packets_sent");
   obs::Counter& packets_dropped_action = metrics_.counter("packets_dropped_action");
   /// Datagram arrived but was not a well-formed NetCL wire packet.
   obs::Counter& deserialize_errors = metrics_.counter("deserialize_errors");
+  /// Same events as deserialize_errors under the ISSUE 8 perimeter name;
+  /// per-source attribution renders as malformed.by_source gauges.
+  obs::Counter& packets_malformed = metrics_.counter("packets.malformed");
+  /// Packets shed by the per-tenant token-bucket policer (the flooding
+  /// tenant's own traffic; see tenant.shed_policer for attribution).
+  obs::Counter& packets_shed_policer = metrics_.counter("packets.shed_policer");
+  /// Oldest queued packets dropped when the bounded ingress queue overflowed.
+  obs::Counter& packets_shed_queue = metrics_.counter("packets.shed_queue");
+  /// Control connections closed for a malformed frame header (bad magic /
+  /// version / oversize length).
+  obs::Counter& control_malformed = metrics_.counter("control.malformed");
+  /// Control connections reaped for stalling mid-frame past
+  /// read_deadline_seconds (slowloris defence).
+  obs::Counter& connections_reaped_slow = metrics_.counter("connections.reaped_slow");
   /// Outbound packet addressed to a host this daemon never heard from.
   obs::Counter& dropped_unknown_host = metrics_.counter("dropped.unknown_host");
   /// Outbound packet addressed to another device (single-device daemon).
@@ -134,23 +179,51 @@ class SwdServer {
   obs::Counter& recv_syscalls = metrics_.counter("recv_syscalls");
 
  private:
+  /// Bucket/attribution key for traffic no resident tenant claims
+  /// (unknown computation ids, host-addressed passthrough, transits).
+  static constexpr sim::TenantId kUnattributedTenant = 0xFFFFFFFFu;
+
   struct Connection {
     int fd = -1;
     std::vector<std::uint8_t> inbox;  // bytes read, not yet framed
     double last_activity_s = 0.0;     // monotonic seconds (idle reaping)
+    /// When the oldest incomplete frame in the inbox started arriving
+    /// (< 0 = no partial frame pending). A connection stalled mid-frame
+    /// past read_deadline_seconds is reaped (slowloris defence).
+    double frame_started_s = -1.0;
   };
 
-  /// `queue_depth` is this datagram's position within the current receive
-  /// burst — the daemon's analogue of the simulator's event-queue depth,
-  /// stamped into INT hops.
-  void handle_datagram(const std::uint8_t* data, std::size_t size, const sockaddr_in& from,
-                       std::uint32_t queue_depth);
+  /// A parsed-and-admitted data-plane packet waiting for an execution slot
+  /// (the bounded drop-oldest ingress queue, ISSUE 8).
+  struct IngressPacket {
+    sim::Packet packet;
+    sockaddr_in from{};
+    std::uint32_t queue_depth = 0;
+    std::uint64_t ingress_ns = 0;  // 0 unless telemetry was requested
+    /// Resident tenant the packet was attributed to at admission
+    /// (kUnattributedTenant for unknown computations / passthrough).
+    sim::TenantId tenant = 0;
+  };
+
+  /// Parses + polices one datagram and queues it on ingress_ (drop-oldest
+  /// on overflow). Malformed input and policer sheds are counted and
+  /// flight-recorded here; nothing unvalidated crosses this line.
+  void admit_datagram(const std::uint8_t* data, std::size_t size, const sockaddr_in& from,
+                      std::uint32_t queue_depth);
+  /// Runs the switch engine over one admitted packet.
+  void handle_packet(IngressPacket& in);
+  /// Executes up to max_cycle_execute_ queued packets.
+  void process_ingress();
+  /// The tenant whose token bucket a packet with this computation id
+  /// consumes from, and whether it may pass right now.
+  bool police(sim::TenantId tenant, double now_s);
+  void count_shed(sim::TenantId tenant, bool policer);
   void emit(sim::Packet&& packet);
   /// Serializes into a pooled buffer and queues the datagram on egress_;
   /// flush_egress() puts the whole cycle's output on the wire afterwards.
   void send_to_host(std::uint16_t host, const sim::Packet& packet);
-  /// Drains the UDP socket (recvmmsg bursts when available) and runs the
-  /// switch engine over every datagram of the cycle.
+  /// Drains the UDP socket (recvmmsg bursts when available) and admits
+  /// every datagram of the cycle into the ingress queue.
   void drain_data_socket(bool crashed);
   /// Transmits the queued egress datagrams, batched through sendmmsg with
   /// per-message destinations, in FIFO (emission) order.
@@ -170,11 +243,13 @@ class SwdServer {
   [[nodiscard]] double uptime_s() const;
   /// Applies pending fault-injection state; true while crashed.
   bool apply_fault_state();
-  [[nodiscard]] std::vector<std::uint8_t> handle_control(std::span<const std::uint8_t> frame);
   /// Find-or-create the per-tenant registry ("swd<id>/tenant/<name>" —
   /// prometheus_string() splits the suffix into a `tenant` label) and
   /// mirror the tenant's execution stats into it as gauges.
   void mirror_tenant_metrics();
+  /// Mirror the heaviest malformed-traffic sources into
+  /// "<base>/source/<ip:port>" registries (`source` label on the wire).
+  void mirror_malformed_sources();
 
   struct EgressDatagram {
     sockaddr_in to{};
@@ -206,6 +281,26 @@ class SwdServer {
   double idle_timeout_seconds_ = 0.0;
   std::vector<Connection> connections_;
   std::vector<Connection> metrics_connections_;
+  // --- overload control state (ISSUE 8) -------------------------------------
+  std::deque<IngressPacket> ingress_;
+  std::size_t ingress_capacity_ = 1024;
+  std::size_t max_cycle_execute_ = 512;
+  double tenant_rate_pps_ = 0.0;
+  double tenant_burst_ = 0.0;
+  double read_deadline_seconds_ = 0.0;
+  /// One token bucket per resident tenant (created lazily), plus one
+  /// shared bucket for unattributed traffic.
+  std::map<sim::TenantId, TokenBucket> tenant_buckets_;
+  TokenBucket unattributed_bucket_;
+  /// Per-tenant shed attribution, mirrored into the tenant registries.
+  std::map<sim::TenantId, std::uint64_t> tenant_shed_policer_;
+  std::map<sim::TenantId, std::uint64_t> tenant_shed_queue_;
+  /// Top-K malformed-datagram attribution by source endpoint; bounded so
+  /// spoofed sources cannot grow it without limit.
+  BoundedCounts malformed_sources_;
+  /// Per-source metric registries for the heaviest offenders.
+  std::map<std::string, std::unique_ptr<obs::MetricsRegistry>> source_metrics_;
+
   /// host id -> last UDP endpoint it sent from.
   std::map<std::uint16_t, sockaddr_in> host_endpoints_;
   std::map<std::uint16_t, std::vector<std::uint16_t>> multicast_groups_;

@@ -1,5 +1,7 @@
 #include "net/wire.hpp"
 
+#include <algorithm>
+
 namespace netcl::net {
 
 namespace {
@@ -46,10 +48,20 @@ std::vector<std::uint8_t> serialize_packet(const sim::Packet& packet) {
   return out;
 }
 
-bool deserialize_packet(std::span<const std::uint8_t> data, sim::Packet& out) {
-  if (data.size() < kWireHeaderBytes) return false;
-  for (std::size_t i = 0; i < 4; ++i) {
-    if (data[i] != kWireMagic[i]) return false;
+runtime::Error deserialize_packet_e(std::span<const std::uint8_t> data, sim::Packet& out) {
+  using runtime::Error;
+  using runtime::ErrorKind;
+  if (data.size() < kWireHeaderBytes) {
+    return {ErrorKind::kMalformed,
+            "datagram shorter than wire header (" + std::to_string(data.size()) + " bytes)"};
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (data[i] != kWireMagic[i]) return {ErrorKind::kMalformed, "bad wire magic"};
+  }
+  if (data[3] != kWireVersion) {
+    // Fail closed on any unknown version rather than guess at its layout.
+    return {ErrorKind::kMalformed,
+            "unsupported wire version " + std::to_string(data[3])};
   }
   out.has_netcl = true;
   out.netcl.src = get_u16(data, 4);
@@ -59,19 +71,31 @@ bool deserialize_packet(std::span<const std::uint8_t> data, sim::Packet& out) {
   out.netcl.comp = data[12];
   out.netcl.flags = data[13];
   out.netcl.len = get_u16(data, 14);
-  if (kWireHeaderBytes + out.netcl.len > data.size()) return false;
+  if (kWireHeaderBytes + out.netcl.len > data.size()) {
+    return {ErrorKind::kMalformed, "header length overruns datagram"};
+  }
   out.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(kWireHeaderBytes),
                      data.begin() + static_cast<std::ptrdiff_t>(kWireHeaderBytes) +
                          out.netcl.len);
   out.telemetry = sim::TelemetryRecord{};
+  const std::span<const std::uint8_t> tail = data.subspan(kWireHeaderBytes + out.netcl.len);
   if ((out.netcl.flags & sim::kFlagTelemetry) != 0) {
     // The trailer occupies everything after the payload; a truncated or
     // oversized one rejects the whole datagram (no partial stamps).
-    if (!sim::parse_trailer(data.subspan(kWireHeaderBytes + out.netcl.len), out.telemetry)) {
-      return false;
-    }
+    return sim::parse_trailer_e(tail, out.telemetry);
   }
-  return true;
+  if (!tail.empty()) {
+    // Slack after the payload with no trailer flag is internally
+    // inconsistent — the sender and this receiver would disagree about
+    // what those bytes are. Reject rather than silently drop them.
+    return {ErrorKind::kMalformed,
+            std::to_string(tail.size()) + " trailing bytes after payload"};
+  }
+  return {};
+}
+
+bool deserialize_packet(std::span<const std::uint8_t> data, sim::Packet& out) {
+  return deserialize_packet_e(data, out).ok();
 }
 
 void ByteWriter::u16(std::uint16_t v) {
@@ -142,9 +166,19 @@ std::string ByteReader::str() {
 std::vector<std::uint64_t> ByteReader::u64_vec() {
   const std::uint16_t count = u16();
   std::vector<std::uint64_t> values;
-  values.reserve(count);
+  // Reserve only what the remaining bytes could actually hold — a hostile
+  // count field must not size an allocation.
+  values.reserve(std::min<std::size_t>(count, remaining() / 8));
   for (std::uint16_t i = 0; i < count && ok_; ++i) values.push_back(u64());
   return values;
+}
+
+std::string ByteReader::bytes_str(std::size_t n) {
+  if (!take(n)) return {};
+  std::string s(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                data_.begin() + static_cast<std::ptrdiff_t>(pos_) + static_cast<std::ptrdiff_t>(n));
+  pos_ += n;
+  return s;
 }
 
 }  // namespace netcl::net

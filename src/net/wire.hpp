@@ -16,12 +16,17 @@
 #include <string>
 #include <vector>
 
+#include "runtime/error.hpp"
 #include "sim/packet.hpp"
 
 namespace netcl::net {
 
+/// Wire-format version, carried as the fourth magic byte. A receiver that
+/// sees any other value rejects the datagram (kMalformed) — future format
+/// changes fail closed instead of being misparsed (ISSUE 8).
+inline constexpr std::uint8_t kWireVersion = 1;
 /// First bytes of every NetCL datagram: "NCL" + wire-format version.
-inline constexpr std::uint8_t kWireMagic[4] = {'N', 'C', 'L', 1};
+inline constexpr std::uint8_t kWireMagic[4] = {'N', 'C', 'L', kWireVersion};
 /// Magic + NetCL shim header.
 inline constexpr std::size_t kWireHeaderBytes = 4 + sim::NetclHeader::kWireBytes;
 
@@ -34,8 +39,16 @@ void serialize_packet(const sim::Packet& packet, std::vector<std::uint8_t>& out)
 /// Convenience form returning a fresh buffer.
 [[nodiscard]] std::vector<std::uint8_t> serialize_packet(const sim::Packet& packet);
 
-/// Parses a datagram. Returns false (leaving `out` unspecified) on bad
-/// magic/version, truncation, or a header length exceeding the datagram.
+/// Parses a datagram. Total over arbitrary bytes (ISSUE 8): any input —
+/// truncated, oversized, internally inconsistent — yields a typed
+/// kMalformed error (leaving `out` unspecified), never UB or an overread.
+/// The datagram must be exactly header + payload [+ trailer]; trailing
+/// slack is rejected rather than silently ignored, so two observers can
+/// never disagree about what a datagram meant.
+[[nodiscard]] runtime::Error deserialize_packet_e(std::span<const std::uint8_t> data,
+                                                  sim::Packet& out);
+
+/// Bool-returning convenience wrapper around deserialize_packet_e.
 [[nodiscard]] bool deserialize_packet(std::span<const std::uint8_t> data, sim::Packet& out);
 
 /// Little-endian primitive serialization (control-plane requests,
@@ -74,9 +87,16 @@ class ByteReader {
   std::uint64_t u64();
   std::string str();
   std::vector<std::uint64_t> u64_vec();
+  /// `n` raw bytes as a string (no length prefix — for bodies whose length
+  /// was decoded separately). Poisons the reader if fewer remain, so a
+  /// hostile length field can never trigger an allocation past the frame.
+  std::string bytes_str(std::size_t n);
 
   [[nodiscard]] bool ok() const { return ok_; }
   [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+  /// Bytes not yet consumed — validate untrusted length fields against
+  /// this before allocating.
+  [[nodiscard]] std::size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
 
  private:
   [[nodiscard]] bool take(std::size_t n);

@@ -66,6 +66,11 @@ const char* to_string(FlightKind kind) {
     case FlightKind::kKernelUnload: return "kernel_unload";
     case FlightKind::kKernelSwap: return "kernel_swap";
     case FlightKind::kUnknownComputation: return "unknown_computation";
+    case FlightKind::kMalformedDatagram: return "malformed_datagram";
+    case FlightKind::kPolicerShed: return "policer_shed";
+    case FlightKind::kQueueShed: return "queue_shed";
+    case FlightKind::kControlMalformed: return "control_malformed";
+    case FlightKind::kSlowReadReap: return "slow_read_reap";
   }
   return "unknown";
 }

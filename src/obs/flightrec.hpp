@@ -72,6 +72,12 @@ enum class FlightKind : std::uint16_t {
   kKernelUnload = 24,         // a=tenant id
   kKernelSwap = 25,           // a=tenant id, b=stages used (new program)
   kUnknownComputation = 26,   // a=computation id, b=device id
+  // Hostile-wire hardening and overload control (ISSUE 8).
+  kMalformedDatagram = 27,    // a=source IPv4 (host order), b=source port
+  kPolicerShed = 28,          // a=tenant id, b=packets shed from it so far
+  kQueueShed = 29,            // a=tenant id of the dropped-oldest packet, b=queue capacity
+  kControlMalformed = 30,     // a=buffered bytes when the stream went bad
+  kSlowReadReap = 31,         // a=buffered bytes of the stalled frame, b=stall seconds
 };
 
 /// Stable snake_case name for JSONL/trace output ("device_down", ...).

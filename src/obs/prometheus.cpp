@@ -56,16 +56,22 @@ std::string prometheus_string(const std::map<std::string, RegistrySnapshot>& sna
   std::uint64_t packets_total = 0;
 
   for (const auto& [registry_name, r] : snapshot) {
-    // Per-tenant registries are named "<base>/tenant/<name>" (ISSUE 7);
-    // split that into a proper tenant label so PromQL can aggregate or
-    // slice by tenant without string surgery.
+    // Per-tenant registries are named "<base>/tenant/<name>" (ISSUE 7) and
+    // per-source ones "<base>/source/<endpoint>" (ISSUE 8); split the
+    // suffix into a proper label so PromQL can aggregate or slice without
+    // string surgery.
     std::string base_name = registry_name;
     std::string inner_labels = "registry=\"" + registry_name + "\"";
     const std::size_t tenant_at = registry_name.find("/tenant/");
+    const std::size_t source_at = registry_name.find("/source/");
     if (tenant_at != std::string::npos) {
       base_name = registry_name.substr(0, tenant_at);
       inner_labels = "registry=\"" + base_name + "\",tenant=\"" +
                      registry_name.substr(tenant_at + 8) + "\"";
+    } else if (source_at != std::string::npos) {
+      base_name = registry_name.substr(0, source_at);
+      inner_labels = "registry=\"" + base_name + "\",source=\"" +
+                     registry_name.substr(source_at + 8) + "\"";
     }
     const std::string label = "{" + inner_labels + "}";
 

@@ -23,6 +23,10 @@ enum class ErrorKind : std::uint8_t {
   /// The device answered and refused the operation (unknown memory name,
   /// bad table key, ...) — not a transport failure, so not retryable.
   kRejected,
+  /// Bytes off the wire failed validation (bad magic, unsupported version,
+  /// truncation, a length field that disagrees with the data). The input is
+  /// hostile or corrupt; dropping it is the only safe response (ISSUE 8).
+  kMalformed,
 };
 
 [[nodiscard]] inline const char* to_string(ErrorKind kind) {
@@ -33,6 +37,7 @@ enum class ErrorKind : std::uint8_t {
     case ErrorKind::kRetriesExhausted: return "retries_exhausted";
     case ErrorKind::kDisconnected: return "disconnected";
     case ErrorKind::kRejected: return "rejected";
+    case ErrorKind::kMalformed: return "malformed";
   }
   return "unknown";
 }

@@ -42,13 +42,22 @@ void append_trailer(std::vector<std::uint8_t>& out, const TelemetryRecord& recor
   }
 }
 
-bool parse_trailer(std::span<const std::uint8_t> data, TelemetryRecord& out) {
-  if (data.empty()) return false;
+runtime::Error parse_trailer_e(std::span<const std::uint8_t> data, TelemetryRecord& out) {
+  using runtime::Error;
+  using runtime::ErrorKind;
+  if (data.empty()) return {ErrorKind::kMalformed, "empty telemetry trailer"};
   const std::size_t count = data[0];
-  if (count > kMaxTelemetryHops) return false;
+  if (count > kMaxTelemetryHops) {
+    return {ErrorKind::kMalformed,
+            "telemetry hop count " + std::to_string(count) + " exceeds max"};
+  }
   // Exactly one trailer: a truncated or oversized tail is a malformed
   // packet, not something to guess about.
-  if (data.size() != trailer_bytes(count)) return false;
+  if (data.size() != trailer_bytes(count)) {
+    return {ErrorKind::kMalformed,
+            "telemetry trailer is " + std::to_string(data.size()) + " bytes, expected " +
+                std::to_string(trailer_bytes(count))};
+  }
   out.requested = true;
   out.hops.clear();
   out.hops.reserve(count);
@@ -64,7 +73,11 @@ bool parse_trailer(std::span<const std::uint8_t> data, TelemetryRecord& out) {
     out.hops.push_back(hop);
     pos += TelemetryHop::kWireBytes;
   }
-  return true;
+  return {};
+}
+
+bool parse_trailer(std::span<const std::uint8_t> data, TelemetryRecord& out) {
+  return parse_trailer_e(data, out).ok();
 }
 
 }  // namespace netcl::sim

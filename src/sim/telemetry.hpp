@@ -16,6 +16,8 @@
 #include <span>
 #include <vector>
 
+#include "runtime/error.hpp"
+
 namespace netcl::sim {
 
 /// NetCL header flag bit: the source host asked every hop to stamp the
@@ -66,6 +68,11 @@ bool stamp_hop(TelemetryRecord& record, const TelemetryHop& hop);
 /// (no slack) and rejects counts above kMaxTelemetryHops.
 void append_trailer(std::vector<std::uint8_t>& out, const TelemetryRecord& record);
 [[nodiscard]] bool parse_trailer(std::span<const std::uint8_t> data, TelemetryRecord& out);
+
+/// Typed variant (ISSUE 8): total over arbitrary bytes, kMalformed with a
+/// reason instead of a bare false. parse_trailer wraps this.
+[[nodiscard]] runtime::Error parse_trailer_e(std::span<const std::uint8_t> data,
+                                             TelemetryRecord& out);
 
 /// Serialized trailer size for a record with `hops` stamps.
 [[nodiscard]] constexpr std::size_t trailer_bytes(std::size_t hops) {

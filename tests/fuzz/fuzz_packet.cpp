@@ -1,0 +1,32 @@
+// Fuzz target: the UDP data-plane datagram parser (net/wire.hpp).
+//
+// Invariants checked on every input, arbitrary bytes included:
+//   1. deserialize_packet_e never crashes, overreads, or throws — it
+//      either accepts or returns a typed kMalformed error;
+//   2. any accepted datagram reserializes byte-identically (the parser
+//      is exact: no slack is tolerated, so parse∘serialize is the
+//      identity on the accepted set).
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "runtime/error.hpp"
+#include "sim/packet.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  netcl::sim::Packet packet;
+  const netcl::runtime::Error error = netcl::net::deserialize_packet_e({data, size}, packet);
+  if (!error.ok()) {
+    // Rejections must be typed: the daemon's perimeter counters key off
+    // kMalformed, and an untyped failure would mean a path we missed.
+    if (error.kind != netcl::runtime::ErrorKind::kMalformed) __builtin_trap();
+    if (error.message.empty()) __builtin_trap();
+    return 0;
+  }
+  std::vector<std::uint8_t> wire;
+  netcl::net::serialize_packet(packet, wire);
+  if (wire.size() != size || !std::equal(wire.begin(), wire.end(), data)) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Fuzz target: the INT telemetry trailer codec (sim/telemetry.hpp).
+//
+// Invariants: parse_trailer_e is total (accept or typed kMalformed,
+// never UB), and an accepted trailer round-trips byte-identically
+// through append_trailer — the codec both hop-stamping paths share.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/error.hpp"
+#include "sim/telemetry.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  netcl::sim::TelemetryRecord record;
+  const netcl::runtime::Error error = netcl::sim::parse_trailer_e({data, size}, record);
+  if (!error.ok()) {
+    if (error.kind != netcl::runtime::ErrorKind::kMalformed) __builtin_trap();
+    if (error.message.empty()) __builtin_trap();
+    return 0;
+  }
+  if (!record.requested) __builtin_trap();
+  if (record.hops.size() > netcl::sim::kMaxTelemetryHops) __builtin_trap();
+  std::vector<std::uint8_t> wire;
+  netcl::sim::append_trailer(wire, record);
+  if (wire.size() != size || !std::equal(wire.begin(), wire.end(), data)) __builtin_trap();
+  return 0;
+}
