@@ -11,10 +11,20 @@
 // nonzero if the scrape failed or was not well-formed Prometheus text —
 // which is what the CI smoke step runs.
 //
+// Panels above the raw series listing (each renders only when its series
+// exist): per-tenant execution stats with per-interval packet/shed rates
+// (ISSUE 7/9), malformed-source attribution with rates (ISSUE 8), the
+// per-tenant SLO panel (error-budget bar + multi-window burn rates +
+// burn-state arrows, from the netcl_slo_* series; ISSUE 9), and
+// interpolated latency quantiles computed from _bucket series the same
+// way obs::Histogram::quantile interpolates (ISSUE 9).
+//
 // With --control-port, pressing `d` fetches the daemon's flight-recorder
 // events over the kFlightDump control op and writes a clock-aligned
 // postmortem (flightdump_ncl-top_*.jsonl + .trace.json) on the operator's
-// machine (ISSUE 6); `q` quits.
+// machine (ISSUE 6); `q` quits. A persistent control connection also
+// feeds a hot-frames panel each tick (kProfileDump, text-only) whenever
+// the daemon runs with --profile.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
@@ -28,6 +38,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -224,12 +235,23 @@ std::string label_value(const std::string& series, const std::string& label) {
   return end == std::string::npos ? "" : series.substr(begin, end - begin);
 }
 
+/// Delta of one series since the previous scrape, clamped non-negative
+/// (restarts reset counters); 0 when the series is new.
+double series_delta(const std::map<std::string, Series>& prev, const std::string& name,
+                    double now_value) {
+  const auto it = prev.find(name);
+  return it == prev.end() ? 0.0 : std::max(0.0, now_value - it->second.value);
+}
+
 /// The per-tenant view (ISSUE 7): netcl-swd mirrors each tenant's execution
 /// stats into series carrying a tenant label; fold them into one row per
-/// tenant above the raw series listing.
-void render_tenants(const std::map<std::string, Series>& now) {
-  // tenant id -> metric suffix ("packets_processed") -> value.
-  std::map<std::string, std::map<std::string, double>> tenants;
+/// tenant above the raw series listing. Per-interval rates (ISSUE 9) sit
+/// next to the cumulative totals so a live flood is visible without mental
+/// subtraction.
+void render_tenants(const std::map<std::string, Series>& now,
+                    const std::map<std::string, Series>& prev, double dt_s) {
+  // tenant id -> metric suffix ("packets_processed") -> (value, delta).
+  std::map<std::string, std::map<std::string, std::pair<double, double>>> tenants;
   for (const auto& [name, series] : now) {
     const std::string tenant = label_value(name, "tenant");
     if (tenant.empty()) continue;
@@ -237,52 +259,215 @@ void render_tenants(const std::map<std::string, Series>& now) {
     std::string family = name.substr(0, brace);
     const std::string prefix = "netcl_tenant_";
     if (family.compare(0, prefix.size(), prefix) == 0) family.erase(0, prefix.size());
-    tenants[tenant][family] = series.value;
+    tenants[tenant][family] = {series.value, series_delta(prev, name, series.value)};
   }
   if (tenants.empty()) return;
-  std::printf("%-8s %7s %12s %12s %10s %10s %10s\n", "tenant", "stages", "packets", "kernels",
-              "drops", "mcasts", "shed");
+  std::printf("%-8s %7s %12s %10s %12s %10s %10s %10s %10s\n", "tenant", "stages",
+              "packets", "pkts/s", "kernels", "drops", "mcasts", "shed", "shed/s");
   for (const auto& [tenant, metrics] : tenants) {
     auto metric = [&](const char* key) {
       const auto it = metrics.find(key);
-      return it == metrics.end() ? 0.0 : it->second;
+      return it == metrics.end() ? 0.0 : it->second.first;
+    };
+    auto rate = [&](const char* key) {
+      const auto it = metrics.find(key);
+      return it == metrics.end() || dt_s <= 0.0 ? 0.0 : it->second.second / dt_s;
     };
     // "shed" = packets this tenant lost to overload control (ISSUE 8):
     // its own policer budget plus drop-oldest queue overflow.
-    std::printf("%-8s %7.0f %12.0f %12.0f %10.0f %10.0f %10.0f\n", tenant.c_str(),
-                metric("stages_used"), metric("packets_processed"),
-                metric("kernels_executed"), metric("drops_action"), metric("multicasts"),
-                metric("shed_policer") + metric("shed_queue"));
+    std::printf("%-8s %7.0f %12.0f %10.1f %12.0f %10.0f %10.0f %10.0f %10.1f\n",
+                tenant.c_str(), metric("stages_used"), metric("packets_processed"),
+                rate("packets_processed"), metric("kernels_executed"),
+                metric("drops_action"), metric("multicasts"),
+                metric("shed_policer") + metric("shed_queue"),
+                rate("shed_policer") + rate("shed_queue"));
   }
   std::printf("\n");
 }
 
 /// Hostile-traffic attribution (ISSUE 8): the daemon mirrors its top
 /// malformed-datagram sources into series carrying a `source` label.
-void render_malformed_sources(const std::map<std::string, Series>& now) {
-  std::map<std::string, double> sources;
+void render_malformed_sources(const std::map<std::string, Series>& now,
+                              const std::map<std::string, Series>& prev, double dt_s) {
+  std::map<std::string, std::pair<double, double>> sources;  // value, delta
   for (const auto& [name, series] : now) {
     const std::string source = label_value(name, "source");
-    if (!source.empty()) sources[source] = series.value;
+    if (!source.empty()) {
+      sources[source] = {series.value, series_delta(prev, name, series.value)};
+    }
   }
   if (sources.empty()) return;
-  std::printf("%-24s %12s\n", "malformed source", "datagrams");
-  for (const auto& [source, count] : sources) {
-    std::printf("%-24s %12.0f\n", source.c_str(), count);
+  std::printf("%-24s %12s %12s\n", "malformed source", "datagrams", "dgrams/s");
+  for (const auto& [source, counts] : sources) {
+    std::printf("%-24s %12.0f %12.1f\n", source.c_str(), counts.first,
+                dt_s > 0.0 ? counts.second / dt_s : 0.0);
+  }
+  std::printf("\n");
+}
+
+/// The per-tenant SLO panel (ISSUE 9): error-budget bar, burn-state
+/// arrows, and the short/long/slow burn rates, all straight from the
+/// netcl_slo_* series the daemon exports.
+void render_slo(const std::map<std::string, Series>& now) {
+  struct Row {
+    double budget = 1.0;
+    double state = 0.0;
+    double p99 = 0.0;
+    double objective_ns = 0.0;
+    double objective_avail = 0.0;
+    std::map<std::string, double> burn;  // window name -> burn rate
+  };
+  std::map<std::string, Row> rows;
+  for (const auto& [name, series] : now) {
+    if (name.compare(0, 10, "netcl_slo_") != 0) continue;
+    const std::string tenant = label_value(name, "tenant");
+    if (tenant.empty()) continue;
+    Row& row = rows[tenant];
+    const std::string family = name.substr(0, name.find('{'));
+    if (family == "netcl_slo_budget_remaining") row.budget = series.value;
+    else if (family == "netcl_slo_state") row.state = series.value;
+    else if (family == "netcl_slo_observed_p99_ns") row.p99 = series.value;
+    else if (family == "netcl_slo_objective_latency_ns") row.objective_ns = series.value;
+    else if (family == "netcl_slo_objective_availability") row.objective_avail = series.value;
+    else if (family == "netcl_slo_burn_rate") row.burn[label_value(name, "window")] = series.value;
+  }
+  if (rows.empty()) return;
+  std::printf("%-8s %-10s %-18s %22s %12s %16s\n", "tenant", "slo", "budget",
+              "burn short/long/slow", "p99 ns", "objective");
+  for (const auto& [tenant, row] : rows) {
+    // kOk / kSlowBurn / kFastBurn as exported by the slo.state gauge.
+    const char* state = row.state >= 2.0 ? "FAST ^^" : row.state >= 1.0 ? "slow ^" : "ok";
+    char bar[16];
+    const int filled = static_cast<int>(std::max(0.0, std::min(1.0, row.budget)) * 10.0);
+    for (int i = 0; i < 10; ++i) bar[i] = i < filled ? '#' : '-';
+    bar[10] = '\0';
+    auto burn = [&](const char* window) {
+      const auto it = row.burn.find(window);
+      return it == row.burn.end() ? 0.0 : it->second;
+    };
+    char objective[48];
+    std::snprintf(objective, sizeof(objective), "%.0fns @ %.5g", row.objective_ns,
+                  row.objective_avail);
+    std::printf("%-8s %-10s [%s] %3.0f%% %7.1f/%6.1f/%6.1f %12.0f %16s\n", tenant.c_str(),
+                state, bar, row.budget * 100.0, burn("short"), burn("long"), burn("slow"),
+                row.p99, objective);
+  }
+  std::printf("\n");
+}
+
+/// Interpolated quantiles from the cumulative _bucket series (ISSUE 9) —
+/// the scrape-side mirror of obs::Histogram::quantile: rank into the
+/// bucket, then linear interpolation between the bucket's bounds. Only
+/// *_ns histograms are shown (the latency families).
+void render_quantiles(const std::map<std::string, Series>& now) {
+  struct Dist {
+    std::vector<std::pair<double, double>> cum;  // (ceiling, cumulative); +Inf last
+  };
+  std::map<std::string, Dist> dists;
+  for (const auto& [name, series] : now) {
+    const std::size_t at = name.find("_bucket{");
+    if (at == std::string::npos) continue;
+    const std::string base = name.substr(0, at);
+    if (base.size() < 3 || base.compare(base.size() - 3, 3, "_ns") != 0) continue;
+    const std::string le = label_value(name, "le");
+    if (le.empty()) continue;
+    std::string key = base.substr(6);  // strip "netcl_"
+    const std::string registry = label_value(name, "registry");
+    const std::string tenant = label_value(name, "tenant");
+    if (!registry.empty()) key += " [" + registry + (tenant.empty() ? "" : "/t" + tenant) + "]";
+    const double ceiling =
+        le == "+Inf" ? std::numeric_limits<double>::infinity() : std::atof(le.c_str());
+    dists[key].cum.push_back({ceiling, series.value});
+  }
+  if (dists.empty()) return;
+  bool header = false;
+  for (auto& [key, dist] : dists) {
+    std::sort(dist.cum.begin(), dist.cum.end());
+    const double total = dist.cum.empty() ? 0.0 : dist.cum.back().second;
+    if (total <= 0.0) continue;
+    auto quantile = [&](double q) {
+      const double rank = q * total;
+      double lo = 0.0;
+      double below = 0.0;
+      for (const auto& [ceiling, cumulative] : dist.cum) {
+        if (cumulative >= rank && cumulative > below) {
+          // The +Inf bucket has no upper bound to interpolate toward;
+          // clamp to the last finite ceiling like Histogram::quantile
+          // clamps to max().
+          if (ceiling == std::numeric_limits<double>::infinity()) return lo;
+          return lo + (rank - below) / (cumulative - below) * (ceiling - lo);
+        }
+        below = cumulative;
+        if (ceiling != std::numeric_limits<double>::infinity()) lo = ceiling;
+      }
+      return lo;
+    };
+    if (!header) {
+      std::printf("%-44s %12s %12s %12s %10s\n", "latency (interpolated)", "p50", "p90",
+                  "p99", "count");
+      header = true;
+    }
+    std::printf("%-44s %12.0f %12.0f %12.0f %10.0f\n", key.c_str(), quantile(0.50),
+                quantile(0.90), quantile(0.99), total);
+  }
+  if (header) std::printf("\n");
+}
+
+/// The hot-path panel (ISSUE 9): asks the daemon for its folded-stack
+/// profile over the persistent control connection (text-only — no file is
+/// written) and shows the hottest leaf frames. Silent when the daemon
+/// runs without --profile.
+void render_hot_frames(netcl::net::ControlClient& client) {
+  netcl::net::ControlClient::ProfileDumpResult result;
+  if (!client.profile_dump(netcl::net::kProfileReturnText, result)) return;
+  if (result.hz == 0 || result.folded.empty()) return;
+  std::map<std::string, double> leaves;
+  double total = 0.0;
+  std::size_t pos = 0;
+  while (pos < result.folded.size()) {
+    std::size_t end = result.folded.find('\n', pos);
+    if (end == std::string::npos) end = result.folded.size();
+    const std::string line = result.folded.substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) continue;
+    const double count = std::atof(line.c_str() + space + 1);
+    const std::size_t semi = line.rfind(';', space - 1);
+    const std::string leaf =
+        line.substr(semi == std::string::npos ? 0 : semi + 1,
+                    space - (semi == std::string::npos ? 0 : semi + 1));
+    leaves[leaf] += count;
+    total += count;
+  }
+  if (total <= 0.0) return;
+  std::vector<std::pair<double, std::string>> ranked;
+  ranked.reserve(leaves.size());
+  for (const auto& [leaf, count] : leaves) ranked.emplace_back(count, leaf);
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::printf("hot frames (%llu samples @ %u Hz, %llu stacks)\n",
+              static_cast<unsigned long long>(result.samples), result.hz,
+              static_cast<unsigned long long>(result.distinct_stacks));
+  const std::size_t top = std::min<std::size_t>(5, ranked.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    std::printf("  %5.1f%% %-70s\n", ranked[i].first / total * 100.0,
+                ranked[i].second.c_str());
   }
   std::printf("\n");
 }
 
 void render(const std::map<std::string, Series>& now, const std::map<std::string, Series>& prev,
-            double dt_s, const Options& options) {
+            double dt_s, const Options& options, netcl::net::ControlClient* control) {
   if (!options.once) std::printf("\033[2J\033[H");
   const char* keys = options.once ? ""
                      : options.control_port != 0 ? ", q quit / d flight-dump"
                                                  : ", q to quit";
   std::printf("ncl-top — %s:%u  (%zu series%s)\n", options.host.c_str(), options.port,
               now.size(), keys);
-  render_tenants(now);
-  render_malformed_sources(now);
+  render_tenants(now, prev, dt_s);
+  render_malformed_sources(now, prev, dt_s);
+  render_slo(now);
+  render_quantiles(now);
+  if (control != nullptr) render_hot_frames(*control);
   std::printf("%-64s %14s %12s\n", "series", "value", "rate/s");
   for (const auto& [name, series] : now) {
     char rate[32] = "";
@@ -347,6 +532,12 @@ int main(int argc, char** argv) {
   netcl::obs::FlightRecorder::instance().set_process_label("ncl-top");
   std::unique_ptr<RawTerminal> raw_terminal;
   if (!options.once) raw_terminal = std::make_unique<RawTerminal>();
+  // Persistent control connection for the hot-frames panel; the `d`
+  // flight-dump keybinding keeps its own short-lived connection.
+  std::unique_ptr<netcl::net::ControlClient> control;
+  if (options.control_port != 0) {
+    control = std::make_unique<netcl::net::ControlClient>(options.host, options.control_port);
+  }
 
   std::map<std::string, Series> prev;
   auto prev_at = std::chrono::steady_clock::now();
@@ -367,7 +558,8 @@ int main(int argc, char** argv) {
       continue;
     }
     const auto now_at = std::chrono::steady_clock::now();
-    render(now, prev, std::chrono::duration<double>(now_at - prev_at).count(), options);
+    render(now, prev, std::chrono::duration<double>(now_at - prev_at).count(), options,
+           control.get());
     if (options.once) return 0;
     prev = std::move(now);
     prev_at = now_at;

@@ -23,6 +23,15 @@
 //     --read-deadline <s>  reap control connections stalled mid-frame for
 //                          s seconds (slowloris defence; default 10,
 //                          0 disables)
+//     --profile[=hz]       continuous sampling CPU profiler (ISSUE 9);
+//                          default 99 Hz. SIGUSR1 or the kProfileDump
+//                          control op writes profile_netcl-swd_<n>.folded
+//                          next to the flight dumps
+//     --slo T:P99NS:AVAIL  per-tenant SLO objective (repeatable): tenant T
+//                          must serve packets under P99NS ns with AVAIL
+//                          availability (e.g. 1:50000:0.999). Exported as
+//                          netcl_slo_* series; fast burn triggers a
+//                          flight-recorder postmortem
 //     --quiet              suppress the shutdown stats line
 //
 // Multi-tenant serving (ISSUE 7): each positional source compiles
@@ -51,6 +60,7 @@
 #include "driver/compiler.hpp"
 #include "net/swd_server.hpp"
 #include "obs/flightrec.hpp"
+#include "obs/profiler.hpp"
 
 namespace {
 
@@ -65,7 +75,8 @@ void print_usage() {
                "                 [-D NAME=VALUE] [--max-seconds S] [--max-tenants N]\n"
                "                 [--generation G] [--idle-timeout S] [--metrics-port P]\n"
                "                 [--tenant-rate PPS] [--tenant-burst N] [--ingress-queue N]\n"
-               "                 [--read-deadline S] [--quiet] <source.ncl> [<source2.ncl> ...]\n";
+               "                 [--read-deadline S] [--profile[=HZ]] [--slo T:P99NS:AVAIL]\n"
+               "                 [--quiet] <source.ncl> [<source2.ncl> ...]\n";
 }
 
 bool parse_number(const std::string& flag, const std::string& text, std::uint64_t& out) {
@@ -78,6 +89,32 @@ bool parse_number(const std::string& flag, const std::string& text, std::uint64_
     std::cerr << "netcl-swd: invalid number '" << text << "' for " << flag << "\n";
     return false;
   }
+}
+
+/// Parses a --slo value "tenant:p99_ns:availability", e.g. "1:50000:0.999".
+/// The latency threshold may be 0 (availability-only objective).
+bool parse_slo(const std::string& text, netcl::sim::TenantId& tenant,
+               netcl::obs::SloObjective& objective) {
+  const std::size_t first = text.find(':');
+  const std::size_t second = first == std::string::npos ? std::string::npos
+                                                        : text.find(':', first + 1);
+  if (first == std::string::npos || second == std::string::npos) return false;
+  try {
+    std::size_t used = 0;
+    const std::string tenant_text = text.substr(0, first);
+    tenant = static_cast<netcl::sim::TenantId>(std::stoul(tenant_text, &used));
+    if (used != tenant_text.size()) return false;
+    const std::string latency_text = text.substr(first + 1, second - first - 1);
+    objective.latency_threshold_ns = std::stod(latency_text, &used);
+    if (used != latency_text.size()) return false;
+    const std::string avail_text = text.substr(second + 1);
+    objective.availability_target = std::stod(avail_text, &used);
+    if (used != avail_text.size()) return false;
+  } catch (const std::exception&) {
+    return false;
+  }
+  return objective.latency_threshold_ns >= 0.0 && objective.availability_target > 0.0 &&
+         objective.availability_target < 1.0;
 }
 
 /// "examples/kernels/calc.ncl" -> "calc" (the operator-facing tenant name).
@@ -136,6 +173,25 @@ int main(int argc, char** argv) {
     } else if (arg == "--read-deadline" && i + 1 < argc) {
       if (!parse_number(arg, argv[++i], value)) return 2;
       swd.read_deadline_seconds = static_cast<double>(value);
+    } else if (arg == "--profile" || arg.rfind("--profile=", 0) == 0) {
+      if (arg == "--profile") {
+        swd.profile_hz = netcl::obs::Profiler::kDefaultHz;
+      } else {
+        if (!parse_number("--profile", arg.substr(10), value) || value == 0) {
+          if (value == 0) std::cerr << "netcl-swd: --profile rate must be > 0\n";
+          return 2;
+        }
+        swd.profile_hz = static_cast<int>(value);
+      }
+    } else if (arg == "--slo" && i + 1 < argc) {
+      netcl::sim::TenantId tenant = 0;
+      netcl::obs::SloObjective objective;
+      if (!parse_slo(argv[++i], tenant, objective)) {
+        std::cerr << "netcl-swd: invalid --slo '" << argv[i]
+                  << "' (want TENANT:P99_NS:AVAILABILITY, availability in (0,1))\n";
+        return 2;
+      }
+      swd.slo_objectives[tenant] = objective;
     } else if (arg == "-D" && i + 1 < argc) {
       const std::string define = argv[++i];
       const std::size_t eq = define.find('=');
@@ -228,6 +284,10 @@ int main(int argc, char** argv) {
   // $NETCL_FLIGHT_DIR or the working directory).
   netcl::obs::FlightRecorder::instance().set_process_label("netcl-swd");
   netcl::obs::FlightRecorder::install_signal_handler();
+  // Profiler (ISSUE 9): SIGUSR1 requests a folded-stack profile dump the
+  // same way SIGUSR2 requests a flight dump. Installed even without
+  // --profile so the signal is never fatal; the dump just reports 0 Hz.
+  netcl::obs::Profiler::install_signal_handler();
 
   std::cout << "netcl-swd: device " << device_id << " ready (udp " << server.udp_port()
             << ", control " << server.control_port();
@@ -237,6 +297,15 @@ int main(int argc, char** argv) {
     std::cout << "netcl-swd:   tenant " << info.id << " '" << info.name << "': "
               << info.stages_used << (info.stages_used == 1 ? " stage" : " stages")
               << ", worst " << info.usage << std::endl;
+  }
+  if (swd.profile_hz > 0) {
+    std::cout << "netcl-swd: profiling at " << swd.profile_hz
+              << " Hz (SIGUSR1 or kProfileDump writes .folded)" << std::endl;
+  }
+  for (const auto& [tenant, objective] : swd.slo_objectives) {
+    std::cout << "netcl-swd:   slo tenant " << tenant << ": p99 "
+              << objective.latency_threshold_ns << " ns, availability "
+              << objective.availability_target << std::endl;
   }
   server.run();
   return 0;

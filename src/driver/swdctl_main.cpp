@@ -6,6 +6,12 @@
 //             [--name NAME] [--replace] [-D NAME=VALUE]
 //   netcl-ctl [--host H] --control-port P unload <tenant>
 //   netcl-ctl [--host H] --control-port P list
+//   netcl-ctl [--host H] --control-port P profile [--text] [--no-file]
+//
+// `profile` asks the daemon for a folded-stack CPU profile (ISSUE 9): by
+// default the daemon writes profile_netcl-swd_<n>.folded next to its
+// flight dumps; --text streams the folded stacks to stdout instead
+// (pipe into flamegraph.pl), and --no-file skips the daemon-side write.
 //
 // `load --replace` performs the daemon half of a hitless swap: the resident
 // tenant's program is replaced without disturbing co-resident tenants
@@ -31,7 +37,8 @@ void print_usage() {
       << "usage: netcl-ctl [--host H] --control-port P load <tenant> <source.ncl>\n"
          "                 [--name NAME] [--replace] [-D NAME=VALUE]\n"
          "       netcl-ctl [--host H] --control-port P unload <tenant>\n"
-         "       netcl-ctl [--host H] --control-port P list\n";
+         "       netcl-ctl [--host H] --control-port P list\n"
+         "       netcl-ctl [--host H] --control-port P profile [--text] [--no-file]\n";
 }
 
 bool parse_number(const std::string& flag, const std::string& text, std::uint64_t& out) {
@@ -59,6 +66,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> operands;
   std::string name;
   bool replace = false;
+  bool profile_text = false;
+  bool profile_no_file = false;
   std::map<std::string, std::uint64_t> defines;
 
   for (int i = 1; i < argc; ++i) {
@@ -73,6 +82,10 @@ int main(int argc, char** argv) {
       name = argv[++i];
     } else if (arg == "--replace") {
       replace = true;
+    } else if (arg == "--text") {
+      profile_text = true;
+    } else if (arg == "--no-file") {
+      profile_no_file = true;
     } else if (arg == "-D" && i + 1 < argc) {
       const std::string define = argv[++i];
       const std::size_t eq = define.find('=');
@@ -185,6 +198,34 @@ int main(int argc, char** argv) {
                 << info.packets_processed << ", kernels " << info.kernels_executed
                 << ", drops " << info.drops_action << "\n";
     }
+    return 0;
+  }
+
+  if (command == "profile") {
+    if (!operands.empty()) {
+      print_usage();
+      return 2;
+    }
+    std::uint8_t flags = 0;
+    if (!profile_no_file) flags |= netcl::net::kProfileWriteFile;
+    if (profile_text) flags |= netcl::net::kProfileReturnText;
+    netcl::net::ControlClient::ProfileDumpResult result;
+    if (!client.profile_dump(flags, result)) {
+      std::cerr << "netcl-ctl: profile dump failed: " << client.last_error().message
+                << "\n";
+      return 1;
+    }
+    // With --text the folded stacks go to stdout (flamegraph.pl-ready);
+    // the human summary moves to stderr so the pipe stays clean.
+    std::ostream& info = profile_text ? std::cerr : std::cout;
+    if (result.hz == 0) {
+      info << "netcl-ctl: profiler is off (start the daemon with --profile)\n";
+    }
+    info << "netcl-ctl: " << result.samples << " samples, " << result.distinct_stacks
+         << " distinct stacks at " << result.hz << " Hz";
+    if (!result.path.empty()) info << ", wrote " << result.path;
+    info << "\n";
+    if (profile_text) std::cout << result.folded;
     return 0;
   }
 

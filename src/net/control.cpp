@@ -525,6 +525,23 @@ bool ControlClient::flight_dump(std::uint32_t window_seconds, FlightDumpResult& 
   return true;
 }
 
+bool ControlClient::profile_dump(std::uint8_t flags, ProfileDumpResult& out) {
+  ByteWriter request;
+  request.u8(static_cast<std::uint8_t>(ControlOp::kProfileDump));
+  request.u8(flags);
+  std::vector<std::uint8_t> response;
+  if (!roundtrip(request, response)) return false;
+  ByteReader reader(response);
+  out.samples = reader.u64();
+  out.distinct_stacks = reader.u64();
+  out.hz = reader.u32();
+  out.path = reader.str();
+  const std::uint32_t text_len = reader.u32();
+  if (text_len > reader.remaining()) return false;
+  out.folded = reader.bytes_str(text_len);
+  return reader.ok();
+}
+
 runtime::Error ControlClient::load_kernel(std::uint32_t tenant, const std::string& name,
                                           const std::string& source,
                                           const std::map<std::string, std::uint64_t>& defines,

@@ -67,7 +67,19 @@ enum class ControlOp : std::uint8_t {
   //                 u64 packets_processed, u64 kernels_executed,
   //                 u64 drops_action }*
   kListKernels = 13,
+  // Continuous profiling (ISSUE 9): snapshot the daemon's cumulative
+  // folded-stack CPU profile. u8 flags (bit0 = write a
+  // profile_<label>_<n>.folded file next to the flight dumps, bit1 =
+  // return the folded text in the response).
+  // -> u64 samples, u64 distinct_stacks, u32 hz (0 = profiler off),
+  //    str path (empty unless bit0), u32 text_len + raw folded text
+  //    (text_len 0 unless bit1)
+  kProfileDump = 14,
 };
+
+/// kProfileDump request flags.
+inline constexpr std::uint8_t kProfileWriteFile = 1u << 0;
+inline constexpr std::uint8_t kProfileReturnText = 1u << 1;
 
 inline constexpr std::uint8_t kControlOk = 0;
 inline constexpr std::uint8_t kControlError = 1;
@@ -207,6 +219,21 @@ class ControlClient {
     std::vector<obs::FlightEvent> events;
   };
   bool flight_dump(std::uint32_t window_seconds, FlightDumpResult& out);
+
+  /// The daemon's cumulative CPU profile (ISSUE 9).
+  struct ProfileDumpResult {
+    std::uint64_t samples = 0;
+    std::uint64_t distinct_stacks = 0;
+    /// Sampling rate, 0 when the daemon runs without --profile.
+    std::uint32_t hz = 0;
+    /// Daemon-side path of the written .folded file (kProfileWriteFile).
+    std::string path;
+    /// Folded-stack text (kProfileReturnText) — one "stack count" line
+    /// per distinct stack.
+    std::string folded;
+  };
+  /// `flags` is a bitmask of kProfileWriteFile / kProfileReturnText.
+  bool profile_dump(std::uint8_t flags, ProfileDumpResult& out);
 
   // --- multi-tenant kernel lifecycle (ISSUE 7) ------------------------------
   // These return the typed error (empty = success): a daemon-side rejection

@@ -15,6 +15,7 @@
 #include "net/control.hpp"
 #include "net/wire.hpp"
 #include "obs/flightrec.hpp"
+#include "obs/profiler.hpp"
 #include "obs/prometheus.hpp"
 #include "runtime/device_runtime.hpp"
 #include "sim/telemetry.hpp"
@@ -75,6 +76,20 @@ SwdServer::SwdServer(std::unique_ptr<sim::SwitchDevice> device, const SwdOptions
   tenant_burst_ = options.tenant_burst > 0.0 ? options.tenant_burst : options.tenant_rate_pps;
   read_deadline_seconds_ = options.read_deadline_seconds;
   unattributed_bucket_ = TokenBucket(tenant_rate_pps_, tenant_burst_);
+  // Continuous profiling + per-tenant SLOs (ISSUE 9).
+  if (options.profile_hz > 0) obs::Profiler::instance().start(options.profile_hz);
+  for (const auto& [tenant, objective] : options.slo_objectives) {
+    slo_.set_objective(tenant, objective);
+  }
+  slo_enabled_ = !options.slo_objectives.empty();
+  // A fast burn is an anomaly: leave a flight-recorder breadcrumb and
+  // write a postmortem *before* the budget is gone. trigger_dump's rate
+  // limit turns a burn storm into exactly one dump.
+  slo_.set_fast_burn_callback([](std::uint32_t tenant, double burn) {
+    obs::flight(obs::FlightKind::kSloFastBurn, tenant,
+                static_cast<std::uint64_t>(burn * 100.0));
+    obs::FlightRecorder::instance().trigger_dump("slo_fast_burn");
+  });
   device_->set_max_tenants(options.max_tenants);
   // A restarted daemon is a new process with fresh (empty) state; a
   // wall-clock-derived generation makes that visible to pinging hosts.
@@ -297,6 +312,8 @@ void SwdServer::admit_datagram(const std::uint8_t* data, std::size_t size,
   if (packet.netcl.src != 0) host_endpoints_[packet.netcl.src] = from;
   IngressPacket in;
   in.ingress_ns = packet.telemetry.requested ? device_clock_ns() : 0;
+  in.admit_ns =
+      slo_enabled_ && slo_.has_objective(tenant) ? device_clock_ns() : 0;
   in.packet = std::move(packet);
   in.from = from;
   in.queue_depth = queue_depth;
@@ -322,6 +339,9 @@ bool SwdServer::police(sim::TenantId tenant, double now_s) {
 }
 
 void SwdServer::count_shed(sim::TenantId tenant, bool policer) {
+  // A shed packet is a bad event against its tenant's availability SLO
+  // (no-op for tenants without an objective).
+  if (slo_enabled_) slo_.record_bad(tenant, uptime_s());
   if (policer) {
     ++packets_shed_policer;
     const std::uint64_t total = ++tenant_shed_policer_[tenant];
@@ -395,6 +415,15 @@ void SwdServer::handle_packet(IngressPacket& in) {
                         device_clock_ns(), queue_depth, outcome.stage_ops})) {
       ++telemetry_stamps;
     }
+  }
+  if (in.admit_ns != 0 && in.tenant != kUnattributedTenant) {
+    // Served: good iff admission→post-execute latency met the objective.
+    const std::uint64_t egress_ns = device_clock_ns();
+    slo_.record_latency(in.tenant,
+                        static_cast<double>(egress_ns > in.admit_ns
+                                                ? egress_ns - in.admit_ns
+                                                : 0),
+                        uptime_s());
   }
   const runtime::ForwardDecision decision = runtime::apply_action(
       packet.netcl, outcome.executed ? outcome.action : ActionKind::Pass, outcome.target,
@@ -627,6 +656,37 @@ std::vector<std::uint8_t> SwdServer::handle_control(std::span<const std::uint8_t
         }
         break;
       }
+      case ControlOp::kProfileDump: {
+        const std::uint8_t flags = reader.u8();
+        handled = reader.ok();
+        if (!handled) break;
+        obs::Profiler& profiler = obs::Profiler::instance();
+        std::string path;
+        if ((flags & kProfileWriteFile) != 0) path = profiler.trigger_profile_dump();
+        const obs::ProfileSnapshot snap = profiler.snapshot();
+        std::string folded;
+        if ((flags & kProfileReturnText) != 0) {
+          for (const auto& [stack, count] : snap.folded) {
+            folded += stack;
+            folded += ' ';
+            folded += std::to_string(count);
+            folded += '\n';
+          }
+          // The response must fit the 1 MiB control frame; truncate whole
+          // lines past half of it (a folded profile is normally a few KiB).
+          constexpr std::size_t kMaxFoldedBytes = kMaxControlFrame / 2;
+          if (folded.size() > kMaxFoldedBytes) {
+            folded.resize(folded.rfind('\n', kMaxFoldedBytes) + 1);
+          }
+        }
+        ok.u64(snap.samples);
+        ok.u64(static_cast<std::uint64_t>(snap.folded.size()));
+        ok.u32(profiler.running() ? static_cast<std::uint32_t>(profiler.hz()) : 0);
+        ok.str(path);
+        ok.u32(static_cast<std::uint32_t>(folded.size()));
+        ok.raw({reinterpret_cast<const std::uint8_t*>(folded.data()), folded.size()});
+        break;
+      }
       default:
         handled = false;
         op_error = {runtime::ErrorKind::kMalformed,
@@ -679,6 +739,16 @@ std::string SwdServer::metrics_exposition() {
   metrics_.gauge("flight.dumps_written").set(static_cast<double>(recorder.dumps_written()));
   metrics_.gauge("ingress.queue_depth").set(static_cast<double>(ingress_.size()));
   metrics_.gauge("ingress.queue_capacity").set(static_cast<double>(ingress_capacity_));
+  // Profiler state (ISSUE 9): netcl_profile_* series.
+  obs::Profiler& profiler = obs::Profiler::instance();
+  metrics_.gauge("profile.samples").set(static_cast<double>(profiler.sample_count()));
+  metrics_.gauge("profile.hz").set(profiler.running() ? profiler.hz() : 0.0);
+  metrics_.gauge("profile.threads").set(static_cast<double>(profiler.thread_count()));
+  metrics_.gauge("profile.dumps_written")
+      .set(static_cast<double>(profiler.dumps_written()));
+  // Refresh SLO gauges at scrape time so a scrape between poll ticks (or
+  // a test driving handle_control() directly) still sees current burn.
+  if (slo_enabled_) slo_.tick(uptime_s());
   mirror_tenant_metrics();
   mirror_malformed_sources();
   return obs::prometheus_string();
@@ -871,11 +941,25 @@ bool SwdServer::apply_fault_state() {
 
 void SwdServer::poll_once(int timeout_ms) {
   if (!valid()) return;
+  // The serving thread samples itself when --profile is on (idempotent
+  // one-TLS-test registration).
+  obs::profile_register_thread();
   // SIGUSR2 (latched async-signal-safely by the handler swd_main installs)
   // means "dump now": performed here, on the serving thread, outside
   // signal context.
   if (obs::FlightRecorder::consume_signal_dump()) {
     obs::FlightRecorder::instance().trigger_dump("sigusr2");
+  }
+  // SIGUSR1 is the profile-dump latch (ISSUE 9), same discipline.
+  if (obs::Profiler::consume_signal_dump()) {
+    obs::Profiler::instance().trigger_profile_dump();
+  }
+  if (slo_enabled_) {
+    const double now_s = uptime_s();
+    if (now_s - last_slo_tick_s_ >= 0.25) {
+      last_slo_tick_s_ = now_s;
+      slo_.tick(now_s);
+    }
   }
   const bool crashed = apply_fault_state();
   if (crashed && !(connections_.empty() && metrics_connections_.empty())) {

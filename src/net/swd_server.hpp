@@ -30,6 +30,7 @@
 #include "net/buffer_pool.hpp"
 #include "net/policer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "sim/switch.hpp"
 
 namespace netcl::net {
@@ -80,6 +81,16 @@ struct SwdOptions {
   /// reaped (slowloris defence) — independent of idle_timeout_seconds,
   /// which only covers connections with no pending frame. 0 disables.
   double read_deadline_seconds = 10.0;
+
+  // --- continuous profiling + per-tenant SLOs (ISSUE 9) ---------------------
+  /// Sampling rate for the always-available CPU profiler (netcl-swd
+  /// --profile[=hz]). 0 = profiler off; dumps via kProfileDump / SIGUSR1.
+  int profile_hz = 0;
+  /// Per-tenant service-level objectives (netcl-swd --slo). A tenant with
+  /// an objective gets ingress→egress latency stamping, sliding-window
+  /// good/bad accounting (sheds count as bad), burn-rate series, and the
+  /// fast-burn → flight-recorder postmortem trigger.
+  std::map<sim::TenantId, obs::SloObjective> slo_objectives;
 };
 
 class SwdServer {
@@ -200,6 +211,9 @@ class SwdServer {
     sockaddr_in from{};
     std::uint32_t queue_depth = 0;
     std::uint64_t ingress_ns = 0;  // 0 unless telemetry was requested
+    /// Admission timestamp for SLO latency accounting (0 unless the
+    /// attributed tenant has an objective).
+    std::uint64_t admit_ns = 0;
     /// Resident tenant the packet was attributed to at admission
     /// (kUnattributedTenant for unknown computations / passthrough).
     sim::TenantId tenant = 0;
@@ -295,6 +309,15 @@ class SwdServer {
   /// Per-tenant shed attribution, mirrored into the tenant registries.
   std::map<sim::TenantId, std::uint64_t> tenant_shed_policer_;
   std::map<sim::TenantId, std::uint64_t> tenant_shed_queue_;
+  // --- per-tenant SLOs (ISSUE 9) --------------------------------------------
+  /// Burn-rate engine; exports into "<base>/tenant/<id>[/window/<w>]"
+  /// registries so SLO series share the tenant label with the mirrors
+  /// above.
+  obs::SloEngine slo_{metrics_.name()};
+  /// True iff any tenant has an objective — the "skip all SLO work on the
+  /// hot path" test.
+  bool slo_enabled_ = false;
+  double last_slo_tick_s_ = -1.0;
   /// Top-K malformed-datagram attribution by source endpoint; bounded so
   /// spoofed sources cannot grow it without limit.
   BoundedCounts malformed_sources_;

@@ -15,6 +15,7 @@
 
 #include "net/wire.hpp"
 #include "obs/flightrec.hpp"
+#include "obs/profiler.hpp"
 
 namespace netcl::net {
 
@@ -324,6 +325,9 @@ void UdpTransport::drain_socket() {
 
 void UdpTransport::poll_once(int timeout_ms) {
   if (fd_ < 0) return;
+  // Host-side event loops sample themselves when the profiler is on
+  // (idempotent one-TLS-test registration).
+  obs::profile_register_thread();
   fire_due_timers();
   int wait_ms = timeout_ms;
   if (!timers_.empty()) {

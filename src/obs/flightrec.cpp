@@ -71,6 +71,9 @@ const char* to_string(FlightKind kind) {
     case FlightKind::kQueueShed: return "queue_shed";
     case FlightKind::kControlMalformed: return "control_malformed";
     case FlightKind::kSlowReadReap: return "slow_read_reap";
+    case FlightKind::kSloFastBurn: return "slo_fast_burn";
+    case FlightKind::kSloRecovered: return "slo_recovered";
+    case FlightKind::kProfileDump: return "profile_dump";
   }
   return "unknown";
 }

@@ -78,6 +78,10 @@ enum class FlightKind : std::uint16_t {
   kQueueShed = 29,            // a=tenant id of the dropped-oldest packet, b=queue capacity
   kControlMalformed = 30,     // a=buffered bytes when the stream went bad
   kSlowReadReap = 31,         // a=buffered bytes of the stalled frame, b=stall seconds
+  // Continuous profiling + per-tenant SLOs (ISSUE 9).
+  kSloFastBurn = 32,   // a=tenant id, b=short-window burn rate × 100
+  kSloRecovered = 33,  // a=tenant id, b=previous state (SloState)
+  kProfileDump = 34,   // a=samples captured so far, b=distinct stacks
 };
 
 /// Stable snake_case name for JSONL/trace output ("device_down", ...).

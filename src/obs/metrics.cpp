@@ -55,10 +55,12 @@ void Histogram::merge(const Histogram& other) {
 
 void Histogram::reset() { *this = Histogram(); }
 
-double Histogram::percentile(double p) const {
+double Histogram::percentile(double p) const { return quantile(p / 100.0); }
+
+double Histogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
-  p = std::clamp(p, 0.0, 100.0);
-  const double rank = p / 100.0 * static_cast<double>(count_);
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_);
   std::uint64_t cumulative = 0;
   for (int i = 0; i < kBuckets; ++i) {
     if (buckets_[i] == 0) continue;

@@ -78,8 +78,16 @@ class Histogram {
   }
   [[nodiscard]] std::uint64_t bucket_count(int bucket) const { return buckets_[bucket]; }
 
-  /// Percentile estimate (p in [0,100]): linear interpolation inside the
-  /// bucket holding the target rank, clamped to the observed [min, max].
+  /// Quantile estimate (q in [0,1]): linear interpolation inside the
+  /// power-of-two bucket holding the target rank, clamped to the observed
+  /// [min, max]. The estimate is exact for ranks landing on bucket
+  /// boundaries and otherwise off by at most one bucket width (≤ 2× in
+  /// value) — unit-tested against exact distributions in
+  /// tests/obs/test_obs.cpp. Consumers (ncl-top, the SLO engine) use this
+  /// instead of reading bucket upper bounds.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// percentile(p) == quantile(p / 100) for p in [0,100].
   [[nodiscard]] double percentile(double p) const;
 
   /// {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p90":..,

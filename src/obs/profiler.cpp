@@ -1,0 +1,416 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/flightrec.hpp"
+#include "obs/metrics.hpp"
+
+#if defined(__linux__)
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <pthread.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <ucontext.h>
+#include <unistd.h>
+// SIGEV_THREAD_ID delivery and its sigevent field predate their glibc
+// spellings (sigev_notify_thread_id appeared in glibc 2.35); fall back to
+// the raw union member on older libcs.
+#ifndef SIGEV_THREAD_ID
+#define SIGEV_THREAD_ID 4
+#endif
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+#define NETCL_PROFILER_LINUX 1
+#endif
+
+namespace netcl::obs {
+
+namespace {
+
+/// SIGUSR1 latch, mirroring the flight recorder's SIGUSR2 one.
+std::atomic<bool> g_profile_dump_requested{false};
+
+void handle_sigusr1(int) { Profiler::request_signal_dump(); }
+
+/// One raw stack sample: leaf-first program counters.
+struct RawSample {
+  std::uint32_t depth = 0;
+  std::uint32_t truncated = 0;
+  std::uintptr_t pc[Profiler::kMaxFrames];
+};
+
+}  // namespace
+
+/// One writer per ring — the SIGPROF handler interrupting the owning
+/// thread — readers only under Impl::mutex at snapshot time. `head`
+/// counts samples ever written; slot = seq & mask.
+struct Profiler::Ring {
+  std::atomic<std::uint64_t> head{0};
+  std::uint64_t last_read = 0;  // guarded by Impl::mutex
+  std::uint64_t dropped = 0;    // guarded by Impl::mutex
+  // Stack bounds cached at registration; the handler validates every
+  // frame pointer against them before dereferencing.
+  std::uintptr_t stack_lo = 0;
+  std::uintptr_t stack_hi = 0;
+#if defined(NETCL_PROFILER_LINUX)
+  pid_t tid = 0;
+  timer_t timer{};
+#endif
+  bool armed = false;
+  std::vector<RawSample> slots;
+
+  Ring() : slots(kRingCapacity) {}
+};
+
+struct Profiler::Impl {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<Ring>> rings;  // never shrinks
+  // Cumulative profile (guarded by mutex, cold path only).
+  std::map<std::string, std::uint64_t> folded;
+  std::uint64_t samples = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t truncated = 0;
+  std::map<std::uintptr_t, std::string> symbol_cache;
+};
+
+namespace {
+
+/// The handler's route to its ring. Written once at registration (before
+/// the thread's timer is ever armed), so the TLS slot is materialized and
+/// the read in signal context is safe.
+thread_local Profiler::Ring* t_ring = nullptr;
+
+#if defined(NETCL_PROFILER_LINUX)
+
+/// Async-signal-safe frame-pointer unwind from the interrupted context.
+/// Every candidate frame pointer is bounds-checked against the thread's
+/// stack and required to be aligned and strictly increasing, so a
+/// clobbered rbp (leaf frames of -fomit-* code in libc) terminates the
+/// walk instead of faulting.
+std::uint32_t unwind(void* ucontext, const Profiler::Ring& ring,
+                     std::uintptr_t* out, std::uint32_t max_frames,
+                     std::uint32_t* truncated) {
+  std::uintptr_t pc = 0;
+  std::uintptr_t fp = 0;
+  auto* uc = static_cast<ucontext_t*>(ucontext);
+#if defined(__x86_64__)
+  pc = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  fp = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+#elif defined(__aarch64__)
+  pc = static_cast<std::uintptr_t>(uc->uc_mcontext.pc);
+  fp = static_cast<std::uintptr_t>(uc->uc_mcontext.regs[29]);
+#else
+  (void)uc;
+  // No per-arch register access: attribute the sample to the handler's
+  // caller chain (skips signal frames imprecisely but never faults).
+  pc = reinterpret_cast<std::uintptr_t>(__builtin_return_address(0));
+  fp = reinterpret_cast<std::uintptr_t>(__builtin_frame_address(0));
+#endif
+  std::uint32_t depth = 0;
+  if (pc != 0 && depth < max_frames) out[depth++] = pc;
+  while (depth < max_frames) {
+    if (fp < ring.stack_lo || fp + 2 * sizeof(std::uintptr_t) > ring.stack_hi ||
+        (fp & (sizeof(std::uintptr_t) - 1)) != 0) {
+      break;
+    }
+    const auto* frame = reinterpret_cast<const std::uintptr_t*>(fp);
+    const std::uintptr_t next_fp = frame[0];
+    const std::uintptr_t ret = frame[1];
+    if (ret == 0) break;
+    out[depth++] = ret;
+    if (next_fp <= fp) break;  // frames must move toward the stack base
+    fp = next_fp;
+  }
+  if (depth == max_frames) *truncated = 1;
+  return depth;
+}
+
+std::atomic<std::uint64_t>* g_captured = nullptr;
+
+/// SIGPROF handler: one unwind, one ring-slot store, one release bump.
+/// Nothing here allocates, locks, or calls non-async-signal-safe code.
+void handle_sigprof(int, siginfo_t*, void* ucontext) {
+  Profiler::Ring* ring = t_ring;
+  if (ring == nullptr) return;
+  const int saved_errno = errno;
+  const std::uint64_t seq = ring->head.load(std::memory_order_relaxed);
+  RawSample& slot = ring->slots[seq & (Profiler::kRingCapacity - 1)];
+  slot.truncated = 0;
+  slot.depth =
+      unwind(ucontext, *ring, slot.pc, Profiler::kMaxFrames, &slot.truncated);
+  ring->head.store(seq + 1, std::memory_order_release);
+  if (g_captured != nullptr) g_captured->fetch_add(1, std::memory_order_relaxed);
+  errno = saved_errno;
+}
+
+/// Stack bounds for the calling thread (works for the main thread too on
+/// glibc: pthread_getattr_np reports the main stack region).
+void thread_stack_bounds(std::uintptr_t* lo, std::uintptr_t* hi) {
+  *lo = 0;
+  *hi = 0;
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) != 0) return;
+  void* addr = nullptr;
+  std::size_t size = 0;
+  if (pthread_attr_getstack(&attr, &addr, &size) == 0) {
+    *lo = reinterpret_cast<std::uintptr_t>(addr);
+    *hi = *lo + size;
+  }
+  pthread_attr_destroy(&attr);
+}
+
+bool arm_ring(Profiler::Ring& ring, int hz) {
+  if (ring.armed) return true;
+  struct sigevent sev = {};
+  sev.sigev_notify = SIGEV_THREAD_ID;
+  sev.sigev_signo = SIGPROF;
+  sev.sigev_notify_thread_id = ring.tid;
+  if (timer_create(CLOCK_THREAD_CPUTIME_ID, &sev, &ring.timer) != 0) return false;
+  const long period_ns = 1000000000L / hz;
+  struct itimerspec spec = {};
+  spec.it_interval.tv_sec = period_ns / 1000000000L;
+  spec.it_interval.tv_nsec = period_ns % 1000000000L;
+  spec.it_value = spec.it_interval;
+  if (timer_settime(ring.timer, 0, &spec, nullptr) != 0) {
+    timer_delete(ring.timer);
+    return false;
+  }
+  ring.armed = true;
+  return true;
+}
+
+void disarm_ring(Profiler::Ring& ring) {
+  if (!ring.armed) return;
+  timer_delete(ring.timer);
+  ring.armed = false;
+}
+
+void install_sigprof_handler() {
+  struct sigaction action = {};
+  action.sa_sigaction = &handle_sigprof;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_SIGINFO | SA_RESTART;
+  ::sigaction(SIGPROF, &action, nullptr);
+}
+
+/// Cold-path symbolization: dladdr finds the enclosing dynamic symbol
+/// (executables export theirs via CMAKE_ENABLE_EXPORTS), the Itanium
+/// demangler prettifies it, and the parameter list is stripped so folded
+/// stacks stay one-token-per-frame. Characters that would corrupt the
+/// folded format (';', whitespace-adjacent control chars) are replaced.
+std::string symbolize_pc(std::uintptr_t pc) {
+  Dl_info info = {};
+  std::string name;
+  if (dladdr(reinterpret_cast<void*>(pc), &info) != 0 && info.dli_sname != nullptr) {
+    int status = -1;
+    char* demangled = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    name = (status == 0 && demangled != nullptr) ? demangled : info.dli_sname;
+    std::free(demangled);
+    // Drop the parameter list ("foo(unsigned long)" → "foo"), keeping
+    // operator() intact.
+    const std::size_t paren = name.find('(');
+    if (paren != std::string::npos && paren > 0 &&
+        !(paren >= 8 && name.compare(paren - 8, 8, "operator") == 0)) {
+      name.erase(paren);
+    }
+  } else if (info.dli_fname != nullptr) {
+    // Unknown symbol inside a known object: attribute to the object.
+    const char* base = std::strrchr(info.dli_fname, '/');
+    name = std::string("[") + (base != nullptr ? base + 1 : info.dli_fname) + "]";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%zx", static_cast<std::size_t>(pc));
+    name = buf;
+  }
+  for (char& c : name) {
+    if (c == ';' || c == '\n' || c == '\r' || c == '"') c = ':';
+  }
+  return name;
+}
+
+#endif  // NETCL_PROFILER_LINUX
+
+}  // namespace
+
+Profiler::Profiler() : impl_(new Impl) {
+#if defined(NETCL_PROFILER_LINUX)
+  g_captured = &captured_;
+#endif
+}
+
+Profiler& Profiler::instance() {
+  // Leaked on purpose, like the flight recorder: timers may still fire
+  // during static destruction and the handler must never touch a
+  // destroyed profiler.
+  static Profiler* profiler = new Profiler();
+  return *profiler;
+}
+
+void Profiler::maybe_register_this_thread() {
+  if (t_ring != nullptr) return;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto owned = std::make_unique<Ring>();
+#if defined(NETCL_PROFILER_LINUX)
+  owned->tid = static_cast<pid_t>(::syscall(SYS_gettid));
+  thread_stack_bounds(&owned->stack_lo, &owned->stack_hi);
+#endif
+  Ring* ring = owned.get();
+  impl_->rings.push_back(std::move(owned));
+  // Publish the TLS route before any timer can fire on this thread.
+  t_ring = ring;
+#if defined(NETCL_PROFILER_LINUX)
+  if (running_.load(std::memory_order_acquire)) {
+    arm_ring(*ring, hz_.load(std::memory_order_relaxed));
+  }
+#endif
+}
+
+bool Profiler::start(int hz) {
+#if defined(NETCL_PROFILER_LINUX)
+  hz = std::clamp(hz, 1, 10000);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  hz_.store(hz, std::memory_order_relaxed);
+  if (running_.load(std::memory_order_acquire)) return true;
+  install_sigprof_handler();
+  running_.store(true, std::memory_order_release);
+  for (auto& ring : impl_->rings) arm_ring(*ring, hz);
+  return true;
+#else
+  (void)hz;
+  return false;
+#endif
+}
+
+void Profiler::stop() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (!running_.load(std::memory_order_acquire)) return;
+  running_.store(false, std::memory_order_release);
+#if defined(NETCL_PROFILER_LINUX)
+  for (auto& ring : impl_->rings) disarm_ring(*ring);
+#endif
+}
+
+std::size_t Profiler::thread_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->rings.size();
+}
+
+ProfileSnapshot Profiler::snapshot() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+#if defined(NETCL_PROFILER_LINUX)
+  const std::string process = FlightRecorder::instance().process_label();
+  std::string stack;
+  for (auto& owned : impl_->rings) {
+    Ring& ring = *owned;
+    const std::uint64_t h1 = ring.head.load(std::memory_order_acquire);
+    std::uint64_t begin = ring.last_read;
+    if (h1 - begin > kRingCapacity) {
+      impl_->dropped += (h1 - begin) - kRingCapacity;
+      begin = h1 - kRingCapacity;
+    }
+    for (std::uint64_t s = begin; s < h1; ++s) {
+      RawSample sample = ring.slots[s & (kRingCapacity - 1)];
+      // The writer may have lapped this slot mid-copy (it writes the slot
+      // for sequence s + capacity before publishing); discard torn copies.
+      const std::uint64_t h2 = ring.head.load(std::memory_order_acquire);
+      if (h2 >= s + kRingCapacity) {
+        ++impl_->dropped;
+        continue;
+      }
+      if (sample.depth == 0 || sample.depth > static_cast<std::uint32_t>(kMaxFrames)) {
+        continue;
+      }
+      // Fold root-first under the process label. Return addresses (every
+      // frame but the sampled leaf) point *after* their call instruction;
+      // back up one byte so they symbolize to the calling function even
+      // at a tail boundary.
+      stack.assign(process);
+      for (std::uint32_t i = sample.depth; i-- > 0;) {
+        const std::uintptr_t pc = i + 1 == sample.depth ? sample.pc[i] : sample.pc[i] - 1;
+        auto cached = impl_->symbol_cache.find(pc);
+        if (cached == impl_->symbol_cache.end()) {
+          cached = impl_->symbol_cache.emplace(pc, symbolize_pc(pc)).first;
+        }
+        stack += ';';
+        stack += cached->second;
+      }
+      ++impl_->folded[stack];
+      ++impl_->samples;
+      impl_->truncated += sample.truncated;
+    }
+    ring.last_read = h1;
+  }
+#endif
+  ProfileSnapshot out;
+  out.samples = impl_->samples;
+  out.dropped = impl_->dropped;
+  out.truncated = impl_->truncated;
+  out.folded = impl_->folded;
+  return out;
+}
+
+std::string Profiler::folded_string() {
+  const ProfileSnapshot snap = snapshot();
+  std::string out;
+  for (const auto& [stack, count] : snap.folded) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+bool Profiler::write_folded(const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << folded_string();
+  return file.good();
+}
+
+std::string Profiler::trigger_profile_dump() {
+  const std::uint64_t ordinal = dump_seq_.fetch_add(1, std::memory_order_relaxed);
+  const char* dir = std::getenv("NETCL_FLIGHT_DIR");
+  const std::string path = std::string(dir != nullptr ? dir : ".") + "/profile_" +
+                           FlightRecorder::instance().process_label() + "_" +
+                           std::to_string(ordinal) + ".folded";
+  if (!write_folded(path)) return "";
+  dumps_written_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t stacks = 0;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    stacks = impl_->folded.size();
+  }
+  flight(FlightKind::kProfileDump, sample_count(), stacks);
+  registry().counter("profile.dumps").inc();
+  return path;
+}
+
+void Profiler::install_signal_handler() {
+  struct sigaction action = {};
+  action.sa_handler = &handle_sigusr1;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGUSR1, &action, nullptr);
+}
+
+void Profiler::request_signal_dump() {
+  g_profile_dump_requested.store(true, std::memory_order_relaxed);
+}
+
+bool Profiler::consume_signal_dump() {
+  return g_profile_dump_requested.exchange(false, std::memory_order_relaxed);
+}
+
+}  // namespace netcl::obs

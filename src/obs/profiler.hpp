@@ -1,0 +1,142 @@
+// Always-available sampling CPU profiler (ISSUE 9): know *where* the
+// cycles go, continuously and in production, not in one-off bench runs.
+//
+// Sampling discipline: every registered thread owns a POSIX per-thread
+// CPU-time timer (timer_create(CLOCK_THREAD_CPUTIME_ID) with
+// SIGEV_THREAD_ID) firing SIGPROF at the configured rate. The handler is
+// async-signal-safe by construction: it walks frame pointers from the
+// interrupted ucontext (validated against the thread's cached stack
+// bounds), stores the raw program counters into the thread's lock-free
+// SPSC sample ring — the same one-writer-per-ring discipline as the
+// flight recorder (obs/flightrec.hpp) — and returns. No allocation, no
+// locks, no symbolization in signal context.
+//
+// Aggregation is pull-based and cold: snapshot() drains the rings,
+// symbolizes each distinct pc once through dladdr (executables link with
+// CMAKE_ENABLE_EXPORTS so their symbols are visible), and folds samples
+// into the cumulative "flamegraph collapsed" map
+// ("proc;caller;...;leaf" -> count). write_folded()/trigger_profile_dump()
+// render that map in the standard folded-stack format that
+// flamegraph.pl / speedscope / inferno consume directly.
+//
+// CPU-time sampling means an idle thread (blocked in poll) costs nothing
+// and accumulates no samples — the profile shows where cycles went, not
+// where time was waited.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace netcl::obs {
+
+/// Cumulative profile state as of the last drain. `folded` maps a
+/// root-first semicolon-joined stack to its sample count.
+struct ProfileSnapshot {
+  std::uint64_t samples = 0;    // samples aggregated so far
+  std::uint64_t dropped = 0;    // lost to ring wrap or torn reads
+  std::uint64_t truncated = 0;  // stacks cut at kMaxFrames
+  std::map<std::string, std::uint64_t> folded;
+};
+
+/// Process-wide sampling profiler. Threads register lazily (their event
+/// loops call maybe_register_this_thread(), which is one thread_local
+/// test once registered); rings are never freed, so a ring pointer cached
+/// in a thread_local stays valid for the process lifetime.
+class Profiler {
+ public:
+  /// Deepest stack recorded per sample. 48 frames × 8 B keeps a sample
+  /// slot under 400 B; deeper stacks are truncated (counted).
+  static constexpr int kMaxFrames = 48;
+  /// Samples per ring (power of two). 2048 slots ≈ 20 s of history at the
+  /// default rate before wrap.
+  static constexpr std::uint64_t kRingCapacity = 1u << 11;
+  /// Default sampling rate. 99 Hz (not 100) so samples do not phase-lock
+  /// with 10 ms-periodic work — the classic profiler-bias dodge.
+  static constexpr int kDefaultHz = 99;
+
+  /// The singleton. Never destroyed (intentionally leaked), mirroring
+  /// FlightRecorder.
+  static Profiler& instance();
+
+  /// Installs the SIGPROF handler and arms per-thread timers on every
+  /// registered thread (and on threads that register later). Returns false
+  /// when per-thread CPU-time timers are unavailable (non-Linux builds).
+  /// hz is clamped to [1, 10000].
+  bool start(int hz = kDefaultHz);
+  /// Disarms all timers. Samples already in the rings stay drainable.
+  void stop();
+  [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
+  [[nodiscard]] int hz() const { return hz_.load(std::memory_order_relaxed); }
+
+  /// Registers the calling thread for sampling (idempotent; one
+  /// thread_local test when already registered). Event loops call this at
+  /// the top of their poll cycle.
+  void maybe_register_this_thread();
+
+  /// Raw samples captured since process start (signal-handler counter).
+  [[nodiscard]] std::uint64_t sample_count() const {
+    return captured_.load(std::memory_order_relaxed);
+  }
+  /// Threads registered so far.
+  [[nodiscard]] std::size_t thread_count() const;
+
+  /// Drains every ring into the cumulative folded map and returns a copy.
+  [[nodiscard]] ProfileSnapshot snapshot();
+
+  /// snapshot() rendered in folded-stack format: one "stack count" line
+  /// per distinct stack, sorted by stack for deterministic output.
+  [[nodiscard]] std::string folded_string();
+
+  /// Writes folded_string() to `path`. Returns false on I/O failure.
+  bool write_folded(const std::string& path);
+
+  /// Dump hook (kProfileDump control op, SIGUSR1, ncl-top): writes
+  /// `profile_<label>_<n>.folded` into the directory named by
+  /// NETCL_FLIGHT_DIR (default "."), next to the flight recorder's
+  /// postmortems. Returns the path written, or "" on I/O failure.
+  std::string trigger_profile_dump();
+
+  /// Folded files written by trigger_profile_dump().
+  [[nodiscard]] std::uint64_t dumps_written() const {
+    return dumps_written_.load(std::memory_order_relaxed);
+  }
+
+  // -- SIGUSR1 ------------------------------------------------------------
+  // Same latch shape as the flight recorder's SIGUSR2: the handler only
+  // sets an atomic flag; a poll loop consumes it and dumps outside signal
+  // context.
+
+  /// Installs the SIGUSR1 handler (idempotent).
+  static void install_signal_handler();
+  /// What the handler does; exposed for tests (raise-free).
+  static void request_signal_dump();
+  /// True exactly once per requested signal dump.
+  [[nodiscard]] static bool consume_signal_dump();
+
+  /// Public so the file-scope SIGPROF handler can reach its thread's ring
+  /// through a thread_local pointer; defined in profiler.cpp.
+  struct Ring;
+
+ private:
+  struct Impl;
+
+  Profiler();
+  ~Profiler() = delete;
+
+  std::atomic<bool> running_{false};
+  std::atomic<int> hz_{kDefaultHz};
+  std::atomic<std::uint64_t> captured_{0};
+  std::atomic<std::uint64_t> dumps_written_{0};
+  std::atomic<std::uint64_t> dump_seq_{0};
+
+  Impl* impl_;  // leaked with the singleton
+};
+
+/// Convenience for event-loop instrumentation sites:
+/// Profiler::instance().maybe_register_this_thread().
+inline void profile_register_thread() { Profiler::instance().maybe_register_this_thread(); }
+
+}  // namespace netcl::obs

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <set>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -56,23 +57,31 @@ std::string prometheus_string(const std::map<std::string, RegistrySnapshot>& sna
   std::uint64_t packets_total = 0;
 
   for (const auto& [registry_name, r] : snapshot) {
-    // Per-tenant registries are named "<base>/tenant/<name>" (ISSUE 7) and
-    // per-source ones "<base>/source/<endpoint>" (ISSUE 8); split the
-    // suffix into a proper label so PromQL can aggregate or slice without
-    // string surgery.
+    // Structured registry names carry labels as "/key/value" suffixes:
+    // "<base>/tenant/<id>" (ISSUE 7), "<base>/source/<endpoint>"
+    // (ISSUE 8), "<base>/tenant/<id>/window/<name>" (ISSUE 9). Split each
+    // recognized pair into a proper label so PromQL can aggregate or
+    // slice without string surgery; an unrecognized key keeps the raw
+    // name (values like "ip:port" contain no '/', so the scan is
+    // unambiguous left-to-right).
     std::string base_name = registry_name;
-    std::string inner_labels = "registry=\"" + registry_name + "\"";
-    const std::size_t tenant_at = registry_name.find("/tenant/");
-    const std::size_t source_at = registry_name.find("/source/");
-    if (tenant_at != std::string::npos) {
-      base_name = registry_name.substr(0, tenant_at);
-      inner_labels = "registry=\"" + base_name + "\",tenant=\"" +
-                     registry_name.substr(tenant_at + 8) + "\"";
-    } else if (source_at != std::string::npos) {
-      base_name = registry_name.substr(0, source_at);
-      inner_labels = "registry=\"" + base_name + "\",source=\"" +
-                     registry_name.substr(source_at + 8) + "\"";
+    std::string inner_labels;
+    static constexpr std::string_view kLabelKeys[] = {"tenant", "source", "window"};
+    for (bool matched = true; matched;) {
+      matched = false;
+      for (const std::string_view key : kLabelKeys) {
+        const std::string needle = "/" + std::string(key) + "/";
+        const std::size_t at = base_name.find(needle);
+        if (at == std::string::npos) continue;
+        std::string value = base_name.substr(at + needle.size());
+        const std::size_t next = value.find('/');
+        if (next != std::string::npos) value.resize(next);
+        base_name.erase(at, needle.size() + value.size());
+        inner_labels += "," + std::string(key) + "=\"" + value + "\"";
+        matched = true;
+      }
     }
+    inner_labels = "registry=\"" + base_name + "\"" + inner_labels;
     const std::string label = "{" + inner_labels + "}";
 
     for (const auto& [name, value] : r.counters) {

@@ -1,0 +1,253 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netcl::obs {
+
+const char* to_string(SloState state) {
+  switch (state) {
+    case SloState::kOk: return "ok";
+    case SloState::kSlowBurn: return "slow_burn";
+    case SloState::kFastBurn: return "fast_burn";
+  }
+  return "unknown";
+}
+
+SloTracker::Bucket& SloTracker::bucket_at(double now_s) {
+  const auto second = static_cast<std::int64_t>(std::floor(now_s));
+  Bucket& bucket = buckets_[static_cast<std::size_t>(second % kBuckets)];
+  if (bucket.second != second) {
+    bucket.second = second;
+    bucket.good = 0;
+    bucket.bad = 0;
+  }
+  return bucket;
+}
+
+void SloTracker::record_latency(double latency_ns, double now_s) {
+  const bool good = objective_.latency_threshold_ns <= 0.0 ||
+                    latency_ns <= objective_.latency_threshold_ns;
+  if (good) {
+    record_good(now_s);
+  } else {
+    record_bad(now_s);
+  }
+}
+
+void SloTracker::record_good(double now_s) {
+  ++bucket_at(now_s).good;
+  ++good_total_;
+}
+
+void SloTracker::record_bad(double now_s) {
+  ++bucket_at(now_s).bad;
+  ++bad_total_;
+}
+
+void SloTracker::sum_window(double window_s, double now_s, std::uint64_t* good,
+                            std::uint64_t* bad) const {
+  *good = 0;
+  *bad = 0;
+  const auto now_second = static_cast<std::int64_t>(std::floor(now_s));
+  const int span = std::min(kBuckets, static_cast<int>(std::ceil(window_s)));
+  for (int i = 0; i < span; ++i) {
+    const std::int64_t second = now_second - i;
+    if (second < 0) break;
+    const Bucket& bucket = buckets_[static_cast<std::size_t>(second % kBuckets)];
+    if (bucket.second != second) continue;  // stale slot from a past hour
+    *good += bucket.good;
+    *bad += bucket.bad;
+  }
+}
+
+double SloTracker::burn_rate(double window_s, double now_s) const {
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+  sum_window(window_s, now_s, &good, &bad);
+  const std::uint64_t total = good + bad;
+  if (total == 0) return 0.0;
+  const double bad_fraction = static_cast<double>(bad) / static_cast<double>(total);
+  return bad_fraction / objective_.error_budget();
+}
+
+double SloTracker::budget_remaining(double now_s) const {
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+  sum_window(kBudgetWindowS, now_s, &good, &bad);
+  const std::uint64_t total = good + bad;
+  if (total == 0) return 1.0;
+  // Of the bad events the budget allows over this horizon, how many are
+  // unspent?
+  const double allowed = objective_.error_budget() * static_cast<double>(total);
+  const double remaining = 1.0 - static_cast<double>(bad) / allowed;
+  return std::clamp(remaining, 0.0, 1.0);
+}
+
+SloState SloTracker::evaluate(double now_s) {
+  const double burn_short = burn_rate(kShortWindowS, now_s);
+  const double burn_long = burn_rate(kLongWindowS, now_s);
+  const double burn_slow = burn_rate(kSlowWindowS, now_s);
+  if (burn_short >= kFastBurnThreshold && burn_long >= kFastBurnThreshold) {
+    state_ = SloState::kFastBurn;
+  } else if (burn_long >= kSlowBurnThreshold && burn_slow >= kSlowBurnThreshold) {
+    state_ = SloState::kSlowBurn;
+  } else {
+    state_ = SloState::kOk;
+  }
+  return state_;
+}
+
+// ---------------------------------------------------------------------------
+// SloEngine
+
+void SloEngine::set_objective(std::uint32_t tenant, SloObjective objective) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.try_emplace(tenant, objective);
+  if (!inserted) {
+    // Re-targeting resets accounting: the old windows measured a
+    // different promise.
+    it->second.tracker = SloTracker(objective);
+  }
+  if (it->second.registry == nullptr) {
+    it->second.registry = std::make_unique<MetricsRegistry>(
+        base_ + "/tenant/" + std::to_string(tenant));
+  }
+}
+
+bool SloEngine::has_objective(std::uint32_t tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(tenant) != entries_.end();
+}
+
+bool SloEngine::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.empty();
+}
+
+std::vector<std::uint32_t> SloEngine::tenants() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint32_t> out;
+  out.reserve(entries_.size());
+  for (const auto& [tenant, entry] : entries_) out.push_back(tenant);
+  return out;
+}
+
+void SloEngine::set_fast_burn_callback(FastBurnCallback callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  on_fast_burn_ = std::move(callback);
+}
+
+void SloEngine::record_latency(std::uint32_t tenant, double latency_ns, double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(tenant);
+  if (it == entries_.end()) return;
+  it->second.tracker.record_latency(latency_ns, now_s);
+  it->second.registry->histogram("slo.latency_ns").record(latency_ns);
+}
+
+void SloEngine::record_bad(std::uint32_t tenant, double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(tenant);
+  if (it == entries_.end()) return;
+  it->second.tracker.record_bad(now_s);
+}
+
+void SloEngine::export_entry(std::uint32_t tenant, Entry& entry, double now_s) {
+  SloTracker& tracker = entry.tracker;
+  MetricsRegistry& reg = *entry.registry;
+  reg.gauge("slo.budget_remaining").set(tracker.budget_remaining(now_s));
+  reg.gauge("slo.state").set(static_cast<double>(tracker.state()));
+  reg.gauge("slo.objective_availability").set(tracker.objective().availability_target);
+  reg.gauge("slo.objective_latency_ns").set(tracker.objective().latency_threshold_ns);
+  reg.gauge("slo.observed_p99_ns").set(reg.histogram("slo.latency_ns").quantile(0.99));
+  // Monotonic event totals as proper counters (delta since last export).
+  Counter& good = reg.counter("slo.good_events");
+  Counter& bad = reg.counter("slo.bad_events");
+  good.inc(tracker.good_total() - good.value());
+  bad.inc(tracker.bad_total() - bad.value());
+
+  struct Window {
+    const char* name;
+    double seconds;
+  };
+  static constexpr Window kWindows[] = {{"short", SloTracker::kShortWindowS},
+                                        {"long", SloTracker::kLongWindowS},
+                                        {"slow", SloTracker::kSlowWindowS}};
+  for (const Window& window : kWindows) {
+    auto& owned = entry.windows[window.name];
+    if (owned == nullptr) {
+      owned = std::make_unique<MetricsRegistry>(base_ + "/tenant/" +
+                                                std::to_string(tenant) + "/window/" +
+                                                window.name);
+    }
+    owned->gauge("slo.burn_rate").set(tracker.burn_rate(window.seconds, now_s));
+    owned->gauge("slo.window_seconds").set(window.seconds);
+  }
+  (void)tenant;
+}
+
+void SloEngine::tick(double now_s) {
+  struct Fired {
+    std::uint32_t tenant;
+    double burn_short;
+  };
+  std::vector<Fired> fired;
+  FastBurnCallback callback;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    callback = on_fast_burn_;
+    for (auto& [tenant, entry] : entries_) {
+      const SloState before = entry.tracker.state();
+      const SloState after = entry.tracker.evaluate(now_s);
+      if (after == SloState::kFastBurn && before != SloState::kFastBurn) {
+        ++fast_burn_transitions_;
+        fired.push_back(
+            {tenant, entry.tracker.burn_rate(SloTracker::kShortWindowS, now_s)});
+      }
+      export_entry(tenant, entry, now_s);
+    }
+  }
+  // Callbacks run unlocked: the daemon's hook writes a flight-recorder
+  // postmortem, which must not nest inside the engine mutex.
+  if (callback) {
+    for (const Fired& f : fired) callback(f.tenant, f.burn_short);
+  }
+}
+
+SloState SloEngine::state(std::uint32_t tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(tenant);
+  return it == entries_.end() ? SloState::kOk : it->second.tracker.state();
+}
+
+double SloEngine::burn_rate(std::uint32_t tenant, double window_s, double now_s) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(tenant);
+  return it == entries_.end() ? 0.0 : it->second.tracker.burn_rate(window_s, now_s);
+}
+
+double SloEngine::budget_remaining(std::uint32_t tenant, double now_s) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(tenant);
+  return it == entries_.end() ? 1.0 : it->second.tracker.budget_remaining(now_s);
+}
+
+std::uint64_t SloEngine::good_total(std::uint32_t tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(tenant);
+  return it == entries_.end() ? 0 : it->second.tracker.good_total();
+}
+
+std::uint64_t SloEngine::bad_total(std::uint32_t tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(tenant);
+  return it == entries_.end() ? 0 : it->second.tracker.bad_total();
+}
+
+std::uint64_t SloEngine::fast_burn_transitions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fast_burn_transitions_;
+}
+
+}  // namespace netcl::obs

@@ -1,0 +1,179 @@
+// Per-tenant SLO engine (ISSUE 9): configurable latency/availability
+// objectives per computation id, sliding-window good/bad accounting, and
+// multi-window burn-rate alerting.
+//
+// Semantics follow the SRE-workbook recipe. An *event* is one unit of
+// served work (a packet through the daemon, a round trip on the host). An
+// event is *good* when it was served and met the latency threshold (when
+// one is configured); shed, dropped, or over-threshold events are *bad*.
+// The error budget is (1 − availability_target): the fraction of events
+// allowed to be bad. The *burn rate* over a window is
+//     (bad fraction in window) / error budget
+// so burn 1.0 spends the budget exactly at the sustainable pace, and burn
+// 14.4 exhausts a 30-day budget in ~2 days. Alerting is multi-window to be
+// both fast and flap-free: FAST_BURN requires the fast threshold in the
+// short *and* long windows (a real sustained flood, not one bad batch);
+// SLOW_BURN requires the slow threshold in the long *and* slow windows.
+//
+// Events land in per-second buckets of a fixed ring (one hour deep — also
+// the budget accounting horizon), so recording is O(1) and evaluating a
+// window is O(window seconds). All clocks are caller-supplied seconds
+// (monotonic), which keeps the engine deterministic under test.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace netcl::obs {
+
+/// What a tenant was promised.
+struct SloObjective {
+  /// Latency criterion: a served event is bad when it took longer than
+  /// this. 0 disables the criterion (availability-only objective).
+  double latency_threshold_ns = 0.0;
+  /// Required good fraction, in (0, 1). 0.999 = "three nines".
+  double availability_target = 0.999;
+
+  [[nodiscard]] double error_budget() const {
+    const double budget = 1.0 - availability_target;
+    return budget > 1e-9 ? budget : 1e-9;
+  }
+};
+
+enum class SloState : std::uint8_t { kOk = 0, kSlowBurn = 1, kFastBurn = 2 };
+[[nodiscard]] const char* to_string(SloState state);
+
+/// Sliding-window good/bad accounting and the burn-rate state machine for
+/// one tenant. Not thread-safe by itself; SloEngine serializes access.
+class SloTracker {
+ public:
+  // Window lengths (seconds). Scaled down from the workbook's hours to a
+  // daemon whose lifetime is minutes: the ratios (1:12:60) and thresholds
+  // are the standard ones, the absolute spans are not.
+  static constexpr double kShortWindowS = 5.0;
+  static constexpr double kLongWindowS = 60.0;
+  static constexpr double kSlowWindowS = 300.0;
+  /// Budget accounting horizon == ring depth.
+  static constexpr double kBudgetWindowS = 3600.0;
+  static constexpr double kFastBurnThreshold = 14.4;
+  static constexpr double kSlowBurnThreshold = 6.0;
+
+  explicit SloTracker(SloObjective objective) : objective_(objective) {}
+
+  [[nodiscard]] const SloObjective& objective() const { return objective_; }
+
+  /// A served event: good iff it met the latency threshold.
+  void record_latency(double latency_ns, double now_s);
+  void record_good(double now_s);
+  /// A shed/dropped/failed event.
+  void record_bad(double now_s);
+
+  /// (bad fraction over the trailing window) / error budget; 0 when the
+  /// window saw no events.
+  [[nodiscard]] double burn_rate(double window_s, double now_s) const;
+  /// Fraction of the error budget left over the trailing budget window,
+  /// clamped to [0, 1]; 1 when no events were seen.
+  [[nodiscard]] double budget_remaining(double now_s) const;
+
+  /// Advances the multi-window state machine and returns the new state.
+  SloState evaluate(double now_s);
+  [[nodiscard]] SloState state() const { return state_; }
+
+  [[nodiscard]] std::uint64_t good_total() const { return good_total_; }
+  [[nodiscard]] std::uint64_t bad_total() const { return bad_total_; }
+
+ private:
+  struct Bucket {
+    std::int64_t second = -1;  // which wall second this bucket holds
+    std::uint64_t good = 0;
+    std::uint64_t bad = 0;
+  };
+  static constexpr int kBuckets = static_cast<int>(kBudgetWindowS);
+
+  Bucket& bucket_at(double now_s);
+  void sum_window(double window_s, double now_s, std::uint64_t* good,
+                  std::uint64_t* bad) const;
+
+  SloObjective objective_;
+  SloState state_ = SloState::kOk;
+  std::uint64_t good_total_ = 0;
+  std::uint64_t bad_total_ = 0;
+  std::vector<Bucket> buckets_ = std::vector<Bucket>(kBuckets);
+};
+
+/// Process-side engine: one tracker per tenant, metric export, and the
+/// fast-burn anomaly hook. Thread-safe (one mutex; record is a map lookup
+/// and two integer bumps, and is only reached when objectives exist).
+///
+/// Exported series live in registries named
+/// "<base>/tenant/<id>" (slo.budget_remaining, slo.state, slo.latency_ns,
+/// objective gauges) and "<base>/tenant/<id>/window/<name>"
+/// (slo.burn_rate, slo.window_seconds), which the Prometheus layer turns
+/// into netcl_slo_budget_remaining{tenant=...} and
+/// netcl_slo_burn_rate{tenant=...,window=...}.
+class SloEngine {
+ public:
+  /// Fired on each transition *into* kFastBurn: (tenant, short-window
+  /// burn rate). The daemon points this at the flight recorder.
+  using FastBurnCallback = std::function<void(std::uint32_t, double)>;
+
+  /// `base_registry` names the registry family the engine exports into —
+  /// pass the owner's base metrics name so SLO series share the registry
+  /// label with the owner's per-tenant series.
+  explicit SloEngine(std::string base_registry) : base_(std::move(base_registry)) {}
+
+  void set_objective(std::uint32_t tenant, SloObjective objective);
+  [[nodiscard]] bool has_objective(std::uint32_t tenant) const;
+  /// True when no tenant has an objective — the daemon's "skip all SLO
+  /// work on the hot path" test.
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::vector<std::uint32_t> tenants() const;
+
+  void set_fast_burn_callback(FastBurnCallback callback);
+
+  /// A served event for `tenant` (no-op without an objective). Also feeds
+  /// the per-tenant slo.latency_ns histogram.
+  void record_latency(std::uint32_t tenant, double latency_ns, double now_s);
+  /// A shed/dropped/failed event for `tenant` (no-op without an objective).
+  void record_bad(std::uint32_t tenant, double now_s);
+
+  /// Evaluates every tracker, refreshes exported gauges, and fires the
+  /// fast-burn callback on transitions into kFastBurn (edge-triggered —
+  /// a tenant burning for minutes produces one callback, not thousands).
+  void tick(double now_s);
+
+  [[nodiscard]] SloState state(std::uint32_t tenant) const;
+  [[nodiscard]] double burn_rate(std::uint32_t tenant, double window_s,
+                                 double now_s) const;
+  [[nodiscard]] double budget_remaining(std::uint32_t tenant, double now_s) const;
+  [[nodiscard]] std::uint64_t good_total(std::uint32_t tenant) const;
+  [[nodiscard]] std::uint64_t bad_total(std::uint32_t tenant) const;
+  /// Transitions into kFastBurn so far (all tenants).
+  [[nodiscard]] std::uint64_t fast_burn_transitions() const;
+
+ private:
+  struct Entry {
+    explicit Entry(SloObjective objective) : tracker(objective) {}
+    SloTracker tracker;
+    std::unique_ptr<MetricsRegistry> registry;
+    std::map<std::string, std::unique_ptr<MetricsRegistry>> windows;
+  };
+
+  Entry* entry_for(std::uint32_t tenant);  // nullptr without an objective
+  void export_entry(std::uint32_t tenant, Entry& entry, double now_s);
+
+  mutable std::mutex mutex_;
+  std::string base_;
+  std::map<std::uint32_t, Entry> entries_;
+  FastBurnCallback on_fast_burn_;
+  std::uint64_t fast_burn_transitions_ = 0;
+};
+
+}  // namespace netcl::obs

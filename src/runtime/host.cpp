@@ -88,6 +88,17 @@ void HostRuntime::deliver_packet(const sim::Packet& packet) {
     pending.pop_front();
     const double recv_ns = transport_->now_ns();
     round_trip_ns.record(recv_ns - stamp.send_ns);
+    if (slo_enabled_) {
+      // Round trips are the host-side SLO event stream (ISSUE 9): one
+      // served event per matched response, on the transport clock.
+      const double now_s = recv_ns / 1e9;
+      slo_.record_latency(static_cast<std::uint32_t>(comp), recv_ns - stamp.send_ns,
+                          now_s);
+      if (now_s - last_slo_tick_s_ >= 0.25) {
+        last_slo_tick_s_ = now_s;
+        slo_.tick(now_s);
+      }
+    }
     if (collector_ != nullptr) {
       obs::SpanSample span;
       span.host_id = host_id_;
@@ -116,6 +127,11 @@ void HostRuntime::deliver_packet(const sim::Packet& packet) {
 
 void HostRuntime::register_spec(int computation, KernelSpec spec) {
   specs_[computation] = std::move(spec);
+}
+
+void HostRuntime::set_slo_objective(int computation, const obs::SloObjective& objective) {
+  slo_.set_objective(static_cast<std::uint32_t>(computation), objective);
+  slo_enabled_ = true;
 }
 
 const KernelSpec* HostRuntime::spec_for(int computation) const {
@@ -149,6 +165,10 @@ bool HostRuntime::prepare_send(Message& message, const sim::ArgValues& args,
     // one-way or lossy traffic cannot grow the queue forever.
     pending.pop_front();
     ++dropped_stale_round_trip;
+    if (slo_enabled_) {
+      slo_.record_bad(static_cast<std::uint32_t>(message.comp),
+                      transport_->now_ns() / 1e9);
+    }
   }
   pending.push_back({transport_->now_ns(), pack_duration_ns});
   ++sent;
@@ -230,6 +250,9 @@ void HostRuntime::flush_queue() {
     if (pending.size() >= kMaxPendingRoundTrips) {
       pending.pop_front();
       ++dropped_stale_round_trip;
+      if (slo_enabled_) {
+        slo_.record_bad(static_cast<std::uint32_t>(comp), transport_->now_ns() / 1e9);
+      }
     }
     // Pack happened back when the send was queued; its duration was
     // recorded then and is not re-attributed to this span.

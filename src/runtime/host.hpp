@@ -35,6 +35,7 @@
 #include "net/control.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/span.hpp"
 #include "runtime/error.hpp"
 #include "runtime/failure.hpp"
@@ -121,6 +122,18 @@ class HostRuntime {
   void enable_telemetry(obs::SpanCollector* collector) { collector_ = collector; }
   [[nodiscard]] obs::SpanCollector* telemetry_collector() { return collector_; }
 
+  // --- per-computation SLOs (ISSUE 9) ---------------------------------------
+  /// Declares a latency/availability objective for one computation id (the
+  /// computation id is the host-side tenant key). Matched round trips feed
+  /// the engine as served events — good iff under the latency threshold —
+  /// and stamps expired at the pending cap count as bad events (their
+  /// responses were presumably lost). The engine exports into registries
+  /// "host<id>/tenant/<comp>" and ".../window/<name>", which Prometheus
+  /// exposition renders as netcl_slo_* series. Zero receive-path overhead
+  /// until the first objective is set.
+  void set_slo_objective(int computation, const obs::SloObjective& objective);
+  [[nodiscard]] obs::SloEngine& slo() { return slo_; }
+
   // --- failure handling (ISSUE 3) -------------------------------------------
   /// Wires a detector (not owned; must outlive this runtime). While it
   /// reports DOWN, send() applies the fallback policy; on recovery queued
@@ -206,6 +219,11 @@ class HostRuntime {
   };
   /// Send stamps awaiting a response, per computation (FIFO).
   std::map<int, std::deque<PendingSend>> pending_round_trips_;
+  // Per-computation SLO engine (ISSUE 9). slo_enabled_ keeps the receive
+  // path free of engine calls until an objective exists.
+  obs::SloEngine slo_{metrics_.name()};
+  bool slo_enabled_ = false;
+  double last_slo_tick_s_ = -1.0;
   std::set<std::string> warned_;
   // Failure handling (ISSUE 3).
   FailureDetector* detector_ = nullptr;  // not owned

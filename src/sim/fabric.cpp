@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "obs/flightrec.hpp"
+#include "obs/profiler.hpp"
 #include "runtime/device_runtime.hpp"
 
 namespace netcl::sim {
@@ -252,6 +253,9 @@ void Fabric::deliver(const Event& event) {
 }
 
 double Fabric::run(double max_time_ns) {
+  // Simulation runs are profiled like real event loops: register the
+  // driving thread once so --profile covers sim-backed experiments too.
+  obs::profile_register_thread();
   while (!events_.empty()) {
     const Event event = events_.top();
     if (event.time_ns > max_time_ns) break;

@@ -82,6 +82,61 @@ TEST(Histogram, PercentileOrdering) {
   EXPECT_LT(p50, 1000.0);
 }
 
+TEST(Histogram, QuantileMatchesPercentile) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  // percentile(p) is quantile(p/100) by definition.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), h.percentile(50));
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), h.percentile(99));
+}
+
+TEST(Histogram, QuantileErrorBoundedOnUniformDistribution) {
+  // Uniform 1..4096: the exact q-quantile is q * 4096. Power-of-two
+  // buckets put at most one octave of mass in a bucket, and linear
+  // interpolation inside the bucket keeps the estimate within the
+  // bucket's span — a 2x worst-case multiplicative error, much tighter
+  // in practice for smooth distributions.
+  Histogram h;
+  for (int i = 1; i <= 4096; ++i) h.record(static_cast<double>(i));
+  for (const double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99}) {
+    const double exact = q * 4096.0;
+    const double estimate = h.quantile(q);
+    EXPECT_GE(estimate, exact / 2.0) << "q=" << q;
+    EXPECT_LE(estimate, exact * 2.0) << "q=" << q;
+    // Uniform mass fills each bucket evenly, so interpolation should land
+    // within 30% of the exact answer (loose; guards regressions to a
+    // bucket-upper-bound readout, which would sit at a power of two).
+    EXPECT_NEAR(estimate, exact, exact * 0.3) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileErrorBoundedOnBimodalDistribution) {
+  // 90% of mass at ~10, 10% at ~1000: p50 must sit in the low mode, p99
+  // in the high mode — the shape that exposes mean-based shortcuts.
+  Histogram h;
+  for (int i = 0; i < 900; ++i) h.record(10.0);
+  for (int i = 0; i < 100; ++i) h.record(1000.0);
+  EXPECT_GE(h.quantile(0.5), 8.0);
+  EXPECT_LE(h.quantile(0.5), 16.0);  // within 10's bucket [8, 16)
+  EXPECT_GE(h.quantile(0.95), 512.0);
+  EXPECT_LE(h.quantile(0.95), 1000.0);  // clamped to observed max
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);  // no samples -> 0
+  Histogram one;
+  one.record(42.0);
+  // A single sample answers every quantile exactly.
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 42.0);
+  // Out-of-range q clamps rather than reading past the buckets.
+  EXPECT_DOUBLE_EQ(one.quantile(-1.0), 42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(2.0), 42.0);
+}
+
 TEST(Histogram, MergeIsAdditive) {
   Histogram a;
   Histogram b;
